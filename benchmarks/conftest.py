@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark harness.
+
+Benchmarks run the *same code paths* as the paper's evaluation but on
+scaled-down instances so the harness completes in minutes; run
+``examples/reproduce_paper.py`` for the full-scale (slow) regeneration.
+Every benchmark stores its reproduction metrics in
+``benchmark.extra_info`` so the JSON export carries the paper-facing
+numbers, not only timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import EnolaConfig
+
+#: Enola knobs for the harness: cheap enough for CI, same algorithms.
+BENCH_ENOLA = EnolaConfig(seed=0, mis_restarts=3, sa_iterations_per_qubit=30)
+
+#: Benchmark-suite rows the harness runs per family (small paper sizes).
+BENCH_KEYS = (
+    "QAOA-regular3-30",
+    "QAOA-regular4-30",
+    "QAOA-random-20",
+    "QFT-18",
+    "BV-14",
+    "VQE-30",
+    "QSIM-rand-0.3-10",
+)
+
+
+@pytest.fixture
+def enola_config() -> EnolaConfig:
+    """Harness-wide Enola configuration."""
+    return BENCH_ENOLA

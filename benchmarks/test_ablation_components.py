@@ -1,0 +1,96 @@
+"""A1-A3 -- ablations of PowerMove's own design choices (DESIGN.md).
+
+* A1: stage-ordering weight alpha sweep (Sec. 4.2).
+* A2: distance-aware vs FIFO CollMove grouping (Sec. 5.3).
+* A3: intra-stage move-in-first ordering on/off (Sec. 6.1).
+
+Each benchmark times the with-storage compilation under one knob setting
+and stores the fidelity/time outcome so knob effects can be compared in
+the JSON export.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.generators import bernstein_vazirani, qaoa_regular, qsim_random
+from repro.core import PowerMoveCompiler, PowerMoveConfig
+from repro.fidelity import evaluate_program
+
+
+def _compile_and_measure(circuit, config):
+    result = PowerMoveCompiler(config).compile(circuit)
+    report = evaluate_program(result.program)
+    return result, report
+
+
+@pytest.mark.parametrize("alpha", [0.1, 0.3, 0.5, 0.7, 0.9])
+def test_a1_alpha_sweep(benchmark, alpha):
+    circuit = qaoa_regular(20, degree=3, seed=0)
+    config = PowerMoveConfig(alpha=alpha, seed=0)
+
+    result, report = benchmark.pedantic(
+        lambda: _compile_and_measure(circuit, config), rounds=1, iterations=1
+    )
+    assert report.timeline.idle_excitations == 0
+    benchmark.extra_info.update(
+        {
+            "alpha": alpha,
+            "fidelity": report.total,
+            "texe_us": report.execution_time_us,
+            "num_transfers": result.program.num_transfers,
+        }
+    )
+
+
+@pytest.mark.parametrize("distance_aware", [True, False])
+def test_a2_grouping_strategy(benchmark, distance_aware):
+    circuit = qaoa_regular(20, degree=3, seed=0)
+    config = PowerMoveConfig(distance_aware_grouping=distance_aware, seed=0)
+
+    result, report = benchmark.pedantic(
+        lambda: _compile_and_measure(circuit, config), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {
+            "distance_aware": distance_aware,
+            "fidelity": report.total,
+            "texe_us": report.execution_time_us,
+            "num_coll_moves": result.program.num_coll_moves,
+        }
+    )
+
+
+@pytest.mark.parametrize("ordered", [True, False])
+def test_a3_intra_stage_ordering(benchmark, ordered):
+    circuit = qsim_random(16, num_strings=6, seed=0)
+    config = PowerMoveConfig(intra_stage_ordering=ordered, seed=0)
+
+    result, report = benchmark.pedantic(
+        lambda: _compile_and_measure(circuit, config), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {
+            "intra_stage_ordering": ordered,
+            "fidelity": report.total,
+            "decoherence": report.decoherence,
+            "texe_us": report.execution_time_us,
+        }
+    )
+
+
+@pytest.mark.parametrize("reorder", [True, False])
+def test_a1b_stage_reordering_on_off(benchmark, reorder):
+    circuit = bernstein_vazirani(20, seed=0)
+    config = PowerMoveConfig(reorder_stages=reorder, seed=0)
+
+    result, report = benchmark.pedantic(
+        lambda: _compile_and_measure(circuit, config), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {
+            "reorder_stages": reorder,
+            "fidelity": report.total,
+            "texe_us": report.execution_time_us,
+        }
+    )

@@ -1,0 +1,56 @@
+"""T_comp scaling -- the Table 3 compile-time gap, measured directly.
+
+Times each compiler's ``compile`` call alone (the quantity Table 3's
+``T_comp`` columns report).  PowerMove's near-linear heuristics must beat
+the Enola baseline's annealing + randomised-MIS pipeline, with the gap
+growing in circuit size (the paper reports 1.9x-213x).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import EnolaCompiler
+from repro.circuits.generators import qaoa_regular
+from repro.core import PowerMoveCompiler, PowerMoveConfig
+
+from conftest import BENCH_ENOLA
+
+SIZES = (10, 20, 30)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_powermove_compile_time(benchmark, n):
+    circuit = qaoa_regular(n, degree=3, seed=0)
+    compiler = PowerMoveCompiler(PowerMoveConfig(seed=0))
+    result = benchmark(lambda: compiler.compile(circuit))
+    assert result.program.num_stages > 0
+    benchmark.extra_info["num_qubits"] = n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_enola_compile_time(benchmark, n):
+    circuit = qaoa_regular(n, degree=3, seed=0)
+    compiler = EnolaCompiler(BENCH_ENOLA)
+    result = benchmark.pedantic(
+        lambda: compiler.compile(circuit), rounds=2, iterations=1
+    )
+    assert result.program.num_stages > 0
+    benchmark.extra_info["num_qubits"] = n
+
+
+def test_tcomp_gap_grows_with_size(benchmark):
+    """The Enola/PowerMove compile-time ratio grows with circuit size."""
+
+    def measure():
+        ratios = []
+        for n in (10, 30):
+            circuit = qaoa_regular(n, degree=3, seed=0)
+            pm = PowerMoveCompiler(PowerMoveConfig(seed=0)).compile(circuit)
+            enola = EnolaCompiler(BENCH_ENOLA).compile(circuit)
+            ratios.append(enola.compile_time / max(pm.compile_time, 1e-9))
+        return ratios
+
+    ratios = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert ratios[-1] > 1.0, "Enola must be slower to compile"
+    benchmark.extra_info["tcomp_ratios_by_size"] = ratios

@@ -1,0 +1,65 @@
+"""E2 -- Figure 6: fidelity-component ablation vs qubit count.
+
+One benchmark per panel family.  The timed body regenerates the panel's
+smallest-size data point across all three scenarios; extra_info stores the
+full component series for the sizes run.
+
+Shape assertions: the with-storage excitation component is exactly 1 (the
+blue area vanishes in the paper's right-hand columns), and the non-storage
+decoherence component improves on Enola's (the continuous router's yellow
+area shrinks).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import figure6_panel
+
+from conftest import BENCH_ENOLA
+
+#: family -> sizes run by the harness (small end of each paper panel).
+PANEL_SIZES = {
+    "QAOA-regular3": [30],
+    "QSIM-rand-0.3": [10, 20],
+    "QFT": [18],
+    "VQE": [30],
+    "BV": [14],
+}
+
+
+@pytest.mark.parametrize("family", sorted(PANEL_SIZES))
+def test_figure6_panel(benchmark, family):
+    sizes = PANEL_SIZES[family]
+
+    def run():
+        return figure6_panel(
+            family,
+            seed=0,
+            enola_config=BENCH_ENOLA,
+            sizes=sizes,
+            validate=False,
+        )
+
+    panel = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert panel.sizes == sizes
+
+    for idx in range(len(sizes)):
+        ws = panel.series["pm_with_storage"]
+        ns = panel.series["pm_non_storage"]
+        enola = panel.series["enola"]
+        assert ws["excitation"][idx] == 1.0
+        assert ns["decoherence"][idx] >= enola["decoherence"][idx]
+        # All compilers execute the same 2Q gates.
+        assert ws["two_qubit"][idx] == enola["two_qubit"][idx]
+
+    benchmark.extra_info.update(
+        {
+            "family": family,
+            "sizes": panel.sizes,
+            "series": {
+                scenario: {k: list(v) for k, v in comps.items()}
+                for scenario, comps in panel.series.items()
+            },
+        }
+    )

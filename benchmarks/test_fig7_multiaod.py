@@ -1,0 +1,42 @@
+"""E3 -- Figure 7: multi-AOD acceleration.
+
+The timed body compiles PowerMove with-storage under 1..4 AOD arrays on
+one representative benchmark per family (small sizes).  Shape assertions:
+execution time is non-increasing and fidelity non-decreasing in the AOD
+count, and transfer counts are invariant (Sec. 6.2's claim).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import figure7_series
+
+AOD_COUNTS = (1, 2, 3, 4)
+FIG7_BENCH_KEYS = ("QAOA-regular3-30", "QSIM-rand-0.3-10", "BV-14")
+
+
+@pytest.mark.parametrize("key", FIG7_BENCH_KEYS)
+def test_figure7_aod_sweep(benchmark, key):
+    def run():
+        return figure7_series(
+            keys=(key,), aod_counts=AOD_COUNTS, seed=0, validate=False
+        )
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    texe = series.texe_us[key]
+    fidelity = series.fidelity[key]
+    for earlier, later in zip(texe, texe[1:]):
+        assert later <= earlier + 1e-9, "more AODs must not slow execution"
+    for earlier, later in zip(fidelity, fidelity[1:]):
+        assert later >= earlier - 1e-12, "more AODs must not hurt fidelity"
+
+    benchmark.extra_info.update(
+        {
+            "benchmark": key,
+            "aod_counts": list(AOD_COUNTS),
+            "texe_us": texe,
+            "fidelity": fidelity,
+            "speedup_4aod": texe[0] / texe[-1],
+        }
+    )

@@ -1,0 +1,75 @@
+"""Fig. 3(e)(f) strawman study: four storage-integration schemes.
+
+Compares, on one excitation-dominated workload (BV), the four designs
+the paper's motivation section contrasts:
+
+* Enola (no storage)           -- excitation errors, moderate movement;
+* Enola + naive storage        -- zero excitation, 4 inter-zone moves/gate;
+* PowerMove non-storage        -- fewer moves, still excitation-exposed;
+* PowerMove with-storage       -- zero excitation AND direct transitions.
+
+The assertions encode the paper's Sec. 3.1 argument; extra_info carries
+all four measurements for the JSON export.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import EnolaCompiler, EnolaConfig
+from repro.circuits.generators import bernstein_vazirani
+from repro.core import PowerMoveCompiler, PowerMoveConfig
+from repro.fidelity import evaluate_program
+
+from conftest import BENCH_ENOLA
+
+
+def test_storage_integration_strawman(benchmark):
+    circuit = bernstein_vazirani(20, seed=0)
+
+    def run():
+        naive_cfg = EnolaConfig(
+            seed=0,
+            mis_restarts=BENCH_ENOLA.mis_restarts,
+            sa_iterations_per_qubit=BENCH_ENOLA.sa_iterations_per_qubit,
+            naive_storage=True,
+        )
+        out = {}
+        out["enola"] = EnolaCompiler(BENCH_ENOLA).compile(circuit)
+        out["enola_naive_storage"] = EnolaCompiler(naive_cfg).compile(circuit)
+        out["pm_non_storage"] = PowerMoveCompiler(
+            PowerMoveConfig(use_storage=False)
+        ).compile(circuit)
+        out["pm_with_storage"] = PowerMoveCompiler(
+            PowerMoveConfig(use_storage=True)
+        ).compile(circuit)
+        return {k: evaluate_program(v.program) for k, v in out.items()}
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Zero excitation error for both storage schemes.
+    assert reports["enola_naive_storage"].timeline.idle_excitations == 0
+    assert reports["pm_with_storage"].timeline.idle_excitations == 0
+    # The strawman's inter-zone shuttling costs more time than plain Enola.
+    assert (
+        reports["enola_naive_storage"].execution_time
+        > reports["enola"].execution_time
+    )
+    # PowerMove's integration dominates the strawman on both axes.
+    assert (
+        reports["pm_with_storage"].execution_time
+        < reports["enola_naive_storage"].execution_time
+    )
+    assert (
+        reports["pm_with_storage"].total
+        > reports["enola_naive_storage"].total
+    )
+
+    benchmark.extra_info.update(
+        {
+            scheme: {
+                "fidelity": report.total,
+                "texe_us": report.execution_time_us,
+                "excitations": report.timeline.idle_excitations,
+            }
+            for scheme, report in reports.items()
+        }
+    )

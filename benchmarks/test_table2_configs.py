@@ -1,0 +1,37 @@
+"""E0 -- Table 2: benchmark and zone configurations.
+
+Regenerates the floor-plan table and times suite construction (cheap; the
+point is the printed artefact, checked against the paper's values).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table2
+from repro.benchsuite import SUITE, table2_rows
+
+
+def test_table2_rows(benchmark):
+    rows = benchmark(table2_rows)
+    assert len(rows) == 23
+    by_key = {(r["name"], r["num_qubits"]): r for r in rows}
+    # Spot-check against the paper's printed values.
+    assert by_key[("QAOA-regular3", 30)]["compute_zone_um"] == "90 x 90"
+    assert by_key[("QAOA-regular3", 100)]["storage_zone_um"] == "150 x 300"
+    assert by_key[("BV", 14)]["inter_zone_um"] == "60 x 30"
+    benchmark.extra_info["rendered"] = render_table2()
+
+
+def test_suite_circuit_construction(benchmark):
+    def build_all_small():
+        return [
+            SUITE[key].build(seed=0)
+            for key in (
+                "QAOA-regular3-30",
+                "QFT-18",
+                "BV-14",
+                "QSIM-rand-0.3-10",
+            )
+        ]
+
+    circuits = benchmark(build_all_small)
+    assert all(c.num_two_qubit_gates > 0 for c in circuits)

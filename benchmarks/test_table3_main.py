@@ -1,0 +1,59 @@
+"""E1 -- Table 3: main results (fidelity, T_exe, T_comp, improvements).
+
+One benchmark per suite row (small paper sizes, all seven families): the
+timed body is the *full three-scenario experiment* -- Enola, PowerMove
+non-storage, PowerMove with-storage -- and the extra_info carries the
+Table 3 row metrics so the JSON export reproduces the table.
+
+The paper-shape assertions encode the qualitative claims: PowerMove's
+continuous router beats Enola on execution time, the storage zone
+eliminates excitation error, and with-storage fidelity beats Enola.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import run_benchmark
+from repro.analysis.tables import PAPER_TABLE3, Table3Row
+from repro.benchsuite import SUITE
+
+from conftest import BENCH_ENOLA, BENCH_KEYS
+
+
+@pytest.mark.parametrize("key", BENCH_KEYS)
+def test_table3_row(benchmark, key):
+    spec = SUITE[key]
+
+    def run():
+        return run_benchmark(
+            spec,
+            seed=0,
+            enola_config=BENCH_ENOLA,
+            validate=False,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    row = Table3Row.from_result(result)
+
+    # Paper-shape checks (Table 3 columns).
+    assert row.ns_texe_us < row.enola_texe_us, "continuous router speedup"
+    assert row.fidelity_improvement > 1.0, "with-storage fidelity wins"
+    ws = result["pm_with_storage"].fidelity
+    assert ws.timeline.idle_excitations == 0, "storage kills excitation"
+
+    benchmark.extra_info.update(
+        {
+            "benchmark": key,
+            "enola_fidelity": row.enola_fidelity,
+            "ns_fidelity": row.ns_fidelity,
+            "ws_fidelity": row.ws_fidelity,
+            "fidelity_improvement": row.fidelity_improvement,
+            "enola_texe_us": row.enola_texe_us,
+            "ns_texe_us": row.ns_texe_us,
+            "ws_texe_us": row.ws_texe_us,
+            "texe_improvement": row.texe_improvement,
+            "tcomp_improvement": row.tcomp_improvement,
+            "paper_row": PAPER_TABLE3.get(key),
+        }
+    )

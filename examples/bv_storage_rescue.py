@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The storage-zone rescue on Bernstein-Vazirani workloads.
+
+BV circuits decompose (after CX -> H.CZ.H) into many single-gate Rydberg
+stages, so without a storage zone nearly every qubit eats the 99.75%
+excitation hit at every stage -- the paper's Table 3 shows Enola at
+6.9e-4 fidelity on BV-70 while PowerMove-with-storage reaches 0.75.
+
+This example reproduces that cliff at several sizes and prints the
+per-component breakdown (the paper's Fig. 6(e) data).
+
+Run:  python examples/bv_storage_rescue.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_scenarios
+from repro.baselines import EnolaConfig
+from repro.circuits.generators import bernstein_vazirani
+from repro.fidelity import COMPONENT_NAMES
+
+
+def main() -> None:
+    print("Bernstein-Vazirani: fidelity vs size, three compilers\n")
+    header = (
+        f"{'n':>4} | {'Enola':>10} | {'PM non-storage':>14} | "
+        f"{'PM with-storage':>15} | {'improvement':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    enola_cfg = EnolaConfig(seed=0, mis_restarts=3, sa_iterations_per_qubit=40)
+    last = None
+    for n in (8, 14, 20, 26):
+        result = run_scenarios(
+            bernstein_vazirani(n, seed=0), seed=0, enola_config=enola_cfg
+        )
+        enola = result["enola"].fidelity.total
+        ns = result["pm_non_storage"].fidelity.total
+        ws = result["pm_with_storage"].fidelity.total
+        print(
+            f"{n:>4} | {enola:>10.4g} | {ns:>14.4g} | {ws:>15.4g} | "
+            f"{result.fidelity_improvement:>10.1f}x"
+        )
+        last = result
+
+    print("\nComponent breakdown at the largest size (Fig. 6(e) style):")
+    for scenario in ("enola", "pm_non_storage", "pm_with_storage"):
+        report = last[scenario].fidelity
+        parts = "  ".join(
+            f"{name}={report.component(name):.4g}"
+            for name in COMPONENT_NAMES
+        )
+        print(f"  {scenario:16s} {parts}")
+    print(
+        "\nNote how the excitation component collapses to 1.0 only in the "
+        "with-storage scenario:\nparking idle qubits in the storage zone "
+        "removes them from the Rydberg beam entirely."
+    )
+
+
+if __name__ == "__main__":
+    main()

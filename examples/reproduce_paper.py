@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation artefacts (Tables 2-3, Figs. 6-7).
+
+Modes:
+  --quick  (default) small-size subset of every family; finishes in a
+           couple of minutes and exercises every code path.
+  --full   all 23 Table 3 rows at paper sizes with the heavy Enola
+           configuration; expect a long run (Enola's annealing and MIS
+           restarts dominate, exactly as in the paper).
+
+Select artefacts with --table2 / --table3 / --fig6 / --fig7 (default: all
+selected artefacts of the chosen mode).  Output goes to stdout and,
+optionally, to --out FILE.
+
+Examples:
+  python examples/reproduce_paper.py --table3
+  python examples/reproduce_paper.py --full --out results_full.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis import (
+    FIGURE6_FAMILIES,
+    figure6_panel,
+    figure7_series,
+    render_table2,
+    reproduce_table3,
+)
+from repro.analysis.tables import PAPER_TABLE3
+from repro.baselines import EnolaConfig
+from repro.benchsuite import PAPER_ORDER
+
+QUICK_KEYS = (
+    "QAOA-regular3-30",
+    "QAOA-regular4-30",
+    "QAOA-random-20",
+    "QFT-18",
+    "BV-14",
+    "VQE-30",
+    "QSIM-rand-0.3-10",
+)
+
+QUICK_FIG6_SIZES = {
+    "QAOA-regular3": [30, 40],
+    "QSIM-rand-0.3": [10, 20],
+    "QFT": [18],
+    "VQE": [30],
+    "BV": [14],
+}
+
+QUICK_FIG7_KEYS = ("QAOA-regular3-30", "QSIM-rand-0.3-10", "BV-14")
+FULL_FIG7_KEYS = (
+    "QAOA-regular3-100",
+    "QSIM-rand-0.3-20",
+    "QFT-18",
+    "VQE-50",
+    "BV-70",
+)
+
+
+def paper_comparison_block(keys) -> str:
+    lines = [
+        "Paper Table 3 reference values (fidelity E/ns/ws, T_exe E/ns/ws "
+        "us, T_comp E/ours s):"
+    ]
+    for key in keys:
+        row = PAPER_TABLE3.get(key)
+        if row:
+            lines.append(f"  {key}: {row}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--table2", action="store_true")
+    parser.add_argument("--table3", action="store_true")
+    parser.add_argument("--fig6", action="store_true")
+    parser.add_argument("--fig7", action="store_true")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale run (slow)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=str, default=None)
+    args = parser.parse_args(argv)
+
+    wanted_all = not (args.table2 or args.table3 or args.fig6 or args.fig7)
+    parts: list[str] = []
+    start = time.perf_counter()
+
+    if args.full:
+        enola_cfg = EnolaConfig(
+            seed=args.seed, mis_restarts=5, sa_iterations_per_qubit=150
+        )
+        table3_keys = PAPER_ORDER
+        fig6_sizes: dict[str, list[int] | None] = {
+            family: None for family in FIGURE6_FAMILIES
+        }
+        fig7_keys = FULL_FIG7_KEYS
+    else:
+        enola_cfg = EnolaConfig(
+            seed=args.seed, mis_restarts=3, sa_iterations_per_qubit=40
+        )
+        table3_keys = QUICK_KEYS
+        fig6_sizes = dict(QUICK_FIG6_SIZES)
+        fig7_keys = QUICK_FIG7_KEYS
+
+    if args.table2 or wanted_all:
+        print("[reproduce] Table 2 ...", file=sys.stderr)
+        parts.append(render_table2())
+
+    if args.table3 or wanted_all:
+        print("[reproduce] Table 3 ...", file=sys.stderr)
+        table3 = reproduce_table3(
+            keys=tuple(table3_keys), seed=args.seed, enola_config=enola_cfg
+        )
+        parts.append(table3.render())
+        parts.append(paper_comparison_block(table3_keys))
+
+    if args.fig6 or wanted_all:
+        for family, sizes in fig6_sizes.items():
+            print(f"[reproduce] Figure 6 ({family}) ...", file=sys.stderr)
+            panel = figure6_panel(
+                family, seed=args.seed, enola_config=enola_cfg, sizes=sizes
+            )
+            parts.append(panel.render())
+
+    if args.fig7 or wanted_all:
+        print("[reproduce] Figure 7 ...", file=sys.stderr)
+        series = figure7_series(keys=tuple(fig7_keys), seed=args.seed)
+        parts.append(series.render())
+
+    elapsed = time.perf_counter() - start
+    parts.append(f"(regenerated in {elapsed:.1f} s, seed={args.seed}, "
+                 f"mode={'full' if args.full else 'quick'})")
+    text = "\n\n\n".join(parts)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"[reproduce] wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

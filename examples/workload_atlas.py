@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Workload atlas: structural characterisation of the whole suite.
+
+Profiles every Table 2 benchmark before compilation -- blocks, stages,
+stage utilisation, idle exposure -- and classifies each into the
+excitation-dominated / decoherence-dominated regimes the paper's
+Sec. 7.3 uses to explain its results.  Then spot-checks the prediction:
+excitation-dominated workloads should gain the most from the storage
+zone.
+
+Run:  python examples/workload_atlas.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_scenarios
+from repro.analysis.workloads import profile_circuit, render_profiles
+from repro.baselines import EnolaConfig
+from repro.benchsuite import SUITE
+
+ATLAS_KEYS = (
+    "QAOA-regular3-30",
+    "QAOA-regular4-30",
+    "QAOA-random-20",
+    "QFT-18",
+    "BV-14",
+    "BV-50",
+    "VQE-30",
+    "QSIM-rand-0.3-10",
+    "QSIM-rand-0.3-20",
+)
+
+
+def main() -> None:
+    profiles = [
+        profile_circuit(SUITE[key].build(seed=0)) for key in ATLAS_KEYS
+    ]
+    print(render_profiles(profiles))
+
+    print("\nPrediction check: storage-zone gain by regime")
+    enola_cfg = EnolaConfig(
+        seed=0, mis_restarts=3, sa_iterations_per_qubit=40
+    )
+    print(f"{'workload':20s} {'regime':24s} {'ws/ns fidelity gain':>20s}")
+    for key in ("BV-50", "QSIM-rand-0.3-20", "QAOA-regular3-30", "VQE-30"):
+        profile = profile_circuit(SUITE[key].build(seed=0))
+        result = run_scenarios(
+            SUITE[key].build(seed=0), enola_config=enola_cfg
+        )
+        gain = (
+            result["pm_with_storage"].fidelity.total
+            / result["pm_non_storage"].fidelity.total
+        )
+        print(f"{key:20s} {profile.regime:24s} {gain:>19.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Shim for legacy editable installs in offline environments.
+
+``pip install -e . --no-build-isolation`` needs the ``wheel`` package for
+PEP 517 editable builds; environments without it can fall back to
+``pip install -e . --no-use-pep517`` through this file.  All metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

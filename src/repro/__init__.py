@@ -1,0 +1,93 @@
+"""PowerMove reproduction: compilation for zoned neutral-atom machines.
+
+Full from-scratch reproduction of *PowerMove: Optimizing Compilation for
+Neutral Atom Quantum Computers with Zoned Architecture* (ASPLOS 2025),
+including the Enola baseline, the hardware/fidelity model, the benchmark
+suite and the evaluation harness.
+
+Quickstart:
+    >>> import repro
+    >>> circuit = repro.generators.qaoa_regular(12, seed=1)
+    >>> result = repro.compile_circuit(circuit, use_storage=True)
+    >>> report = repro.evaluate_program(result.program)
+    >>> 0.0 < report.total <= 1.0
+    True
+"""
+
+from . import (
+    analysis,
+    baselines,
+    benchsuite,
+    circuits,
+    core,
+    fidelity,
+    hardware,
+    schedule,
+    verify,
+)
+from .baselines import EnolaCompiler, EnolaConfig
+from .circuits import (
+    Circuit,
+    Gate,
+    load_qasm,
+    parse_qasm,
+    partition_into_blocks,
+    to_qasm,
+    transpile_to_native,
+)
+from .circuits import generators
+from .core import (
+    CompilationResult,
+    PowerMoveCompiler,
+    PowerMoveConfig,
+    compile_circuit,
+)
+from .fidelity import FidelityModel, FidelityReport, evaluate_program
+from .hardware import (
+    DEFAULT_PARAMS,
+    HardwareParams,
+    Layout,
+    Site,
+    Zone,
+    ZonedArchitecture,
+)
+from .schedule import NAProgram, validate_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "CompilationResult",
+    "DEFAULT_PARAMS",
+    "EnolaCompiler",
+    "EnolaConfig",
+    "FidelityModel",
+    "FidelityReport",
+    "Gate",
+    "HardwareParams",
+    "Layout",
+    "NAProgram",
+    "PowerMoveCompiler",
+    "PowerMoveConfig",
+    "Site",
+    "Zone",
+    "ZonedArchitecture",
+    "analysis",
+    "baselines",
+    "benchsuite",
+    "circuits",
+    "compile_circuit",
+    "core",
+    "evaluate_program",
+    "fidelity",
+    "generators",
+    "hardware",
+    "load_qasm",
+    "parse_qasm",
+    "partition_into_blocks",
+    "schedule",
+    "to_qasm",
+    "transpile_to_native",
+    "validate_program",
+    "verify",
+]

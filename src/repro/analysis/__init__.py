@@ -1,0 +1,87 @@
+"""Experiment harness: Table 3, Fig. 6 and Fig. 7 reproduction."""
+
+from .experiments import (
+    SCENARIOS,
+    BenchmarkResult,
+    ScenarioResult,
+    run_benchmark,
+    run_scenarios,
+)
+from .figures import (
+    FIGURE6_FAMILIES,
+    FIGURE7_KEYS,
+    Figure6Panel,
+    Figure7Series,
+    figure6_panel,
+    figure7_series,
+)
+from .report import full_report
+from .scorecard import (
+    CHECK_NAMES,
+    RowScore,
+    Scorecard,
+    run_scorecard,
+    score_row,
+)
+from .sweeps import (
+    KnobSweepPoint,
+    SeedSweepResult,
+    Statistic,
+    best_point,
+    knob_sweep,
+    seed_sweep,
+)
+from .tables import (
+    PAPER_TABLE3,
+    Table3,
+    Table3Row,
+    render_table2,
+    reproduce_table3,
+)
+from .visualize import (
+    describe_instruction,
+    program_trace,
+    render_layout,
+    render_moves,
+    render_occupancy,
+)
+from .workloads import WorkloadProfile, profile_circuit, render_profiles
+
+__all__ = [
+    "BenchmarkResult",
+    "FIGURE6_FAMILIES",
+    "FIGURE7_KEYS",
+    "Figure6Panel",
+    "Figure7Series",
+    "CHECK_NAMES",
+    "KnobSweepPoint",
+    "PAPER_TABLE3",
+    "RowScore",
+    "SCENARIOS",
+    "ScenarioResult",
+    "Scorecard",
+    "SeedSweepResult",
+    "Statistic",
+    "Table3",
+    "Table3Row",
+    "WorkloadProfile",
+    "best_point",
+    "describe_instruction",
+    "figure6_panel",
+    "figure7_series",
+    "full_report",
+    "knob_sweep",
+    "profile_circuit",
+    "program_trace",
+    "render_profiles",
+    "run_scorecard",
+    "score_row",
+    "seed_sweep",
+    "render_layout",
+    "render_moves",
+    "render_occupancy",
+    "render_table2",
+    "reproduce_table3",
+    "run_benchmark",
+    "run_scenarios",
+]

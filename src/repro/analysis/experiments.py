@@ -1,0 +1,191 @@
+"""Experiment runner: one benchmark through all three scenarios.
+
+The paper's evaluation compares three compilations of every benchmark:
+
+* **Enola** -- the baseline, no storage zone;
+* **PowerMove non-storage** -- continuous router only, no storage zone;
+* **PowerMove with-storage** -- all three components on the zoned machine.
+
+:func:`run_scenarios` produces all three programs, validates them, and
+evaluates the Eq. (1) fidelity model, yielding one :class:`BenchmarkResult`
+-- the unit from which Table 3, Fig. 6 and Fig. 7 are assembled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines.enola import EnolaCompiler, EnolaConfig
+from ..benchsuite.suite import BenchmarkSpec
+from ..circuits.circuit import Circuit
+from ..core.compiler import PowerMoveCompiler
+from ..core.config import PowerMoveConfig
+from ..fidelity.model import FidelityModel, FidelityReport
+from ..hardware.params import DEFAULT_PARAMS, HardwareParams
+from ..schedule.program import NAProgram
+from ..schedule.validator import validate_program
+
+#: Canonical scenario keys, in report order.
+SCENARIOS = ("enola", "pm_non_storage", "pm_with_storage")
+
+
+@dataclass
+class ScenarioResult:
+    """One compiler's outcome on one benchmark.
+
+    Attributes:
+        scenario: Scenario key (see :data:`SCENARIOS`).
+        compiler_name: Human-readable compiler label.
+        fidelity: Eq. (1) evaluation of the compiled program.
+        compile_time: Wall-clock compilation seconds (``T_comp``).
+        program: The compiled program itself.
+    """
+
+    scenario: str
+    compiler_name: str
+    fidelity: FidelityReport
+    compile_time: float
+    program: NAProgram
+
+    @property
+    def execution_time_us(self) -> float:
+        """``T_exe`` in microseconds."""
+        return self.fidelity.execution_time_us
+
+
+@dataclass
+class BenchmarkResult:
+    """All scenarios of one benchmark, plus the paper's derived ratios.
+
+    Attributes:
+        key: Benchmark row name.
+        num_qubits: Circuit width.
+        scenarios: Scenario key -> :class:`ScenarioResult`.
+    """
+
+    key: str
+    num_qubits: int
+    scenarios: dict[str, ScenarioResult] = field(default_factory=dict)
+
+    def __getitem__(self, scenario: str) -> ScenarioResult:
+        return self.scenarios[scenario]
+
+    @property
+    def fidelity_improvement(self) -> float:
+        """With-storage fidelity over Enola's (Table 3 "Fidelity Improv.")."""
+        base = self["enola"].fidelity.total
+        ours = self["pm_with_storage"].fidelity.total
+        return float("inf") if base == 0.0 else ours / base
+
+    @property
+    def texe_improvement(self) -> float:
+        """Enola T_exe over non-storage T_exe (Table 3 "T_exe Improv.")."""
+        ours = self["pm_non_storage"].fidelity.execution_time
+        base = self["enola"].fidelity.execution_time
+        return float("inf") if ours == 0.0 else base / ours
+
+    @property
+    def tcomp_improvement(self) -> float:
+        """Enola T_comp over the mean PowerMove T_comp (Table 3 column).
+
+        The paper reports "the average" of the two PowerMove scenarios'
+        compilation times.
+        """
+        ours = (
+            self["pm_non_storage"].compile_time
+            + self["pm_with_storage"].compile_time
+        ) / 2.0
+        base = self["enola"].compile_time
+        return float("inf") if ours == 0.0 else base / ours
+
+
+def run_scenarios(
+    circuit: Circuit,
+    num_aods: int = 1,
+    seed: int = 0,
+    enola_config: EnolaConfig | None = None,
+    powermove_config: PowerMoveConfig | None = None,
+    params: HardwareParams = DEFAULT_PARAMS,
+    validate: bool = True,
+    scenarios: tuple[str, ...] = SCENARIOS,
+) -> BenchmarkResult:
+    """Compile ``circuit`` under every requested scenario and analyse it.
+
+    Args:
+        circuit: The benchmark circuit.
+        num_aods: AOD arrays for all scenarios.
+        seed: Seed shared by all compilers.
+        enola_config: Override the Enola baseline's knobs.
+        powermove_config: Override PowerMove's knobs (``use_storage`` and
+            ``num_aods`` are still forced per scenario).
+        params: Hardware constants.
+        validate: Run the structural validator on every program (on by
+            default; switch off only in timing-sensitive loops).
+        scenarios: Subset of :data:`SCENARIOS` to run.
+
+    Returns:
+        The populated :class:`BenchmarkResult`.
+    """
+    result = BenchmarkResult(key=circuit.name, num_qubits=circuit.num_qubits)
+    model = FidelityModel(params)
+
+    for scenario in scenarios:
+        if scenario not in SCENARIOS:
+            raise ValueError(f"unknown scenario {scenario!r}")
+        if scenario == "enola":
+            e_cfg = enola_config or EnolaConfig(seed=seed, num_aods=num_aods)
+            compiler = EnolaCompiler(e_cfg, params)
+            compilation = compiler.compile(circuit)
+        else:
+            use_storage = scenario == "pm_with_storage"
+            if powermove_config is not None:
+                base = powermove_config
+                pm_cfg = PowerMoveConfig(
+                    use_storage=use_storage,
+                    alpha=base.alpha,
+                    num_aods=num_aods,
+                    seed=seed,
+                    reorder_stages=base.reorder_stages,
+                    distance_aware_grouping=base.distance_aware_grouping,
+                    intra_stage_ordering=base.intra_stage_ordering,
+                    annealed_placement=base.annealed_placement,
+                    stage_ordering=base.stage_ordering,
+                )
+            else:
+                pm_cfg = PowerMoveConfig(
+                    use_storage=use_storage, num_aods=num_aods, seed=seed
+                )
+            compiler = PowerMoveCompiler(pm_cfg, params)
+            compilation = compiler.compile(circuit)
+        if validate:
+            validate_program(
+                compilation.program, source_circuit=compilation.native_circuit
+            )
+        result.scenarios[scenario] = ScenarioResult(
+            scenario=scenario,
+            compiler_name=compilation.program.compiler_name,
+            fidelity=model.evaluate(compilation.program),
+            compile_time=compilation.compile_time,
+            program=compilation.program,
+        )
+    return result
+
+
+def run_benchmark(
+    spec: BenchmarkSpec,
+    num_aods: int = 1,
+    seed: int = 0,
+    **kwargs,
+) -> BenchmarkResult:
+    """Build a suite benchmark and run all scenarios on it."""
+    circuit = spec.build(seed)
+    return run_scenarios(circuit, num_aods=num_aods, seed=seed, **kwargs)
+
+
+__all__ = [
+    "BenchmarkResult",
+    "SCENARIOS",
+    "ScenarioResult",
+    "run_benchmark",
+    "run_scenarios",
+]

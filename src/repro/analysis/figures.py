@@ -1,0 +1,186 @@
+"""Figure reproductions (Fig. 6 ablation and Fig. 7 multi-AOD study).
+
+Figures are produced as *data series* (dicts of lists) plus plain-text
+renderings, so they regenerate without a plotting stack; the series are
+exactly what the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines.enola import EnolaConfig
+from ..benchsuite.suite import SUITE, benchmarks_in_family
+from ..core.config import PowerMoveConfig
+from ..fidelity.model import COMPONENT_NAMES
+from ..hardware.params import DEFAULT_PARAMS, HardwareParams
+from ..utils.text import format_table
+from .experiments import SCENARIOS, run_benchmark
+
+#: Fig. 6 panels: family -> suite sizes plotted (paper x-axes).
+FIGURE6_FAMILIES: dict[str, str] = {
+    "QAOA-regular3": "a",
+    "QSIM-rand-0.3": "b",
+    "QFT": "c",
+    "VQE": "d",
+    "BV": "e",
+}
+
+#: Fig. 7 benchmarks (the paper's five representatives).
+FIGURE7_KEYS: tuple[str, ...] = (
+    "QAOA-regular3-100",
+    "QSIM-rand-0.3-20",
+    "QFT-18",
+    "VQE-50",
+    "BV-70",
+)
+
+
+@dataclass
+class Figure6Panel:
+    """One Fig. 6 panel: fidelity components vs qubit count.
+
+    Attributes:
+        family: Circuit family plotted.
+        sizes: Qubit counts (x-axis).
+        series: scenario -> component -> list of fidelity values aligned
+            with ``sizes``; the special component ``total`` carries the
+            overall Eq. (1) fidelity.
+    """
+
+    family: str
+    sizes: list[int] = field(default_factory=list)
+    series: dict[str, dict[str, list[float]]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Plain-text rendering, one sub-table per scenario."""
+        parts = [f"Figure 6 ({self.family}): fidelity components vs #qubits"]
+        headers = ["#qubits", *COMPONENT_NAMES, "total"]
+        for scenario in self.series:
+            rows = []
+            for idx, n in enumerate(self.sizes):
+                row = [n]
+                for name in (*COMPONENT_NAMES, "total"):
+                    row.append(self.series[scenario][name][idx])
+                rows.append(row)
+            parts.append(format_table(headers, rows, title=f"[{scenario}]"))
+        return "\n\n".join(parts)
+
+
+def figure6_panel(
+    family: str,
+    seed: int = 0,
+    enola_config: EnolaConfig | None = None,
+    params: HardwareParams = DEFAULT_PARAMS,
+    sizes: list[int] | None = None,
+    validate: bool = True,
+) -> Figure6Panel:
+    """Reproduce one Fig. 6 panel for ``family``.
+
+    Args:
+        family: One of :data:`FIGURE6_FAMILIES` (or any suite family).
+        seed: Benchmark and compiler seed.
+        enola_config: Lighter Enola knobs for quick runs.
+        params: Hardware constants.
+        sizes: Restrict to these qubit counts (default: all suite sizes).
+        validate: Validate every compiled program.
+    """
+    specs = benchmarks_in_family(family)
+    if sizes is not None:
+        specs = [s for s in specs if s.num_qubits in set(sizes)]
+        if not specs:
+            raise ValueError(f"no {family} benchmarks with sizes {sizes}")
+    panel = Figure6Panel(family=family)
+    panel.series = {
+        scenario: {name: [] for name in (*COMPONENT_NAMES, "total")}
+        for scenario in SCENARIOS
+    }
+    for spec in specs:
+        result = run_benchmark(
+            spec,
+            seed=seed,
+            enola_config=enola_config,
+            params=params,
+            validate=validate,
+        )
+        panel.sizes.append(spec.num_qubits)
+        for scenario in SCENARIOS:
+            report = result[scenario].fidelity
+            for name in COMPONENT_NAMES:
+                panel.series[scenario][name].append(report.component(name))
+            panel.series[scenario]["total"].append(report.total)
+    return panel
+
+
+@dataclass
+class Figure7Series:
+    """Fig. 7: execution time and fidelity vs AOD count.
+
+    Attributes:
+        aod_counts: x-axis (1..4 in the paper).
+        texe_us: benchmark key -> T_exe (us) per AOD count.
+        fidelity: benchmark key -> total fidelity per AOD count.
+    """
+
+    aod_counts: list[int] = field(default_factory=list)
+    texe_us: dict[str, list[float]] = field(default_factory=dict)
+    fidelity: dict[str, list[float]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Plain-text rendering of both sub-plots."""
+        headers = ["benchmark", *[f"{k} AOD" for k in self.aod_counts]]
+        texe_rows = [
+            [key, *values] for key, values in self.texe_us.items()
+        ]
+        fid_rows = [
+            [key, *values] for key, values in self.fidelity.items()
+        ]
+        return "\n\n".join(
+            [
+                format_table(
+                    headers, texe_rows, title="Figure 7: T_exe (us) vs #AOD"
+                ),
+                format_table(
+                    headers, fid_rows, title="Figure 7: fidelity vs #AOD"
+                ),
+            ]
+        )
+
+
+def figure7_series(
+    keys: tuple[str, ...] = FIGURE7_KEYS,
+    aod_counts: tuple[int, ...] = (1, 2, 3, 4),
+    seed: int = 0,
+    params: HardwareParams = DEFAULT_PARAMS,
+    validate: bool = True,
+) -> Figure7Series:
+    """Reproduce Fig. 7: PowerMove with-storage under 1..4 AOD arrays."""
+    series = Figure7Series(aod_counts=list(aod_counts))
+    for key in keys:
+        spec = SUITE[key]
+        series.texe_us[key] = []
+        series.fidelity[key] = []
+        for num_aods in aod_counts:
+            result = run_benchmark(
+                spec,
+                num_aods=num_aods,
+                seed=seed,
+                params=params,
+                validate=validate,
+                powermove_config=PowerMoveConfig(num_aods=num_aods),
+                scenarios=("pm_with_storage",),
+            )
+            report = result["pm_with_storage"].fidelity
+            series.texe_us[key].append(report.execution_time_us)
+            series.fidelity[key].append(report.total)
+    return series
+
+
+__all__ = [
+    "FIGURE6_FAMILIES",
+    "FIGURE7_KEYS",
+    "Figure6Panel",
+    "Figure7Series",
+    "figure6_panel",
+    "figure7_series",
+]

@@ -1,0 +1,48 @@
+"""High-level textual reports combining tables and figures."""
+
+from __future__ import annotations
+
+from ..baselines.enola import EnolaConfig
+from ..hardware.params import DEFAULT_PARAMS, HardwareParams
+from .figures import FIGURE6_FAMILIES, figure6_panel, figure7_series
+from .tables import render_table2, reproduce_table3
+
+
+def full_report(
+    keys: tuple[str, ...] | None = None,
+    seed: int = 0,
+    enola_config: EnolaConfig | None = None,
+    params: HardwareParams = DEFAULT_PARAMS,
+    include_figures: bool = True,
+    figure6_families: tuple[str, ...] | None = None,
+) -> str:
+    """Regenerate every evaluation artefact as one text report.
+
+    Args:
+        keys: Table 3 benchmark subset (all 23 rows by default).
+        seed: Global experiment seed.
+        enola_config: Lighter Enola knobs for quick runs.
+        params: Hardware constants.
+        include_figures: Also regenerate Fig. 6 and Fig. 7 series.
+        figure6_families: Subset of Fig. 6 panels (all five by default).
+
+    Returns:
+        The concatenated plain-text report.
+    """
+    parts = [render_table2()]
+    table3 = reproduce_table3(
+        keys=keys, seed=seed, enola_config=enola_config, params=params
+    )
+    parts.append(table3.render())
+    if include_figures:
+        families = figure6_families or tuple(FIGURE6_FAMILIES)
+        for family in families:
+            panel = figure6_panel(
+                family, seed=seed, enola_config=enola_config, params=params
+            )
+            parts.append(panel.render())
+        parts.append(figure7_series(seed=seed, params=params).render())
+    return "\n\n\n".join(parts)
+
+
+__all__ = ["full_report"]

@@ -1,0 +1,194 @@
+"""Reproduction scorecard: programmatic paper-vs-measured shape checks.
+
+EXPERIMENTS.md records the comparison narratively; this module makes it
+executable.  For each Table 3 row it evaluates the *shape predicates*
+that define a successful reproduction (per DESIGN.md):
+
+* ``ordering``          -- Enola <= non-storage on fidelity, and
+                           with-storage strictly beats Enola;
+* ``storage_rescue``    -- with-storage excitation component is exactly 1;
+* ``texe_direction``    -- non-storage executes faster than Enola;
+* ``tcomp_direction``   -- PowerMove compiles faster than Enola;
+* ``fidelity_magnitude``-- measured with-storage fidelity within a
+                           configurable factor of the paper's value
+                           (on a log scale, so 0-fidelity floors behave).
+
+The scorecard renders as a pass/fail matrix and aggregates a score,
+useful both in CI and as the quantitative companion to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..baselines.enola import EnolaConfig
+from ..benchsuite.suite import SUITE
+from ..hardware.params import DEFAULT_PARAMS, HardwareParams
+from ..utils.text import format_table
+from .experiments import BenchmarkResult, run_benchmark
+from .tables import PAPER_TABLE3
+
+#: Shape predicates evaluated per row, in render order.
+CHECK_NAMES = (
+    "ordering",
+    "storage_rescue",
+    "texe_direction",
+    "tcomp_direction",
+    "fidelity_magnitude",
+)
+
+
+@dataclass
+class RowScore:
+    """Shape-check outcomes of one benchmark row.
+
+    Attributes:
+        key: Benchmark row name.
+        checks: check name -> pass/fail.
+        measured_ws_fidelity: Our with-storage fidelity.
+        paper_ws_fidelity: The paper's with-storage fidelity.
+    """
+
+    key: str
+    checks: dict[str, bool] = field(default_factory=dict)
+    measured_ws_fidelity: float = 0.0
+    paper_ws_fidelity: float = 0.0
+
+    @property
+    def passed(self) -> int:
+        """Number of passing checks."""
+        return sum(self.checks.values())
+
+    @property
+    def total(self) -> int:
+        """Number of checks evaluated."""
+        return len(self.checks)
+
+
+@dataclass
+class Scorecard:
+    """Aggregated reproduction scorecard.
+
+    Attributes:
+        rows: Per-benchmark scores, in run order.
+    """
+
+    rows: list[RowScore] = field(default_factory=list)
+
+    @property
+    def score(self) -> float:
+        """Fraction of passing checks across all rows (0..1)."""
+        total = sum(r.total for r in self.rows)
+        return sum(r.passed for r in self.rows) / total if total else 0.0
+
+    def failing(self) -> list[tuple[str, str]]:
+        """(row, check) pairs that failed."""
+        return [
+            (row.key, name)
+            for row in self.rows
+            for name, ok in row.checks.items()
+            if not ok
+        ]
+
+    def render(self) -> str:
+        """Pass/fail matrix as a text table."""
+        headers = ["Benchmark", *CHECK_NAMES, "ws fid (ours/paper)"]
+        body = []
+        for row in self.rows:
+            cells = [row.key]
+            cells.extend(
+                "pass" if row.checks.get(name) else "FAIL"
+                for name in CHECK_NAMES
+            )
+            cells.append(
+                f"{row.measured_ws_fidelity:.3g} / "
+                f"{row.paper_ws_fidelity:.3g}"
+            )
+            body.append(cells)
+        table = format_table(
+            headers, body, title="Reproduction scorecard"
+        )
+        return f"{table}\nscore: {self.score:.1%}"
+
+
+def score_row(
+    result: BenchmarkResult,
+    magnitude_tolerance_decades: float = 1.0,
+) -> RowScore:
+    """Evaluate the shape predicates on one benchmark result.
+
+    Args:
+        result: The three-scenario run of one Table 3 benchmark.
+        magnitude_tolerance_decades: Allowed |log10(ours/paper)| on the
+            with-storage fidelity before ``fidelity_magnitude`` fails.
+    """
+    paper = PAPER_TABLE3.get(result.key)
+    if paper is None:
+        raise KeyError(f"no paper reference for {result.key!r}")
+    enola = result["enola"]
+    ns = result["pm_non_storage"]
+    ws = result["pm_with_storage"]
+
+    score = RowScore(
+        key=result.key,
+        measured_ws_fidelity=ws.fidelity.total,
+        paper_ws_fidelity=paper[2],
+    )
+    score.checks["ordering"] = (
+        enola.fidelity.total <= ns.fidelity.total
+        and ws.fidelity.total > enola.fidelity.total
+    )
+    score.checks["storage_rescue"] = ws.fidelity.excitation == 1.0
+    score.checks["texe_direction"] = (
+        ns.fidelity.execution_time < enola.fidelity.execution_time
+    )
+    score.checks["tcomp_direction"] = result.tcomp_improvement > 1.0
+    ours = max(ws.fidelity.total, 1e-300)
+    theirs = max(paper[2], 1e-300)
+    score.checks["fidelity_magnitude"] = (
+        abs(math.log10(ours / theirs)) <= magnitude_tolerance_decades
+    )
+    return score
+
+
+def run_scorecard(
+    keys: tuple[str, ...] | None = None,
+    seed: int = 0,
+    enola_config: EnolaConfig | None = None,
+    params: HardwareParams = DEFAULT_PARAMS,
+    magnitude_tolerance_decades: float = 1.0,
+    validate: bool = False,
+) -> Scorecard:
+    """Run benchmarks and score every shape predicate.
+
+    Args:
+        keys: Table 3 rows to score (all 23 by default).
+        seed: Experiment seed.
+        enola_config: Lighter Enola knobs for quick runs.
+        params: Hardware constants.
+        magnitude_tolerance_decades: See :func:`score_row`.
+        validate: Structurally validate every compiled program.
+    """
+    card = Scorecard()
+    for key in keys or tuple(PAPER_TABLE3):
+        result = run_benchmark(
+            SUITE[key],
+            seed=seed,
+            enola_config=enola_config,
+            params=params,
+            validate=validate,
+        )
+        card.rows.append(
+            score_row(result, magnitude_tolerance_decades)
+        )
+    return card
+
+
+__all__ = [
+    "CHECK_NAMES",
+    "RowScore",
+    "Scorecard",
+    "run_scorecard",
+    "score_row",
+]

@@ -1,0 +1,210 @@
+"""Parameter-sweep utilities: seed averaging and knob studies.
+
+The paper reports single-seed numbers; production practice averages over
+instances.  This module runs a benchmark over several seeds, aggregates
+mean/std of every headline metric, and provides the generic knob-sweep
+machinery used by the ablation benchmarks (alpha, grouping strategy,
+intra-stage ordering, AOD count).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..baselines.enola import EnolaConfig
+from ..benchsuite.suite import BenchmarkSpec
+from ..circuits.circuit import Circuit
+from ..core.compiler import PowerMoveCompiler
+from ..core.config import PowerMoveConfig
+from ..fidelity.model import evaluate_program
+from .experiments import SCENARIOS, run_scenarios
+
+
+@dataclass(frozen=True)
+class Statistic:
+    """Mean/std/extremes of one metric over a sweep.
+
+    Attributes:
+        mean: Arithmetic mean.
+        std: Population standard deviation.
+        minimum: Smallest observed value.
+        maximum: Largest observed value.
+        count: Number of observations.
+    """
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Statistic":
+        """Aggregate a non-empty sequence of observations."""
+        if not values:
+            raise ValueError("cannot aggregate zero observations")
+        n = len(values)
+        mean = sum(values) / n
+        variance = sum((v - mean) ** 2 for v in values) / n
+        return cls(
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=min(values),
+            maximum=max(values),
+            count=n,
+        )
+
+
+@dataclass
+class SeedSweepResult:
+    """Seed-averaged scenario metrics of one benchmark.
+
+    Attributes:
+        key: Benchmark name.
+        seeds: The seeds run.
+        fidelity: scenario -> :class:`Statistic` of total fidelity.
+        execution_time_us: scenario -> :class:`Statistic` of T_exe (us).
+        fidelity_improvement: Statistic of the Table 3 improvement ratio.
+        texe_improvement: Statistic of the T_exe improvement ratio.
+    """
+
+    key: str
+    seeds: list[int] = field(default_factory=list)
+    fidelity: dict[str, Statistic] = field(default_factory=dict)
+    execution_time_us: dict[str, Statistic] = field(default_factory=dict)
+    fidelity_improvement: Statistic | None = None
+    texe_improvement: Statistic | None = None
+
+
+def seed_sweep(
+    spec: BenchmarkSpec,
+    seeds: Sequence[int] = (0, 1, 2),
+    enola_config: EnolaConfig | None = None,
+    num_aods: int = 1,
+    validate: bool = False,
+) -> SeedSweepResult:
+    """Run a benchmark over several seeds and aggregate every metric.
+
+    Both the circuit instance (where the family is random) and the
+    compiler RNGs take the sweep seed, so the spread covers instance and
+    compiler randomness together.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    per_scenario_fid: dict[str, list[float]] = {s: [] for s in SCENARIOS}
+    per_scenario_texe: dict[str, list[float]] = {s: [] for s in SCENARIOS}
+    fid_improvements: list[float] = []
+    texe_improvements: list[float] = []
+
+    for seed in seeds:
+        circuit = spec.build(seed)
+        e_cfg = enola_config or EnolaConfig(seed=seed, num_aods=num_aods)
+        result = run_scenarios(
+            circuit,
+            num_aods=num_aods,
+            seed=seed,
+            enola_config=e_cfg,
+            validate=validate,
+        )
+        for scenario in SCENARIOS:
+            report = result[scenario].fidelity
+            per_scenario_fid[scenario].append(report.total)
+            per_scenario_texe[scenario].append(report.execution_time_us)
+        fid_improvements.append(result.fidelity_improvement)
+        texe_improvements.append(result.texe_improvement)
+
+    return SeedSweepResult(
+        key=spec.key,
+        seeds=list(seeds),
+        fidelity={
+            s: Statistic.of(v) for s, v in per_scenario_fid.items()
+        },
+        execution_time_us={
+            s: Statistic.of(v) for s, v in per_scenario_texe.items()
+        },
+        fidelity_improvement=Statistic.of(fid_improvements),
+        texe_improvement=Statistic.of(texe_improvements),
+    )
+
+
+@dataclass
+class KnobSweepPoint:
+    """One setting of a swept compiler knob.
+
+    Attributes:
+        value: The knob value.
+        fidelity: Eq. (1) total fidelity.
+        execution_time_us: T_exe (us).
+        num_coll_moves: CollMove count of the schedule.
+        num_transfers: Transfer count of the schedule.
+    """
+
+    value: object
+    fidelity: float
+    execution_time_us: float
+    num_coll_moves: int
+    num_transfers: int
+
+
+def knob_sweep(
+    circuit: Circuit,
+    knob: str,
+    values: Sequence[object],
+    base_config: PowerMoveConfig | None = None,
+) -> list[KnobSweepPoint]:
+    """Compile ``circuit`` once per knob value and measure the outcome.
+
+    Args:
+        circuit: The workload.
+        knob: A :class:`~repro.core.config.PowerMoveConfig` field name
+            (e.g. ``"alpha"``, ``"num_aods"``, ``"intra_stage_ordering"``).
+        values: Settings to sweep.
+        base_config: Starting configuration for the untouched fields.
+
+    Returns:
+        One :class:`KnobSweepPoint` per value, in input order.
+    """
+    base = base_config or PowerMoveConfig()
+    if not hasattr(base, knob):
+        raise ValueError(f"unknown PowerMoveConfig field {knob!r}")
+    points: list[KnobSweepPoint] = []
+    for value in values:
+        fields = {
+            name: getattr(base, name)
+            for name in base.__dataclass_fields__
+        }
+        fields[knob] = value
+        config = PowerMoveConfig(**fields)
+        result = PowerMoveCompiler(config).compile(circuit)
+        report = evaluate_program(result.program)
+        points.append(
+            KnobSweepPoint(
+                value=value,
+                fidelity=report.total,
+                execution_time_us=report.execution_time_us,
+                num_coll_moves=result.program.num_coll_moves,
+                num_transfers=result.program.num_transfers,
+            )
+        )
+    return points
+
+
+def best_point(points: Sequence[KnobSweepPoint]) -> KnobSweepPoint:
+    """The sweep point with the highest fidelity (ties: faster wins)."""
+    if not points:
+        raise ValueError("empty sweep")
+    return max(
+        points, key=lambda p: (p.fidelity, -p.execution_time_us)
+    )
+
+
+__all__ = [
+    "KnobSweepPoint",
+    "SeedSweepResult",
+    "Statistic",
+    "best_point",
+    "knob_sweep",
+    "seed_sweep",
+]

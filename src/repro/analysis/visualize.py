@@ -1,0 +1,161 @@
+"""ASCII visualisation of layouts and compiled programs.
+
+Renders the zoned floor plan as character art -- computation zone on top,
+inter-zone gap, storage zone below, matching the paper's figures -- and
+steps a compiled program instruction by instruction.  Useful for
+debugging routed stages and for documentation.
+
+Legend:
+    ``.``    empty site
+    ``a``..  single qubit (letters a-z then A-Z wrap by qubit id mod 52)
+    ``#``    interacting pair (two qubits co-located)
+    ``!``    over-occupied site (should never appear in valid programs)
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Iterable
+
+from ..hardware.geometry import Site, Zone, ZonedArchitecture
+from ..hardware.layout import Layout
+from ..schedule.instructions import MoveBatch, OneQubitLayer, RydbergStage
+from ..schedule.program import NAProgram
+from ..schedule.tracker import PositionTracker
+
+_LETTERS = string.ascii_lowercase + string.ascii_uppercase
+
+
+def _qubit_char(qubit: int) -> str:
+    return _LETTERS[qubit % len(_LETTERS)]
+
+
+def _render_zone(
+    arch: ZonedArchitecture,
+    zone: Zone,
+    occupancy: dict[Site, set[int]],
+) -> list[str]:
+    cols, rows = (
+        arch.compute_shape if zone is Zone.COMPUTE else arch.storage_shape
+    )
+    lines: list[str] = []
+    row_range = (
+        range(rows - 1, -1, -1) if zone is Zone.COMPUTE else range(rows)
+    )
+    for row in row_range:
+        cells: list[str] = []
+        for col in range(cols):
+            site = arch.site(zone, col, row)
+            tenants = occupancy.get(site, set())
+            if not tenants:
+                cells.append(".")
+            elif len(tenants) == 1:
+                cells.append(_qubit_char(next(iter(tenants))))
+            elif len(tenants) == 2:
+                cells.append("#")
+            else:
+                cells.append("!")
+        lines.append(" ".join(cells))
+    return lines
+
+
+def render_occupancy(
+    arch: ZonedArchitecture, occupancy: dict[Site, set[int]]
+) -> str:
+    """Render a site->tenants map as the two-zone floor plan."""
+    parts = ["[compute]"]
+    parts.extend(_render_zone(arch, Zone.COMPUTE, occupancy))
+    if arch.has_storage:
+        parts.append("~" * max(2 * arch.compute_shape[0] - 1, 9))
+        parts.append("[storage]")
+        parts.extend(_render_zone(arch, Zone.STORAGE, occupancy))
+    return "\n".join(parts)
+
+
+def render_layout(layout: Layout) -> str:
+    """Render a :class:`Layout` as the two-zone floor plan."""
+    occupancy: dict[Site, set[int]] = {}
+    for qubit in layout.qubits:
+        occupancy.setdefault(layout.site_of(qubit), set()).add(qubit)
+    return render_occupancy(layout.architecture, occupancy)
+
+
+def describe_instruction(instr) -> str:
+    """One-line summary of an instruction."""
+    if isinstance(instr, OneQubitLayer):
+        return f"1Q layer: {instr.num_gates} gates, depth {instr.depth}"
+    if isinstance(instr, MoveBatch):
+        parts = []
+        for cm in instr.coll_moves:
+            moves = ", ".join(
+                f"q{m.qubit}->{m.destination}" for m in cm.moves
+            )
+            parts.append(f"AOD{cm.aod_index}[{moves}]")
+        return "move batch: " + "; ".join(parts)
+    if isinstance(instr, RydbergStage):
+        pairs = ", ".join(
+            f"({g.qubits[0]},{g.qubits[1]})" for g in instr.gates
+        )
+        return f"rydberg stage: {instr.num_gates} gates {pairs}"
+    return repr(instr)
+
+
+def program_trace(
+    program: NAProgram,
+    show_layout_every_stage: bool = True,
+    max_instructions: int | None = None,
+) -> str:
+    """Step through a program, rendering layouts at each Rydberg stage.
+
+    Args:
+        program: The compiled program.
+        show_layout_every_stage: Render the floor plan at every Rydberg
+            stage (else only the initial layout).
+        max_instructions: Truncate after this many instructions.
+
+    Returns:
+        The multi-line trace text.
+    """
+    arch = program.architecture
+    tracker = PositionTracker.from_layout(program.initial_layout)
+    parts = [
+        f"program: {program.compiler_name} on {program.source_name!r}",
+        f"machine: {arch!r}",
+        "",
+        "initial layout:",
+        render_occupancy(arch, tracker.occupancy()),
+        "",
+    ]
+    for index, instr in enumerate(program.instructions):
+        if max_instructions is not None and index >= max_instructions:
+            parts.append(
+                f"... ({len(program.instructions) - index} more instructions)"
+            )
+            break
+        parts.append(f"[{index:3d}] {describe_instruction(instr)}")
+        if isinstance(instr, MoveBatch):
+            tracker.apply_moves(instr.all_moves)
+        elif isinstance(instr, RydbergStage) and show_layout_every_stage:
+            parts.append(render_occupancy(arch, tracker.occupancy()))
+            parts.append("")
+    return "\n".join(parts)
+
+
+def render_moves(moves: Iterable) -> str:
+    """Tabular rendering of 1Q moves (for router debugging)."""
+    lines = ["qubit  from            to              dist(um)"]
+    for move in moves:
+        lines.append(
+            f"q{move.qubit:<4d} {str(move.source):15s} "
+            f"{str(move.destination):15s} {move.distance * 1e6:7.1f}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "describe_instruction",
+    "program_trace",
+    "render_layout",
+    "render_moves",
+    "render_occupancy",
+]

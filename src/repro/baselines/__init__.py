@@ -1,0 +1,19 @@
+"""Baseline compilers the paper compares against (Enola, Atomique-style)."""
+
+from .atomique import AtomiqueConfig, AtomiqueLikeCompiler
+from .enola import EnolaCompiler, EnolaConfig
+from .mis import best_mis, greedy_mis, mis_stage_partition
+from .placement import annealed_layout, interaction_weights, row_major_layout
+
+__all__ = [
+    "AtomiqueConfig",
+    "AtomiqueLikeCompiler",
+    "EnolaCompiler",
+    "EnolaConfig",
+    "annealed_layout",
+    "best_mis",
+    "greedy_mis",
+    "interaction_weights",
+    "mis_stage_partition",
+    "row_major_layout",
+]

@@ -1,0 +1,253 @@
+"""Reimplementation of the Enola baseline compiler.
+
+Enola (Tan, Lin & Cong 2024) is the strongest published NAQC movement
+compiler and the paper's primary baseline.  As characterised in Sec. 3 of
+the PowerMove paper, its pipeline is:
+
+* **Scheduling**: near-optimal stage construction via repeated maximal-
+  independent-set extraction (randomised, best-of-R restarts) -- heavier
+  than PowerMove's single-pass greedy colouring;
+* **Placement**: a simulated-annealing initial layout minimising weighted
+  interaction distance;
+* **Routing**: per stage, one qubit of each gate moves to its partner's
+  site, the Rydberg laser fires, and the moved qubits *revert* to their
+  initial-layout sites before the next stage (avoiding clustering at the
+  price of roughly doubling movement);
+* **No storage zone**: every qubit stays in the computation zone, so every
+  non-interacting qubit eats the 99.75% excitation-fidelity hit at every
+  Rydberg stage.
+
+The mover choice inside a gate is the qubit whose vacated site frees the
+smaller conflict (we use the lower qubit id; the travel distance is
+symmetric so the choice does not affect timing).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..circuits.blocks import partition_into_blocks
+from ..circuits.circuit import Circuit
+from ..circuits.transpile import transpile_to_native
+from ..core.compiler import CompilationResult
+from ..hardware.geometry import Zone, ZonedArchitecture
+from ..hardware.layout import Layout
+from ..hardware.moves import Move, group_moves
+from ..hardware.params import DEFAULT_PARAMS, HardwareParams
+from ..schedule.instructions import OneQubitLayer, RydbergStage
+from ..schedule.program import NAProgram
+from ..utils.rng import make_rng
+from .mis import mis_stage_partition
+from .placement import annealed_layout, row_major_layout
+
+
+@dataclass(frozen=True)
+class EnolaConfig:
+    """Knobs of the Enola baseline.
+
+    Attributes:
+        seed: Seed for annealing and MIS restarts.
+        mis_restarts: Randomised MIS attempts per extracted stage.
+        sa_iterations_per_qubit: Annealing budget (per qubit) of the
+            initial placement; 0 falls back to row-major placement.
+        num_aods: AOD arrays available (Enola's evaluation uses one).
+        merge_moves: Group order-compatible 1Q moves into shared
+            CollMoves.  Off by default: the Enola execution times the
+            PowerMove paper reports (e.g. 13,198 us for QAOA-regular3-30,
+            which is 90 moves x ~146 us = one transfer-move-transfer cycle
+            per move) correspond to individually executed movements, and
+            the aggressive grouping is precisely PowerMove's Sec. 5.3
+            contribution.  Enable for a stronger-baseline sensitivity
+            analysis.
+        naive_storage: The Fig. 3(e)(f) strawman: Enola's revert scheme
+            bolted onto a zoned machine.  The initial layout lives
+            entirely in the storage zone; for every stage each
+            interacting qubit shuttles out to a computation-zone home
+            site and back afterwards.  Excitation errors vanish (idle
+            qubits never enter the Rydberg beam) but every gate now costs
+            four inter-zone moves -- the movement overhead the paper's
+            Sec. 3.1 argues makes this integration a dead end.
+    """
+
+    seed: int = 0
+    mis_restarts: int = 5
+    sa_iterations_per_qubit: int = 150
+    num_aods: int = 1
+    merge_moves: bool = False
+    naive_storage: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mis_restarts < 1:
+            raise ValueError("need at least one MIS restart")
+        if self.sa_iterations_per_qubit < 0:
+            raise ValueError("annealing budget must be non-negative")
+        if self.num_aods < 1:
+            raise ValueError("need at least one AOD array")
+
+
+class EnolaCompiler:
+    """Enola-style revert-to-initial-layout compiler (no storage zone)."""
+
+    name = "enola"
+
+    def __init__(
+        self,
+        config: EnolaConfig | None = None,
+        params: HardwareParams = DEFAULT_PARAMS,
+    ) -> None:
+        self._config = config or EnolaConfig()
+        self._params = params
+
+    @property
+    def config(self) -> EnolaConfig:
+        """Active configuration."""
+        return self._config
+
+    @property
+    def variant_name(self) -> str:
+        """Label used in reports."""
+        if self._config.naive_storage:
+            return f"{self.name}[naive-storage]"
+        return self.name
+
+    # ------------------------------------------------------------------
+
+    def compile(
+        self,
+        circuit: Circuit,
+        architecture: ZonedArchitecture | None = None,
+        initial_layout: Layout | None = None,
+    ) -> CompilationResult:
+        """Compile ``circuit`` with the revert-to-initial-layout scheme.
+
+        Args:
+            circuit: Input circuit (non-native 2Q gates are transpiled).
+            architecture: Target machine; defaults to the storage-free
+                paper floor plan (Enola ignores any storage zone present).
+            initial_layout: Starting placement; annealed by default.
+
+        Returns:
+            The :class:`~repro.core.compiler.CompilationResult`.
+        """
+        start = time.perf_counter()
+        cfg = self._config
+        native = transpile_to_native(circuit)
+        partition = partition_into_blocks(native)
+        arch = architecture or ZonedArchitecture.for_qubits(
+            native.num_qubits,
+            with_storage=cfg.naive_storage,
+            num_aods=cfg.num_aods,
+            params=self._params,
+        )
+        if cfg.naive_storage and not arch.has_storage:
+            raise ValueError("naive_storage needs a storage zone")
+        home_zone = Zone.STORAGE if cfg.naive_storage else Zone.COMPUTE
+        rng = make_rng(cfg.seed)
+        if initial_layout is None:
+            if cfg.sa_iterations_per_qubit > 0:
+                initial_layout = annealed_layout(
+                    arch,
+                    native,
+                    zone=home_zone,
+                    rng=rng,
+                    iterations_per_qubit=cfg.sa_iterations_per_qubit,
+                )
+            else:
+                initial_layout = row_major_layout(
+                    arch, native.num_qubits, home_zone
+                )
+        # Fig. 3(e)(f) strawman: interacting qubits execute on fixed
+        # computation-zone home sites and shuttle back to storage.
+        compute_home = (
+            row_major_layout(arch, native.num_qubits, Zone.COMPUTE)
+            if cfg.naive_storage
+            else None
+        )
+
+        instructions = []
+        total_stages = 0
+        total_moves = 0
+        total_coll_moves = 0
+        for block in partition.blocks:
+            gap = partition.one_qubit_gaps[block.index]
+            if gap:
+                instructions.append(OneQubitLayer(list(gap)))
+            stages = mis_stage_partition(block, rng, cfg.mis_restarts)
+            for stage in stages:
+                moves_out: list[Move] = []
+                for gate in stage.gates:
+                    mover, anchor = sorted(gate.qubits)
+                    if compute_home is not None:
+                        target = compute_home.site_of(mover)
+                        for q in (mover, anchor):
+                            moves_out.append(
+                                Move(q, initial_layout.site_of(q), target)
+                            )
+                    else:
+                        source = initial_layout.site_of(mover)
+                        destination = initial_layout.site_of(anchor)
+                        if source != destination:
+                            moves_out.append(
+                                Move(mover, source, destination)
+                            )
+                out_batches = self._into_batches(moves_out)
+                instructions.extend(out_batches)
+                instructions.append(RydbergStage(gates=list(stage.gates)))
+                moves_back = [
+                    Move(m.qubit, m.destination, m.source) for m in moves_out
+                ]
+                back_batches = self._into_batches(moves_back)
+                instructions.extend(back_batches)
+                total_stages += 1
+                total_moves += len(moves_out) + len(moves_back)
+                total_coll_moves += sum(
+                    b.num_coll_moves for b in out_batches + back_batches
+                )
+        trailing = partition.one_qubit_gaps[partition.num_blocks]
+        if trailing:
+            instructions.append(OneQubitLayer(list(trailing)))
+
+        program = NAProgram(
+            architecture=arch,
+            initial_layout=initial_layout,
+            instructions=instructions,
+            source_name=circuit.name,
+            compiler_name=self.variant_name,
+            metadata={
+                "num_blocks": partition.num_blocks,
+                "num_stages": total_stages,
+                "num_single_moves": total_moves,
+                "num_coll_moves": total_coll_moves,
+                "use_storage": cfg.naive_storage,
+                "num_aods": cfg.num_aods,
+            },
+        )
+        compile_time = time.perf_counter() - start
+        return CompilationResult(
+            program=program,
+            compile_time=compile_time,
+            native_circuit=native,
+            stats=dict(program.metadata),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _into_batches(self, moves: list[Move]):
+        """Movement scheduling: one CollMove per move (default) or FIFO
+        grouping (``merge_moves=True``); one CollMove per AOD per batch."""
+        from ..core.collmove_scheduler import schedule_coll_moves
+        from ..hardware.moves import CollMove
+
+        if self._config.merge_moves:
+            groups = group_moves(moves, distance_aware=False)
+        else:
+            groups = [CollMove(moves=[move]) for move in moves]
+        return schedule_coll_moves(
+            groups,
+            num_aods=self._config.num_aods,
+            prioritize_move_ins=False,
+        )
+
+
+__all__ = ["EnolaCompiler", "EnolaConfig"]

@@ -1,0 +1,95 @@
+"""Maximal-independent-set stage construction (Enola's scheduler).
+
+Enola builds Rydberg stages by repeatedly extracting a large independent
+set from the gate-conflict graph (gates sharing a qubit conflict).  We
+reproduce that with randomised greedy MIS extraction and best-of-R
+restarts -- the restart loop is what makes Enola's compile time grow much
+faster than PowerMove's single-pass greedy colouring (Table 3's
+``T_comp`` columns).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..circuits.blocks import CZBlock
+from ..core.stage_scheduler import Stage
+
+
+def greedy_mis(
+    adjacency: dict[int, list[int]],
+    candidates: set[int],
+    rng: random.Random,
+) -> set[int]:
+    """One randomised greedy maximal independent set over ``candidates``.
+
+    Vertices are visited in random order; a vertex joins the set when none
+    of its neighbours has joined yet.  The result is maximal (no candidate
+    can be added) but not necessarily maximum.
+    """
+    order = sorted(candidates)
+    rng.shuffle(order)
+    chosen: set[int] = set()
+    blocked: set[int] = set()
+    for vertex in order:
+        if vertex in blocked:
+            continue
+        chosen.add(vertex)
+        for neighbour in adjacency[vertex]:
+            blocked.add(neighbour)
+    return chosen
+
+
+def best_mis(
+    adjacency: dict[int, list[int]],
+    candidates: set[int],
+    rng: random.Random,
+    restarts: int,
+) -> set[int]:
+    """Best of ``restarts`` randomised MIS attempts (largest wins)."""
+    if restarts < 1:
+        raise ValueError("need at least one restart")
+    best: set[int] | None = None
+    for _ in range(restarts):
+        attempt = greedy_mis(adjacency, candidates, rng)
+        if best is None or len(attempt) > len(best):
+            best = attempt
+    assert best is not None
+    return best
+
+
+def mis_stage_partition(
+    block: CZBlock,
+    rng: random.Random,
+    restarts: int = 5,
+) -> list[Stage]:
+    """Partition a commuting block into stages by iterated MIS extraction.
+
+    Each extracted independent set becomes one stage; extraction repeats on
+    the residual graph until every gate is scheduled.
+    """
+    gates = block.gates
+    if not gates:
+        return []
+    adjacency = block.interaction_graph()
+    remaining = set(range(len(gates)))
+    stages: list[Stage] = []
+    color = 0
+    while remaining:
+        subset = {
+            v: [u for u in adjacency[v] if u in remaining] for v in remaining
+        }
+        chosen = best_mis(subset, remaining, rng, restarts)
+        stage = Stage(
+            gates=[gates[i] for i in sorted(chosen)],
+            block_index=block.index,
+            color=color,
+        )
+        stage.validate()
+        stages.append(stage)
+        remaining -= chosen
+        color += 1
+    return stages
+
+
+__all__ = ["best_mis", "greedy_mis", "mis_stage_partition"]

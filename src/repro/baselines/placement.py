@@ -1,0 +1,187 @@
+"""Initial qubit placement.
+
+Enola optimises an initial layout with simulated annealing and keeps
+returning to it; PowerMove adopts the same initial layout (Sec. 4.2) but
+its continuous router never returns to it, so the layout's quality matters
+much less -- PowerMove defaults to the fast row-major grid, Enola to the
+annealed one (one of the reasons its compile time is orders of magnitude
+larger, Table 3's ``T_comp`` columns).
+
+The annealing objective is the summed Euclidean distance between the
+partners of every two-qubit gate (weighted by multiplicity), the standard
+interaction-proximity objective used by movement-based NAQC compilers.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+
+from ..circuits.circuit import Circuit
+from ..hardware.geometry import Zone, ZonedArchitecture
+from ..hardware.layout import Layout
+
+
+def interaction_weights(circuit: Circuit) -> dict[tuple[int, int], int]:
+    """Multiplicity of each (min, max) interacting qubit pair."""
+    return dict(Counter(circuit.interaction_pairs()))
+
+
+def row_major_layout(
+    architecture: ZonedArchitecture,
+    num_qubits: int,
+    zone: Zone = Zone.COMPUTE,
+) -> Layout:
+    """Fast default: qubit ``i`` on the i-th site of ``zone``."""
+    return Layout.row_major(architecture, num_qubits, zone)
+
+
+class _AnnealingState:
+    """Assignment with incremental (per-qubit delta) cost evaluation."""
+
+    def __init__(
+        self,
+        positions: list[tuple[float, float]],
+        num_qubits: int,
+        num_slots: int,
+        weights: dict[tuple[int, int], int],
+    ) -> None:
+        self.positions = positions
+        self.assignment = list(range(num_qubits))
+        self.free_slots = list(range(num_qubits, num_slots))
+        self.adjacency: dict[int, list[tuple[int, int]]] = {
+            q: [] for q in range(num_qubits)
+        }
+        for (a, b), weight in weights.items():
+            self.adjacency[a].append((b, weight))
+            self.adjacency[b].append((a, weight))
+        self.cost = sum(
+            weight * self._distance(a, b) for (a, b), weight in weights.items()
+        )
+
+    def _distance(self, a: int, b: int) -> float:
+        xa, ya = self.positions[self.assignment[a]]
+        xb, yb = self.positions[self.assignment[b]]
+        return math.hypot(xa - xb, ya - yb)
+
+    def local_cost(self, qubit: int, skip: int | None = None) -> float:
+        """Cost of all interaction terms incident to ``qubit``."""
+        total = 0.0
+        for other, weight in self.adjacency[qubit]:
+            if other == skip:
+                continue
+            total += weight * self._distance(qubit, other)
+        return total
+
+    def swap_delta(self, a: int, b: int) -> float:
+        """Cost change if qubits ``a`` and ``b`` traded slots."""
+        before = self.local_cost(a) + self.local_cost(b, skip=a)
+        self.assignment[a], self.assignment[b] = (
+            self.assignment[b],
+            self.assignment[a],
+        )
+        after = self.local_cost(a) + self.local_cost(b, skip=a)
+        self.assignment[a], self.assignment[b] = (
+            self.assignment[b],
+            self.assignment[a],
+        )
+        return after - before
+
+    def swap(self, a: int, b: int, delta: float) -> None:
+        """Commit a previously evaluated swap."""
+        self.assignment[a], self.assignment[b] = (
+            self.assignment[b],
+            self.assignment[a],
+        )
+        self.cost += delta
+
+    def relocate_delta(self, qubit: int, slot_index: int) -> float:
+        """Cost change if ``qubit`` moved to ``free_slots[slot_index]``."""
+        before = self.local_cost(qubit)
+        old_slot = self.assignment[qubit]
+        self.assignment[qubit] = self.free_slots[slot_index]
+        after = self.local_cost(qubit)
+        self.assignment[qubit] = old_slot
+        return after - before
+
+    def relocate(self, qubit: int, slot_index: int, delta: float) -> None:
+        """Commit a previously evaluated relocation."""
+        old_slot = self.assignment[qubit]
+        self.assignment[qubit] = self.free_slots[slot_index]
+        self.free_slots[slot_index] = old_slot
+        self.cost += delta
+
+
+def annealed_layout(
+    architecture: ZonedArchitecture,
+    circuit: Circuit,
+    zone: Zone = Zone.COMPUTE,
+    rng: random.Random | None = None,
+    iterations_per_qubit: int = 150,
+    initial_temperature: float | None = None,
+    cooling: float = 0.999,
+) -> Layout:
+    """Simulated-annealing placement minimising weighted pair distance.
+
+    Args:
+        architecture: Target machine.
+        circuit: Source circuit whose interaction pairs drive the cost.
+        zone: Zone to place into.
+        rng: Random source (fresh seed-0 generator when omitted).
+        iterations_per_qubit: Annealing steps scale as
+            ``iterations_per_qubit * num_qubits`` -- deliberately
+            super-linear in circuit size, mirroring Enola's heavier
+            compile-time profile.
+        initial_temperature: Starting temperature; defaults to two site
+            pitches of cost.
+        cooling: Geometric cooling factor per step.
+
+    Returns:
+        The annealed layout; falls back to row-major ordering for
+        gate-free circuits.
+    """
+    rng = rng or random.Random(0)
+    n = circuit.num_qubits
+    sites = architecture.sites_in(zone)
+    if n > len(sites):
+        raise ValueError(f"{n} qubits exceed {len(sites)} {zone.value} sites")
+    weights = interaction_weights(circuit)
+    if not weights:
+        return row_major_layout(architecture, n, zone)
+
+    positions = [site.position for site in sites]
+    state = _AnnealingState(positions, n, len(sites), weights)
+    temperature = initial_temperature or 2.0 * architecture.params.site_pitch
+    steps = iterations_per_qubit * n
+
+    def accept(delta: float) -> bool:
+        if delta <= 0:
+            return True
+        return rng.random() < math.exp(-delta / max(temperature, 1e-15))
+
+    for _ in range(steps):
+        qubit = rng.randrange(n)
+        if state.free_slots and rng.random() < 0.3:
+            slot_index = rng.randrange(len(state.free_slots))
+            delta = state.relocate_delta(qubit, slot_index)
+            if accept(delta):
+                state.relocate(qubit, slot_index, delta)
+        else:
+            other = rng.randrange(n)
+            if other != qubit:
+                delta = state.swap_delta(qubit, other)
+                if accept(delta):
+                    state.swap(qubit, other, delta)
+        temperature *= cooling
+
+    return Layout(
+        architecture, {q: sites[state.assignment[q]] for q in range(n)}
+    )
+
+
+__all__ = [
+    "annealed_layout",
+    "interaction_weights",
+    "row_major_layout",
+]

@@ -1,0 +1,23 @@
+"""The paper's benchmark suite (Table 2)."""
+
+from .suite import (
+    PAPER_ORDER,
+    SUITE,
+    BenchmarkSpec,
+    benchmarks_in_family,
+    export_suite_qasm,
+    get_benchmark,
+    scaled_suite,
+    table2_rows,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "PAPER_ORDER",
+    "SUITE",
+    "benchmarks_in_family",
+    "export_suite_qasm",
+    "get_benchmark",
+    "scaled_suite",
+    "table2_rows",
+]

@@ -1,0 +1,231 @@
+"""Benchmark suite of the paper's evaluation (Table 2).
+
+Each :class:`BenchmarkSpec` names one Table 2 row: a circuit family, a
+qubit count, a deterministic circuit builder and the paper-default floor
+plan (compute ``ceil(sqrt(n))`` square; storage the same width and twice
+the height; 30 um inter-zone gap).
+
+Known paper discrepancy: Table 2 lists BV-70's compute zone as
+120x120 um^2, but the paper's own sizing rule ``15*ceil(sqrt(n))`` gives
+135x135 for n = 70.  We follow the rule; EXPERIMENTS.md records the
+deviation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from ..circuits.circuit import Circuit
+from ..circuits.generators import (
+    bernstein_vazirani,
+    qaoa_random,
+    qaoa_regular,
+    qft,
+    qsim_random,
+    vqe_linear_entanglement,
+)
+from ..hardware.geometry import Zone, ZonedArchitecture
+from ..hardware.params import DEFAULT_PARAMS, HardwareParams
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One benchmark of the evaluation suite.
+
+    Attributes:
+        key: Canonical row name, e.g. ``"QAOA-regular3-30"``.
+        family: Circuit family name, e.g. ``"QAOA-regular3"``.
+        num_qubits: Circuit width ``n``.
+        builder: ``builder(seed) -> Circuit`` deterministic constructor.
+    """
+
+    key: str
+    family: str
+    num_qubits: int
+    builder: Callable[[int], Circuit]
+
+    def build(self, seed: int = 0) -> Circuit:
+        """Construct the benchmark circuit."""
+        circuit = self.builder(seed)
+        circuit.name = self.key
+        return circuit
+
+    def architecture(
+        self,
+        with_storage: bool = True,
+        num_aods: int = 1,
+        params: HardwareParams = DEFAULT_PARAMS,
+    ) -> ZonedArchitecture:
+        """Paper-default floor plan for this benchmark."""
+        return ZonedArchitecture.for_qubits(
+            self.num_qubits,
+            with_storage=with_storage,
+            num_aods=num_aods,
+            params=params,
+        )
+
+    @property
+    def grid_side(self) -> int:
+        """``ceil(sqrt(n))`` -- the compute-zone side in sites."""
+        side = math.isqrt(self.num_qubits)
+        if side * side < self.num_qubits:
+            side += 1
+        return side
+
+
+def _spec(
+    family: str, n: int, builder: Callable[[int], Circuit]
+) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        key=f"{family}-{n}", family=family, num_qubits=n, builder=builder
+    )
+
+
+def _make_suite() -> dict[str, BenchmarkSpec]:
+    specs: list[BenchmarkSpec] = []
+    for n in (30, 40, 50, 60, 80, 100):
+        specs.append(
+            _spec(
+                "QAOA-regular3",
+                n,
+                lambda seed, n=n: qaoa_regular(n, degree=3, seed=seed),
+            )
+        )
+    for n in (30, 40, 50, 60, 80):
+        specs.append(
+            _spec(
+                "QAOA-regular4",
+                n,
+                lambda seed, n=n: qaoa_regular(n, degree=4, seed=seed),
+            )
+        )
+    for n in (20, 30):
+        specs.append(
+            _spec(
+                "QAOA-random",
+                n,
+                lambda seed, n=n: qaoa_random(n, seed=seed),
+            )
+        )
+    for n in (18, 29):
+        specs.append(_spec("QFT", n, lambda seed, n=n: qft(n)))
+    for n in (14, 50, 70):
+        specs.append(
+            _spec("BV", n, lambda seed, n=n: bernstein_vazirani(n, seed=seed))
+        )
+    for n in (30, 50):
+        specs.append(
+            _spec(
+                "VQE",
+                n,
+                lambda seed, n=n: vqe_linear_entanglement(n, seed=seed),
+            )
+        )
+    for n in (10, 20, 40):
+        specs.append(
+            _spec(
+                "QSIM-rand-0.3",
+                n,
+                lambda seed, n=n: qsim_random(
+                    n, num_strings=10, pauli_probability=0.3, seed=seed
+                ),
+            )
+        )
+    return {spec.key: spec for spec in specs}
+
+
+#: The 23 benchmarks of Table 2, keyed by row name, in paper order.
+SUITE: dict[str, BenchmarkSpec] = _make_suite()
+
+#: Paper row order (Table 2 / Table 3).
+PAPER_ORDER: tuple[str, ...] = tuple(SUITE)
+
+
+def get_benchmark(key: str) -> BenchmarkSpec:
+    """Look up a Table 2 benchmark by row name."""
+    try:
+        return SUITE[key]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown benchmark {key!r}; known: {', '.join(SUITE)}"
+        ) from exc
+
+
+def benchmarks_in_family(family: str) -> list[BenchmarkSpec]:
+    """All suite rows of one circuit family, ascending qubit count."""
+    rows = [spec for spec in SUITE.values() if spec.family == family]
+    if not rows:
+        raise KeyError(f"unknown family {family!r}")
+    return sorted(rows, key=lambda spec: spec.num_qubits)
+
+
+def scaled_suite(max_qubits: int) -> list[BenchmarkSpec]:
+    """Suite rows with at most ``max_qubits`` (for fast CI/benchmarks)."""
+    return [
+        spec for spec in SUITE.values() if spec.num_qubits <= max_qubits
+    ]
+
+
+def table2_rows(
+    params: HardwareParams = DEFAULT_PARAMS,
+) -> list[dict[str, object]]:
+    """Reproduce Table 2: benchmark names, qubits and zone extents."""
+    rows: list[dict[str, object]] = []
+    for key in PAPER_ORDER:
+        spec = SUITE[key]
+        arch = spec.architecture(with_storage=True, params=params)
+        cw, ch = arch.zone_extent_um(Zone.COMPUTE)
+        iw, ih = arch.inter_zone_extent_um()
+        sw, sh = arch.zone_extent_um(Zone.STORAGE)
+        rows.append(
+            {
+                "name": spec.family,
+                "num_qubits": spec.num_qubits,
+                "compute_zone_um": f"{cw:g} x {ch:g}",
+                "inter_zone_um": f"{iw:g} x {ih:g}",
+                "storage_zone_um": f"{sw:g} x {sh:g}",
+            }
+        )
+    return rows
+
+
+def export_suite_qasm(
+    directory: str, seed: int = 0, keys: tuple[str, ...] | None = None
+) -> list[str]:
+    """Write every suite circuit as an OpenQASM 2.0 file.
+
+    Args:
+        directory: Target directory (must exist).
+        seed: Instance seed for the random families.
+        keys: Subset of rows (all 23 by default).
+
+    Returns:
+        The written file paths, in suite order.
+    """
+    import os
+
+    from ..circuits.qasm import to_qasm
+
+    paths: list[str] = []
+    for key in keys or PAPER_ORDER:
+        spec = SUITE[key]
+        circuit = spec.build(seed)
+        path = os.path.join(directory, f"{key}.qasm")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(to_qasm(circuit))
+        paths.append(path)
+    return paths
+
+
+__all__ = [
+    "BenchmarkSpec",
+    "PAPER_ORDER",
+    "SUITE",
+    "benchmarks_in_family",
+    "export_suite_qasm",
+    "get_benchmark",
+    "scaled_suite",
+    "table2_rows",
+]

@@ -1,0 +1,42 @@
+"""Quantum circuit substrate: IR, OpenQASM front end, transpiler, generators."""
+
+from .blocks import (
+    BlockPartition,
+    CZBlock,
+    NonNativeGateError,
+    partition_into_blocks,
+)
+from .circuit import Barrier, Circuit, CircuitError, Measure, concat
+from .gates import GATE_SPECS, Gate, GateSpec, UnknownGateError, gate_spec
+from .qasm import QasmError, load_qasm, parse_qasm, to_qasm
+from .transpile import (
+    TranspileError,
+    count_added_gates,
+    decompose_gate,
+    transpile_to_native,
+)
+
+__all__ = [
+    "Barrier",
+    "BlockPartition",
+    "CZBlock",
+    "Circuit",
+    "CircuitError",
+    "GATE_SPECS",
+    "Gate",
+    "GateSpec",
+    "Measure",
+    "NonNativeGateError",
+    "QasmError",
+    "TranspileError",
+    "UnknownGateError",
+    "concat",
+    "count_added_gates",
+    "decompose_gate",
+    "gate_spec",
+    "load_qasm",
+    "parse_qasm",
+    "partition_into_blocks",
+    "to_qasm",
+    "transpile_to_native",
+]

@@ -1,0 +1,222 @@
+"""Partition of a circuit into commuting CZ blocks.
+
+The paper (Sec. 2.2, Sec. 4.1) assumes input circuits are synthesised into
+alternating layers of one-qubit gates and *CZ blocks*, where each block
+consists of mutually commuting CZ-class gates.  Because every CZ-class gate
+is diagonal in the computational basis, any two of them commute; the only
+thing that separates blocks is a **non-diagonal one-qubit gate** (or a
+barrier), which acts as a per-qubit fence.
+
+This module performs that synthesis greedily (ASAP): each CZ-class gate is
+placed into the earliest block allowed by the fences on its qubits, which
+minimises the number of blocks and hence the number of Rydberg excitation
+rounds -- the same convention Enola uses, so comparisons are fair.
+
+The result also records where every one-qubit gate sits: gap ``g`` holds the
+one-qubit gates executed between block ``g-1`` and block ``g`` (gap ``0`` is
+before the first block).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .circuit import Barrier, Circuit, Measure
+from .gates import Gate
+
+
+class NonNativeGateError(ValueError):
+    """Raised when a circuit still contains non-CZ-class two-qubit gates."""
+
+
+@dataclass
+class CZBlock:
+    """One commuting block of CZ-class gates.
+
+    Attributes:
+        index: Position of the block in execution order.
+        gates: The CZ-class gates of the block, in input order.
+    """
+
+    index: int
+    gates: list[Gate] = field(default_factory=list)
+
+    @property
+    def num_gates(self) -> int:
+        """Number of two-qubit gates in the block."""
+        return len(self.gates)
+
+    def interacting_qubits(self) -> set[int]:
+        """All qubits acted on by some gate of this block."""
+        qubits: set[int] = set()
+        for gate in self.gates:
+            qubits.update(gate.qubits)
+        return qubits
+
+    def interaction_graph(self) -> dict[int, list[int]]:
+        """Adjacency over *gate indices*: edges join gates sharing a qubit.
+
+        This is the ``CZ_Graph`` input of the paper's Algorithm 1 (stage
+        partition): vertices are gates of the block, and two gates conflict
+        (must go to different stages) iff they overlap on a qubit.
+        """
+        by_qubit: dict[int, list[int]] = {}
+        for idx, gate in enumerate(self.gates):
+            for q in gate.qubits:
+                by_qubit.setdefault(q, []).append(idx)
+        adjacency: dict[int, set[int]] = {i: set() for i in range(len(self.gates))}
+        for members in by_qubit.values():
+            for i in members:
+                for j in members:
+                    if i != j:
+                        adjacency[i].add(j)
+        return {i: sorted(neigh) for i, neigh in adjacency.items()}
+
+    def __iter__(self):
+        return iter(self.gates)
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+
+@dataclass
+class BlockPartition:
+    """Alternating-layer decomposition of a circuit.
+
+    Attributes:
+        num_qubits: Width of the source circuit.
+        blocks: CZ blocks in execution order.
+        one_qubit_gaps: ``one_qubit_gaps[g]`` lists the one-qubit gates in
+            gap ``g`` (before block ``g``); the list has ``len(blocks)+1``
+            entries, the final entry holding trailing one-qubit gates.
+    """
+
+    num_qubits: int
+    blocks: list[CZBlock]
+    one_qubit_gaps: list[list[Gate]]
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of CZ blocks."""
+        return len(self.blocks)
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        """Total CZ-class gate count across blocks."""
+        return sum(block.num_gates for block in self.blocks)
+
+    @property
+    def num_one_qubit_gates(self) -> int:
+        """Total one-qubit gate count across gaps."""
+        return sum(len(gap) for gap in self.one_qubit_gaps)
+
+    def gap_depth(self, gap_index: int) -> int:
+        """Sequential pulse depth of a 1Q gap (max gates on one qubit).
+
+        One-qubit gates on distinct qubits run in parallel Raman pulses; a
+        chain on the same qubit runs sequentially, so the wall-clock length
+        of the gap is this depth times the 1Q gate duration.
+        """
+        counts: dict[int, int] = {}
+        for gate in self.one_qubit_gaps[gap_index]:
+            q = gate.qubits[0]
+            counts[q] = counts.get(q, 0) + 1
+        return max(counts.values(), default=0)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``AssertionError`` on bugs."""
+        assert len(self.one_qubit_gaps) == len(self.blocks) + 1
+        for idx, block in enumerate(self.blocks):
+            assert block.index == idx
+            assert block.num_gates > 0, "empty CZ block"
+            for gate in block.gates:
+                assert gate.is_cz_class
+
+
+def partition_into_blocks(circuit: Circuit) -> BlockPartition:
+    """Decompose ``circuit`` into commuting CZ blocks and 1Q gaps.
+
+    Args:
+        circuit: A *native* circuit: every two-qubit gate must be CZ-class
+            (run :func:`repro.circuits.transpile.transpile_to_native` first).
+
+    Returns:
+        The :class:`BlockPartition`; blocks are never empty, and the number
+        of gaps is ``num_blocks + 1``.
+
+    Raises:
+        NonNativeGateError: If a non-CZ-class two-qubit gate is present.
+    """
+    blocks: list[CZBlock] = []
+    gap_gates: dict[int, list[Gate]] = {}
+
+    # avail[q]: earliest block index a CZ-class gate on q may join.
+    avail = [0] * circuit.num_qubits
+    # last_block[q]: latest block index holding a CZ-class gate on q.
+    last_block = [-1] * circuit.num_qubits
+
+    def fence(q: int) -> int:
+        """Advance the per-qubit fence past every block touching ``q``."""
+        gap = max(avail[q], last_block[q] + 1)
+        avail[q] = gap
+        return gap
+
+    for op in circuit.operations:
+        if isinstance(op, Measure):
+            continue
+        if isinstance(op, Barrier):
+            targets = op.qubits or tuple(range(circuit.num_qubits))
+            for q in targets:
+                fence(q)
+            continue
+        gate = op
+        if gate.is_two_qubit:
+            if not gate.is_cz_class:
+                raise NonNativeGateError(
+                    f"gate {gate} is not CZ-class; transpile the circuit first"
+                )
+            a, b = gate.qubits
+            blk = max(avail[a], avail[b])
+            while blk >= len(blocks):
+                blocks.append(CZBlock(index=len(blocks)))
+            blocks[blk].gates.append(gate)
+            last_block[a] = max(last_block[a], blk)
+            last_block[b] = max(last_block[b], blk)
+            avail[a] = max(avail[a], blk)
+            avail[b] = max(avail[b], blk)
+        else:
+            q = gate.qubits[0]
+            if gate.is_diagonal:
+                # Diagonal 1Q gates commute with CZ blocks: place them at
+                # the earliest legal gap without fencing later CZ gates.
+                gap = avail[q]
+            else:
+                gap = fence(q)
+            gap_gates.setdefault(gap, []).append(gate)
+
+    # Drop trailing empty blocks (possible when fences advanced avail past
+    # the last real block) and re-index.
+    blocks = [b for b in blocks if b.gates]
+    for idx, block in enumerate(blocks):
+        block.index = idx
+
+    num_gaps = len(blocks) + 1
+    one_qubit_gaps: list[list[Gate]] = [[] for _ in range(num_gaps)]
+    for gap, gates in gap_gates.items():
+        one_qubit_gaps[min(gap, num_gaps - 1)].extend(gates)
+
+    partition = BlockPartition(
+        num_qubits=circuit.num_qubits,
+        blocks=blocks,
+        one_qubit_gaps=one_qubit_gaps,
+    )
+    partition.validate()
+    return partition
+
+
+__all__ = [
+    "BlockPartition",
+    "CZBlock",
+    "NonNativeGateError",
+    "partition_into_blocks",
+]

@@ -1,0 +1,295 @@
+"""Quantum circuit container for the PowerMove IR.
+
+A :class:`Circuit` is an ordered list of :class:`~repro.circuits.gates.Gate`
+applications plus optional barriers and measurements.  It is intentionally
+minimal: the compiler only needs gate order, qubit sets and diagonality.
+
+Barriers participate in commuting-block analysis (they end the current block
+on their qubits); measurements are recorded but ignored by the compiler,
+matching the paper's circuit model in which read-out happens once at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from .gates import Gate, gate_spec
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Scheduling barrier over ``qubits`` (all qubits when empty)."""
+
+    qubits: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class Measure:
+    """Terminal measurement of ``qubit`` into classical bit ``clbit``."""
+
+    qubit: int
+    clbit: int
+
+
+Operation = Gate | Barrier | Measure
+
+
+class CircuitError(ValueError):
+    """Raised on structurally invalid circuit construction."""
+
+
+class Circuit:
+    """An ordered quantum circuit on ``num_qubits`` qubits.
+
+    Example:
+        >>> from repro.circuits import Circuit
+        >>> qc = Circuit(3, name="demo")
+        >>> qc.h(0)
+        >>> qc.cz(0, 1)
+        >>> qc.rzz(0.5, 1, 2)
+        >>> qc.num_two_qubit_gates
+        2
+    """
+
+    def __init__(self, num_qubits: int, name: str = "circuit") -> None:
+        if num_qubits <= 0:
+            raise CircuitError("circuit needs at least one qubit")
+        self._num_qubits = int(num_qubits)
+        self._name = name
+        self._ops: list[Operation] = []
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits in the circuit."""
+        return self._num_qubits
+
+    @property
+    def name(self) -> str:
+        """Human-readable circuit name (used in reports)."""
+        return self._name
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self._name = value
+
+    @property
+    def operations(self) -> tuple[Operation, ...]:
+        """All operations (gates, barriers, measurements) in order."""
+        return tuple(self._ops)
+
+    @property
+    def gates(self) -> list[Gate]:
+        """Only the gate operations, in order."""
+        return [op for op in self._ops if isinstance(op, Gate)]
+
+    @property
+    def two_qubit_gates(self) -> list[Gate]:
+        """Only the two-qubit gates, in order."""
+        return [g for g in self.gates if g.is_two_qubit]
+
+    @property
+    def one_qubit_gates(self) -> list[Gate]:
+        """Only the one-qubit gates, in order."""
+        return [g for g in self.gates if not g.is_two_qubit]
+
+    @property
+    def num_gates(self) -> int:
+        """Total gate count (barriers and measurements excluded)."""
+        return len(self.gates)
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        """Number of two-qubit gates (``g2`` in the paper's Eq. 1)."""
+        return len(self.two_qubit_gates)
+
+    @property
+    def num_one_qubit_gates(self) -> int:
+        """Number of one-qubit gates (``g1`` in the paper's Eq. 1)."""
+        return len(self.one_qubit_gates)
+
+    @property
+    def depth(self) -> int:
+        """Standard circuit depth over gate operations."""
+        level: dict[int, int] = {}
+        depth = 0
+        for gate in self.gates:
+            start = max((level.get(q, 0) for q in gate.qubits), default=0)
+            for q in gate.qubits:
+                level[q] = start + 1
+            depth = max(depth, start + 1)
+        return depth
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def append(self, op: Operation) -> None:
+        """Append a gate, barrier or measurement, validating qubit bounds."""
+        if isinstance(op, Gate):
+            self._check_qubits(op.qubits)
+        elif isinstance(op, Barrier):
+            self._check_qubits(op.qubits)
+        elif isinstance(op, Measure):
+            self._check_qubits((op.qubit,))
+        else:  # pragma: no cover - defensive
+            raise CircuitError(f"unsupported operation type {type(op)!r}")
+        self._ops.append(op)
+
+    def extend(self, ops: Iterable[Operation]) -> None:
+        """Append many operations in order."""
+        for op in ops:
+            self.append(op)
+
+    def add_gate(self, name: str, qubits: Sequence[int], *params: float) -> Gate:
+        """Construct, validate, append and return a gate by name."""
+        gate = Gate(name, tuple(qubits), tuple(params))
+        self.append(gate)
+        return gate
+
+    def barrier(self, *qubits: int) -> None:
+        """Append a barrier (over all qubits when none are given)."""
+        self.append(Barrier(tuple(qubits)))
+
+    def measure_all(self) -> None:
+        """Append terminal measurements on every qubit."""
+        for q in range(self._num_qubits):
+            self.append(Measure(q, q))
+
+    def _check_qubits(self, qubits: Sequence[int]) -> None:
+        for q in qubits:
+            if not 0 <= q < self._num_qubits:
+                raise CircuitError(
+                    f"qubit {q} out of range for {self._num_qubits}-qubit circuit"
+                )
+
+    # ------------------------------------------------------------------
+    # Gate shorthands (mirror OpenQASM names)
+    # ------------------------------------------------------------------
+
+    def h(self, q: int) -> None:
+        """Hadamard."""
+        self.add_gate("h", (q,))
+
+    def x(self, q: int) -> None:
+        """Pauli X."""
+        self.add_gate("x", (q,))
+
+    def z(self, q: int) -> None:
+        """Pauli Z."""
+        self.add_gate("z", (q,))
+
+    def s(self, q: int) -> None:
+        """Phase gate S."""
+        self.add_gate("s", (q,))
+
+    def sdg(self, q: int) -> None:
+        """Inverse phase gate."""
+        self.add_gate("sdg", (q,))
+
+    def rx(self, theta: float, q: int) -> None:
+        """X rotation."""
+        self.add_gate("rx", (q,), theta)
+
+    def ry(self, theta: float, q: int) -> None:
+        """Y rotation."""
+        self.add_gate("ry", (q,), theta)
+
+    def rz(self, theta: float, q: int) -> None:
+        """Z rotation (diagonal)."""
+        self.add_gate("rz", (q,), theta)
+
+    def cz(self, a: int, b: int) -> None:
+        """Controlled-Z (native CZ-class)."""
+        self.add_gate("cz", (a, b))
+
+    def cp(self, theta: float, a: int, b: int) -> None:
+        """Controlled-phase (native CZ-class)."""
+        self.add_gate("cp", (a, b), theta)
+
+    def rzz(self, theta: float, a: int, b: int) -> None:
+        """ZZ interaction (native CZ-class)."""
+        self.add_gate("rzz", (a, b), theta)
+
+    def cx(self, control: int, target: int) -> None:
+        """CNOT (requires transpilation before compilation)."""
+        self.add_gate("cx", (control, target))
+
+    def swap(self, a: int, b: int) -> None:
+        """SWAP (requires transpilation before compilation)."""
+        self.add_gate("swap", (a, b))
+
+    # ------------------------------------------------------------------
+    # Queries used by the compiler
+    # ------------------------------------------------------------------
+
+    def is_native(self) -> bool:
+        """True when all two-qubit gates are CZ-class (compilable as-is)."""
+        return all(g.is_cz_class for g in self.two_qubit_gates)
+
+    def interaction_pairs(self) -> list[tuple[int, int]]:
+        """Ordered (min, max) qubit pairs of all two-qubit gates."""
+        return [
+            (min(g.qubits), max(g.qubits)) for g in self.two_qubit_gates
+        ]
+
+    def used_qubits(self) -> set[int]:
+        """Set of qubits touched by at least one gate."""
+        used: set[int] = set()
+        for gate in self.gates:
+            used.update(gate.qubits)
+        return used
+
+    def copy(self) -> "Circuit":
+        """Shallow copy (gates are immutable, so this is safe)."""
+        dup = Circuit(self._num_qubits, self._name)
+        dup._ops = list(self._ops)
+        return dup
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._ops)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        return (
+            self._num_qubits == other._num_qubits and self._ops == other._ops
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit(name={self._name!r}, num_qubits={self._num_qubits}, "
+            f"gates={self.num_gates}, two_qubit={self.num_two_qubit_gates})"
+        )
+
+
+def concat(first: Circuit, second: Circuit, name: str | None = None) -> Circuit:
+    """Concatenate two circuits on the same qubit count."""
+    if first.num_qubits != second.num_qubits:
+        raise CircuitError("cannot concatenate circuits of different widths")
+    out = Circuit(first.num_qubits, name or f"{first.name}+{second.name}")
+    out.extend(first.operations)
+    out.extend(second.operations)
+    return out
+
+
+__all__ = [
+    "Barrier",
+    "Circuit",
+    "CircuitError",
+    "Measure",
+    "Operation",
+    "concat",
+    "gate_spec",
+]

@@ -1,0 +1,250 @@
+"""Gate model for the PowerMove circuit IR.
+
+The compiler distinguishes two properties of a gate that drive every
+downstream decision:
+
+* **Arity** -- one-qubit gates are executed by qubit-specific Raman pulses in
+  parallel layers; two-qubit gates require the pair to be co-located within
+  the Rydberg radius and one global Rydberg excitation per stage.
+
+* **Diagonality** -- gates that are diagonal in the computational basis
+  commute with each other and with CZ.  Diagonal gates therefore never break
+  a *commuting CZ block* (Sec. 4.1 of the paper), while non-diagonal
+  one-qubit gates (``h``, ``rx``, ...) act as per-qubit barriers between
+  blocks.
+
+Two-qubit gates come in two flavours:
+
+* **CZ-class** gates (``cz``, ``cp``, ``rzz``, ...) are diagonal two-qubit
+  gates natively executable by one Rydberg co-location.  Following the paper
+  (and Enola) each counts as a single two-qubit gate in the fidelity model.
+
+* Non-native two-qubit gates (``cx``, ``swap``) must be transpiled to
+  CZ-class gates plus one-qubit gates before compilation; see
+  :mod:`repro.circuits.transpile`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of a gate type.
+
+    Attributes:
+        name: Canonical lower-case gate name (OpenQASM 2 convention).
+        num_qubits: Gate arity (1 or 2).
+        num_params: Number of real parameters (rotation angles).
+        diagonal: True when the unitary is diagonal in the Z basis.
+        cz_class: True for diagonal two-qubit gates that execute natively
+            via one Rydberg co-location.
+    """
+
+    name: str
+    num_qubits: int
+    num_params: int
+    diagonal: bool
+    cz_class: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cz_class and (self.num_qubits != 2 or not self.diagonal):
+            raise ValueError(
+                f"gate {self.name!r}: cz_class requires a diagonal 2Q gate"
+            )
+
+
+def _build_registry() -> dict[str, GateSpec]:
+    one_qubit = [
+        # (name, num_params, diagonal)
+        ("id", 0, True),
+        ("x", 0, False),
+        ("y", 0, False),
+        ("z", 0, True),
+        ("h", 0, False),
+        ("s", 0, True),
+        ("sdg", 0, True),
+        ("t", 0, True),
+        ("tdg", 0, True),
+        ("sx", 0, False),
+        ("rx", 1, False),
+        ("ry", 1, False),
+        ("rz", 1, True),
+        ("p", 1, True),
+        ("u1", 1, True),
+        ("u2", 2, False),
+        ("u3", 3, False),
+        ("u", 3, False),
+    ]
+    two_qubit = [
+        # (name, num_params, diagonal, cz_class)
+        ("cz", 0, True, True),
+        ("cp", 1, True, True),
+        ("cu1", 1, True, True),
+        ("crz", 1, False, False),  # not diagonal (phase differs): transpile
+        ("rzz", 1, True, True),
+        ("cx", 0, False, False),
+        ("swap", 0, False, False),
+    ]
+    registry: dict[str, GateSpec] = {}
+    for name, num_params, diagonal in one_qubit:
+        registry[name] = GateSpec(name, 1, num_params, diagonal)
+    for name, num_params, diagonal, cz_class in two_qubit:
+        registry[name] = GateSpec(name, 2, num_params, diagonal, cz_class)
+    return registry
+
+
+#: Registry of all gate types understood by the IR, keyed by name.
+GATE_SPECS: dict[str, GateSpec] = _build_registry()
+
+
+class UnknownGateError(KeyError):
+    """Raised when a gate name is not present in :data:`GATE_SPECS`."""
+
+
+def gate_spec(name: str) -> GateSpec:
+    """Look up the :class:`GateSpec` for ``name`` (case-insensitive)."""
+    try:
+        return GATE_SPECS[name.lower()]
+    except KeyError as exc:
+        raise UnknownGateError(f"unknown gate {name!r}") from exc
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate application: a gate type bound to qubits and parameters.
+
+    Instances are immutable and hashable so they can serve as graph vertices
+    in the stage-partition algorithm.
+
+    Attributes:
+        name: Gate type name; must exist in :data:`GATE_SPECS`.
+        qubits: Target qubit indices, in gate-definition order.
+        params: Rotation angles (radians), empty for non-parametric gates.
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        spec = gate_spec(self.name)
+        object.__setattr__(self, "name", self.name.lower())
+        if len(self.qubits) != spec.num_qubits:
+            raise ValueError(
+                f"gate {self.name!r} expects {spec.num_qubits} qubits, "
+                f"got {len(self.qubits)}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"gate {self.name!r} has duplicate qubits {self.qubits}")
+        if any(q < 0 for q in self.qubits):
+            raise ValueError(f"gate {self.name!r} has negative qubit index")
+        if len(self.params) != spec.num_params:
+            raise ValueError(
+                f"gate {self.name!r} expects {spec.num_params} params, "
+                f"got {len(self.params)}"
+            )
+
+    @property
+    def spec(self) -> GateSpec:
+        """The static :class:`GateSpec` of this gate."""
+        return gate_spec(self.name)
+
+    @property
+    def num_qubits(self) -> int:
+        """Gate arity."""
+        return len(self.qubits)
+
+    @property
+    def is_two_qubit(self) -> bool:
+        """True for any two-qubit gate (native or not)."""
+        return len(self.qubits) == 2
+
+    @property
+    def is_cz_class(self) -> bool:
+        """True for diagonal two-qubit gates executable in one co-location."""
+        return self.spec.cz_class
+
+    @property
+    def is_diagonal(self) -> bool:
+        """True when the gate commutes with CZ-class gates."""
+        return self.spec.diagonal
+
+    def overlaps(self, other: "Gate") -> bool:
+        """True when the two gates share at least one qubit."""
+        return bool(set(self.qubits) & set(other.qubits))
+
+    def remapped(self, mapping: dict[int, int]) -> "Gate":
+        """Return a copy with qubit indices translated through ``mapping``."""
+        return Gate(
+            self.name,
+            tuple(mapping[q] for q in self.qubits),
+            self.params,
+        )
+
+    def __str__(self) -> str:
+        if self.params:
+            angles = ",".join(f"{p:.6g}" for p in self.params)
+            return f"{self.name}({angles}) {list(self.qubits)}"
+        return f"{self.name} {list(self.qubits)}"
+
+
+def cz(a: int, b: int) -> Gate:
+    """Convenience constructor for a CZ gate."""
+    return Gate("cz", (a, b))
+
+
+def h(q: int) -> Gate:
+    """Convenience constructor for a Hadamard gate."""
+    return Gate("h", (q,))
+
+
+def rz(theta: float, q: int) -> Gate:
+    """Convenience constructor for an RZ rotation."""
+    return Gate("rz", (q,), (theta,))
+
+
+def ry(theta: float, q: int) -> Gate:
+    """Convenience constructor for an RY rotation."""
+    return Gate("ry", (q,), (theta,))
+
+
+def rx(theta: float, q: int) -> Gate:
+    """Convenience constructor for an RX rotation."""
+    return Gate("rx", (q,), (theta,))
+
+
+def rzz(theta: float, a: int, b: int) -> Gate:
+    """Convenience constructor for the diagonal ZZ interaction."""
+    return Gate("rzz", (a, b), (theta,))
+
+
+def cp(theta: float, a: int, b: int) -> Gate:
+    """Convenience constructor for a controlled-phase gate."""
+    return Gate("cp", (a, b), (theta,))
+
+
+def cx(control: int, target: int) -> Gate:
+    """Convenience constructor for a CNOT gate (requires transpilation)."""
+    return Gate("cx", (control, target))
+
+
+def normalize_angle(theta: float) -> float:
+    """Map an angle into ``(-pi, pi]`` for stable comparison/printing."""
+    theta = math.fmod(theta, 2.0 * math.pi)
+    if theta > math.pi:
+        theta -= 2.0 * math.pi
+    elif theta <= -math.pi:
+        theta += 2.0 * math.pi
+    return theta
+
+
+def qubits_used(gates: Iterable[Gate]) -> set[int]:
+    """Union of qubit indices touched by ``gates``."""
+    used: set[int] = set()
+    for gate in gates:
+        used.update(gate.qubits)
+    return used

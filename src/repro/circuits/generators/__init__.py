@@ -1,0 +1,21 @@
+"""Benchmark circuit generators matching the paper's evaluation workloads."""
+
+from .bv import bernstein_vazirani, bv_secret
+from .qaoa import qaoa_random, qaoa_regular
+from .qft import qft
+from .qsim import append_pauli_rotation, qsim_random, random_pauli_strings
+from .vqe import vqe_ansatz, vqe_full_entanglement, vqe_linear_entanglement
+
+__all__ = [
+    "append_pauli_rotation",
+    "bernstein_vazirani",
+    "bv_secret",
+    "qaoa_random",
+    "qaoa_regular",
+    "qft",
+    "qsim_random",
+    "random_pauli_strings",
+    "vqe_ansatz",
+    "vqe_full_entanglement",
+    "vqe_linear_entanglement",
+]

@@ -1,0 +1,65 @@
+"""Bernstein-Vazirani benchmark circuit.
+
+Layout: qubits ``0..n-2`` are data qubits, qubit ``n-1`` is the phase
+ancilla.  The oracle is one CX from each secret-1 data qubit onto the
+ancilla.  After the native CX -> H.CZ.H rewrite, the ancilla Hadamards
+fence every CZ into its *own* commuting block, so an n-qubit BV circuit
+produces ~n/2 single-gate Rydberg stages with n-2 idle spectator qubits
+each -- the workload where the storage zone matters most (Table 3's
+BV-70 row: Enola 6.9e-4 vs PowerMove-with-storage 0.75).
+"""
+
+from __future__ import annotations
+
+from ...utils.rng import make_rng
+from ..circuit import Circuit
+
+
+def bv_secret(n_data: int, seed: int | None = 0) -> tuple[int, ...]:
+    """Random secret string with an even split of 0s and 1s (paper setup)."""
+    if n_data <= 0:
+        raise ValueError("need at least one data qubit")
+    rng = make_rng(seed)
+    n_ones = n_data // 2
+    bits = [1] * n_ones + [0] * (n_data - n_ones)
+    rng.shuffle(bits)
+    return tuple(bits)
+
+
+def bernstein_vazirani(
+    n: int,
+    secret: tuple[int, ...] | None = None,
+    seed: int | None = 0,
+) -> Circuit:
+    """The n-qubit BV circuit (n includes the ancilla).
+
+    Args:
+        n: Total qubit count; ``n - 1`` data qubits plus one ancilla.
+        secret: Explicit secret bit string of length ``n - 1``; randomly
+            generated (even 0/1 split) when omitted.
+        seed: Seed used when ``secret`` is omitted.
+    """
+    if n < 2:
+        raise ValueError("BV needs one data qubit and one ancilla")
+    n_data = n - 1
+    if secret is None:
+        secret = bv_secret(n_data, seed)
+    if len(secret) != n_data:
+        raise ValueError(f"secret must have length {n_data}")
+    if any(bit not in (0, 1) for bit in secret):
+        raise ValueError("secret bits must be 0 or 1")
+    ancilla = n - 1
+    circuit = Circuit(n, name=f"BV-{n}")
+    for q in range(n_data):
+        circuit.h(q)
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for q, bit in enumerate(secret):
+        if bit:
+            circuit.cx(q, ancilla)
+    for q in range(n_data):
+        circuit.h(q)
+    return circuit
+
+
+__all__ = ["bernstein_vazirani", "bv_secret"]

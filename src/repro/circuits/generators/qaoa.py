@@ -1,0 +1,96 @@
+"""QAOA benchmark circuits (Sec. 7.1 of the paper).
+
+Two families are used in the evaluation:
+
+* **QAOA-regular-d** -- MaxCut QAOA on a random *d*-regular graph; one
+  ``rzz`` per graph edge per layer.
+* **QAOA-random** -- "randomly placed ZZ gates between qubit pairs (50%
+  probability)", i.e. the interaction graph is Erdos-Renyi G(n, p).
+
+Both produce the canonical p-layer QAOA template: a Hadamard wall, then per
+layer the commuting ZZ cost block followed by the RX mixer wall.  All ZZ
+gates within a layer commute, so each layer contributes exactly one CZ
+block -- the dense-stage regime the paper's Fig. 6(a) analyses.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ...utils.rng import make_rng
+from ..circuit import Circuit
+
+
+def _qaoa_from_edges(
+    n: int,
+    edges: list[tuple[int, int]],
+    layers: int,
+    gamma: float,
+    beta: float,
+    name: str,
+) -> Circuit:
+    circuit = Circuit(n, name=name)
+    for q in range(n):
+        circuit.h(q)
+    for layer in range(layers):
+        angle = gamma * (layer + 1)
+        for a, b in edges:
+            circuit.rzz(angle, a, b)
+        for q in range(n):
+            circuit.rx(2.0 * beta * (layer + 1), q)
+    return circuit
+
+
+def qaoa_regular(
+    n: int,
+    degree: int = 3,
+    layers: int = 1,
+    seed: int | None = 0,
+    gamma: float = 0.7,
+    beta: float = 0.3,
+) -> Circuit:
+    """QAOA on a random ``degree``-regular graph with ``n`` nodes.
+
+    Args:
+        n: Number of qubits (graph nodes); ``n * degree`` must be even.
+        degree: Graph regularity (3 and 4 in the paper).
+        layers: QAOA depth p.
+        seed: Seed for the random regular graph.
+        gamma: Cost-layer angle.
+        beta: Mixer-layer angle.
+    """
+    if n <= degree:
+        raise ValueError(f"need n > degree, got n={n}, degree={degree}")
+    if (n * degree) % 2 != 0:
+        raise ValueError(f"no {degree}-regular graph on {n} nodes exists")
+    graph = nx.random_regular_graph(degree, n, seed=seed)
+    edges = sorted((min(a, b), max(a, b)) for a, b in graph.edges())
+    return _qaoa_from_edges(
+        n, edges, layers, gamma, beta, name=f"QAOA-regular{degree}-{n}"
+    )
+
+
+def qaoa_random(
+    n: int,
+    edge_probability: float = 0.5,
+    layers: int = 1,
+    seed: int | None = 0,
+    gamma: float = 0.7,
+    beta: float = 0.3,
+) -> Circuit:
+    """QAOA with ZZ gates on random qubit pairs (paper default p = 0.5)."""
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must be in [0, 1]")
+    rng = make_rng(seed)
+    edges = [
+        (a, b)
+        for a in range(n)
+        for b in range(a + 1, n)
+        if rng.random() < edge_probability
+    ]
+    return _qaoa_from_edges(
+        n, edges, layers, gamma, beta, name=f"QAOA-random-{n}"
+    )
+
+
+__all__ = ["qaoa_random", "qaoa_regular"]

@@ -1,0 +1,53 @@
+"""Quantum Fourier Transform benchmark circuit.
+
+The textbook construction: per target qubit a Hadamard followed by
+controlled-phase rotations from all lower-significance qubits, with the
+optional terminal qubit-reversal SWAP network.
+
+``cp`` gates are CZ-class (diagonal) and commute with each other, but each
+Hadamard fences its qubit, so the QFT decomposes into O(n) partially
+overlapping CZ blocks -- the mixed regime of the paper's Fig. 6(c).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuit import Circuit
+
+
+def qft(
+    n: int,
+    with_swaps: bool = True,
+    approximation_degree: int = 0,
+) -> Circuit:
+    """The n-qubit QFT.
+
+    Args:
+        n: Number of qubits.
+        with_swaps: Append the qubit-reversal SWAP network (transpiled to
+            CX/CZ later), matching the full textbook transform.
+        approximation_degree: Drop the ``approximation_degree`` smallest
+            rotation angles (0 = exact QFT).
+    """
+    if n <= 0:
+        raise ValueError("QFT needs at least one qubit")
+    if approximation_degree < 0:
+        raise ValueError("approximation_degree must be >= 0")
+    circuit = Circuit(n, name=f"QFT-{n}")
+    for target in range(n):
+        circuit.h(target)
+        for offset in range(1, n - target):
+            # Approximate QFT: drop the `approximation_degree` smallest
+            # rotations, i.e. keep only offsets up to n-1-approximation_degree.
+            if offset > n - 1 - approximation_degree:
+                continue
+            angle = math.pi / (2.0**offset)
+            circuit.cp(angle, target + offset, target)
+    if with_swaps:
+        for q in range(n // 2):
+            circuit.swap(q, n - 1 - q)
+    return circuit
+
+
+__all__ = ["qft"]

@@ -1,0 +1,539 @@
+"""OpenQASM 2.0 front end for the PowerMove IR.
+
+Supports the subset of OpenQASM 2.0 needed for all paper benchmarks plus
+user-defined gate macros:
+
+* ``OPENQASM 2.0;`` header and ``include`` statements (includes are treated
+  as bringing the standard ``qelib1.inc`` gates into scope; the file itself
+  is not read),
+* ``qreg`` / ``creg`` declarations (multiple quantum registers are flattened
+  into one index space in declaration order),
+* applications of every gate in :data:`repro.circuits.gates.GATE_SPECS`,
+  with parameter expressions over ``pi``, literals and ``+ - * / ^``,
+* register broadcast (``h q;`` applies ``h`` to every qubit of ``q``),
+* ``barrier`` and ``measure`` (single bit and full register),
+* ``gate name(params) qargs { ... }`` macro definitions, expanded at
+  application time with parameter substitution.
+
+The writer emits circuits back to OpenQASM 2.0 text; ``parse_qasm`` and
+``to_qasm`` round-trip for native circuits.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+from .circuit import Barrier, Circuit, Measure
+from .gates import GATE_SPECS, Gate
+
+
+class QasmError(ValueError):
+    """Raised on malformed OpenQASM input."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation (gate parameters)
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?"
+    r"|\d+(?:[eE][+-]?\d+)?)"
+    r"|(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<op>\*\*|[-+*/^()]))"
+)
+
+_FUNCTIONS = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "exp": math.exp,
+    "ln": math.log,
+    "sqrt": math.sqrt,
+}
+
+
+class _ExprParser:
+    """Recursive-descent parser for OpenQASM parameter expressions."""
+
+    def __init__(self, text: str, env: dict[str, float]) -> None:
+        self._tokens = self._tokenize(text)
+        self._pos = 0
+        self._env = env
+        self._text = text
+
+    @staticmethod
+    def _tokenize(text: str) -> list[str]:
+        tokens: list[str] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                if text[pos:].strip():
+                    raise QasmError(f"bad expression token near {text[pos:]!r}")
+                break
+            tokens.append(match.group().strip())
+            pos = match.end()
+        return tokens
+
+    def parse(self) -> float:
+        value = self._expr()
+        if self._pos != len(self._tokens):
+            raise QasmError(f"trailing tokens in expression {self._text!r}")
+        return value
+
+    def _peek(self) -> str | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise QasmError(f"unexpected end of expression {self._text!r}")
+        self._pos += 1
+        return token
+
+    def _expr(self) -> float:
+        value = self._term()
+        while self._peek() in ("+", "-"):
+            op = self._next()
+            rhs = self._term()
+            value = value + rhs if op == "+" else value - rhs
+        return value
+
+    def _term(self) -> float:
+        value = self._unary()
+        while self._peek() in ("*", "/"):
+            op = self._next()
+            rhs = self._unary()
+            if op == "/":
+                if rhs == 0:
+                    raise QasmError("division by zero in expression")
+                value = value / rhs
+            else:
+                value = value * rhs
+        return value
+
+    def _unary(self) -> float:
+        if self._peek() == "-":
+            self._next()
+            return -self._unary()
+        if self._peek() == "+":
+            self._next()
+            return self._unary()
+        return self._power()
+
+    def _power(self) -> float:
+        base = self._atom()
+        if self._peek() in ("^", "**"):
+            self._next()
+            exponent = self._unary()
+            return base**exponent
+        return base
+
+    def _atom(self) -> float:
+        token = self._next()
+        if token == "(":
+            value = self._expr()
+            if self._next() != ")":
+                raise QasmError(f"missing ')' in expression {self._text!r}")
+            return value
+        if token == "pi":
+            return math.pi
+        if token in _FUNCTIONS:
+            if self._next() != "(":
+                raise QasmError(f"function {token} needs parentheses")
+            value = self._expr()
+            if self._next() != ")":
+                raise QasmError(f"missing ')' after {token}(...)")
+            return _FUNCTIONS[token](value)
+        if token in self._env:
+            return self._env[token]
+        try:
+            return float(token)
+        except ValueError as exc:
+            raise QasmError(f"unknown symbol {token!r} in expression") from exc
+
+
+def evaluate_expression(text: str, env: dict[str, float] | None = None) -> float:
+    """Evaluate an OpenQASM parameter expression to a float."""
+    return _ExprParser(text, env or {}).parse()
+
+
+# ---------------------------------------------------------------------------
+# Statement-level parsing
+# ---------------------------------------------------------------------------
+
+_STATEMENT_RE = re.compile(
+    r"^(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"(?:\s*\(\s*(?P<params>[^)]*)\s*\))?"
+    r"\s*(?P<args>[^;]*)$"
+)
+
+_ARG_RE = re.compile(r"^(?P<reg>[A-Za-z_][A-Za-z0-9_]*)(?:\[(?P<index>\d+)\])?$")
+
+
+@dataclass
+class _GateMacro:
+    """A user-defined gate awaiting expansion."""
+
+    name: str
+    params: list[str]
+    qargs: list[str]
+    body: list[str] = field(default_factory=list)
+
+
+@dataclass
+class _Register:
+    name: str
+    size: int
+    offset: int
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    return text
+
+
+class QasmParser:
+    """Stateful OpenQASM 2.0 parser producing a :class:`Circuit`."""
+
+    def __init__(self) -> None:
+        self._qregs: dict[str, _Register] = {}
+        self._cregs: dict[str, _Register] = {}
+        self._macros: dict[str, _GateMacro] = {}
+        self._num_qubits = 0
+        self._ops: list = []
+
+    # -- public API ------------------------------------------------------
+
+    def parse(self, text: str, name: str = "qasm") -> Circuit:
+        """Parse OpenQASM source text into a circuit."""
+        statements = self._split_statements(_strip_comments(text))
+        for stmt in statements:
+            self._handle_statement(stmt)
+        if self._num_qubits == 0:
+            raise QasmError("no qreg declared")
+        circuit = Circuit(self._num_qubits, name=name)
+        for op in self._ops:
+            circuit.append(op)
+        return circuit
+
+    # -- statement splitting (handles gate-definition braces) -------------
+
+    @staticmethod
+    def _split_statements(text: str) -> list[str]:
+        statements: list[str] = []
+        depth = 0
+        current: list[str] = []
+        for ch in text:
+            if ch == "{":
+                depth += 1
+                current.append(ch)
+            elif ch == "}":
+                depth -= 1
+                if depth < 0:
+                    raise QasmError("unbalanced '}'")
+                current.append(ch)
+                if depth == 0:
+                    statements.append("".join(current).strip())
+                    current = []
+            elif ch == ";" and depth == 0:
+                stmt = "".join(current).strip()
+                if stmt:
+                    statements.append(stmt)
+                current = []
+            else:
+                current.append(ch)
+        if depth != 0:
+            raise QasmError("unbalanced '{'")
+        tail = "".join(current).strip()
+        if tail:
+            raise QasmError(f"trailing input without ';': {tail!r}")
+        return statements
+
+    # -- statement dispatch ------------------------------------------------
+
+    def _handle_statement(self, stmt: str) -> None:
+        stmt = stmt.strip()
+        if not stmt:
+            return
+        lowered = stmt.lower()
+        if lowered.startswith("openqasm"):
+            return
+        if lowered.startswith("include"):
+            return
+        if lowered.startswith("qreg"):
+            self._declare_register(stmt, quantum=True)
+            return
+        if lowered.startswith("creg"):
+            self._declare_register(stmt, quantum=False)
+            return
+        if lowered.startswith("gate "):
+            self._define_macro(stmt)
+            return
+        if lowered.startswith("opaque"):
+            return
+        if lowered.startswith("barrier"):
+            self._apply_barrier(stmt)
+            return
+        if lowered.startswith("measure"):
+            self._apply_measure(stmt)
+            return
+        if lowered.startswith("reset"):
+            raise QasmError("reset is not supported by the NAQC model")
+        if lowered.startswith("if"):
+            raise QasmError("classical control flow is not supported")
+        self._apply_gate_statement(stmt, env={})
+
+    def _declare_register(self, stmt: str, quantum: bool) -> None:
+        match = re.match(
+            r"^[qc]reg\s+([A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(\d+)\s*\]$", stmt
+        )
+        if match is None:
+            raise QasmError(f"malformed register declaration: {stmt!r}")
+        name, size = match.group(1), int(match.group(2))
+        if size <= 0:
+            raise QasmError(f"register {name!r} must have positive size")
+        table = self._qregs if quantum else self._cregs
+        if name in self._qregs or name in self._cregs:
+            raise QasmError(f"register {name!r} redeclared")
+        offset = self._num_qubits if quantum else sum(
+            reg.size for reg in self._cregs.values()
+        )
+        table[name] = _Register(name, size, offset)
+        if quantum:
+            self._num_qubits += size
+
+    # -- gate macros -------------------------------------------------------
+
+    def _define_macro(self, stmt: str) -> None:
+        match = re.match(
+            r"^gate\s+([A-Za-z_][A-Za-z0-9_]*)"
+            r"(?:\s*\(\s*([^)]*)\s*\))?"
+            r"\s*([^{]*)\{(.*)\}$",
+            stmt,
+            flags=re.DOTALL,
+        )
+        if match is None:
+            raise QasmError(f"malformed gate definition: {stmt!r}")
+        name = match.group(1)
+        if name in GATE_SPECS:
+            # Standard-library re-definitions (as in qelib1.inc) are ignored:
+            # the built-in semantics win.
+            return
+        params = [p.strip() for p in (match.group(2) or "").split(",") if p.strip()]
+        qargs = [q.strip() for q in match.group(3).split(",") if q.strip()]
+        body = [s.strip() for s in match.group(4).split(";") if s.strip()]
+        self._macros[name] = _GateMacro(name, params, qargs, body)
+
+    # -- applications ------------------------------------------------------
+
+    def _apply_barrier(self, stmt: str) -> None:
+        args = stmt[len("barrier"):].strip()
+        if not args:
+            self._ops.append(Barrier(()))
+            return
+        qubits: list[int] = []
+        for arg in (a.strip() for a in args.split(",")):
+            qubits.extend(self._resolve_qarg(arg))
+        self._ops.append(Barrier(tuple(qubits)))
+
+    def _apply_measure(self, stmt: str) -> None:
+        match = re.match(r"^measure\s+(.+?)\s*->\s*(.+)$", stmt)
+        if match is None:
+            raise QasmError(f"malformed measure: {stmt!r}")
+        qubits = self._resolve_qarg(match.group(1).strip())
+        clbits = self._resolve_carg(match.group(2).strip())
+        if len(qubits) != len(clbits):
+            raise QasmError(f"measure width mismatch: {stmt!r}")
+        for q, c in zip(qubits, clbits):
+            self._ops.append(Measure(q, c))
+
+    def _apply_gate_statement(self, stmt: str, env: dict[str, float]) -> None:
+        match = _STATEMENT_RE.match(stmt)
+        if match is None:
+            raise QasmError(f"malformed statement: {stmt!r}")
+        name = match.group("name").lower()
+        raw_params = match.group("params")
+        raw_args = match.group("args").strip()
+        params: tuple[float, ...] = ()
+        if raw_params is not None and raw_params.strip():
+            params = tuple(
+                evaluate_expression(p.strip(), env)
+                for p in raw_params.split(",")
+            )
+        args = [a.strip() for a in raw_args.split(",") if a.strip()]
+        if name in self._macros:
+            self._expand_macro(self._macros[name], params, args)
+            return
+        if name not in GATE_SPECS:
+            raise QasmError(f"unknown gate {name!r}")
+        self._apply_builtin(name, params, args)
+
+    def _apply_builtin(
+        self, name: str, params: tuple[float, ...], args: list[str]
+    ) -> None:
+        spec = GATE_SPECS[name]
+        if len(args) != spec.num_qubits:
+            raise QasmError(
+                f"gate {name!r} expects {spec.num_qubits} operands, got {len(args)}"
+            )
+        operand_lists = [self._resolve_qarg(arg) for arg in args]
+        lengths = {len(ops) for ops in operand_lists if len(ops) > 1}
+        if len(lengths) > 1:
+            raise QasmError(f"mismatched broadcast widths for gate {name!r}")
+        width = lengths.pop() if lengths else 1
+        for i in range(width):
+            qubits = tuple(
+                ops[i] if len(ops) > 1 else ops[0] for ops in operand_lists
+            )
+            self._ops.append(Gate(name, qubits, params))
+
+    def _expand_macro(
+        self, macro: _GateMacro, params: tuple[float, ...], args: list[str]
+    ) -> None:
+        if len(params) != len(macro.params):
+            raise QasmError(
+                f"macro {macro.name!r} expects {len(macro.params)} params"
+            )
+        if len(args) != len(macro.qargs):
+            raise QasmError(
+                f"macro {macro.name!r} expects {len(macro.qargs)} operands"
+            )
+        env = dict(zip(macro.params, params))
+        # Macro formal qubit args are single qubits; broadcast at the call.
+        operand_lists = [self._resolve_qarg(arg) for arg in args]
+        lengths = {len(ops) for ops in operand_lists if len(ops) > 1}
+        if len(lengths) > 1:
+            raise QasmError(f"mismatched broadcast widths for {macro.name!r}")
+        width = lengths.pop() if lengths else 1
+        for i in range(width):
+            binding = {
+                formal: (ops[i] if len(ops) > 1 else ops[0])
+                for formal, ops in zip(macro.qargs, operand_lists)
+            }
+            for body_stmt in macro.body:
+                self._apply_macro_body_statement(body_stmt, env, binding)
+
+    def _apply_macro_body_statement(
+        self, stmt: str, env: dict[str, float], binding: dict[str, int]
+    ) -> None:
+        match = _STATEMENT_RE.match(stmt)
+        if match is None:
+            raise QasmError(f"malformed macro body statement: {stmt!r}")
+        name = match.group("name").lower()
+        raw_params = match.group("params")
+        params: tuple[float, ...] = ()
+        if raw_params is not None and raw_params.strip():
+            params = tuple(
+                evaluate_expression(p.strip(), env)
+                for p in raw_params.split(",")
+            )
+        formals = [a.strip() for a in match.group("args").split(",") if a.strip()]
+        qubits: list[int] = []
+        for formal in formals:
+            if formal not in binding:
+                raise QasmError(
+                    f"macro body references unknown operand {formal!r}"
+                )
+            qubits.append(binding[formal])
+        if name in self._macros:
+            inner = self._macros[name]
+            env_inner = dict(zip(inner.params, params))
+            binding_inner = dict(zip(inner.qargs, qubits))
+            for body_stmt in inner.body:
+                self._apply_macro_body_statement(
+                    body_stmt, env_inner, binding_inner
+                )
+            return
+        if name == "barrier":
+            self._ops.append(Barrier(tuple(qubits)))
+            return
+        if name not in GATE_SPECS:
+            raise QasmError(f"unknown gate {name!r} in macro body")
+        self._ops.append(Gate(name, tuple(qubits), params))
+
+    # -- operand resolution --------------------------------------------------
+
+    def _resolve_qarg(self, arg: str) -> list[int]:
+        return self._resolve_arg(arg, self._qregs, "quantum")
+
+    def _resolve_carg(self, arg: str) -> list[int]:
+        return self._resolve_arg(arg, self._cregs, "classical")
+
+    @staticmethod
+    def _resolve_arg(
+        arg: str, table: dict[str, _Register], kind: str
+    ) -> list[int]:
+        match = _ARG_RE.match(arg)
+        if match is None:
+            raise QasmError(f"malformed operand {arg!r}")
+        reg_name = match.group("reg")
+        if reg_name not in table:
+            raise QasmError(f"unknown {kind} register {reg_name!r}")
+        reg = table[reg_name]
+        index = match.group("index")
+        if index is None:
+            return [reg.offset + i for i in range(reg.size)]
+        idx = int(index)
+        if not 0 <= idx < reg.size:
+            raise QasmError(f"index {idx} out of range for {reg_name!r}")
+        return [reg.offset + idx]
+
+
+def parse_qasm(text: str, name: str = "qasm") -> Circuit:
+    """Parse OpenQASM 2.0 source text into a :class:`Circuit`."""
+    return QasmParser().parse(text, name=name)
+
+
+def load_qasm(path: str, name: str | None = None) -> Circuit:
+    """Parse an OpenQASM 2.0 file from ``path``."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    return parse_qasm(text, name=name or path)
+
+
+def to_qasm(circuit: Circuit) -> str:
+    """Serialise a circuit to OpenQASM 2.0 text."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+        f"creg c[{circuit.num_qubits}];",
+    ]
+    for op in circuit.operations:
+        if isinstance(op, Gate):
+            if op.params:
+                angles = ",".join(repr(p) for p in op.params)
+                head = f"{op.name}({angles})"
+            else:
+                head = op.name
+            operands = ",".join(f"q[{q}]" for q in op.qubits)
+            lines.append(f"{head} {operands};")
+        elif isinstance(op, Barrier):
+            if op.qubits:
+                operands = ",".join(f"q[{q}]" for q in op.qubits)
+                lines.append(f"barrier {operands};")
+            else:
+                lines.append("barrier q;")
+        elif isinstance(op, Measure):
+            lines.append(f"measure q[{op.qubit}] -> c[{op.clbit}];")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "QasmError",
+    "QasmParser",
+    "evaluate_expression",
+    "load_qasm",
+    "parse_qasm",
+    "to_qasm",
+]

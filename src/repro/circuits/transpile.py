@@ -1,0 +1,102 @@
+"""Transpilation to the native NAQC gate set {1Q rotations, CZ-class}.
+
+Neutral-atom hardware natively executes one-qubit Raman rotations and
+CZ-class (diagonal two-qubit) gates via Rydberg co-location.  Everything
+else is rewritten:
+
+* ``cx control,target``  ->  ``h target; cz control,target; h target``
+* ``swap a,b``           ->  three CNOTs, each decomposed as above
+* ``crz(t) a,b``         ->  ``rz(t/2) b; cx a,b; rz(-t/2) b; cx a,b``
+
+The CX decomposition is the load-bearing one: it surrounds each CZ with
+Hadamards on the target, which *fences* commuting blocks on that qubit.
+This is exactly why BV and QSim circuits decompose into many small CZ
+blocks (Sec. 7.3 of the paper) and why the storage zone rescues their
+fidelity.
+"""
+
+from __future__ import annotations
+
+from .circuit import Barrier, Circuit, Measure
+from .gates import Gate
+
+
+class TranspileError(ValueError):
+    """Raised when a gate has no known rewrite to the native set."""
+
+
+def _decompose_cx(control: int, target: int) -> list[Gate]:
+    return [
+        Gate("h", (target,)),
+        Gate("cz", (control, target)),
+        Gate("h", (target,)),
+    ]
+
+
+def _decompose_swap(a: int, b: int) -> list[Gate]:
+    gates: list[Gate] = []
+    gates.extend(_decompose_cx(a, b))
+    gates.extend(_decompose_cx(b, a))
+    gates.extend(_decompose_cx(a, b))
+    return gates
+
+
+def _decompose_crz(theta: float, control: int, target: int) -> list[Gate]:
+    gates: list[Gate] = [Gate("rz", (target,), (theta / 2.0,))]
+    gates.extend(_decompose_cx(control, target))
+    gates.append(Gate("rz", (target,), (-theta / 2.0,)))
+    gates.extend(_decompose_cx(control, target))
+    return gates
+
+
+def decompose_gate(gate: Gate) -> list[Gate]:
+    """Rewrite one gate into the native set (identity for native gates)."""
+    if not gate.is_two_qubit or gate.is_cz_class:
+        return [gate]
+    if gate.name == "cx":
+        return _decompose_cx(*gate.qubits)
+    if gate.name == "swap":
+        return _decompose_swap(*gate.qubits)
+    if gate.name == "crz":
+        return _decompose_crz(gate.params[0], *gate.qubits)
+    raise TranspileError(f"no native decomposition for gate {gate}")
+
+
+def transpile_to_native(circuit: Circuit) -> Circuit:
+    """Rewrite every non-native gate; barriers/measures pass through.
+
+    Returns a new circuit whose two-qubit gates are all CZ-class, suitable
+    for :func:`repro.circuits.blocks.partition_into_blocks`.
+    """
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    for op in circuit.operations:
+        if isinstance(op, (Barrier, Measure)):
+            out.append(op)
+            continue
+        for gate in decompose_gate(op):
+            out.append(gate)
+    return out
+
+
+def count_added_gates(circuit: Circuit) -> dict[str, int]:
+    """Report how many 1Q/2Q gates transpilation adds (for sanity checks).
+
+    PowerMove and Enola add *no* two-qubit gates beyond the input program;
+    the returned ``two_qubit_delta`` must therefore be ``0`` whenever the
+    input's two-qubit gates are CX/CZ-class (SWAP legitimately costs 3).
+    """
+    native = transpile_to_native(circuit)
+    return {
+        "one_qubit_delta": native.num_one_qubit_gates
+        - circuit.num_one_qubit_gates,
+        "two_qubit_delta": native.num_two_qubit_gates
+        - circuit.num_two_qubit_gates,
+    }
+
+
+__all__ = [
+    "TranspileError",
+    "count_added_gates",
+    "decompose_gate",
+    "transpile_to_native",
+]

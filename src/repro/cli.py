@@ -1,0 +1,274 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+    compile    Compile an OpenQASM 2.0 file for a zoned NA machine.
+    bench      Run one Table 2 benchmark through all three scenarios.
+    table2     Print the Table 2 reproduction.
+    table3     Print a Table 3 reproduction over selected rows.
+    fig7       Print the Fig. 7 multi-AOD series.
+    scorecard  Evaluate the paper-vs-measured shape checks.
+    verify     State-vector check: compiled schedule == circuit (<= 12q).
+    profile    Structural workload characterisation of a QASM file.
+
+Examples:
+    python -m repro compile circuit.qasm --no-storage --trace
+    python -m repro bench BV-14
+    python -m repro table3 --keys BV-14 VQE-30
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (
+    figure7_series,
+    render_table2,
+    reproduce_table3,
+    run_benchmark,
+)
+from .analysis.tables import Table3Row
+from .analysis.visualize import program_trace
+from .baselines import EnolaConfig
+from .benchsuite import SUITE, get_benchmark
+from .circuits import load_qasm
+from .core import PowerMoveCompiler, PowerMoveConfig
+from .fidelity import evaluate_program
+from .schedule import validate_program
+from .schedule.serialize import dump_program
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    circuit = load_qasm(args.file)
+    config = PowerMoveConfig(
+        use_storage=args.storage,
+        num_aods=args.aods,
+        seed=args.seed,
+    )
+    result = PowerMoveCompiler(config).compile(circuit)
+    validate_program(result.program, source_circuit=result.native_circuit)
+    report = evaluate_program(result.program)
+    print(f"compiled {args.file!r} with {result.program.compiler_name}")
+    print(f"  qubits          : {circuit.num_qubits}")
+    print(f"  rydberg stages  : {result.program.num_stages}")
+    print(f"  coll-moves      : {result.program.num_coll_moves}")
+    print(f"  transfers       : {result.program.num_transfers}")
+    print(f"  T_exe           : {report.execution_time_us:.1f} us")
+    print(f"  T_comp          : {result.compile_time * 1e3:.2f} ms")
+    print(f"  fidelity        : {report.total:.6g}")
+    for name, value in report.infidelity_breakdown().items():
+        print(f"    1-f[{name:12s}]: {value:.6g}")
+    if args.output:
+        dump_program(result.program, args.output)
+        print(f"  wrote program   : {args.output}")
+    if args.trace:
+        print()
+        print(program_trace(result.program, max_instructions=args.trace))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    spec = get_benchmark(args.key)
+    enola_cfg = EnolaConfig(
+        seed=args.seed,
+        mis_restarts=args.mis_restarts,
+        sa_iterations_per_qubit=args.sa_iterations,
+    )
+    result = run_benchmark(
+        spec, num_aods=args.aods, seed=args.seed, enola_config=enola_cfg
+    )
+    row = Table3Row.from_result(result)
+    print(f"benchmark {args.key} ({spec.num_qubits} qubits)")
+    print(
+        f"  fidelity   enola={row.enola_fidelity:.4g}  "
+        f"ns={row.ns_fidelity:.4g}  ws={row.ws_fidelity:.4g}  "
+        f"improv={row.fidelity_improvement:.3g}x"
+    )
+    print(
+        f"  T_exe (us) enola={row.enola_texe_us:.0f}  "
+        f"ns={row.ns_texe_us:.0f}  ws={row.ws_texe_us:.0f}  "
+        f"improv={row.texe_improvement:.2f}x"
+    )
+    print(
+        f"  T_comp (s) enola={row.enola_tcomp_s:.4f}  "
+        f"ours={row.pm_tcomp_s:.4f}  improv={row.tcomp_improvement:.2f}x"
+    )
+    return 0
+
+
+def _cmd_table2(_args: argparse.Namespace) -> int:
+    print(render_table2())
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    keys = tuple(args.keys) if args.keys else None
+    if keys:
+        for key in keys:
+            get_benchmark(key)  # validate early
+    enola_cfg = EnolaConfig(
+        seed=args.seed,
+        mis_restarts=args.mis_restarts,
+        sa_iterations_per_qubit=args.sa_iterations,
+    )
+    table = reproduce_table3(keys=keys, seed=args.seed, enola_config=enola_cfg)
+    print(table.render())
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .circuits import transpile_to_native
+    from .verify import verify_program_semantics
+
+    circuit = load_qasm(args.file)
+    config = PowerMoveConfig(
+        use_storage=args.storage, num_aods=args.aods, seed=args.seed
+    )
+    result = PowerMoveCompiler(config).compile(circuit)
+    validate_program(result.program, source_circuit=result.native_circuit)
+    overlap = verify_program_semantics(
+        result.program, transpile_to_native(circuit), seed=args.seed
+    )
+    print(
+        f"verified {args.file!r}: structural checks pass, "
+        f"state-vector overlap {overlap:.12f}"
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .analysis.workloads import profile_circuit, render_profiles
+
+    profile = profile_circuit(load_qasm(args.file))
+    print(render_profiles([profile]))
+    return 0
+
+
+def _cmd_scorecard(args: argparse.Namespace) -> int:
+    from .analysis.scorecard import run_scorecard
+
+    keys = tuple(args.keys) if args.keys else None
+    enola_cfg = EnolaConfig(
+        seed=args.seed,
+        mis_restarts=args.mis_restarts,
+        sa_iterations_per_qubit=args.sa_iterations,
+    )
+    card = run_scorecard(keys=keys, seed=args.seed, enola_config=enola_cfg)
+    print(card.render())
+    return 0 if card.score >= args.min_score else 1
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    keys = tuple(args.keys) if args.keys else ("BV-14", "QSIM-rand-0.3-10")
+    series = figure7_series(
+        keys=keys, aod_counts=tuple(args.aod_counts), seed=args.seed
+    )
+    print(series.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser(
+        "compile", help="compile an OpenQASM 2.0 file"
+    )
+    p_compile.add_argument("file", help="path to the .qasm file")
+    p_compile.add_argument(
+        "--no-storage",
+        dest="storage",
+        action="store_false",
+        help="disable the storage zone (non-storage scenario)",
+    )
+    p_compile.add_argument("--aods", type=int, default=1)
+    p_compile.add_argument("--seed", type=int, default=0)
+    p_compile.add_argument(
+        "--output", help="write the compiled program as JSON"
+    )
+    p_compile.add_argument(
+        "--trace",
+        type=int,
+        nargs="?",
+        const=40,
+        default=None,
+        help="print an instruction trace (optionally: max instructions)",
+    )
+    p_compile.set_defaults(func=_cmd_compile, storage=True)
+
+    p_bench = sub.add_parser(
+        "bench", help="run one Table 2 benchmark, all scenarios"
+    )
+    p_bench.add_argument("key", help=f"one of: {', '.join(SUITE)}")
+    p_bench.add_argument("--aods", type=int, default=1)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--mis-restarts", type=int, default=5)
+    p_bench.add_argument("--sa-iterations", type=int, default=150)
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_table2 = sub.add_parser("table2", help="print the Table 2 reproduction")
+    p_table2.set_defaults(func=_cmd_table2)
+
+    p_table3 = sub.add_parser("table3", help="print a Table 3 reproduction")
+    p_table3.add_argument("--keys", nargs="*", default=None)
+    p_table3.add_argument("--seed", type=int, default=0)
+    p_table3.add_argument("--mis-restarts", type=int, default=5)
+    p_table3.add_argument("--sa-iterations", type=int, default=150)
+    p_table3.set_defaults(func=_cmd_table3)
+
+    p_verify = sub.add_parser(
+        "verify", help="state-vector equivalence check (<= 12 qubits)"
+    )
+    p_verify.add_argument("file", help="path to the .qasm file")
+    p_verify.add_argument(
+        "--no-storage", dest="storage", action="store_false"
+    )
+    p_verify.add_argument("--aods", type=int, default=1)
+    p_verify.add_argument("--seed", type=int, default=0)
+    p_verify.set_defaults(func=_cmd_verify, storage=True)
+
+    p_profile = sub.add_parser(
+        "profile", help="structural workload characterisation"
+    )
+    p_profile.add_argument("file", help="path to the .qasm file")
+    p_profile.set_defaults(func=_cmd_profile)
+
+    p_score = sub.add_parser(
+        "scorecard", help="paper-vs-measured shape checks"
+    )
+    p_score.add_argument("--keys", nargs="*", default=None)
+    p_score.add_argument("--seed", type=int, default=0)
+    p_score.add_argument("--mis-restarts", type=int, default=5)
+    p_score.add_argument("--sa-iterations", type=int, default=150)
+    p_score.add_argument(
+        "--min-score",
+        type=float,
+        default=0.0,
+        help="exit non-zero when the pass fraction falls below this",
+    )
+    p_score.set_defaults(func=_cmd_scorecard)
+
+    p_fig7 = sub.add_parser("fig7", help="print the Fig. 7 multi-AOD series")
+    p_fig7.add_argument("--keys", nargs="*", default=None)
+    p_fig7.add_argument(
+        "--aod-counts", nargs="*", type=int, default=[1, 2, 3, 4]
+    )
+    p_fig7.add_argument("--seed", type=int, default=0)
+    p_fig7.set_defaults(func=_cmd_fig7)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Coll-Move Scheduler (paper Sec. 6).
+
+Orders and parallelises the collective moves of one layout transition:
+
+* **Intra-stage scheduling** (Sec. 6.1): CollMoves are sorted by
+  descending ``n_in - n_out`` (storage move-ins minus move-outs), so moves
+  that park qubits in the protected storage zone run first and moves that
+  fetch qubits out run last -- maximising storage dwell time and thus
+  minimising decoherence.  As a beneficial side effect, compute-site
+  departures (into storage) precede arrivals (out of storage), keeping
+  transient site pressure low.
+
+* **Multi-AOD scheduling** (Sec. 6.2): with ``n`` independent AOD arrays,
+  the ordered CollMoves ``G'_1..G'_k`` are chunked into parallel batches
+  of ``n``; the r-th batch runs its members concurrently on distinct
+  arrays and completes in ``t_transfer``-bookended ``max`` time.  The
+  number of transfers (and hence the transfer-fidelity term) is unchanged;
+  only wall-clock time shrinks.
+"""
+
+from __future__ import annotations
+
+from ..hardware.moves import CollMove
+from ..hardware.params import HardwareParams
+from ..schedule.instructions import MoveBatch
+
+
+def order_coll_moves(
+    coll_moves: list[CollMove], prioritize_move_ins: bool = True
+) -> list[CollMove]:
+    """Sec. 6.1: sort by descending ``n_in - n_out`` (stable).
+
+    With ``prioritize_move_ins=False`` (ablation A3) the grouping order is
+    kept as-is.
+    """
+    if not prioritize_move_ins:
+        return list(coll_moves)
+    indexed = list(enumerate(coll_moves))
+    indexed.sort(
+        key=lambda pair: (
+            -(pair[1].num_into_storage - pair[1].num_out_of_storage),
+            pair[0],
+        )
+    )
+    return [cm for _, cm in indexed]
+
+
+def schedule_coll_moves(
+    coll_moves: list[CollMove],
+    num_aods: int = 1,
+    prioritize_move_ins: bool = True,
+) -> list[MoveBatch]:
+    """Order CollMoves and chunk them into parallel MoveBatches (Sec. 6.2).
+
+    Args:
+        coll_moves: CollMoves of one layout transition.
+        num_aods: Independent AOD arrays; batch width.
+        prioritize_move_ins: Apply the Sec. 6.1 intra-stage ordering.
+
+    Returns:
+        MoveBatches in execution order; each holds up to ``num_aods``
+        CollMoves with distinct ``aod_index`` values assigned.
+    """
+    if num_aods < 1:
+        raise ValueError("need at least one AOD array")
+    ordered = order_coll_moves(coll_moves, prioritize_move_ins)
+    batches: list[MoveBatch] = []
+    for start in range(0, len(ordered), num_aods):
+        chunk = ordered[start:start + num_aods]
+        for aod, cm in enumerate(chunk):
+            cm.aod_index = aod
+        batches.append(MoveBatch(coll_moves=chunk))
+    return batches
+
+
+def transition_duration(
+    batches: list[MoveBatch], params: HardwareParams
+) -> float:
+    """Total wall-clock time of one layout transition (seconds)."""
+    return sum(batch.duration(params) for batch in batches)
+
+
+__all__ = ["order_coll_moves", "schedule_coll_moves", "transition_duration"]

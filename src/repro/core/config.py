@@ -1,0 +1,65 @@
+"""Configuration of the PowerMove compiler.
+
+Every design choice the paper's ablation study (and ours) toggles is a
+field here, so experiments can switch individual components on and off
+without touching compiler code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PowerMoveConfig:
+    """Knobs of the PowerMove compiler.
+
+    Attributes:
+        use_storage: Integrate the storage zone (the paper's *with-storage*
+            scenario).  When False only the continuous router runs and all
+            qubits stay in the computation zone (*non-storage* scenario).
+        alpha: Stage-ordering weight for move-outs (Sec. 4.2); must be in
+            (0, 1) -- the paper assigns a *lower* weight to qubits entering
+            the next stage's interacting set because moving into storage is
+            preferable to moving out.
+        num_aods: Independent AOD arrays available for parallel CollMoves.
+        seed: Seed for the router's case-4 random mobile/static choice.
+        reorder_stages: Enable the Stage Scheduler's zone-aware ordering
+            (ablation A1 disables it; meaningful only with storage).
+        distance_aware_grouping: Sort 1Q moves by ascending distance before
+            greedy CollMove grouping (Sec. 5.3; ablation A2 uses FIFO).
+        intra_stage_ordering: Order CollMoves by descending
+            ``n_in - n_out`` (Sec. 6.1; ablation A3 disables it).
+        annealed_placement: Use the Enola-style simulated-annealing initial
+            placement instead of the fast row-major grid.  PowerMove's
+            layout role is minor (Sec. 4.2: the layout never returns to the
+            initial configuration), so the fast default keeps compile time
+            near-linear.
+        stage_ordering: Vertex visiting order for Algorithm 1's greedy
+            colouring: ``"saturation"`` (DSATUR, default) or ``"degree"``
+            (the paper's literal static order); see
+            :func:`repro.core.stage_scheduler.partition_stages`.
+    """
+
+    use_storage: bool = True
+    alpha: float = 0.5
+    num_aods: int = 1
+    seed: int = 0
+    reorder_stages: bool = True
+    distance_aware_grouping: bool = True
+    intra_stage_ordering: bool = True
+    annealed_placement: bool = False
+    stage_ordering: str = "saturation"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {self.alpha}")
+        if self.num_aods < 1:
+            raise ValueError("need at least one AOD array")
+        if self.stage_ordering not in ("saturation", "degree"):
+            raise ValueError(
+                f"unknown stage_ordering {self.stage_ordering!r}"
+            )
+
+
+__all__ = ["PowerMoveConfig"]

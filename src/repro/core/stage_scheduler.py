@@ -1,0 +1,228 @@
+"""Stage Scheduler (paper Sec. 4).
+
+Two responsibilities:
+
+1. **Stage partition** (Sec. 4.1, Algorithm 1): split a commuting CZ block
+   into *stages* -- groups of gates on pairwise-disjoint qubits that one
+   Rydberg excitation can execute in parallel.  This is greedy colouring
+   of the block's gate-conflict graph; the default visiting order is the
+   DSATUR (dynamic saturation) refinement of the paper's static
+   descending-degree order -- same greedy AssignColor, same near-linear
+   cost, but it consistently reaches the Vizing-optimal stage count on
+   the benchmark families (the literal ordering is available via
+   ``ordering="degree"``).
+
+2. **Stage scheduling** (Sec. 4.2): because the block's gates all commute,
+   its stages may run in any order.  With a storage zone, ordering decides
+   how many qubits shuttle between zones at each transition.  The first
+   stage is the one with the fewest interacting qubits (leave as many
+   qubits as possible parked in storage); each subsequent stage greedily
+   minimises
+
+       |Q_cur \\ Q_next|  +  alpha * |Q_next \\ Q_cur|,   alpha < 1
+
+   i.e. full weight on qubits that will retire *into* storage and reduced
+   weight on qubits that must be fetched *out*, reflecting that dwell time
+   in storage is free of decoherence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..circuits.blocks import CZBlock
+from ..circuits.gates import Gate
+
+
+@dataclass
+class Stage:
+    """One Rydberg stage: CZ-class gates on pairwise-disjoint qubits.
+
+    Attributes:
+        gates: Member gates.
+        block_index: Index of the source commuting block.
+        color: Colour assigned by the partition algorithm (stable id).
+    """
+
+    gates: list[Gate] = field(default_factory=list)
+    block_index: int = 0
+    color: int = 0
+
+    @property
+    def num_gates(self) -> int:
+        """Number of gates executed by this stage."""
+        return len(self.gates)
+
+    def interacting_qubits(self) -> frozenset[int]:
+        """Qubits participating in a CZ during this stage."""
+        qubits: set[int] = set()
+        for gate in self.gates:
+            qubits.update(gate.qubits)
+        return frozenset(qubits)
+
+    def validate(self) -> None:
+        """Assert the disjointness invariant."""
+        seen: set[int] = set()
+        for gate in self.gates:
+            for q in gate.qubits:
+                assert q not in seen, f"stage gates overlap on qubit {q}"
+                seen.add(q)
+
+
+def _greedy_color_static(
+    adjacency: dict[int, list[int]], n: int
+) -> list[int]:
+    """Literal Algorithm 1: one pass in descending-degree order."""
+    degrees = {v: len(neigh) for v, neigh in adjacency.items()}
+    order = sorted(range(n), key=lambda v: (-degrees[v], v))
+    color = [-1] * n
+    for vertex in order:
+        taken = {color[u] for u in adjacency[vertex] if color[u] != -1}
+        c = 0
+        while c in taken:
+            c += 1
+        color[vertex] = c
+    return color
+
+
+def _greedy_color_saturation(
+    adjacency: dict[int, list[int]], n: int
+) -> list[int]:
+    """DSATUR refinement: visit vertices by dynamic saturation degree.
+
+    Same greedy colour assignment as Algorithm 1, but the visiting order
+    is recomputed as colours land: always pick the uncoloured vertex whose
+    neighbours already use the most distinct colours (ties: higher degree,
+    then input order).  On the line graphs these blocks induce, this
+    reliably reaches the Vizing-optimal stage count where a single static
+    degree ordering can overshoot by one or two stages.
+    """
+    color = [-1] * n
+    saturation: list[set[int]] = [set() for _ in range(n)]
+    degrees = [len(adjacency[v]) for v in range(n)]
+    uncolored = set(range(n))
+    while uncolored:
+        vertex = max(
+            uncolored,
+            key=lambda v: (len(saturation[v]), degrees[v], -v),
+        )
+        c = 0
+        while c in saturation[vertex]:
+            c += 1
+        color[vertex] = c
+        uncolored.discard(vertex)
+        for u in adjacency[vertex]:
+            saturation[u].add(c)
+    return color
+
+
+def partition_stages(
+    block: CZBlock, ordering: str = "saturation"
+) -> list[Stage]:
+    """Algorithm 1: partition a commuting block into parallel stages.
+
+    Gates are vertices of the block's conflict graph (edges join gates
+    sharing a qubit); greedy colouring assigns each the smallest colour
+    unused among coloured neighbours, and gates of one colour form one
+    stage.
+
+    Args:
+        block: The commuting CZ block to partition.
+        ordering: Vertex visiting order for ``AssignColor``:
+            ``"saturation"`` (default, DSATUR -- dynamically most-
+            saturated first) or ``"degree"`` (the paper's literal static
+            descending-degree order).  Both are near-linear heuristics;
+            saturation matches or beats the static order on every
+            benchmark family (fewer stages = fewer Rydberg excitations).
+
+    Returns stages ordered by colour; every gate appears in exactly one.
+    """
+    gates = block.gates
+    n = len(gates)
+    if n == 0:
+        return []
+    adjacency = block.interaction_graph()
+    if ordering == "saturation":
+        color = _greedy_color_saturation(adjacency, n)
+    elif ordering == "degree":
+        color = _greedy_color_static(adjacency, n)
+    else:
+        raise ValueError(f"unknown ordering {ordering!r}")
+    num_colors = max(color) + 1
+    stages = [
+        Stage(block_index=block.index, color=c) for c in range(num_colors)
+    ]
+    for vertex, c in enumerate(color):
+        stages[c].gates.append(gates[vertex])
+    for stage in stages:
+        stage.validate()
+    return stages
+
+
+def transition_cost(
+    current: frozenset[int], candidate: frozenset[int], alpha: float
+) -> float:
+    """Sec. 4.2 stage-difference metric ``|Qc\\Qn| + alpha*|Qn\\Qc|``."""
+    return len(current - candidate) + alpha * len(candidate - current)
+
+
+def order_stages(stages: list[Stage], alpha: float = 0.5) -> list[Stage]:
+    """Sec. 4.2: order stages to minimise inter-zone interchange.
+
+    The first stage has the fewest interacting qubits; each next stage
+    greedily minimises :func:`transition_cost` against the current one.
+    Ties break on the partition colour for determinism.
+
+    Args:
+        stages: Stages of one commuting block (freely reorderable).
+        alpha: Move-out weight in (0, 1).
+
+    Returns:
+        A new list containing the same stages in scheduled order.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    if len(stages) <= 1:
+        return list(stages)
+    remaining = list(stages)
+    qubit_sets = {id(s): s.interacting_qubits() for s in remaining}
+    first = min(
+        remaining, key=lambda s: (len(qubit_sets[id(s)]), s.color)
+    )
+    ordered = [first]
+    remaining.remove(first)
+    current = qubit_sets[id(first)]
+    while remaining:
+        nxt = min(
+            remaining,
+            key=lambda s: (
+                transition_cost(current, qubit_sets[id(s)], alpha),
+                s.color,
+            ),
+        )
+        ordered.append(nxt)
+        remaining.remove(nxt)
+        current = qubit_sets[id(nxt)]
+    return ordered
+
+
+def schedule_block(
+    block: CZBlock,
+    alpha: float = 0.5,
+    reorder: bool = True,
+    ordering: str = "saturation",
+) -> list[Stage]:
+    """Partition a block into stages and (optionally) order them."""
+    stages = partition_stages(block, ordering=ordering)
+    if reorder:
+        return order_stages(stages, alpha)
+    return stages
+
+
+__all__ = [
+    "Stage",
+    "order_stages",
+    "partition_stages",
+    "schedule_block",
+    "transition_cost",
+]

@@ -1,0 +1,131 @@
+"""Timeline simulation of a compiled program.
+
+Replays the instruction stream to produce everything the paper's fidelity
+formula (Eq. 1) consumes:
+
+* the execution time ``T_exe`` (1Q layers + movement batches + excitations);
+* per-qubit *decoherence exposure* ``T_q``: wall-clock time during which the
+  qubit is neither in the storage zone nor actively being gated.  Movement
+  and transfer time counts as exposure (the qubit is in flight); storage
+  dwell does not (Sec. 2.2: coherence decay in storage is negligible);
+* the idle-excitation count ``sum_i n_i``: how many times a non-interacting
+  qubit sat in the computation zone during a Rydberg excitation;
+* gate and transfer counts (``g1``, ``g2``, ``N_trans``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hardware.geometry import Zone
+from ..schedule.instructions import MoveBatch, OneQubitLayer, RydbergStage
+from ..schedule.program import NAProgram
+from ..schedule.tracker import PositionTracker
+
+
+@dataclass
+class ExecutionTimeline:
+    """Aggregates produced by replaying a program.
+
+    Attributes:
+        total_time: Execution time ``T_exe`` in seconds.
+        exposure: Per-qubit decoherence exposure ``T_q`` in seconds.
+        num_one_qubit_gates: ``g1``.
+        num_two_qubit_gates: ``g2``.
+        num_transfers: ``N_trans``.
+        idle_excitations: ``sum_i n_i`` across all Rydberg stages.
+        idle_per_stage: ``n_i`` for each stage, in order.
+        num_stages: Number of Rydberg excitations ``S``.
+        move_time: Seconds spent in movement batches (incl. transfers).
+        storage_dwell: Per-qubit seconds protected in the storage zone.
+    """
+
+    total_time: float = 0.0
+    exposure: dict[int, float] = field(default_factory=dict)
+    num_one_qubit_gates: int = 0
+    num_two_qubit_gates: int = 0
+    num_transfers: int = 0
+    idle_excitations: int = 0
+    idle_per_stage: list[int] = field(default_factory=list)
+    num_stages: int = 0
+    move_time: float = 0.0
+    storage_dwell: dict[int, float] = field(default_factory=dict)
+
+    def max_exposure(self) -> float:
+        """Largest per-qubit exposure (seconds)."""
+        return max(self.exposure.values(), default=0.0)
+
+    def total_exposure(self) -> float:
+        """Sum of per-qubit exposures (seconds)."""
+        return sum(self.exposure.values())
+
+
+def simulate_timeline(program: NAProgram) -> ExecutionTimeline:
+    """Replay ``program`` and accumulate the Eq. (1) inputs."""
+    params = program.architecture.params
+    layout = PositionTracker.from_layout(program.initial_layout)
+    timeline = ExecutionTimeline()
+    qubits = layout.qubits
+    timeline.exposure = {q: 0.0 for q in qubits}
+    timeline.storage_dwell = {q: 0.0 for q in qubits}
+
+    def expose_resting(duration: float, busy: dict[int, float]) -> None:
+        """Charge ``duration`` to every qubit, minus protection and work."""
+        for q in qubits:
+            work = busy.get(q, 0.0)
+            if layout.zone_of(q) is Zone.STORAGE:
+                timeline.storage_dwell[q] += duration - work
+            else:
+                timeline.exposure[q] += duration - work
+
+    for instr in program.instructions:
+        if isinstance(instr, OneQubitLayer):
+            duration = instr.duration(params)
+            busy = {
+                q: count * params.duration_1q
+                for q, count in instr.pulse_counts().items()
+            }
+            expose_resting(duration, busy)
+            timeline.total_time += duration
+            timeline.num_one_qubit_gates += instr.num_gates
+        elif isinstance(instr, MoveBatch):
+            duration = instr.duration(params)
+            movers = set(instr.moved_qubits)
+            # Movers are in flight for the full batch: exposed regardless of
+            # their start/end zone.  Resting qubits are protected iff parked
+            # in storage.
+            for q in qubits:
+                if q in movers:
+                    timeline.exposure[q] += duration
+                elif layout.zone_of(q) is Zone.STORAGE:
+                    timeline.storage_dwell[q] += duration
+                else:
+                    timeline.exposure[q] += duration
+            layout.apply_moves(instr.all_moves)
+            timeline.total_time += duration
+            timeline.move_time += duration
+            timeline.num_transfers += instr.num_transfers
+        elif isinstance(instr, RydbergStage):
+            duration = instr.duration(params)
+            interacting = instr.interacting_qubits()
+            idle_here = 0
+            for q in qubits:
+                if q in interacting:
+                    continue
+                if layout.zone_of(q) is Zone.STORAGE:
+                    timeline.storage_dwell[q] += duration
+                else:
+                    timeline.exposure[q] += duration
+                    idle_here += 1
+            timeline.total_time += duration
+            timeline.num_stages += 1
+            timeline.num_two_qubit_gates += instr.num_gates
+            timeline.idle_excitations += idle_here
+            timeline.idle_per_stage.append(idle_here)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown instruction {instr!r}")
+
+    return timeline
+
+
+__all__ = ["ExecutionTimeline", "simulate_timeline"]

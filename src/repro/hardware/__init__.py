@@ -1,0 +1,36 @@
+"""Neutral-atom hardware model: parameters, geometry, layouts, movements."""
+
+from .geometry import Site, Zone, ZonedArchitecture
+from .kinematics import (
+    BangBangProfile,
+    MoveWaveform,
+    PaperProfile,
+    coll_move_waveforms,
+    move_waveform,
+    sample_profile,
+)
+from .layout import Layout, LayoutError
+from .moves import CollMove, Move, group_moves, moves_conflict
+from .params import DEFAULT_PARAMS, UM, US, HardwareParams
+
+__all__ = [
+    "BangBangProfile",
+    "CollMove",
+    "DEFAULT_PARAMS",
+    "HardwareParams",
+    "Layout",
+    "LayoutError",
+    "Move",
+    "MoveWaveform",
+    "PaperProfile",
+    "Site",
+    "UM",
+    "US",
+    "Zone",
+    "ZonedArchitecture",
+    "coll_move_waveforms",
+    "group_moves",
+    "move_waveform",
+    "moves_conflict",
+    "sample_profile",
+]

@@ -1,0 +1,260 @@
+"""Qubit layouts: the qubit -> site assignment with occupancy rules.
+
+The paper's site-level abstraction (Sec. 5.1): a site can hold *two* qubits
+only while they form an interacting CZ pair, *one* non-interacting qubit, or
+be empty.  :class:`Layout` enforces the capacity bound; whether co-tenants
+actually interact is checked per Rydberg stage by the program validator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Mapping
+
+from .geometry import Site, Zone, ZonedArchitecture
+
+
+class LayoutError(ValueError):
+    """Raised when an operation would violate layout invariants."""
+
+
+class Layout:
+    """Mutable mapping from qubits to sites on one machine.
+
+    Example:
+        >>> arch = ZonedArchitecture.for_qubits(4, with_storage=True)
+        >>> layout = Layout.row_major(arch, 4, zone=Zone.STORAGE)
+        >>> layout.zone_of(0)
+        <Zone.STORAGE: 'storage'>
+    """
+
+    MAX_OCCUPANCY = 2
+
+    def __init__(
+        self, architecture: ZonedArchitecture, mapping: Mapping[int, Site]
+    ) -> None:
+        self._arch = architecture
+        self._sites: dict[int, Site] = {}
+        self._occupants: dict[Site, set[int]] = {}
+        for qubit, site in mapping.items():
+            self._place(qubit, site)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def row_major(
+        cls,
+        architecture: ZonedArchitecture,
+        num_qubits: int,
+        zone: Zone = Zone.COMPUTE,
+    ) -> "Layout":
+        """Place qubits 0..n-1 one per site in row-major site order."""
+        sites = architecture.sites_in(zone)
+        if num_qubits > len(sites):
+            raise LayoutError(
+                f"{num_qubits} qubits do not fit in {len(sites)} "
+                f"{zone.value} sites"
+            )
+        return cls(architecture, {q: sites[q] for q in range(num_qubits)})
+
+    @classmethod
+    def from_permutation(
+        cls,
+        architecture: ZonedArchitecture,
+        permutation: Iterable[int],
+        zone: Zone = Zone.COMPUTE,
+    ) -> "Layout":
+        """Place qubit ``permutation[i]`` on the i-th site of ``zone``."""
+        sites = architecture.sites_in(zone)
+        perm = list(permutation)
+        if len(perm) > len(sites):
+            raise LayoutError("permutation longer than zone capacity")
+        if len(set(perm)) != len(perm):
+            raise LayoutError("permutation contains duplicates")
+        return cls(architecture, {q: sites[i] for i, q in enumerate(perm)})
+
+    # ------------------------------------------------------------------
+    # Core accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def architecture(self) -> ZonedArchitecture:
+        """The machine this layout lives on."""
+        return self._arch
+
+    @property
+    def qubits(self) -> tuple[int, ...]:
+        """All placed qubits, ascending."""
+        return tuple(sorted(self._sites))
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of placed qubits."""
+        return len(self._sites)
+
+    def site_of(self, qubit: int) -> Site:
+        """Site currently holding ``qubit``."""
+        try:
+            return self._sites[qubit]
+        except KeyError as exc:
+            raise LayoutError(f"qubit {qubit} is not placed") from exc
+
+    def zone_of(self, qubit: int) -> Zone:
+        """Zone currently holding ``qubit``."""
+        return self.site_of(qubit).zone
+
+    def position_of(self, qubit: int) -> tuple[float, float]:
+        """(x, y) of ``qubit`` in metres."""
+        return self.site_of(qubit).position
+
+    def occupants(self, site: Site) -> frozenset[int]:
+        """Qubits currently on ``site``."""
+        return frozenset(self._occupants.get(site, ()))
+
+    def co_tenants(self, qubit: int) -> frozenset[int]:
+        """Other qubits sharing ``qubit``'s site."""
+        return self.occupants(self.site_of(qubit)) - {qubit}
+
+    def is_empty(self, site: Site) -> bool:
+        """True when no qubit sits on ``site``."""
+        return not self._occupants.get(site)
+
+    def occupied_sites(self) -> tuple[Site, ...]:
+        """All sites holding at least one qubit."""
+        return tuple(site for site, occ in self._occupants.items() if occ)
+
+    def qubits_in_zone(self, zone: Zone) -> tuple[int, ...]:
+        """Qubits currently resident in ``zone``, ascending."""
+        return tuple(
+            sorted(q for q, s in self._sites.items() if s.zone is zone)
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def _place(self, qubit: int, site: Site) -> None:
+        if not self._arch.contains(site):
+            raise LayoutError(f"site {site} not on this machine")
+        if qubit in self._sites:
+            raise LayoutError(f"qubit {qubit} already placed")
+        occupants = self._occupants.setdefault(site, set())
+        if len(occupants) >= self.MAX_OCCUPANCY:
+            raise LayoutError(f"site {site} already holds two qubits")
+        occupants.add(qubit)
+        self._sites[qubit] = site
+
+    def move(self, qubit: int, destination: Site) -> None:
+        """Relocate ``qubit``; destination occupancy must stay <= 2."""
+        if not self._arch.contains(destination):
+            raise LayoutError(f"site {destination} not on this machine")
+        source = self.site_of(qubit)
+        if source == destination:
+            return
+        occupants = self._occupants.setdefault(destination, set())
+        if len(occupants) >= self.MAX_OCCUPANCY:
+            raise LayoutError(
+                f"cannot move qubit {qubit}: site {destination} is full"
+            )
+        self._occupants[source].discard(qubit)
+        occupants.add(qubit)
+        self._sites[qubit] = destination
+
+    def apply_moves(self, moves: Iterable["object"]) -> None:
+        """Apply a batch of moves atomically (departures before arrivals).
+
+        Sequential :meth:`move` calls can spuriously overflow a site that a
+        later move of the same batch vacates; this helper first removes all
+        movers, then re-places them, validating sources, duplicate movers
+        and destination capacity.  ``moves`` must expose ``qubit``,
+        ``source`` and ``destination`` attributes (:class:`repro.hardware.
+        moves.Move` does).
+        """
+        batch = list(moves)
+        seen: set[int] = set()
+        for move in batch:
+            if move.qubit in seen:
+                raise LayoutError(f"qubit {move.qubit} moved twice in batch")
+            seen.add(move.qubit)
+            actual = self.site_of(move.qubit)
+            if actual != move.source:
+                raise LayoutError(
+                    f"move source mismatch for qubit {move.qubit}: "
+                    f"at {actual}, move says {move.source}"
+                )
+        for move in batch:
+            self._occupants[self._sites.pop(move.qubit)].discard(move.qubit)
+        for move in batch:
+            self._place(move.qubit, move.destination)
+
+    def copy(self) -> "Layout":
+        """Deep copy of the assignment."""
+        return Layout(self._arch, dict(self._sites))
+
+    # ------------------------------------------------------------------
+    # Search helpers used by the routers
+    # ------------------------------------------------------------------
+
+    def nearest_empty_site(
+        self,
+        position: tuple[float, float],
+        zone: Zone,
+        exclude: Iterable[Site] = (),
+        predicate: Callable[[Site], bool] | None = None,
+    ) -> Site | None:
+        """Closest empty site of ``zone`` to ``position``.
+
+        Distance is Euclidean; ties break by preferring the same column
+        (smaller |dx|), then by (row, col) for determinism.  ``exclude``
+        marks sites that are reserved even if currently empty.
+
+        Returns None when the zone has no available empty site.
+        """
+        banned = set(exclude)
+        best: tuple[float, float, int, int] | None = None
+        best_site: Site | None = None
+        px, py = position
+        for site in self._arch.sites_in(zone):
+            if site in banned or not self.is_empty(site):
+                continue
+            if predicate is not None and not predicate(site):
+                continue
+            dist = math.hypot(site.x - px, site.y - py)
+            key = (dist, abs(site.x - px), site.row, site.col)
+            if best is None or key < best:
+                best = key
+                best_site = site
+        return best_site
+
+    # ------------------------------------------------------------------
+    # Validation / dunder
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Re-check all occupancy invariants (cheap; used in tests)."""
+        seen: dict[Site, int] = {}
+        for qubit, site in self._sites.items():
+            assert self._arch.contains(site), f"qubit {qubit} off-machine"
+            seen[site] = seen.get(site, 0) + 1
+        for site, count in seen.items():
+            assert count <= self.MAX_OCCUPANCY, f"site {site} over-occupied"
+            assert self._occupants[site] == {
+                q for q, s in self._sites.items() if s == site
+            }
+
+    def as_dict(self) -> dict[int, Site]:
+        """Snapshot of the mapping (new dict, shared immutable sites)."""
+        return dict(self._sites)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Layout):
+            return NotImplemented
+        return self._sites == other._sites
+
+    def __repr__(self) -> str:
+        return f"Layout({len(self._sites)} qubits on {self._arch!r})"
+
+
+__all__ = ["Layout", "LayoutError"]

@@ -1,0 +1,106 @@
+"""Hardware parameters of the neutral-atom machine (Table 1 of the paper).
+
+All quantities are SI (metres, seconds).  The movement-time law follows the
+paper's Table 1 examples -- 100 us for 27.5 um and 200 us for 110 um -- both
+of which satisfy ``t = sqrt(d / a)`` with the maximum fidelity-preserving
+acceleration ``a = 2750 m/s^2`` reported by Bluvstein et al.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: One micrometre in metres (for readable geometry literals).
+UM = 1e-6
+
+#: One microsecond in seconds.
+US = 1e-6
+
+
+@dataclass(frozen=True)
+class HardwareParams:
+    """Fidelity and duration constants of the NAQC (paper Table 1).
+
+    Attributes:
+        fidelity_1q: One-qubit Raman rotation fidelity (99.99%).
+        fidelity_cz: Two-qubit CZ gate fidelity (99.5%).
+        fidelity_excitation: Fidelity retained by a *non-interacting* qubit
+            sitting in the computation zone during a Rydberg excitation
+            (99.75%).
+        fidelity_transfer: SLM<->AOD trap transfer fidelity (99.9%).
+        duration_1q: One-qubit gate duration (1 us).
+        duration_cz: CZ / Rydberg excitation duration (270 ns).
+        duration_transfer: Trap transfer duration (15 us).
+        acceleration: Maximum movement acceleration preserving fidelity
+            (2750 m/s^2).
+        t2: Qubit coherence time (1.5 s); storage-zone dwell does not count
+            against it.
+        site_pitch: Minimum spacing between neighbouring sites (15 um).
+        zone_gap: Spatial separation between the computation and storage
+            zones (30 um).
+        rydberg_radius: Interaction radius for the CZ blockade (~6 um);
+            informational, co-location is modelled at site granularity.
+        min_noninteracting_spacing: Minimum distance between qubits that
+            must *not* interact during an excitation (10 um); the 15 um
+            site pitch satisfies it by construction.
+    """
+
+    fidelity_1q: float = 0.9999
+    fidelity_cz: float = 0.995
+    fidelity_excitation: float = 0.9975
+    fidelity_transfer: float = 0.999
+    duration_1q: float = 1.0 * US
+    duration_cz: float = 270e-9
+    duration_transfer: float = 15.0 * US
+    acceleration: float = 2750.0
+    t2: float = 1.5
+    site_pitch: float = 15.0 * UM
+    zone_gap: float = 30.0 * UM
+    rydberg_radius: float = 6.0 * UM
+    min_noninteracting_spacing: float = 10.0 * UM
+
+    def __post_init__(self) -> None:
+        for name in (
+            "fidelity_1q",
+            "fidelity_cz",
+            "fidelity_excitation",
+            "fidelity_transfer",
+        ):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+        for name in (
+            "duration_1q",
+            "duration_cz",
+            "duration_transfer",
+            "acceleration",
+            "t2",
+            "site_pitch",
+            "zone_gap",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.site_pitch < self.min_noninteracting_spacing:
+            raise ValueError(
+                "site pitch below the minimum non-interacting spacing"
+            )
+
+    def move_duration(self, distance: float) -> float:
+        """Wall-clock time to move a qubit ``distance`` metres.
+
+        Uses the paper's law ``t = sqrt(d / a)`` (Table 1: 27.5 um -> 100 us,
+        110 um -> 200 us).  Zero distance costs zero time.
+        """
+        if distance < 0:
+            raise ValueError("distance must be non-negative")
+        if distance == 0.0:
+            return 0.0
+        return math.sqrt(distance / self.acceleration)
+
+
+#: Default parameter set used across the library (paper Table 1 values).
+DEFAULT_PARAMS = HardwareParams()
+
+
+__all__ = ["DEFAULT_PARAMS", "HardwareParams", "UM", "US"]

@@ -1,0 +1,31 @@
+"""Compiled-program IR: instructions, program container, validator."""
+
+from .instructions import Instruction, MoveBatch, OneQubitLayer, RydbergStage
+from .program import NAProgram
+from .serialize import (
+    SerializationError,
+    dump_program,
+    load_program,
+    program_from_dict,
+    program_to_dict,
+)
+from .tracker import PositionTracker, TrackerError
+from .validator import ValidationError, ValidationReport, validate_program
+
+__all__ = [
+    "Instruction",
+    "MoveBatch",
+    "NAProgram",
+    "OneQubitLayer",
+    "PositionTracker",
+    "RydbergStage",
+    "SerializationError",
+    "TrackerError",
+    "ValidationError",
+    "ValidationReport",
+    "dump_program",
+    "load_program",
+    "program_from_dict",
+    "program_to_dict",
+    "validate_program",
+]

@@ -1,0 +1,129 @@
+"""Instruction set of a compiled NAQC program.
+
+A compiled program is a straight-line sequence of three instruction kinds:
+
+* :class:`OneQubitLayer` -- a layer of parallel Raman pulses (chains on the
+  same qubit execute sequentially, so the layer's wall-clock time is its
+  *depth* times the 1Q gate duration);
+* :class:`MoveBatch` -- up to ``num_aods`` CollMoves executed concurrently
+  on independent AOD arrays, book-ended by SLM<->AOD transfers;
+* :class:`RydbergStage` -- one global Rydberg excitation executing all
+  co-located CZ-class gate pairs of the stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..circuits.gates import Gate
+from ..hardware.moves import CollMove, Move
+from ..hardware.params import HardwareParams
+
+
+@dataclass
+class OneQubitLayer:
+    """A layer of one-qubit gates executed by parallel Raman pulses.
+
+    Attributes:
+        gates: All one-qubit gates of the layer, in program order.
+    """
+
+    gates: list[Gate] = field(default_factory=list)
+
+    @property
+    def num_gates(self) -> int:
+        """Number of 1Q gates in the layer."""
+        return len(self.gates)
+
+    def pulse_counts(self) -> dict[int, int]:
+        """Sequential pulse count per qubit."""
+        counts: dict[int, int] = {}
+        for gate in self.gates:
+            q = gate.qubits[0]
+            counts[q] = counts.get(q, 0) + 1
+        return counts
+
+    @property
+    def depth(self) -> int:
+        """Longest per-qubit pulse chain (sets the layer duration)."""
+        return max(self.pulse_counts().values(), default=0)
+
+    def duration(self, params: HardwareParams) -> float:
+        """Wall-clock time of the layer (seconds)."""
+        return self.depth * params.duration_1q
+
+
+@dataclass
+class MoveBatch:
+    """CollMoves executed in parallel on distinct AOD arrays.
+
+    A batch picks all its qubits up (one transfer), moves every CollMove
+    concurrently, and drops the qubits back into static traps (a second
+    transfer); its wall-clock time is ``2 * t_transfer + max(move time)``.
+
+    Attributes:
+        coll_moves: Member CollMoves; at most one per AOD array.
+    """
+
+    coll_moves: list[CollMove] = field(default_factory=list)
+
+    @property
+    def num_coll_moves(self) -> int:
+        """Number of CollMoves in this batch."""
+        return len(self.coll_moves)
+
+    @property
+    def all_moves(self) -> list[Move]:
+        """Every member 1Q move across the batch's CollMoves."""
+        return [m for cm in self.coll_moves for m in cm.moves]
+
+    @property
+    def moved_qubits(self) -> tuple[int, ...]:
+        """All qubits moved by the batch, ascending."""
+        return tuple(sorted(m.qubit for m in self.all_moves))
+
+    @property
+    def num_transfers(self) -> int:
+        """Trap transfers charged to the batch (2 per moved qubit)."""
+        return 2 * len(self.all_moves)
+
+    def duration(self, params: HardwareParams) -> float:
+        """Wall-clock time: pickup + slowest collective move + drop."""
+        if not self.coll_moves:
+            return 0.0
+        longest = max(cm.move_duration(params) for cm in self.coll_moves)
+        return 2.0 * params.duration_transfer + longest
+
+
+@dataclass
+class RydbergStage:
+    """One global Rydberg excitation executing a stage of CZ-class gates.
+
+    Attributes:
+        gates: The CZ-class gates executed in this excitation; pairwise
+            qubit-disjoint.
+    """
+
+    gates: list[Gate] = field(default_factory=list)
+
+    @property
+    def num_gates(self) -> int:
+        """Number of two-qubit gates executed."""
+        return len(self.gates)
+
+    def interacting_qubits(self) -> set[int]:
+        """Qubits participating in a CZ this stage."""
+        qubits: set[int] = set()
+        for gate in self.gates:
+            qubits.update(gate.qubits)
+        return qubits
+
+    def duration(self, params: HardwareParams) -> float:
+        """Wall-clock time of the excitation (seconds)."""
+        return params.duration_cz
+
+
+Instruction = OneQubitLayer | MoveBatch | RydbergStage
+
+
+__all__ = ["Instruction", "MoveBatch", "OneQubitLayer", "RydbergStage"]

@@ -1,0 +1,122 @@
+"""Compiled NAQC program: initial layout plus an instruction stream."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..hardware.geometry import ZonedArchitecture
+from ..hardware.layout import Layout
+from .instructions import Instruction, MoveBatch, OneQubitLayer, RydbergStage
+
+
+@dataclass
+class NAProgram:
+    """A compiled program for a zoned neutral-atom machine.
+
+    Attributes:
+        architecture: The machine the program targets.
+        initial_layout: Qubit placement before the first instruction.
+        instructions: Straight-line instruction stream.
+        source_name: Name of the source circuit (for reports).
+        compiler_name: Which compiler produced the program.
+        metadata: Free-form compiler statistics (stage counts, etc.).
+    """
+
+    architecture: ZonedArchitecture
+    initial_layout: Layout
+    instructions: list[Instruction] = field(default_factory=list)
+    source_name: str = ""
+    compiler_name: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Stream accessors
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def rydberg_stages(self) -> list[RydbergStage]:
+        """All Rydberg excitation instructions, in order."""
+        return [i for i in self.instructions if isinstance(i, RydbergStage)]
+
+    @property
+    def move_batches(self) -> list[MoveBatch]:
+        """All movement batches, in order."""
+        return [i for i in self.instructions if isinstance(i, MoveBatch)]
+
+    @property
+    def one_qubit_layers(self) -> list[OneQubitLayer]:
+        """All 1Q layers, in order."""
+        return [i for i in self.instructions if isinstance(i, OneQubitLayer)]
+
+    # ------------------------------------------------------------------
+    # Aggregate counts (inputs to the fidelity model)
+    # ------------------------------------------------------------------
+
+    @property
+    def num_stages(self) -> int:
+        """Number of Rydberg excitations ``S``."""
+        return len(self.rydberg_stages)
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        """Executed CZ-class gate count ``g2``."""
+        return sum(stage.num_gates for stage in self.rydberg_stages)
+
+    @property
+    def num_one_qubit_gates(self) -> int:
+        """Executed 1Q gate count ``g1``."""
+        return sum(layer.num_gates for layer in self.one_qubit_layers)
+
+    @property
+    def num_transfers(self) -> int:
+        """Total trap transfers ``N_trans`` (2 per moved qubit per batch)."""
+        return sum(batch.num_transfers for batch in self.move_batches)
+
+    @property
+    def num_coll_moves(self) -> int:
+        """Total CollMoves across all batches."""
+        return sum(batch.num_coll_moves for batch in self.move_batches)
+
+    @property
+    def num_single_moves(self) -> int:
+        """Total 1Q moves across all batches."""
+        return sum(len(batch.all_moves) for batch in self.move_batches)
+
+    def total_move_distance(self) -> float:
+        """Sum of all 1Q move distances (metres)."""
+        return sum(
+            move.distance
+            for batch in self.move_batches
+            for move in batch.all_moves
+        )
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+
+    def final_layout(self) -> Layout:
+        """Replay all move batches to obtain the terminal placement."""
+        from .tracker import PositionTracker
+
+        tracker = PositionTracker.from_layout(self.initial_layout)
+        for batch in self.move_batches:
+            tracker.apply_moves(batch.all_moves)
+        return Layout(self.architecture, tracker.as_dict())
+
+    def __repr__(self) -> str:
+        return (
+            f"NAProgram({self.compiler_name or 'unknown'}: "
+            f"{self.source_name or 'circuit'}, "
+            f"{self.num_stages} stages, {self.num_coll_moves} coll-moves, "
+            f"{self.num_transfers} transfers)"
+        )
+
+
+__all__ = ["NAProgram"]

@@ -1,0 +1,240 @@
+"""JSON (de)serialisation of compiled programs.
+
+The export format is a plain-dict schema, stable across versions, so
+compiled programs can be persisted, diffed, or consumed by other tools
+(e.g. a pulse-level translator or a visualiser):
+
+    {
+      "format": "repro-naprogram",
+      "version": 1,
+      "architecture": {...},
+      "initial_layout": {"0": ["compute", 0, 0], ...},
+      "instructions": [
+        {"kind": "layer_1q", "gates": [["h", [0], []], ...]},
+        {"kind": "move_batch", "coll_moves": [
+            {"aod": 0, "moves": [[qubit, [zone, col, row], [zone, col, row]], ...]}]},
+        {"kind": "rydberg", "gates": [["cz", [0, 1], []], ...]}
+      ],
+      ...
+    }
+
+Round-trip: ``program_from_dict(program_to_dict(p))`` reproduces an
+equivalent program (same machine, layout, instruction stream).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..circuits.gates import Gate
+from ..hardware.geometry import Site, Zone, ZonedArchitecture
+from ..hardware.layout import Layout
+from ..hardware.moves import CollMove, Move
+from ..hardware.params import HardwareParams
+from .instructions import MoveBatch, OneQubitLayer, RydbergStage
+from .program import NAProgram
+
+FORMAT_NAME = "repro-naprogram"
+FORMAT_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """Raised on malformed program documents."""
+
+
+def _gate_to_json(gate: Gate) -> list:
+    return [gate.name, list(gate.qubits), list(gate.params)]
+
+
+def _gate_from_json(doc: list) -> Gate:
+    name, qubits, params = doc
+    return Gate(name, tuple(qubits), tuple(params))
+
+
+def _site_to_json(site: Site) -> list:
+    return [site.zone.value, site.col, site.row]
+
+
+def _site_from_json(doc: list, arch: ZonedArchitecture) -> Site:
+    zone, col, row = doc
+    return arch.site(Zone(zone), col, row)
+
+
+def _params_to_json(params: HardwareParams) -> dict:
+    return {
+        "fidelity_1q": params.fidelity_1q,
+        "fidelity_cz": params.fidelity_cz,
+        "fidelity_excitation": params.fidelity_excitation,
+        "fidelity_transfer": params.fidelity_transfer,
+        "duration_1q": params.duration_1q,
+        "duration_cz": params.duration_cz,
+        "duration_transfer": params.duration_transfer,
+        "acceleration": params.acceleration,
+        "t2": params.t2,
+        "site_pitch": params.site_pitch,
+        "zone_gap": params.zone_gap,
+    }
+
+
+def _architecture_to_json(arch: ZonedArchitecture) -> dict:
+    compute_cols, compute_rows = arch.compute_shape
+    storage_cols, storage_rows = arch.storage_shape
+    return {
+        "compute_cols": compute_cols,
+        "compute_rows": compute_rows,
+        "storage_cols": storage_cols,
+        "storage_rows": storage_rows,
+        "num_aods": arch.num_aods,
+        "params": _params_to_json(arch.params),
+    }
+
+
+def _architecture_from_json(doc: dict) -> ZonedArchitecture:
+    params = HardwareParams(**doc["params"])
+    return ZonedArchitecture(
+        doc["compute_cols"],
+        doc["compute_rows"],
+        doc["storage_cols"],
+        doc["storage_rows"],
+        num_aods=doc["num_aods"],
+        params=params,
+    )
+
+
+def program_to_dict(program: NAProgram) -> dict[str, Any]:
+    """Export a program to the plain-dict schema."""
+    instructions: list[dict] = []
+    for instr in program.instructions:
+        if isinstance(instr, OneQubitLayer):
+            instructions.append(
+                {
+                    "kind": "layer_1q",
+                    "gates": [_gate_to_json(g) for g in instr.gates],
+                }
+            )
+        elif isinstance(instr, MoveBatch):
+            instructions.append(
+                {
+                    "kind": "move_batch",
+                    "coll_moves": [
+                        {
+                            "aod": cm.aod_index,
+                            "moves": [
+                                [
+                                    m.qubit,
+                                    _site_to_json(m.source),
+                                    _site_to_json(m.destination),
+                                ]
+                                for m in cm.moves
+                            ],
+                        }
+                        for cm in instr.coll_moves
+                    ],
+                }
+            )
+        elif isinstance(instr, RydbergStage):
+            instructions.append(
+                {
+                    "kind": "rydberg",
+                    "gates": [_gate_to_json(g) for g in instr.gates],
+                }
+            )
+        else:  # pragma: no cover - defensive
+            raise SerializationError(f"unknown instruction {instr!r}")
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "source_name": program.source_name,
+        "compiler_name": program.compiler_name,
+        "architecture": _architecture_to_json(program.architecture),
+        "initial_layout": {
+            str(q): _site_to_json(program.initial_layout.site_of(q))
+            for q in program.initial_layout.qubits
+        },
+        "instructions": instructions,
+        "metadata": dict(program.metadata),
+    }
+
+
+def program_from_dict(doc: dict[str, Any]) -> NAProgram:
+    """Rebuild a program from the plain-dict schema."""
+    if doc.get("format") != FORMAT_NAME:
+        raise SerializationError(
+            f"not a {FORMAT_NAME} document: {doc.get('format')!r}"
+        )
+    if doc.get("version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported version {doc.get('version')!r}"
+        )
+    arch = _architecture_from_json(doc["architecture"])
+    layout = Layout(
+        arch,
+        {
+            int(q): _site_from_json(site_doc, arch)
+            for q, site_doc in doc["initial_layout"].items()
+        },
+    )
+    instructions = []
+    for entry in doc["instructions"]:
+        kind = entry.get("kind")
+        if kind == "layer_1q":
+            instructions.append(
+                OneQubitLayer(
+                    gates=[_gate_from_json(g) for g in entry["gates"]]
+                )
+            )
+        elif kind == "move_batch":
+            coll_moves = []
+            for cm_doc in entry["coll_moves"]:
+                moves = [
+                    Move(
+                        qubit,
+                        _site_from_json(src, arch),
+                        _site_from_json(dst, arch),
+                    )
+                    for qubit, src, dst in cm_doc["moves"]
+                ]
+                coll_moves.append(
+                    CollMove(moves=moves, aod_index=cm_doc["aod"])
+                )
+            instructions.append(MoveBatch(coll_moves=coll_moves))
+        elif kind == "rydberg":
+            instructions.append(
+                RydbergStage(
+                    gates=[_gate_from_json(g) for g in entry["gates"]]
+                )
+            )
+        else:
+            raise SerializationError(f"unknown instruction kind {kind!r}")
+    return NAProgram(
+        architecture=arch,
+        initial_layout=layout,
+        instructions=instructions,
+        source_name=doc.get("source_name", ""),
+        compiler_name=doc.get("compiler_name", ""),
+        metadata=dict(doc.get("metadata", {})),
+    )
+
+
+def dump_program(program: NAProgram, path: str, indent: int = 1) -> None:
+    """Write a program to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(program_to_dict(program), handle, indent=indent)
+
+
+def load_program(path: str) -> NAProgram:
+    """Read a program from a JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        return program_from_dict(json.load(handle))
+
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "SerializationError",
+    "dump_program",
+    "load_program",
+    "program_from_dict",
+    "program_to_dict",
+]

@@ -1,0 +1,84 @@
+"""Loose qubit-position tracking for program replay.
+
+Between two Rydberg stages a layout transition is a *set* of collective
+moves; while it is in flight, a site may transiently be the destination of
+two qubits whose current tenant leaves in a later batch (the atoms ride
+the AOD, not the site).  Occupancy and clustering constraints are physical
+only at excitation time, so replay uses this tracker -- a plain
+qubit -> site map that checks move *sources* but not transient capacity --
+and the validator enforces site rules exactly at each
+:class:`~repro.schedule.instructions.RydbergStage`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..hardware.geometry import Site, Zone
+from ..hardware.layout import Layout
+from ..hardware.moves import Move
+
+
+class TrackerError(ValueError):
+    """Raised when a replayed move does not match the tracked state."""
+
+
+class PositionTracker:
+    """Minimal qubit -> site map for replaying instruction streams."""
+
+    def __init__(self, positions: Mapping[int, Site]) -> None:
+        self._positions: dict[int, Site] = dict(positions)
+
+    @classmethod
+    def from_layout(cls, layout: Layout) -> "PositionTracker":
+        """Start from a layout's current assignment."""
+        return cls(layout.as_dict())
+
+    @property
+    def qubits(self) -> tuple[int, ...]:
+        """Tracked qubits, ascending."""
+        return tuple(sorted(self._positions))
+
+    def site_of(self, qubit: int) -> Site:
+        """Current site of ``qubit``."""
+        try:
+            return self._positions[qubit]
+        except KeyError as exc:
+            raise TrackerError(f"qubit {qubit} is not tracked") from exc
+
+    def zone_of(self, qubit: int) -> Zone:
+        """Current zone of ``qubit``."""
+        return self.site_of(qubit).zone
+
+    def apply_moves(self, moves: Iterable[Move]) -> None:
+        """Apply a batch of moves; validates sources and duplicate movers."""
+        batch = list(moves)
+        seen: set[int] = set()
+        for move in batch:
+            if move.qubit in seen:
+                raise TrackerError(
+                    f"qubit {move.qubit} moved twice in one batch"
+                )
+            seen.add(move.qubit)
+            actual = self.site_of(move.qubit)
+            if actual != move.source:
+                raise TrackerError(
+                    f"move source mismatch for qubit {move.qubit}: "
+                    f"at {actual}, move says {move.source}"
+                )
+        for move in batch:
+            self._positions[move.qubit] = move.destination
+
+    def occupancy(self) -> dict[Site, set[int]]:
+        """Site -> tenants snapshot (built on demand)."""
+        occ: dict[Site, set[int]] = {}
+        for qubit, site in self._positions.items():
+            occ.setdefault(site, set()).add(qubit)
+        return occ
+
+    def as_dict(self) -> dict[int, Site]:
+        """Copy of the current assignment."""
+        return dict(self._positions)
+
+
+__all__ = ["PositionTracker", "TrackerError"]

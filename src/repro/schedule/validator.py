@@ -1,0 +1,244 @@
+"""Structural validation of compiled NAQC programs.
+
+The validator replays a program against its machine and checks every
+physical constraint the paper's hardware model imposes:
+
+* AOD order preservation inside each CollMove (Fig. 5 conflict rule);
+* at most one CollMove per AOD array per batch, distinct AOD indices, and
+  no qubit moved twice within a batch;
+* every move departs from the qubit's actual current site and lands on a
+  real site of the machine;
+* at each Rydberg stage: gates are CZ-class and pairwise qubit-disjoint,
+  both partners of each gate are co-located on one *computation-zone* site,
+  no site holds more than two qubits, and no two qubits share a site unless
+  they are a gate pair of this stage (the "clustering" rule -- co-located
+  non-pairs would blockade-interact);
+* at program end, no site holds more than two qubits.
+
+Site capacity is deliberately *not* checked between batches of one layout
+transition: while a transition is in flight a destination may be reached
+before its previous tenant departs (see :mod:`repro.schedule.tracker`).
+
+Both compilers run their outputs through ``validate_program`` in tests, so
+any scheduling bug that breaks physics fails loudly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import Gate
+from ..hardware.geometry import Zone
+from ..hardware.moves import moves_conflict
+from .instructions import MoveBatch, OneQubitLayer, RydbergStage
+from .program import NAProgram
+from .tracker import PositionTracker, TrackerError
+
+
+class ValidationError(AssertionError):
+    """Raised when a compiled program violates a hardware constraint."""
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a validation run.
+
+    Attributes:
+        ok: True when no violations were found.
+        errors: Human-readable violation descriptions (empty when ok).
+        num_instructions_checked: Instructions examined.
+    """
+
+    ok: bool = True
+    errors: list[str] = field(default_factory=list)
+    num_instructions_checked: int = 0
+
+    def fail(self, message: str) -> None:
+        """Record one violation."""
+        self.ok = False
+        self.errors.append(message)
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`ValidationError` when violations were recorded."""
+        if not self.ok:
+            raise ValidationError(
+                f"{len(self.errors)} violation(s):\n" + "\n".join(self.errors)
+            )
+
+
+def _gate_key(gate: Gate) -> tuple:
+    qubits = tuple(sorted(gate.qubits)) if gate.is_two_qubit else gate.qubits
+    params = tuple(round(p, 9) for p in gate.params)
+    return (gate.name, qubits, params)
+
+
+def _check_move_batch(
+    report: ValidationReport, program: NAProgram, index: int, batch: MoveBatch
+) -> None:
+    arch = program.architecture
+    if batch.num_coll_moves == 0:
+        report.fail(f"instr {index}: empty MoveBatch")
+    if batch.num_coll_moves > arch.num_aods:
+        report.fail(
+            f"instr {index}: {batch.num_coll_moves} CollMoves exceed "
+            f"{arch.num_aods} AOD array(s)"
+        )
+    aod_indices = [cm.aod_index for cm in batch.coll_moves]
+    if len(set(aod_indices)) != len(aod_indices):
+        report.fail(f"instr {index}: duplicate AOD index in batch")
+    for aod in aod_indices:
+        if not 0 <= aod < arch.num_aods:
+            report.fail(f"instr {index}: AOD index {aod} out of range")
+    for cm in batch.coll_moves:
+        for i, a in enumerate(cm.moves):
+            for b in cm.moves[i + 1:]:
+                if moves_conflict(a, b):
+                    report.fail(
+                        f"instr {index}: AOD order violation within "
+                        f"CollMove: ({a}) vs ({b})"
+                    )
+    for move in batch.all_moves:
+        if not arch.contains(move.source) or not arch.contains(
+            move.destination
+        ):
+            report.fail(f"instr {index}: move off-machine: {move}")
+
+
+def _check_rydberg_stage(
+    report: ValidationReport,
+    index: int,
+    stage: RydbergStage,
+    tracker: PositionTracker,
+) -> None:
+    if stage.num_gates == 0:
+        report.fail(f"instr {index}: empty RydbergStage")
+    seen: set[int] = set()
+    pair_sites = {}
+    for gate in stage.gates:
+        if not gate.is_cz_class:
+            report.fail(f"instr {index}: non-CZ-class gate {gate} in stage")
+            continue
+        a, b = gate.qubits
+        if a in seen or b in seen:
+            report.fail(
+                f"instr {index}: stage gates overlap on qubit "
+                f"{a if a in seen else b}"
+            )
+        seen.update((a, b))
+        site_a = tracker.site_of(a)
+        site_b = tracker.site_of(b)
+        if site_a != site_b:
+            report.fail(
+                f"instr {index}: gate {gate} pair not co-located "
+                f"({site_a} vs {site_b})"
+            )
+            continue
+        if site_a.zone is not Zone.COMPUTE:
+            report.fail(
+                f"instr {index}: gate {gate} executed outside the "
+                f"computation zone ({site_a})"
+            )
+        pair_sites[site_a] = set(gate.qubits)
+    # Site rules at excitation time: capacity everywhere; clustering in the
+    # computation zone (any co-located group must be a gate pair of THIS
+    # stage, otherwise the blockade produces an unwanted interaction).
+    for site, tenants in tracker.occupancy().items():
+        if len(tenants) > 2:
+            report.fail(
+                f"instr {index}: site {site} holds {len(tenants)} qubits "
+                f"at excitation time"
+            )
+        if site.zone is Zone.COMPUTE and len(tenants) > 1:
+            if tenants != pair_sites.get(site):
+                report.fail(
+                    f"instr {index}: clustering -- qubits {sorted(tenants)} "
+                    f"share {site} but are not an interacting pair of this "
+                    f"stage"
+                )
+        if site.zone is Zone.STORAGE and len(tenants) > 1:
+            report.fail(
+                f"instr {index}: storage site {site} holds "
+                f"{sorted(tenants)} (storage sites are single-occupancy)"
+            )
+
+
+def validate_program(
+    program: NAProgram,
+    source_circuit: Circuit | None = None,
+    raise_on_error: bool = True,
+) -> ValidationReport:
+    """Replay ``program`` and check every hardware constraint.
+
+    Args:
+        program: The compiled program.
+        source_circuit: When given, additionally require that the executed
+            gate multiset equals the circuit's native gate multiset.
+        raise_on_error: Raise :class:`ValidationError` instead of returning
+            a failing report.
+
+    Returns:
+        The :class:`ValidationReport` (always ``ok`` if ``raise_on_error``).
+    """
+    report = ValidationReport()
+    tracker = PositionTracker.from_layout(program.initial_layout)
+
+    for index, instr in enumerate(program.instructions):
+        report.num_instructions_checked += 1
+        if isinstance(instr, OneQubitLayer):
+            for gate in instr.gates:
+                if gate.is_two_qubit:
+                    report.fail(
+                        f"instr {index}: two-qubit gate {gate} in 1Q layer"
+                    )
+        elif isinstance(instr, MoveBatch):
+            _check_move_batch(report, program, index, instr)
+            try:
+                tracker.apply_moves(instr.all_moves)
+            except TrackerError as exc:
+                report.fail(f"instr {index}: replay failed: {exc}")
+        elif isinstance(instr, RydbergStage):
+            _check_rydberg_stage(report, index, instr, tracker)
+        else:  # pragma: no cover - defensive
+            report.fail(f"instr {index}: unknown instruction {instr!r}")
+
+    for site, tenants in tracker.occupancy().items():
+        if len(tenants) > 2:
+            report.fail(
+                f"final layout: site {site} holds {len(tenants)} qubits"
+            )
+
+    if source_circuit is not None:
+        expected_2q = Counter(
+            _gate_key(g) for g in source_circuit.two_qubit_gates
+        )
+        executed_2q = Counter(
+            _gate_key(g)
+            for stage in program.rydberg_stages
+            for g in stage.gates
+        )
+        if expected_2q != executed_2q:
+            missing = expected_2q - executed_2q
+            extra = executed_2q - expected_2q
+            report.fail(
+                f"2Q gate multiset mismatch: missing={dict(missing)} "
+                f"extra={dict(extra)}"
+            )
+        expected_1q = Counter(
+            _gate_key(g) for g in source_circuit.one_qubit_gates
+        )
+        executed_1q = Counter(
+            _gate_key(g)
+            for layer in program.one_qubit_layers
+            for g in layer.gates
+        )
+        if expected_1q != executed_1q:
+            report.fail("1Q gate multiset mismatch against source circuit")
+
+    if raise_on_error:
+        report.raise_if_failed()
+    return report
+
+
+__all__ = ["ValidationError", "ValidationReport", "validate_program"]

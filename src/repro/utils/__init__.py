@@ -1,0 +1,6 @@
+"""Shared utilities (seeded RNG, text tables)."""
+
+from .rng import derive_rng, make_rng
+from .text import format_table
+
+__all__ = ["derive_rng", "format_table", "make_rng"]

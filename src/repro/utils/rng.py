@@ -1,0 +1,24 @@
+"""Deterministic randomness helpers.
+
+Every stochastic choice in the library (random benchmark instances, the
+random mobile/static pick in the continuous router's case 4, Enola's
+randomised MIS restarts and annealing) flows through a seeded
+``random.Random`` so whole experiments replay bit-identically.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def make_rng(seed: int | None) -> random.Random:
+    """Create an isolated ``random.Random``; ``None`` means OS entropy."""
+    return random.Random(seed)
+
+
+def derive_rng(rng: random.Random, salt: str) -> random.Random:
+    """Fork a child generator so sibling phases don't share a stream."""
+    return random.Random(f"{rng.random()}::{salt}")
+
+
+__all__ = ["derive_rng", "make_rng"]

@@ -1,0 +1,19 @@
+"""Independent semantic verification (dense state-vector simulation)."""
+
+from .statevector import (
+    MAX_SIM_QUBITS,
+    SimulationError,
+    StateVector,
+    simulate_circuit,
+    simulate_program_gates,
+    verify_program_semantics,
+)
+
+__all__ = [
+    "MAX_SIM_QUBITS",
+    "SimulationError",
+    "StateVector",
+    "simulate_circuit",
+    "simulate_program_gates",
+    "verify_program_semantics",
+]

@@ -1,0 +1,268 @@
+"""Dense state-vector simulation for semantic verification.
+
+The compiler reorders gates aggressively: CZ-class gates commute into
+blocks, stages are re-sequenced by the Stage Scheduler, and diagonal 1Q
+gates float across blocks.  This module provides an independent check
+that all of that is *unitarily sound*: simulate the original circuit and
+the compiled program's gate order and compare final states on a random
+input, up to global phase.
+
+Dense simulation is exponential; the verifier is meant for circuits of
+up to ~12 qubits (tests use <= 10).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..circuits.circuit import Barrier, Circuit, Measure
+from ..circuits.gates import Gate
+from ..schedule.instructions import OneQubitLayer, RydbergStage
+from ..schedule.program import NAProgram
+
+#: Refuse dense simulation beyond this width (2^16 amplitudes).
+MAX_SIM_QUBITS = 16
+
+
+class SimulationError(ValueError):
+    """Raised for unsimulable circuits (too wide, unknown gate...)."""
+
+
+def _u(theta: float, phi: float, lam: float) -> np.ndarray:
+    half = theta / 2.0
+    return np.array(
+        [
+            [math.cos(half), -np.exp(1j * lam) * math.sin(half)],
+            [
+                np.exp(1j * phi) * math.sin(half),
+                np.exp(1j * (phi + lam)) * math.cos(half),
+            ],
+        ],
+        dtype=complex,
+    )
+
+
+_SQRT2 = 1.0 / math.sqrt(2.0)
+
+_FIXED_1Q: dict[str, np.ndarray] = {
+    "id": np.eye(2, dtype=complex),
+    "x": np.array([[0, 1], [1, 0]], dtype=complex),
+    "y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "z": np.diag([1, -1]).astype(complex),
+    "h": np.array([[_SQRT2, _SQRT2], [_SQRT2, -_SQRT2]], dtype=complex),
+    "s": np.diag([1, 1j]).astype(complex),
+    "sdg": np.diag([1, -1j]).astype(complex),
+    "t": np.diag([1, np.exp(1j * math.pi / 4)]).astype(complex),
+    "tdg": np.diag([1, np.exp(-1j * math.pi / 4)]).astype(complex),
+    "sx": 0.5 * np.array(
+        [[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex
+    ),
+}
+
+
+def gate_matrix_1q(gate: Gate) -> np.ndarray:
+    """2x2 unitary of a one-qubit gate."""
+    name = gate.name
+    if name in _FIXED_1Q:
+        return _FIXED_1Q[name]
+    if name == "rx":
+        (theta,) = gate.params
+        return _u(theta, -math.pi / 2, math.pi / 2)
+    if name == "ry":
+        (theta,) = gate.params
+        return _u(theta, 0.0, 0.0)
+    if name == "rz":
+        (theta,) = gate.params
+        return np.diag(
+            [np.exp(-1j * theta / 2), np.exp(1j * theta / 2)]
+        ).astype(complex)
+    if name in ("p", "u1"):
+        (lam,) = gate.params
+        return np.diag([1, np.exp(1j * lam)]).astype(complex)
+    if name == "u2":
+        phi, lam = gate.params
+        return _u(math.pi / 2, phi, lam)
+    if name in ("u3", "u"):
+        theta, phi, lam = gate.params
+        return _u(theta, phi, lam)
+    raise SimulationError(f"no 1Q matrix for gate {gate}")
+
+
+def gate_diagonal_2q(gate: Gate) -> np.ndarray:
+    """Length-4 diagonal of a CZ-class gate (order |00>,|01>,|10>,|11>)."""
+    name = gate.name
+    if name == "cz":
+        return np.array([1, 1, 1, -1], dtype=complex)
+    if name in ("cp", "cu1"):
+        (lam,) = gate.params
+        return np.array([1, 1, 1, np.exp(1j * lam)], dtype=complex)
+    if name == "rzz":
+        (theta,) = gate.params
+        half = np.exp(-1j * theta / 2)
+        conj = np.exp(1j * theta / 2)
+        return np.array([half, conj, conj, half], dtype=complex)
+    raise SimulationError(f"no diagonal for gate {gate}")
+
+
+def gate_matrix_2q(gate: Gate) -> np.ndarray:
+    """4x4 unitary of a two-qubit gate (control = first qubit)."""
+    if gate.is_cz_class:
+        return np.diag(gate_diagonal_2q(gate))
+    if gate.name == "cx":
+        return np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]],
+            dtype=complex,
+        )
+    if gate.name == "swap":
+        return np.array(
+            [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]],
+            dtype=complex,
+        )
+    if gate.name == "crz":
+        (theta,) = gate.params
+        return np.diag(
+            [1, 1, np.exp(-1j * theta / 2), np.exp(1j * theta / 2)]
+        ).astype(complex)
+    raise SimulationError(f"no 2Q matrix for gate {gate}")
+
+
+class StateVector:
+    """A dense n-qubit state with little-endian qubit indexing."""
+
+    def __init__(self, num_qubits: int, state: np.ndarray | None = None):
+        if num_qubits > MAX_SIM_QUBITS:
+            raise SimulationError(
+                f"{num_qubits} qubits exceed the dense-simulation cap "
+                f"({MAX_SIM_QUBITS})"
+            )
+        self.num_qubits = num_qubits
+        if state is None:
+            self.state = np.zeros(2**num_qubits, dtype=complex)
+            self.state[0] = 1.0
+        else:
+            state = np.asarray(state, dtype=complex)
+            if state.shape != (2**num_qubits,):
+                raise SimulationError("state vector has wrong dimension")
+            self.state = state.copy()
+
+    @classmethod
+    def random(cls, num_qubits: int, seed: int = 0) -> "StateVector":
+        """Haar-ish random normalised state (Gaussian amplitudes)."""
+        rng = np.random.default_rng(seed)
+        raw = rng.normal(size=2**num_qubits) + 1j * rng.normal(
+            size=2**num_qubits
+        )
+        return cls(num_qubits, raw / np.linalg.norm(raw))
+
+    def apply_gate(self, gate: Gate) -> None:
+        """Apply one gate in place."""
+        if gate.num_qubits == 1:
+            self._apply_1q(gate_matrix_1q(gate), gate.qubits[0])
+        else:
+            self._apply_2q(gate_matrix_2q(gate), *gate.qubits)
+
+    def apply_circuit(self, circuit: Circuit) -> None:
+        """Apply every gate of a circuit in order (barriers ignored)."""
+        for op in circuit.operations:
+            if isinstance(op, (Barrier, Measure)):
+                continue
+            self.apply_gate(op)
+
+    def _apply_1q(self, matrix: np.ndarray, qubit: int) -> None:
+        psi = self.state.reshape(
+            2 ** (self.num_qubits - qubit - 1), 2, 2**qubit
+        )
+        self.state = np.einsum(
+            "ab,ibj->iaj", matrix, psi
+        ).reshape(-1)
+
+    def _apply_2q(self, matrix: np.ndarray, q0: int, q1: int) -> None:
+        # Build the permuted tensor axes so (q0, q1) become a joint index.
+        n = self.num_qubits
+        psi = self.state.reshape([2] * n)
+        # numpy axis k corresponds to qubit n-1-k (big-endian reshape).
+        a0, a1 = n - 1 - q0, n - 1 - q1
+        psi = np.moveaxis(psi, (a0, a1), (0, 1))
+        shape = psi.shape
+        psi = psi.reshape(4, -1)
+        psi = matrix @ psi
+        psi = psi.reshape(shape)
+        psi = np.moveaxis(psi, (0, 1), (a0, a1))
+        self.state = psi.reshape(-1)
+
+    def fidelity_with(self, other: "StateVector") -> float:
+        """|<self|other>|^2 (1.0 iff equal up to global phase)."""
+        return float(abs(np.vdot(self.state, other.state)) ** 2)
+
+
+def simulate_circuit(
+    circuit: Circuit, initial: StateVector | None = None
+) -> StateVector:
+    """Run a circuit on ``initial`` (|0...0> by default)."""
+    state = initial or StateVector(circuit.num_qubits)
+    state = StateVector(circuit.num_qubits, state.state)
+    state.apply_circuit(circuit)
+    return state
+
+
+def simulate_program_gates(
+    program: NAProgram,
+    num_qubits: int,
+    initial: StateVector | None = None,
+) -> StateVector:
+    """Apply a compiled program's gates in scheduled order.
+
+    Movement batches carry no unitary action; 1Q layers and Rydberg
+    stages apply their gates in instruction order.
+    """
+    state = initial or StateVector(num_qubits)
+    state = StateVector(num_qubits, state.state)
+    for instr in program.instructions:
+        if isinstance(instr, OneQubitLayer):
+            for gate in instr.gates:
+                state.apply_gate(gate)
+        elif isinstance(instr, RydbergStage):
+            for gate in instr.gates:
+                state.apply_gate(gate)
+    return state
+
+
+def verify_program_semantics(
+    program: NAProgram,
+    circuit: Circuit,
+    seed: int = 0,
+    tolerance: float = 1e-9,
+) -> float:
+    """Check the compiled schedule is unitarily equivalent to the circuit.
+
+    Simulates both on the same random input state and returns the overlap
+    fidelity (asserting it is within ``tolerance`` of 1).
+
+    Raises:
+        SimulationError: On failure or unsimulable inputs.
+    """
+    initial = StateVector.random(circuit.num_qubits, seed=seed)
+    want = simulate_circuit(circuit, initial)
+    got = simulate_program_gates(program, circuit.num_qubits, initial)
+    overlap = want.fidelity_with(got)
+    if abs(overlap - 1.0) > tolerance:
+        raise SimulationError(
+            f"compiled schedule is NOT equivalent to the circuit: "
+            f"overlap fidelity {overlap:.12f}"
+        )
+    return overlap
+
+
+__all__ = [
+    "MAX_SIM_QUBITS",
+    "SimulationError",
+    "StateVector",
+    "gate_diagonal_2q",
+    "gate_matrix_1q",
+    "gate_matrix_2q",
+    "simulate_circuit",
+    "simulate_program_gates",
+    "verify_program_semantics",
+]

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import EnolaConfig
+from repro.circuits import Circuit
+from repro.circuits.generators import qaoa_regular
+from repro.core import PowerMoveConfig
+from repro.hardware import HardwareParams, Layout, Zone, ZonedArchitecture
+
+
+@pytest.fixture
+def params() -> HardwareParams:
+    """Paper Table 1 parameters."""
+    return HardwareParams()
+
+
+@pytest.fixture
+def small_arch() -> ZonedArchitecture:
+    """3x3 compute + 3x6 storage machine (fits 9 qubits)."""
+    return ZonedArchitecture(3, 3, 3, 6)
+
+
+@pytest.fixture
+def storageless_arch() -> ZonedArchitecture:
+    """3x3 compute-only machine."""
+    return ZonedArchitecture(3, 3)
+
+
+@pytest.fixture
+def small_layout(small_arch: ZonedArchitecture) -> Layout:
+    """6 qubits row-major in the storage zone."""
+    return Layout.row_major(small_arch, 6, Zone.STORAGE)
+
+
+@pytest.fixture
+def tiny_qaoa() -> Circuit:
+    """A 8-qubit 3-regular QAOA circuit (fast to compile)."""
+    return qaoa_regular(8, degree=3, seed=3)
+
+
+@pytest.fixture
+def fast_enola_config() -> EnolaConfig:
+    """Enola knobs light enough for unit tests."""
+    return EnolaConfig(seed=0, mis_restarts=2, sa_iterations_per_qubit=10)
+
+
+@pytest.fixture
+def fast_pm_config() -> PowerMoveConfig:
+    """PowerMove defaults used across tests."""
+    return PowerMoveConfig(seed=0)

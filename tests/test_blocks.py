@@ -1,0 +1,182 @@
+"""Unit tests for commuting CZ block partitioning."""
+
+import pytest
+
+from repro.circuits import Circuit, NonNativeGateError, partition_into_blocks
+from repro.circuits.generators import qaoa_regular
+
+
+class TestBasicPartition:
+    def test_single_block_all_commuting(self):
+        qc = Circuit(4)
+        qc.cz(0, 1)
+        qc.cz(2, 3)
+        qc.cz(0, 2)
+        part = partition_into_blocks(qc)
+        assert part.num_blocks == 1
+        assert part.blocks[0].num_gates == 3
+
+    def test_hadamard_fences_its_qubit(self):
+        qc = Circuit(2)
+        qc.cz(0, 1)
+        qc.h(1)
+        qc.cz(0, 1)
+        part = partition_into_blocks(qc)
+        assert part.num_blocks == 2
+
+    def test_hadamard_on_other_qubit_does_not_fence(self):
+        qc = Circuit(3)
+        qc.cz(0, 1)
+        qc.h(2)
+        qc.cz(0, 1)
+        part = partition_into_blocks(qc)
+        assert part.num_blocks == 1
+        assert part.blocks[0].num_gates == 2
+
+    def test_diagonal_1q_gate_does_not_fence(self):
+        qc = Circuit(2)
+        qc.cz(0, 1)
+        qc.rz(0.4, 1)
+        qc.cz(0, 1)
+        part = partition_into_blocks(qc)
+        assert part.num_blocks == 1
+
+    def test_barrier_fences_all_qubits(self):
+        qc = Circuit(3)
+        qc.cz(0, 1)
+        qc.barrier()
+        qc.cz(0, 1)
+        part = partition_into_blocks(qc)
+        assert part.num_blocks == 2
+
+    def test_barrier_partial_fence(self):
+        qc = Circuit(4)
+        qc.cz(0, 1)
+        qc.barrier(2)
+        qc.cz(0, 1)
+        part = partition_into_blocks(qc)
+        assert part.num_blocks == 1
+
+    def test_non_native_two_qubit_rejected(self):
+        qc = Circuit(2)
+        qc.cx(0, 1)
+        with pytest.raises(NonNativeGateError):
+            partition_into_blocks(qc)
+
+    def test_measure_is_ignored(self):
+        qc = Circuit(2)
+        qc.cz(0, 1)
+        qc.measure_all()
+        part = partition_into_blocks(qc)
+        assert part.num_blocks == 1
+
+
+class TestGapBookkeeping:
+    def test_gap_count_is_blocks_plus_one(self):
+        qc = Circuit(2)
+        qc.h(0)
+        qc.cz(0, 1)
+        qc.h(0)
+        qc.cz(0, 1)
+        qc.h(1)
+        part = partition_into_blocks(qc)
+        assert part.num_blocks == 2
+        assert len(part.one_qubit_gaps) == 3
+
+    def test_leading_1q_gates_in_gap_zero(self):
+        qc = Circuit(2)
+        qc.h(0)
+        qc.h(1)
+        qc.cz(0, 1)
+        part = partition_into_blocks(qc)
+        assert len(part.one_qubit_gaps[0]) == 2
+
+    def test_trailing_1q_gates_in_last_gap(self):
+        qc = Circuit(2)
+        qc.cz(0, 1)
+        qc.h(0)
+        part = partition_into_blocks(qc)
+        assert len(part.one_qubit_gaps[1]) == 1
+
+    def test_all_gates_preserved(self):
+        qc = qaoa_regular(10, degree=3, seed=2)
+        from repro.circuits import transpile_to_native
+
+        native = transpile_to_native(qc)
+        part = partition_into_blocks(native)
+        assert part.num_two_qubit_gates == native.num_two_qubit_gates
+        assert part.num_one_qubit_gates == native.num_one_qubit_gates
+
+    def test_gap_depth_counts_sequential_pulses(self):
+        qc = Circuit(2)
+        qc.h(0)
+        qc.x(0)
+        qc.h(1)
+        qc.cz(0, 1)
+        part = partition_into_blocks(qc)
+        assert part.gap_depth(0) == 2
+
+    def test_gap_depth_empty_gap(self):
+        qc = Circuit(2)
+        qc.cz(0, 1)
+        part = partition_into_blocks(qc)
+        assert part.gap_depth(0) == 0
+
+
+class TestInteractionGraph:
+    def test_conflicts_share_qubits(self):
+        qc = Circuit(4)
+        qc.cz(0, 1)
+        qc.cz(1, 2)
+        qc.cz(2, 3)
+        block = partition_into_blocks(qc).blocks[0]
+        graph = block.interaction_graph()
+        assert graph[0] == [1]
+        assert graph[1] == [0, 2]
+        assert graph[2] == [1]
+
+    def test_disjoint_gates_unconnected(self):
+        qc = Circuit(4)
+        qc.cz(0, 1)
+        qc.cz(2, 3)
+        block = partition_into_blocks(qc).blocks[0]
+        graph = block.interaction_graph()
+        assert graph[0] == [] and graph[1] == []
+
+    def test_interacting_qubits(self):
+        qc = Circuit(5)
+        qc.cz(0, 1)
+        qc.cz(3, 4)
+        block = partition_into_blocks(qc).blocks[0]
+        assert block.interacting_qubits() == {0, 1, 3, 4}
+
+
+class TestWorkloadShapes:
+    """The block structure drives the paper's Sec. 7.3 analysis."""
+
+    def test_qaoa_layer_is_one_block(self):
+        from repro.circuits import transpile_to_native
+
+        qc = qaoa_regular(10, degree=3, seed=1, layers=1)
+        part = partition_into_blocks(transpile_to_native(qc))
+        assert part.num_blocks == 1
+
+    def test_bv_yields_one_block_per_oracle_bit(self):
+        from repro.circuits import transpile_to_native
+        from repro.circuits.generators import bernstein_vazirani
+
+        qc = bernstein_vazirani(8, seed=0)
+        native = transpile_to_native(qc)
+        part = partition_into_blocks(native)
+        # CX->H.CZ.H puts a Hadamard on the ancilla between consecutive
+        # CZs, so every oracle CZ is fenced into its own block.
+        assert part.num_blocks == native.num_two_qubit_gates
+        assert all(b.num_gates == 1 for b in part.blocks)
+
+    def test_vqe_layer_is_one_dense_block(self):
+        from repro.circuits.generators import vqe_full_entanglement
+
+        qc = vqe_full_entanglement(6, seed=0)
+        part = partition_into_blocks(qc)
+        assert part.num_blocks == 1
+        assert part.blocks[0].num_gates == 6 * 5 // 2

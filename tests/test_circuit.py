@@ -1,0 +1,144 @@
+"""Unit tests for the circuit container."""
+
+import pytest
+
+from repro.circuits import Barrier, Circuit, CircuitError, Measure, concat
+from repro.circuits.gates import Gate
+
+
+class TestConstruction:
+    def test_needs_positive_width(self):
+        with pytest.raises(CircuitError):
+            Circuit(0)
+
+    def test_name_round_trip(self):
+        qc = Circuit(2, name="demo")
+        assert qc.name == "demo"
+        qc.name = "other"
+        assert qc.name == "other"
+
+    def test_len_counts_operations(self):
+        qc = Circuit(2)
+        qc.h(0)
+        qc.cz(0, 1)
+        qc.barrier()
+        assert len(qc) == 3
+
+
+class TestAppend:
+    def test_gate_out_of_range_rejected(self):
+        qc = Circuit(2)
+        with pytest.raises(CircuitError):
+            qc.cz(0, 2)
+
+    def test_measure_out_of_range_rejected(self):
+        qc = Circuit(2)
+        with pytest.raises(CircuitError):
+            qc.append(Measure(5, 0))
+
+    def test_barrier_specific_qubits(self):
+        qc = Circuit(3)
+        qc.barrier(0, 2)
+        barrier = qc.operations[0]
+        assert isinstance(barrier, Barrier)
+        assert barrier.qubits == (0, 2)
+
+    def test_add_gate_returns_gate(self):
+        qc = Circuit(2)
+        gate = qc.add_gate("rz", (1,), 0.7)
+        assert isinstance(gate, Gate)
+        assert gate.params == (0.7,)
+
+    def test_extend(self):
+        qc = Circuit(2)
+        qc.extend([Gate("h", (0,)), Gate("cz", (0, 1))])
+        assert qc.num_gates == 2
+
+    def test_measure_all(self):
+        qc = Circuit(3)
+        qc.measure_all()
+        measures = [op for op in qc if isinstance(op, Measure)]
+        assert [m.qubit for m in measures] == [0, 1, 2]
+
+
+class TestCounts:
+    def test_gate_counts(self):
+        qc = Circuit(3)
+        qc.h(0)
+        qc.rz(0.2, 1)
+        qc.cz(0, 1)
+        qc.rzz(0.3, 1, 2)
+        assert qc.num_gates == 4
+        assert qc.num_one_qubit_gates == 2
+        assert qc.num_two_qubit_gates == 2
+
+    def test_depth_series_vs_parallel(self):
+        qc = Circuit(3)
+        qc.h(0)
+        qc.h(1)
+        qc.h(2)
+        assert qc.depth == 1
+        qc.cz(0, 1)
+        assert qc.depth == 2
+        qc.cz(1, 2)
+        assert qc.depth == 3
+
+    def test_depth_empty(self):
+        assert Circuit(2).depth == 0
+
+    def test_interaction_pairs_normalised(self):
+        qc = Circuit(3)
+        qc.cz(2, 0)
+        qc.rzz(0.1, 1, 2)
+        assert qc.interaction_pairs() == [(0, 2), (1, 2)]
+
+    def test_used_qubits(self):
+        qc = Circuit(5)
+        qc.cz(0, 3)
+        qc.h(4)
+        assert qc.used_qubits() == {0, 3, 4}
+
+
+class TestNativeness:
+    def test_native_with_cz_class_only(self):
+        qc = Circuit(2)
+        qc.cz(0, 1)
+        qc.cp(0.3, 0, 1)
+        assert qc.is_native()
+
+    def test_not_native_with_cx(self):
+        qc = Circuit(2)
+        qc.cx(0, 1)
+        assert not qc.is_native()
+
+
+class TestCopyEqConcat:
+    def test_copy_is_independent(self):
+        qc = Circuit(2)
+        qc.h(0)
+        dup = qc.copy()
+        dup.cz(0, 1)
+        assert qc.num_gates == 1
+        assert dup.num_gates == 2
+
+    def test_equality(self):
+        a = Circuit(2)
+        a.h(0)
+        b = Circuit(2)
+        b.h(0)
+        assert a == b
+        b.h(1)
+        assert a != b
+
+    def test_concat(self):
+        a = Circuit(2)
+        a.h(0)
+        b = Circuit(2)
+        b.cz(0, 1)
+        c = concat(a, b)
+        assert c.num_gates == 2
+        assert c.num_qubits == 2
+
+    def test_concat_width_mismatch(self):
+        with pytest.raises(CircuitError):
+            concat(Circuit(2), Circuit(3))

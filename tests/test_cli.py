@@ -1,0 +1,131 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.circuits import to_qasm
+from repro.circuits.generators import qaoa_regular
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def qasm_file(tmp_path):
+    path = tmp_path / "circuit.qasm"
+    path.write_text(to_qasm(qaoa_regular(8, degree=3, seed=1)))
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compile_defaults(self, qasm_file):
+        args = build_parser().parse_args(["compile", qasm_file])
+        assert args.storage is True
+        assert args.aods == 1
+
+    def test_no_storage_flag(self, qasm_file):
+        args = build_parser().parse_args(
+            ["compile", qasm_file, "--no-storage"]
+        )
+        assert args.storage is False
+
+
+class TestCompileCommand:
+    def test_basic_compile(self, qasm_file, capsys):
+        assert main(["compile", qasm_file]) == 0
+        out = capsys.readouterr().out
+        assert "fidelity" in out
+        assert "rydberg stages" in out
+
+    def test_compile_no_storage(self, qasm_file, capsys):
+        assert main(["compile", qasm_file, "--no-storage"]) == 0
+        assert "non-storage" in capsys.readouterr().out
+
+    def test_compile_writes_json(self, qasm_file, tmp_path, capsys):
+        out_path = str(tmp_path / "program.json")
+        assert main(["compile", qasm_file, "--output", out_path]) == 0
+        with open(out_path) as handle:
+            doc = json.load(handle)
+        assert doc["format"] == "repro-naprogram"
+
+    def test_compile_trace(self, qasm_file, capsys):
+        assert main(["compile", qasm_file, "--trace", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "initial layout" in out
+
+
+class TestBenchCommand:
+    def test_bench_row(self, capsys):
+        code = main(
+            [
+                "bench",
+                "QSIM-rand-0.3-10",
+                "--mis-restarts",
+                "2",
+                "--sa-iterations",
+                "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fidelity" in out and "T_exe" in out
+
+    def test_bench_unknown_key(self):
+        with pytest.raises(KeyError):
+            main(["bench", "NOPE-1"])
+
+
+class TestTableCommands:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "QAOA-regular3" in capsys.readouterr().out
+
+    def test_table3_subset(self, capsys):
+        code = main(
+            [
+                "table3",
+                "--keys",
+                "BV-14",
+                "--mis-restarts",
+                "2",
+                "--sa-iterations",
+                "10",
+            ]
+        )
+        assert code == 0
+        assert "BV-14" in capsys.readouterr().out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7", "--keys", "BV-14", "--aod-counts", "1", "2"]) == 0
+        assert "T_exe" in capsys.readouterr().out
+
+    def test_verify_command(self, qasm_file, capsys):
+        assert main(["verify", qasm_file]) == 0
+        out = capsys.readouterr().out
+        assert "overlap 1.0" in out
+
+    def test_profile_command(self, qasm_file, capsys):
+        assert main(["profile", qasm_file]) == 0
+        out = capsys.readouterr().out
+        assert "Workload atlas" in out
+        assert "dominated" in out or "mixed" in out
+
+    def test_scorecard(self, capsys):
+        code = main(
+            [
+                "scorecard",
+                "--keys",
+                "BV-14",
+                "--mis-restarts",
+                "3",
+                "--sa-iterations",
+                "30",
+                "--min-score",
+                "0.9",
+            ]
+        )
+        assert code == 0
+        assert "score:" in capsys.readouterr().out

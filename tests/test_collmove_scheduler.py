@@ -1,0 +1,144 @@
+"""Unit tests for the Coll-Move Scheduler (Sec. 6)."""
+
+import pytest
+
+from repro.core.collmove_scheduler import (
+    order_coll_moves,
+    schedule_coll_moves,
+    transition_duration,
+)
+from repro.hardware import (
+    DEFAULT_PARAMS,
+    CollMove,
+    Move,
+    Zone,
+    ZonedArchitecture,
+)
+
+
+@pytest.fixture
+def arch():
+    return ZonedArchitecture(4, 4, 4, 8)
+
+
+def cm_into_storage(arch, qubit, col):
+    return CollMove(
+        moves=[
+            Move(
+                qubit,
+                arch.site(Zone.COMPUTE, col, 0),
+                arch.site(Zone.STORAGE, col, 0),
+            )
+        ]
+    )
+
+
+def cm_out_of_storage(arch, qubit, col):
+    return CollMove(
+        moves=[
+            Move(
+                qubit,
+                arch.site(Zone.STORAGE, col, 0),
+                arch.site(Zone.COMPUTE, col, 0),
+            )
+        ]
+    )
+
+
+def cm_lateral(arch, qubit, row):
+    return CollMove(
+        moves=[
+            Move(
+                qubit,
+                arch.site(Zone.COMPUTE, 0, row),
+                arch.site(Zone.COMPUTE, 1, row),
+            )
+        ]
+    )
+
+
+class TestIntraStageOrdering:
+    def test_move_ins_first_move_outs_last(self, arch):
+        groups = [
+            cm_out_of_storage(arch, 0, 0),
+            cm_lateral(arch, 1, 1),
+            cm_into_storage(arch, 2, 2),
+        ]
+        ordered = order_coll_moves(groups)
+        assert ordered[0].num_into_storage == 1
+        assert ordered[-1].num_out_of_storage == 1
+
+    def test_stable_for_equal_keys(self, arch):
+        groups = [cm_lateral(arch, q, q) for q in range(3)]
+        ordered = order_coll_moves(groups)
+        assert [g.moves[0].qubit for g in ordered] == [0, 1, 2]
+
+    def test_disabled_keeps_input_order(self, arch):
+        groups = [
+            cm_out_of_storage(arch, 0, 0),
+            cm_into_storage(arch, 1, 1),
+        ]
+        ordered = order_coll_moves(groups, prioritize_move_ins=False)
+        assert [g.moves[0].qubit for g in ordered] == [0, 1]
+
+
+class TestMultiAodChunking:
+    def test_single_aod_one_per_batch(self, arch):
+        groups = [cm_lateral(arch, q, q) for q in range(3)]
+        batches = schedule_coll_moves(groups, num_aods=1)
+        assert len(batches) == 3
+        assert all(b.num_coll_moves == 1 for b in batches)
+
+    def test_two_aods_pairs_batches(self, arch):
+        groups = [cm_lateral(arch, q, q) for q in range(3)]
+        batches = schedule_coll_moves(groups, num_aods=2)
+        assert [b.num_coll_moves for b in batches] == [2, 1]
+
+    def test_aod_indices_assigned(self, arch):
+        groups = [cm_lateral(arch, q, q) for q in range(4)]
+        batches = schedule_coll_moves(groups, num_aods=2)
+        for batch in batches:
+            indices = [cm.aod_index for cm in batch.coll_moves]
+            assert indices == list(range(len(indices)))
+
+    def test_invalid_aod_count(self, arch):
+        with pytest.raises(ValueError):
+            schedule_coll_moves([], num_aods=0)
+
+    def test_empty_input(self):
+        assert schedule_coll_moves([], num_aods=2) == []
+
+
+class TestDurations:
+    def test_more_aods_never_slower(self, arch):
+        groups = [cm_lateral(arch, q, q) for q in range(4)]
+        t1 = transition_duration(
+            schedule_coll_moves(list(groups), num_aods=1), DEFAULT_PARAMS
+        )
+        t2 = transition_duration(
+            schedule_coll_moves(list(groups), num_aods=2), DEFAULT_PARAMS
+        )
+        t4 = transition_duration(
+            schedule_coll_moves(list(groups), num_aods=4), DEFAULT_PARAMS
+        )
+        assert t2 <= t1
+        assert t4 <= t2
+
+    def test_transfer_count_invariant_under_aods(self, arch):
+        """Sec. 6.2: parallelism must not change N_trans."""
+        groups1 = [cm_lateral(arch, q, q) for q in range(4)]
+        groups2 = [cm_lateral(arch, q, q) for q in range(4)]
+        batches1 = schedule_coll_moves(groups1, num_aods=1)
+        batches4 = schedule_coll_moves(groups2, num_aods=4)
+        assert sum(b.num_transfers for b in batches1) == sum(
+            b.num_transfers for b in batches4
+        )
+
+    def test_batch_duration_formula(self, arch):
+        groups = [cm_lateral(arch, 0, 0), cm_lateral(arch, 1, 1)]
+        batches = schedule_coll_moves(groups, num_aods=2)
+        assert len(batches) == 1
+        move_time = DEFAULT_PARAMS.move_duration(15e-6)
+        assert batches[0].duration(DEFAULT_PARAMS) == pytest.approx(
+            2 * DEFAULT_PARAMS.duration_transfer + move_time
+        )

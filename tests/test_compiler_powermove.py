@@ -1,0 +1,203 @@
+"""Integration tests for the PowerMove compiler driver."""
+
+import pytest
+
+from repro.circuits import Circuit, transpile_to_native
+from repro.circuits.generators import (
+    bernstein_vazirani,
+    qaoa_regular,
+    qft,
+    qsim_random,
+    vqe_full_entanglement,
+)
+from repro.core import PowerMoveCompiler, PowerMoveConfig
+from repro.fidelity import evaluate_program
+from repro.hardware import Zone, ZonedArchitecture
+from repro.schedule import validate_program
+
+
+def compile_and_validate(circuit, config):
+    compiler = PowerMoveCompiler(config)
+    result = compiler.compile(circuit)
+    validate_program(result.program, source_circuit=result.native_circuit)
+    return result
+
+
+class TestBasicCompilation:
+    @pytest.mark.parametrize("use_storage", [True, False])
+    def test_single_cz(self, use_storage):
+        qc = Circuit(2)
+        qc.cz(0, 1)
+        result = compile_and_validate(
+            qc, PowerMoveConfig(use_storage=use_storage)
+        )
+        assert result.program.num_stages == 1
+        assert result.program.num_two_qubit_gates == 1
+
+    @pytest.mark.parametrize("use_storage", [True, False])
+    def test_qaoa(self, use_storage):
+        qc = qaoa_regular(10, degree=3, seed=1)
+        result = compile_and_validate(
+            qc, PowerMoveConfig(use_storage=use_storage)
+        )
+        assert result.program.num_two_qubit_gates == 15
+
+    def test_initial_layout_in_storage(self):
+        qc = qaoa_regular(8, degree=3, seed=0)
+        result = compile_and_validate(qc, PowerMoveConfig(use_storage=True))
+        layout = result.program.initial_layout
+        assert all(
+            layout.zone_of(q) is Zone.STORAGE for q in layout.qubits
+        )
+
+    def test_initial_layout_in_compute_without_storage(self):
+        qc = qaoa_regular(8, degree=3, seed=0)
+        result = compile_and_validate(qc, PowerMoveConfig(use_storage=False))
+        layout = result.program.initial_layout
+        assert all(
+            layout.zone_of(q) is Zone.COMPUTE for q in layout.qubits
+        )
+
+    def test_compile_time_measured(self):
+        qc = qaoa_regular(8, degree=3, seed=0)
+        result = PowerMoveCompiler().compile(qc)
+        assert result.compile_time > 0
+
+    def test_one_qubit_gates_preserved(self):
+        qc = bernstein_vazirani(6, seed=0)
+        result = compile_and_validate(qc, PowerMoveConfig())
+        native = transpile_to_native(qc)
+        assert (
+            result.program.num_one_qubit_gates
+            == native.num_one_qubit_gates
+        )
+
+    def test_pure_1q_circuit(self):
+        qc = Circuit(3)
+        qc.h(0)
+        qc.h(1)
+        result = compile_and_validate(qc, PowerMoveConfig())
+        assert result.program.num_stages == 0
+        assert result.program.num_one_qubit_gates == 2
+
+    def test_metadata_populated(self):
+        qc = qaoa_regular(8, degree=3, seed=0)
+        result = PowerMoveCompiler(PowerMoveConfig(num_aods=2)).compile(qc)
+        meta = result.program.metadata
+        assert meta["use_storage"] is True
+        assert meta["num_aods"] == 2
+        assert meta["num_stages"] == result.program.num_stages
+
+
+class TestStorageSemantics:
+    def test_with_storage_zero_excitation_error(self):
+        """The headline claim: storage eliminates excitation errors."""
+        for circuit in (
+            qaoa_regular(10, degree=3, seed=1),
+            bernstein_vazirani(8, seed=0),
+            qsim_random(8, num_strings=4, seed=0),
+        ):
+            result = compile_and_validate(
+                circuit, PowerMoveConfig(use_storage=True)
+            )
+            report = evaluate_program(result.program)
+            assert report.timeline.idle_excitations == 0
+            assert report.excitation == 1.0
+
+    def test_non_storage_has_excitation_error(self):
+        qc = bernstein_vazirani(8, seed=0)
+        result = compile_and_validate(qc, PowerMoveConfig(use_storage=False))
+        report = evaluate_program(result.program)
+        assert report.timeline.idle_excitations > 0
+
+    def test_storage_requires_storage_zone(self):
+        arch = ZonedArchitecture(3, 3)
+        qc = Circuit(4)
+        qc.cz(0, 1)
+        with pytest.raises(ValueError):
+            PowerMoveCompiler(PowerMoveConfig(use_storage=True)).compile(
+                qc, architecture=arch
+            )
+
+
+class TestMultiAod:
+    @pytest.mark.parametrize("num_aods", [1, 2, 3, 4])
+    def test_valid_under_aod_counts(self, num_aods):
+        qc = qaoa_regular(10, degree=3, seed=2)
+        result = compile_and_validate(
+            qc, PowerMoveConfig(num_aods=num_aods)
+        )
+        for batch in result.program.move_batches:
+            assert batch.num_coll_moves <= num_aods
+
+    def test_more_aods_not_slower(self):
+        qc = qaoa_regular(12, degree=3, seed=2)
+        times = []
+        for num_aods in (1, 2, 4):
+            result = compile_and_validate(
+                qc, PowerMoveConfig(num_aods=num_aods, seed=0)
+            )
+            times.append(evaluate_program(result.program).execution_time)
+        assert times[1] <= times[0] + 1e-12
+        assert times[2] <= times[1] + 1e-12
+
+    def test_transfers_invariant_under_aods(self):
+        qc = qaoa_regular(12, degree=3, seed=2)
+        counts = set()
+        for num_aods in (1, 2, 4):
+            result = compile_and_validate(
+                qc, PowerMoveConfig(num_aods=num_aods, seed=0)
+            )
+            counts.add(result.program.num_transfers)
+        assert len(counts) == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        qc = qaoa_regular(10, degree=3, seed=3)
+        r1 = PowerMoveCompiler(PowerMoveConfig(seed=11)).compile(qc)
+        r2 = PowerMoveCompiler(PowerMoveConfig(seed=11)).compile(qc)
+        assert len(r1.program.instructions) == len(r2.program.instructions)
+        assert (
+            r1.program.total_move_distance()
+            == r2.program.total_move_distance()
+        )
+
+
+class TestAllFamiliesCompile:
+    @pytest.mark.parametrize(
+        "circuit_factory",
+        [
+            lambda: qaoa_regular(9, degree=4, seed=0),
+            lambda: qft(6),
+            lambda: bernstein_vazirani(7, seed=1),
+            lambda: vqe_full_entanglement(6, seed=0),
+            lambda: qsim_random(7, num_strings=3, seed=1),
+        ],
+        ids=["qaoa4", "qft", "bv", "vqe", "qsim"],
+    )
+    @pytest.mark.parametrize("use_storage", [True, False])
+    def test_family(self, circuit_factory, use_storage):
+        qc = circuit_factory()
+        result = compile_and_validate(
+            qc, PowerMoveConfig(use_storage=use_storage)
+        )
+        report = evaluate_program(result.program)
+        assert 0.0 <= report.total <= 1.0
+        assert report.execution_time > 0
+
+
+class TestConvenienceApi:
+    def test_compile_circuit_function(self):
+        from repro.core import compile_circuit
+
+        qc = qaoa_regular(8, degree=3, seed=0)
+        result = compile_circuit(qc, use_storage=True, seed=1)
+        validate_program(result.program)
+        assert result.program.compiler_name == "powermove[with-storage]"
+
+    def test_variant_names(self):
+        assert (
+            PowerMoveCompiler(PowerMoveConfig(use_storage=False)).variant_name
+            == "powermove[non-storage]"
+        )

@@ -1,0 +1,112 @@
+"""Tests for the Fig. 3(e)(f) strawman: Enola naively bolted onto a
+zoned machine.
+
+The paper's Sec. 3.1 argues that Enola's revert-to-initial-layout scheme
+cannot integrate the storage zone efficiently: the initial layout must
+live in storage, so every gate costs four inter-zone shuttles.  These
+tests pin down both halves of the argument quantitatively: excitation
+errors do vanish, but the movement overhead leaves PowerMove's
+with-storage scheme strictly ahead.
+"""
+
+import pytest
+
+from repro.baselines import EnolaCompiler, EnolaConfig
+from repro.circuits.generators import bernstein_vazirani, qaoa_regular
+from repro.core import PowerMoveCompiler, PowerMoveConfig
+from repro.fidelity import evaluate_program
+from repro.hardware import Zone
+from repro.schedule import validate_program
+
+NAIVE = EnolaConfig(
+    seed=0, mis_restarts=2, sa_iterations_per_qubit=10, naive_storage=True
+)
+PLAIN = EnolaConfig(seed=0, mis_restarts=2, sa_iterations_per_qubit=10)
+
+
+class TestNaiveStorageMechanics:
+    def test_compiles_and_validates(self):
+        circuit = qaoa_regular(10, degree=3, seed=1)
+        result = EnolaCompiler(NAIVE).compile(circuit)
+        validate_program(
+            result.program, source_circuit=result.native_circuit
+        )
+
+    def test_variant_name(self):
+        assert (
+            EnolaCompiler(NAIVE).variant_name == "enola[naive-storage]"
+        )
+
+    def test_initial_layout_in_storage(self):
+        circuit = qaoa_regular(8, degree=3, seed=0)
+        program = EnolaCompiler(NAIVE).compile(circuit).program
+        layout = program.initial_layout
+        assert all(
+            layout.zone_of(q) is Zone.STORAGE for q in layout.qubits
+        )
+
+    def test_reverts_to_storage_layout(self):
+        circuit = qaoa_regular(10, degree=3, seed=1)
+        program = EnolaCompiler(NAIVE).compile(circuit).program
+        assert program.final_layout() == program.initial_layout
+
+    def test_four_moves_per_gate(self):
+        circuit = qaoa_regular(10, degree=3, seed=1)
+        program = EnolaCompiler(NAIVE).compile(circuit).program
+        assert program.num_single_moves == 4 * program.num_two_qubit_gates
+
+    def test_requires_storage_zone(self):
+        from repro.hardware import ZonedArchitecture
+
+        circuit = qaoa_regular(8, degree=3, seed=0)
+        arch = ZonedArchitecture.for_qubits(8, with_storage=False)
+        with pytest.raises(ValueError, match="storage"):
+            EnolaCompiler(NAIVE).compile(circuit, architecture=arch)
+
+
+class TestPaperArgument:
+    """The quantitative version of the paper's Sec. 3.1 analysis."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        circuit = bernstein_vazirani(12, seed=0)
+        naive = EnolaCompiler(NAIVE).compile(circuit)
+        plain = EnolaCompiler(PLAIN).compile(circuit)
+        pm = PowerMoveCompiler(PowerMoveConfig(use_storage=True)).compile(
+            circuit
+        )
+        for result in (naive, plain, pm):
+            validate_program(result.program)
+        return {
+            "naive": evaluate_program(naive.program),
+            "plain": evaluate_program(plain.program),
+            "pm": evaluate_program(pm.program),
+            "naive_program": naive.program,
+            "pm_program": pm.program,
+        }
+
+    def test_naive_storage_eliminates_excitation(self, reports):
+        assert reports["naive"].timeline.idle_excitations == 0
+        assert reports["plain"].timeline.idle_excitations > 0
+
+    def test_naive_storage_pays_movement_overhead(self, reports):
+        """Inter-zone shuttling makes the strawman slower than plain
+        Enola -- the overhead Fig. 3(e)(f) illustrates."""
+        assert (
+            reports["naive"].execution_time
+            > reports["plain"].execution_time
+        )
+
+    def test_powermove_beats_the_strawman_on_time(self, reports):
+        assert (
+            reports["pm"].execution_time < reports["naive"].execution_time
+        )
+
+    def test_powermove_beats_the_strawman_on_moves(self, reports):
+        assert (
+            reports["pm_program"].num_single_moves
+            < reports["naive_program"].num_single_moves
+        )
+
+    def test_powermove_beats_the_strawman_on_fidelity(self, reports):
+        assert reports["pm"].total > reports["naive"].total

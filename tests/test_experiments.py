@@ -1,0 +1,128 @@
+"""Integration tests for the experiment harness (Table 3 / figures)."""
+
+import pytest
+
+from repro.analysis import (
+    SCENARIOS,
+    Table3Row,
+    figure6_panel,
+    figure7_series,
+    render_table2,
+    reproduce_table3,
+    run_scenarios,
+)
+from repro.baselines import EnolaConfig
+from repro.circuits.generators import bernstein_vazirani, qaoa_regular
+
+FAST = EnolaConfig(seed=0, mis_restarts=2, sa_iterations_per_qubit=10)
+
+
+class TestRunScenarios:
+    def test_all_scenarios_present(self):
+        result = run_scenarios(
+            qaoa_regular(8, degree=3, seed=0), enola_config=FAST
+        )
+        assert set(result.scenarios) == set(SCENARIOS)
+
+    def test_storage_eliminates_excitation(self):
+        result = run_scenarios(
+            bernstein_vazirani(8, seed=0), enola_config=FAST
+        )
+        ws = result["pm_with_storage"].fidelity
+        assert ws.timeline.idle_excitations == 0
+        enola = result["enola"].fidelity
+        assert enola.timeline.idle_excitations > 0
+
+    def test_improvement_ratios_defined(self):
+        result = run_scenarios(
+            qaoa_regular(8, degree=3, seed=0), enola_config=FAST
+        )
+        assert result.fidelity_improvement > 0
+        assert result.texe_improvement > 0
+        assert result.tcomp_improvement > 0
+
+    def test_two_qubit_component_identical_across_scenarios(self):
+        """No compiler adds 2Q gates: the f2^g2 term must coincide."""
+        result = run_scenarios(
+            qaoa_regular(8, degree=3, seed=0), enola_config=FAST
+        )
+        values = {
+            result[s].fidelity.two_qubit for s in SCENARIOS
+        }
+        assert len(values) == 1
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            run_scenarios(
+                qaoa_regular(8, degree=3, seed=0),
+                scenarios=("bogus",),
+            )
+
+    def test_subset_of_scenarios(self):
+        result = run_scenarios(
+            qaoa_regular(8, degree=3, seed=0),
+            scenarios=("pm_with_storage",),
+        )
+        assert list(result.scenarios) == ["pm_with_storage"]
+
+
+class TestTable3Harness:
+    def test_single_row(self):
+        table = reproduce_table3(
+            keys=("QSIM-rand-0.3-10",), enola_config=FAST
+        )
+        assert len(table.rows) == 1
+        row = table.rows[0]
+        assert isinstance(row, Table3Row)
+        assert row.num_qubits == 10
+        assert 0 <= row.ws_fidelity <= 1
+
+    def test_render_contains_columns(self):
+        table = reproduce_table3(keys=("BV-14",), enola_config=FAST)
+        text = table.render()
+        assert "BV-14" in text
+        assert "Fid. Improv." in text
+        assert "Tcomp Improv." in text
+
+    def test_table2_render(self):
+        text = render_table2()
+        assert "QAOA-regular3" in text
+        assert "90 x 180" in text
+
+
+class TestFigureHarness:
+    def test_figure6_panel_small(self):
+        panel = figure6_panel(
+            "QSIM-rand-0.3", sizes=[10], enola_config=FAST
+        )
+        assert panel.sizes == [10]
+        for scenario in SCENARIOS:
+            series = panel.series[scenario]
+            assert len(series["total"]) == 1
+            assert set(series) == {
+                "two_qubit",
+                "excitation",
+                "transfer",
+                "decoherence",
+                "total",
+            }
+        # Storage panel shows no excitation error.
+        assert panel.series["pm_with_storage"]["excitation"][0] == 1.0
+        text = panel.render()
+        assert "QSIM" in text
+
+    def test_figure6_bad_sizes(self):
+        with pytest.raises(ValueError):
+            figure6_panel("BV", sizes=[999], enola_config=FAST)
+
+    def test_figure7_series_small(self):
+        series = figure7_series(
+            keys=("BV-14",), aod_counts=(1, 2), seed=0
+        )
+        assert series.aod_counts == [1, 2]
+        texe = series.texe_us["BV-14"]
+        assert len(texe) == 2
+        assert texe[1] <= texe[0] + 1e-9
+        fid = series.fidelity["BV-14"]
+        assert fid[1] >= fid[0] - 1e-12
+        assert "BV-14" in series.render()

@@ -1,0 +1,138 @@
+"""Unit tests for the gate model."""
+
+import math
+
+import pytest
+
+from repro.circuits.gates import (
+    GATE_SPECS,
+    Gate,
+    UnknownGateError,
+    cp,
+    cx,
+    cz,
+    gate_spec,
+    h,
+    normalize_angle,
+    qubits_used,
+    rz,
+    rzz,
+)
+
+
+class TestGateSpecs:
+    def test_registry_contains_core_gates(self):
+        for name in ("h", "x", "rz", "cz", "cx", "cp", "rzz", "swap"):
+            assert name in GATE_SPECS
+
+    def test_cz_class_gates_are_diagonal_two_qubit(self):
+        for spec in GATE_SPECS.values():
+            if spec.cz_class:
+                assert spec.num_qubits == 2
+                assert spec.diagonal
+
+    def test_cx_is_not_cz_class(self):
+        assert not GATE_SPECS["cx"].cz_class
+
+    def test_cz_is_cz_class(self):
+        assert GATE_SPECS["cz"].cz_class
+
+    def test_rz_is_diagonal_one_qubit(self):
+        spec = GATE_SPECS["rz"]
+        assert spec.diagonal and spec.num_qubits == 1
+
+    def test_h_is_not_diagonal(self):
+        assert not GATE_SPECS["h"].diagonal
+
+    def test_gate_spec_lookup_case_insensitive(self):
+        assert gate_spec("CZ") is GATE_SPECS["cz"]
+
+    def test_gate_spec_unknown_raises(self):
+        with pytest.raises(UnknownGateError):
+            gate_spec("frobnicate")
+
+
+class TestGateConstruction:
+    def test_basic_cz(self):
+        gate = cz(0, 1)
+        assert gate.qubits == (0, 1)
+        assert gate.is_two_qubit
+        assert gate.is_cz_class
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownGateError):
+            Gate("bogus", (0,))
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(ValueError):
+            Gate("cz", (0,))
+        with pytest.raises(ValueError):
+            Gate("h", (0, 1))
+
+    def test_duplicate_qubits_raise(self):
+        with pytest.raises(ValueError):
+            Gate("cz", (2, 2))
+
+    def test_negative_qubit_raises(self):
+        with pytest.raises(ValueError):
+            Gate("h", (-1,))
+
+    def test_wrong_param_count_raises(self):
+        with pytest.raises(ValueError):
+            Gate("rz", (0,))
+        with pytest.raises(ValueError):
+            Gate("h", (0,), (0.5,))
+
+    def test_name_is_lowercased(self):
+        assert Gate("H", (0,)).name == "h"
+
+    def test_gates_are_hashable_and_equal_by_value(self):
+        assert cz(0, 1) == cz(0, 1)
+        assert hash(cz(0, 1)) == hash(cz(0, 1))
+        assert cz(0, 1) != cz(1, 2)
+
+    def test_rzz_params(self):
+        gate = rzz(0.25, 1, 2)
+        assert gate.params == (0.25,)
+        assert gate.is_cz_class
+
+    def test_str_rendering(self):
+        assert "cz" in str(cz(0, 1))
+        assert "0.5" in str(rz(0.5, 3))
+
+
+class TestGateQueries:
+    def test_overlaps(self):
+        assert cz(0, 1).overlaps(cz(1, 2))
+        assert not cz(0, 1).overlaps(cz(2, 3))
+        assert h(0).overlaps(cz(0, 5))
+
+    def test_remapped(self):
+        gate = cp(0.1, 0, 1).remapped({0: 4, 1: 7})
+        assert gate.qubits == (4, 7)
+        assert gate.params == (0.1,)
+
+    def test_qubits_used(self):
+        assert qubits_used([cz(0, 1), h(3), cx(1, 2)]) == {0, 1, 2, 3}
+
+    def test_diagonal_flags(self):
+        assert rz(0.3, 0).is_diagonal
+        assert not h(0).is_diagonal
+        assert cz(0, 1).is_diagonal
+
+
+class TestNormalizeAngle:
+    def test_identity_in_range(self):
+        assert normalize_angle(1.0) == pytest.approx(1.0)
+
+    def test_wraps_positive(self):
+        assert normalize_angle(2 * math.pi + 0.5) == pytest.approx(0.5)
+
+    def test_wraps_negative(self):
+        assert normalize_angle(-2 * math.pi - 0.5) == pytest.approx(-0.5)
+
+    def test_pi_maps_to_pi(self):
+        assert normalize_angle(math.pi) == pytest.approx(math.pi)
+
+    def test_minus_pi_maps_to_pi(self):
+        assert normalize_angle(-math.pi) == pytest.approx(math.pi)

@@ -1,0 +1,128 @@
+"""Unit tests for the zoned-architecture geometry."""
+
+import pytest
+
+from repro.hardware import UM, Zone, ZonedArchitecture
+
+
+class TestConstruction:
+    def test_site_counts(self):
+        arch = ZonedArchitecture(3, 3, 3, 6)
+        assert len(arch.compute_sites) == 9
+        assert len(arch.storage_sites) == 18
+        assert arch.num_sites == 27
+
+    def test_no_storage(self):
+        arch = ZonedArchitecture(4, 4)
+        assert not arch.has_storage
+        assert arch.storage_sites == ()
+
+    def test_half_storage_rejected(self):
+        with pytest.raises(ValueError):
+            ZonedArchitecture(3, 3, 3, 0)
+        with pytest.raises(ValueError):
+            ZonedArchitecture(3, 3, 0, 5)
+
+    def test_nonpositive_compute_rejected(self):
+        with pytest.raises(ValueError):
+            ZonedArchitecture(0, 3)
+
+    def test_aod_count_validated(self):
+        with pytest.raises(ValueError):
+            ZonedArchitecture(2, 2, num_aods=0)
+
+
+class TestCoordinates:
+    def test_compute_zone_above_gap(self):
+        arch = ZonedArchitecture(3, 3, 3, 6)
+        for site in arch.compute_sites:
+            assert site.y >= arch.params.zone_gap - 1e-12
+
+    def test_storage_zone_at_or_below_zero(self):
+        arch = ZonedArchitecture(3, 3, 3, 6)
+        for site in arch.storage_sites:
+            assert site.y <= 1e-12
+
+    def test_zone_separation_is_gap(self):
+        arch = ZonedArchitecture(3, 3, 3, 6)
+        lowest_compute = min(s.y for s in arch.compute_sites)
+        highest_storage = max(s.y for s in arch.storage_sites)
+        assert lowest_compute - highest_storage == pytest.approx(30 * UM)
+
+    def test_pitch_spacing(self):
+        arch = ZonedArchitecture(3, 3, 3, 6)
+        a = arch.site(Zone.COMPUTE, 0, 0)
+        b = arch.site(Zone.COMPUTE, 1, 0)
+        c = arch.site(Zone.COMPUTE, 0, 1)
+        assert b.x - a.x == pytest.approx(15 * UM)
+        assert c.y - a.y == pytest.approx(15 * UM)
+
+    def test_storage_row_zero_nearest_compute(self):
+        arch = ZonedArchitecture(3, 3, 3, 6)
+        row0 = arch.site(Zone.STORAGE, 0, 0)
+        row1 = arch.site(Zone.STORAGE, 0, 1)
+        assert row0.y > row1.y
+
+    def test_distance(self):
+        arch = ZonedArchitecture(3, 3, 3, 6)
+        a = arch.site(Zone.COMPUTE, 0, 0)
+        b = arch.site(Zone.COMPUTE, 2, 0)
+        assert a.distance_to(b) == pytest.approx(30 * UM)
+
+
+class TestLookup:
+    def test_site_lookup(self):
+        arch = ZonedArchitecture(3, 3, 3, 6)
+        site = arch.site(Zone.STORAGE, 2, 5)
+        assert (site.col, site.row) == (2, 5)
+
+    def test_missing_site_raises(self):
+        arch = ZonedArchitecture(3, 3, 3, 6)
+        with pytest.raises(KeyError):
+            arch.site(Zone.COMPUTE, 5, 5)
+
+    def test_contains(self):
+        a = ZonedArchitecture(3, 3, 3, 6)
+        b = ZonedArchitecture(4, 4, 4, 8)
+        site = a.site(Zone.COMPUTE, 0, 0)
+        assert a.contains(site)
+        # The same indices exist on b with identical coordinates, so the
+        # frozen dataclass compares equal: containment is value-based.
+        assert b.contains(site)
+        far = b.site(Zone.COMPUTE, 3, 3)
+        assert not a.contains(far)
+
+    def test_sites_in(self):
+        arch = ZonedArchitecture(2, 2, 2, 4)
+        assert arch.sites_in(Zone.COMPUTE) == arch.compute_sites
+        assert arch.sites_in(Zone.STORAGE) == arch.storage_sites
+
+
+class TestPaperFloorPlan:
+    """Sec. 7.1 default configuration checks against Table 2."""
+
+    @pytest.mark.parametrize(
+        "n,side",
+        [(30, 6), (40, 7), (50, 8), (60, 8), (80, 9), (100, 10), (18, 5),
+         (29, 6), (14, 4), (20, 5), (10, 4)],
+    )
+    def test_grid_side(self, n, side):
+        arch = ZonedArchitecture.for_qubits(n)
+        assert arch.compute_shape == (side, side)
+        assert arch.storage_shape == (side, 2 * side)
+
+    def test_zone_extents_match_table2(self):
+        arch = ZonedArchitecture.for_qubits(30)
+        assert arch.zone_extent_um(Zone.COMPUTE) == (90.0, 90.0)
+        assert arch.inter_zone_extent_um() == (90.0, 30.0)
+        assert arch.zone_extent_um(Zone.STORAGE) == (90.0, 180.0)
+
+    def test_capacity_sufficient(self):
+        for n in (10, 30, 70, 100):
+            arch = ZonedArchitecture.for_qubits(n)
+            assert len(arch.compute_sites) >= n
+            assert len(arch.storage_sites) >= n
+
+    def test_without_storage(self):
+        arch = ZonedArchitecture.for_qubits(30, with_storage=False)
+        assert not arch.has_storage

@@ -1,0 +1,108 @@
+"""Unit tests for the compiled-program instruction set."""
+
+import pytest
+
+from repro.circuits.gates import Gate
+from repro.hardware import (
+    DEFAULT_PARAMS,
+    UM,
+    CollMove,
+    Move,
+    Zone,
+    ZonedArchitecture,
+)
+from repro.schedule import MoveBatch, OneQubitLayer, RydbergStage
+
+
+@pytest.fixture
+def arch():
+    return ZonedArchitecture(4, 4, 4, 8)
+
+
+class TestOneQubitLayer:
+    def test_depth_parallel(self):
+        layer = OneQubitLayer(gates=[Gate("h", (q,)) for q in range(5)])
+        assert layer.depth == 1
+        assert layer.duration(DEFAULT_PARAMS) == pytest.approx(1e-6)
+
+    def test_depth_sequential_chain(self):
+        layer = OneQubitLayer(
+            gates=[Gate("h", (0,)), Gate("x", (0,)), Gate("h", (1,))]
+        )
+        assert layer.depth == 2
+        assert layer.duration(DEFAULT_PARAMS) == pytest.approx(2e-6)
+
+    def test_empty_layer(self):
+        layer = OneQubitLayer()
+        assert layer.depth == 0
+        assert layer.duration(DEFAULT_PARAMS) == 0.0
+
+    def test_pulse_counts(self):
+        layer = OneQubitLayer(
+            gates=[Gate("h", (0,)), Gate("rz", (0,), (0.1,)), Gate("x", (2,))]
+        )
+        assert layer.pulse_counts() == {0: 2, 2: 1}
+
+
+class TestMoveBatch:
+    def _move(self, arch, qubit, c0, c1):
+        return Move(
+            qubit,
+            arch.site(Zone.COMPUTE, *c0),
+            arch.site(Zone.COMPUTE, *c1),
+        )
+
+    def test_duration_includes_two_transfers(self, arch):
+        move = self._move(arch, 0, (0, 0), (1, 0))
+        batch = MoveBatch(coll_moves=[CollMove(moves=[move])])
+        expected = 2 * 15e-6 + DEFAULT_PARAMS.move_duration(15 * UM)
+        assert batch.duration(DEFAULT_PARAMS) == pytest.approx(expected)
+
+    def test_duration_is_max_over_collmoves(self, arch):
+        short = CollMove(moves=[self._move(arch, 0, (0, 0), (1, 0))])
+        long = CollMove(
+            moves=[self._move(arch, 1, (0, 1), (3, 1))], aod_index=1
+        )
+        batch = MoveBatch(coll_moves=[short, long])
+        expected = 2 * 15e-6 + DEFAULT_PARAMS.move_duration(45 * UM)
+        assert batch.duration(DEFAULT_PARAMS) == pytest.approx(expected)
+
+    def test_empty_batch_duration_zero(self):
+        assert MoveBatch().duration(DEFAULT_PARAMS) == 0.0
+
+    def test_transfer_count(self, arch):
+        batch = MoveBatch(
+            coll_moves=[
+                CollMove(
+                    moves=[
+                        self._move(arch, 0, (0, 0), (1, 0)),
+                        self._move(arch, 1, (2, 0), (3, 0)),
+                    ]
+                )
+            ]
+        )
+        assert batch.num_transfers == 4
+
+    def test_moved_qubits_sorted(self, arch):
+        batch = MoveBatch(
+            coll_moves=[
+                CollMove(moves=[self._move(arch, 5, (0, 0), (1, 0))]),
+                CollMove(
+                    moves=[self._move(arch, 2, (2, 2), (3, 2))], aod_index=1
+                ),
+            ]
+        )
+        assert batch.moved_qubits == (2, 5)
+
+
+class TestRydbergStage:
+    def test_interacting_qubits(self):
+        stage = RydbergStage(
+            gates=[Gate("cz", (0, 1)), Gate("rzz", (2, 3), (0.5,))]
+        )
+        assert stage.interacting_qubits() == {0, 1, 2, 3}
+        assert stage.num_gates == 2
+
+    def test_duration_is_cz_time(self):
+        stage = RydbergStage(gates=[Gate("cz", (0, 1))])
+        assert stage.duration(DEFAULT_PARAMS) == pytest.approx(270e-9)

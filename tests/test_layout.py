@@ -1,0 +1,179 @@
+"""Unit tests for qubit layouts."""
+
+import pytest
+
+from repro.hardware import Layout, LayoutError, Zone, ZonedArchitecture
+from repro.hardware.moves import Move
+
+
+@pytest.fixture
+def arch():
+    return ZonedArchitecture(3, 3, 3, 6)
+
+
+class TestConstruction:
+    def test_row_major_compute(self, arch):
+        layout = Layout.row_major(arch, 4, Zone.COMPUTE)
+        assert layout.num_qubits == 4
+        assert layout.site_of(0) == arch.site(Zone.COMPUTE, 0, 0)
+        assert layout.site_of(3) == arch.site(Zone.COMPUTE, 0, 1)
+
+    def test_row_major_storage(self, arch):
+        layout = Layout.row_major(arch, 5, Zone.STORAGE)
+        assert all(layout.zone_of(q) is Zone.STORAGE for q in range(5))
+
+    def test_row_major_overflow(self, arch):
+        with pytest.raises(LayoutError):
+            Layout.row_major(arch, 10, Zone.COMPUTE)
+
+    def test_from_permutation(self, arch):
+        layout = Layout.from_permutation(arch, [2, 0, 1], Zone.COMPUTE)
+        assert layout.site_of(2) == arch.site(Zone.COMPUTE, 0, 0)
+        assert layout.site_of(0) == arch.site(Zone.COMPUTE, 1, 0)
+
+    def test_from_permutation_duplicates_rejected(self, arch):
+        with pytest.raises(LayoutError):
+            Layout.from_permutation(arch, [0, 0, 1])
+
+    def test_explicit_mapping_capacity(self, arch):
+        site = arch.site(Zone.COMPUTE, 0, 0)
+        Layout(arch, {0: site, 1: site})  # two qubits: fine
+        with pytest.raises(LayoutError):
+            Layout(arch, {0: site, 1: site, 2: site})
+
+    def test_off_machine_site_rejected(self, arch):
+        other = ZonedArchitecture(5, 5)
+        far = other.site(Zone.COMPUTE, 4, 4)
+        with pytest.raises(LayoutError):
+            Layout(arch, {0: far})
+
+
+class TestAccessors:
+    def test_unplaced_qubit_raises(self, arch):
+        layout = Layout.row_major(arch, 2)
+        with pytest.raises(LayoutError):
+            layout.site_of(7)
+
+    def test_occupants_and_cotenants(self, arch):
+        site = arch.site(Zone.COMPUTE, 1, 1)
+        layout = Layout(arch, {0: site, 1: site})
+        assert layout.occupants(site) == {0, 1}
+        assert layout.co_tenants(0) == {1}
+
+    def test_is_empty(self, arch):
+        layout = Layout.row_major(arch, 1)
+        assert layout.is_empty(arch.site(Zone.COMPUTE, 2, 2))
+        assert not layout.is_empty(arch.site(Zone.COMPUTE, 0, 0))
+
+    def test_qubits_in_zone(self, arch):
+        mapping = {
+            0: arch.site(Zone.COMPUTE, 0, 0),
+            1: arch.site(Zone.STORAGE, 0, 0),
+            2: arch.site(Zone.STORAGE, 1, 0),
+        }
+        layout = Layout(arch, mapping)
+        assert layout.qubits_in_zone(Zone.COMPUTE) == (0,)
+        assert layout.qubits_in_zone(Zone.STORAGE) == (1, 2)
+
+
+class TestMove:
+    def test_simple_move(self, arch):
+        layout = Layout.row_major(arch, 2)
+        dest = arch.site(Zone.COMPUTE, 2, 2)
+        layout.move(0, dest)
+        assert layout.site_of(0) == dest
+        assert layout.is_empty(arch.site(Zone.COMPUTE, 0, 0))
+
+    def test_move_to_full_site_rejected(self, arch):
+        site = arch.site(Zone.COMPUTE, 0, 0)
+        layout = Layout(arch, {0: site, 1: site, 2: arch.site(Zone.COMPUTE, 1, 0)})
+        with pytest.raises(LayoutError):
+            layout.move(2, site)
+
+    def test_noop_move(self, arch):
+        layout = Layout.row_major(arch, 1)
+        layout.move(0, layout.site_of(0))
+        assert layout.num_qubits == 1
+
+    def test_apply_moves_handles_chains(self, arch):
+        """A->B while B->C must not overflow B."""
+        s0 = arch.site(Zone.COMPUTE, 0, 0)
+        s1 = arch.site(Zone.COMPUTE, 1, 0)
+        s2 = arch.site(Zone.COMPUTE, 2, 0)
+        extra = arch.site(Zone.COMPUTE, 1, 1)
+        layout = Layout(arch, {0: s0, 1: s1, 2: s1, 3: extra})
+        layout.apply_moves(
+            [Move(0, s0, s1), Move(1, s1, s2), Move(2, s1, s2)]
+        )
+        assert layout.occupants(s1) == {0}
+        assert layout.occupants(s2) == {1, 2}
+
+    def test_apply_moves_duplicate_mover_rejected(self, arch):
+        s0 = arch.site(Zone.COMPUTE, 0, 0)
+        s1 = arch.site(Zone.COMPUTE, 1, 0)
+        s2 = arch.site(Zone.COMPUTE, 2, 0)
+        layout = Layout(arch, {0: s0})
+        with pytest.raises(LayoutError):
+            layout.apply_moves([Move(0, s0, s1), Move(0, s1, s2)])
+
+    def test_apply_moves_source_mismatch_rejected(self, arch):
+        s1 = arch.site(Zone.COMPUTE, 1, 0)
+        s2 = arch.site(Zone.COMPUTE, 2, 0)
+        layout = Layout.row_major(arch, 1)
+        with pytest.raises(LayoutError):
+            layout.apply_moves([Move(0, s1, s2)])
+
+
+class TestNearestEmpty:
+    def test_prefers_same_column(self, arch):
+        layout = Layout.row_major(arch, 0) if False else Layout(arch, {})
+        origin = arch.site(Zone.COMPUTE, 1, 2)
+        found = layout.nearest_empty_site(origin.position, Zone.STORAGE)
+        assert found is not None
+        assert found.col == 1
+        assert found.row == 0  # nearest storage row
+
+    def test_skips_occupied(self, arch):
+        nearest = arch.site(Zone.STORAGE, 1, 0)
+        layout = Layout(arch, {0: nearest})
+        origin = arch.site(Zone.COMPUTE, 1, 0)
+        found = layout.nearest_empty_site(origin.position, Zone.STORAGE)
+        assert found is not None and found != nearest
+
+    def test_exclude(self, arch):
+        layout = Layout(arch, {})
+        origin = arch.site(Zone.COMPUTE, 1, 0)
+        first = layout.nearest_empty_site(origin.position, Zone.STORAGE)
+        second = layout.nearest_empty_site(
+            origin.position, Zone.STORAGE, exclude=[first]
+        )
+        assert second != first
+
+    def test_none_when_zone_full(self):
+        arch = ZonedArchitecture(1, 1, 1, 1)
+        layout = Layout(arch, {0: arch.site(Zone.STORAGE, 0, 0)})
+        found = layout.nearest_empty_site((0.0, 0.0), Zone.STORAGE)
+        assert found is None
+
+    def test_predicate_filter(self, arch):
+        layout = Layout(arch, {})
+        found = layout.nearest_empty_site(
+            (0.0, 0.0), Zone.STORAGE, predicate=lambda s: s.row >= 3
+        )
+        assert found is not None and found.row >= 3
+
+
+class TestCopyValidate:
+    def test_copy_independent(self, arch):
+        layout = Layout.row_major(arch, 2)
+        dup = layout.copy()
+        dup.move(0, arch.site(Zone.COMPUTE, 2, 2))
+        assert layout.site_of(0) != dup.site_of(0)
+
+    def test_validate_passes(self, arch):
+        layout = Layout.row_major(arch, 5)
+        layout.validate()
+
+    def test_equality(self, arch):
+        assert Layout.row_major(arch, 3) == Layout.row_major(arch, 3)
+        assert Layout.row_major(arch, 3) != Layout.row_major(arch, 2)

@@ -1,0 +1,123 @@
+"""Tests for program metrics and the Monte-Carlo fidelity cross-check."""
+
+import pytest
+
+from repro.baselines import EnolaCompiler, EnolaConfig
+from repro.circuits.generators import bernstein_vazirani, qaoa_regular
+from repro.core import PowerMoveCompiler, PowerMoveConfig
+from repro.core.metrics import compare_metrics, compute_metrics
+from repro.fidelity.montecarlo import (
+    crosscheck_fidelity,
+    sample_program_fidelity,
+)
+
+FAST = EnolaConfig(seed=0, mis_restarts=2, sa_iterations_per_qubit=10)
+
+
+@pytest.fixture(scope="module")
+def programs():
+    circuit = qaoa_regular(10, degree=3, seed=1)
+    pm = PowerMoveCompiler(PowerMoveConfig(seed=0)).compile(circuit).program
+    enola = EnolaCompiler(FAST).compile(circuit).program
+    return pm, enola
+
+
+class TestMetrics:
+    def test_basic_fields(self, programs):
+        pm, _ = programs
+        metrics = compute_metrics(pm)
+        assert metrics.num_stages == pm.num_stages
+        assert metrics.num_single_moves == pm.num_single_moves
+        assert 0.0 <= metrics.storage_dwell_fraction <= 1.0
+        assert 0.0 <= metrics.mean_stage_utilization <= 1.0
+        assert 0.0 <= metrics.movement_time_fraction <= 1.0
+        assert metrics.execution_time > 0
+
+    def test_storage_dwell_positive_with_storage(self, programs):
+        pm, enola = programs
+        assert compute_metrics(pm).storage_dwell_fraction > 0.0
+        assert compute_metrics(enola).storage_dwell_fraction == 0.0
+
+    def test_powermove_parallelism_beats_enola(self, programs):
+        """Enola schedules one move per CollMove; PowerMove groups."""
+        pm, enola = programs
+        m_pm = compute_metrics(pm)
+        m_enola = compute_metrics(enola)
+        assert m_enola.moves_per_coll_move == pytest.approx(1.0)
+        assert m_pm.moves_per_coll_move >= 1.0
+
+    def test_idle_excitations_zero_with_storage(self, programs):
+        pm, enola = programs
+        assert compute_metrics(pm).idle_excitations_per_stage == 0.0
+        assert compute_metrics(enola).idle_excitations_per_stage >= 0.0
+
+    def test_compare_metrics_ratios(self, programs):
+        pm, enola = programs
+        ratios = compare_metrics(compute_metrics(pm), compute_metrics(enola))
+        assert ratios["execution_speedup"] > 1.0
+        assert ratios["move_count_reduction"] > 1.0
+        assert set(ratios) == {
+            "execution_speedup",
+            "move_count_reduction",
+            "distance_reduction",
+            "parallelism_gain",
+        }
+
+    def test_empty_program_metrics(self):
+        from repro.hardware import Layout, ZonedArchitecture
+        from repro.schedule import NAProgram
+
+        arch = ZonedArchitecture(2, 2, 2, 4)
+        program = NAProgram(
+            architecture=arch,
+            initial_layout=Layout.row_major(arch, 2),
+            instructions=[],
+        )
+        metrics = compute_metrics(program)
+        assert metrics.num_stages == 0
+        assert metrics.moves_per_coll_move == 0.0
+        assert metrics.execution_time == 0.0
+
+
+class TestMonteCarlo:
+    def test_estimate_matches_analytic_powermove(self, programs):
+        pm, _ = programs
+        result = crosscheck_fidelity(pm, shots=8000, seed=1)
+        assert result.shots == 8000
+        assert 0.0 <= result.estimate <= 1.0
+
+    def test_estimate_matches_analytic_enola(self, programs):
+        _, enola = programs
+        result = crosscheck_fidelity(enola, shots=8000, seed=2)
+        assert result.within(4.0)
+
+    def test_estimate_matches_on_bv(self):
+        circuit = bernstein_vazirani(10, seed=0)
+        program = (
+            PowerMoveCompiler(PowerMoveConfig(use_storage=False))
+            .compile(circuit)
+            .program
+        )
+        result = crosscheck_fidelity(program, shots=8000, seed=3)
+        assert result.within(4.0)
+
+    def test_include_1q_lowers_estimate_target(self, programs):
+        pm, _ = programs
+        with_1q = sample_program_fidelity(
+            pm, shots=2000, seed=4, include_1q=True
+        )
+        without = sample_program_fidelity(
+            pm, shots=2000, seed=4, include_1q=False
+        )
+        assert with_1q.analytic <= without.analytic
+
+    def test_std_error_shrinks_with_shots(self, programs):
+        pm, _ = programs
+        small = sample_program_fidelity(pm, shots=500, seed=5)
+        large = sample_program_fidelity(pm, shots=8000, seed=5)
+        assert large.std_error < small.std_error
+
+    def test_invalid_shots(self, programs):
+        pm, _ = programs
+        with pytest.raises(ValueError):
+            sample_program_fidelity(pm, shots=0)

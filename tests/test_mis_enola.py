@@ -1,0 +1,163 @@
+"""Unit tests for the MIS scheduler and the Enola baseline compiler."""
+
+import random
+
+import pytest
+
+from repro.baselines import EnolaCompiler, EnolaConfig
+from repro.baselines.mis import best_mis, greedy_mis, mis_stage_partition
+from repro.circuits import Circuit, partition_into_blocks, transpile_to_native
+from repro.circuits.generators import (
+    bernstein_vazirani,
+    qaoa_regular,
+    vqe_full_entanglement,
+)
+from repro.fidelity import evaluate_program
+from repro.hardware import Zone
+from repro.schedule import validate_program
+
+FAST = EnolaConfig(seed=0, mis_restarts=2, sa_iterations_per_qubit=10)
+
+
+def block_of(circuit):
+    return partition_into_blocks(circuit).blocks[0]
+
+
+class TestGreedyMis:
+    def test_is_independent(self):
+        adjacency = {0: [1], 1: [0, 2], 2: [1], 3: []}
+        chosen = greedy_mis(adjacency, {0, 1, 2, 3}, random.Random(0))
+        for v in chosen:
+            assert not set(adjacency[v]) & chosen
+
+    def test_is_maximal(self):
+        adjacency = {0: [1], 1: [0, 2], 2: [1], 3: []}
+        chosen = greedy_mis(adjacency, {0, 1, 2, 3}, random.Random(0))
+        for v in {0, 1, 2, 3} - chosen:
+            assert set(adjacency[v]) & chosen, f"{v} could be added"
+
+    def test_best_of_restarts_at_least_single(self):
+        adjacency = {
+            v: [u for u in range(8) if u != v and (u + v) % 3 == 0]
+            for v in range(8)
+        }
+        single = greedy_mis(adjacency, set(range(8)), random.Random(0))
+        best = best_mis(adjacency, set(range(8)), random.Random(0), 10)
+        assert len(best) >= len(single) - 1  # randomised, but best-of wins
+
+    def test_restart_validation(self):
+        with pytest.raises(ValueError):
+            best_mis({}, set(), random.Random(0), 0)
+
+
+class TestMisStagePartition:
+    def test_partitions_all_gates(self):
+        qc = vqe_full_entanglement(6, seed=0)
+        block = block_of(qc)
+        stages = mis_stage_partition(block, random.Random(0), restarts=3)
+        total = sum(s.num_gates for s in stages)
+        assert total == block.num_gates
+
+    def test_stages_disjoint(self):
+        qc = vqe_full_entanglement(6, seed=0)
+        stages = mis_stage_partition(block_of(qc), random.Random(0), 3)
+        for stage in stages:
+            stage.validate()
+
+    def test_stage_count_reasonable(self):
+        """Iterated MIS on K_n's line graph needs around n-1 stages."""
+        n = 8
+        qc = vqe_full_entanglement(n, seed=0)
+        stages = mis_stage_partition(block_of(qc), random.Random(0), 5)
+        assert n - 1 <= len(stages) <= 2 * n
+
+    def test_empty_block(self):
+        from repro.circuits.blocks import CZBlock
+
+        assert mis_stage_partition(CZBlock(index=0), random.Random(0)) == []
+
+
+class TestEnolaCompiler:
+    def test_compiles_and_validates(self):
+        qc = qaoa_regular(10, degree=3, seed=1)
+        result = EnolaCompiler(FAST).compile(qc)
+        validate_program(
+            result.program, source_circuit=result.native_circuit
+        )
+
+    def test_no_storage_zone_used(self):
+        qc = qaoa_regular(8, degree=3, seed=0)
+        result = EnolaCompiler(FAST).compile(qc)
+        assert not result.program.architecture.has_storage
+        layout = result.program.initial_layout
+        assert all(
+            layout.zone_of(q) is Zone.COMPUTE for q in layout.qubits
+        )
+
+    def test_reverts_to_initial_layout(self):
+        """Enola's defining property: the final layout is the initial one."""
+        qc = qaoa_regular(10, degree=3, seed=1)
+        result = EnolaCompiler(FAST).compile(qc)
+        assert result.program.final_layout() == result.program.initial_layout
+
+    def test_movement_is_doubled(self):
+        """Each stage moves qubits out AND back: moves come in pairs."""
+        qc = qaoa_regular(10, degree=3, seed=1)
+        result = EnolaCompiler(FAST).compile(qc)
+        assert result.program.num_single_moves % 2 == 0
+
+    def test_excitation_error_nonzero_on_sparse_stages(self):
+        qc = bernstein_vazirani(8, seed=0)
+        result = EnolaCompiler(FAST).compile(qc)
+        report = evaluate_program(result.program)
+        assert report.timeline.idle_excitations > 0
+
+    def test_row_major_fallback(self):
+        cfg = EnolaConfig(seed=0, mis_restarts=1, sa_iterations_per_qubit=0)
+        qc = qaoa_regular(8, degree=3, seed=0)
+        result = EnolaCompiler(cfg).compile(qc)
+        validate_program(result.program)
+
+    def test_colocated_initial_pair_needs_no_move(self):
+        """Gates whose partners anneal onto neighbouring... or the same
+        site are executed without movement when already co-located."""
+        qc = Circuit(2)
+        qc.cz(0, 1)
+        result = EnolaCompiler(FAST).compile(qc)
+        validate_program(result.program)
+        assert result.program.num_stages == 1
+
+    def test_deterministic(self):
+        qc = qaoa_regular(10, degree=3, seed=1)
+        r1 = EnolaCompiler(FAST).compile(qc)
+        r2 = EnolaCompiler(FAST).compile(qc)
+        assert (
+            r1.program.total_move_distance()
+            == r2.program.total_move_distance()
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EnolaConfig(mis_restarts=0)
+        with pytest.raises(ValueError):
+            EnolaConfig(sa_iterations_per_qubit=-1)
+        with pytest.raises(ValueError):
+            EnolaConfig(num_aods=0)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: bernstein_vazirani(7, seed=1),
+            lambda: vqe_full_entanglement(6, seed=0),
+            lambda: qaoa_regular(9, degree=4, seed=0),
+        ],
+        ids=["bv", "vqe", "qaoa4"],
+    )
+    def test_all_families(self, factory):
+        qc = factory()
+        result = EnolaCompiler(FAST).compile(qc)
+        validate_program(
+            result.program, source_circuit=result.native_circuit
+        )
+        report = evaluate_program(result.program)
+        assert 0.0 <= report.total <= 1.0

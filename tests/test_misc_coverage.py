@@ -1,0 +1,198 @@
+"""Coverage of remaining corners: text tables, suite export, report,
+rectangular machines, parameter sensitivity."""
+
+import math
+import os
+
+import pytest
+
+from repro.analysis.report import full_report
+from repro.baselines import EnolaConfig
+from repro.benchsuite import export_suite_qasm
+from repro.circuits import parse_qasm
+from repro.circuits.generators import qaoa_regular, qsim_random
+from repro.core import PowerMoveCompiler, PowerMoveConfig
+from repro.fidelity import FidelityModel, evaluate_program
+from repro.hardware import HardwareParams, Layout, Zone, ZonedArchitecture
+from repro.schedule import validate_program
+from repro.utils.text import format_table
+
+FAST = EnolaConfig(seed=0, mis_restarts=2, sa_iterations_per_qubit=10)
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(
+            ["name", "value"], [["x", 1.5], ["longer", 2]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows equally wide
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.0], [1e-9], [123456.0], [1.2345]])
+        assert "0" in text
+        assert "1e-09" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestSuiteExport:
+    def test_exports_parseable_qasm(self, tmp_path):
+        paths = export_suite_qasm(
+            str(tmp_path), seed=0, keys=("BV-14", "QSIM-rand-0.3-10")
+        )
+        assert len(paths) == 2
+        for path in paths:
+            assert os.path.exists(path)
+            with open(path) as handle:
+                circuit = parse_qasm(handle.read())
+            assert circuit.num_two_qubit_gates > 0
+
+    def test_export_names_match_keys(self, tmp_path):
+        (path,) = export_suite_qasm(str(tmp_path), keys=("VQE-30",))
+        assert path.endswith("VQE-30.qasm")
+
+
+class TestFullReport:
+    def test_quick_report_contains_all_artifacts(self):
+        text = full_report(
+            keys=("BV-14",),
+            enola_config=FAST,
+            include_figures=True,
+            figure6_families=("BV",),
+        )
+        assert "Table 2" in text
+        assert "Table 3" in text
+        assert "Figure 6" in text
+        assert "Figure 7" in text
+
+    def test_report_without_figures(self):
+        text = full_report(
+            keys=("BV-14",), enola_config=FAST, include_figures=False
+        )
+        assert "Figure" not in text
+
+
+class TestRectangularMachines:
+    """The compiler must not assume square compute zones."""
+
+    @pytest.mark.parametrize("shape", [(2, 8), (8, 2), (3, 5)])
+    def test_powermove_on_rectangles(self, shape):
+        cols, rows = shape
+        arch = ZonedArchitecture(cols, rows, cols, 2 * rows, num_aods=1)
+        circuit = qaoa_regular(10, degree=3, seed=2)
+        layout = Layout.row_major(arch, 10, Zone.STORAGE)
+        result = PowerMoveCompiler(PowerMoveConfig(seed=0)).compile(
+            circuit, architecture=arch, initial_layout=layout
+        )
+        validate_program(
+            result.program, source_circuit=result.native_circuit
+        )
+
+    def test_minimal_machine(self):
+        """Two qubits on a 1x2 compute zone with storage."""
+        from repro.circuits import Circuit
+
+        arch = ZonedArchitecture(2, 1, 2, 2)
+        qc = Circuit(2)
+        qc.cz(0, 1)
+        result = PowerMoveCompiler(PowerMoveConfig(seed=0)).compile(
+            qc, architecture=arch
+        )
+        validate_program(result.program, source_circuit=qc)
+
+
+class TestParameterSensitivity:
+    """Eq. (1) must respond to hardware constants as physics dictates."""
+
+    @pytest.fixture(scope="class")
+    def program(self):
+        circuit = qsim_random(8, num_strings=4, seed=0)
+        return (
+            PowerMoveCompiler(PowerMoveConfig(use_storage=False))
+            .compile(circuit)
+            .program
+        )
+
+    def test_infinite_t2_removes_decoherence(self, program):
+        forgiving = HardwareParams(t2=1e9)
+        report = FidelityModel(forgiving).evaluate(program)
+        assert report.decoherence == pytest.approx(1.0, abs=1e-6)
+
+    def test_perfect_excitation_removes_term(self, program):
+        perfect = HardwareParams(fidelity_excitation=1.0)
+        report = FidelityModel(perfect).evaluate(program)
+        assert report.excitation == 1.0
+
+    def test_worse_cz_lowers_total(self, program):
+        good = FidelityModel(HardwareParams()).evaluate(program)
+        bad = FidelityModel(
+            HardwareParams(fidelity_cz=0.98)
+        ).evaluate(program)
+        assert bad.total < good.total
+
+    def test_t2_monotone(self, program):
+        short = FidelityModel(HardwareParams(t2=0.5)).evaluate(program)
+        long = FidelityModel(HardwareParams(t2=3.0)).evaluate(program)
+        assert long.decoherence > short.decoherence
+
+    def test_custom_acceleration_changes_texe(self):
+        """A slower machine (lower a) takes longer and decoheres more."""
+        circuit = qaoa_regular(8, degree=3, seed=0)
+        fast_params = HardwareParams()
+        slow_params = HardwareParams(acceleration=500.0)
+        fast_arch = ZonedArchitecture.for_qubits(8, params=fast_params)
+        slow_arch = ZonedArchitecture.for_qubits(8, params=slow_params)
+        fast = PowerMoveCompiler(
+            PowerMoveConfig(seed=0), fast_params
+        ).compile(circuit, architecture=fast_arch)
+        slow = PowerMoveCompiler(
+            PowerMoveConfig(seed=0), slow_params
+        ).compile(circuit, architecture=slow_arch)
+        t_fast = evaluate_program(fast.program).execution_time
+        t_slow = evaluate_program(slow.program).execution_time
+        assert t_slow > t_fast
+        # Movement time scales as 1/sqrt(a).
+        assert t_slow < t_fast * math.sqrt(2750.0 / 500.0) * 1.5
+
+
+class TestStageOrderingConfig:
+    def test_degree_ordering_still_valid(self):
+        circuit = qaoa_regular(10, degree=3, seed=0)
+        result = PowerMoveCompiler(
+            PowerMoveConfig(stage_ordering="degree", seed=0)
+        ).compile(circuit)
+        validate_program(
+            result.program, source_circuit=result.native_circuit
+        )
+
+    def test_saturation_never_more_stages_on_suite(self):
+        from repro.circuits import partition_into_blocks, transpile_to_native
+        from repro.core.stage_scheduler import partition_stages
+
+        for factory in (
+            lambda: qaoa_regular(14, degree=3, seed=1),
+            lambda: qsim_random(10, num_strings=4, seed=1),
+        ):
+            native = transpile_to_native(factory())
+            for block in partition_into_blocks(native).blocks:
+                sat = len(partition_stages(block, ordering="saturation"))
+                deg = len(partition_stages(block, ordering="degree"))
+                assert sat <= deg
+
+    def test_invalid_ordering_rejected(self):
+        from repro.circuits import Circuit, partition_into_blocks
+        from repro.core.stage_scheduler import partition_stages
+
+        qc = Circuit(2)
+        qc.cz(0, 1)
+        block = partition_into_blocks(qc).blocks[0]
+        with pytest.raises(ValueError):
+            partition_stages(block, ordering="rainbow")
+        with pytest.raises(ValueError):
+            PowerMoveConfig(stage_ordering="rainbow")

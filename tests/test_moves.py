@@ -1,0 +1,215 @@
+"""Unit tests for moves, the Fig. 5 conflict rule, and grouping."""
+
+import pytest
+
+from repro.hardware import (
+    DEFAULT_PARAMS,
+    UM,
+    CollMove,
+    Move,
+    Zone,
+    ZonedArchitecture,
+    group_moves,
+    moves_conflict,
+)
+
+
+@pytest.fixture
+def arch():
+    return ZonedArchitecture(4, 4, 4, 8)
+
+
+def mk(arch, qubit, src, dst, zone=Zone.COMPUTE):
+    return Move(
+        qubit,
+        arch.site(zone, *src),
+        arch.site(zone, *dst),
+    )
+
+
+class TestMove:
+    def test_distance(self, arch):
+        move = mk(arch, 0, (0, 0), (3, 0))
+        assert move.distance == pytest.approx(45 * UM)
+
+    def test_degenerate_move_rejected(self, arch):
+        site = arch.site(Zone.COMPUTE, 0, 0)
+        with pytest.raises(ValueError):
+            Move(0, site, site)
+
+    def test_duration_follows_params(self, arch):
+        move = mk(arch, 0, (0, 0), (1, 0))
+        assert move.duration(DEFAULT_PARAMS) == pytest.approx(
+            DEFAULT_PARAMS.move_duration(15 * UM)
+        )
+
+    def test_zone_direction_flags(self, arch):
+        into = Move(
+            0, arch.site(Zone.COMPUTE, 0, 0), arch.site(Zone.STORAGE, 0, 0)
+        )
+        out = Move(
+            1, arch.site(Zone.STORAGE, 0, 0), arch.site(Zone.COMPUTE, 0, 0)
+        )
+        lateral = mk(arch, 2, (0, 0), (1, 0))
+        assert into.into_storage and not into.out_of_storage
+        assert out.out_of_storage and not out.into_storage
+        assert not lateral.into_storage and not lateral.out_of_storage
+
+
+class TestConflictRule:
+    """The three panels of Fig. 5 plus order-preserving cases."""
+
+    def test_equal_start_different_end_conflicts(self, arch):
+        m1 = mk(arch, 0, (1, 0), (0, 0))
+        m2 = mk(arch, 1, (1, 1), (2, 1))
+        assert moves_conflict(m1, m2)
+
+    def test_crossing_conflicts(self, arch):
+        m1 = mk(arch, 0, (2, 0), (0, 0))
+        m2 = mk(arch, 1, (1, 1), (3, 1))
+        assert moves_conflict(m1, m2)
+
+    def test_merge_conflicts(self, arch):
+        m1 = mk(arch, 0, (2, 0), (1, 0))
+        m2 = mk(arch, 1, (0, 1), (1, 1))
+        assert moves_conflict(m1, m2)
+
+    def test_order_preserving_is_compatible(self, arch):
+        m1 = mk(arch, 0, (0, 0), (1, 0))
+        m2 = mk(arch, 1, (2, 1), (3, 1))
+        assert not moves_conflict(m1, m2)
+
+    def test_same_column_same_shift_compatible(self, arch):
+        m1 = mk(arch, 0, (1, 0), (2, 0))
+        m2 = mk(arch, 1, (1, 2), (2, 2))
+        assert not moves_conflict(m1, m2)
+
+    def test_y_axis_conflicts_detected(self, arch):
+        m1 = mk(arch, 0, (0, 2), (0, 0))
+        m2 = mk(arch, 1, (1, 1), (1, 3))
+        assert moves_conflict(m1, m2)
+
+    def test_symmetric(self, arch):
+        m1 = mk(arch, 0, (2, 0), (0, 0))
+        m2 = mk(arch, 1, (1, 1), (3, 1))
+        assert moves_conflict(m1, m2) == moves_conflict(m2, m1)
+
+    def test_inter_zone_moves_use_global_coordinates(self, arch):
+        # Two parallel vertical drops into storage keep x order: no conflict.
+        m1 = Move(
+            0, arch.site(Zone.COMPUTE, 0, 0), arch.site(Zone.STORAGE, 0, 0)
+        )
+        m2 = Move(
+            1, arch.site(Zone.COMPUTE, 2, 0), arch.site(Zone.STORAGE, 2, 0)
+        )
+        assert not moves_conflict(m1, m2)
+
+
+class TestCollMove:
+    def test_max_distance_and_duration(self, arch):
+        cm = CollMove(
+            moves=[mk(arch, 0, (0, 0), (1, 0)), mk(arch, 1, (0, 1), (3, 1))]
+        )
+        assert cm.max_distance == pytest.approx(45 * UM)
+        assert cm.move_duration(DEFAULT_PARAMS) == pytest.approx(
+            DEFAULT_PARAMS.move_duration(45 * UM)
+        )
+
+    def test_in_out_counts(self, arch):
+        cm = CollMove(
+            moves=[
+                Move(
+                    0,
+                    arch.site(Zone.COMPUTE, 0, 0),
+                    arch.site(Zone.STORAGE, 0, 0),
+                ),
+                Move(
+                    1,
+                    arch.site(Zone.STORAGE, 1, 0),
+                    arch.site(Zone.COMPUTE, 1, 0),
+                ),
+                mk(arch, 2, (2, 0), (3, 0)),
+            ]
+        )
+        assert cm.num_into_storage == 1
+        assert cm.num_out_of_storage == 1
+
+    def test_accepts(self, arch):
+        cm = CollMove(moves=[mk(arch, 0, (0, 0), (1, 0))])
+        assert cm.accepts(mk(arch, 1, (2, 1), (3, 1)))
+        assert not cm.accepts(mk(arch, 1, (2, 1), (0, 1)))
+
+    def test_validate_duplicate_qubit(self, arch):
+        cm = CollMove(
+            moves=[mk(arch, 0, (0, 0), (1, 0)), mk(arch, 0, (2, 2), (3, 2))]
+        )
+        with pytest.raises(AssertionError):
+            cm.validate()
+
+    def test_empty_collmove_properties(self):
+        cm = CollMove()
+        assert cm.max_distance == 0.0
+        assert cm.move_duration(DEFAULT_PARAMS) == 0.0
+
+
+class TestGrouping:
+    def test_compatible_moves_share_group(self, arch):
+        moves = [
+            mk(arch, 0, (0, 0), (1, 0)),
+            mk(arch, 1, (2, 1), (3, 1)),
+        ]
+        groups = group_moves(moves)
+        assert len(groups) == 1
+
+    def test_conflicting_moves_split(self, arch):
+        moves = [
+            mk(arch, 0, (0, 0), (2, 0)),
+            mk(arch, 1, (3, 1), (1, 1)),
+        ]
+        groups = group_moves(moves)
+        assert len(groups) == 2
+
+    def test_all_moves_preserved(self, arch):
+        moves = [
+            mk(arch, q, (q % 4, q // 4), ((q + 1) % 4, 3 - q // 4))
+            for q in range(8)
+        ]
+        groups = group_moves(moves)
+        grouped = sorted(m.qubit for g in groups for m in g.moves)
+        assert grouped == list(range(8))
+
+    def test_groups_internally_valid(self, arch):
+        moves = [
+            mk(arch, q, (q % 4, q // 4), ((q * 3 + 1) % 4, (q * 2 + 1) % 4))
+            for q in range(10)
+        ]
+        for group in group_moves(moves):
+            group.validate()
+
+    def test_distance_aware_sorts_ascending(self, arch):
+        short = mk(arch, 0, (0, 0), (1, 0))
+        long = mk(arch, 1, (0, 1), (3, 1))
+        groups = group_moves([long, short], distance_aware=True)
+        assert groups[0].moves[0].qubit == 0
+
+    def test_fifo_keeps_input_order(self, arch):
+        short = mk(arch, 0, (0, 0), (1, 0))
+        long = mk(arch, 1, (0, 1), (3, 1))
+        groups = group_moves([long, short], distance_aware=False)
+        assert groups[0].moves[0].qubit == 1
+
+    def test_distance_aware_balances_group_times(self, arch):
+        """Distance-aware grouping should not increase total move time."""
+        moves = []
+        q = 0
+        for row in range(4):
+            moves.append(mk(arch, q, (0, row), (1, row)))
+            q += 1
+        for row in range(4):
+            moves.append(mk(arch, q, (3, row), (0, (row + 1) % 4)))
+            q += 1
+        aware = group_moves(moves, distance_aware=True)
+        fifo = group_moves(moves, distance_aware=False)
+        t_aware = sum(g.move_duration(DEFAULT_PARAMS) for g in aware)
+        t_fifo = sum(g.move_duration(DEFAULT_PARAMS) for g in fifo)
+        assert t_aware <= t_fifo + 1e-12

@@ -1,0 +1,87 @@
+"""Unit tests for hardware parameters and the movement-time law."""
+
+import math
+
+import pytest
+
+from repro.hardware import DEFAULT_PARAMS, UM, US, HardwareParams
+
+
+class TestTableOneValues:
+    """The defaults must match the paper's Table 1 exactly."""
+
+    def test_fidelities(self):
+        p = DEFAULT_PARAMS
+        assert p.fidelity_1q == 0.9999
+        assert p.fidelity_cz == 0.995
+        assert p.fidelity_excitation == 0.9975
+        assert p.fidelity_transfer == 0.999
+
+    def test_durations(self):
+        p = DEFAULT_PARAMS
+        assert p.duration_1q == pytest.approx(1e-6)
+        assert p.duration_cz == pytest.approx(270e-9)
+        assert p.duration_transfer == pytest.approx(15e-6)
+
+    def test_motion_constants(self):
+        p = DEFAULT_PARAMS
+        assert p.acceleration == 2750.0
+        assert p.t2 == 1.5
+        assert p.site_pitch == pytest.approx(15e-6)
+        assert p.zone_gap == pytest.approx(30e-6)
+
+
+class TestMoveDuration:
+    def test_paper_example_27_5um(self):
+        """Table 1: 27.5 um takes 100 us."""
+        assert DEFAULT_PARAMS.move_duration(27.5 * UM) == pytest.approx(
+            100 * US, rel=1e-9
+        )
+
+    def test_paper_example_110um(self):
+        """Table 1: 110 um takes 200 us."""
+        assert DEFAULT_PARAMS.move_duration(110 * UM) == pytest.approx(
+            200 * US, rel=1e-9
+        )
+
+    def test_zero_distance_zero_time(self):
+        assert DEFAULT_PARAMS.move_duration(0.0) == 0.0
+
+    def test_monotone_in_distance(self):
+        d1 = DEFAULT_PARAMS.move_duration(10 * UM)
+        d2 = DEFAULT_PARAMS.move_duration(40 * UM)
+        assert d2 > d1
+        # sqrt scaling: 4x distance = 2x time
+        assert d2 == pytest.approx(2 * d1)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PARAMS.move_duration(-1.0)
+
+    def test_sqrt_law(self):
+        p = DEFAULT_PARAMS
+        for dist in (5 * UM, 50 * UM, 500 * UM):
+            assert p.move_duration(dist) == pytest.approx(
+                math.sqrt(dist / p.acceleration)
+            )
+
+
+class TestValidation:
+    def test_fidelity_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareParams(fidelity_cz=1.5)
+        with pytest.raises(ValueError):
+            HardwareParams(fidelity_cz=0.0)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareParams(duration_cz=0.0)
+
+    def test_pitch_below_spacing_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareParams(site_pitch=5e-6)
+
+    def test_custom_params_frozen(self):
+        p = HardwareParams()
+        with pytest.raises(Exception):
+            p.t2 = 3.0

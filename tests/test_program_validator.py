@@ -1,0 +1,196 @@
+"""Unit tests for NAProgram and the structural validator."""
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.gates import Gate
+from repro.hardware import (
+    CollMove,
+    Layout,
+    Move,
+    Zone,
+    ZonedArchitecture,
+)
+from repro.schedule import (
+    MoveBatch,
+    NAProgram,
+    OneQubitLayer,
+    RydbergStage,
+    ValidationError,
+    validate_program,
+)
+
+
+@pytest.fixture
+def arch():
+    return ZonedArchitecture(3, 3, 3, 6)
+
+
+def make_pair_program(arch):
+    """Qubits 0,1 start apart; 1 moves to 0; CZ fires."""
+    s0 = arch.site(Zone.COMPUTE, 0, 0)
+    s1 = arch.site(Zone.COMPUTE, 2, 0)
+    layout = Layout(arch, {0: s0, 1: s1})
+    batch = MoveBatch(coll_moves=[CollMove(moves=[Move(1, s1, s0)])])
+    stage = RydbergStage(gates=[Gate("cz", (0, 1))])
+    return NAProgram(
+        architecture=arch,
+        initial_layout=layout,
+        instructions=[batch, stage],
+    )
+
+
+class TestProgramAggregates:
+    def test_counts(self, arch):
+        program = make_pair_program(arch)
+        assert program.num_stages == 1
+        assert program.num_two_qubit_gates == 1
+        assert program.num_transfers == 2
+        assert program.num_coll_moves == 1
+        assert program.num_single_moves == 1
+
+    def test_final_layout(self, arch):
+        program = make_pair_program(arch)
+        final = program.final_layout()
+        assert final.site_of(1) == final.site_of(0)
+
+    def test_total_move_distance(self, arch):
+        program = make_pair_program(arch)
+        assert program.total_move_distance() == pytest.approx(30e-6)
+
+    def test_instruction_filters(self, arch):
+        program = make_pair_program(arch)
+        program.instructions.insert(0, OneQubitLayer([Gate("h", (0,))]))
+        assert len(program.one_qubit_layers) == 1
+        assert len(program.move_batches) == 1
+        assert len(program.rydberg_stages) == 1
+
+
+class TestValidatorAccepts:
+    def test_valid_program_passes(self, arch):
+        report = validate_program(make_pair_program(arch))
+        assert report.ok
+
+    def test_source_circuit_match(self, arch):
+        program = make_pair_program(arch)
+        circuit = Circuit(2)
+        circuit.cz(0, 1)
+        report = validate_program(program, source_circuit=circuit)
+        assert report.ok
+
+
+class TestValidatorRejects:
+    def test_pair_not_colocated(self, arch):
+        program = make_pair_program(arch)
+        program.instructions.pop(0)  # drop the move
+        with pytest.raises(ValidationError, match="not co-located"):
+            validate_program(program)
+
+    def test_gate_in_storage(self, arch):
+        site = arch.site(Zone.STORAGE, 0, 0)
+        layout = Layout(arch, {0: site, 1: site})
+        program = NAProgram(
+            architecture=arch,
+            initial_layout=layout,
+            instructions=[RydbergStage(gates=[Gate("cz", (0, 1))])],
+        )
+        with pytest.raises(ValidationError):
+            validate_program(program)
+
+    def test_clustering_detected(self, arch):
+        s0 = arch.site(Zone.COMPUTE, 0, 0)
+        s1 = arch.site(Zone.COMPUTE, 1, 0)
+        layout = Layout(arch, {0: s0, 1: s0, 2: s1, 3: s1})
+        # Stage pairs (0,1) but 2,3 share a site without a gate: cluster.
+        program = NAProgram(
+            architecture=arch,
+            initial_layout=layout,
+            instructions=[RydbergStage(gates=[Gate("cz", (0, 1))])],
+        )
+        with pytest.raises(ValidationError, match="clustering"):
+            validate_program(program)
+
+    def test_overlapping_stage_gates(self, arch):
+        s0 = arch.site(Zone.COMPUTE, 0, 0)
+        layout = Layout(arch, {0: s0, 1: s0})
+        program = NAProgram(
+            architecture=arch,
+            initial_layout=layout,
+            instructions=[
+                RydbergStage(
+                    gates=[Gate("cz", (0, 1)), Gate("cz", (1, 0))]
+                )
+            ],
+        )
+        with pytest.raises(ValidationError, match="overlap"):
+            validate_program(program)
+
+    def test_aod_conflict_inside_collmove(self, arch):
+        s_a = arch.site(Zone.COMPUTE, 0, 0)
+        s_b = arch.site(Zone.COMPUTE, 2, 0)
+        d_a = arch.site(Zone.COMPUTE, 2, 1)
+        d_b = arch.site(Zone.COMPUTE, 0, 1)
+        layout = Layout(arch, {0: s_a, 1: s_b})
+        crossing = CollMove(moves=[Move(0, s_a, d_a), Move(1, s_b, d_b)])
+        program = NAProgram(
+            architecture=arch,
+            initial_layout=layout,
+            instructions=[MoveBatch(coll_moves=[crossing])],
+        )
+        with pytest.raises(ValidationError, match="AOD order"):
+            validate_program(program)
+
+    def test_too_many_collmoves_for_aods(self, arch):
+        s0 = arch.site(Zone.COMPUTE, 0, 0)
+        s1 = arch.site(Zone.COMPUTE, 1, 0)
+        d0 = arch.site(Zone.COMPUTE, 0, 1)
+        d1 = arch.site(Zone.COMPUTE, 1, 1)
+        layout = Layout(arch, {0: s0, 1: s1})
+        batch = MoveBatch(
+            coll_moves=[
+                CollMove(moves=[Move(0, s0, d0)], aod_index=0),
+                CollMove(moves=[Move(1, s1, d1)], aod_index=1),
+            ]
+        )
+        program = NAProgram(
+            architecture=arch, initial_layout=layout, instructions=[batch]
+        )
+        with pytest.raises(ValidationError, match="exceed"):
+            validate_program(program)
+
+    def test_source_mismatch_detected(self, arch):
+        program = make_pair_program(arch)
+        wrong = Circuit(2)
+        wrong.cz(0, 1)
+        wrong.cz(0, 1)
+        with pytest.raises(ValidationError, match="multiset"):
+            validate_program(program, source_circuit=wrong)
+
+    def test_move_source_mismatch(self, arch):
+        s0 = arch.site(Zone.COMPUTE, 0, 0)
+        other = arch.site(Zone.COMPUTE, 2, 2)
+        dest = arch.site(Zone.COMPUTE, 1, 1)
+        layout = Layout(arch, {0: s0})
+        batch = MoveBatch(coll_moves=[CollMove(moves=[Move(0, other, dest)])])
+        program = NAProgram(
+            architecture=arch, initial_layout=layout, instructions=[batch]
+        )
+        with pytest.raises(ValidationError, match="replay failed"):
+            validate_program(program)
+
+    def test_two_qubit_gate_in_1q_layer(self, arch):
+        layout = Layout.row_major(arch, 2)
+        program = NAProgram(
+            architecture=arch,
+            initial_layout=layout,
+            instructions=[OneQubitLayer([Gate("cz", (0, 1))])],
+        )
+        with pytest.raises(ValidationError, match="1Q layer"):
+            validate_program(program)
+
+    def test_report_mode_no_raise(self, arch):
+        program = make_pair_program(arch)
+        program.instructions.pop(0)
+        report = validate_program(program, raise_on_error=False)
+        assert not report.ok
+        assert report.errors

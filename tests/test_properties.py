@@ -1,0 +1,257 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, parse_qasm, partition_into_blocks, to_qasm
+from repro.circuits.gates import Gate
+from repro.core.continuous_router import ContinuousRouter
+from repro.core.stage_scheduler import partition_stages
+from repro.hardware import (
+    Layout,
+    Move,
+    Zone,
+    ZonedArchitecture,
+    group_moves,
+    moves_conflict,
+)
+
+ARCH = ZonedArchitecture(4, 4, 4, 8)
+COMPUTE_SITES = list(ARCH.compute_sites)
+ALL_SITES = list(ARCH.all_sites)
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+sites = st.sampled_from(ALL_SITES)
+
+
+@st.composite
+def moves(draw, qubit=None):
+    src = draw(sites)
+    dst = draw(sites.filter(lambda s: s != src))
+    q = qubit if qubit is not None else draw(st.integers(0, 63))
+    return Move(q, src, dst)
+
+
+@st.composite
+def move_lists(draw, max_size=12):
+    n = draw(st.integers(1, max_size))
+    out = []
+    for q in range(n):
+        out.append(draw(moves(qubit=q)))
+    return out
+
+
+@st.composite
+def random_native_circuits(draw):
+    n = draw(st.integers(2, 8))
+    qc = Circuit(n)
+    length = draw(st.integers(1, 30))
+    for _ in range(length):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            qc.h(draw(st.integers(0, n - 1)))
+        elif kind == 1:
+            qc.rz(draw(st.floats(0.01, 3.0)), draw(st.integers(0, n - 1)))
+        else:
+            a = draw(st.integers(0, n - 1))
+            b = draw(st.integers(0, n - 1).filter(lambda x, a=a: x != a))
+            qc.cz(a, b)
+    return qc
+
+
+@st.composite
+def stage_pairs(draw, num_qubits):
+    """Disjoint qubit pairs over ``num_qubits`` qubits."""
+    qubits = list(range(num_qubits))
+    rng = random.Random(draw(st.integers(0, 2**16)))
+    rng.shuffle(qubits)
+    num_pairs = draw(st.integers(0, num_qubits // 2))
+    return [
+        (qubits[2 * i], qubits[2 * i + 1]) for i in range(num_pairs)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Conflict relation properties
+# ---------------------------------------------------------------------------
+
+
+class TestConflictProperties:
+    @given(moves(qubit=0), moves(qubit=1))
+    def test_symmetry(self, m1, m2):
+        assert moves_conflict(m1, m2) == moves_conflict(m2, m1)
+
+    @given(moves(qubit=0))
+    def test_irreflexive(self, m):
+        twin = Move(1, m.source, m.destination)
+        assert not moves_conflict(m, twin)
+
+    @given(moves(qubit=0), moves(qubit=1))
+    def test_order_characterisation(self, m1, m2):
+        """Conflict iff x-order or y-order (with ties) changes."""
+
+        def sign(v):
+            return (v > 1e-9) - (v < -1e-9)
+
+        expected = sign(m1.source.x - m2.source.x) != sign(
+            m1.destination.x - m2.destination.x
+        ) or sign(m1.source.y - m2.source.y) != sign(
+            m1.destination.y - m2.destination.y
+        )
+        assert moves_conflict(m1, m2) == expected
+
+
+# ---------------------------------------------------------------------------
+# Grouping properties
+# ---------------------------------------------------------------------------
+
+
+class TestGroupingProperties:
+    @given(move_lists(), st.booleans())
+    @settings(max_examples=60)
+    def test_partition_is_exact(self, batch, aware):
+        groups = group_moves(batch, distance_aware=aware)
+        grouped = sorted(m.qubit for g in groups for m in g.moves)
+        assert grouped == sorted(m.qubit for m in batch)
+
+    @given(move_lists(), st.booleans())
+    @settings(max_examples=60)
+    def test_groups_internally_compatible(self, batch, aware):
+        for group in group_moves(batch, distance_aware=aware):
+            group.validate()
+
+    @given(move_lists())
+    @settings(max_examples=60)
+    def test_greedy_first_fit_no_earlier_group_accepts(self, batch):
+        """Each distance-sorted move really could not join an earlier group.
+
+        Verified structurally: for groups produced greedily, the move with
+        the largest distance in group k conflicts with at least one member
+        of every earlier group (otherwise first-fit would have taken it).
+        """
+        groups = group_moves(batch, distance_aware=True)
+        order = sorted(batch, key=lambda m: (m.distance, m.qubit))
+        position = {m.qubit: i for i, g in enumerate(groups) for m in g.moves}
+        seen: list[list[Move]] = [[] for _ in groups]
+        for move in order:
+            idx = position[move.qubit]
+            for earlier in range(idx):
+                assert any(
+                    moves_conflict(move, member)
+                    for member in seen[earlier]
+                )
+            seen[idx].append(move)
+
+
+# ---------------------------------------------------------------------------
+# Stage partition properties
+# ---------------------------------------------------------------------------
+
+
+class TestStagePartitionProperties:
+    @given(random_native_circuits())
+    @settings(max_examples=60)
+    def test_partition_covers_all_gates_disjointly(self, qc):
+        partition = partition_into_blocks(qc)
+        for block in partition.blocks:
+            stages = partition_stages(block)
+            scheduled = [g for s in stages for g in s.gates]
+            assert len(scheduled) == block.num_gates
+            for stage in stages:
+                stage.validate()
+
+    @given(random_native_circuits())
+    @settings(max_examples=60)
+    def test_block_partition_preserves_gate_multiset(self, qc):
+        partition = partition_into_blocks(qc)
+        assert partition.num_two_qubit_gates == qc.num_two_qubit_gates
+        assert partition.num_one_qubit_gates == qc.num_one_qubit_gates
+
+
+# ---------------------------------------------------------------------------
+# Router properties
+# ---------------------------------------------------------------------------
+
+
+class TestRouterProperties:
+    @given(stage_pairs(8), st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_with_storage_stage_realised(self, pairs, seed):
+        layout = Layout.row_major(ARCH, 8, Zone.STORAGE)
+        router = ContinuousRouter(ARCH, True, random.Random(seed))
+        routed = router.route_stage(layout, pairs)
+        layout.apply_moves(routed.moves)
+        interacting = {q for p in pairs for q in p}
+        for a, b in pairs:
+            assert layout.site_of(a) == layout.site_of(b)
+            assert layout.zone_of(a) is Zone.COMPUTE
+        for q in layout.qubits:
+            if q not in interacting:
+                assert layout.zone_of(q) is Zone.STORAGE
+                assert layout.occupants(layout.site_of(q)) == {q}
+
+    @given(stage_pairs(8), st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_non_storage_stage_realised(self, pairs, seed):
+        layout = Layout.row_major(ARCH, 8, Zone.COMPUTE)
+        router = ContinuousRouter(ARCH, False, random.Random(seed))
+        routed = router.route_stage(layout, pairs)
+        layout.apply_moves(routed.moves)
+        pair_sets = {frozenset(p) for p in pairs}
+        for site in layout.occupied_sites():
+            tenants = layout.occupants(site)
+            assert len(tenants) <= 2
+            if len(tenants) == 2:
+                assert frozenset(tenants) in pair_sets
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2**16), st.integers(0, 4)),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_multi_stage_walk(self, stage_seeds):
+        """Consecutive routed stages never corrupt the layout."""
+        layout = Layout.row_major(ARCH, 8, Zone.STORAGE)
+        router = ContinuousRouter(ARCH, True, random.Random(1))
+        for seed, num_pairs in stage_seeds:
+            rng = random.Random(seed)
+            qubits = list(range(8))
+            rng.shuffle(qubits)
+            pairs = [
+                (qubits[2 * i], qubits[2 * i + 1])
+                for i in range(num_pairs // 2 + 1)
+                if 2 * i + 1 < len(qubits)
+            ]
+            routed = router.route_stage(layout, pairs)
+            layout.apply_moves(routed.moves)
+            layout.validate()
+            for a, b in pairs:
+                assert layout.site_of(a) == layout.site_of(b)
+
+
+# ---------------------------------------------------------------------------
+# QASM round-trip property
+# ---------------------------------------------------------------------------
+
+
+class TestQasmProperties:
+    @given(random_native_circuits())
+    @settings(max_examples=40)
+    def test_round_trip(self, qc):
+        parsed = parse_qasm(to_qasm(qc))
+        assert parsed.num_qubits == qc.num_qubits
+        assert [g.name for g in parsed.gates] == [g.name for g in qc.gates]
+        assert [g.qubits for g in parsed.gates] == [
+            g.qubits for g in qc.gates
+        ]

@@ -1,0 +1,194 @@
+"""Unit tests for the OpenQASM 2.0 front end."""
+
+import math
+
+import pytest
+
+from repro.circuits import Circuit, parse_qasm, to_qasm
+from repro.circuits.gates import Gate
+from repro.circuits.qasm import QasmError, evaluate_expression
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+class TestExpressionEvaluation:
+    def test_number(self):
+        assert evaluate_expression("2.5") == pytest.approx(2.5)
+
+    def test_pi(self):
+        assert evaluate_expression("pi") == pytest.approx(math.pi)
+
+    def test_arithmetic(self):
+        assert evaluate_expression("pi/2 + 1") == pytest.approx(
+            math.pi / 2 + 1
+        )
+
+    def test_nested_parentheses(self):
+        assert evaluate_expression("-(2*(1+3))") == pytest.approx(-8)
+
+    def test_power(self):
+        assert evaluate_expression("2^3") == pytest.approx(8)
+        assert evaluate_expression("2**3") == pytest.approx(8)
+
+    def test_functions(self):
+        assert evaluate_expression("cos(0)") == pytest.approx(1.0)
+        assert evaluate_expression("sqrt(4)") == pytest.approx(2.0)
+
+    def test_variables(self):
+        assert evaluate_expression("theta/2", {"theta": 1.0}) == pytest.approx(
+            0.5
+        )
+
+    def test_unknown_symbol_raises(self):
+        with pytest.raises(QasmError):
+            evaluate_expression("nope")
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(QasmError):
+            evaluate_expression("1/0")
+
+    def test_unbalanced_parens_raise(self):
+        with pytest.raises(QasmError):
+            evaluate_expression("(1+2")
+
+
+class TestBasicParsing:
+    def test_minimal_circuit(self):
+        qc = parse_qasm(HEADER + "qreg q[2];\nh q[0];\ncz q[0],q[1];")
+        assert qc.num_qubits == 2
+        assert qc.num_gates == 2
+
+    def test_no_qreg_raises(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "creg c[2];")
+
+    def test_parameterised_gate(self):
+        qc = parse_qasm(HEADER + "qreg q[1];\nrz(pi/4) q[0];")
+        gate = qc.gates[0]
+        assert gate.name == "rz"
+        assert gate.params[0] == pytest.approx(math.pi / 4)
+
+    def test_register_broadcast(self):
+        qc = parse_qasm(HEADER + "qreg q[3];\nh q;")
+        assert qc.num_one_qubit_gates == 3
+        assert {g.qubits[0] for g in qc.gates} == {0, 1, 2}
+
+    def test_two_qregs_flattened(self):
+        qc = parse_qasm(
+            HEADER + "qreg a[2];\nqreg b[2];\ncz a[1],b[0];"
+        )
+        assert qc.num_qubits == 4
+        assert qc.gates[0].qubits == (1, 2)
+
+    def test_measure_single_and_register(self):
+        qc = parse_qasm(
+            HEADER
+            + "qreg q[2];\ncreg c[2];\nmeasure q[0] -> c[0];\nmeasure q -> c;"
+        )
+        from repro.circuits import Measure
+
+        measures = [op for op in qc if isinstance(op, Measure)]
+        assert len(measures) == 3
+
+    def test_barrier(self):
+        qc = parse_qasm(HEADER + "qreg q[2];\nbarrier q;")
+        from repro.circuits import Barrier
+
+        assert any(isinstance(op, Barrier) for op in qc)
+
+    def test_comments_stripped(self):
+        qc = parse_qasm(
+            HEADER + "qreg q[1];\n// comment\nh q[0]; /* block */"
+        )
+        assert qc.num_gates == 1
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "qreg q[1];\nzorp q[0];")
+
+    def test_index_out_of_range_raises(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "qreg q[2];\nh q[5];")
+
+    def test_reset_unsupported(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "qreg q[1];\nreset q[0];")
+
+
+class TestGateMacros:
+    def test_simple_macro_expansion(self):
+        src = (
+            HEADER
+            + "qreg q[2];\n"
+            + "gate bell a,b { h a; cz a,b; h b; }\n"
+            + "bell q[0],q[1];"
+        )
+        qc = parse_qasm(src)
+        assert [g.name for g in qc.gates] == ["h", "cz", "h"]
+
+    def test_parameterised_macro(self):
+        src = (
+            HEADER
+            + "qreg q[2];\n"
+            + "gate mixer(t) a { rx(2*t) a; }\n"
+            + "mixer(0.25) q[1];"
+        )
+        qc = parse_qasm(src)
+        assert qc.gates[0].params[0] == pytest.approx(0.5)
+
+    def test_nested_macro(self):
+        src = (
+            HEADER
+            + "qreg q[2];\n"
+            + "gate inner a { h a; }\n"
+            + "gate outer a,b { inner a; cz a,b; }\n"
+            + "outer q[0],q[1];"
+        )
+        qc = parse_qasm(src)
+        assert [g.name for g in qc.gates] == ["h", "cz"]
+
+    def test_qelib_redefinition_ignored(self):
+        src = HEADER + "gate h a { }\nqreg q[1];\nh q[0];"
+        qc = parse_qasm(src)
+        assert qc.gates[0].name == "h"
+
+    def test_macro_wrong_operand_count(self):
+        src = (
+            HEADER
+            + "qreg q[2];\n"
+            + "gate gg a,b { cz a,b; }\n"
+            + "gg q[0];"
+        )
+        with pytest.raises(QasmError):
+            parse_qasm(src)
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_gates(self):
+        qc = Circuit(3)
+        qc.h(0)
+        qc.cz(0, 1)
+        qc.rzz(0.375, 1, 2)
+        qc.barrier()
+        qc.measure_all()
+        parsed = parse_qasm(to_qasm(qc))
+        assert parsed.num_qubits == 3
+        assert [g.name for g in parsed.gates] == [g.name for g in qc.gates]
+        assert [g.qubits for g in parsed.gates] == [
+            g.qubits for g in qc.gates
+        ]
+        for got, want in zip(parsed.gates, qc.gates):
+            assert got.params == pytest.approx(want.params)
+
+    def test_round_trip_generator(self):
+        from repro.circuits.generators import qft
+
+        qc = qft(5)
+        parsed = parse_qasm(to_qasm(qc))
+        assert parsed.num_two_qubit_gates == qc.num_two_qubit_gates
+
+    def test_parse_gate_object_validity(self):
+        qc = parse_qasm(HEADER + "qreg q[2];\ncp(pi/8) q[0],q[1];")
+        gate = qc.gates[0]
+        assert isinstance(gate, Gate)
+        assert gate.is_cz_class

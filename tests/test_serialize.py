@@ -1,0 +1,88 @@
+"""Tests for program JSON serialisation."""
+
+import json
+
+import pytest
+
+from repro.circuits.generators import bernstein_vazirani, qaoa_regular
+from repro.core import PowerMoveCompiler, PowerMoveConfig
+from repro.fidelity import evaluate_program
+from repro.schedule import validate_program
+from repro.schedule.serialize import (
+    FORMAT_NAME,
+    SerializationError,
+    dump_program,
+    load_program,
+    program_from_dict,
+    program_to_dict,
+)
+
+
+@pytest.fixture
+def program():
+    circuit = qaoa_regular(8, degree=3, seed=1)
+    return PowerMoveCompiler(PowerMoveConfig(seed=0)).compile(circuit).program
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_structure(self, program):
+        doc = program_to_dict(program)
+        rebuilt = program_from_dict(doc)
+        assert rebuilt.num_stages == program.num_stages
+        assert rebuilt.num_transfers == program.num_transfers
+        assert rebuilt.num_coll_moves == program.num_coll_moves
+        assert rebuilt.initial_layout == program.initial_layout
+        assert rebuilt.compiler_name == program.compiler_name
+        assert rebuilt.metadata == program.metadata
+
+    def test_round_trip_validates(self, program):
+        rebuilt = program_from_dict(program_to_dict(program))
+        validate_program(rebuilt)
+
+    def test_round_trip_same_fidelity(self, program):
+        original = evaluate_program(program)
+        rebuilt = evaluate_program(program_from_dict(program_to_dict(program)))
+        assert rebuilt.total == pytest.approx(original.total)
+        assert rebuilt.execution_time == pytest.approx(
+            original.execution_time
+        )
+
+    def test_document_is_json_serialisable(self, program):
+        text = json.dumps(program_to_dict(program))
+        assert FORMAT_NAME in text
+
+    def test_file_round_trip(self, program, tmp_path):
+        path = str(tmp_path / "program.json")
+        dump_program(program, path)
+        rebuilt = load_program(path)
+        assert rebuilt.num_stages == program.num_stages
+
+    def test_storage_moves_survive(self, tmp_path):
+        circuit = bernstein_vazirani(8, seed=0)
+        program = (
+            PowerMoveCompiler(PowerMoveConfig(use_storage=True))
+            .compile(circuit)
+            .program
+        )
+        rebuilt = program_from_dict(program_to_dict(program))
+        original = evaluate_program(program)
+        round_tripped = evaluate_program(rebuilt)
+        assert round_tripped.excitation == original.excitation == 1.0
+
+
+class TestErrors:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SerializationError, match="not a"):
+            program_from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self, program):
+        doc = program_to_dict(program)
+        doc["version"] = 99
+        with pytest.raises(SerializationError, match="version"):
+            program_from_dict(doc)
+
+    def test_unknown_instruction_kind_rejected(self, program):
+        doc = program_to_dict(program)
+        doc["instructions"].append({"kind": "teleport"})
+        with pytest.raises(SerializationError, match="kind"):
+            program_from_dict(doc)

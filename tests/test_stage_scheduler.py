@@ -1,0 +1,164 @@
+"""Unit tests for the Stage Scheduler (Sec. 4)."""
+
+import pytest
+
+from repro.circuits import Circuit, partition_into_blocks
+from repro.circuits.generators import qaoa_regular, vqe_full_entanglement
+from repro.core.stage_scheduler import (
+    order_stages,
+    partition_stages,
+    schedule_block,
+    transition_cost,
+)
+
+
+def block_of(circuit):
+    return partition_into_blocks(circuit).blocks[0]
+
+
+class TestPartitionStages:
+    def test_disjoint_gates_one_stage(self):
+        qc = Circuit(4)
+        qc.cz(0, 1)
+        qc.cz(2, 3)
+        stages = partition_stages(block_of(qc))
+        assert len(stages) == 1
+        assert stages[0].num_gates == 2
+
+    def test_chain_needs_two_stages(self):
+        qc = Circuit(3)
+        qc.cz(0, 1)
+        qc.cz(1, 2)
+        stages = partition_stages(block_of(qc))
+        assert len(stages) == 2
+
+    def test_star_needs_degree_stages(self):
+        qc = Circuit(5)
+        for leaf in range(1, 5):
+            qc.cz(0, leaf)
+        stages = partition_stages(block_of(qc))
+        assert len(stages) == 4
+        assert all(s.num_gates == 1 for s in stages)
+
+    def test_every_gate_in_exactly_one_stage(self):
+        qc = qaoa_regular(12, degree=3, seed=1)
+        from repro.circuits import transpile_to_native
+
+        block = block_of(transpile_to_native(qc))
+        stages = partition_stages(block)
+        scheduled = [g for s in stages for g in s.gates]
+        assert sorted(map(str, scheduled)) == sorted(map(str, block.gates))
+
+    def test_stages_are_disjoint(self):
+        qc = vqe_full_entanglement(7, seed=0)
+        stages = partition_stages(block_of(qc))
+        for stage in stages:
+            stage.validate()
+
+    def test_dense_block_color_bound(self):
+        """Greedy colouring of K_n's line graph needs < 2n-1 stages."""
+        n = 8
+        qc = vqe_full_entanglement(n, seed=0)
+        stages = partition_stages(block_of(qc))
+        assert n - 1 <= len(stages) <= 2 * n - 2
+
+    def test_empty_block(self):
+        from repro.circuits.blocks import CZBlock
+
+        assert partition_stages(CZBlock(index=0)) == []
+
+    def test_interacting_qubits(self):
+        qc = Circuit(4)
+        qc.cz(0, 1)
+        qc.cz(2, 3)
+        stages = partition_stages(block_of(qc))
+        assert stages[0].interacting_qubits() == frozenset({0, 1, 2, 3})
+
+
+class TestTransitionCost:
+    def test_identical_sets_zero(self):
+        q = frozenset({1, 2, 3})
+        assert transition_cost(q, q, alpha=0.5) == 0
+
+    def test_asymmetric_weighting(self):
+        current = frozenset({1, 2})
+        bigger = frozenset({1, 2, 3, 4})   # two move-outs
+        smaller = frozenset()              # two move-ins
+        alpha = 0.5
+        assert transition_cost(current, bigger, alpha) == pytest.approx(1.0)
+        assert transition_cost(current, smaller, alpha) == pytest.approx(2.0)
+
+    def test_alpha_below_one_prefers_move_out(self):
+        """alpha < 1 makes fetching qubits cheaper than retiring them."""
+        current = frozenset({1, 2, 3, 4})
+        fetch_two = frozenset({1, 2, 3, 4, 5, 6})
+        retire_two = frozenset({1, 2})
+        assert transition_cost(current, fetch_two, 0.5) < transition_cost(
+            current, retire_two, 0.5
+        )
+
+
+class TestOrderStages:
+    def test_first_stage_has_fewest_qubits(self):
+        qc = Circuit(6)
+        qc.cz(0, 1)  # stage A candidates
+        qc.cz(2, 3)
+        qc.cz(1, 2)  # overlapping gate forces another stage
+        stages = partition_stages(block_of(qc))
+        ordered = order_stages(stages, alpha=0.5)
+        sizes = [len(s.interacting_qubits()) for s in ordered]
+        assert sizes[0] == min(sizes)
+
+    def test_permutation_preserved(self):
+        qc = vqe_full_entanglement(6, seed=0)
+        stages = partition_stages(block_of(qc))
+        ordered = order_stages(stages, alpha=0.5)
+        assert sorted(id(s) for s in ordered) == sorted(
+            id(s) for s in stages
+        )
+
+    def test_greedy_minimises_local_cost(self):
+        qc = vqe_full_entanglement(6, seed=0)
+        stages = partition_stages(block_of(qc))
+        ordered = order_stages(stages, alpha=0.5)
+        for current, chosen in zip(ordered, ordered[1:]):
+            # No stage later in the order would have been strictly better
+            # at this point, accounting for the colour tie-break.
+            rest = ordered[ordered.index(chosen):]
+            costs = [
+                transition_cost(
+                    current.interacting_qubits(),
+                    s.interacting_qubits(),
+                    0.5,
+                )
+                for s in rest
+            ]
+            assert costs[0] == min(costs)
+
+    def test_alpha_validated(self):
+        qc = Circuit(2)
+        qc.cz(0, 1)
+        stages = partition_stages(block_of(qc))
+        with pytest.raises(ValueError):
+            order_stages(stages, alpha=1.5)
+
+    def test_single_stage_passthrough(self):
+        qc = Circuit(2)
+        qc.cz(0, 1)
+        stages = partition_stages(block_of(qc))
+        assert order_stages(stages) == stages
+
+    def test_deterministic(self):
+        qc = qaoa_regular(10, degree=3, seed=4)
+        from repro.circuits import transpile_to_native
+
+        block = block_of(transpile_to_native(qc))
+        a = [s.color for s in schedule_block(block)]
+        b = [s.color for s in schedule_block(block)]
+        assert a == b
+
+    def test_schedule_block_no_reorder(self):
+        qc = vqe_full_entanglement(6, seed=0)
+        block = block_of(qc)
+        plain = schedule_block(block, reorder=False)
+        assert [s.color for s in plain] == sorted(s.color for s in plain)

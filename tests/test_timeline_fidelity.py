@@ -1,0 +1,268 @@
+"""Unit tests for the timeline simulator and the Eq. (1) fidelity model."""
+
+import math
+
+import pytest
+
+from repro.circuits.gates import Gate
+from repro.fidelity import (
+    COMPONENT_NAMES,
+    FidelityModel,
+    evaluate_program,
+    simulate_timeline,
+)
+from repro.hardware import (
+    DEFAULT_PARAMS,
+    CollMove,
+    Layout,
+    Move,
+    Zone,
+    ZonedArchitecture,
+)
+from repro.schedule import MoveBatch, NAProgram, OneQubitLayer, RydbergStage
+
+
+@pytest.fixture
+def arch():
+    return ZonedArchitecture(3, 3, 3, 6)
+
+
+def build_program(arch, instructions, n=2, zone=Zone.COMPUTE):
+    return NAProgram(
+        architecture=arch,
+        initial_layout=Layout.row_major(arch, n, zone),
+        instructions=instructions,
+    )
+
+
+class TestTimelineOneQubitLayer:
+    def test_gate_time_not_idle(self, arch):
+        layer = OneQubitLayer([Gate("h", (0,)), Gate("h", (1,))])
+        timeline = simulate_timeline(build_program(arch, [layer]))
+        assert timeline.total_time == pytest.approx(1e-6)
+        assert timeline.exposure[0] == pytest.approx(0.0)
+        assert timeline.num_one_qubit_gates == 2
+
+    def test_ungated_compute_qubit_exposed(self, arch):
+        layer = OneQubitLayer([Gate("h", (0,))])
+        timeline = simulate_timeline(build_program(arch, [layer], n=2))
+        assert timeline.exposure[1] == pytest.approx(1e-6)
+
+    def test_storage_qubit_protected(self, arch):
+        layer = OneQubitLayer([Gate("h", (0,))])
+        program = build_program(arch, [layer], n=2, zone=Zone.STORAGE)
+        timeline = simulate_timeline(program)
+        assert timeline.exposure[1] == pytest.approx(0.0)
+        assert timeline.storage_dwell[1] == pytest.approx(1e-6)
+
+
+class TestTimelineRydberg:
+    def test_idle_counting_compute(self, arch):
+        stage = RydbergStage([Gate("cz", (0, 1))])
+        timeline = simulate_timeline(
+            build_program(
+                arch,
+                [
+                    MoveBatch(
+                        coll_moves=[
+                            CollMove(
+                                moves=[
+                                    Move(
+                                        1,
+                                        arch.site(Zone.COMPUTE, 1, 0),
+                                        arch.site(Zone.COMPUTE, 0, 0),
+                                    )
+                                ]
+                            )
+                        ]
+                    ),
+                    stage,
+                ],
+                n=4,
+            )
+        )
+        # Qubits 2 and 3 idle in compute during one excitation.
+        assert timeline.idle_excitations == 2
+        assert timeline.idle_per_stage == [2]
+        assert timeline.num_stages == 1
+        assert timeline.num_two_qubit_gates == 1
+
+    def test_storage_qubits_not_excited(self, arch):
+        s0 = arch.site(Zone.COMPUTE, 0, 0)
+        mapping = {
+            0: s0,
+            1: s0,
+            2: arch.site(Zone.STORAGE, 0, 0),
+            3: arch.site(Zone.STORAGE, 1, 0),
+        }
+        program = NAProgram(
+            architecture=arch,
+            initial_layout=Layout(arch, mapping),
+            instructions=[RydbergStage([Gate("cz", (0, 1))])],
+        )
+        timeline = simulate_timeline(program)
+        assert timeline.idle_excitations == 0
+        assert timeline.storage_dwell[2] > 0
+
+
+class TestTimelineMoves:
+    def test_movers_and_bystanders_exposed(self, arch):
+        s1 = arch.site(Zone.COMPUTE, 1, 0)
+        d1 = arch.site(Zone.COMPUTE, 2, 2)
+        batch = MoveBatch(coll_moves=[CollMove(moves=[Move(1, s1, d1)])])
+        program = build_program(arch, [batch], n=3)
+        timeline = simulate_timeline(program)
+        duration = batch.duration(DEFAULT_PARAMS)
+        assert timeline.total_time == pytest.approx(duration)
+        for q in range(3):
+            assert timeline.exposure[q] == pytest.approx(duration)
+        assert timeline.num_transfers == 2
+        assert timeline.move_time == pytest.approx(duration)
+
+    def test_storage_resident_protected_during_move(self, arch):
+        mapping = {
+            0: arch.site(Zone.COMPUTE, 0, 0),
+            1: arch.site(Zone.STORAGE, 0, 0),
+        }
+        batch = MoveBatch(
+            coll_moves=[
+                CollMove(
+                    moves=[
+                        Move(
+                            0,
+                            arch.site(Zone.COMPUTE, 0, 0),
+                            arch.site(Zone.COMPUTE, 1, 0),
+                        )
+                    ]
+                )
+            ]
+        )
+        program = NAProgram(
+            architecture=arch,
+            initial_layout=Layout(arch, mapping),
+            instructions=[batch],
+        )
+        timeline = simulate_timeline(program)
+        assert timeline.exposure[1] == 0.0
+        assert timeline.storage_dwell[1] == pytest.approx(
+            batch.duration(DEFAULT_PARAMS)
+        )
+
+
+class TestFidelityModel:
+    def test_two_qubit_component(self, arch):
+        s0 = arch.site(Zone.COMPUTE, 0, 0)
+        program = NAProgram(
+            architecture=arch,
+            initial_layout=Layout(arch, {0: s0, 1: s0}),
+            instructions=[RydbergStage([Gate("cz", (0, 1))])],
+        )
+        report = evaluate_program(program)
+        assert report.two_qubit == pytest.approx(0.995)
+
+    def test_excitation_component(self, arch):
+        s0 = arch.site(Zone.COMPUTE, 0, 0)
+        mapping = {0: s0, 1: s0, 2: arch.site(Zone.COMPUTE, 1, 1)}
+        program = NAProgram(
+            architecture=arch,
+            initial_layout=Layout(arch, mapping),
+            instructions=[RydbergStage([Gate("cz", (0, 1))])],
+        )
+        report = evaluate_program(program)
+        assert report.excitation == pytest.approx(0.9975)
+
+    def test_transfer_component(self, arch):
+        batch = MoveBatch(
+            coll_moves=[
+                CollMove(
+                    moves=[
+                        Move(
+                            0,
+                            arch.site(Zone.COMPUTE, 0, 0),
+                            arch.site(Zone.COMPUTE, 1, 1),
+                        )
+                    ]
+                )
+            ]
+        )
+        program = build_program(arch, [batch], n=1)
+        report = evaluate_program(program)
+        assert report.transfer == pytest.approx(0.999**2)
+
+    def test_decoherence_component(self, arch):
+        batch = MoveBatch(
+            coll_moves=[
+                CollMove(
+                    moves=[
+                        Move(
+                            0,
+                            arch.site(Zone.COMPUTE, 0, 0),
+                            arch.site(Zone.COMPUTE, 2, 2),
+                        )
+                    ]
+                )
+            ]
+        )
+        program = build_program(arch, [batch], n=1)
+        report = evaluate_program(program)
+        expected = 1.0 - batch.duration(DEFAULT_PARAMS) / 1.5
+        assert report.decoherence == pytest.approx(expected)
+
+    def test_total_is_product_without_1q(self, arch):
+        program = build_program(
+            arch,
+            [OneQubitLayer([Gate("h", (0,))])],
+            n=1,
+        )
+        report = evaluate_program(program)
+        assert report.total == pytest.approx(
+            report.two_qubit
+            * report.excitation
+            * report.transfer
+            * report.decoherence
+        )
+        assert report.total_with_1q == pytest.approx(
+            report.total * report.one_qubit
+        )
+        assert report.one_qubit == pytest.approx(0.9999)
+
+    def test_breakdown_names(self, arch):
+        program = build_program(arch, [], n=1)
+        report = evaluate_program(program)
+        breakdown = report.infidelity_breakdown()
+        assert set(breakdown) == set(COMPONENT_NAMES)
+        assert all(v == pytest.approx(0.0) for v in breakdown.values())
+
+    def test_log_breakdown_additivity(self, arch):
+        s0 = arch.site(Zone.COMPUTE, 0, 0)
+        mapping = {0: s0, 1: s0, 2: arch.site(Zone.COMPUTE, 1, 1)}
+        program = NAProgram(
+            architecture=arch,
+            initial_layout=Layout(arch, mapping),
+            instructions=[RydbergStage([Gate("cz", (0, 1))])],
+        )
+        report = evaluate_program(program)
+        logs = report.log_breakdown()
+        assert sum(logs.values()) == pytest.approx(
+            -math.log10(report.total)
+        )
+
+    def test_decoherence_clamped_at_zero(self, arch):
+        from repro.fidelity.timeline import ExecutionTimeline
+
+        timeline = ExecutionTimeline(exposure={0: 99.0})
+        report = FidelityModel().from_timeline(timeline)
+        assert report.decoherence == 0.0
+        assert report.total == 0.0
+
+    def test_component_lookup_and_errors(self, arch):
+        program = build_program(arch, [], n=1)
+        report = evaluate_program(program)
+        assert report.component("transfer") == report.transfer
+        with pytest.raises(KeyError):
+            report.component("bogus")
+
+    def test_execution_time_units(self, arch):
+        layer = OneQubitLayer([Gate("h", (0,))])
+        report = evaluate_program(build_program(arch, [layer], n=1))
+        assert report.execution_time_us == pytest.approx(1.0)

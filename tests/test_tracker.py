@@ -1,0 +1,75 @@
+"""Unit tests for the loose position tracker."""
+
+import pytest
+
+from repro.hardware import Layout, Move, Zone, ZonedArchitecture
+from repro.schedule import PositionTracker, TrackerError
+
+
+@pytest.fixture
+def arch():
+    return ZonedArchitecture(3, 3, 3, 6)
+
+
+class TestTracker:
+    def test_from_layout(self, arch):
+        layout = Layout.row_major(arch, 3)
+        tracker = PositionTracker.from_layout(layout)
+        assert tracker.qubits == (0, 1, 2)
+        assert tracker.site_of(1) == layout.site_of(1)
+
+    def test_untracked_qubit_raises(self, arch):
+        tracker = PositionTracker.from_layout(Layout.row_major(arch, 1))
+        with pytest.raises(TrackerError):
+            tracker.site_of(9)
+
+    def test_apply_moves(self, arch):
+        layout = Layout.row_major(arch, 2)
+        tracker = PositionTracker.from_layout(layout)
+        dest = arch.site(Zone.COMPUTE, 2, 2)
+        tracker.apply_moves([Move(0, layout.site_of(0), dest)])
+        assert tracker.site_of(0) == dest
+
+    def test_source_mismatch_rejected(self, arch):
+        tracker = PositionTracker.from_layout(Layout.row_major(arch, 1))
+        wrong = arch.site(Zone.COMPUTE, 2, 2)
+        dest = arch.site(Zone.COMPUTE, 1, 1)
+        with pytest.raises(TrackerError):
+            tracker.apply_moves([Move(0, wrong, dest)])
+
+    def test_duplicate_mover_rejected(self, arch):
+        layout = Layout.row_major(arch, 1)
+        tracker = PositionTracker.from_layout(layout)
+        a = layout.site_of(0)
+        b = arch.site(Zone.COMPUTE, 1, 1)
+        c = arch.site(Zone.COMPUTE, 2, 2)
+        with pytest.raises(TrackerError):
+            tracker.apply_moves([Move(0, a, b), Move(0, b, c)])
+
+    def test_transient_over_occupancy_allowed(self, arch):
+        """Three qubits may pass through one site between excitations."""
+        s0 = arch.site(Zone.COMPUTE, 0, 0)
+        s1 = arch.site(Zone.COMPUTE, 1, 0)
+        s2 = arch.site(Zone.COMPUTE, 2, 0)
+        layout = Layout(arch, {0: s0, 1: s1, 2: s2})
+        tracker = PositionTracker.from_layout(layout)
+        tracker.apply_moves([Move(0, s0, s1), Move(2, s2, s1)])
+        assert len(tracker.occupancy()[s1]) == 3
+
+    def test_zone_of(self, arch):
+        layout = Layout.row_major(arch, 1, Zone.STORAGE)
+        tracker = PositionTracker.from_layout(layout)
+        assert tracker.zone_of(0) is Zone.STORAGE
+
+    def test_occupancy_snapshot(self, arch):
+        layout = Layout.row_major(arch, 2)
+        tracker = PositionTracker.from_layout(layout)
+        occ = tracker.occupancy()
+        assert occ[layout.site_of(0)] == {0}
+
+    def test_as_dict_is_copy(self, arch):
+        layout = Layout.row_major(arch, 1)
+        tracker = PositionTracker.from_layout(layout)
+        snapshot = tracker.as_dict()
+        snapshot[0] = arch.site(Zone.COMPUTE, 2, 2)
+        assert tracker.site_of(0) == layout.site_of(0)

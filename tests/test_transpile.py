@@ -1,0 +1,89 @@
+"""Unit tests for native-gate-set transpilation."""
+
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    count_added_gates,
+    decompose_gate,
+    transpile_to_native,
+)
+from repro.circuits.gates import Gate
+from repro.circuits.transpile import TranspileError
+
+
+class TestDecompositions:
+    def test_cx_decomposition(self):
+        gates = decompose_gate(Gate("cx", (0, 1)))
+        assert [g.name for g in gates] == ["h", "cz", "h"]
+        assert gates[0].qubits == (1,)
+        assert gates[1].qubits == (0, 1)
+        assert gates[2].qubits == (1,)
+
+    def test_swap_decomposition_three_cz(self):
+        gates = decompose_gate(Gate("swap", (0, 1)))
+        assert sum(1 for g in gates if g.name == "cz") == 3
+        assert all(g.is_cz_class or not g.is_two_qubit for g in gates)
+
+    def test_crz_decomposition(self):
+        gates = decompose_gate(Gate("crz", (0, 1), (0.8,)))
+        cz_count = sum(1 for g in gates if g.name == "cz")
+        rz_angles = [g.params[0] for g in gates if g.name == "rz"]
+        assert cz_count == 2
+        assert rz_angles == pytest.approx([0.4, -0.4])
+
+    def test_native_gates_pass_through(self):
+        gate = Gate("cz", (0, 1))
+        assert decompose_gate(gate) == [gate]
+        one_q = Gate("h", (0,))
+        assert decompose_gate(one_q) == [one_q]
+
+
+class TestTranspileCircuit:
+    def test_output_is_native(self):
+        qc = Circuit(3)
+        qc.cx(0, 1)
+        qc.swap(1, 2)
+        native = transpile_to_native(qc)
+        assert native.is_native()
+
+    def test_barriers_and_measures_preserved(self):
+        qc = Circuit(2)
+        qc.barrier()
+        qc.cx(0, 1)
+        qc.measure_all()
+        native = transpile_to_native(qc)
+        from repro.circuits import Barrier, Measure
+
+        assert any(isinstance(op, Barrier) for op in native)
+        assert sum(1 for op in native if isinstance(op, Measure)) == 2
+
+    def test_no_extra_two_qubit_gates_for_cx(self):
+        """PowerMove adds no 2Q gates beyond the input program (Sec. 3.1)."""
+        qc = Circuit(4)
+        qc.cx(0, 1)
+        qc.cx(2, 3)
+        qc.cz(0, 2)
+        assert count_added_gates(qc)["two_qubit_delta"] == 0
+
+    def test_swap_costs_three(self):
+        qc = Circuit(2)
+        qc.swap(0, 1)
+        assert count_added_gates(qc)["two_qubit_delta"] == 2
+
+    def test_unsupported_gate_raises(self):
+        from repro.circuits.gates import GATE_SPECS, GateSpec
+
+        # Register a non-native 2Q gate with no rewrite rule; transpile
+        # must reject it rather than silently pass it through.
+        GATE_SPECS["cy"] = GateSpec("cy", 2, 0, diagonal=False)
+        try:
+            with pytest.raises(TranspileError):
+                decompose_gate(Gate("cy", (0, 1)))
+        finally:
+            del GATE_SPECS["cy"]
+
+    def test_width_preserved(self):
+        qc = Circuit(5)
+        qc.cx(0, 4)
+        assert transpile_to_native(qc).num_qubits == 5

@@ -1,0 +1,100 @@
+"""Tests for the ASCII visualiser."""
+
+import pytest
+
+from repro.analysis.visualize import (
+    describe_instruction,
+    program_trace,
+    render_layout,
+    render_moves,
+)
+from repro.circuits.gates import Gate
+from repro.circuits.generators import qaoa_regular
+from repro.core import PowerMoveCompiler, PowerMoveConfig
+from repro.hardware import Layout, Move, Zone, ZonedArchitecture
+from repro.schedule import MoveBatch, OneQubitLayer, RydbergStage
+from repro.hardware.moves import CollMove
+
+
+@pytest.fixture
+def arch():
+    return ZonedArchitecture(3, 3, 3, 6)
+
+
+class TestRenderLayout:
+    def test_empty_sites_are_dots(self, arch):
+        text = render_layout(Layout(arch, {}))
+        assert "." in text
+        assert "[compute]" in text and "[storage]" in text
+
+    def test_single_qubit_letter(self, arch):
+        layout = Layout(arch, {0: arch.site(Zone.COMPUTE, 0, 0)})
+        assert "a" in render_layout(layout)
+
+    def test_pair_rendered_as_hash(self, arch):
+        site = arch.site(Zone.COMPUTE, 1, 1)
+        layout = Layout(arch, {0: site, 1: site})
+        assert "#" in render_layout(layout)
+
+    def test_compute_zone_rows_top_down(self, arch):
+        # Row 2 (highest y) must appear on the first compute line.
+        layout = Layout(arch, {0: arch.site(Zone.COMPUTE, 0, 2)})
+        lines = render_layout(layout).splitlines()
+        assert lines[1].startswith("a")
+
+    def test_storageless_machine(self):
+        arch = ZonedArchitecture(2, 2)
+        text = render_layout(Layout.row_major(arch, 2))
+        assert "[storage]" not in text
+
+
+class TestDescribeInstruction:
+    def test_layer(self):
+        text = describe_instruction(OneQubitLayer([Gate("h", (0,))]))
+        assert "1Q layer" in text
+
+    def test_rydberg(self):
+        text = describe_instruction(RydbergStage([Gate("cz", (0, 1))]))
+        assert "rydberg" in text and "(0,1)" in text
+
+    def test_move_batch(self, arch):
+        move = Move(
+            0, arch.site(Zone.COMPUTE, 0, 0), arch.site(Zone.COMPUTE, 1, 0)
+        )
+        text = describe_instruction(
+            MoveBatch(coll_moves=[CollMove(moves=[move])])
+        )
+        assert "AOD0" in text and "q0" in text
+
+
+class TestProgramTrace:
+    def test_full_trace(self):
+        circuit = qaoa_regular(8, degree=3, seed=1)
+        program = (
+            PowerMoveCompiler(PowerMoveConfig(seed=0))
+            .compile(circuit)
+            .program
+        )
+        trace = program_trace(program)
+        assert "initial layout" in trace
+        assert "rydberg stage" in trace
+        assert trace.count("[compute]") >= program.num_stages
+
+    def test_truncation(self):
+        circuit = qaoa_regular(8, degree=3, seed=1)
+        program = (
+            PowerMoveCompiler(PowerMoveConfig(seed=0))
+            .compile(circuit)
+            .program
+        )
+        trace = program_trace(program, max_instructions=2)
+        assert "more instructions" in trace
+
+
+class TestRenderMoves:
+    def test_table(self, arch):
+        move = Move(
+            3, arch.site(Zone.COMPUTE, 0, 0), arch.site(Zone.COMPUTE, 2, 0)
+        )
+        text = render_moves([move])
+        assert "q3" in text and "30.0" in text

@@ -1,0 +1,105 @@
+"""Tests for workload characterisation (the Sec. 7.3 atlas)."""
+
+import pytest
+
+from repro.analysis.workloads import (
+    WorkloadProfile,
+    profile_circuit,
+    render_profiles,
+)
+from repro.circuits import Circuit
+from repro.circuits.generators import (
+    bernstein_vazirani,
+    qaoa_regular,
+    qsim_random,
+    vqe_linear_entanglement,
+)
+
+
+class TestProfileNumbers:
+    def test_qaoa_structure(self):
+        profile = profile_circuit(qaoa_regular(12, degree=3, seed=0))
+        assert profile.num_qubits == 12
+        assert profile.num_two_qubit_gates == 18
+        assert profile.num_blocks == 1
+        assert profile.interaction_degree_max == 3
+        assert profile.interaction_degree_mean == pytest.approx(3.0)
+
+    def test_bv_structure(self):
+        profile = profile_circuit(bernstein_vazirani(12, seed=0))
+        # One block per oracle CZ, one gate per block and per stage.
+        assert profile.num_blocks == profile.num_two_qubit_gates
+        assert profile.gates_per_block == 1.0
+        assert profile.gates_per_stage == 1.0
+        # All but two qubits idle at every shot.
+        assert profile.idle_exposure_per_stage == 10.0
+
+    def test_pure_1q_circuit(self):
+        qc = Circuit(3)
+        qc.h(0)
+        profile = profile_circuit(qc)
+        assert profile.num_stages == 0
+        assert profile.stage_utilization == 0.0
+        assert profile.interaction_degree_max == 0
+
+
+class TestRegimes:
+    """The classification must recover the paper's Sec. 7.3 grouping."""
+
+    def test_bv_is_excitation_dominated(self):
+        assert (
+            profile_circuit(bernstein_vazirani(20, seed=0)).regime
+            == "excitation-dominated"
+        )
+
+    def test_qsim_is_excitation_dominated(self):
+        profile = profile_circuit(qsim_random(20, num_strings=10, seed=0))
+        assert profile.regime == "excitation-dominated"
+
+    def test_qaoa_is_decoherence_dominated(self):
+        profile = profile_circuit(qaoa_regular(20, degree=3, seed=0))
+        assert profile.regime == "decoherence-dominated"
+
+    def test_vqe_is_decoherence_dominated(self):
+        profile = profile_circuit(vqe_linear_entanglement(20, seed=0))
+        assert profile.regime == "decoherence-dominated"
+
+    def test_regime_matches_storage_benefit(self):
+        """Excitation-dominated workloads gain more from storage."""
+        from repro.analysis import run_scenarios
+        from repro.baselines import EnolaConfig
+
+        fast = EnolaConfig(seed=0, mis_restarts=2, sa_iterations_per_qubit=10)
+        bv = bernstein_vazirani(14, seed=0)
+        qaoa = qaoa_regular(14, degree=3, seed=0)
+        assert profile_circuit(bv).regime == "excitation-dominated"
+        assert profile_circuit(qaoa).regime == "decoherence-dominated"
+        bv_result = run_scenarios(bv, enola_config=fast)
+        qaoa_result = run_scenarios(qaoa, enola_config=fast)
+        bv_gain = (
+            bv_result["pm_with_storage"].fidelity.total
+            / bv_result["pm_non_storage"].fidelity.total
+        )
+        qaoa_gain = (
+            qaoa_result["pm_with_storage"].fidelity.total
+            / qaoa_result["pm_non_storage"].fidelity.total
+        )
+        assert bv_gain > qaoa_gain
+
+
+class TestRender:
+    def test_atlas_table(self):
+        profiles = [
+            profile_circuit(bernstein_vazirani(10, seed=0)),
+            profile_circuit(qaoa_regular(10, degree=3, seed=0)),
+        ]
+        text = render_profiles(profiles)
+        assert "Workload atlas" in text
+        assert "excitation-dominated" in text
+        assert "BV-10" in text
+
+    def test_profile_is_frozen(self):
+        profile = profile_circuit(qaoa_regular(8, degree=3, seed=0))
+        with pytest.raises(Exception):
+            profile.num_qubits = 5
+        assert isinstance(profile, WorkloadProfile)
