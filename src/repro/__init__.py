@@ -20,11 +20,13 @@ from . import (
     benchsuite,
     circuits,
     core,
+    engine,
     fidelity,
     hardware,
     schedule,
     verify,
 )
+from .engine import CompilationEngine, CompileJob
 from .baselines import EnolaCompiler, EnolaConfig
 from .circuits import (
     Circuit,
@@ -57,7 +59,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Circuit",
+    "CompilationEngine",
     "CompilationResult",
+    "CompileJob",
     "DEFAULT_PARAMS",
     "EnolaCompiler",
     "EnolaConfig",
@@ -78,6 +82,7 @@ __all__ = [
     "circuits",
     "compile_circuit",
     "core",
+    "engine",
     "evaluate_program",
     "fidelity",
     "generators",

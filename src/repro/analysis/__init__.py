@@ -6,6 +6,7 @@ from .experiments import (
     ScenarioResult,
     run_benchmark,
     run_scenarios,
+    run_scenarios_batch,
 )
 from .figures import (
     FIGURE6_FAMILIES,
@@ -84,4 +85,5 @@ __all__ = [
     "reproduce_table3",
     "run_benchmark",
     "run_scenarios",
+    "run_scenarios_batch",
 ]

@@ -9,24 +9,27 @@ The paper's evaluation compares three compilations of every benchmark:
 :func:`run_scenarios` produces all three programs, validates them, and
 evaluates the Eq. (1) fidelity model, yielding one :class:`BenchmarkResult`
 -- the unit from which Table 3, Fig. 6 and Fig. 7 are assembled.
+
+All compilation is routed through the
+:class:`~repro.engine.engine.CompilationEngine`; pass ``engine=`` to
+share a cache or a process pool across calls, and use
+:func:`run_scenarios_batch` to fan a whole suite out in one batch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
-from ..baselines.enola import EnolaCompiler, EnolaConfig
+from ..baselines.enola import EnolaConfig
 from ..benchsuite.suite import BenchmarkSpec
 from ..circuits.circuit import Circuit
-from ..core.compiler import PowerMoveCompiler
 from ..core.config import PowerMoveConfig
-from ..fidelity.model import FidelityModel, FidelityReport
+from ..engine.engine import CompilationEngine, JobResult
+from ..engine.jobs import SCENARIOS, CompileJob
+from ..fidelity.model import FidelityReport
 from ..hardware.params import DEFAULT_PARAMS, HardwareParams
 from ..schedule.program import NAProgram
-from ..schedule.validator import validate_program
-
-#: Canonical scenario keys, in report order.
-SCENARIOS = ("enola", "pm_non_storage", "pm_with_storage")
 
 
 @dataclass
@@ -39,6 +42,7 @@ class ScenarioResult:
         fidelity: Eq. (1) evaluation of the compiled program.
         compile_time: Wall-clock compilation seconds (``T_comp``).
         program: The compiled program itself.
+        cache_hit: Whether the engine served the program from its cache.
     """
 
     scenario: str
@@ -46,11 +50,24 @@ class ScenarioResult:
     fidelity: FidelityReport
     compile_time: float
     program: NAProgram
+    cache_hit: bool = False
 
     @property
     def execution_time_us(self) -> float:
         """``T_exe`` in microseconds."""
         return self.fidelity.execution_time_us
+
+    @classmethod
+    def from_job_result(cls, job_result: JobResult) -> "ScenarioResult":
+        """Adapt one engine result into a scenario row."""
+        return cls(
+            scenario=job_result.scenario,
+            compiler_name=job_result.program.compiler_name,
+            fidelity=job_result.fidelity,
+            compile_time=job_result.compile_time,
+            program=job_result.program,
+            cache_hit=job_result.cache_hit,
+        )
 
 
 @dataclass
@@ -99,6 +116,42 @@ class BenchmarkResult:
         return float("inf") if ours == 0.0 else base / ours
 
 
+def _scenario_jobs(
+    circuit: Circuit,
+    scenarios: Sequence[str],
+    num_aods: int,
+    seed: int,
+    enola_config: EnolaConfig | None,
+    powermove_config: PowerMoveConfig | None,
+    params: HardwareParams,
+    validate: bool,
+) -> list[CompileJob]:
+    return [
+        CompileJob(
+            scenario=scenario,
+            circuit=circuit,
+            num_aods=num_aods,
+            seed=seed,
+            enola_config=enola_config,
+            powermove_config=powermove_config,
+            params=params,
+            validate=validate,
+        )
+        for scenario in scenarios
+    ]
+
+
+def _assemble(
+    circuit: Circuit, job_results: Sequence[JobResult]
+) -> BenchmarkResult:
+    result = BenchmarkResult(key=circuit.name, num_qubits=circuit.num_qubits)
+    for job_result in job_results:
+        result.scenarios[job_result.scenario] = ScenarioResult.from_job_result(
+            job_result
+        )
+    return result
+
+
 def run_scenarios(
     circuit: Circuit,
     num_aods: int = 1,
@@ -108,6 +161,7 @@ def run_scenarios(
     params: HardwareParams = DEFAULT_PARAMS,
     validate: bool = True,
     scenarios: tuple[str, ...] = SCENARIOS,
+    engine: CompilationEngine | None = None,
 ) -> BenchmarkResult:
     """Compile ``circuit`` under every requested scenario and analyse it.
 
@@ -122,53 +176,78 @@ def run_scenarios(
         validate: Run the structural validator on every program (on by
             default; switch off only in timing-sensitive loops).
         scenarios: Subset of :data:`SCENARIOS` to run.
+        engine: Compilation engine to route through (a fresh serial,
+            cache-less engine when omitted).
 
     Returns:
         The populated :class:`BenchmarkResult`.
     """
-    result = BenchmarkResult(key=circuit.name, num_qubits=circuit.num_qubits)
-    model = FidelityModel(params)
+    jobs = _scenario_jobs(
+        circuit,
+        scenarios,
+        num_aods,
+        seed,
+        enola_config,
+        powermove_config,
+        params,
+        validate,
+    )
+    effective_engine = engine or CompilationEngine()
+    return _assemble(circuit, effective_engine.run(jobs))
 
-    for scenario in scenarios:
-        if scenario not in SCENARIOS:
-            raise ValueError(f"unknown scenario {scenario!r}")
-        if scenario == "enola":
-            e_cfg = enola_config or EnolaConfig(seed=seed, num_aods=num_aods)
-            compiler = EnolaCompiler(e_cfg, params)
-            compilation = compiler.compile(circuit)
-        else:
-            use_storage = scenario == "pm_with_storage"
-            if powermove_config is not None:
-                base = powermove_config
-                pm_cfg = PowerMoveConfig(
-                    use_storage=use_storage,
-                    alpha=base.alpha,
-                    num_aods=num_aods,
-                    seed=seed,
-                    reorder_stages=base.reorder_stages,
-                    distance_aware_grouping=base.distance_aware_grouping,
-                    intra_stage_ordering=base.intra_stage_ordering,
-                    annealed_placement=base.annealed_placement,
-                    stage_ordering=base.stage_ordering,
-                )
-            else:
-                pm_cfg = PowerMoveConfig(
-                    use_storage=use_storage, num_aods=num_aods, seed=seed
-                )
-            compiler = PowerMoveCompiler(pm_cfg, params)
-            compilation = compiler.compile(circuit)
-        if validate:
-            validate_program(
-                compilation.program, source_circuit=compilation.native_circuit
+
+def run_scenarios_batch(
+    circuits: Sequence[Circuit],
+    num_aods: int = 1,
+    seeds: int | Sequence[int] = 0,
+    enola_config: EnolaConfig | None = None,
+    powermove_config: PowerMoveConfig | None = None,
+    params: HardwareParams = DEFAULT_PARAMS,
+    validate: bool = True,
+    scenarios: tuple[str, ...] = SCENARIOS,
+    engine: CompilationEngine | None = None,
+) -> list[BenchmarkResult]:
+    """Run many benchmarks' scenarios as one engine batch.
+
+    The (circuit, scenario) product is submitted in a single
+    :meth:`CompilationEngine.run` call, so a multi-worker engine overlaps
+    every compilation of the whole suite rather than one benchmark's
+    three scenarios at a time.
+
+    Args:
+        circuits: The workloads, one :class:`BenchmarkResult` each.
+        seeds: One shared seed, or a per-circuit seed sequence.
+
+    Other arguments match :func:`run_scenarios`.
+    """
+    if isinstance(seeds, int):
+        seed_list = [seeds] * len(circuits)
+    else:
+        seed_list = list(seeds)
+        if len(seed_list) != len(circuits):
+            raise ValueError("need one seed per circuit")
+    jobs: list[CompileJob] = []
+    for circuit, seed in zip(circuits, seed_list):
+        jobs.extend(
+            _scenario_jobs(
+                circuit,
+                scenarios,
+                num_aods,
+                seed,
+                enola_config,
+                powermove_config,
+                params,
+                validate,
             )
-        result.scenarios[scenario] = ScenarioResult(
-            scenario=scenario,
-            compiler_name=compilation.program.compiler_name,
-            fidelity=model.evaluate(compilation.program),
-            compile_time=compilation.compile_time,
-            program=compilation.program,
         )
-    return result
+    effective_engine = engine or CompilationEngine()
+    job_results = effective_engine.run(jobs)
+    results: list[BenchmarkResult] = []
+    width = len(scenarios)
+    for position, circuit in enumerate(circuits):
+        chunk = job_results[position * width : (position + 1) * width]
+        results.append(_assemble(circuit, chunk))
+    return results
 
 
 def run_benchmark(
@@ -188,4 +267,5 @@ __all__ = [
     "ScenarioResult",
     "run_benchmark",
     "run_scenarios",
+    "run_scenarios_batch",
 ]

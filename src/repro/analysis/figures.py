@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 from ..baselines.enola import EnolaConfig
 from ..benchsuite.suite import SUITE, benchmarks_in_family
 from ..core.config import PowerMoveConfig
+from ..engine.engine import CompilationEngine
+from ..engine.jobs import CompileJob
 from ..fidelity.model import COMPONENT_NAMES
 from ..hardware.params import DEFAULT_PARAMS, HardwareParams
 from ..utils.text import format_table
@@ -153,26 +155,37 @@ def figure7_series(
     seed: int = 0,
     params: HardwareParams = DEFAULT_PARAMS,
     validate: bool = True,
+    engine: CompilationEngine | None = None,
 ) -> Figure7Series:
-    """Reproduce Fig. 7: PowerMove with-storage under 1..4 AOD arrays."""
+    """Reproduce Fig. 7: PowerMove with-storage under 1..4 AOD arrays.
+
+    The whole (benchmark x AOD count) grid is submitted as one engine
+    batch, so a multi-worker ``engine`` compiles every point in parallel.
+    """
     series = Figure7Series(aod_counts=list(aod_counts))
-    for key in keys:
-        spec = SUITE[key]
-        series.texe_us[key] = []
-        series.fidelity[key] = []
-        for num_aods in aod_counts:
-            result = run_benchmark(
-                spec,
-                num_aods=num_aods,
-                seed=seed,
-                params=params,
-                validate=validate,
-                powermove_config=PowerMoveConfig(num_aods=num_aods),
-                scenarios=("pm_with_storage",),
-            )
-            report = result["pm_with_storage"].fidelity
-            series.texe_us[key].append(report.execution_time_us)
-            series.fidelity[key].append(report.total)
+    circuits = {key: SUITE[key].build(seed) for key in keys}
+    jobs = [
+        CompileJob(
+            scenario="pm_with_storage",
+            circuit=circuits[key],
+            num_aods=num_aods,
+            seed=seed,
+            powermove_config=PowerMoveConfig(num_aods=num_aods),
+            params=params,
+            validate=validate,
+        )
+        for key in keys
+        for num_aods in aod_counts
+    ]
+    effective_engine = engine or CompilationEngine()
+    job_results = effective_engine.run(jobs)
+    width = len(aod_counts)
+    for position, key in enumerate(keys):
+        chunk = job_results[position * width : (position + 1) * width]
+        series.texe_us[key] = [
+            r.fidelity.execution_time_us for r in chunk
+        ]
+        series.fidelity[key] = [r.fidelity.total for r in chunk]
     return series
 
 

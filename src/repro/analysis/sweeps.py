@@ -18,8 +18,9 @@ from ..benchsuite.suite import BenchmarkSpec
 from ..circuits.circuit import Circuit
 from ..core.compiler import PowerMoveCompiler
 from ..core.config import PowerMoveConfig
+from ..engine.engine import CompilationEngine
 from ..fidelity.model import evaluate_program
-from .experiments import SCENARIOS, run_scenarios
+from .experiments import SCENARIOS, run_scenarios_batch
 
 
 @dataclass(frozen=True)
@@ -84,12 +85,15 @@ def seed_sweep(
     enola_config: EnolaConfig | None = None,
     num_aods: int = 1,
     validate: bool = False,
+    engine: CompilationEngine | None = None,
 ) -> SeedSweepResult:
     """Run a benchmark over several seeds and aggregate every metric.
 
     Both the circuit instance (where the family is random) and the
     compiler RNGs take the sweep seed, so the spread covers instance and
-    compiler randomness together.
+    compiler randomness together.  All seeds' compilations go out as a
+    single engine batch, so a multi-worker ``engine`` runs the whole
+    sweep in parallel.
     """
     if not seeds:
         raise ValueError("need at least one seed")
@@ -98,16 +102,16 @@ def seed_sweep(
     fid_improvements: list[float] = []
     texe_improvements: list[float] = []
 
-    for seed in seeds:
-        circuit = spec.build(seed)
-        e_cfg = enola_config or EnolaConfig(seed=seed, num_aods=num_aods)
-        result = run_scenarios(
-            circuit,
-            num_aods=num_aods,
-            seed=seed,
-            enola_config=e_cfg,
-            validate=validate,
-        )
+    circuits = [spec.build(seed) for seed in seeds]
+    results = run_scenarios_batch(
+        circuits,
+        num_aods=num_aods,
+        seeds=seeds,
+        enola_config=enola_config,
+        validate=validate,
+        engine=engine,
+    )
+    for result in results:
         for scenario in SCENARIOS:
             report = result[scenario].fidelity
             per_scenario_fid[scenario].append(report.total)

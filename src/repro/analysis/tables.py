@@ -6,9 +6,10 @@ from dataclasses import dataclass, field
 
 from ..baselines.enola import EnolaConfig
 from ..benchsuite.suite import PAPER_ORDER, SUITE, table2_rows
+from ..engine.engine import CompilationEngine
 from ..hardware.params import DEFAULT_PARAMS, HardwareParams
 from ..utils.text import format_table
-from .experiments import BenchmarkResult, run_benchmark
+from .experiments import BenchmarkResult, run_scenarios_batch
 
 #: Paper's Table 3 numbers (fidelity, T_exe us, T_comp s) for comparison
 #: in EXPERIMENTS.md; keyed by benchmark row.  Values are
@@ -131,23 +132,28 @@ def reproduce_table3(
     enola_config: EnolaConfig | None = None,
     params: HardwareParams = DEFAULT_PARAMS,
     validate: bool = True,
+    engine: CompilationEngine | None = None,
 ) -> Table3:
     """Run the Table 3 experiment over ``keys`` (all 23 rows by default).
 
     The full suite at paper scale takes minutes (Enola's annealing and MIS
-    restarts dominate, as in the paper); pass a subset of keys or a
-    lighter :class:`EnolaConfig` for quick runs.
+    restarts dominate, as in the paper); pass a subset of keys, a lighter
+    :class:`EnolaConfig`, or a multi-worker ``engine`` for quick runs.
+    All rows' compilations are submitted as one engine batch, so a
+    parallel engine overlaps the whole table.
     """
+    circuits = [SUITE[key].build(seed) for key in keys or PAPER_ORDER]
+    results = run_scenarios_batch(
+        circuits,
+        num_aods=num_aods,
+        seeds=seed,
+        enola_config=enola_config,
+        params=params,
+        validate=validate,
+        engine=engine,
+    )
     table = Table3()
-    for key in keys or PAPER_ORDER:
-        result = run_benchmark(
-            SUITE[key],
-            num_aods=num_aods,
-            seed=seed,
-            enola_config=enola_config,
-            params=params,
-            validate=validate,
-        )
+    for result in results:
         table.rows.append(Table3Row.from_result(result))
     return table
 

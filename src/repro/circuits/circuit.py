@@ -11,6 +11,8 @@ matching the paper's circuit model in which read-out happens once at the end.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -58,6 +60,7 @@ class Circuit:
         self._num_qubits = int(num_qubits)
         self._name = name
         self._ops: list[Operation] = []
+        self._cached_digest: str | None = None
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -76,6 +79,7 @@ class Circuit:
     @name.setter
     def name(self, value: str) -> None:
         self._name = value
+        self._cached_digest = None
 
     @property
     def operations(self) -> tuple[Operation, ...]:
@@ -139,6 +143,7 @@ class Circuit:
         else:  # pragma: no cover - defensive
             raise CircuitError(f"unsupported operation type {type(op)!r}")
         self._ops.append(op)
+        self._cached_digest = None
 
     def extend(self, ops: Iterable[Operation]) -> None:
         """Append many operations in order."""
@@ -249,6 +254,39 @@ class Circuit:
         dup = Circuit(self._num_qubits, self._name)
         dup._ops = list(self._ops)
         return dup
+
+    def digest(self) -> str:
+        """Stable content hash of the circuit (hex SHA-256).
+
+        The digest covers the qubit count, the name and every operation
+        *in order* (gate names, qubit tuples, exact parameter values,
+        barriers and measurements), so it is order-sensitive and changes
+        whenever any gate changes.  It is computed with :mod:`hashlib`
+        over a canonical JSON encoding -- never Python's salted ``hash``
+        -- so it is identical across processes and interpreter runs and
+        safe to use as a content-addressed cache key.  The result is
+        memoised and invalidated on mutation, so repeated cache-key
+        derivations over a shared circuit hash it once.
+        """
+        if self._cached_digest is not None:
+            return self._cached_digest
+        ops: list[list] = []
+        for op in self._ops:
+            if isinstance(op, Gate):
+                ops.append(["g", op.name, list(op.qubits), list(op.params)])
+            elif isinstance(op, Barrier):
+                ops.append(["b", list(op.qubits)])
+            else:
+                ops.append(["m", op.qubit, op.clbit])
+        payload = json.dumps(
+            [self._num_qubits, self._name, ops],
+            separators=(",", ":"),
+            sort_keys=True,
+        )
+        self._cached_digest = hashlib.sha256(
+            payload.encode("utf-8")
+        ).hexdigest()
+        return self._cached_digest
 
     # ------------------------------------------------------------------
     # Dunder conveniences

@@ -3,6 +3,7 @@
 Commands:
     compile    Compile an OpenQASM 2.0 file for a zoned NA machine.
     bench      Run one Table 2 benchmark through all three scenarios.
+    batch      Compile a JSON job manifest (parallel, cached).
     table2     Print the Table 2 reproduction.
     table3     Print a Table 3 reproduction over selected rows.
     fig7       Print the Fig. 7 multi-AOD series.
@@ -10,16 +11,24 @@ Commands:
     verify     State-vector check: compiled schedule == circuit (<= 12q).
     profile    Structural workload characterisation of a QASM file.
 
+The experiment commands (``bench``, ``table3``, ``fig7``, ``batch``)
+route every compilation through the batch engine: ``--workers N`` fans
+cache-missing jobs out over a process pool and ``--cache-dir DIR``
+persists compiled programs in a content-addressed on-disk cache.
+
 Examples:
     python -m repro compile circuit.qasm --no-storage --trace
     python -m repro bench BV-14
-    python -m repro table3 --keys BV-14 VQE-30
+    python -m repro table3 --keys BV-14 VQE-30 --workers 4
+    python -m repro batch manifest.json --workers 4 --cache-dir .cache
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 from .analysis import (
     figure7_series,
@@ -33,9 +42,62 @@ from .baselines import EnolaConfig
 from .benchsuite import SUITE, get_benchmark
 from .circuits import load_qasm
 from .core import PowerMoveCompiler, PowerMoveConfig
+from .engine import (
+    CompilationEngine,
+    DiskCache,
+    ManifestError,
+    MemoryCache,
+    load_manifest,
+)
 from .fidelity import evaluate_program
 from .schedule import validate_program
 from .schedule.serialize import dump_program
+
+#: Schema identity of the ``batch`` command's result document.
+BATCH_RESULTS_FORMAT = "repro-batch-results"
+BATCH_RESULTS_VERSION = 1
+
+
+def _make_engine(
+    args: argparse.Namespace, progress=None
+) -> CompilationEngine:
+    """Engine from the shared --workers / --cache-dir CLI options."""
+    cache = DiskCache(args.cache_dir) if args.cache_dir else None
+    return CompilationEngine(
+        cache=cache, workers=args.workers, progress=progress
+    )
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return value
+
+
+def _cache_dir_path(text: str) -> str:
+    import os
+
+    if os.path.exists(text) and not os.path.isdir(text):
+        raise argparse.ArgumentTypeError(
+            f"{text!r} exists and is not a directory"
+        )
+    return text
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="process-pool width for parallel compilation (default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=_cache_dir_path,
+        default=None,
+        help="directory for the on-disk compiled-program cache",
+    )
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
@@ -73,9 +135,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         mis_restarts=args.mis_restarts,
         sa_iterations_per_qubit=args.sa_iterations,
+        num_aods=args.aods,
     )
     result = run_benchmark(
-        spec, num_aods=args.aods, seed=args.seed, enola_config=enola_cfg
+        spec,
+        num_aods=args.aods,
+        seed=args.seed,
+        enola_config=enola_cfg,
+        engine=_make_engine(args),
     )
     row = Table3Row.from_result(result)
     print(f"benchmark {args.key} ({spec.num_qubits} qubits)")
@@ -111,8 +178,82 @@ def _cmd_table3(args: argparse.Namespace) -> int:
         mis_restarts=args.mis_restarts,
         sa_iterations_per_qubit=args.sa_iterations,
     )
-    table = reproduce_table3(keys=keys, seed=args.seed, enola_config=enola_cfg)
+    table = reproduce_table3(
+        keys=keys,
+        seed=args.seed,
+        enola_config=enola_cfg,
+        engine=_make_engine(args),
+    )
     print(table.render())
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    try:
+        jobs = load_manifest(args.manifest)
+    except ManifestError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    progress = None
+    if args.progress:
+        finished = [0]
+
+        def progress(event):
+            finished[0] += 1
+            status = "hit " if event.cache_hit else "comp"
+            print(
+                f"  [{finished[0]}/{event.total}] {status} "
+                f"{event.job.label} ({event.compile_time * 1e3:.1f} ms)",
+                file=sys.stderr,
+            )
+
+    cache = (
+        DiskCache(args.cache_dir) if args.cache_dir else MemoryCache()
+    )
+    engine = CompilationEngine(
+        cache=cache, workers=args.workers, progress=progress
+    )
+    start = time.perf_counter()
+    results = engine.run(jobs)
+    wall_time = time.perf_counter() - start
+
+    hits = sum(1 for r in results if r.cache_hit)
+    doc = {
+        "format": BATCH_RESULTS_FORMAT,
+        "version": BATCH_RESULTS_VERSION,
+        "num_jobs": len(results),
+        "cache_hits": hits,
+        "cache_misses": len(results) - hits,
+        "wall_time_s": wall_time,
+        "results": [
+            {
+                "benchmark": r.job.workload_name,
+                "scenario": r.scenario,
+                "seed": r.job.seed,
+                "num_aods": r.job.num_aods,
+                "cache_key": r.key,
+                "cache_hit": r.cache_hit,
+                "compile_time_s": r.compile_time,
+                "fidelity": r.fidelity.total,
+                "execution_time_us": r.fidelity.execution_time_us,
+                "num_stages": r.program.num_stages,
+                "num_coll_moves": r.program.num_coll_moves,
+                "num_transfers": r.program.num_transfers,
+            }
+            for r in results
+        ],
+    }
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=1)
+        print(
+            f"batch: {len(results)} jobs, {hits} cache hits, "
+            f"{len(results) - hits} compiled in {wall_time:.2f}s "
+            f"-> {args.output}"
+        )
+    else:
+        print(json.dumps(doc, indent=1))
     return 0
 
 
@@ -161,7 +302,10 @@ def _cmd_scorecard(args: argparse.Namespace) -> int:
 def _cmd_fig7(args: argparse.Namespace) -> int:
     keys = tuple(args.keys) if args.keys else ("BV-14", "QSIM-rand-0.3-10")
     series = figure7_series(
-        keys=keys, aod_counts=tuple(args.aod_counts), seed=args.seed
+        keys=keys,
+        aod_counts=tuple(args.aod_counts),
+        seed=args.seed,
+        engine=_make_engine(args),
     )
     print(series.render())
     return 0
@@ -208,7 +352,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--mis-restarts", type=int, default=5)
     p_bench.add_argument("--sa-iterations", type=int, default=150)
+    _add_engine_options(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_batch = sub.add_parser(
+        "batch", help="compile a JSON job manifest (parallel, cached)"
+    )
+    p_batch.add_argument("manifest", help="path to the job manifest JSON")
+    p_batch.add_argument(
+        "--output",
+        help="write the results JSON here (default: print to stdout)",
+    )
+    p_batch.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream per-job progress lines to stderr",
+    )
+    _add_engine_options(p_batch)
+    p_batch.set_defaults(func=_cmd_batch)
 
     p_table2 = sub.add_parser("table2", help="print the Table 2 reproduction")
     p_table2.set_defaults(func=_cmd_table2)
@@ -218,6 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_table3.add_argument("--seed", type=int, default=0)
     p_table3.add_argument("--mis-restarts", type=int, default=5)
     p_table3.add_argument("--sa-iterations", type=int, default=150)
+    _add_engine_options(p_table3)
     p_table3.set_defaults(func=_cmd_table3)
 
     p_verify = sub.add_parser(
@@ -258,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--aod-counts", nargs="*", type=int, default=[1, 2, 3, 4]
     )
     p_fig7.add_argument("--seed", type=int, default=0)
+    _add_engine_options(p_fig7)
     p_fig7.set_defaults(func=_cmd_fig7)
 
     return parser

@@ -1,0 +1,54 @@
+"""Parallel batch-compilation engine with content-addressed caching.
+
+The production-facing entry point for compiling many (circuit, config)
+pairs: describe the work as :class:`CompileJob` batches, hand them to a
+:class:`CompilationEngine` and get deterministic, cacheable,
+process-pool-parallel results.  See ``docs/engine.md`` for the
+architecture sketch and the cache-key definition.
+"""
+
+from .cache import (
+    CACHE_SCHEMA_VERSION,
+    CacheStats,
+    DiskCache,
+    MemoryCache,
+    NullCache,
+    ProgramCache,
+    job_cache_key,
+)
+from .engine import (
+    CompilationEngine,
+    EngineError,
+    JobResult,
+    ProgressEvent,
+)
+from .jobs import (
+    SCENARIOS,
+    CompileJob,
+    JobError,
+    effective_config,
+    execute_job,
+)
+from .manifest import ManifestError, load_manifest, parse_manifest
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "CompilationEngine",
+    "CompileJob",
+    "DiskCache",
+    "EngineError",
+    "JobError",
+    "JobResult",
+    "ManifestError",
+    "MemoryCache",
+    "NullCache",
+    "ProgramCache",
+    "ProgressEvent",
+    "SCENARIOS",
+    "effective_config",
+    "execute_job",
+    "job_cache_key",
+    "load_manifest",
+    "parse_manifest",
+]

@@ -1,0 +1,183 @@
+"""Content-addressed compilation cache.
+
+The cache key is a SHA-256 over the *complete* compilation input: the
+circuit's content digest, the scenario, the effective compiler
+configuration, the hardware constants, the AOD count and the seed, plus
+the serialization format version and a cache schema version so a change
+to either invalidates every stale entry.  Two jobs collide on a key only
+when they are guaranteed to produce bit-identical programs.
+
+The cached value is the :func:`repro.engine.jobs.execute_job` artifact
+(serialized program + compile time).  Backends:
+
+* :class:`MemoryCache` -- per-process dict, for repeated sweeps within
+  one run;
+* :class:`DiskCache` -- one JSON file per key under a directory, shared
+  across processes and runs (writes are atomic rename, so concurrent
+  workers race benignly);
+* :class:`NullCache` -- caching disabled; every lookup misses.
+
+All backends count hits/misses/stores in a :class:`CacheStats`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from ..schedule.serialize import FORMAT_VERSION
+from .jobs import CompileJob, effective_config
+
+#: Bump to invalidate every existing cache entry (key derivation or
+#: artifact layout change).
+CACHE_SCHEMA_VERSION = 1
+
+
+def job_cache_key(job: CompileJob, circuit_digest: str | None = None) -> str:
+    """Stable hex cache key of a job.
+
+    Args:
+        job: The compilation request.
+        circuit_digest: Pre-computed :meth:`Circuit.digest` of the job's
+            resolved circuit (resolved here when omitted).
+    """
+    if circuit_digest is None:
+        circuit_digest = job.resolve_circuit().digest()
+    config = effective_config(job)
+    payload = json.dumps(
+        {
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "program_format": FORMAT_VERSION,
+            "circuit": circuit_digest,
+            "scenario": job.scenario,
+            "config_kind": type(config).__name__,
+            "config": asdict(config),
+            "params": asdict(job.params),
+            "num_aods": job.num_aods,
+            "seed": job.seed,
+        },
+        separators=(",", ":"),
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls observed."""
+        return self.hits + self.misses
+
+
+class ProgramCache:
+    """Base class: stats bookkeeping around backend get/put."""
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Look up an artifact; ``None`` on miss."""
+        doc = self._load(key)
+        if doc is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return doc
+
+    def put(self, key: str, doc: dict[str, Any]) -> None:
+        """Store an artifact under ``key``."""
+        self._store(key, doc)
+        self.stats.stores += 1
+
+    def _load(self, key: str) -> dict[str, Any] | None:
+        raise NotImplementedError
+
+    def _store(self, key: str, doc: dict[str, Any]) -> None:
+        raise NotImplementedError
+
+
+class NullCache(ProgramCache):
+    """Caching disabled: every lookup misses, stores are dropped."""
+
+    def _load(self, key: str) -> dict[str, Any] | None:
+        return None
+
+    def _store(self, key: str, doc: dict[str, Any]) -> None:
+        pass
+
+
+class MemoryCache(ProgramCache):
+    """In-process dict backend."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._entries: dict[str, dict[str, Any]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _load(self, key: str) -> dict[str, Any] | None:
+        return self._entries.get(key)
+
+    def _store(self, key: str, doc: dict[str, Any]) -> None:
+        self._entries[key] = doc
+
+
+class DiskCache(ProgramCache):
+    """One ``<key>.json`` file per entry under ``directory``.
+
+    The directory is created on first use.  Writes go through a
+    temporary file plus :func:`os.replace`, so a reader never observes a
+    half-written entry and concurrent writers of the same key simply
+    last-write-win with identical content.
+    """
+
+    def __init__(self, directory: str) -> None:
+        super().__init__()
+        self.directory = directory
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def _load(self, key: str) -> dict[str, Any] | None:
+        try:
+            with open(self._path(key), encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _store(self, key: str, doc: dict[str, Any]) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.directory, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle)
+            os.replace(tmp_path, self._path(key))
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "DiskCache",
+    "MemoryCache",
+    "NullCache",
+    "ProgramCache",
+    "job_cache_key",
+]

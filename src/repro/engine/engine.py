@@ -1,0 +1,255 @@
+"""The batch compilation engine: fan-out, caching, progress.
+
+:class:`CompilationEngine` takes a batch of
+:class:`~repro.engine.jobs.CompileJob` and produces one
+:class:`JobResult` per job, in input order.  For every job it
+
+1. resolves the workload circuit and derives the content-addressed
+   cache key (:func:`repro.engine.cache.job_cache_key`);
+2. serves the job from the cache when possible;
+3. otherwise compiles it -- in-process, or fanned out over a
+   ``concurrent.futures`` process pool when ``workers > 1`` -- and
+   stores the artifact back into the cache.
+
+Determinism: jobs carry explicit seeds and the compilers draw all
+randomness from them, so the engine produces bit-identical programs
+regardless of worker count, scheduling order or cache state; only the
+wall-clock ``compile_time`` measurements vary.  Results are always
+returned in submission order.
+
+Progress: pass ``progress=callback`` to observe one
+:class:`ProgressEvent` per finished job, streamed as jobs complete
+(cache hits first, then compilations in completion order).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from ..circuits.transpile import transpile_to_native
+from ..fidelity.model import FidelityModel, FidelityReport
+from ..schedule.program import NAProgram
+from ..schedule.serialize import program_from_dict
+from ..schedule.validator import validate_program
+from .cache import NullCache, ProgramCache, job_cache_key
+from .jobs import CompileJob, execute_job_on_circuit
+
+
+class EngineError(RuntimeError):
+    """A job failed inside the engine (wraps the worker exception)."""
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One finished job, reported to the progress callback.
+
+    Attributes:
+        index: Position of the job in the submitted batch.
+        total: Batch size.
+        job: The finished job.
+        cache_hit: Whether the result came from the cache.
+        compile_time: ``T_comp`` seconds (the cached measurement on hits).
+    """
+
+    index: int
+    total: int
+    job: CompileJob
+    cache_hit: bool
+    compile_time: float
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job.
+
+    Attributes:
+        job: The originating job.
+        key: Content-addressed cache key.
+        program: The compiled program.
+        compile_time: Wall-clock compilation seconds (``T_comp``); on a
+            cache hit, the time the original compilation took.
+        fidelity: Eq. (1) evaluation under the job's hardware params.
+        cache_hit: Whether the compilation was skipped.
+    """
+
+    job: CompileJob
+    key: str
+    program: NAProgram
+    compile_time: float
+    fidelity: FidelityReport
+    cache_hit: bool
+
+    @property
+    def scenario(self) -> str:
+        """The job's scenario key."""
+        return self.job.scenario
+
+
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+class CompilationEngine:
+    """Batch compiler with process-pool fan-out and artifact caching.
+
+    Args:
+        cache: Artifact cache backend (:class:`NullCache` -- no caching
+            -- when omitted).
+        workers: Process-pool width for cache-missing jobs; ``1``
+            compiles serially in-process.
+        progress: Per-finished-job callback.
+
+    Example:
+        >>> from repro.engine import CompilationEngine, CompileJob
+        >>> engine = CompilationEngine()
+        >>> [result] = engine.run(
+        ...     [CompileJob(scenario="pm_with_storage", benchmark="BV-14")]
+        ... )
+        >>> result.program.num_stages > 0
+        True
+    """
+
+    def __init__(
+        self,
+        cache: ProgramCache | None = None,
+        workers: int = 1,
+        progress: ProgressCallback | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.cache = cache if cache is not None else NullCache()
+        self.workers = workers
+        self._progress = progress
+
+    # ------------------------------------------------------------------
+
+    def run(self, jobs: Iterable[CompileJob]) -> list[JobResult]:
+        """Execute a batch; one result per job, in input order."""
+        batch = list(jobs)
+        total = len(batch)
+        results: list[JobResult | None] = [None] * total
+        pending: list[tuple[int, CompileJob, Any, str]] = []
+
+        resolved: dict[tuple[str, int], Any] = {}
+        for index, job in enumerate(batch):
+            if job.circuit is not None:
+                circuit = job.circuit
+            else:
+                workload = (job.benchmark, job.seed)
+                circuit = resolved.get(workload)
+                if circuit is None:
+                    circuit = job.resolve_circuit()
+                    resolved[workload] = circuit
+            key = job_cache_key(job, circuit.digest())
+            doc = self.cache.get(key)
+            if doc is not None:
+                results[index] = self._result_from_artifact(
+                    job, key, doc, cache_hit=True, circuit=circuit
+                )
+                self._emit(index, total, job, True, doc["compile_time"])
+            else:
+                pending.append((index, job, circuit, key))
+
+        for index, job, key, doc in self._compile_pending(pending):
+            self.cache.put(key, doc)
+            results[index] = self._result_from_artifact(
+                job, key, doc, cache_hit=False
+            )
+            self._emit(index, total, job, False, doc["compile_time"])
+        return list(results)
+
+    # ------------------------------------------------------------------
+
+    def _compile_pending(
+        self, pending: Sequence[tuple[int, CompileJob, Any, str]]
+    ):
+        """Yield ``(index, job, key, artifact)`` for every cache miss."""
+        if not pending:
+            return
+        if self.workers == 1 or len(pending) == 1:
+            for index, job, circuit, key in pending:
+                yield index, job, key, self._execute(job, circuit)
+            return
+        max_workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            future_info = {
+                pool.submit(execute_job_on_circuit, job, circuit): (
+                    index,
+                    job,
+                    key,
+                )
+                for index, job, circuit, key in pending
+            }
+            not_done = set(future_info)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, job, key = future_info[future]
+                    try:
+                        artifact = future.result()
+                    except Exception as exc:
+                        raise EngineError(
+                            f"job {job.label} failed: {exc}"
+                        ) from exc
+                    yield index, job, key, artifact
+
+    def _execute(self, job: CompileJob, circuit) -> dict[str, Any]:
+        try:
+            return execute_job_on_circuit(job, circuit)
+        except Exception as exc:
+            raise EngineError(f"job {job.label} failed: {exc}") from exc
+
+    def _result_from_artifact(
+        self,
+        job: CompileJob,
+        key: str,
+        doc: dict[str, Any],
+        cache_hit: bool,
+        circuit=None,
+    ) -> JobResult:
+        program = program_from_dict(doc["program"])
+        if cache_hit and job.validate and not doc.get("validated"):
+            source = (
+                transpile_to_native(circuit)
+                if circuit is not None
+                else None
+            )
+            validate_program(program, source_circuit=source)
+        fidelity = FidelityModel(job.params).evaluate(program)
+        return JobResult(
+            job=job,
+            key=key,
+            program=program,
+            compile_time=doc["compile_time"],
+            fidelity=fidelity,
+            cache_hit=cache_hit,
+        )
+
+    def _emit(
+        self,
+        index: int,
+        total: int,
+        job: CompileJob,
+        cache_hit: bool,
+        compile_time: float,
+    ) -> None:
+        if self._progress is not None:
+            self._progress(
+                ProgressEvent(
+                    index=index,
+                    total=total,
+                    job=job,
+                    cache_hit=cache_hit,
+                    compile_time=compile_time,
+                )
+            )
+
+
+__all__ = [
+    "CompilationEngine",
+    "EngineError",
+    "JobResult",
+    "ProgressCallback",
+    "ProgressEvent",
+]

@@ -1,0 +1,168 @@
+"""Compilation jobs: the unit of work of the batch engine.
+
+A :class:`CompileJob` names one compilation: a workload (a Table 2
+benchmark key or an explicit :class:`~repro.circuits.circuit.Circuit`)
+plus one evaluation *scenario* (see :data:`SCENARIOS`), the AOD count,
+the seed, optional compiler-config overrides and the hardware constants.
+Jobs are plain picklable dataclasses so they travel to worker processes
+unchanged, and every stochastic choice downstream flows from the job's
+explicit ``seed`` -- two executions of the same job, in any process,
+produce bit-identical programs.
+
+:func:`execute_job` is the pure worker function: job in, serialized
+program artifact out.  It lives at module level so
+``concurrent.futures`` process pools can pickle it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from ..baselines.enola import EnolaCompiler, EnolaConfig
+from ..benchsuite.suite import get_benchmark
+from ..circuits.circuit import Circuit
+from ..core.compiler import PowerMoveCompiler
+from ..core.config import PowerMoveConfig
+from ..hardware.params import DEFAULT_PARAMS, HardwareParams
+from ..schedule.serialize import program_to_dict
+from ..schedule.validator import validate_program
+
+#: Canonical scenario keys, in report order (re-exported by
+#: :mod:`repro.analysis.experiments` for backwards compatibility).
+SCENARIOS = ("enola", "pm_non_storage", "pm_with_storage")
+
+
+class JobError(ValueError):
+    """Raised on structurally invalid job construction."""
+
+
+@dataclass(frozen=True)
+class CompileJob:
+    """One compilation request.
+
+    Exactly one of ``benchmark`` (a Table 2 row key, built with the
+    job's seed) or ``circuit`` must be given.
+
+    Attributes:
+        scenario: One of :data:`SCENARIOS`.
+        benchmark: Suite row key, e.g. ``"BV-14"``.
+        circuit: Explicit workload circuit.
+        num_aods: AOD arrays available to the compiler.
+        seed: Seed for the circuit instance (benchmark jobs) and all
+            compiler randomness.
+        enola_config: Override the Enola baseline's knobs (used as-is
+            when given; the default derives from ``seed``/``num_aods``).
+        powermove_config: Override PowerMove's knobs (``use_storage``,
+            ``num_aods`` and ``seed`` are still forced per scenario).
+        params: Hardware constants.
+        validate: Run the structural validator on the compiled program.
+    """
+
+    scenario: str
+    benchmark: str | None = None
+    circuit: Circuit | None = None
+    num_aods: int = 1
+    seed: int = 0
+    enola_config: EnolaConfig | None = None
+    powermove_config: PowerMoveConfig | None = None
+    params: HardwareParams = DEFAULT_PARAMS
+    validate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIOS:
+            raise ValueError(f"unknown scenario {self.scenario!r}")
+        if (self.benchmark is None) == (self.circuit is None):
+            raise JobError(
+                "exactly one of benchmark or circuit must be given"
+            )
+        if self.num_aods < 1:
+            raise JobError("need at least one AOD array")
+
+    @property
+    def workload_name(self) -> str:
+        """Benchmark key or circuit name."""
+        if self.benchmark is not None:
+            return self.benchmark
+        return self.circuit.name
+
+    @property
+    def label(self) -> str:
+        """Human-readable job identity for progress lines and errors."""
+        return (
+            f"{self.workload_name}:{self.scenario}"
+            f":aods{self.num_aods}:seed{self.seed}"
+        )
+
+    def resolve_circuit(self) -> Circuit:
+        """The workload circuit (built from the suite when keyed)."""
+        if self.circuit is not None:
+            return self.circuit
+        return get_benchmark(self.benchmark).build(self.seed)
+
+
+def effective_config(job: CompileJob) -> EnolaConfig | PowerMoveConfig:
+    """The compiler configuration the job actually runs with.
+
+    Mirrors the historical ``run_scenarios`` rules: a given Enola config
+    is used verbatim, while PowerMove overrides always have
+    ``use_storage``, ``num_aods`` and ``seed`` forced per scenario.
+    """
+    if job.scenario == "enola":
+        return job.enola_config or EnolaConfig(
+            seed=job.seed, num_aods=job.num_aods
+        )
+    use_storage = job.scenario == "pm_with_storage"
+    if job.powermove_config is not None:
+        return replace(
+            job.powermove_config,
+            use_storage=use_storage,
+            num_aods=job.num_aods,
+            seed=job.seed,
+        )
+    return PowerMoveConfig(
+        use_storage=use_storage, num_aods=job.num_aods, seed=job.seed
+    )
+
+
+def execute_job_on_circuit(
+    job: CompileJob, circuit: Circuit
+) -> dict[str, Any]:
+    """Compile ``circuit`` per ``job`` and return a picklable artifact.
+
+    The artifact is the unit stored in the content-addressed cache::
+
+        {"program": <serialize.program_to_dict doc>,
+         "compile_time": <T_comp seconds>,
+         "validated": <bool>}
+    """
+    config = effective_config(job)
+    if job.scenario == "enola":
+        compiler = EnolaCompiler(config, job.params)
+    else:
+        compiler = PowerMoveCompiler(config, job.params)
+    compilation = compiler.compile(circuit)
+    if job.validate:
+        validate_program(
+            compilation.program, source_circuit=compilation.native_circuit
+        )
+    return {
+        "program": program_to_dict(compilation.program),
+        "compile_time": compilation.compile_time,
+        "validated": job.validate,
+    }
+
+
+def execute_job(job: CompileJob) -> dict[str, Any]:
+    """Resolve the job's circuit and compile it (process-pool entry)."""
+    return execute_job_on_circuit(job, job.resolve_circuit())
+
+
+__all__ = [
+    "CompileJob",
+    "JobError",
+    "SCENARIOS",
+    "effective_config",
+    "execute_job",
+    "execute_job_on_circuit",
+]

@@ -1,0 +1,185 @@
+"""Job-manifest parsing for the ``repro batch`` CLI command.
+
+A manifest is a JSON document describing a batch of compilations::
+
+    {
+      "defaults": {"seed": 0, "num_aods": 1,
+                   "scenarios": ["enola", "pm_with_storage"]},
+      "jobs": [
+        {"benchmark": "BV-14"},
+        {"benchmark": "VQE-30", "scenario": "pm_non_storage", "seed": 3},
+        {"benchmark": "*", "scenarios": ["pm_with_storage"]}
+      ]
+    }
+
+A bare JSON list is accepted as shorthand for ``{"jobs": [...]}``.  Each
+entry names a Table 2 benchmark (``"*"`` expands to the whole suite) and
+may override ``scenario``/``scenarios``, ``seed``, ``num_aods``,
+``validate`` and the ``enola``/``powermove`` compiler knobs (flat dicts
+of config fields).  Defaults apply to every entry that does not override
+them; the built-in scenario default is all three scenarios.
+
+Every structural problem raises :class:`ManifestError` with a message
+naming the offending entry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..baselines.enola import EnolaConfig
+from ..benchsuite.suite import PAPER_ORDER, SUITE
+from ..core.config import PowerMoveConfig
+from .jobs import SCENARIOS, CompileJob
+
+_ENTRY_KEYS = frozenset(
+    {
+        "benchmark",
+        "scenario",
+        "scenarios",
+        "seed",
+        "num_aods",
+        "validate",
+        "enola",
+        "powermove",
+    }
+)
+
+#: Keys honoured under "defaults" ("scenario" is entry-only; defaults
+#: take the plural form).
+_DEFAULT_KEYS = _ENTRY_KEYS - {"scenario"}
+
+
+class ManifestError(ValueError):
+    """Raised on malformed batch manifests."""
+
+
+def _entry_scenarios(entry: dict, defaults: dict, where: str) -> tuple:
+    if "scenario" in entry and "scenarios" in entry:
+        raise ManifestError(
+            f"{where}: give either 'scenario' or 'scenarios', not both"
+        )
+    if "scenario" in entry:
+        scenarios: Any = [entry["scenario"]]
+    elif "scenarios" in entry:
+        scenarios = entry["scenarios"]
+    else:
+        scenarios = defaults.get("scenarios", list(SCENARIOS))
+    if isinstance(scenarios, str) or not isinstance(scenarios, list):
+        raise ManifestError(f"{where}: 'scenarios' must be a list")
+    for scenario in scenarios:
+        if scenario not in SCENARIOS:
+            raise ManifestError(
+                f"{where}: unknown scenario {scenario!r}; "
+                f"known: {', '.join(SCENARIOS)}"
+            )
+    return tuple(scenarios)
+
+
+def _entry_int(entry: dict, defaults: dict, field: str, fallback: int,
+               where: str) -> int:
+    value = entry.get(field, defaults.get(field, fallback))
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ManifestError(f"{where}: {field!r} must be an integer")
+    return value
+
+
+def _entry_config(entry: dict, defaults: dict, field: str, cls, where: str):
+    doc = entry.get(field, defaults.get(field))
+    if doc is None:
+        return None
+    if not isinstance(doc, dict):
+        raise ManifestError(f"{where}: {field!r} must be an object")
+    try:
+        return cls(**doc)
+    except (TypeError, ValueError) as exc:
+        raise ManifestError(f"{where}: bad {field!r} config: {exc}") from exc
+
+
+def parse_manifest(doc: Any) -> list[CompileJob]:
+    """Expand a manifest document into concrete jobs, in manifest order."""
+    if isinstance(doc, list):
+        doc = {"jobs": doc}
+    if not isinstance(doc, dict):
+        raise ManifestError("manifest must be a JSON object or list")
+    if "jobs" not in doc:
+        raise ManifestError("manifest needs a 'jobs' list")
+    entries = doc["jobs"]
+    if not isinstance(entries, list) or not entries:
+        raise ManifestError("'jobs' must be a non-empty list")
+    defaults = doc.get("defaults", {})
+    if not isinstance(defaults, dict):
+        raise ManifestError("'defaults' must be an object")
+    if "scenario" in defaults:
+        raise ManifestError(
+            "defaults: use 'scenarios' (a list), not 'scenario'"
+        )
+    unknown_defaults = set(defaults) - _DEFAULT_KEYS
+    if unknown_defaults:
+        raise ManifestError(
+            f"defaults: unknown keys {sorted(unknown_defaults)}"
+        )
+
+    jobs: list[CompileJob] = []
+    for position, entry in enumerate(entries):
+        where = f"jobs[{position}]"
+        if not isinstance(entry, dict):
+            raise ManifestError(f"{where}: each job must be an object")
+        unknown = set(entry) - _ENTRY_KEYS
+        if unknown:
+            raise ManifestError(
+                f"{where}: unknown keys {sorted(unknown)}"
+            )
+        benchmark = entry.get("benchmark", defaults.get("benchmark"))
+        if not isinstance(benchmark, str):
+            raise ManifestError(f"{where}: needs a 'benchmark' key")
+        if benchmark == "*":
+            keys: tuple[str, ...] = PAPER_ORDER
+        elif benchmark in SUITE:
+            keys = (benchmark,)
+        else:
+            raise ManifestError(
+                f"{where}: unknown benchmark {benchmark!r}"
+            )
+        scenarios = _entry_scenarios(entry, defaults, where)
+        seed = _entry_int(entry, defaults, "seed", 0, where)
+        num_aods = _entry_int(entry, defaults, "num_aods", 1, where)
+        validate = entry.get("validate", defaults.get("validate", True))
+        if not isinstance(validate, bool):
+            raise ManifestError(f"{where}: 'validate' must be a boolean")
+        enola_config = _entry_config(
+            entry, defaults, "enola", EnolaConfig, where
+        )
+        powermove_config = _entry_config(
+            entry, defaults, "powermove", PowerMoveConfig, where
+        )
+        for key in keys:
+            for scenario in scenarios:
+                jobs.append(
+                    CompileJob(
+                        scenario=scenario,
+                        benchmark=key,
+                        num_aods=num_aods,
+                        seed=seed,
+                        enola_config=enola_config,
+                        powermove_config=powermove_config,
+                        validate=validate,
+                    )
+                )
+    return jobs
+
+
+def load_manifest(path: str) -> list[CompileJob]:
+    """Read and expand a manifest file."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except FileNotFoundError as exc:
+        raise ManifestError(f"manifest not found: {path}") from exc
+    except json.JSONDecodeError as exc:
+        raise ManifestError(f"manifest is not valid JSON: {exc}") from exc
+    return parse_manifest(doc)
+
+
+__all__ = ["ManifestError", "load_manifest", "parse_manifest"]

@@ -142,3 +142,109 @@ class TestCopyEqConcat:
     def test_concat_width_mismatch(self):
         with pytest.raises(CircuitError):
             concat(Circuit(2), Circuit(3))
+
+
+class TestDigest:
+    def test_hex_sha256_shape(self):
+        qc = Circuit(2)
+        qc.h(0)
+        digest = qc.digest()
+        assert len(digest) == 64
+        assert int(digest, 16) >= 0
+
+    def test_deterministic_within_process(self):
+        qc = Circuit(3)
+        qc.h(0)
+        qc.cz(0, 1)
+        qc.rz(0.25, 2)
+        assert qc.digest() == qc.digest()
+        assert qc.digest() == qc.copy().digest()
+
+    def test_stable_across_processes(self):
+        """The digest must not depend on Python's salted hash()."""
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.circuits import Circuit\n"
+            "qc = Circuit(3, name='x')\n"
+            "qc.h(0); qc.cz(0, 1); qc.rz(0.25, 2)\n"
+            "print(qc.digest())\n"
+        )
+        digests = set()
+        for salt in ("0", "1", "random"):
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": salt},
+                cwd=__file__.rsplit("/", 2)[0],
+                check=True,
+            )
+            digests.add(proc.stdout.strip())
+        qc = Circuit(3, name="x")
+        qc.h(0)
+        qc.cz(0, 1)
+        qc.rz(0.25, 2)
+        digests.add(qc.digest())
+        assert len(digests) == 1
+
+    def test_order_sensitive(self):
+        a = Circuit(2)
+        a.h(0)
+        a.cz(0, 1)
+        b = Circuit(2)
+        b.cz(0, 1)
+        b.h(0)
+        assert a.digest() != b.digest()
+
+    def test_changes_when_any_gate_changes(self):
+        base = Circuit(3)
+        base.h(0)
+        base.rz(0.5, 1)
+        base.cz(1, 2)
+        variants = []
+        for mutate in (
+            lambda qc: qc.h(1),            # extra gate
+            lambda qc: qc.rz(0.5, 1),      # duplicated gate
+        ):
+            qc = base.copy()
+            mutate(qc)
+            variants.append(qc.digest())
+        changed_qubit = Circuit(3)
+        changed_qubit.h(0)
+        changed_qubit.rz(0.5, 2)
+        changed_qubit.cz(1, 2)
+        variants.append(changed_qubit.digest())
+        changed_param = Circuit(3)
+        changed_param.h(0)
+        changed_param.rz(0.5000001, 1)
+        changed_param.cz(1, 2)
+        variants.append(changed_param.digest())
+        changed_name = Circuit(3)
+        changed_name.h(0)
+        changed_name.rz(0.5, 1)
+        changed_name.cx(1, 2)
+        variants.append(changed_name.digest())
+        assert base.digest() not in variants
+        assert len(set(variants)) == len(variants)
+
+    def test_covers_width_name_barrier_measure(self):
+        a = Circuit(2, name="a")
+        b = Circuit(2, name="b")
+        assert a.digest() != b.digest()
+        assert Circuit(2).digest() != Circuit(3).digest()
+        with_barrier = Circuit(2)
+        with_barrier.barrier(0)
+        assert Circuit(2).digest() != with_barrier.digest()
+        with_measure = Circuit(2)
+        with_measure.append(Measure(0, 0))
+        assert Circuit(2).digest() != with_measure.digest()
+
+    def test_seed_suite_digest_stability(self):
+        """Same benchmark + seed -> same digest; different seed -> differs."""
+        from repro.benchsuite import get_benchmark
+
+        spec = get_benchmark("QAOA-random-20")
+        assert spec.build(3).digest() == spec.build(3).digest()
+        assert spec.build(3).digest() != spec.build(4).digest()

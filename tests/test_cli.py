@@ -129,3 +129,147 @@ class TestTableCommands:
         )
         assert code == 0
         assert "score:" in capsys.readouterr().out
+
+
+@pytest.fixture
+def manifest_file(tmp_path):
+    path = tmp_path / "manifest.json"
+    path.write_text(
+        json.dumps(
+            {
+                "defaults": {
+                    "enola": {
+                        "mis_restarts": 1,
+                        "sa_iterations_per_qubit": 0,
+                    }
+                },
+                "jobs": [
+                    {"benchmark": "BV-14"},
+                    {
+                        "benchmark": "QSIM-rand-0.3-10",
+                        "scenario": "pm_with_storage",
+                        "num_aods": 2,
+                    },
+                ],
+            }
+        )
+    )
+    return str(path)
+
+
+class TestBatchCommand:
+    def test_batch_stdout_json(self, manifest_file, capsys):
+        assert main(["batch", manifest_file]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == "repro-batch-results"
+        assert doc["num_jobs"] == 4
+        assert doc["cache_hits"] == 0
+        assert doc["cache_misses"] == 4
+        scenarios = {(r["benchmark"], r["scenario"]) for r in doc["results"]}
+        assert ("BV-14", "enola") in scenarios
+        assert ("QSIM-rand-0.3-10", "pm_with_storage") in scenarios
+        for row in doc["results"]:
+            assert 0.0 < row["fidelity"] <= 1.0
+            assert row["execution_time_us"] > 0.0
+            assert len(row["cache_key"]) == 64
+
+    def test_batch_warm_cache_skips_all(
+        self, manifest_file, tmp_path, capsys
+    ):
+        cache_dir = str(tmp_path / "cache")
+        out_path = str(tmp_path / "results.json")
+        assert (
+            main(
+                [
+                    "batch",
+                    manifest_file,
+                    "--cache-dir",
+                    cache_dir,
+                    "--output",
+                    out_path,
+                ]
+            )
+            == 0
+        )
+        assert "4 compiled" in capsys.readouterr().out
+        with open(out_path) as handle:
+            cold = json.load(handle)
+        assert cold["cache_misses"] == 4
+
+        assert (
+            main(
+                [
+                    "batch",
+                    manifest_file,
+                    "--cache-dir",
+                    cache_dir,
+                    "--output",
+                    out_path,
+                ]
+            )
+            == 0
+        )
+        assert "4 cache hits" in capsys.readouterr().out
+        with open(out_path) as handle:
+            warm = json.load(handle)
+        assert warm["cache_misses"] == 0
+        assert warm["cache_hits"] == 4
+        for a, b in zip(cold["results"], warm["results"]):
+            assert a["fidelity"] == b["fidelity"]
+            assert a["execution_time_us"] == b["execution_time_us"]
+            assert a["cache_key"] == b["cache_key"]
+            assert b["cache_hit"] is True
+
+    def test_batch_parallel_matches_serial(
+        self, manifest_file, capsys
+    ):
+        assert main(["batch", manifest_file]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["batch", manifest_file, "--workers", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        for a, b in zip(serial["results"], parallel["results"]):
+            assert a["fidelity"] == b["fidelity"]
+            assert a["execution_time_us"] == b["execution_time_us"]
+            assert a["num_stages"] == b["num_stages"]
+
+    def test_batch_progress_lines_on_stderr(self, manifest_file, capsys):
+        assert main(["batch", manifest_file, "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert captured.err.count("[") >= 4
+        assert "BV-14:enola" in captured.err
+
+    def test_batch_missing_manifest(self, tmp_path, capsys):
+        code = main(["batch", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "error: manifest not found" in capsys.readouterr().err
+
+    def test_batch_invalid_json_manifest(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["batch", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_batch_malformed_manifest_names_entry(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({"jobs": [{"benchmark": "NOPE-1"}]})
+        )
+        assert main(["batch", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "jobs[0]" in err and "NOPE-1" in err
+
+    def test_bench_workers_flag(self, capsys):
+        code = main(
+            [
+                "bench",
+                "QSIM-rand-0.3-10",
+                "--mis-restarts",
+                "2",
+                "--sa-iterations",
+                "10",
+                "--workers",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "fidelity" in capsys.readouterr().out

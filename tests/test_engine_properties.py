@@ -1,0 +1,133 @@
+"""Property tests: engine parallel results == serial ``run_scenarios``.
+
+Seeded-random trials pick suite subsets, seeds and AOD counts, then
+assert the process-pool engine's programs are *bitwise identical* (equal
+serialized documents) to what the plain serial experiment runner
+produces, and that a shared cache never changes the answer.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.experiments import (
+    SCENARIOS,
+    run_scenarios,
+    run_scenarios_batch,
+)
+from repro.baselines import EnolaConfig
+from repro.benchsuite import SUITE, scaled_suite
+from repro.engine import CompilationEngine, CompileJob, MemoryCache
+from repro.schedule.serialize import program_to_dict
+
+#: Suite rows small enough for many repeated compiles.
+FAST_KEYS = tuple(
+    spec.key for spec in scaled_suite(30) if spec.num_qubits <= 30
+)
+
+
+def _light_enola(seed: int) -> EnolaConfig:
+    return EnolaConfig(
+        seed=seed, mis_restarts=1, sa_iterations_per_qubit=0
+    )
+
+
+def _program_docs(result):
+    """Scenario -> serialized program of one BenchmarkResult."""
+    return {
+        scenario: program_to_dict(result[scenario].program)
+        for scenario in result.scenarios
+    }
+
+
+@pytest.mark.parametrize("trial", range(4))
+def test_parallel_bitwise_identical_to_serial(trial):
+    rng = random.Random(1000 + trial)
+    keys = rng.sample(FAST_KEYS, 3)
+    seed = rng.randrange(5)
+    num_aods = rng.choice((1, 2))
+
+    serial_results = []
+    for key in keys:
+        circuit = SUITE[key].build(seed)
+        serial_results.append(
+            run_scenarios(
+                circuit,
+                num_aods=num_aods,
+                seed=seed,
+                enola_config=_light_enola(seed),
+                validate=False,
+            )
+        )
+
+    circuits = [SUITE[key].build(seed) for key in keys]
+    parallel_results = run_scenarios_batch(
+        circuits,
+        num_aods=num_aods,
+        seeds=seed,
+        enola_config=_light_enola(seed),
+        validate=False,
+        engine=CompilationEngine(workers=3),
+    )
+
+    assert len(parallel_results) == len(serial_results)
+    for serial, parallel in zip(serial_results, parallel_results):
+        assert parallel.key == serial.key
+        assert _program_docs(parallel) == _program_docs(serial)
+        for scenario in SCENARIOS:
+            assert (
+                parallel[scenario].fidelity.total
+                == serial[scenario].fidelity.total
+            )
+            assert (
+                parallel[scenario].fidelity.execution_time
+                == serial[scenario].fidelity.execution_time
+            )
+
+
+@pytest.mark.parametrize("trial", range(3))
+def test_cached_rerun_bitwise_identical(trial):
+    rng = random.Random(2000 + trial)
+    keys = rng.sample(FAST_KEYS, 2)
+    seed = rng.randrange(3)
+    jobs = [
+        CompileJob(
+            scenario=scenario,
+            benchmark=key,
+            seed=seed,
+            enola_config=_light_enola(seed),
+            validate=False,
+        )
+        for key in keys
+        for scenario in SCENARIOS
+    ]
+    engine = CompilationEngine(cache=MemoryCache(), workers=2)
+    cold = engine.run(jobs)
+    warm = engine.run(jobs)
+    assert all(r.cache_hit for r in warm)
+    for a, b in zip(cold, warm):
+        assert program_to_dict(a.program) == program_to_dict(b.program)
+        assert a.fidelity.total == b.fidelity.total
+
+
+def test_per_circuit_seeds_match_independent_runs():
+    """A batch with heterogeneous seeds equals per-seed serial runs."""
+    spec = SUITE["QAOA-random-20"]
+    seeds = [0, 1, 2]
+    circuits = [spec.build(s) for s in seeds]
+    batch = run_scenarios_batch(
+        circuits,
+        seeds=seeds,
+        enola_config=None,  # per-seed default Enola config
+        validate=False,
+        engine=CompilationEngine(workers=3),
+        scenarios=("enola", "pm_with_storage"),
+    )
+    for seed, circuit, result in zip(seeds, circuits, batch):
+        serial = run_scenarios(
+            circuit,
+            seed=seed,
+            validate=False,
+            scenarios=("enola", "pm_with_storage"),
+        )
+        assert _program_docs(result) == _program_docs(serial)

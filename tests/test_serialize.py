@@ -86,3 +86,143 @@ class TestErrors:
         doc["instructions"].append({"kind": "teleport"})
         with pytest.raises(SerializationError, match="kind"):
             program_from_dict(doc)
+
+
+def build_golden_program():
+    """A deterministic hand-built program covering every instruction type.
+
+    Contains a :class:`OneQubitLayer`, a multi-AOD :class:`MoveBatch`
+    (two CollMoves, including inter-zone moves), a second single-move
+    batch and a :class:`RydbergStage` -- the full cache-relevant
+    instruction vocabulary of ``schedule/serialize.py``.
+    """
+    from repro.circuits.gates import Gate
+    from repro.hardware.geometry import Zone, ZonedArchitecture
+    from repro.hardware.layout import Layout
+    from repro.hardware.moves import CollMove, Move
+    from repro.schedule.instructions import (
+        MoveBatch,
+        OneQubitLayer,
+        RydbergStage,
+    )
+    from repro.schedule.program import NAProgram
+
+    arch = ZonedArchitecture(3, 3, 3, 6, num_aods=2)
+    site = arch.site
+    layout = Layout(
+        arch,
+        {
+            0: site(Zone.STORAGE, 0, 0),
+            1: site(Zone.STORAGE, 1, 0),
+            2: site(Zone.STORAGE, 2, 0),
+            3: site(Zone.STORAGE, 0, 1),
+        },
+    )
+    instructions = [
+        OneQubitLayer(
+            gates=[
+                Gate("h", (0,), ()),
+                Gate("rz", (1,), (0.5,)),
+                Gate("h", (2,), ()),
+            ]
+        ),
+        MoveBatch(
+            coll_moves=[
+                CollMove(
+                    moves=[
+                        Move(0, site(Zone.STORAGE, 0, 0),
+                             site(Zone.COMPUTE, 0, 0)),
+                        Move(1, site(Zone.STORAGE, 1, 0),
+                             site(Zone.COMPUTE, 1, 0)),
+                    ],
+                    aod_index=0,
+                ),
+                CollMove(
+                    moves=[
+                        Move(2, site(Zone.STORAGE, 2, 0),
+                             site(Zone.COMPUTE, 2, 0)),
+                    ],
+                    aod_index=1,
+                ),
+            ]
+        ),
+        RydbergStage(gates=[Gate("cz", (0, 1), ()), ]),
+        MoveBatch(
+            coll_moves=[
+                CollMove(
+                    moves=[
+                        Move(0, site(Zone.COMPUTE, 0, 0),
+                             site(Zone.STORAGE, 0, 0)),
+                    ],
+                    aod_index=0,
+                ),
+            ]
+        ),
+        RydbergStage(gates=[Gate("rzz", (1, 2), (0.25,))]),
+    ]
+    return NAProgram(
+        architecture=arch,
+        initial_layout=layout,
+        instructions=instructions,
+        source_name="golden",
+        compiler_name="hand-built",
+        metadata={"num_stages": 2, "note": "golden fixture"},
+    )
+
+
+GOLDEN_PATH = __file__.rsplit("/", 1)[0] + "/golden/naprogram_v1.json"
+
+
+class TestGoldenFile:
+    """Golden-file coverage of every instruction type.
+
+    The checked-in golden document pins the on-disk schema: if
+    serialization ever changes shape, these tests fail and force a
+    deliberate format-version bump (which also invalidates the engine's
+    content-addressed cache).
+    """
+
+    def test_golden_file_matches_serializer(self):
+        with open(GOLDEN_PATH, encoding="utf-8") as handle:
+            golden = json.load(handle)
+        assert program_to_dict(build_golden_program()) == golden
+
+    def test_golden_round_trip_is_dict_identity(self):
+        with open(GOLDEN_PATH, encoding="utf-8") as handle:
+            golden = json.load(handle)
+        assert program_to_dict(program_from_dict(golden)) == golden
+
+    def test_golden_covers_every_instruction_kind(self):
+        with open(GOLDEN_PATH, encoding="utf-8") as handle:
+            golden = json.load(handle)
+        kinds = {entry["kind"] for entry in golden["instructions"]}
+        assert kinds == {"layer_1q", "move_batch", "rydberg"}
+        batches = [
+            e for e in golden["instructions"] if e["kind"] == "move_batch"
+        ]
+        assert any(len(b["coll_moves"]) > 1 for b in batches), (
+            "golden fixture must exercise multi-AOD coll-move batches"
+        )
+
+    def test_golden_program_structure_survives(self):
+        rebuilt = program_from_dict(
+            program_to_dict(build_golden_program())
+        )
+        assert rebuilt.num_stages == 2
+        assert rebuilt.num_coll_moves == 3
+        assert rebuilt.num_transfers == 8
+        assert rebuilt.architecture.num_aods == 2
+        assert rebuilt.metadata["note"] == "golden fixture"
+
+    def test_golden_file_round_trips_through_disk(self, tmp_path):
+        path = str(tmp_path / "golden_copy.json")
+        dump_program(build_golden_program(), path)
+        rebuilt = load_program(path)
+        assert program_to_dict(rebuilt) == program_to_dict(
+            build_golden_program()
+        )
+
+    def test_compiled_programs_round_trip_every_kind(self, program):
+        """Dict-level identity holds for real compiler output too."""
+        doc = program_to_dict(program)
+        assert program_to_dict(program_from_dict(doc)) == doc
