@@ -23,11 +23,25 @@ from . import (
     engine,
     fidelity,
     hardware,
+    pipeline,
     schedule,
     verify,
 )
 from .engine import CompilationEngine, CompileJob
-from .baselines import EnolaCompiler, EnolaConfig
+from .baselines import (
+    AtomiqueConfig,
+    AtomiqueLikeCompiler,
+    EnolaCompiler,
+    EnolaConfig,
+)
+from .pipeline import (
+    BackendRegistry,
+    BackendSpec,
+    Pipeline,
+    available_backends,
+    create_compiler,
+    get_backend,
+)
 from .circuits import (
     Circuit,
     Gate,
@@ -58,6 +72,10 @@ from .schedule import NAProgram, validate_program
 __version__ = "1.0.0"
 
 __all__ = [
+    "AtomiqueConfig",
+    "AtomiqueLikeCompiler",
+    "BackendRegistry",
+    "BackendSpec",
     "Circuit",
     "CompilationEngine",
     "CompilationResult",
@@ -71,25 +89,30 @@ __all__ = [
     "HardwareParams",
     "Layout",
     "NAProgram",
+    "Pipeline",
     "PowerMoveCompiler",
     "PowerMoveConfig",
     "Site",
     "Zone",
     "ZonedArchitecture",
     "analysis",
+    "available_backends",
     "baselines",
     "benchsuite",
     "circuits",
     "compile_circuit",
     "core",
+    "create_compiler",
     "engine",
     "evaluate_program",
     "fidelity",
     "generators",
+    "get_backend",
     "hardware",
     "load_qasm",
     "parse_qasm",
     "partition_into_blocks",
+    "pipeline",
     "schedule",
     "to_qasm",
     "transpile_to_native",

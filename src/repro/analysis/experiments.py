@@ -126,9 +126,10 @@ def _scenario_jobs(
     params: HardwareParams,
     validate: bool,
 ) -> list[CompileJob]:
+    """One job per key; legacy scenario keys or registry backend names."""
     return [
         CompileJob(
-            scenario=scenario,
+            scenario=key if key in SCENARIOS else None,
             circuit=circuit,
             num_aods=num_aods,
             seed=seed,
@@ -136,8 +137,9 @@ def _scenario_jobs(
             powermove_config=powermove_config,
             params=params,
             validate=validate,
+            backend=None if key in SCENARIOS else key,
         )
-        for scenario in scenarios
+        for key in scenarios
     ]
 
 
@@ -175,7 +177,9 @@ def run_scenarios(
         params: Hardware constants.
         validate: Run the structural validator on every program (on by
             default; switch off only in timing-sensitive loops).
-        scenarios: Subset of :data:`SCENARIOS` to run.
+        scenarios: Keys to run -- any mix of legacy :data:`SCENARIOS`
+            entries and :mod:`repro.pipeline` backend registry names
+            (``"atomique"``, ``"powermove-noreorder"``, ...).
         engine: Compilation engine to route through (a fresh serial,
             cache-less engine when omitted).
 

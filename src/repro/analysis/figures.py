@@ -156,23 +156,44 @@ def figure7_series(
     params: HardwareParams = DEFAULT_PARAMS,
     validate: bool = True,
     engine: CompilationEngine | None = None,
+    backend: str = "powermove",
 ) -> Figure7Series:
     """Reproduce Fig. 7: PowerMove with-storage under 1..4 AOD arrays.
 
     The whole (benchmark x AOD count) grid is submitted as one engine
     batch, so a multi-worker ``engine`` compiles every point in parallel.
+    Pass ``backend`` to sweep a different registry backend (an ablation
+    variant, ``"enola"``, ...) over the same AOD grid; backends whose
+    config has no AOD knob are rejected -- the sweep would recompile
+    one identical program per grid point.
     """
+    if backend != "powermove":
+        from dataclasses import fields as dataclass_fields
+
+        from ..pipeline.registry import get_backend
+
+        config_cls = get_backend(backend).config_cls
+        if "num_aods" not in {
+            f.name for f in dataclass_fields(config_cls)
+        }:
+            raise ValueError(
+                f"backend {backend!r} has no num_aods knob; "
+                "a Fig. 7 AOD sweep over it is meaningless"
+            )
     series = Figure7Series(aod_counts=list(aod_counts))
     circuits = {key: SUITE[key].build(seed) for key in keys}
     jobs = [
         CompileJob(
-            scenario="pm_with_storage",
+            scenario=(
+                "pm_with_storage" if backend == "powermove" else None
+            ),
             circuit=circuits[key],
             num_aods=num_aods,
             seed=seed,
             powermove_config=PowerMoveConfig(num_aods=num_aods),
             params=params,
             validate=validate,
+            backend=None if backend == "powermove" else backend,
         )
         for key in keys
         for num_aods in aod_counts

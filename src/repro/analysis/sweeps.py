@@ -11,15 +11,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Sequence
 
 from ..baselines.enola import EnolaConfig
 from ..benchsuite.suite import BenchmarkSpec
 from ..circuits.circuit import Circuit
-from ..core.compiler import PowerMoveCompiler
 from ..core.config import PowerMoveConfig
 from ..engine.engine import CompilationEngine
 from ..fidelity.model import evaluate_program
+from ..pipeline.registry import create_compiler
 from .experiments import SCENARIOS, run_scenarios_batch
 
 
@@ -181,7 +181,10 @@ def knob_sweep(
         }
         fields[knob] = value
         config = PowerMoveConfig(**fields)
-        result = PowerMoveCompiler(config).compile(circuit)
+        backend = (
+            "powermove" if config.use_storage else "powermove-nonstorage"
+        )
+        result = create_compiler(backend, config).compile(circuit)
         report = evaluate_program(result.program)
         points.append(
             KnobSweepPoint(

@@ -133,6 +133,7 @@ def reproduce_table3(
     params: HardwareParams = DEFAULT_PARAMS,
     validate: bool = True,
     engine: CompilationEngine | None = None,
+    backend: str = "powermove",
 ) -> Table3:
     """Run the Table 3 experiment over ``keys`` (all 23 rows by default).
 
@@ -141,7 +142,13 @@ def reproduce_table3(
     :class:`EnolaConfig`, or a multi-worker ``engine`` for quick runs.
     All rows' compilations are submitted as one engine batch, so a
     parallel engine overlaps the whole table.
+
+    Args:
+        backend: Registry backend filling the "Ours (ws)" columns --
+            swap in an ablation variant (``"powermove-noreorder"``, ...)
+            to produce its Table 3 without touching compiler code.
     """
+    ws_key = "pm_with_storage" if backend == "powermove" else backend
     circuits = [SUITE[key].build(seed) for key in keys or PAPER_ORDER]
     results = run_scenarios_batch(
         circuits,
@@ -151,9 +158,12 @@ def reproduce_table3(
         params=params,
         validate=validate,
         engine=engine,
+        scenarios=("enola", "pm_non_storage", ws_key),
     )
     table = Table3()
     for result in results:
+        if ws_key != "pm_with_storage":
+            result.scenarios["pm_with_storage"] = result.scenarios[ws_key]
         table.rows.append(Table3Row.from_result(result))
     return table
 

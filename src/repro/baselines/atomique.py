@@ -30,26 +30,21 @@ Because SWAPs permute the logical->atom mapping, the executed gate
 stream is *not* gate-for-gate the source circuit; semantic equivalence
 holds up to the final mapping permutation (verified in tests with the
 state-vector simulator).
+
+:class:`AtomiqueLikeCompiler` is a facade over the ``atomique`` backend
+of the pass-pipeline registry (:mod:`repro.pipeline`); the SWAP-routing
+state machine lives in :mod:`repro.pipeline.atomique_passes`.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
-from ..circuits.blocks import partition_into_blocks
 from ..circuits.circuit import Circuit
-from ..circuits.gates import Gate
-from ..circuits.transpile import transpile_to_native
 from ..core.compiler import CompilationResult
-from ..hardware.geometry import Site, Zone, ZonedArchitecture
+from ..hardware.geometry import ZonedArchitecture
 from ..hardware.layout import Layout
-from ..hardware.moves import CollMove, Move
 from ..hardware.params import DEFAULT_PARAMS, HardwareParams
-from ..schedule.instructions import MoveBatch, OneQubitLayer, RydbergStage
-from ..schedule.program import NAProgram
-from ..utils.rng import make_rng
-from .placement import annealed_layout, row_major_layout
 
 
 @dataclass(frozen=True)
@@ -92,6 +87,11 @@ class AtomiqueLikeCompiler:
         """Label used in reports."""
         return self.name
 
+    @property
+    def backend_name(self) -> str:
+        """The registry backend this facade resolves to."""
+        return "atomique"
+
     # ------------------------------------------------------------------
 
     def compile(
@@ -107,221 +107,11 @@ class AtomiqueLikeCompiler:
         ``program.metadata["final_mapping"]`` (atom holding each logical
         qubit at program end).
         """
-        start = time.perf_counter()
-        cfg = self._config
-        native = transpile_to_native(circuit)
-        partition = partition_into_blocks(native)
-        arch = architecture or ZonedArchitecture.for_qubits(
-            native.num_qubits, with_storage=False, params=self._params
-        )
-        rng = make_rng(cfg.seed)
-        if initial_layout is None:
-            if cfg.sa_iterations_per_qubit > 0:
-                initial_layout = annealed_layout(
-                    arch,
-                    native,
-                    zone=Zone.COMPUTE,
-                    rng=rng,
-                    iterations_per_qubit=cfg.sa_iterations_per_qubit,
-                )
-            else:
-                initial_layout = row_major_layout(
-                    arch, native.num_qubits, Zone.COMPUTE
-                )
+        from ..pipeline.registry import create_compiler
 
-        state = _RoutingState(arch, initial_layout)
-        instructions: list = []
-        total_stages = 0
-        swaps_inserted = 0
-
-        for block in partition.blocks:
-            gap = partition.one_qubit_gaps[block.index]
-            if gap:
-                instructions.append(
-                    OneQubitLayer(
-                        [state.physical_1q(g) for g in gap]
-                    )
-                )
-            # Cheap heuristic: route the currently-closest pairs first so
-            # earlier swaps do not stretch later ones more than needed.
-            gates = sorted(
-                block.gates, key=lambda g: state.logical_distance(g)
-            )
-            for gate in gates:
-                swaps_inserted += state.route_and_execute(
-                    gate, instructions
-                )
-                total_stages = sum(
-                    1
-                    for instr in instructions
-                    if isinstance(instr, RydbergStage)
-                )
-        trailing = partition.one_qubit_gaps[partition.num_blocks]
-        if trailing:
-            instructions.append(
-                OneQubitLayer([state.physical_1q(g) for g in trailing])
-            )
-
-        program = NAProgram(
-            architecture=arch,
-            initial_layout=initial_layout,
-            instructions=instructions,
-            source_name=circuit.name,
-            compiler_name=self.variant_name,
-            metadata={
-                "num_blocks": partition.num_blocks,
-                "num_stages": total_stages,
-                "swaps_inserted": swaps_inserted,
-                "use_storage": False,
-                "num_aods": 1,
-                "final_mapping": dict(state.logical_to_atom),
-            },
-        )
-        compile_time = time.perf_counter() - start
-        return CompilationResult(
-            program=program,
-            compile_time=compile_time,
-            native_circuit=native,
-            stats=dict(program.metadata),
-        )
-
-
-class _RoutingState:
-    """Logical->atom mapping plus SWAP/physical-gate emission."""
-
-    def __init__(self, arch: ZonedArchitecture, layout: Layout) -> None:
-        self.arch = arch
-        # Atoms never change homes; identify atom i with qubit index i of
-        # the program and track which atom holds each logical state.
-        self.home: dict[int, Site] = {
-            q: layout.site_of(q) for q in layout.qubits
-        }
-        self.logical_to_atom: dict[int, int] = {
-            q: q for q in layout.qubits
-        }
-        self._site_to_atom: dict[tuple[int, int], int] = {
-            (s.col, s.row): q for q, s in self.home.items()
-        }
-
-    # -- geometry ----------------------------------------------------------
-
-    def atom_at(self, col: int, row: int) -> int | None:
-        """Atom whose home is compute site (col, row), if any."""
-        return self._site_to_atom.get((col, row))
-
-    def logical_distance(self, gate: Gate) -> int:
-        """Chebyshev grid distance between a gate's logical partners."""
-        a, b = gate.qubits
-        sa = self.home[self.logical_to_atom[a]]
-        sb = self.home[self.logical_to_atom[b]]
-        return max(abs(sa.col - sb.col), abs(sa.row - sb.row))
-
-    def _step_toward(self, source: Site, target: Site) -> Site:
-        """The neighbouring *occupied* site one step from source toward
-        target (greedy Chebyshev descent over atom homes)."""
-        best: Site | None = None
-        best_key: tuple | None = None
-        for dc in (-1, 0, 1):
-            for dr in (-1, 0, 1):
-                if dc == 0 and dr == 0:
-                    continue
-                col, row = source.col + dc, source.row + dr
-                atom = self.atom_at(col, row)
-                if atom is None:
-                    continue
-                site = self.home[atom]
-                dist = max(
-                    abs(site.col - target.col), abs(site.row - target.row)
-                )
-                key = (dist, abs(dc) + abs(dr), col, row)
-                if best_key is None or key < best_key:
-                    best_key = key
-                    best = site
-        if best is None:  # pragma: no cover - grid always has neighbours
-            raise RuntimeError("isolated atom in fixed array")
-        return best
-
-    # -- gate emission -------------------------------------------------------
-
-    def physical_1q(self, gate: Gate) -> Gate:
-        """Retarget a logical 1Q gate onto the atom holding its state."""
-        return Gate(
-            gate.name,
-            (self.logical_to_atom[gate.qubits[0]],),
-            gate.params,
-        )
-
-    def _emit_physical_cz_class(
-        self, gate_name: str, params: tuple, atom_a: int, atom_b: int,
-        instructions: list,
-    ) -> None:
-        """One physical CZ-class gate: move-in, excite, move-back."""
-        site_a = self.home[atom_a]
-        site_b = self.home[atom_b]
-        out = Move(atom_a, site_a, site_b)
-        instructions.append(MoveBatch(coll_moves=[CollMove(moves=[out])]))
-        instructions.append(
-            RydbergStage(gates=[Gate(gate_name, (atom_a, atom_b), params)])
-        )
-        back = Move(atom_a, site_b, site_a)
-        instructions.append(MoveBatch(coll_moves=[CollMove(moves=[back])]))
-
-    def _emit_swap(
-        self, atom_a: int, atom_b: int, instructions: list
-    ) -> None:
-        """SWAP the logical states of two neighbouring atoms: 3 CX, each
-        as H-CZ-H (the standard native decomposition)."""
-        for control, target in (
-            (atom_a, atom_b),
-            (atom_b, atom_a),
-            (atom_a, atom_b),
-        ):
-            instructions.append(
-                OneQubitLayer(gates=[Gate("h", (target,))])
-            )
-            self._emit_physical_cz_class("cz", (), control, target, instructions)
-            instructions.append(
-                OneQubitLayer(gates=[Gate("h", (target,))])
-            )
-        # Update the logical mapping (atoms always hold exactly one
-        # logical state, so both lookups succeed).
-        logical_a = next(
-            l for l, a in self.logical_to_atom.items() if a == atom_a
-        )
-        logical_b = next(
-            l for l, a in self.logical_to_atom.items() if a == atom_b
-        )
-        self.logical_to_atom[logical_a] = atom_b
-        self.logical_to_atom[logical_b] = atom_a
-
-    def route_and_execute(self, gate: Gate, instructions: list) -> int:
-        """Route a logical CZ-class gate with SWAPs, then execute it.
-
-        Returns the number of SWAPs inserted.
-        """
-        logical_a, logical_b = gate.qubits
-        swaps = 0
-        while True:
-            atom_a = self.logical_to_atom[logical_a]
-            atom_b = self.logical_to_atom[logical_b]
-            site_a = self.home[atom_a]
-            site_b = self.home[atom_b]
-            distance = max(
-                abs(site_a.col - site_b.col), abs(site_a.row - site_b.row)
-            )
-            if distance <= 1:
-                break
-            step_site = self._step_toward(site_a, site_b)
-            step_atom = self.atom_at(step_site.col, step_site.row)
-            assert step_atom is not None
-            self._emit_swap(atom_a, step_atom, instructions)
-            swaps += 1
-        atom_a = self.logical_to_atom[logical_a]
-        atom_b = self.logical_to_atom[logical_b]
-        self._emit_physical_cz_class(
-            gate.name, gate.params, atom_a, atom_b, instructions
-        )
-        return swaps
+        return create_compiler(
+            self.backend_name, self._config, self._params
+        ).compile(circuit, architecture, initial_layout)
 
 
 __all__ = ["AtomiqueConfig", "AtomiqueLikeCompiler"]

@@ -20,26 +20,21 @@ the PowerMove paper, its pipeline is:
 The mover choice inside a gate is the qubit whose vacated site frees the
 smaller conflict (we use the lower qubit id; the travel distance is
 symmetric so the choice does not affect timing).
+
+:class:`EnolaCompiler` is a facade over the ``enola`` backend of the
+pass-pipeline registry (:mod:`repro.pipeline`); the MIS scheduling and
+revert routing live in :mod:`repro.pipeline.enola_passes`.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
-from ..circuits.blocks import partition_into_blocks
 from ..circuits.circuit import Circuit
-from ..circuits.transpile import transpile_to_native
 from ..core.compiler import CompilationResult
-from ..hardware.geometry import Zone, ZonedArchitecture
+from ..hardware.geometry import ZonedArchitecture
 from ..hardware.layout import Layout
-from ..hardware.moves import Move, group_moves
 from ..hardware.params import DEFAULT_PARAMS, HardwareParams
-from ..schedule.instructions import OneQubitLayer, RydbergStage
-from ..schedule.program import NAProgram
-from ..utils.rng import make_rng
-from .mis import mis_stage_partition
-from .placement import annealed_layout, row_major_layout
 
 
 @dataclass(frozen=True)
@@ -111,6 +106,15 @@ class EnolaCompiler:
             return f"{self.name}[naive-storage]"
         return self.name
 
+    @property
+    def backend_name(self) -> str:
+        """The registry backend this facade resolves to."""
+        return (
+            "enola-naive-storage"
+            if self._config.naive_storage
+            else "enola"
+        )
+
     # ------------------------------------------------------------------
 
     def compile(
@@ -130,124 +134,11 @@ class EnolaCompiler:
         Returns:
             The :class:`~repro.core.compiler.CompilationResult`.
         """
-        start = time.perf_counter()
-        cfg = self._config
-        native = transpile_to_native(circuit)
-        partition = partition_into_blocks(native)
-        arch = architecture or ZonedArchitecture.for_qubits(
-            native.num_qubits,
-            with_storage=cfg.naive_storage,
-            num_aods=cfg.num_aods,
-            params=self._params,
-        )
-        if cfg.naive_storage and not arch.has_storage:
-            raise ValueError("naive_storage needs a storage zone")
-        home_zone = Zone.STORAGE if cfg.naive_storage else Zone.COMPUTE
-        rng = make_rng(cfg.seed)
-        if initial_layout is None:
-            if cfg.sa_iterations_per_qubit > 0:
-                initial_layout = annealed_layout(
-                    arch,
-                    native,
-                    zone=home_zone,
-                    rng=rng,
-                    iterations_per_qubit=cfg.sa_iterations_per_qubit,
-                )
-            else:
-                initial_layout = row_major_layout(
-                    arch, native.num_qubits, home_zone
-                )
-        # Fig. 3(e)(f) strawman: interacting qubits execute on fixed
-        # computation-zone home sites and shuttle back to storage.
-        compute_home = (
-            row_major_layout(arch, native.num_qubits, Zone.COMPUTE)
-            if cfg.naive_storage
-            else None
-        )
+        from ..pipeline.registry import create_compiler
 
-        instructions = []
-        total_stages = 0
-        total_moves = 0
-        total_coll_moves = 0
-        for block in partition.blocks:
-            gap = partition.one_qubit_gaps[block.index]
-            if gap:
-                instructions.append(OneQubitLayer(list(gap)))
-            stages = mis_stage_partition(block, rng, cfg.mis_restarts)
-            for stage in stages:
-                moves_out: list[Move] = []
-                for gate in stage.gates:
-                    mover, anchor = sorted(gate.qubits)
-                    if compute_home is not None:
-                        target = compute_home.site_of(mover)
-                        for q in (mover, anchor):
-                            moves_out.append(
-                                Move(q, initial_layout.site_of(q), target)
-                            )
-                    else:
-                        source = initial_layout.site_of(mover)
-                        destination = initial_layout.site_of(anchor)
-                        if source != destination:
-                            moves_out.append(
-                                Move(mover, source, destination)
-                            )
-                out_batches = self._into_batches(moves_out)
-                instructions.extend(out_batches)
-                instructions.append(RydbergStage(gates=list(stage.gates)))
-                moves_back = [
-                    Move(m.qubit, m.destination, m.source) for m in moves_out
-                ]
-                back_batches = self._into_batches(moves_back)
-                instructions.extend(back_batches)
-                total_stages += 1
-                total_moves += len(moves_out) + len(moves_back)
-                total_coll_moves += sum(
-                    b.num_coll_moves for b in out_batches + back_batches
-                )
-        trailing = partition.one_qubit_gaps[partition.num_blocks]
-        if trailing:
-            instructions.append(OneQubitLayer(list(trailing)))
-
-        program = NAProgram(
-            architecture=arch,
-            initial_layout=initial_layout,
-            instructions=instructions,
-            source_name=circuit.name,
-            compiler_name=self.variant_name,
-            metadata={
-                "num_blocks": partition.num_blocks,
-                "num_stages": total_stages,
-                "num_single_moves": total_moves,
-                "num_coll_moves": total_coll_moves,
-                "use_storage": cfg.naive_storage,
-                "num_aods": cfg.num_aods,
-            },
-        )
-        compile_time = time.perf_counter() - start
-        return CompilationResult(
-            program=program,
-            compile_time=compile_time,
-            native_circuit=native,
-            stats=dict(program.metadata),
-        )
-
-    # ------------------------------------------------------------------
-
-    def _into_batches(self, moves: list[Move]):
-        """Movement scheduling: one CollMove per move (default) or FIFO
-        grouping (``merge_moves=True``); one CollMove per AOD per batch."""
-        from ..core.collmove_scheduler import schedule_coll_moves
-        from ..hardware.moves import CollMove
-
-        if self._config.merge_moves:
-            groups = group_moves(moves, distance_aware=False)
-        else:
-            groups = [CollMove(moves=[move]) for move in moves]
-        return schedule_coll_moves(
-            groups,
-            num_aods=self._config.num_aods,
-            prioritize_move_ins=False,
-        )
+        return create_compiler(
+            self.backend_name, self._config, self._params
+        ).compile(circuit, architecture, initial_layout)
 
 
 __all__ = ["EnolaCompiler", "EnolaConfig"]

@@ -4,6 +4,8 @@ Commands:
     compile    Compile an OpenQASM 2.0 file for a zoned NA machine.
     bench      Run one Table 2 benchmark through all three scenarios.
     batch      Compile a JSON job manifest (parallel, cached).
+    backends   List the registered compiler backends and their knobs.
+    cache      On-disk compiled-program cache maintenance (prune/info).
     table2     Print the Table 2 reproduction.
     table3     Print a Table 3 reproduction over selected rows.
     fig7       Print the Fig. 7 multi-AOD series.
@@ -15,12 +17,17 @@ The experiment commands (``bench``, ``table3``, ``fig7``, ``batch``)
 route every compilation through the batch engine: ``--workers N`` fans
 cache-missing jobs out over a process pool and ``--cache-dir DIR``
 persists compiled programs in a content-addressed on-disk cache.
+Compilers resolve through the backend registry: ``--backend`` selects
+variants by name (``repro backends`` lists them).
 
 Examples:
     python -m repro compile circuit.qasm --no-storage --trace
     python -m repro bench BV-14
+    python -m repro bench BV-14 --backend enola --backend atomique
     python -m repro table3 --keys BV-14 VQE-30 --workers 4
+    python -m repro fig7 --backend powermove-noreorder
     python -m repro batch manifest.json --workers 4 --cache-dir .cache
+    python -m repro cache prune --cache-dir .cache --max-bytes 50000000
 """
 
 from __future__ import annotations
@@ -137,13 +144,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         sa_iterations_per_qubit=args.sa_iterations,
         num_aods=args.aods,
     )
+    from .engine import SCENARIOS
+
     result = run_benchmark(
         spec,
         num_aods=args.aods,
         seed=args.seed,
         enola_config=enola_cfg,
         engine=_make_engine(args),
+        scenarios=tuple(args.backend) if args.backend else SCENARIOS,
     )
+    if args.backend:
+        print(f"benchmark {args.key} ({spec.num_qubits} qubits)")
+        for key in args.backend:
+            scenario = result[key]
+            print(
+                f"  {key:24s} fid={scenario.fidelity.total:<10.4g} "
+                f"T_exe={scenario.execution_time_us:<10.0f} "
+                f"T_comp={scenario.compile_time:.4f}s"
+            )
+        return 0
     row = Table3Row.from_result(result)
     print(f"benchmark {args.key} ({spec.num_qubits} qubits)")
     print(
@@ -183,8 +203,48 @@ def _cmd_table3(args: argparse.Namespace) -> int:
         seed=args.seed,
         enola_config=enola_cfg,
         engine=_make_engine(args),
+        backend=args.backend,
     )
     print(table.render())
+    return 0
+
+
+def _cmd_backends(_args: argparse.Namespace) -> int:
+    from .pipeline import REGISTRY
+
+    for spec in REGISTRY:
+        print(f"{spec.name}")
+        print(f"  {spec.description}")
+        knobs = ", ".join(
+            f"{name}={value!r}" for name, value in spec.config_knobs.items()
+        )
+        print(f"  config {spec.config_cls.__name__}: {knobs}")
+        print(f"  passes: {' -> '.join(spec.pipeline.pass_names)}")
+    return 0
+
+
+def _cmd_cache_prune(args: argparse.Namespace) -> int:
+    from .engine import DiskCache
+
+    cache = DiskCache(args.cache_dir)
+    report = cache.prune(args.max_bytes)
+    print(
+        f"pruned {args.cache_dir}: removed {report.removed_entries} "
+        f"entries ({report.removed_bytes} bytes), "
+        f"{report.remaining_entries} entries "
+        f"({report.remaining_bytes} bytes) remain"
+    )
+    return 0
+
+
+def _cmd_cache_info(args: argparse.Namespace) -> int:
+    from .engine import DiskCache
+
+    cache = DiskCache(args.cache_dir)
+    print(
+        f"{args.cache_dir}: {len(cache)} entries, "
+        f"{cache.total_bytes()} bytes"
+    )
     return 0
 
 
@@ -306,6 +366,7 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
         aod_counts=tuple(args.aod_counts),
         seed=args.seed,
         engine=_make_engine(args),
+        backend=args.backend,
     )
     print(series.render())
     return 0
@@ -352,6 +413,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--mis-restarts", type=int, default=5)
     p_bench.add_argument("--sa-iterations", type=int, default=150)
+    p_bench.add_argument(
+        "--backend",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="registry backend to run (repeatable; replaces the default "
+        "enola / non-storage / with-storage trio)",
+    )
     _add_engine_options(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
 
@@ -379,8 +448,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_table3.add_argument("--seed", type=int, default=0)
     p_table3.add_argument("--mis-restarts", type=int, default=5)
     p_table3.add_argument("--sa-iterations", type=int, default=150)
+    p_table3.add_argument(
+        "--backend",
+        default="powermove",
+        metavar="NAME",
+        help="registry backend for the 'Ours (ws)' columns "
+        "(default: powermove)",
+    )
     _add_engine_options(p_table3)
     p_table3.set_defaults(func=_cmd_table3)
+
+    p_backends = sub.add_parser(
+        "backends", help="list registered compiler backends"
+    )
+    p_backends.set_defaults(func=_cmd_backends)
+
+    p_cache = sub.add_parser(
+        "cache", help="on-disk compiled-program cache maintenance"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_prune = cache_sub.add_parser(
+        "prune", help="evict least-recently-used entries to a size budget"
+    )
+    p_prune.add_argument(
+        "--cache-dir", type=_cache_dir_path, required=True
+    )
+    p_prune.add_argument(
+        "--max-bytes",
+        type=int,
+        default=0,
+        help="size budget in bytes (default 0: remove every entry)",
+    )
+    p_prune.set_defaults(func=_cmd_cache_prune)
+    p_info = cache_sub.add_parser(
+        "info", help="print entry count and total size"
+    )
+    p_info.add_argument(
+        "--cache-dir", type=_cache_dir_path, required=True
+    )
+    p_info.set_defaults(func=_cmd_cache_info)
 
     p_verify = sub.add_parser(
         "verify", help="state-vector equivalence check (<= 12 qubits)"
@@ -420,6 +526,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--aod-counts", nargs="*", type=int, default=[1, 2, 3, 4]
     )
     p_fig7.add_argument("--seed", type=int, default=0)
+    p_fig7.add_argument(
+        "--backend",
+        default="powermove",
+        metavar="NAME",
+        help="registry backend swept over the AOD grid "
+        "(default: powermove)",
+    )
     _add_engine_options(p_fig7)
     p_fig7.set_defaults(func=_cmd_fig7)
 

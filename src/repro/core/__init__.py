@@ -1,4 +1,9 @@
-"""PowerMove core: the paper's three components and the compiler driver."""
+"""PowerMove core: the paper's three components and the compiler facade.
+
+The algorithmic pieces (stage scheduler, continuous router, coll-move
+scheduler) live here; :class:`PowerMoveCompiler` composes them through
+the pass pipeline in :mod:`repro.pipeline`.
+"""
 
 from .collmove_scheduler import (
     order_coll_moves,

@@ -9,6 +9,12 @@ Pipeline::
             --Coll-Move Scheduler--> ordered parallel batches   (Sec. 6)
             --> NAProgram
 
+Since the pass-pipeline refactor the stages above are literal
+:class:`~repro.pipeline.base.Pass` objects composed by the backend
+registry (see :mod:`repro.pipeline`); :class:`PowerMoveCompiler` is the
+stable facade over the ``powermove`` / ``powermove-nonstorage``
+backends.
+
 Two scenarios from the paper's evaluation are both first-class:
 
 * ``PowerMoveConfig(use_storage=False)`` -- the *non-storage* case: only
@@ -20,24 +26,14 @@ Two scenarios from the paper's evaluation are both first-class:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
-from ..circuits.blocks import partition_into_blocks
 from ..circuits.circuit import Circuit
-from ..circuits.transpile import transpile_to_native
-from ..hardware.geometry import Zone, ZonedArchitecture
+from ..hardware.geometry import ZonedArchitecture
 from ..hardware.layout import Layout
-from ..hardware.moves import group_moves
 from ..hardware.params import DEFAULT_PARAMS, HardwareParams
-from ..schedule.instructions import OneQubitLayer, RydbergStage
 from ..schedule.program import NAProgram
-from ..schedule.tracker import PositionTracker
-from ..utils.rng import make_rng
-from .collmove_scheduler import schedule_coll_moves
 from .config import PowerMoveConfig
-from .continuous_router import ContinuousRouter
-from .stage_scheduler import schedule_block
 
 
 @dataclass
@@ -48,7 +44,8 @@ class CompilationResult:
         program: The compiled NAQC program.
         compile_time: Wall-clock compilation seconds (``T_comp``).
         native_circuit: The transpiled source circuit actually compiled.
-        stats: Compiler statistics (block/stage/move counts).
+        stats: Compiler statistics (block/stage/move counts, plus the
+            per-pass wall-clock seconds under ``stats["pass_timings"]``).
     """
 
     program: NAProgram
@@ -59,6 +56,11 @@ class CompilationResult:
 
 class PowerMoveCompiler:
     """PowerMove: zoned-architecture-aware movement compiler.
+
+    A thin facade over the backend registry: ``use_storage`` selects the
+    ``powermove`` or ``powermove-nonstorage`` pipeline and the config is
+    passed through verbatim, so compiled programs are bit-identical to
+    the historical monolithic implementation.
 
     Args:
         config: Component configuration (storage, alpha, AODs, ablations).
@@ -94,6 +96,13 @@ class PowerMoveCompiler:
         suffix = "with-storage" if self._config.use_storage else "non-storage"
         return f"{self.name}[{suffix}]"
 
+    @property
+    def backend_name(self) -> str:
+        """The registry backend this facade resolves to."""
+        return "powermove" if self._config.use_storage else (
+            "powermove-nonstorage"
+        )
+
     # ------------------------------------------------------------------
 
     def compile(
@@ -118,107 +127,11 @@ class PowerMoveCompiler:
             The :class:`CompilationResult` with the validated-shape
             program and compile-time measurement.
         """
-        start = time.perf_counter()
-        cfg = self._config
-        native = transpile_to_native(circuit)
-        partition = partition_into_blocks(native)
-        arch = architecture or ZonedArchitecture.for_qubits(
-            native.num_qubits,
-            with_storage=cfg.use_storage,
-            num_aods=cfg.num_aods,
-            params=self._params,
-        )
-        if cfg.use_storage and not arch.has_storage:
-            raise ValueError("with-storage compilation needs a storage zone")
-        home_zone = Zone.STORAGE if cfg.use_storage else Zone.COMPUTE
-        if initial_layout is None:
-            initial_layout = self._build_initial_layout(
-                arch, native, home_zone
-            )
-        rng = make_rng(cfg.seed)
-        router = ContinuousRouter(arch, cfg.use_storage, rng)
+        from ..pipeline.registry import create_compiler
 
-        instructions = []
-        layout = initial_layout.copy()
-        total_stages = 0
-        total_moves = 0
-        total_coll_moves = 0
-        for block in partition.blocks:
-            gap = partition.one_qubit_gaps[block.index]
-            if gap:
-                instructions.append(OneQubitLayer(list(gap)))
-            stages = schedule_block(
-                block,
-                alpha=cfg.alpha,
-                reorder=cfg.use_storage and cfg.reorder_stages,
-                ordering=cfg.stage_ordering,
-            )
-            for stage in stages:
-                pairs = [
-                    (g.qubits[0], g.qubits[1]) for g in stage.gates
-                ]
-                routed = router.route_stage(layout, pairs)
-                groups = group_moves(
-                    routed.moves,
-                    distance_aware=cfg.distance_aware_grouping,
-                )
-                batches = schedule_coll_moves(
-                    groups,
-                    num_aods=cfg.num_aods,
-                    prioritize_move_ins=cfg.intra_stage_ordering,
-                )
-                instructions.extend(batches)
-                layout.apply_moves(routed.moves)
-                instructions.append(RydbergStage(gates=list(stage.gates)))
-                total_stages += 1
-                total_moves += routed.num_moves
-                total_coll_moves += len(groups)
-        trailing = partition.one_qubit_gaps[partition.num_blocks]
-        if trailing:
-            instructions.append(OneQubitLayer(list(trailing)))
-
-        program = NAProgram(
-            architecture=arch,
-            initial_layout=initial_layout,
-            instructions=instructions,
-            source_name=circuit.name,
-            compiler_name=self.variant_name,
-            metadata={
-                "num_blocks": partition.num_blocks,
-                "num_stages": total_stages,
-                "num_single_moves": total_moves,
-                "num_coll_moves": total_coll_moves,
-                "use_storage": cfg.use_storage,
-                "num_aods": cfg.num_aods,
-                "alpha": cfg.alpha,
-            },
-        )
-        compile_time = time.perf_counter() - start
-        return CompilationResult(
-            program=program,
-            compile_time=compile_time,
-            native_circuit=native,
-            stats=dict(program.metadata),
-        )
-
-    # ------------------------------------------------------------------
-
-    def _build_initial_layout(
-        self,
-        arch: ZonedArchitecture,
-        native: Circuit,
-        home_zone: Zone,
-    ) -> Layout:
-        if self._config.annealed_placement:
-            from ..baselines.placement import annealed_layout
-
-            return annealed_layout(
-                arch,
-                native,
-                zone=home_zone,
-                rng=make_rng(self._config.seed),
-            )
-        return Layout.row_major(arch, native.num_qubits, home_zone)
+        return create_compiler(
+            self.backend_name, self._config, self._params
+        ).compile(circuit, architecture, initial_layout)
 
 
 def compile_circuit(

@@ -14,6 +14,7 @@ from .cache import (
     MemoryCache,
     NullCache,
     ProgramCache,
+    PruneReport,
     job_cache_key,
 )
 from .engine import (
@@ -23,11 +24,13 @@ from .engine import (
     ProgressEvent,
 )
 from .jobs import (
+    SCENARIO_BACKENDS,
     SCENARIOS,
     CompileJob,
     JobError,
     effective_config,
     execute_job,
+    job_compiler,
 )
 from .manifest import ManifestError, load_manifest, parse_manifest
 
@@ -45,10 +48,13 @@ __all__ = [
     "NullCache",
     "ProgramCache",
     "ProgressEvent",
+    "PruneReport",
     "SCENARIOS",
+    "SCENARIO_BACKENDS",
     "effective_config",
     "execute_job",
     "job_cache_key",
+    "job_compiler",
     "load_manifest",
     "parse_manifest",
 ]

@@ -1,7 +1,7 @@
 """Content-addressed compilation cache.
 
 The cache key is a SHA-256 over the *complete* compilation input: the
-circuit's content digest, the scenario, the effective compiler
+circuit's content digest, the backend name, the effective compiler
 configuration, the hardware constants, the AOD count and the seed, plus
 the serialization format version and a cache schema version so a change
 to either invalidates every stale entry.  Two jobs collide on a key only
@@ -14,10 +14,12 @@ The cached value is the :func:`repro.engine.jobs.execute_job` artifact
   one run;
 * :class:`DiskCache` -- one JSON file per key under a directory, shared
   across processes and runs (writes are atomic rename, so concurrent
-  workers race benignly);
+  workers race benignly); give it ``max_bytes`` for LRU eviction by
+  file mtime (reads refresh recency);
 * :class:`NullCache` -- caching disabled; every lookup misses.
 
-All backends count hits/misses/stores in a :class:`CacheStats`.
+All backends count hits/misses/stores (and, for disk, evictions) in a
+:class:`CacheStats`.
 """
 
 from __future__ import annotations
@@ -33,8 +35,9 @@ from ..schedule.serialize import FORMAT_VERSION
 from .jobs import CompileJob, effective_config
 
 #: Bump to invalidate every existing cache entry (key derivation or
-#: artifact layout change).
-CACHE_SCHEMA_VERSION = 1
+#: artifact layout change).  v2: the backend registry name joined the
+#: key payload and artifacts carry per-pass timings.
+CACHE_SCHEMA_VERSION = 2
 
 
 def job_cache_key(job: CompileJob, circuit_digest: str | None = None) -> str:
@@ -53,7 +56,7 @@ def job_cache_key(job: CompileJob, circuit_digest: str | None = None) -> str:
             "cache_schema": CACHE_SCHEMA_VERSION,
             "program_format": FORMAT_VERSION,
             "circuit": circuit_digest,
-            "scenario": job.scenario,
+            "backend": job.backend_name,
             "config_kind": type(config).__name__,
             "config": asdict(config),
             "params": asdict(job.params),
@@ -68,11 +71,12 @@ def job_cache_key(job: CompileJob, circuit_digest: str | None = None) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters of one cache instance."""
+    """Hit/miss/store/eviction counters of one cache instance."""
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -134,6 +138,16 @@ class MemoryCache(ProgramCache):
         self._entries[key] = doc
 
 
+@dataclass(frozen=True)
+class PruneReport:
+    """Outcome of one :meth:`DiskCache.prune` call."""
+
+    removed_entries: int
+    removed_bytes: int
+    remaining_entries: int
+    remaining_bytes: int
+
+
 class DiskCache(ProgramCache):
     """One ``<key>.json`` file per entry under ``directory``.
 
@@ -141,21 +155,44 @@ class DiskCache(ProgramCache):
     temporary file plus :func:`os.replace`, so a reader never observes a
     half-written entry and concurrent writers of the same key simply
     last-write-win with identical content.
+
+    Args:
+        directory: Cache root.
+        max_bytes: Soft size budget.  After every store the
+            least-recently-used entries (oldest mtime; reads refresh it)
+            are evicted until the total drops under the budget.  ``None``
+            disables eviction.  A budget smaller than a single artifact
+            still keeps the just-written entry writable -- it is simply
+            evicted by a later store.
     """
 
-    def __init__(self, directory: str) -> None:
+    def __init__(
+        self, directory: str, max_bytes: int | None = None
+    ) -> None:
         super().__init__()
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
         self.directory = directory
+        self.max_bytes = max_bytes
+        # Running occupancy estimate so bounded caches do not rescan
+        # the directory on every store; refreshed whenever we prune.
+        self._size_estimate: int | None = None
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
 
     def _load(self, key: str) -> dict[str, Any] | None:
+        path = self._path(key)
         try:
-            with open(self._path(key), encoding="utf-8") as handle:
-                return json.load(handle)
+            with open(path, encoding="utf-8") as handle:
+                doc = json.load(handle)
         except (OSError, json.JSONDecodeError):
             return None
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:
+            pass
+        return doc
 
     def _store(self, key: str, doc: dict[str, Any]) -> None:
         os.makedirs(self.directory, exist_ok=True)
@@ -170,6 +207,88 @@ class DiskCache(ProgramCache):
             if os.path.exists(tmp_path):
                 os.unlink(tmp_path)
             raise
+        if self.max_bytes is not None:
+            # Maintain the occupancy estimate incrementally (one stat of
+            # the just-written entry) and only pay the full directory
+            # scan when the budget is actually exceeded.  The estimate
+            # drifts under concurrent writers, but the budget is soft
+            # and every prune resynchronises it.
+            if self._size_estimate is None:
+                self._size_estimate = self.total_bytes()
+            else:
+                try:
+                    self._size_estimate += os.stat(
+                        self._path(key)
+                    ).st_size
+                except OSError:
+                    self._size_estimate = self.total_bytes()
+            if self._size_estimate > self.max_bytes:
+                self.prune(self.max_bytes)
+
+    # -- size accounting / eviction ------------------------------------
+
+    def _entries(self) -> list[tuple[str, float, int]]:
+        """``(path, mtime, size)`` of every entry, oldest first."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        entries = []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue  # concurrently evicted
+            entries.append((path, stat.st_mtime, stat.st_size))
+        entries.sort(key=lambda e: (e[1], e[0]))
+        return entries
+
+    def total_bytes(self) -> int:
+        """Summed size of all cache entries."""
+        return sum(size for _, _, size in self._entries())
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def prune(self, max_bytes: int | None = None) -> PruneReport:
+        """Evict least-recently-used entries down to ``max_bytes``.
+
+        Args:
+            max_bytes: Size budget for this prune; ``0`` empties the
+                cache.  Defaults to the instance's ``max_bytes``; when
+                neither is set, nothing is evicted and the report only
+                carries occupancy counts.
+
+        Returns:
+            A :class:`PruneReport` with eviction and occupancy counts.
+        """
+        budget = max_bytes if max_bytes is not None else self.max_bytes
+        entries = self._entries()
+        total = sum(size for _, _, size in entries)
+        removed_entries = 0
+        removed_bytes = 0
+        if budget is not None:
+            for path, _, size in entries:
+                if total <= budget:
+                    break
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue  # concurrently evicted
+                total -= size
+                removed_entries += 1
+                removed_bytes += size
+                self.stats.evictions += 1
+        self._size_estimate = total
+        return PruneReport(
+            removed_entries=removed_entries,
+            removed_bytes=removed_bytes,
+            remaining_entries=len(entries) - removed_entries,
+            remaining_bytes=total,
+        )
 
 
 __all__ = [
@@ -179,5 +298,6 @@ __all__ = [
     "MemoryCache",
     "NullCache",
     "ProgramCache",
+    "PruneReport",
     "job_cache_key",
 ]

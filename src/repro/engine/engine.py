@@ -83,8 +83,8 @@ class JobResult:
 
     @property
     def scenario(self) -> str:
-        """The job's scenario key."""
-        return self.job.scenario
+        """The job's reporting key (legacy scenario or backend name)."""
+        return self.job.scenario_key
 
 
 ProgressCallback = Callable[[ProgressEvent], None]
@@ -210,9 +210,12 @@ class CompilationEngine:
     ) -> JobResult:
         program = program_from_dict(doc["program"])
         if cache_hit and job.validate and not doc.get("validated"):
+            from ..pipeline.registry import REGISTRY
+
+            preserves = REGISTRY.get(job.backend_name).preserves_gate_stream
             source = (
                 transpile_to_native(circuit)
-                if circuit is not None
+                if circuit is not None and preserves
                 else None
             )
             validate_program(program, source_circuit=source)

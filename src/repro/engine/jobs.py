@@ -2,35 +2,47 @@
 
 A :class:`CompileJob` names one compilation: a workload (a Table 2
 benchmark key or an explicit :class:`~repro.circuits.circuit.Circuit`)
-plus one evaluation *scenario* (see :data:`SCENARIOS`), the AOD count,
-the seed, optional compiler-config overrides and the hardware constants.
-Jobs are plain picklable dataclasses so they travel to worker processes
+plus one compiler *backend* -- named either through the historical
+evaluation scenario keys (see :data:`SCENARIOS`) or directly through a
+:mod:`repro.pipeline` registry name (``backend="atomique"``,
+``backend="powermove-noreorder"``, ...) -- the AOD count, the seed,
+optional compiler-config overrides and the hardware constants.  Jobs are
+plain picklable dataclasses so they travel to worker processes
 unchanged, and every stochastic choice downstream flows from the job's
 explicit ``seed`` -- two executions of the same job, in any process,
 produce bit-identical programs.
 
 :func:`execute_job` is the pure worker function: job in, serialized
 program artifact out.  It lives at module level so
-``concurrent.futures`` process pools can pickle it.
+``concurrent.futures`` process pools can pickle it.  Compilers are
+resolved through the backend registry.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Any
 
-from ..baselines.enola import EnolaCompiler, EnolaConfig
+from ..baselines.atomique import AtomiqueConfig
+from ..baselines.enola import EnolaConfig
 from ..benchsuite.suite import get_benchmark
 from ..circuits.circuit import Circuit
-from ..core.compiler import PowerMoveCompiler
 from ..core.config import PowerMoveConfig
 from ..hardware.params import DEFAULT_PARAMS, HardwareParams
+from ..pipeline.registry import REGISTRY, PipelineCompiler
 from ..schedule.serialize import program_to_dict
 from ..schedule.validator import validate_program
 
 #: Canonical scenario keys, in report order (re-exported by
 #: :mod:`repro.analysis.experiments` for backwards compatibility).
 SCENARIOS = ("enola", "pm_non_storage", "pm_with_storage")
+
+#: Historical scenario key -> backend registry name.
+SCENARIO_BACKENDS = {
+    "enola": "enola",
+    "pm_non_storage": "powermove-nonstorage",
+    "pm_with_storage": "powermove",
+}
 
 
 class JobError(ValueError):
@@ -42,24 +54,30 @@ class CompileJob:
     """One compilation request.
 
     Exactly one of ``benchmark`` (a Table 2 row key, built with the
-    job's seed) or ``circuit`` must be given.
+    job's seed) or ``circuit`` must be given, and exactly one of
+    ``scenario`` (legacy key) or ``backend`` (registry name).
 
     Attributes:
-        scenario: One of :data:`SCENARIOS`.
+        scenario: One of :data:`SCENARIOS` (legacy compiler naming).
         benchmark: Suite row key, e.g. ``"BV-14"``.
         circuit: Explicit workload circuit.
         num_aods: AOD arrays available to the compiler.
         seed: Seed for the circuit instance (benchmark jobs) and all
             compiler randomness.
-        enola_config: Override the Enola baseline's knobs (used as-is
-            when given; the default derives from ``seed``/``num_aods``).
-        powermove_config: Override PowerMove's knobs (``use_storage``,
-            ``num_aods`` and ``seed`` are still forced per scenario).
+        enola_config: Override the Enola-family backends' knobs (used
+            as-is when given; the default derives from
+            ``seed``/``num_aods``).
+        powermove_config: Override the PowerMove-family backends' knobs
+            (``use_storage``, ``num_aods``, ``seed`` and any
+            ablation-forced field are still forced per backend).
         params: Hardware constants.
         validate: Run the structural validator on the compiled program.
+        backend: A :mod:`repro.pipeline` registry name; the modern
+            alternative to ``scenario``.
+        atomique_config: Override the Atomique backend's knobs.
     """
 
-    scenario: str
+    scenario: str | None = None
     benchmark: str | None = None
     circuit: Circuit | None = None
     num_aods: int = 1
@@ -68,16 +86,39 @@ class CompileJob:
     powermove_config: PowerMoveConfig | None = None
     params: HardwareParams = DEFAULT_PARAMS
     validate: bool = True
+    backend: str | None = None
+    atomique_config: AtomiqueConfig | None = None
 
     def __post_init__(self) -> None:
-        if self.scenario not in SCENARIOS:
+        if (self.scenario is None) == (self.backend is None):
+            raise JobError(
+                "exactly one of scenario or backend must be given"
+            )
+        if self.scenario is not None and self.scenario not in SCENARIOS:
             raise ValueError(f"unknown scenario {self.scenario!r}")
+        if self.backend is not None and self.backend not in REGISTRY:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"known: {', '.join(REGISTRY.names())}"
+            )
         if (self.benchmark is None) == (self.circuit is None):
             raise JobError(
                 "exactly one of benchmark or circuit must be given"
             )
         if self.num_aods < 1:
             raise JobError("need at least one AOD array")
+
+    @property
+    def backend_name(self) -> str:
+        """The registry backend the job compiles with."""
+        if self.backend is not None:
+            return self.backend
+        return SCENARIO_BACKENDS[self.scenario]
+
+    @property
+    def scenario_key(self) -> str:
+        """Reporting key: the legacy scenario, or the backend name."""
+        return self.scenario if self.scenario is not None else self.backend
 
     @property
     def workload_name(self) -> str:
@@ -90,7 +131,7 @@ class CompileJob:
     def label(self) -> str:
         """Human-readable job identity for progress lines and errors."""
         return (
-            f"{self.workload_name}:{self.scenario}"
+            f"{self.workload_name}:{self.scenario_key}"
             f":aods{self.num_aods}:seed{self.seed}"
         )
 
@@ -101,27 +142,30 @@ class CompileJob:
         return get_benchmark(self.benchmark).build(self.seed)
 
 
-def effective_config(job: CompileJob) -> EnolaConfig | PowerMoveConfig:
+def effective_config(
+    job: CompileJob,
+) -> EnolaConfig | PowerMoveConfig | AtomiqueConfig:
     """The compiler configuration the job actually runs with.
 
-    Mirrors the historical ``run_scenarios`` rules: a given Enola config
-    is used verbatim, while PowerMove overrides always have
-    ``use_storage``, ``num_aods`` and ``seed`` forced per scenario.
+    Resolved through the backend registry, preserving the historical
+    ``run_scenarios`` rules: a given Enola config is used verbatim,
+    while PowerMove overrides always have ``use_storage``, ``num_aods``
+    and ``seed`` (plus any ablation field) forced per backend.
     """
-    if job.scenario == "enola":
-        return job.enola_config or EnolaConfig(
-            seed=job.seed, num_aods=job.num_aods
-        )
-    use_storage = job.scenario == "pm_with_storage"
-    if job.powermove_config is not None:
-        return replace(
-            job.powermove_config,
-            use_storage=use_storage,
-            num_aods=job.num_aods,
-            seed=job.seed,
-        )
-    return PowerMoveConfig(
-        use_storage=use_storage, num_aods=job.num_aods, seed=job.seed
+    spec = REGISTRY.get(job.backend_name)
+    overrides = {
+        EnolaConfig: job.enola_config,
+        PowerMoveConfig: job.powermove_config,
+        AtomiqueConfig: job.atomique_config,
+    }
+    override = overrides.get(spec.config_cls)
+    return spec.effective_config(override, job.seed, job.num_aods)
+
+
+def job_compiler(job: CompileJob) -> PipelineCompiler:
+    """The registry compiler a job resolves to (with effective config)."""
+    return REGISTRY.create(
+        job.backend_name, effective_config(job), job.params
     )
 
 
@@ -134,22 +178,25 @@ def execute_job_on_circuit(
 
         {"program": <serialize.program_to_dict doc>,
          "compile_time": <T_comp seconds>,
-         "validated": <bool>}
+         "validated": <bool>,
+         "pass_timings": <pass name -> seconds>}
     """
-    config = effective_config(job)
-    if job.scenario == "enola":
-        compiler = EnolaCompiler(config, job.params)
-    else:
-        compiler = PowerMoveCompiler(config, job.params)
-    compilation = compiler.compile(circuit)
+    compilation = job_compiler(job).compile(circuit)
     if job.validate:
+        spec = REGISTRY.get(job.backend_name)
         validate_program(
-            compilation.program, source_circuit=compilation.native_circuit
+            compilation.program,
+            source_circuit=(
+                compilation.native_circuit
+                if spec.preserves_gate_stream
+                else None
+            ),
         )
     return {
         "program": program_to_dict(compilation.program),
         "compile_time": compilation.compile_time,
         "validated": job.validate,
+        "pass_timings": compilation.stats.get("pass_timings", {}),
     }
 
 
@@ -162,7 +209,9 @@ __all__ = [
     "CompileJob",
     "JobError",
     "SCENARIOS",
+    "SCENARIO_BACKENDS",
     "effective_config",
     "execute_job",
     "execute_job_on_circuit",
+    "job_compiler",
 ]

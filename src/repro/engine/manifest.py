@@ -8,16 +8,21 @@ A manifest is a JSON document describing a batch of compilations::
       "jobs": [
         {"benchmark": "BV-14"},
         {"benchmark": "VQE-30", "scenario": "pm_non_storage", "seed": 3},
-        {"benchmark": "*", "scenarios": ["pm_with_storage"]}
+        {"benchmark": "QFT-18", "backend": "atomique"},
+        {"benchmark": "*", "backends": ["powermove", "powermove-noreorder"]}
       ]
     }
 
 A bare JSON list is accepted as shorthand for ``{"jobs": [...]}``.  Each
 entry names a Table 2 benchmark (``"*"`` expands to the whole suite) and
-may override ``scenario``/``scenarios``, ``seed``, ``num_aods``,
-``validate`` and the ``enola``/``powermove`` compiler knobs (flat dicts
-of config fields).  Defaults apply to every entry that does not override
-them; the built-in scenario default is all three scenarios.
+selects its compilers either through the legacy ``scenario``/
+``scenarios`` keys or through ``backend``/``backends`` registry names
+(see ``repro backends``); entries may also override ``seed``,
+``num_aods``, ``validate`` and the ``enola``/``powermove``/``atomique``
+compiler knobs (flat dicts of config fields).  Defaults apply to every
+entry that does not override them; the built-in default (no scenario or
+backend anywhere) remains all three legacy scenarios, and manifests
+written before the backend registry existed parse unchanged.
 
 Every structural problem raises :class:`ManifestError` with a message
 naming the offending entry.
@@ -28,9 +33,11 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from ..baselines.atomique import AtomiqueConfig
 from ..baselines.enola import EnolaConfig
 from ..benchsuite.suite import PAPER_ORDER, SUITE
 from ..core.config import PowerMoveConfig
+from ..pipeline.registry import REGISTRY
 from .jobs import SCENARIOS, CompileJob
 
 _ENTRY_KEYS = frozenset(
@@ -38,34 +45,70 @@ _ENTRY_KEYS = frozenset(
         "benchmark",
         "scenario",
         "scenarios",
+        "backend",
+        "backends",
         "seed",
         "num_aods",
         "validate",
         "enola",
         "powermove",
+        "atomique",
     }
 )
 
-#: Keys honoured under "defaults" ("scenario" is entry-only; defaults
-#: take the plural form).
-_DEFAULT_KEYS = _ENTRY_KEYS - {"scenario"}
+#: Keys honoured under "defaults" ("scenario"/"backend" are entry-only;
+#: defaults take the plural forms).
+_DEFAULT_KEYS = _ENTRY_KEYS - {"scenario", "backend"}
 
 
 class ManifestError(ValueError):
     """Raised on malformed batch manifests."""
 
 
-def _entry_scenarios(entry: dict, defaults: dict, where: str) -> tuple:
-    if "scenario" in entry and "scenarios" in entry:
+def _entry_compilers(
+    entry: dict, defaults: dict, where: str
+) -> list[tuple[str | None, str | None]]:
+    """Expand an entry into ``(scenario, backend)`` job selectors."""
+    selector_keys = [
+        key
+        for key in ("scenario", "scenarios", "backend", "backends")
+        if key in entry
+    ]
+    if len(selector_keys) > 1:
         raise ManifestError(
-            f"{where}: give either 'scenario' or 'scenarios', not both"
+            f"{where}: give only one of 'scenario', 'scenarios', "
+            "'backend' or 'backends'"
         )
     if "scenario" in entry:
         scenarios: Any = [entry["scenario"]]
+        backends: Any = None
     elif "scenarios" in entry:
         scenarios = entry["scenarios"]
+        backends = None
+    elif "backend" in entry:
+        scenarios = None
+        backends = [entry["backend"]]
+    elif "backends" in entry:
+        scenarios = None
+        backends = entry["backends"]
+    elif "backends" in defaults and "scenarios" not in defaults:
+        scenarios = None
+        backends = defaults["backends"]
     else:
         scenarios = defaults.get("scenarios", list(SCENARIOS))
+        backends = None
+
+    if backends is not None:
+        if isinstance(backends, str) or not isinstance(backends, list):
+            raise ManifestError(f"{where}: 'backends' must be a list")
+        for backend in backends:
+            if backend not in REGISTRY:
+                raise ManifestError(
+                    f"{where}: unknown backend {backend!r}; "
+                    f"known: {', '.join(REGISTRY.names())}"
+                )
+        return [(None, backend) for backend in backends]
+
     if isinstance(scenarios, str) or not isinstance(scenarios, list):
         raise ManifestError(f"{where}: 'scenarios' must be a list")
     for scenario in scenarios:
@@ -74,7 +117,7 @@ def _entry_scenarios(entry: dict, defaults: dict, where: str) -> tuple:
                 f"{where}: unknown scenario {scenario!r}; "
                 f"known: {', '.join(SCENARIOS)}"
             )
-    return tuple(scenarios)
+    return [(scenario, None) for scenario in scenarios]
 
 
 def _entry_int(entry: dict, defaults: dict, field: str, fallback: int,
@@ -115,6 +158,14 @@ def parse_manifest(doc: Any) -> list[CompileJob]:
         raise ManifestError(
             "defaults: use 'scenarios' (a list), not 'scenario'"
         )
+    if "backend" in defaults:
+        raise ManifestError(
+            "defaults: use 'backends' (a list), not 'backend'"
+        )
+    if "scenarios" in defaults and "backends" in defaults:
+        raise ManifestError(
+            "defaults: give either 'scenarios' or 'backends', not both"
+        )
     unknown_defaults = set(defaults) - _DEFAULT_KEYS
     if unknown_defaults:
         raise ManifestError(
@@ -142,7 +193,7 @@ def parse_manifest(doc: Any) -> list[CompileJob]:
             raise ManifestError(
                 f"{where}: unknown benchmark {benchmark!r}"
             )
-        scenarios = _entry_scenarios(entry, defaults, where)
+        compilers = _entry_compilers(entry, defaults, where)
         seed = _entry_int(entry, defaults, "seed", 0, where)
         num_aods = _entry_int(entry, defaults, "num_aods", 1, where)
         validate = entry.get("validate", defaults.get("validate", True))
@@ -154,8 +205,11 @@ def parse_manifest(doc: Any) -> list[CompileJob]:
         powermove_config = _entry_config(
             entry, defaults, "powermove", PowerMoveConfig, where
         )
+        atomique_config = _entry_config(
+            entry, defaults, "atomique", AtomiqueConfig, where
+        )
         for key in keys:
-            for scenario in scenarios:
+            for scenario, backend in compilers:
                 jobs.append(
                     CompileJob(
                         scenario=scenario,
@@ -165,6 +219,8 @@ def parse_manifest(doc: Any) -> list[CompileJob]:
                         enola_config=enola_config,
                         powermove_config=powermove_config,
                         validate=validate,
+                        backend=backend,
+                        atomique_config=atomique_config,
                     )
                 )
     return jobs

@@ -1,0 +1,62 @@
+"""Pluggable compiler-pass pipeline and backend registry.
+
+The compilation skeleton shared by every compiler in the repository:
+:class:`~repro.pipeline.base.Pass` (typed
+:class:`~repro.pipeline.context.CompileContext` in, context out),
+:class:`~repro.pipeline.base.Pipeline` (ordered passes with per-pass
+timing), and the :class:`~repro.pipeline.registry.BackendRegistry`
+mapping backend names (``powermove``, ``enola``, ``atomique``, ablation
+variants) to pipelines.  See ``docs/architecture.md``.
+"""
+
+from .atomique_passes import AtomiqueSwapRoutePass
+from .base import Pass, Pipeline
+from .context import CompileContext
+from .enola_passes import EnolaRevertRoutePass, EnolaStageSchedulePass
+from .passes import (
+    ArchitecturePass,
+    BlockPartitionPass,
+    EmitProgramPass,
+    InitialLayoutPass,
+    TranspilePass,
+)
+from .powermove_passes import (
+    CollMoveBatchPass,
+    ContinuousRoutePass,
+    StageSchedulePass,
+)
+from .registry import (
+    REGISTRY,
+    BackendError,
+    BackendRegistry,
+    BackendSpec,
+    PipelineCompiler,
+    available_backends,
+    create_compiler,
+    get_backend,
+)
+
+__all__ = [
+    "ArchitecturePass",
+    "AtomiqueSwapRoutePass",
+    "BackendError",
+    "BackendRegistry",
+    "BackendSpec",
+    "BlockPartitionPass",
+    "CollMoveBatchPass",
+    "CompileContext",
+    "ContinuousRoutePass",
+    "EmitProgramPass",
+    "EnolaRevertRoutePass",
+    "EnolaStageSchedulePass",
+    "InitialLayoutPass",
+    "Pass",
+    "Pipeline",
+    "PipelineCompiler",
+    "REGISTRY",
+    "StageSchedulePass",
+    "TranspilePass",
+    "available_backends",
+    "create_compiler",
+    "get_backend",
+]

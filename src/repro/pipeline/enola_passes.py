@@ -1,0 +1,133 @@
+"""Enola's schedule and route passes (revert-to-initial-layout scheme).
+
+Enola shares the pipeline front (transpile, partition, architecture,
+annealed placement) and back (emit) with PowerMove; only its middle
+differs: repeated randomised-MIS stage extraction instead of greedy
+colouring, and a revert routing scheme instead of continuous layout
+transitions.  The MIS scheduler consumes the *shared* context RNG so
+the annealing-placement and MIS random streams interleave exactly as in
+the historical monolith.
+"""
+
+from __future__ import annotations
+
+from ..baselines.mis import mis_stage_partition
+from ..core.collmove_scheduler import schedule_coll_moves
+from ..hardware.geometry import Zone
+from ..hardware.moves import CollMove, Move, group_moves
+from ..schedule.instructions import RydbergStage
+from .context import CompileContext
+from .passes import row_major_layout
+
+
+class EnolaStageSchedulePass:
+    """Randomised-MIS stage extraction (best of ``mis_restarts``)."""
+
+    name = "mis_schedule"
+
+    def run(self, ctx: CompileContext) -> None:
+        ctx.require("partition", "rng")
+        cfg = ctx.config
+        ctx.block_stages = [
+            mis_stage_partition(block, ctx.rng, cfg.mis_restarts)
+            for block in ctx.partition.blocks
+        ]
+
+
+class EnolaRevertRoutePass:
+    """Out-excite-back routing plus per-stage movement batching.
+
+    For every stage one qubit of each gate moves to its partner (or,
+    in the ``naive_storage`` strawman, both partners shuttle to fixed
+    computation-zone home sites), the Rydberg laser fires, and the moved
+    qubits revert.  Movement batching is Enola's: one CollMove per move
+    unless ``merge_moves``, then one CollMove per AOD per batch.
+    """
+
+    name = "revert_route"
+
+    def run(self, ctx: CompileContext) -> None:
+        ctx.require(
+            "native", "architecture", "initial_layout", "block_stages"
+        )
+        cfg = ctx.config
+        initial_layout = ctx.initial_layout
+        compute_home = (
+            row_major_layout(
+                ctx.architecture, ctx.native.num_qubits, Zone.COMPUTE
+            )
+            if cfg.naive_storage
+            else None
+        )
+        block_instructions: list[list] = []
+        total_stages = 0
+        total_moves = 0
+        total_coll_moves = 0
+        for stages in ctx.block_stages:
+            instructions: list = []
+            for stage in stages:
+                moves_out: list[Move] = []
+                for gate in stage.gates:
+                    mover, anchor = sorted(gate.qubits)
+                    if compute_home is not None:
+                        target = compute_home.site_of(mover)
+                        for q in (mover, anchor):
+                            moves_out.append(
+                                Move(q, initial_layout.site_of(q), target)
+                            )
+                    else:
+                        source = initial_layout.site_of(mover)
+                        destination = initial_layout.site_of(anchor)
+                        if source != destination:
+                            moves_out.append(
+                                Move(mover, source, destination)
+                            )
+                out_batches = self._into_batches(moves_out, cfg)
+                instructions.extend(out_batches)
+                instructions.append(RydbergStage(gates=list(stage.gates)))
+                moves_back = [
+                    Move(m.qubit, m.destination, m.source)
+                    for m in moves_out
+                ]
+                back_batches = self._into_batches(moves_back, cfg)
+                instructions.extend(back_batches)
+                total_stages += 1
+                total_moves += len(moves_out) + len(moves_back)
+                total_coll_moves += sum(
+                    b.num_coll_moves for b in out_batches + back_batches
+                )
+            block_instructions.append(instructions)
+        ctx.block_instructions = block_instructions
+        ctx.counters["num_stages"] = total_stages
+        ctx.counters["num_single_moves"] = total_moves
+        ctx.counters["num_coll_moves"] = total_coll_moves
+
+    @staticmethod
+    def _into_batches(moves: list[Move], cfg) -> list:
+        if cfg.merge_moves:
+            groups = group_moves(moves, distance_aware=False)
+        else:
+            groups = [CollMove(moves=[move]) for move in moves]
+        return schedule_coll_moves(
+            groups, num_aods=cfg.num_aods, prioritize_move_ins=False
+        )
+
+
+def enola_metadata(ctx: CompileContext) -> dict:
+    """Historical Enola program metadata (key order preserved)."""
+    cfg = ctx.config
+    return {
+        "num_blocks": ctx.partition.num_blocks,
+        "num_stages": ctx.counters["num_stages"],
+        "num_single_moves": ctx.counters["num_single_moves"],
+        "num_coll_moves": ctx.counters["num_coll_moves"],
+        "use_storage": cfg.naive_storage,
+        "num_aods": cfg.num_aods,
+    }
+
+
+__all__ = [
+    "EnolaRevertRoutePass",
+    "EnolaStageSchedulePass",
+    "enola_metadata",
+]

@@ -1,0 +1,190 @@
+"""Shared pipeline passes: transpile, partition, architecture, layout, emit.
+
+Every registered backend (PowerMove, Enola, Atomique, ablations) starts
+and ends with these passes; only the middle schedule/route/batch passes
+differ.  All of them are configured with small ``config -> value``
+callables so one pass class serves every backend's conventions (which
+zone is "home", which config field picks the AOD count, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..baselines.placement import annealed_layout, row_major_layout
+from ..circuits.blocks import partition_into_blocks
+from ..circuits.transpile import transpile_to_native
+from ..hardware.geometry import Zone, ZonedArchitecture
+from ..schedule.instructions import OneQubitLayer
+from ..schedule.program import NAProgram
+from ..utils.rng import make_rng
+from .context import CompileContext
+
+
+class TranspilePass:
+    """Rewrite the source circuit into the native {1Q, CZ-class} set."""
+
+    name = "transpile"
+
+    def run(self, ctx: CompileContext) -> None:
+        ctx.native = transpile_to_native(ctx.circuit)
+
+
+class BlockPartitionPass:
+    """Split the native circuit into commuting CZ blocks + 1Q gaps."""
+
+    name = "block_partition"
+
+    def run(self, ctx: CompileContext) -> None:
+        ctx.require("native")
+        ctx.partition = partition_into_blocks(ctx.native)
+
+
+class ArchitecturePass:
+    """Default the target machine from the circuit width.
+
+    A caller-supplied architecture is honoured verbatim; the
+    storage-zone requirement is checked either way.
+
+    Args:
+        with_storage: ``config -> bool``, whether the default floor plan
+            includes a storage zone.
+        num_aods: ``config -> int`` AOD count for the default machine.
+        storage_error: Error message raised when ``with_storage(config)``
+            but the (possibly caller-supplied) machine has no storage.
+    """
+
+    name = "architecture"
+
+    def __init__(
+        self,
+        with_storage: Callable[[Any], bool],
+        num_aods: Callable[[Any], int] = lambda cfg: 1,
+        storage_error: str = "compilation needs a storage zone",
+    ) -> None:
+        self._with_storage = with_storage
+        self._num_aods = num_aods
+        self._storage_error = storage_error
+
+    def run(self, ctx: CompileContext) -> None:
+        ctx.require("native")
+        needs_storage = self._with_storage(ctx.config)
+        if ctx.architecture is None:
+            ctx.architecture = ZonedArchitecture.for_qubits(
+                ctx.native.num_qubits,
+                with_storage=needs_storage,
+                num_aods=self._num_aods(ctx.config),
+                params=ctx.params,
+            )
+        if needs_storage and not ctx.architecture.has_storage:
+            raise ValueError(self._storage_error)
+
+
+class InitialLayoutPass:
+    """Default starting placement: row-major or simulated-annealed.
+
+    A caller-supplied layout is honoured verbatim.
+
+    Args:
+        home_zone: ``config -> Zone`` the initial placement lives in.
+        annealed: ``config -> bool``, use the annealing placement.
+        iterations: ``config -> int | None`` annealing budget per qubit
+            (``None`` keeps :func:`annealed_layout`'s default).
+        fresh_rng: Seed a private RNG from ``config.seed`` instead of
+            consuming the context stream (PowerMove's historical
+            behaviour; Enola's annealing shares ``ctx.rng`` with its MIS
+            scheduler).
+    """
+
+    name = "initial_layout"
+
+    def __init__(
+        self,
+        home_zone: Callable[[Any], Zone],
+        annealed: Callable[[Any], bool],
+        iterations: Callable[[Any], int | None] = lambda cfg: None,
+        fresh_rng: bool = False,
+    ) -> None:
+        self._home_zone = home_zone
+        self._annealed = annealed
+        self._iterations = iterations
+        self._fresh_rng = fresh_rng
+
+    def run(self, ctx: CompileContext) -> None:
+        if ctx.initial_layout is not None:
+            return
+        ctx.require("native", "architecture")
+        cfg = ctx.config
+        zone = self._home_zone(cfg)
+        if self._annealed(cfg):
+            rng = make_rng(cfg.seed) if self._fresh_rng else ctx.rng
+            kwargs: dict[str, Any] = {}
+            budget = self._iterations(cfg)
+            if budget is not None:
+                kwargs["iterations_per_qubit"] = budget
+            ctx.initial_layout = annealed_layout(
+                ctx.architecture, ctx.native, zone=zone, rng=rng, **kwargs
+            )
+        else:
+            ctx.initial_layout = row_major_layout(
+                ctx.architecture, ctx.native.num_qubits, zone
+            )
+
+
+class EmitProgramPass:
+    """Assemble the final program from per-block instruction streams.
+
+    Interleaves the partition's 1Q gap layers with each block's
+    movement/Rydberg instructions, exactly as the monolithic compilers
+    did.  Backends that retarget 1Q gates (Atomique) pre-compute
+    ``ctx.gap_layers`` instead; when set it wins over the raw gaps.
+
+    Args:
+        metadata: ``ctx -> dict`` building the program metadata (each
+            backend keeps its historical key set).
+    """
+
+    name = "emit_program"
+
+    def __init__(
+        self, metadata: Callable[[CompileContext], dict]
+    ) -> None:
+        self._metadata = metadata
+
+    def _gap_layer(self, ctx: CompileContext, index: int):
+        if ctx.gap_layers is not None:
+            return ctx.gap_layers[index]
+        gap = ctx.partition.one_qubit_gaps[index]
+        return OneQubitLayer(list(gap)) if gap else None
+
+    def run(self, ctx: CompileContext) -> None:
+        ctx.require(
+            "partition", "architecture", "initial_layout",
+            "block_instructions",
+        )
+        instructions: list = []
+        for block in ctx.partition.blocks:
+            gap_layer = self._gap_layer(ctx, block.index)
+            if gap_layer is not None:
+                instructions.append(gap_layer)
+            instructions.extend(ctx.block_instructions[block.index])
+        trailing = self._gap_layer(ctx, ctx.partition.num_blocks)
+        if trailing is not None:
+            instructions.append(trailing)
+        ctx.program = NAProgram(
+            architecture=ctx.architecture,
+            initial_layout=ctx.initial_layout,
+            instructions=instructions,
+            source_name=ctx.circuit.name,
+            compiler_name=ctx.compiler_name,
+            metadata=self._metadata(ctx),
+        )
+
+
+__all__ = [
+    "ArchitecturePass",
+    "BlockPartitionPass",
+    "EmitProgramPass",
+    "InitialLayoutPass",
+    "TranspilePass",
+]

@@ -1,0 +1,139 @@
+"""PowerMove's schedule/route/batch passes (paper Sec. 4-6).
+
+The monolithic ``PowerMoveCompiler.compile`` loop decomposes into three
+passes with clean hand-offs:
+
+* :class:`StageSchedulePass` (Sec. 4) -- per block, the greedy-colouring
+  stage partition plus the zone-aware stage ordering;
+* :class:`ContinuousRoutePass` (Sec. 5) -- per stage, the direct
+  layout-to-layout transition, replayed against an evolving layout copy;
+* :class:`CollMoveBatchPass` (Sec. 5.3 + Sec. 6) -- per stage, the 1Q
+  moves grouped into AOD-compatible CollMoves and scheduled into ordered
+  parallel batches, interleaved with the Rydberg stages.
+
+The decomposition is bit-exact with the historical monolith: grouping
+and batching read only each stage's move list, never the layout, so
+hoisting them out of the routing loop cannot change any decision.
+"""
+
+from __future__ import annotations
+
+from ..core.collmove_scheduler import schedule_coll_moves
+from ..core.continuous_router import ContinuousRouter
+from ..core.stage_scheduler import schedule_block
+from ..hardware.moves import group_moves
+from ..schedule.instructions import RydbergStage
+from ..utils.rng import make_rng
+from .context import CompileContext
+
+
+class StageSchedulePass:
+    """Stage Scheduler (Sec. 4): blocks -> ordered Rydberg stages."""
+
+    name = "stage_schedule"
+
+    def run(self, ctx: CompileContext) -> None:
+        ctx.require("partition")
+        cfg = ctx.config
+        ctx.block_stages = [
+            schedule_block(
+                block,
+                alpha=cfg.alpha,
+                reorder=cfg.use_storage and cfg.reorder_stages,
+                ordering=cfg.stage_ordering,
+            )
+            for block in ctx.partition.blocks
+        ]
+
+
+class ContinuousRoutePass:
+    """Continuous Router (Sec. 5): per-stage direct layout transitions.
+
+    Routes every stage against a layout copy that evolves as each
+    stage's moves are applied, mirroring execution order.  Draws its
+    randomness from a private ``make_rng(config.seed)`` stream (the
+    historical router stream, independent of the placement stream).
+    """
+
+    name = "continuous_route"
+
+    def run(self, ctx: CompileContext) -> None:
+        ctx.require("architecture", "initial_layout", "block_stages")
+        cfg = ctx.config
+        router = ContinuousRouter(
+            ctx.architecture, cfg.use_storage, make_rng(cfg.seed)
+        )
+        layout = ctx.initial_layout.copy()
+        routed_stages: list[list] = []
+        total_moves = 0
+        for stages in ctx.block_stages:
+            per_block = []
+            for stage in stages:
+                pairs = [(g.qubits[0], g.qubits[1]) for g in stage.gates]
+                routed = router.route_stage(layout, pairs)
+                layout.apply_moves(routed.moves)
+                per_block.append(routed)
+                total_moves += routed.num_moves
+            routed_stages.append(per_block)
+        ctx.routed_stages = routed_stages
+        ctx.counters["num_single_moves"] = total_moves
+
+
+class CollMoveBatchPass:
+    """Coll-Move grouping + scheduling (Sec. 5.3, Sec. 6).
+
+    Groups each stage's 1Q moves into CollMoves, schedules them into
+    ordered parallel batches, and interleaves the batches with the
+    Rydberg stage instructions, per block.
+    """
+
+    name = "collmove_batch"
+
+    def run(self, ctx: CompileContext) -> None:
+        ctx.require("block_stages", "routed_stages")
+        cfg = ctx.config
+        block_instructions: list[list] = []
+        total_stages = 0
+        total_coll_moves = 0
+        for stages, routed_list in zip(ctx.block_stages, ctx.routed_stages):
+            instructions: list = []
+            for stage, routed in zip(stages, routed_list):
+                groups = group_moves(
+                    routed.moves,
+                    distance_aware=cfg.distance_aware_grouping,
+                )
+                batches = schedule_coll_moves(
+                    groups,
+                    num_aods=cfg.num_aods,
+                    prioritize_move_ins=cfg.intra_stage_ordering,
+                )
+                instructions.extend(batches)
+                instructions.append(RydbergStage(gates=list(stage.gates)))
+                total_stages += 1
+                total_coll_moves += len(groups)
+            block_instructions.append(instructions)
+        ctx.block_instructions = block_instructions
+        ctx.counters["num_stages"] = total_stages
+        ctx.counters["num_coll_moves"] = total_coll_moves
+
+
+def powermove_metadata(ctx: CompileContext) -> dict:
+    """Historical PowerMove program metadata (key order preserved)."""
+    cfg = ctx.config
+    return {
+        "num_blocks": ctx.partition.num_blocks,
+        "num_stages": ctx.counters["num_stages"],
+        "num_single_moves": ctx.counters["num_single_moves"],
+        "num_coll_moves": ctx.counters["num_coll_moves"],
+        "use_storage": cfg.use_storage,
+        "num_aods": cfg.num_aods,
+        "alpha": cfg.alpha,
+    }
+
+
+__all__ = [
+    "CollMoveBatchPass",
+    "ContinuousRoutePass",
+    "StageSchedulePass",
+    "powermove_metadata",
+]

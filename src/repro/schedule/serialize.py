@@ -24,6 +24,7 @@ equivalent program (same machine, layout, instruction stream).
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any
 
@@ -217,6 +218,21 @@ def program_from_dict(doc: dict[str, Any]) -> NAProgram:
     )
 
 
+def program_digest(program: NAProgram) -> str:
+    """SHA-256 over the canonical JSON encoding of a program.
+
+    Two programs share a digest iff their serialized documents are
+    bit-identical (same machine, layout, instruction stream, metadata).
+    Computed with :mod:`hashlib` over sorted-key, no-whitespace JSON --
+    never Python's salted ``hash()`` -- so digests are stable across
+    processes and interpreter runs.
+    """
+    payload = json.dumps(
+        program_to_dict(program), separators=(",", ":"), sort_keys=True
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def dump_program(program: NAProgram, path: str, indent: int = 1) -> None:
     """Write a program to a JSON file."""
     with open(path, "w", encoding="utf-8") as handle:
@@ -235,6 +251,7 @@ __all__ = [
     "SerializationError",
     "dump_program",
     "load_program",
+    "program_digest",
     "program_from_dict",
     "program_to_dict",
 ]

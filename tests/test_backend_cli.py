@@ -1,0 +1,215 @@
+"""CLI tests for backend selection: ``repro backends``, ``--backend``
+flags and backend-keyed batch manifests."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine import (
+    CompileJob,
+    ManifestError,
+    job_cache_key,
+    parse_manifest,
+)
+from repro.pipeline import available_backends
+
+
+@pytest.fixture
+def backend_manifest(tmp_path):
+    path = tmp_path / "manifest.json"
+    path.write_text(
+        json.dumps(
+            {
+                "jobs": [
+                    {
+                        "benchmark": "BV-14",
+                        "backend": "enola",
+                        "enola": {
+                            "mis_restarts": 1,
+                            "sa_iterations_per_qubit": 0,
+                        },
+                    },
+                    {"benchmark": "BV-14", "backend": "powermove"},
+                ]
+            }
+        )
+    )
+    return str(path)
+
+
+class TestBackendsCommand:
+    def test_lists_every_backend_with_knobs(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in available_backends():
+            assert name in out
+        assert "config PowerMoveConfig" in out
+        assert "passes:" in out
+        assert "mis_schedule" in out
+
+
+class TestBackendFlags:
+    def test_bench_backend_selection(self, capsys):
+        code = main(
+            [
+                "bench",
+                "BV-14",
+                "--backend",
+                "powermove",
+                "--backend",
+                "powermove-nonstorage",
+                "--sa-iterations",
+                "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "powermove-nonstorage" in out
+        assert "fid=" in out
+
+    def test_table3_ablation_backend(self, capsys):
+        code = main(
+            [
+                "table3",
+                "--keys",
+                "BV-14",
+                "--backend",
+                "powermove-noreorder",
+                "--mis-restarts",
+                "1",
+                "--sa-iterations",
+                "0",
+            ]
+        )
+        assert code == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_fig7_backend(self, capsys):
+        code = main(
+            [
+                "fig7",
+                "--keys",
+                "BV-14",
+                "--aod-counts",
+                "1",
+                "--backend",
+                "powermove-nointra",
+            ]
+        )
+        assert code == 0
+        assert "Figure 7" in capsys.readouterr().out
+
+    def test_fig7_rejects_backend_without_aod_knob(self):
+        from repro.analysis import figure7_series
+
+        with pytest.raises(ValueError, match="num_aods"):
+            figure7_series(
+                keys=("BV-14",), aod_counts=(1, 2), backend="atomique"
+            )
+
+
+class TestBackendManifests:
+    def test_batch_with_backend_jobs(self, backend_manifest, capsys):
+        assert main(["batch", backend_manifest]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["num_jobs"] == 2
+        by_scenario = {r["scenario"]: r for r in doc["results"]}
+        assert set(by_scenario) == {"enola", "powermove"}
+        # Same circuit, different backend -> different cache keys.
+        assert (
+            by_scenario["enola"]["cache_key"]
+            != by_scenario["powermove"]["cache_key"]
+        )
+
+    def test_backend_key_matches_legacy_scenario_key(self):
+        via_backend = job_cache_key(
+            CompileJob(backend="powermove", benchmark="BV-14")
+        )
+        via_scenario = job_cache_key(
+            CompileJob(scenario="pm_with_storage", benchmark="BV-14")
+        )
+        assert via_backend == via_scenario
+
+    def test_legacy_manifest_without_backend_still_parses(self):
+        jobs = parse_manifest([{"benchmark": "BV-14"}])
+        assert [job.scenario for job in jobs] == [
+            "enola",
+            "pm_non_storage",
+            "pm_with_storage",
+        ]
+        assert jobs[2].backend_name == "powermove"
+
+    def test_backends_default_applies(self):
+        jobs = parse_manifest(
+            {
+                "defaults": {"backends": ["atomique"]},
+                "jobs": [{"benchmark": "BV-14"}],
+            }
+        )
+        assert [job.backend for job in jobs] == ["atomique"]
+
+    def test_entry_scenario_overrides_backend_default(self):
+        jobs = parse_manifest(
+            {
+                "defaults": {"backends": ["atomique"]},
+                "jobs": [{"benchmark": "BV-14", "scenario": "enola"}],
+            }
+        )
+        assert [job.scenario for job in jobs] == ["enola"]
+
+    def test_atomique_config_override(self):
+        [job] = parse_manifest(
+            [
+                {
+                    "benchmark": "BV-14",
+                    "backend": "atomique",
+                    "atomique": {"sa_iterations_per_qubit": 0},
+                }
+            ]
+        )
+        assert job.atomique_config.sa_iterations_per_qubit == 0
+
+    @pytest.mark.parametrize(
+        "doc,message",
+        [
+            (
+                [{"benchmark": "BV-14", "backend": "warp"}],
+                "unknown backend",
+            ),
+            (
+                [
+                    {
+                        "benchmark": "BV-14",
+                        "scenario": "enola",
+                        "backend": "enola",
+                    }
+                ],
+                "only one of",
+            ),
+            (
+                [{"benchmark": "BV-14", "backends": "enola"}],
+                "'backends' must be a list",
+            ),
+            (
+                {
+                    "defaults": {"backend": "enola"},
+                    "jobs": [{"benchmark": "BV-14"}],
+                },
+                "use 'backends'",
+            ),
+            (
+                {
+                    "defaults": {
+                        "backends": ["enola"],
+                        "scenarios": ["enola"],
+                    },
+                    "jobs": [{"benchmark": "BV-14"}],
+                },
+                "not both",
+            ),
+        ],
+    )
+    def test_malformed_backend_manifests(self, doc, message):
+        with pytest.raises(ManifestError, match=message):
+            parse_manifest(doc)

@@ -1,0 +1,71 @@
+"""Conformance suite: every registered backend honours the contract.
+
+For each backend in the default registry, compiling a small circuit
+must produce (1) a validator-clean program, (2) a bit-identical digest
+across two independent runs, and (3) populated per-pass timing stats.
+New backends get all three checks for free by registering.
+"""
+
+import pytest
+
+from repro.circuits.generators import qaoa_regular
+from repro.pipeline import REGISTRY, create_compiler, get_backend
+from repro.schedule import validate_program
+from repro.schedule.serialize import program_digest
+
+#: Small-but-nontrivial workload: parallel structure, 1Q gaps, 2Q blocks.
+WORKLOAD = qaoa_regular(8, degree=3, seed=1)
+
+#: Cheap per-backend knobs so the whole suite stays fast.
+FAST_OVERRIDES = {
+    "enola": {"mis_restarts": 1, "sa_iterations_per_qubit": 5},
+    "enola-naive-storage": {"mis_restarts": 1, "sa_iterations_per_qubit": 5},
+    "atomique": {"sa_iterations_per_qubit": 5},
+}
+
+ALL_BACKENDS = REGISTRY.names()
+
+
+def _compiler(name: str):
+    spec = get_backend(name)
+    overrides = FAST_OVERRIDES.get(name)
+    config = (
+        spec.config_cls(**overrides)
+        if overrides
+        else spec.default_config()
+    )
+    return create_compiler(name, spec.effective_config(config, 0, 1))
+
+
+@pytest.mark.parametrize("name", ALL_BACKENDS)
+class TestBackendConformance:
+    def test_program_is_validator_clean(self, name):
+        spec = get_backend(name)
+        result = _compiler(name).compile(WORKLOAD)
+        source = (
+            result.native_circuit if spec.preserves_gate_stream else None
+        )
+        report = validate_program(result.program, source_circuit=source)
+        assert report.ok
+
+    def test_digest_deterministic_across_runs(self, name):
+        first = _compiler(name).compile(WORKLOAD)
+        second = _compiler(name).compile(WORKLOAD)
+        assert program_digest(first.program) == program_digest(
+            second.program
+        )
+
+    def test_per_pass_stats_populated(self, name):
+        spec = get_backend(name)
+        result = _compiler(name).compile(WORKLOAD)
+        timings = result.stats["pass_timings"]
+        assert tuple(timings) == spec.pipeline.pass_names
+        assert all(seconds >= 0.0 for seconds in timings.values())
+        # The pass timings live alongside the historical metadata keys.
+        assert "num_stages" in result.stats
+
+    def test_compiler_name_stamped(self, name):
+        compiler = _compiler(name)
+        result = compiler.compile(WORKLOAD)
+        assert result.program.compiler_name == compiler.variant_name
+        assert result.compile_time > 0.0

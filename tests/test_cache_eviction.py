@@ -1,0 +1,136 @@
+"""Tests for DiskCache LRU eviction and the ``repro cache`` CLI."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.engine import DiskCache
+
+
+def _doc(payload_bytes: int) -> dict:
+    return {"blob": "x" * payload_bytes}
+
+
+def _age(cache: DiskCache, key: str, seconds: float) -> None:
+    """Backdate an entry's mtime (the LRU recency signal)."""
+    path = os.path.join(cache.directory, f"{key}.json")
+    stamp = time.time() - seconds
+    os.utime(path, (stamp, stamp))
+
+
+class TestDiskCacheEviction:
+    def test_rejects_nonpositive_budget(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            DiskCache(str(tmp_path), max_bytes=0)
+
+    def test_store_evicts_oldest_over_budget(self, tmp_path):
+        cache = DiskCache(str(tmp_path), max_bytes=250)
+        cache.put("aa", _doc(80))
+        _age(cache, "aa", 300)
+        cache.put("bb", _doc(80))
+        _age(cache, "bb", 200)
+        cache.put("cc", _doc(80))
+        # Third store pushed the total over 250 bytes: the oldest entry
+        # goes, the two newer ones stay.
+        assert cache.get("aa") is None
+        assert cache.get("bb") is not None
+        assert cache.get("cc") is not None
+        assert cache.stats.evictions == 1
+        assert cache.total_bytes() <= 250
+
+    def test_read_refreshes_recency(self, tmp_path):
+        cache = DiskCache(str(tmp_path), max_bytes=250)
+        cache.put("aa", _doc(80))
+        cache.put("bb", _doc(80))
+        _age(cache, "aa", 300)
+        _age(cache, "bb", 200)
+        assert cache.get("aa") is not None  # touch: now most recent
+        cache.put("cc", _doc(80))
+        # bb (least recently used) was evicted, not aa.
+        assert cache.get("bb") is None
+        assert cache.get("aa") is not None
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        for index in range(5):
+            cache.put(f"k{index}", _doc(100))
+        assert len(cache) == 5
+        assert cache.stats.evictions == 0
+
+    def test_prune_with_explicit_budget(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        for index in range(4):
+            cache.put(f"k{index}", _doc(100))
+            _age(cache, f"k{index}", 400 - index * 100)
+        total = cache.total_bytes()
+        report = cache.prune(total // 2)
+        assert report.removed_entries >= 1
+        assert report.remaining_bytes <= total // 2
+        assert report.remaining_bytes == cache.total_bytes()
+        # Oldest-first: the newest entry survives.
+        assert cache.get("k3") is not None
+
+    def test_prune_to_zero_empties_cache(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        cache.put("aa", _doc(50))
+        report = cache.prune(0)
+        assert report.removed_entries == 1
+        assert report.remaining_entries == 0
+        assert len(cache) == 0
+
+    def test_prune_without_budget_reports_only(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        cache.put("aa", _doc(50))
+        report = cache.prune()
+        assert report.removed_entries == 0
+        assert report.remaining_entries == 1
+
+    def test_eviction_ignores_foreign_files(self, tmp_path):
+        cache = DiskCache(str(tmp_path), max_bytes=100)
+        keep = tmp_path / "README.txt"
+        keep.write_text("not a cache entry")
+        cache.put("aa", _doc(300))
+        cache.put("bb", _doc(10))
+        assert keep.exists()
+
+
+class TestCacheCli:
+    def _populate(self, tmp_path) -> str:
+        directory = str(tmp_path / "cache")
+        cache = DiskCache(directory)
+        cache.put("aa", _doc(100))
+        cache.put("bb", _doc(100))
+        _age(cache, "aa", 500)
+        return directory
+
+    def test_cache_info(self, tmp_path, capsys):
+        directory = self._populate(tmp_path)
+        assert main(["cache", "info", "--cache-dir", directory]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries" in out
+
+    def test_cache_prune_to_budget(self, tmp_path, capsys):
+        directory = self._populate(tmp_path)
+        code = main(
+            ["cache", "prune", "--cache-dir", directory,
+             "--max-bytes", "150"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "removed 1 entries" in out
+        # LRU: the backdated entry went first.
+        assert not os.path.exists(os.path.join(directory, "aa.json"))
+        assert os.path.exists(os.path.join(directory, "bb.json"))
+
+    def test_cache_prune_default_removes_all(self, tmp_path, capsys):
+        directory = self._populate(tmp_path)
+        assert main(["cache", "prune", "--cache-dir", directory]) == 0
+        assert "removed 2 entries" in capsys.readouterr().out
+        assert json.loads("[]") == [
+            name
+            for name in os.listdir(directory)
+            if name.endswith(".json")
+        ]

@@ -1,8 +1,5 @@
 """Tests for the batch compilation engine (jobs, cache, fan-out)."""
 
-import json
-import os
-
 import pytest
 
 from repro.baselines import EnolaConfig

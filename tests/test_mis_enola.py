@@ -6,7 +6,7 @@ import pytest
 
 from repro.baselines import EnolaCompiler, EnolaConfig
 from repro.baselines.mis import best_mis, greedy_mis, mis_stage_partition
-from repro.circuits import Circuit, partition_into_blocks, transpile_to_native
+from repro.circuits import Circuit, partition_into_blocks
 from repro.circuits.generators import (
     bernstein_vazirani,
     qaoa_regular,

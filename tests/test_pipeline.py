@@ -1,0 +1,289 @@
+"""Tests for the pass pipeline, the backend registry and the facades."""
+
+import pytest
+
+from repro.baselines import (
+    AtomiqueConfig,
+    AtomiqueLikeCompiler,
+    EnolaCompiler,
+    EnolaConfig,
+)
+from repro.circuits.generators import bernstein_vazirani, qaoa_regular
+from repro.core import PowerMoveCompiler, PowerMoveConfig
+from repro.engine import CompileJob, JobError, effective_config
+from repro.pipeline import (
+    REGISTRY,
+    BackendError,
+    BackendRegistry,
+    BackendSpec,
+    CompileContext,
+    Pipeline,
+    create_compiler,
+    get_backend,
+)
+from repro.schedule.serialize import program_digest
+
+FAST_ENOLA = EnolaConfig(seed=0, mis_restarts=1, sa_iterations_per_qubit=5)
+FAST_ATOMIQUE = AtomiqueConfig(seed=0, sa_iterations_per_qubit=5)
+
+
+class _AddOne:
+    name = "add_one"
+
+    def run(self, ctx):
+        ctx.counters["value"] = ctx.counters.get("value", 0) + 1
+
+
+class TestPipeline:
+    def test_runs_passes_in_order_with_timings(self):
+        class First:
+            name = "first"
+
+            def run(self, ctx):
+                ctx.counters["order"] = ["first"]
+
+        class Second:
+            name = "second"
+
+            def run(self, ctx):
+                ctx.counters["order"].append("second")
+
+        pipeline = Pipeline([First(), Second()], name="demo")
+        ctx = CompileContext(circuit=None, config=None)
+        ctx = pipeline.run(ctx)
+        assert ctx.counters["order"] == ["first", "second"]
+        assert list(ctx.pass_timings) == ["first", "second"]
+        assert all(t >= 0.0 for t in ctx.pass_timings.values())
+
+    def test_rejects_empty_and_duplicate_names(self):
+        with pytest.raises(ValueError, match="at least one pass"):
+            Pipeline([])
+        with pytest.raises(ValueError, match="duplicate pass name"):
+            Pipeline([_AddOne(), _AddOne()])
+
+    def test_pass_names_property(self):
+        pipeline = Pipeline([_AddOne()])
+        assert pipeline.pass_names == ("add_one",)
+        assert len(pipeline) == 1
+
+    def test_context_require_names_missing_field(self):
+        ctx = CompileContext(circuit=None, config=None)
+        with pytest.raises(ValueError, match="native"):
+            ctx.require("native")
+
+
+class TestRegistry:
+    def test_default_backends_registered(self):
+        names = REGISTRY.names()
+        for expected in (
+            "powermove",
+            "powermove-nonstorage",
+            "powermove-noreorder",
+            "powermove-fifo-grouping",
+            "powermove-nointra",
+            "enola",
+            "enola-naive-storage",
+            "atomique",
+        ):
+            assert expected in names
+
+    def test_unknown_backend_error_lists_known(self):
+        with pytest.raises(BackendError, match="unknown backend"):
+            get_backend("warp-drive")
+
+    def test_no_silent_reregistration(self):
+        registry = BackendRegistry()
+        spec = get_backend("powermove")
+        registry.register(spec)
+        with pytest.raises(BackendError, match="already registered"):
+            registry.register(spec)
+        registry.register(spec, replace=True)
+        assert len(registry) == 1
+
+    def test_create_rejects_wrong_config_type(self):
+        with pytest.raises(BackendError, match="expects a"):
+            create_compiler("powermove", FAST_ENOLA)
+
+    def test_explicit_config_is_normalised_to_backend(self):
+        # The backend name wins over contradicting override fields; the
+        # caller's seed/num_aods survive.
+        compiler = create_compiler(
+            "powermove-nonstorage",
+            PowerMoveConfig(use_storage=True, seed=7, num_aods=2),
+        )
+        assert compiler.config.use_storage is False
+        assert compiler.config.seed == 7
+        assert compiler.config.num_aods == 2
+        assert (
+            create_compiler(
+                "powermove-noreorder", PowerMoveConfig(seed=1)
+            ).config.reorder_stages
+            is False
+        )
+        assert (
+            create_compiler(
+                "enola-naive-storage", EnolaConfig(seed=2)
+            ).config.naive_storage
+            is True
+        )
+
+    def test_config_knobs_reflect_forced_fields(self):
+        knobs = get_backend("powermove-noreorder").config_knobs
+        assert knobs["reorder_stages"] is False
+        assert knobs["use_storage"] is True
+        assert get_backend("enola-naive-storage").config_knobs[
+            "naive_storage"
+        ]
+
+    def test_ablation_backend_differs_from_plain(self):
+        # BV circuits are too sequential for the ablations to matter;
+        # QAOA has enough parallel structure that each one changes the
+        # schedule.
+        circuit = qaoa_regular(12, degree=3, seed=1)
+        plain = create_compiler("powermove").compile(circuit)
+        ablated = create_compiler("powermove-noreorder").compile(circuit)
+        assert plain.program.num_stages == ablated.program.num_stages
+        assert (
+            program_digest(plain.program)
+            != program_digest(ablated.program)
+        )
+
+
+class TestFacadeEquivalence:
+    """The facades and the registry produce bit-identical programs."""
+
+    def test_powermove_facade_matches_registry(self):
+        circuit = qaoa_regular(10, degree=3, seed=1)
+        for use_storage, backend in (
+            (True, "powermove"),
+            (False, "powermove-nonstorage"),
+        ):
+            config = PowerMoveConfig(use_storage=use_storage, seed=0)
+            facade = PowerMoveCompiler(config).compile(circuit)
+            direct = create_compiler(backend, config).compile(circuit)
+            assert program_digest(facade.program) == program_digest(
+                direct.program
+            )
+
+    def test_enola_facade_matches_registry(self):
+        circuit = bernstein_vazirani(8, seed=0)
+        facade = EnolaCompiler(FAST_ENOLA).compile(circuit)
+        direct = create_compiler("enola", FAST_ENOLA).compile(circuit)
+        assert program_digest(facade.program) == program_digest(
+            direct.program
+        )
+
+    def test_atomique_facade_matches_registry(self):
+        circuit = bernstein_vazirani(6, seed=0)
+        facade = AtomiqueLikeCompiler(FAST_ATOMIQUE).compile(circuit)
+        direct = create_compiler("atomique", FAST_ATOMIQUE).compile(
+            circuit
+        )
+        assert program_digest(facade.program) == program_digest(
+            direct.program
+        )
+
+    def test_facade_backend_names(self):
+        assert PowerMoveCompiler().backend_name == "powermove"
+        assert (
+            PowerMoveCompiler(
+                PowerMoveConfig(use_storage=False)
+            ).backend_name
+            == "powermove-nonstorage"
+        )
+        assert EnolaCompiler().backend_name == "enola"
+        assert (
+            EnolaCompiler(
+                EnolaConfig(naive_storage=True)
+            ).backend_name
+            == "enola-naive-storage"
+        )
+        assert AtomiqueLikeCompiler().backend_name == "atomique"
+
+
+class TestBackendJobs:
+    def test_job_accepts_backend_name(self):
+        job = CompileJob(backend="atomique", benchmark="BV-14")
+        assert job.backend_name == "atomique"
+        assert job.scenario_key == "atomique"
+        assert job.label.startswith("BV-14:atomique")
+
+    def test_job_scenario_maps_to_backend(self):
+        job = CompileJob(scenario="pm_with_storage", benchmark="BV-14")
+        assert job.backend_name == "powermove"
+        assert (
+            CompileJob(
+                scenario="pm_non_storage", benchmark="BV-14"
+            ).backend_name
+            == "powermove-nonstorage"
+        )
+
+    def test_job_needs_exactly_one_of_scenario_backend(self):
+        with pytest.raises(JobError, match="scenario or backend"):
+            CompileJob(benchmark="BV-14")
+        with pytest.raises(JobError, match="scenario or backend"):
+            CompileJob(
+                scenario="enola", backend="enola", benchmark="BV-14"
+            )
+
+    def test_job_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            CompileJob(backend="warp", benchmark="BV-14")
+
+    def test_effective_config_for_backend_jobs(self):
+        job = CompileJob(
+            backend="powermove-nointra", benchmark="BV-14", seed=4
+        )
+        config = effective_config(job)
+        assert isinstance(config, PowerMoveConfig)
+        assert config.intra_stage_ordering is False
+        assert config.seed == 4
+        atomique = effective_config(
+            CompileJob(backend="atomique", benchmark="BV-14", seed=9)
+        )
+        assert isinstance(atomique, AtomiqueConfig)
+        assert atomique.seed == 9
+
+    def test_per_pass_timings_in_stats(self):
+        circuit = bernstein_vazirani(6, seed=0)
+        result = PowerMoveCompiler(PowerMoveConfig(seed=0)).compile(
+            circuit
+        )
+        timings = result.stats["pass_timings"]
+        assert list(timings) == [
+            "transpile",
+            "block_partition",
+            "architecture",
+            "initial_layout",
+            "stage_schedule",
+            "continuous_route",
+            "collmove_batch",
+            "emit_program",
+        ]
+        assert all(value >= 0.0 for value in timings.values())
+
+
+class TestCustomBackend:
+    def test_registering_a_variant_end_to_end(self):
+        spec = get_backend("powermove")
+        registry = BackendRegistry()
+        registry.register(
+            BackendSpec(
+                name="powermove-degree",
+                description="static degree-ordered colouring",
+                config_cls=spec.config_cls,
+                pipeline=spec.pipeline,
+                variant_name=spec.variant_name,
+                effective_config=lambda override, seed, num_aods: (
+                    PowerMoveConfig(
+                        seed=seed,
+                        num_aods=num_aods,
+                        stage_ordering="degree",
+                    )
+                ),
+            )
+        )
+        compiler = registry.create("powermove-degree")
+        assert compiler.config.stage_ordering == "degree"
+        result = compiler.compile(bernstein_vazirani(6, seed=0))
+        assert result.program.num_stages > 0

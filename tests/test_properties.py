@@ -8,7 +8,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.circuits import Circuit, parse_qasm, partition_into_blocks, to_qasm
-from repro.circuits.gates import Gate
 from repro.core.continuous_router import ContinuousRouter
 from repro.core.stage_scheduler import partition_stages
 from repro.hardware import (

@@ -14,7 +14,6 @@ from repro.fidelity import FidelityModel
 from repro.fidelity.timeline import ExecutionTimeline
 from repro.hardware import (
     DEFAULT_PARAMS,
-    CollMove,
     HardwareParams,
     Move,
     ZonedArchitecture,
