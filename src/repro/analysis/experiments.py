@@ -59,7 +59,17 @@ class ScenarioResult:
 
     @classmethod
     def from_job_result(cls, job_result: JobResult) -> "ScenarioResult":
-        """Adapt one engine result into a scenario row."""
+        """Adapt one engine result into a scenario row.
+
+        Error results (fail-soft ``on_error="collect"`` engines) cannot
+        be tabulated; they raise with the failure's index and key so a
+        misconfigured sweep fails loudly instead of averaging nothing.
+        """
+        if not job_result.ok:
+            raise ValueError(
+                "cannot tabulate a failed compilation: "
+                + job_result.error.describe()
+            )
         return cls(
             scenario=job_result.scenario,
             compiler_name=job_result.program.compiler_name,

@@ -200,6 +200,12 @@ def figure7_series(
     ]
     effective_engine = engine or CompilationEngine()
     job_results = effective_engine.run(jobs)
+    for result in job_results:
+        if not result.ok:
+            raise ValueError(
+                "cannot tabulate a failed compilation: "
+                + result.error.describe()
+            )
     width = len(aod_counts)
     for position, key in enumerate(keys):
         chunk = job_results[position * width : (position + 1) * width]

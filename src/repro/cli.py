@@ -3,7 +3,8 @@
 Commands:
     compile    Compile an OpenQASM 2.0 file for a zoned NA machine.
     bench      Run one Table 2 benchmark through all three scenarios.
-    batch      Compile a JSON job manifest (parallel, cached).
+    batch      Compile a JSON job manifest (parallel, cached, shardable).
+    merge      Reassemble per-shard batch result files into one document.
     backends   List the registered compiler backends and their knobs.
     cache      On-disk compiled-program cache maintenance (prune/info).
     table2     Print the Table 2 reproduction.
@@ -20,6 +21,13 @@ persists compiled programs in a content-addressed on-disk cache.
 Compilers resolve through the backend registry: ``--backend`` selects
 variants by name (``repro backends`` lists them).
 
+``batch`` additionally supports fail-soft sweeps
+(``--on-error collect`` turns job failures into error records instead
+of aborting the batch), streaming delivery (``--stream`` emits one
+NDJSON record per job on stdout, in completion order), and
+deterministic sharding (``--shard I/N`` compiles the ``I``-th of ``N``
+round-robin manifest slices; ``merge`` reassembles the shard outputs).
+
 Examples:
     python -m repro compile circuit.qasm --no-storage --trace
     python -m repro bench BV-14
@@ -27,6 +35,9 @@ Examples:
     python -m repro table3 --keys BV-14 VQE-30 --workers 4
     python -m repro fig7 --backend powermove-noreorder
     python -m repro batch manifest.json --workers 4 --cache-dir .cache
+    python -m repro batch manifest.json --on-error collect --stream
+    python -m repro batch manifest.json --shard 1/2 --output s1.json
+    python -m repro merge s1.json s2.json --output results.json
     python -m repro cache prune --cache-dir .cache --max-bytes 50000000
 """
 
@@ -50,19 +61,27 @@ from .benchsuite import SUITE, get_benchmark
 from .circuits import load_qasm
 from .core import PowerMoveCompiler, PowerMoveConfig
 from .engine import (
+    BATCH_RESULTS_FORMAT,
+    BATCH_RESULTS_VERSION,
     CompilationEngine,
     DiskCache,
+    EngineError,
     ManifestError,
     MemoryCache,
-    load_manifest,
+    ShardError,
+    ShardPlan,
+    job_record,
+    manifest_digest,
+    merge_result_docs,
+    parse_manifest,
+    read_manifest,
+    results_doc,
 )
 from .fidelity import evaluate_program
 from .schedule import validate_program
 from .schedule.serialize import dump_program
 
-#: Schema identity of the ``batch`` command's result document.
-BATCH_RESULTS_FORMAT = "repro-batch-results"
-BATCH_RESULTS_VERSION = 1
+__all__ = ["BATCH_RESULTS_FORMAT", "BATCH_RESULTS_VERSION", "main"]
 
 
 def _make_engine(
@@ -250,10 +269,34 @@ def _cmd_cache_info(args: argparse.Namespace) -> int:
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     try:
-        jobs = load_manifest(args.manifest)
+        manifest_doc = read_manifest(args.manifest)
+        jobs = parse_manifest(manifest_doc)
     except ManifestError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    shard = None
+    if args.shard:
+        try:
+            shard = ShardPlan.parse(args.shard)
+        except ShardError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        pairs = shard.select(jobs)
+        if not pairs:
+            # Manifest smaller than the shard count: still a valid
+            # (empty) shard, so fixed N-lane automation works on any
+            # manifest size; merge coverage comes from the other shards.
+            print(
+                f"note: shard {shard.spec} selects none of the "
+                f"{len(jobs)} manifest jobs; writing an empty shard "
+                "document",
+                file=sys.stderr,
+            )
+    else:
+        pairs = list(enumerate(jobs))
+    global_indices = [index for index, _ in pairs]
+    run_jobs = [job for _, job in pairs]
 
     progress = None
     if args.progress:
@@ -261,7 +304,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
         def progress(event):
             finished[0] += 1
-            status = "hit " if event.cache_hit else "comp"
+            status = (
+                "fail"
+                if event.failed
+                else "hit " if event.cache_hit else "comp"
+            )
             print(
                 f"  [{finished[0]}/{event.total}] {status} "
                 f"{event.job.label} ({event.compile_time * 1e3:.1f} ms)",
@@ -272,49 +319,90 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         DiskCache(args.cache_dir) if args.cache_dir else MemoryCache()
     )
     engine = CompilationEngine(
-        cache=cache, workers=args.workers, progress=progress
+        cache=cache,
+        workers=args.workers,
+        progress=progress,
+        on_error=args.on_error,
     )
     start = time.perf_counter()
-    results = engine.run(jobs)
+    results = []
+    try:
+        if args.stream:
+            for result in engine.stream(run_jobs):
+                record = job_record(
+                    result, global_indices[result.index]
+                )
+                print(
+                    json.dumps(record, separators=(",", ":")),
+                    flush=True,
+                )
+                results.append(result)
+        else:
+            results = engine.run(run_jobs)
+    except EngineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     wall_time = time.perf_counter() - start
 
-    hits = sum(1 for r in results if r.cache_hit)
-    doc = {
-        "format": BATCH_RESULTS_FORMAT,
-        "version": BATCH_RESULTS_VERSION,
-        "num_jobs": len(results),
-        "cache_hits": hits,
-        "cache_misses": len(results) - hits,
-        "wall_time_s": wall_time,
-        "results": [
-            {
-                "benchmark": r.job.workload_name,
-                "scenario": r.scenario,
-                "seed": r.job.seed,
-                "num_aods": r.job.num_aods,
-                "cache_key": r.key,
-                "cache_hit": r.cache_hit,
-                "compile_time_s": r.compile_time,
-                "fidelity": r.fidelity.total,
-                "execution_time_us": r.fidelity.execution_time_us,
-                "num_stages": r.program.num_stages,
-                "num_coll_moves": r.program.num_coll_moves,
-                "num_transfers": r.program.num_transfers,
-            }
-            for r in results
-        ],
-    }
+    doc = results_doc(
+        results,
+        manifest_digest=manifest_digest(manifest_doc),
+        total_jobs=len(jobs),
+        wall_time_s=wall_time,
+        on_error=args.on_error,
+        shard=shard,
+        global_indices=global_indices,
+    )
+    summary = (
+        f"batch: {doc['num_jobs']} jobs, {doc['cache_hits']} cache "
+        f"hits, {doc['cache_misses']} compiled in {wall_time:.2f}s"
+    )
+    if doc["num_failed"]:
+        summary += f", {doc['num_failed']} failed"
+    if shard is not None:
+        summary += f" (shard {shard.spec} of {doc['total_jobs']} jobs)"
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(doc, handle, indent=1)
         print(
-            f"batch: {len(results)} jobs, {hits} cache hits, "
-            f"{len(results) - hits} compiled in {wall_time:.2f}s "
-            f"-> {args.output}"
+            f"{summary} -> {args.output}",
+            file=sys.stderr if args.stream else sys.stdout,
+        )
+    elif not args.stream:
+        print(json.dumps(doc, indent=1))
+    else:
+        print(summary, file=sys.stderr)
+    return 1 if doc["num_failed"] else 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    docs = []
+    for path in args.results:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                docs.append(json.load(handle))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        merged = merge_result_docs(docs)
+    except ShardError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(merged, handle, indent=1)
+        print(
+            f"merged {len(docs)} result files "
+            f"({merged['num_jobs']} jobs, {merged['num_failed']} "
+            f"failed) -> {args.output}"
         )
     else:
-        print(json.dumps(doc, indent=1))
-    return 0
+        print(json.dumps(merged, indent=1))
+    # Mirror `batch`: a merged document carrying failed jobs is an
+    # incomplete sweep, and automation gating on the merge should see
+    # that.
+    return 1 if merged["num_failed"] else 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -437,8 +525,46 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="stream per-job progress lines to stderr",
     )
+    p_batch.add_argument(
+        "--stream",
+        action="store_true",
+        help="emit one NDJSON result record per job on stdout, in "
+        "completion order (suppresses the final document unless "
+        "--output is given)",
+    )
+    p_batch.add_argument(
+        "--on-error",
+        choices=["raise", "collect"],
+        default="raise",
+        help="failure policy: 'raise' aborts on the first failing job "
+        "(cancelling pending work), 'collect' records it and finishes "
+        "the rest (default: raise)",
+    )
+    p_batch.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="compile only the I-th of N deterministic round-robin "
+        "manifest slices (1-based); combine the outputs with "
+        "'repro merge'",
+    )
     _add_engine_options(p_batch)
     p_batch.set_defaults(func=_cmd_batch)
+
+    p_merge = sub.add_parser(
+        "merge",
+        help="reassemble per-shard batch result files into one document",
+    )
+    p_merge.add_argument(
+        "results",
+        nargs="+",
+        help="the per-shard result JSON files (every shard exactly once)",
+    )
+    p_merge.add_argument(
+        "--output",
+        help="write the merged JSON here (default: print to stdout)",
+    )
+    p_merge.set_defaults(func=_cmd_merge)
 
     p_table2 = sub.add_parser("table2", help="print the Table 2 reproduction")
     p_table2.set_defaults(func=_cmd_table2)

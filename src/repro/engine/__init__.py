@@ -3,8 +3,11 @@
 The production-facing entry point for compiling many (circuit, config)
 pairs: describe the work as :class:`CompileJob` batches, hand them to a
 :class:`CompilationEngine` and get deterministic, cacheable,
-process-pool-parallel results.  See ``docs/engine.md`` for the
-architecture sketch and the cache-key definition.
+process-pool-parallel results -- as an ordered list (:meth:`run`) or a
+completion-order stream (:meth:`stream`), fail-fast or fail-soft
+(``on_error``), whole or in deterministic shards (:class:`ShardPlan`)
+merged back with :func:`merge_result_docs`.  See ``docs/engine.md`` for
+the architecture sketch and the cache-key definition.
 """
 
 from .cache import (
@@ -18,8 +21,10 @@ from .cache import (
     job_cache_key,
 )
 from .engine import (
+    ERROR_POLICIES,
     CompilationEngine,
     EngineError,
+    JobFailure,
     JobResult,
     ProgressEvent,
 )
@@ -32,16 +37,37 @@ from .jobs import (
     execute_job,
     job_compiler,
 )
-from .manifest import ManifestError, load_manifest, parse_manifest
+from .manifest import (
+    ManifestError,
+    load_manifest,
+    manifest_digest,
+    parse_manifest,
+    read_manifest,
+)
+from .shard import (
+    BATCH_RESULTS_FORMAT,
+    BATCH_RESULTS_VERSION,
+    ShardError,
+    ShardPlan,
+    docs_equal_modulo_timing,
+    job_record,
+    merge_result_docs,
+    results_doc,
+    strip_timing,
+)
 
 __all__ = [
+    "BATCH_RESULTS_FORMAT",
+    "BATCH_RESULTS_VERSION",
     "CACHE_SCHEMA_VERSION",
+    "ERROR_POLICIES",
     "CacheStats",
     "CompilationEngine",
     "CompileJob",
     "DiskCache",
     "EngineError",
     "JobError",
+    "JobFailure",
     "JobResult",
     "ManifestError",
     "MemoryCache",
@@ -51,10 +77,19 @@ __all__ = [
     "PruneReport",
     "SCENARIOS",
     "SCENARIO_BACKENDS",
+    "ShardError",
+    "ShardPlan",
+    "docs_equal_modulo_timing",
     "effective_config",
     "execute_job",
     "job_cache_key",
     "job_compiler",
+    "job_record",
     "load_manifest",
+    "manifest_digest",
+    "merge_result_docs",
     "parse_manifest",
+    "read_manifest",
+    "results_doc",
+    "strip_timing",
 ]

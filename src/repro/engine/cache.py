@@ -199,6 +199,14 @@ class DiskCache(ProgramCache):
         fd, tmp_path = tempfile.mkstemp(
             dir=self.directory, suffix=".tmp"
         )
+        # A same-key overwrite replaces the old entry, so its size must
+        # leave the running estimate; stat it before os.replace clobbers
+        # it (0 when the key is new).
+        if self.max_bytes is not None:
+            try:
+                replaced_size = os.stat(self._path(key)).st_size
+            except OSError:
+                replaced_size = 0
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(doc, handle)
@@ -217,9 +225,9 @@ class DiskCache(ProgramCache):
                 self._size_estimate = self.total_bytes()
             else:
                 try:
-                    self._size_estimate += os.stat(
-                        self._path(key)
-                    ).st_size
+                    self._size_estimate += (
+                        os.stat(self._path(key)).st_size - replaced_size
+                    )
                 except OSError:
                     self._size_estimate = self.total_bytes()
             if self._size_estimate > self.max_bytes:

@@ -1,8 +1,8 @@
-"""The batch compilation engine: fan-out, caching, progress.
+"""The batch compilation engine: fan-out, caching, streaming, fail-soft.
 
 :class:`CompilationEngine` takes a batch of
 :class:`~repro.engine.jobs.CompileJob` and produces one
-:class:`JobResult` per job, in input order.  For every job it
+:class:`JobResult` per job.  For every job it
 
 1. resolves the workload circuit and derives the content-addressed
    cache key (:func:`repro.engine.cache.job_cache_key`);
@@ -11,11 +11,30 @@
    ``concurrent.futures`` process pool when ``workers > 1`` -- and
    stores the artifact back into the cache.
 
+Two consumption styles:
+
+* :meth:`CompilationEngine.run` -- list of results in submission order;
+* :meth:`CompilationEngine.stream` -- generator of results in
+  *completion* order (cache hits first, then compilations as they
+  finish); each :class:`JobResult` carries its batch ``index`` so
+  callers can restore submission order.
+
+Failure handling is governed by the ``on_error`` policy:
+
+* ``"raise"`` (default, the historical behaviour) -- the first failing
+  job raises :class:`EngineError`; pending pool futures are cancelled
+  promptly so a large batch neither hangs on unstarted work nor
+  silently burns CPU after the batch is doomed.
+* ``"collect"`` (fail-soft) -- a failing job becomes a
+  :class:`JobResult` whose ``error`` is a :class:`JobFailure`
+  (index, label, cache key, exception text); every other job still
+  completes.  This is the mode batch sweeps, streaming delivery and
+  cross-machine sharding build on.
+
 Determinism: jobs carry explicit seeds and the compilers draw all
 randomness from them, so the engine produces bit-identical programs
 regardless of worker count, scheduling order or cache state; only the
-wall-clock ``compile_time`` measurements vary.  Results are always
-returned in submission order.
+wall-clock ``compile_time`` measurements vary.
 
 Progress: pass ``progress=callback`` to observe one
 :class:`ProgressEvent` per finished job, streamed as jobs complete
@@ -26,7 +45,7 @@ from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from ..circuits.transpile import transpile_to_native
 from ..fidelity.model import FidelityModel, FidelityReport
@@ -36,9 +55,49 @@ from ..schedule.validator import validate_program
 from .cache import NullCache, ProgramCache, job_cache_key
 from .jobs import CompileJob, execute_job_on_circuit
 
+#: Valid ``on_error`` policies.
+ERROR_POLICIES = ("raise", "collect")
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Structured description of one failed job.
+
+    Attributes:
+        index: Position of the job in the submitted batch.
+        label: Human-readable job identity (:attr:`CompileJob.label`).
+        key: Content-addressed cache key of the failed job.
+        message: Stringified worker exception.
+        error_type: Exception class name (``"ValidationError"``, ...).
+    """
+
+    index: int
+    label: str
+    key: str
+    message: str
+    error_type: str
+
+    def describe(self) -> str:
+        """One-line failure summary naming index, label and key."""
+        return (
+            f"job {self.index} ({self.label}, key {self.key[:16]}) "
+            f"failed: [{self.error_type}] {self.message}"
+        )
+
 
 class EngineError(RuntimeError):
-    """A job failed inside the engine (wraps the worker exception)."""
+    """A job failed inside the engine (wraps the worker exception).
+
+    Attributes:
+        failure: The :class:`JobFailure` payload (index, label, cache
+            key, exception text) when the failing job is known.
+    """
+
+    def __init__(
+        self, message: str, failure: JobFailure | None = None
+    ) -> None:
+        super().__init__(message)
+        self.failure = failure
 
 
 @dataclass(frozen=True)
@@ -51,6 +110,7 @@ class ProgressEvent:
         job: The finished job.
         cache_hit: Whether the result came from the cache.
         compile_time: ``T_comp`` seconds (the cached measurement on hits).
+        failed: Whether the job failed (``on_error="collect"`` only).
     """
 
     index: int
@@ -58,28 +118,41 @@ class ProgressEvent:
     job: CompileJob
     cache_hit: bool
     compile_time: float
+    failed: bool = False
 
 
 @dataclass
 class JobResult:
-    """Outcome of one job.
+    """Outcome of one job: a compiled program, or a failure record.
 
     Attributes:
         job: The originating job.
+        index: Position of the job in the submitted batch (restores
+            submission order for streamed results).
         key: Content-addressed cache key.
-        program: The compiled program.
+        program: The compiled program (``None`` when the job failed).
         compile_time: Wall-clock compilation seconds (``T_comp``); on a
             cache hit, the time the original compilation took.
-        fidelity: Eq. (1) evaluation under the job's hardware params.
+        fidelity: Eq. (1) evaluation under the job's hardware params
+            (``None`` when the job failed).
         cache_hit: Whether the compilation was skipped.
+        error: :class:`JobFailure` describing the failure, or ``None``
+            on success.
     """
 
     job: CompileJob
+    index: int
     key: str
-    program: NAProgram
+    program: NAProgram | None
     compile_time: float
-    fidelity: FidelityReport
+    fidelity: FidelityReport | None
     cache_hit: bool
+    error: JobFailure | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the job compiled successfully."""
+        return self.error is None
 
     @property
     def scenario(self) -> str:
@@ -99,6 +172,10 @@ class CompilationEngine:
         workers: Process-pool width for cache-missing jobs; ``1``
             compiles serially in-process.
         progress: Per-finished-job callback.
+        on_error: Failure policy -- ``"raise"`` (first failure raises
+            :class:`EngineError`, pending futures cancelled) or
+            ``"collect"`` (failures become error-carrying
+            :class:`JobResult` entries, every other job completes).
 
     Example:
         >>> from repro.engine import CompilationEngine, CompileJob
@@ -115,20 +192,67 @@ class CompilationEngine:
         cache: ProgramCache | None = None,
         workers: int = 1,
         progress: ProgressCallback | None = None,
+        on_error: str = "raise",
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
+        if on_error not in ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {ERROR_POLICIES}, "
+                f"got {on_error!r}"
+            )
         self.cache = cache if cache is not None else NullCache()
         self.workers = workers
+        self.on_error = on_error
         self._progress = progress
 
     # ------------------------------------------------------------------
 
-    def run(self, jobs: Iterable[CompileJob]) -> list[JobResult]:
-        """Execute a batch; one result per job, in input order."""
+    def run(
+        self, jobs: Iterable[CompileJob], on_error: str | None = None
+    ) -> list[JobResult]:
+        """Execute a batch; one result per job, in input order.
+
+        Args:
+            jobs: The batch.
+            on_error: Per-call override of the engine's failure policy.
+        """
         batch = list(jobs)
+        results: list[JobResult | None] = [None] * len(batch)
+        for result in self.stream(batch, on_error=on_error):
+            results[result.index] = result
+        return list(results)
+
+    def stream(
+        self, jobs: Iterable[CompileJob], on_error: str | None = None
+    ) -> Iterator[JobResult]:
+        """Yield one :class:`JobResult` per job, in completion order.
+
+        Cache hits come first (in submission order), then compilations
+        as they finish.  Each result carries its batch ``index``;
+        :meth:`run` is exactly this stream re-ordered by it.
+
+        Under ``on_error="raise"`` the first failure raises
+        :class:`EngineError` after cancelling pending pool futures;
+        already-yielded results remain valid.  Under ``"collect"``
+        failures are yielded as error results and the stream continues.
+        Abandoning the generator mid-stream cancels pending futures.
+        """
+        policy = self.on_error if on_error is None else on_error
+        if policy not in ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {ERROR_POLICIES}, "
+                f"got {policy!r}"
+            )
+        # Validate eagerly (above), then hand off to the generator so a
+        # bad policy or job list fails at the call site, not at the
+        # first next().
+        return self._stream(list(jobs), policy)
+
+    def _stream(
+        self, batch: list[CompileJob], policy: str
+    ) -> Iterator[JobResult]:
         total = len(batch)
-        results: list[JobResult | None] = [None] * total
         pending: list[tuple[int, CompileJob, Any, str]] = []
 
         resolved: dict[tuple[str, int], Any] = {}
@@ -144,32 +268,54 @@ class CompilationEngine:
             key = job_cache_key(job, circuit.digest())
             doc = self.cache.get(key)
             if doc is not None:
-                results[index] = self._result_from_artifact(
-                    job, key, doc, cache_hit=True, circuit=circuit
-                )
+                try:
+                    result = self._result_from_artifact(
+                        job, index, key, doc, cache_hit=True,
+                        circuit=circuit,
+                    )
+                except Exception as exc:
+                    # Historical contract: hit-path validation errors
+                    # propagate as-is (ValidationError, ...) under the
+                    # raise policy.
+                    if policy == "raise":
+                        raise
+                    yield self._failure(
+                        index, total, job, key, exc
+                    )
+                    continue
                 self._emit(index, total, job, True, doc["compile_time"])
+                yield result
             else:
                 pending.append((index, job, circuit, key))
 
-        for index, job, key, doc in self._compile_pending(pending):
-            self.cache.put(key, doc)
-            results[index] = self._result_from_artifact(
-                job, key, doc, cache_hit=False
-            )
-            self._emit(index, total, job, False, doc["compile_time"])
-        return list(results)
+        yield from self._compile_pending(pending, total, policy)
 
     # ------------------------------------------------------------------
 
     def _compile_pending(
-        self, pending: Sequence[tuple[int, CompileJob, Any, str]]
-    ):
-        """Yield ``(index, job, key, artifact)`` for every cache miss."""
+        self,
+        pending: Sequence[tuple[int, CompileJob, Any, str]],
+        total: int,
+        policy: str,
+    ) -> Iterator[JobResult]:
+        """Yield a :class:`JobResult` for every cache miss."""
         if not pending:
             return
         if self.workers == 1 or len(pending) == 1:
             for index, job, circuit, key in pending:
-                yield index, job, key, self._execute(job, circuit)
+                try:
+                    artifact = execute_job_on_circuit(job, circuit)
+                except Exception as exc:
+                    failure = _describe_failure(index, job, key, exc)
+                    if policy == "raise":
+                        raise EngineError(
+                            failure.describe(), failure=failure
+                        ) from exc
+                    yield self._failure(
+                        index, total, job, key, exc, failure=failure
+                    )
+                    continue
+                yield self._finish(index, total, job, key, artifact)
             return
         max_workers = min(self.workers, len(pending))
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
@@ -182,27 +328,93 @@ class CompilationEngine:
                 for index, job, circuit, key in pending
             }
             not_done = set(future_info)
-            while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index, job, key = future_info[future]
-                    try:
-                        artifact = future.result()
-                    except Exception as exc:
-                        raise EngineError(
-                            f"job {job.label} failed: {exc}"
-                        ) from exc
-                    yield index, job, key, artifact
+            try:
+                while not_done:
+                    done, not_done = wait(
+                        not_done, return_when=FIRST_COMPLETED
+                    )
+                    # Process each completion batch in submission order
+                    # so failure handling (and progress) is
+                    # deterministic -- the lowest-index failure in a
+                    # batch is the one reported.
+                    for future in sorted(
+                        done, key=lambda f: future_info[f][0]
+                    ):
+                        index, job, key = future_info[future]
+                        try:
+                            artifact = future.result()
+                        except Exception as exc:
+                            failure = _describe_failure(
+                                index, job, key, exc
+                            )
+                            if policy == "raise":
+                                # Drop queued work promptly; running
+                                # futures finish, unstarted ones never
+                                # run.
+                                pool.shutdown(
+                                    wait=False, cancel_futures=True
+                                )
+                                raise EngineError(
+                                    failure.describe(), failure=failure
+                                ) from exc
+                            yield self._failure(
+                                index, total, job, key, exc,
+                                failure=failure,
+                            )
+                            continue
+                        yield self._finish(
+                            index, total, job, key, artifact
+                        )
+            except GeneratorExit:
+                # Consumer abandoned the stream: do not block on (or
+                # run) work nobody will read.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
 
-    def _execute(self, job: CompileJob, circuit) -> dict[str, Any]:
-        try:
-            return execute_job_on_circuit(job, circuit)
-        except Exception as exc:
-            raise EngineError(f"job {job.label} failed: {exc}") from exc
+    def _finish(
+        self,
+        index: int,
+        total: int,
+        job: CompileJob,
+        key: str,
+        artifact: dict[str, Any],
+    ) -> JobResult:
+        """Store a fresh artifact and materialise its result."""
+        self.cache.put(key, artifact)
+        result = self._result_from_artifact(
+            job, index, key, artifact, cache_hit=False
+        )
+        self._emit(index, total, job, False, artifact["compile_time"])
+        return result
+
+    def _failure(
+        self,
+        index: int,
+        total: int,
+        job: CompileJob,
+        key: str,
+        exc: Exception,
+        failure: JobFailure | None = None,
+    ) -> JobResult:
+        """Materialise a failed job as an error-carrying result."""
+        if failure is None:
+            failure = _describe_failure(index, job, key, exc)
+        self._emit(index, total, job, False, 0.0, failed=True)
+        return JobResult(
+            job=job,
+            index=index,
+            key=key,
+            program=None,
+            compile_time=0.0,
+            fidelity=None,
+            cache_hit=False,
+            error=failure,
+        )
 
     def _result_from_artifact(
         self,
         job: CompileJob,
+        index: int,
         key: str,
         doc: dict[str, Any],
         cache_hit: bool,
@@ -219,9 +431,13 @@ class CompilationEngine:
                 else None
             )
             validate_program(program, source_circuit=source)
+            # Persist the successful validation so future hits on this
+            # key skip the (expensive) re-check.
+            self.cache.put(key, {**doc, "validated": True})
         fidelity = FidelityModel(job.params).evaluate(program)
         return JobResult(
             job=job,
+            index=index,
             key=key,
             program=program,
             compile_time=doc["compile_time"],
@@ -236,6 +452,7 @@ class CompilationEngine:
         job: CompileJob,
         cache_hit: bool,
         compile_time: float,
+        failed: bool = False,
     ) -> None:
         if self._progress is not None:
             self._progress(
@@ -245,13 +462,28 @@ class CompilationEngine:
                     job=job,
                     cache_hit=cache_hit,
                     compile_time=compile_time,
+                    failed=failed,
                 )
             )
 
 
+def _describe_failure(
+    index: int, job: CompileJob, key: str, exc: Exception
+) -> JobFailure:
+    return JobFailure(
+        index=index,
+        label=job.label,
+        key=key,
+        message=str(exc),
+        error_type=type(exc).__name__,
+    )
+
+
 __all__ = [
+    "ERROR_POLICIES",
     "CompilationEngine",
     "EngineError",
+    "JobFailure",
     "JobResult",
     "ProgressCallback",
     "ProgressEvent",

@@ -135,6 +135,20 @@ class CompileJob:
             f":aods{self.num_aods}:seed{self.seed}"
         )
 
+    def identity(self) -> dict[str, Any]:
+        """The job's identity fields, as reported in result records.
+
+        This is the stable (workload, compiler, seed, AODs) quadruple
+        used by batch result documents, streaming NDJSON lines and
+        failure payloads -- one definition so they never drift apart.
+        """
+        return {
+            "benchmark": self.workload_name,
+            "scenario": self.scenario_key,
+            "seed": self.seed,
+            "num_aods": self.num_aods,
+        }
+
     def resolve_circuit(self) -> Circuit:
         """The workload circuit (built from the suite when keyed)."""
         if self.circuit is not None:

@@ -30,6 +30,7 @@ naming the offending entry.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any
 
@@ -226,16 +227,39 @@ def parse_manifest(doc: Any) -> list[CompileJob]:
     return jobs
 
 
-def load_manifest(path: str) -> list[CompileJob]:
-    """Read and expand a manifest file."""
+def manifest_digest(doc: Any) -> str:
+    """Stable content hash of a manifest document (hex SHA-256).
+
+    Computed over a canonical (sorted-key, no-whitespace) JSON encoding
+    of the *document*, so formatting and key order do not matter but any
+    semantic change (a job added, a default tweaked) rotates the digest.
+    Shard result files carry it so ``repro merge`` can refuse to combine
+    shards of different manifests.
+    """
+    payload = json.dumps(doc, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def read_manifest(path: str) -> Any:
+    """Load a manifest file's raw JSON document (no expansion)."""
     try:
         with open(path, encoding="utf-8") as handle:
-            doc = json.load(handle)
+            return json.load(handle)
     except FileNotFoundError as exc:
         raise ManifestError(f"manifest not found: {path}") from exc
     except json.JSONDecodeError as exc:
         raise ManifestError(f"manifest is not valid JSON: {exc}") from exc
-    return parse_manifest(doc)
 
 
-__all__ = ["ManifestError", "load_manifest", "parse_manifest"]
+def load_manifest(path: str) -> list[CompileJob]:
+    """Read and expand a manifest file."""
+    return parse_manifest(read_manifest(path))
+
+
+__all__ = [
+    "ManifestError",
+    "load_manifest",
+    "manifest_digest",
+    "parse_manifest",
+    "read_manifest",
+]

@@ -41,6 +41,28 @@ class TestDiskCacheEviction:
         assert cache.stats.evictions == 1
         assert cache.total_bytes() <= 250
 
+    def test_same_key_overwrites_do_not_inflate_estimate(self, tmp_path):
+        """Re-storing one key replaces its entry; the size estimate must
+        track the delta, not accumulate every overwrite, or repeated
+        same-key writers trigger premature full-directory prune scans."""
+        cache = DiskCache(str(tmp_path), max_bytes=10_000)
+        for _ in range(50):
+            cache.put("aa", _doc(100))
+        # 50 overwrites of a ~100-byte entry: without delta accounting
+        # the estimate balloons past the 10 kB budget and prunes fire.
+        assert cache.stats.evictions == 0
+        assert cache._size_estimate == cache.total_bytes()
+        assert cache.get("aa") is not None
+
+    def test_same_key_overwrite_tracks_size_changes(self, tmp_path):
+        cache = DiskCache(str(tmp_path), max_bytes=10_000)
+        cache.put("aa", _doc(100))
+        cache.put("bb", _doc(100))
+        cache.put("aa", _doc(500))  # grow
+        assert cache._size_estimate == cache.total_bytes()
+        cache.put("aa", _doc(50))  # shrink
+        assert cache._size_estimate == cache.total_bytes()
+
     def test_read_refreshes_recency(self, tmp_path):
         cache = DiskCache(str(tmp_path), max_bytes=250)
         cache.put("aa", _doc(80))

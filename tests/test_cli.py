@@ -273,3 +273,124 @@ class TestBatchCommand:
         )
         assert code == 0
         assert "fidelity" in capsys.readouterr().out
+
+
+class TestStreamShardMerge:
+    def test_stream_emits_ndjson_records(self, manifest_file, capsys):
+        assert main(["batch", manifest_file, "--stream"]) == 0
+        captured = capsys.readouterr()
+        records = [
+            json.loads(line) for line in captured.out.splitlines() if line
+        ]
+        assert len(records) == 4
+        assert {r["index"] for r in records} == {0, 1, 2, 3}
+        assert all(r["status"] == "ok" for r in records)
+        assert all(len(r["cache_key"]) == 64 for r in records)
+        assert "batch:" in captured.err  # summary moves to stderr
+
+    def test_sharded_runs_merge_to_unsharded(
+        self, manifest_file, tmp_path, capsys
+    ):
+        from repro.engine import docs_equal_modulo_timing
+
+        s1 = str(tmp_path / "s1.json")
+        s2 = str(tmp_path / "s2.json")
+        merged_path = str(tmp_path / "merged.json")
+        full_path = str(tmp_path / "full.json")
+        assert main(
+            ["batch", manifest_file, "--shard", "1/2", "--output", s1]
+        ) == 0
+        assert main(
+            ["batch", manifest_file, "--shard", "2/2", "--output", s2]
+        ) == 0
+        assert main(["merge", s1, s2, "--output", merged_path]) == 0
+        assert main(["batch", manifest_file, "--output", full_path]) == 0
+        capsys.readouterr()
+
+        with open(s1) as handle:
+            shard_doc = json.load(handle)
+        assert shard_doc["shard"] == {"index": 1, "count": 2}
+        assert shard_doc["num_jobs"] == 2
+        assert shard_doc["total_jobs"] == 4
+        with open(merged_path) as handle:
+            merged = json.load(handle)
+        with open(full_path) as handle:
+            full = json.load(handle)
+        assert merged["shard"] is None
+        assert docs_equal_modulo_timing(merged, full)
+
+    def test_bad_shard_spec_rejected(self, manifest_file, capsys):
+        assert main(["batch", manifest_file, "--shard", "5/2"]) == 2
+        assert "shard" in capsys.readouterr().err
+
+    def test_empty_shard_writes_valid_document(
+        self, manifest_file, tmp_path, capsys
+    ):
+        # 4 manifest jobs, 9 shards: shard 9/9 selects nothing but must
+        # still produce a mergeable empty document (fixed-lane CI).
+        out = str(tmp_path / "empty.json")
+        assert main(
+            ["batch", manifest_file, "--shard", "9/9", "--output", out]
+        ) == 0
+        assert "selects none" in capsys.readouterr().err
+        with open(out) as handle:
+            doc = json.load(handle)
+        assert doc["num_jobs"] == 0
+        assert doc["results"] == []
+        assert doc["total_jobs"] == 4
+        assert doc["shard"] == {"index": 9, "count": 9}
+
+    def test_merge_with_failures_exits_one(
+        self, manifest_file, tmp_path, capsys
+    ):
+        full_path = str(tmp_path / "full.json")
+        assert main(["batch", manifest_file, "--output", full_path]) == 0
+        with open(full_path) as handle:
+            doc = json.load(handle)
+        record = doc["results"][0]
+        record["status"] = "error"
+        record["error"] = {"type": "RuntimeError", "message": "boom"}
+        doc["num_failed"] = 1
+        with open(full_path, "w") as handle:
+            json.dump(doc, handle)
+        capsys.readouterr()
+        assert main(["merge", full_path]) == 1
+
+    def test_merge_missing_shard_fails(
+        self, manifest_file, tmp_path, capsys
+    ):
+        s1 = str(tmp_path / "s1.json")
+        assert main(
+            ["batch", manifest_file, "--shard", "1/2", "--output", s1]
+        ) == 0
+        capsys.readouterr()
+        assert main(["merge", s1]) == 2
+        assert "missing" in capsys.readouterr().err
+
+    def test_merge_unreadable_file_fails(self, tmp_path, capsys):
+        path = tmp_path / "nope.json"
+        assert main(["merge", str(path)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_on_error_flag_parses(self, manifest_file):
+        args = build_parser().parse_args(
+            ["batch", manifest_file, "--on-error", "collect"]
+        )
+        assert args.on_error == "collect"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["batch", manifest_file, "--on-error", "ignore"]
+            )
+
+    def test_collect_run_without_failures_exits_zero(
+        self, manifest_file, capsys
+    ):
+        assert main(
+            ["batch", manifest_file, "--on-error", "collect"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["on_error"] == "collect"
+        assert doc["num_failed"] == 0
+        assert doc["version"] == 2
+        assert len(doc["manifest_digest"]) == 64
+        assert [r["index"] for r in doc["results"]] == [0, 1, 2, 3]

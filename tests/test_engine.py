@@ -260,7 +260,8 @@ class TestEngine:
 
     def test_cache_hit_revalidates_unvalidated_artifacts(self):
         """A validate=True job re-checks a hit stored with validate=False,
-        including the gate-multiset comparison against the source circuit."""
+        including the gate-multiset comparison against the source circuit,
+        and persists the successful check back into the cache."""
         from repro.schedule.validator import ValidationError
 
         cache = MemoryCache()
@@ -269,20 +270,27 @@ class TestEngine:
             scenario="pm_with_storage", benchmark="BV-14", validate=False
         )
         [cold] = engine.run([unvalidated])
+        assert cache.get(cold.key)["validated"] is False
         validated = CompileJob(
             scenario="pm_with_storage", benchmark="BV-14", validate=True
         )
         [hit] = engine.run([validated])
         assert hit.cache_hit  # sane entry revalidates cleanly
+        # The successful hit-path validation is written back, so the
+        # next hit skips the re-check.
+        assert cache.get(hit.key)["validated"] is True
 
-        # Corrupt the cached program: drop a Rydberg stage so the
-        # executed gate multiset no longer matches the circuit.
+        # Corrupt the cached program (drop a Rydberg stage so the
+        # executed gate multiset no longer matches the circuit) and
+        # reset the persisted flag: the re-check must now fire and fail.
         doc = cache.get(hit.key)
         doc["program"]["instructions"] = [
             entry
             for entry in doc["program"]["instructions"]
             if entry["kind"] != "rydberg"
         ]
+        doc["validated"] = False
+        cache.put(hit.key, doc)
         with pytest.raises(ValidationError):
             engine.run([validated])
 

@@ -79,7 +79,17 @@ class TestColoringProperties:
 
 
 class TestSerializationProperty:
-    @given(st.lists(moves(), min_size=1, max_size=8, unique_by=lambda m: m.qubit))
+    # Unique sources too: the initial layout places every qubit at its
+    # move's source, and a site holds at most two qubits -- three moves
+    # sharing a source would build an invalid Layout, not a program.
+    @given(
+        st.lists(
+            moves(),
+            min_size=1,
+            max_size=8,
+            unique_by=(lambda m: m.qubit, lambda m: m.source),
+        )
+    )
     @settings(max_examples=40)
     def test_program_round_trip(self, move_list):
         from repro.hardware import Layout

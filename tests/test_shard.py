@@ -1,0 +1,204 @@
+"""Sharding: deterministic partition, result documents, merge."""
+
+import pytest
+
+from repro.baselines import EnolaConfig
+from repro.engine import (
+    BATCH_RESULTS_VERSION,
+    CompilationEngine,
+    CompileJob,
+    MemoryCache,
+    ShardError,
+    ShardPlan,
+    docs_equal_modulo_timing,
+    job_record,
+    manifest_digest,
+    merge_result_docs,
+    results_doc,
+    strip_timing,
+)
+
+LIGHT_ENOLA = EnolaConfig(seed=0, mis_restarts=1, sa_iterations_per_qubit=0)
+
+
+def suite_jobs():
+    return [
+        CompileJob(
+            scenario=scenario,
+            benchmark=key,
+            enola_config=LIGHT_ENOLA,
+        )
+        for key in ("BV-14", "QSIM-rand-0.3-10")
+        for scenario in ("enola", "pm_non_storage", "pm_with_storage")
+    ]
+
+
+def run_full(jobs, digest):
+    results = CompilationEngine(cache=MemoryCache()).run(jobs)
+    return results_doc(
+        results,
+        manifest_digest=digest,
+        total_jobs=len(jobs),
+        wall_time_s=1.0,
+        on_error="raise",
+    )
+
+
+def run_shard(jobs, digest, plan):
+    pairs = plan.select(jobs)
+    engine = CompilationEngine(cache=MemoryCache())
+    results = engine.run([job for _, job in pairs])
+    return results_doc(
+        results,
+        manifest_digest=digest,
+        total_jobs=len(jobs),
+        wall_time_s=0.5,
+        on_error="raise",
+        shard=plan,
+        global_indices=[index for index, _ in pairs],
+    )
+
+
+class TestShardPlan:
+    def test_parse_round_trip(self):
+        plan = ShardPlan.parse("2/4")
+        assert (plan.index, plan.count) == (2, 4)
+        assert plan.spec == "2/4"
+        assert ShardPlan.parse(" 1/1 ").count == 1
+
+    @pytest.mark.parametrize(
+        "spec", ["", "x/2", "1/2/3", "0/2", "3/2", "1/0", "-1/2"]
+    )
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(ShardError):
+            ShardPlan.parse(spec)
+
+    def test_select_partitions_disjointly(self):
+        items = [f"job{i}" for i in range(10)]
+        seen: dict[int, str] = {}
+        for index in range(1, 4):
+            pairs = ShardPlan(index=index, count=3).select(items)
+            for position, item in pairs:
+                assert position not in seen  # disjoint
+                assert items[position] is item
+                assert position % 3 == index - 1
+                seen[position] = item
+        assert sorted(seen) == list(range(10))  # complete
+
+    def test_single_shard_is_identity(self):
+        items = list(range(5))
+        assert ShardPlan(index=1, count=1).select(items) == list(
+            enumerate(items)
+        )
+
+
+class TestManifestDigest:
+    def test_formatting_insensitive(self):
+        assert manifest_digest(
+            {"jobs": [{"benchmark": "BV-14"}], "defaults": {"seed": 1}}
+        ) == manifest_digest(
+            {"defaults": {"seed": 1}, "jobs": [{"benchmark": "BV-14"}]}
+        )
+
+    def test_content_sensitive(self):
+        assert manifest_digest(
+            {"jobs": [{"benchmark": "BV-14"}]}
+        ) != manifest_digest({"jobs": [{"benchmark": "BV-50"}]})
+
+
+class TestMergeProperty:
+    @pytest.mark.parametrize("count", [2, 3])
+    def test_union_of_shards_equals_unsharded(self, count):
+        jobs = suite_jobs()
+        digest = manifest_digest({"jobs": "synthetic"})
+        full = run_full(jobs, digest)
+        shards = [
+            run_shard(jobs, digest, ShardPlan(index=i, count=count))
+            for i in range(1, count + 1)
+        ]
+        assert sum(doc["num_jobs"] for doc in shards) == len(jobs)
+        merged = merge_result_docs(shards)
+        assert docs_equal_modulo_timing(merged, full)
+        assert strip_timing(merged) == strip_timing(full)
+        assert [r["index"] for r in merged["results"]] == list(
+            range(len(jobs))
+        )
+        assert merged["wall_time_s"] == pytest.approx(0.5 * count)
+
+    def test_merge_of_full_run_is_idempotent(self):
+        jobs = suite_jobs()[:3]
+        digest = manifest_digest({"jobs": "synthetic-small"})
+        full = run_full(jobs, digest)
+        assert docs_equal_modulo_timing(merge_result_docs([full]), full)
+
+
+class TestMergeValidation:
+    def _shards(self):
+        jobs = suite_jobs()[:4]
+        digest = manifest_digest({"jobs": "validation"})
+        return jobs, digest, [
+            run_shard(jobs, digest, ShardPlan(index=i, count=2))
+            for i in (1, 2)
+        ]
+
+    def test_missing_shard_rejected(self):
+        _, _, shards = self._shards()
+        with pytest.raises(ShardError, match="missing"):
+            merge_result_docs([shards[0]])
+
+    def test_duplicate_shard_rejected(self):
+        _, _, shards = self._shards()
+        with pytest.raises(ShardError, match="duplicate job index"):
+            merge_result_docs([shards[0], shards[0], shards[1]])
+
+    def test_manifest_mismatch_rejected(self):
+        jobs, digest, shards = self._shards()
+        other = run_shard(
+            jobs,
+            manifest_digest({"jobs": "different"}),
+            ShardPlan(index=2, count=2),
+        )
+        with pytest.raises(ShardError, match="manifest digest"):
+            merge_result_docs([shards[0], other])
+
+    def test_version_mismatch_rejected(self):
+        _, _, shards = self._shards()
+        stale = dict(shards[1], version=BATCH_RESULTS_VERSION - 1)
+        with pytest.raises(ShardError, match="version"):
+            merge_result_docs([shards[0], stale])
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ShardError, match="nothing to merge"):
+            merge_result_docs([])
+
+
+class TestRecords:
+    def test_error_record_shape(self):
+        from test_failsoft import poison_job
+
+        engine = CompilationEngine(on_error="collect")
+        [result] = engine.run([poison_job()])
+        record = job_record(result, 7)
+        assert record["index"] == 7
+        assert record["status"] == "error"
+        assert record["error"]["type"] == "CircuitError"
+        assert "out of range" in record["error"]["message"]
+        assert "fidelity" not in record
+
+    def test_strip_timing_ignores_only_volatile_fields(self):
+        jobs = suite_jobs()[:1]
+        digest = manifest_digest({"jobs": "timing"})
+        a = run_full(jobs, digest)
+        # Timing and cache-occupancy differences (a warm rerun on a
+        # shared cache) must not break the equivalence...
+        b = {**a, "wall_time_s": 99.0, "cache_hits": 1, "cache_misses": 0}
+        b["results"] = [
+            {**record, "compile_time_s": 99.0, "cache_hit": True}
+            for record in a["results"]
+        ]
+        assert docs_equal_modulo_timing(a, b)
+        # ...but any compiled-output difference must.
+        c = {**a, "results": [
+            {**record, "fidelity": 0.0} for record in a["results"]
+        ]}
+        assert not docs_equal_modulo_timing(a, c)
