@@ -1,0 +1,71 @@
+"""The compilation service, end to end, in one process.
+
+Starts a ``ServiceServer`` on an ephemeral localhost port (exactly
+what ``repro serve`` wraps), submits a small manifest twice -- the
+second submission is served almost entirely from the shared program
+cache and the queue's cache-key dedup -- follows the completion-order
+result stream, and reassembles the batch-results document.
+
+Run:
+    PYTHONPATH=src python examples/service_quickstart.py
+
+For the multi-process flavour, see docs/service.md:
+    python -m repro serve queue/ --workers 4
+    python -m repro submit manifest.json --connect queue/service.sock
+"""
+
+import tempfile
+
+from repro.service import ServiceClient, ServiceServer
+
+MANIFEST = {
+    "defaults": {
+        "enola": {"mis_restarts": 1, "sa_iterations_per_qubit": 0}
+    },
+    "jobs": [
+        {"benchmark": "BV-14"},
+        {"benchmark": "QSIM-rand-0.3-10", "scenarios": ["pm_with_storage"]},
+    ],
+}
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as queue_dir:
+        server = ServiceServer(
+            queue_dir, "127.0.0.1:0", workers=2, retries=1
+        ).start()
+        try:
+            client = ServiceClient(server.address)
+            client.wait_ready()
+            print(f"daemon up on {server.address}")
+
+            for round_number in (1, 2):
+                submitted = client.submit(MANIFEST)
+                print(
+                    f"\nround {round_number}: submission "
+                    f"{submitted['submission']} "
+                    f"({submitted['total_jobs']} jobs)"
+                )
+                for record in client.results(
+                    submitted["submission"], follow=True
+                ):
+                    hit = "cache hit" if record["cache_hit"] else "compiled"
+                    print(
+                        f"  [{record['index']}] {record['benchmark']:18s} "
+                        f"{record['scenario']:16s} {record['status']} "
+                        f"({hit}, fidelity "
+                        f"{record.get('fidelity', float('nan')):.4f})"
+                    )
+                doc = client.results_document(submitted["submission"])
+                print(
+                    f"  document: {doc['num_jobs']} jobs, "
+                    f"{doc['cache_hits']} cache hits, "
+                    f"{doc['num_failed']} failed"
+                )
+        finally:
+            server.stop(drain=True)
+        print("\ndaemon drained and stopped")
+
+
+if __name__ == "__main__":
+    main()

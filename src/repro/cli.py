@@ -5,6 +5,11 @@ Commands:
     bench      Run one Table 2 benchmark through all three scenarios.
     batch      Compile a JSON job manifest (parallel, cached, shardable).
     merge      Reassemble per-shard batch result files into one document.
+    serve      Run the resident compilation service (persistent queue).
+    submit     Send a job manifest to a running service.
+    status     Queue occupancy of a running service.
+    results    Fetch / follow a submission's result records (NDJSON).
+    shutdown   Stop a running service (draining by default).
     backends   List the registered compiler backends and their knobs.
     cache      On-disk compiled-program cache maintenance (prune/info).
     table2     Print the Table 2 reproduction.
@@ -23,10 +28,16 @@ variants by name (``repro backends`` lists them).
 
 ``batch`` additionally supports fail-soft sweeps
 (``--on-error collect`` turns job failures into error records instead
-of aborting the batch), streaming delivery (``--stream`` emits one
-NDJSON record per job on stdout, in completion order), and
-deterministic sharding (``--shard I/N`` compiles the ``I``-th of ``N``
-round-robin manifest slices; ``merge`` reassembles the shard outputs).
+of aborting the batch), per-job retry-with-backoff (``--retries N``),
+streaming delivery (``--stream`` emits one NDJSON record per job on
+stdout, in completion order), and deterministic sharding
+(``--shard I/N`` compiles the ``I``-th of ``N`` round-robin manifest
+slices; ``merge`` reassembles the shard outputs).
+
+The service commands (``serve``, ``submit``, ``status``, ``results``,
+``shutdown``) run the same workloads through a resident daemon with a
+persistent job queue -- see ``docs/service.md``.  ``results --follow``
+streams records identical in schema to ``batch --stream``.
 
 Examples:
     python -m repro compile circuit.qasm --no-storage --trace
@@ -36,15 +47,20 @@ Examples:
     python -m repro fig7 --backend powermove-noreorder
     python -m repro batch manifest.json --workers 4 --cache-dir .cache
     python -m repro batch manifest.json --on-error collect --stream
+    python -m repro batch manifest.json --retries 2 --backoff 0.5
     python -m repro batch manifest.json --shard 1/2 --output s1.json
     python -m repro merge s1.json s2.json --output results.json
     python -m repro cache prune --cache-dir .cache --max-bytes 50000000
+    python -m repro serve queue/ --listen 127.0.0.1:7431 --workers 4
+    python -m repro submit manifest.json --connect 127.0.0.1:7431
+    python -m repro results s000001 --connect 127.0.0.1:7431 --follow
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -76,6 +92,7 @@ from .engine import (
     parse_manifest,
     read_manifest,
     results_doc,
+    results_doc_from_records,
 )
 from .fidelity import evaluate_program
 from .schedule import validate_program
@@ -90,8 +107,24 @@ def _make_engine(
     """Engine from the shared --workers / --cache-dir CLI options."""
     cache = DiskCache(args.cache_dir) if args.cache_dir else None
     return CompilationEngine(
-        cache=cache, workers=args.workers, progress=progress
+        cache=cache,
+        workers=args.workers,
+        progress=progress,
+        retries=getattr(args, "retries", 0),
+        backoff=getattr(args, "backoff", 0.1),
     )
+
+
+def _emit_ndjson(record) -> None:
+    """Print one NDJSON record, flushed.
+
+    Per-record flushing is what makes ``batch --stream`` and
+    ``results --follow`` consumable live through ``head`` / ``jq`` --
+    a block-buffered pipe would sit on finished results until 4 kB
+    accumulate.
+    """
+    sys.stdout.write(json.dumps(record, separators=(",", ":")) + "\n")
+    sys.stdout.flush()
 
 
 def _positive_int(text: str) -> int:
@@ -102,8 +135,6 @@ def _positive_int(text: str) -> int:
 
 
 def _cache_dir_path(text: str) -> str:
-    import os
-
     if os.path.exists(text) and not os.path.isdir(text):
         raise argparse.ArgumentTypeError(
             f"{text!r} exists and is not a directory"
@@ -123,6 +154,20 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         type=_cache_dir_path,
         default=None,
         help="directory for the on-disk compiled-program cache",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts granted to a failing job before its "
+        "failure is surfaced (default 0)",
+    )
+    parser.add_argument(
+        "--backoff",
+        type=float,
+        default=0.1,
+        help="base seconds between attempts, doubling per retry "
+        "(default 0.1)",
     )
 
 
@@ -323,6 +368,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         workers=args.workers,
         progress=progress,
         on_error=args.on_error,
+        retries=args.retries,
+        backoff=args.backoff,
     )
     start = time.perf_counter()
     results = []
@@ -332,10 +379,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 record = job_record(
                     result, global_indices[result.index]
                 )
-                print(
-                    json.dumps(record, separators=(",", ":")),
-                    flush=True,
-                )
+                _emit_ndjson(record)
                 results.append(result)
         else:
             results = engine.run(run_jobs)
@@ -403,6 +447,186 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     # incomplete sweep, and automation gating on the merge should see
     # that.
     return 1 if merged["num_failed"] else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import socket as _socket
+
+    from .service import ServiceServer
+
+    listen = args.listen
+    if listen is None:
+        # Self-contained default: a socket inside the queue directory
+        # (TCP loopback where AF_UNIX is unavailable).
+        listen = (
+            os.path.join(args.queue_dir, "service.sock")
+            if hasattr(_socket, "AF_UNIX")
+            else "127.0.0.1:0"
+        )
+    server = ServiceServer(
+        args.queue_dir,
+        listen,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        retries=args.retries,
+        backoff=args.backoff,
+        lease_seconds=args.lease,
+    )
+    server.start()
+    print(
+        f"repro service listening on {server.address} "
+        f"(queue {args.queue_dir}, {args.workers} workers, "
+        f"retries {args.retries})",
+        flush=True,
+    )
+    try:
+        while not server.wait_stopped(timeout=0.5):
+            pass
+    except KeyboardInterrupt:
+        print(
+            "repro service: interrupt -- stopping (queued jobs stay "
+            "on disk)",
+            file=sys.stderr,
+        )
+        server.stop(drain=False)
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    from .service import ServiceClient
+
+    return ServiceClient(args.connect)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceError
+
+    try:
+        manifest_doc = read_manifest(args.manifest)
+    except ManifestError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    client = _service_client(args)
+    try:
+        reply = client.submit(manifest_doc, priority=args.priority)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(reply, indent=1))
+    else:
+        print(
+            f"submitted {reply['submission']}: "
+            f"{reply['total_jobs']} jobs "
+            f"(manifest {reply['manifest_digest'][:16]})"
+        )
+        print(
+            f"  follow with: repro results {reply['submission']} "
+            f"--connect {args.connect} --follow"
+        )
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .service import ServiceError
+
+    client = _service_client(args)
+    try:
+        reply = client.status(args.submission)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(reply, indent=1))
+        return 0
+    counts = reply["counts"]
+    line = ", ".join(f"{counts[state]} {state}" for state in counts)
+    if args.submission:
+        print(
+            f"{args.submission}: {line} "
+            f"(of {reply['total_jobs']} jobs)"
+        )
+    else:
+        print(f"queue: {line}")
+        for sub in reply["submissions"]:
+            sub_counts = sub["counts"]
+            done = sub_counts["done"] + sub_counts["error"]
+            print(
+                f"  {sub['id']}: {done}/{sub['total_jobs']} finished "
+                f"({sub_counts['error']} failed)"
+            )
+    return 0
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    from .service import ServiceError
+
+    client = _service_client(args)
+    records = []
+    failed = 0
+    try:
+        for record in client.results(
+            args.submission, follow=args.follow
+        ):
+            _emit_ndjson(record)
+            records.append(record)
+            if record.get("status") == "error":
+                failed += 1
+        start = client.last_start or {}
+        summary = client.last_summary or {}
+        remaining = summary.get("remaining", 0)
+        if args.output:
+            if remaining:
+                print(
+                    f"error: {remaining} job(s) still unfinished; "
+                    "re-run with --follow to wait for them",
+                    file=sys.stderr,
+                )
+                return 2
+            # The records just streamed ARE the document body; no
+            # second round trip to the daemon.
+            doc = results_doc_from_records(
+                records,
+                manifest_digest=start.get("manifest_digest", ""),
+                total_jobs=start.get("total_jobs", len(records)),
+                wall_time_s=summary.get("wall_time_s", 0.0),
+                on_error="collect",
+            )
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, indent=1)
+            print(
+                f"wrote results document -> {args.output}",
+                file=sys.stderr,
+            )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"results {args.submission}: {summary.get('num_done', 0)} "
+        f"finished, {failed} failed, {remaining} remaining",
+        file=sys.stderr,
+    )
+    if failed:
+        return 1
+    # A partial stream (daemon stopped mid-run, or no --follow on an
+    # unfinished submission) must not read as success to pipelines.
+    return 2 if remaining else 0
+
+
+def _cmd_shutdown(args: argparse.Namespace) -> int:
+    from .service import ServiceError
+
+    client = _service_client(args)
+    try:
+        client.shutdown(drain=not args.now)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        "shutdown requested"
+        + (" (immediate)" if args.now else " (draining the queue first)")
+    )
+    return 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -565,6 +789,135 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the merged JSON here (default: print to stdout)",
     )
     p_merge.set_defaults(func=_cmd_merge)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the resident compilation service"
+    )
+    p_serve.add_argument(
+        "queue_dir",
+        type=_cache_dir_path,
+        help="persistent job-queue directory (reusing one resumes its "
+        "unfinished work)",
+    )
+    p_serve.add_argument(
+        "--listen",
+        default=None,
+        metavar="ADDR",
+        help="listen address: host:port or a unix socket path "
+        "(default: <queue-dir>/service.sock)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        type=_cache_dir_path,
+        default=None,
+        help="shared on-disk compiled-program cache for the workers "
+        "(default: in-process memory cache)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        help="leased worker threads executing jobs (default 2)",
+    )
+    p_serve.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="per-job extra attempts before a failure is recorded "
+        "(default 1)",
+    )
+    p_serve.add_argument(
+        "--backoff",
+        type=float,
+        default=0.1,
+        help="base seconds between attempts, doubling per retry "
+        "(default 0.1)",
+    )
+    p_serve.add_argument(
+        "--lease",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="worker lease duration; expired leases requeue the job "
+        "(default 300)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    connect_help = "address of the running service (host:port or socket path)"
+
+    p_submit = sub.add_parser(
+        "submit", help="send a job manifest to a running service"
+    )
+    p_submit.add_argument("manifest", help="path to the job manifest JSON")
+    p_submit.add_argument(
+        "--connect", required=True, metavar="ADDR", help=connect_help
+    )
+    p_submit.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="scheduling priority (higher runs first; default 0)",
+    )
+    p_submit.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw submit response JSON",
+    )
+    p_submit.set_defaults(func=_cmd_submit)
+
+    p_status = sub.add_parser(
+        "status", help="queue occupancy of a running service"
+    )
+    p_status.add_argument(
+        "submission",
+        nargs="?",
+        default=None,
+        help="restrict to one submission id",
+    )
+    p_status.add_argument(
+        "--connect", required=True, metavar="ADDR", help=connect_help
+    )
+    p_status.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw status response JSON",
+    )
+    p_status.set_defaults(func=_cmd_status)
+
+    p_results = sub.add_parser(
+        "results",
+        help="fetch a submission's result records as NDJSON",
+    )
+    p_results.add_argument("submission", help="submission id")
+    p_results.add_argument(
+        "--connect", required=True, metavar="ADDR", help=connect_help
+    )
+    p_results.add_argument(
+        "--follow",
+        action="store_true",
+        help="stream records as jobs complete until the submission "
+        "finishes (same schema as 'batch --stream')",
+    )
+    p_results.add_argument(
+        "--output",
+        help="also write the assembled batch-results document here "
+        "(the submission must be complete)",
+    )
+    p_results.set_defaults(func=_cmd_results)
+
+    p_shutdown = sub.add_parser(
+        "shutdown", help="stop a running service"
+    )
+    p_shutdown.add_argument(
+        "--connect", required=True, metavar="ADDR", help=connect_help
+    )
+    p_shutdown.add_argument(
+        "--now",
+        action="store_true",
+        help="stop without draining (queued jobs stay on disk for the "
+        "next daemon)",
+    )
+    p_shutdown.set_defaults(func=_cmd_shutdown)
 
     p_table2 = sub.add_parser("table2", help="print the Table 2 reproduction")
     p_table2.set_defaults(func=_cmd_table2)

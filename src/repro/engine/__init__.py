@@ -36,6 +36,8 @@ from .jobs import (
     effective_config,
     execute_job,
     job_compiler,
+    job_from_doc,
+    job_to_doc,
 )
 from .manifest import (
     ManifestError,
@@ -53,6 +55,7 @@ from .shard import (
     job_record,
     merge_result_docs,
     results_doc,
+    results_doc_from_records,
     strip_timing,
 )
 
@@ -84,12 +87,15 @@ __all__ = [
     "execute_job",
     "job_cache_key",
     "job_compiler",
+    "job_from_doc",
     "job_record",
+    "job_to_doc",
     "load_manifest",
     "manifest_digest",
     "merge_result_docs",
     "parse_manifest",
     "read_manifest",
     "results_doc",
+    "results_doc_from_records",
     "strip_timing",
 ]

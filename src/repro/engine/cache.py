@@ -14,7 +14,8 @@ The cached value is the :func:`repro.engine.jobs.execute_job` artifact
   one run;
 * :class:`DiskCache` -- one JSON file per key under a directory, shared
   across processes and runs (writes are atomic rename, so concurrent
-  workers race benignly); give it ``max_bytes`` for LRU eviction by
+  workers race benignly; size accounting and eviction take a
+  cross-process file lock); give it ``max_bytes`` for LRU eviction by
   file mtime (reads refresh recency);
 * :class:`NullCache` -- caching disabled; every lookup misses.
 
@@ -28,8 +29,14 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from dataclasses import asdict, dataclass
 from typing import Any
+
+try:  # POSIX only; the lock degrades to in-process on other platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
 
 from ..schedule.serialize import FORMAT_VERSION
 from .jobs import CompileJob, effective_config
@@ -138,6 +145,53 @@ class MemoryCache(ProgramCache):
         self._entries[key] = doc
 
 
+class _DirectoryLock:
+    """Re-entrant cross-process advisory lock on a cache directory.
+
+    Serialises the read-modify-write critical sections of
+    :class:`DiskCache` -- size accounting on store, eviction scans in
+    :meth:`DiskCache.prune` -- across threads (an in-process
+    ``RLock``) and across processes (``flock`` on
+    ``<directory>/.lock``).  Entry *payload* writes never need it:
+    they are atomic-rename and safe under any interleaving.  On
+    platforms without :mod:`fcntl` only the in-process half applies.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self._directory = directory
+        self._mutex = threading.RLock()
+        self._depth = 0
+        self._handle = None
+
+    def __enter__(self) -> "_DirectoryLock":
+        self._mutex.acquire()
+        self._depth += 1
+        if self._depth == 1 and fcntl is not None:
+            os.makedirs(self._directory, exist_ok=True)
+            path = os.path.join(self._directory, ".lock")
+            try:
+                handle = open(path, "a")
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            except OSError:
+                # Lock file unavailable (read-only mount, exotic fs):
+                # fall back to in-process mutual exclusion only.
+                self._handle = None
+            else:
+                self._handle = handle
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._depth -= 1
+        if self._depth == 0 and self._handle is not None:
+            try:
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            except OSError:
+                pass
+            self._handle.close()
+            self._handle = None
+        self._mutex.release()
+
+
 @dataclass(frozen=True)
 class PruneReport:
     """Outcome of one :meth:`DiskCache.prune` call."""
@@ -154,7 +208,11 @@ class DiskCache(ProgramCache):
     The directory is created on first use.  Writes go through a
     temporary file plus :func:`os.replace`, so a reader never observes a
     half-written entry and concurrent writers of the same key simply
-    last-write-win with identical content.
+    last-write-win with identical content.  Size accounting and
+    eviction additionally run under a cross-process file lock
+    (``<directory>/.lock``), so many workers -- service worker
+    threads, sharded batch processes -- can share one bounded cache
+    directory without double-counting overwrites or racing prunes.
 
     Args:
         directory: Cache root.
@@ -177,6 +235,9 @@ class DiskCache(ProgramCache):
         # Running occupancy estimate so bounded caches do not rescan
         # the directory on every store; refreshed whenever we prune.
         self._size_estimate: int | None = None
+        # Guards size accounting and eviction against concurrent
+        # writers of the same directory (threads and processes).
+        self._lock = _DirectoryLock(directory)
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
@@ -194,19 +255,12 @@ class DiskCache(ProgramCache):
             pass
         return doc
 
-    def _store(self, key: str, doc: dict[str, Any]) -> None:
+    def _write_entry(self, key: str, doc: dict[str, Any]) -> None:
+        """Atomically (tmp file + rename) write one entry payload."""
         os.makedirs(self.directory, exist_ok=True)
         fd, tmp_path = tempfile.mkstemp(
             dir=self.directory, suffix=".tmp"
         )
-        # A same-key overwrite replaces the old entry, so its size must
-        # leave the running estimate; stat it before os.replace clobbers
-        # it (0 when the key is new).
-        if self.max_bytes is not None:
-            try:
-                replaced_size = os.stat(self._path(key)).st_size
-            except OSError:
-                replaced_size = 0
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(doc, handle)
@@ -215,12 +269,33 @@ class DiskCache(ProgramCache):
             if os.path.exists(tmp_path):
                 os.unlink(tmp_path)
             raise
-        if self.max_bytes is not None:
-            # Maintain the occupancy estimate incrementally (one stat of
-            # the just-written entry) and only pay the full directory
-            # scan when the budget is actually exceeded.  The estimate
-            # drifts under concurrent writers, but the budget is soft
-            # and every prune resynchronises it.
+
+    def _store(self, key: str, doc: dict[str, Any]) -> None:
+        if self.max_bytes is None:
+            # Unbounded: no size accounting, and the atomic rename
+            # makes the bare write safe under any concurrency.
+            self._write_entry(key, doc)
+            return
+        # Bounded: the stat-replace-account sequence must not
+        # interleave with another writer's, or overwrite deltas get
+        # double-counted and occupancy drifts; the directory lock makes
+        # it atomic across the threads and processes sharing this
+        # cache directory.
+        with self._lock:
+            # A same-key overwrite replaces the old entry, so its size
+            # must leave the running estimate; stat it before
+            # os.replace clobbers it (0 when the key is new).
+            try:
+                replaced_size = os.stat(self._path(key)).st_size
+            except OSError:
+                replaced_size = 0
+            self._write_entry(key, doc)
+            # Maintain the occupancy estimate incrementally (one stat
+            # of the just-written entry) and only pay the full
+            # directory scan when the budget is actually exceeded.
+            # Cross-process the estimate still drifts (each process
+            # keeps its own), but every prune resynchronises it from
+            # the directory under the same lock.
             if self._size_estimate is None:
                 self._size_estimate = self.total_bytes()
             else:
@@ -274,23 +349,24 @@ class DiskCache(ProgramCache):
             A :class:`PruneReport` with eviction and occupancy counts.
         """
         budget = max_bytes if max_bytes is not None else self.max_bytes
-        entries = self._entries()
-        total = sum(size for _, _, size in entries)
-        removed_entries = 0
-        removed_bytes = 0
-        if budget is not None:
-            for path, _, size in entries:
-                if total <= budget:
-                    break
-                try:
-                    os.unlink(path)
-                except OSError:
-                    continue  # concurrently evicted
-                total -= size
-                removed_entries += 1
-                removed_bytes += size
-                self.stats.evictions += 1
-        self._size_estimate = total
+        with self._lock:
+            entries = self._entries()
+            total = sum(size for _, _, size in entries)
+            removed_entries = 0
+            removed_bytes = 0
+            if budget is not None:
+                for path, _, size in entries:
+                    if total <= budget:
+                        break
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        continue  # concurrently evicted
+                    total -= size
+                    removed_entries += 1
+                    removed_bytes += size
+                    self.stats.evictions += 1
+            self._size_estimate = total
         return PruneReport(
             removed_entries=removed_entries,
             removed_bytes=removed_bytes,

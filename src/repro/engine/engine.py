@@ -31,6 +31,12 @@ Failure handling is governed by the ``on_error`` policy:
   completes.  This is the mode batch sweeps, streaming delivery and
   cross-machine sharding build on.
 
+Retries: construct the engine with ``retries=N`` to grant every
+failing job up to ``N`` extra attempts (exponential backoff,
+``backoff * 2**(attempt-1)`` seconds between attempts) before its
+failure is raised or collected; the :class:`JobResult` records the
+``attempts`` taken and the total ``retry_wait_s`` slept.
+
 Determinism: jobs carry explicit seeds and the compilers draw all
 randomness from them, so the engine produces bit-identical programs
 regardless of worker count, scheduling order or cache state; only the
@@ -43,6 +49,7 @@ Progress: pass ``progress=callback`` to observe one
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
@@ -138,6 +145,10 @@ class JobResult:
         cache_hit: Whether the compilation was skipped.
         error: :class:`JobFailure` describing the failure, or ``None``
             on success.
+        attempts: Number of compilation attempts this outcome took
+            (``1`` when the first attempt succeeded or retries are
+            disabled; cache hits always count one).
+        retry_wait_s: Total backoff seconds slept between attempts.
     """
 
     job: CompileJob
@@ -148,6 +159,8 @@ class JobResult:
     fidelity: FidelityReport | None
     cache_hit: bool
     error: JobFailure | None = None
+    attempts: int = 1
+    retry_wait_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -176,6 +189,15 @@ class CompilationEngine:
             :class:`EngineError`, pending futures cancelled) or
             ``"collect"`` (failures become error-carrying
             :class:`JobResult` entries, every other job completes).
+        retries: Extra compilation attempts granted to a failing job
+            before its failure is surfaced (``0``, the default,
+            preserves the historical single-attempt behaviour).  The
+            attempt count and total backoff slept are recorded on the
+            :class:`JobResult`.
+        backoff: Base delay in seconds between attempts; attempt ``n``
+            waits ``backoff * 2**(n-1)`` before re-running, so
+            transient failures (cache-volume hiccups, memory pressure
+            in a worker) get breathing room without stalling the batch.
 
     Example:
         >>> from repro.engine import CompilationEngine, CompileJob
@@ -193,6 +215,8 @@ class CompilationEngine:
         workers: int = 1,
         progress: ProgressCallback | None = None,
         on_error: str = "raise",
+        retries: int = 0,
+        backoff: float = 0.1,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -201,9 +225,15 @@ class CompilationEngine:
                 f"on_error must be one of {ERROR_POLICIES}, "
                 f"got {on_error!r}"
             )
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if backoff < 0:
+            raise ValueError("backoff must be non-negative")
         self.cache = cache if cache is not None else NullCache()
         self.workers = workers
         self.on_error = on_error
+        self.retries = retries
+        self.backoff = backoff
         self._progress = progress
 
     # ------------------------------------------------------------------
@@ -292,30 +322,65 @@ class CompilationEngine:
 
     # ------------------------------------------------------------------
 
+    def _retry_delay(self, attempt: int) -> float:
+        """Backoff before re-running after failed attempt ``attempt``."""
+        return self.backoff * 2 ** (attempt - 1)
+
+    def _execute_with_retries(
+        self, job: CompileJob, circuit: Any
+    ) -> tuple[dict[str, Any] | None, Exception | None, int, float]:
+        """Run one job in-process, retrying per the engine policy.
+
+        Returns ``(artifact, final_exception, attempts, waited_s)``;
+        exactly one of artifact / exception is set.
+        """
+        waited = 0.0
+        for attempt in range(1, self.retries + 2):
+            try:
+                return execute_job_on_circuit(job, circuit), None, attempt, waited
+            except Exception as exc:
+                if attempt > self.retries:
+                    return None, exc, attempt, waited
+                delay = self._retry_delay(attempt)
+                if delay:
+                    time.sleep(delay)
+                waited += delay
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def _compile_pending(
         self,
         pending: Sequence[tuple[int, CompileJob, Any, str]],
         total: int,
         policy: str,
     ) -> Iterator[JobResult]:
-        """Yield a :class:`JobResult` for every cache miss."""
+        """Yield a :class:`JobResult` for every cache miss.
+
+        Failures are surfaced -- raised or collected -- only after the
+        job's final attempt; earlier attempts retry after exponential
+        backoff (``backoff * 2**(attempt-1)`` seconds).
+        """
         if not pending:
             return
         if self.workers == 1 or len(pending) == 1:
             for index, job, circuit, key in pending:
-                try:
-                    artifact = execute_job_on_circuit(job, circuit)
-                except Exception as exc:
+                artifact, exc, attempts, waited = (
+                    self._execute_with_retries(job, circuit)
+                )
+                if exc is not None:
                     failure = _describe_failure(index, job, key, exc)
                     if policy == "raise":
                         raise EngineError(
                             failure.describe(), failure=failure
                         ) from exc
                     yield self._failure(
-                        index, total, job, key, exc, failure=failure
+                        index, total, job, key, exc, failure=failure,
+                        attempts=attempts, retry_wait_s=waited,
                     )
                     continue
-                yield self._finish(index, total, job, key, artifact)
+                yield self._finish(
+                    index, total, job, key, artifact,
+                    attempts=attempts, retry_wait_s=waited,
+                )
             return
         max_workers = min(self.workers, len(pending))
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
@@ -323,15 +388,56 @@ class CompilationEngine:
                 pool.submit(execute_job_on_circuit, job, circuit): (
                     index,
                     job,
+                    circuit,
                     key,
                 )
                 for index, job, circuit, key in pending
             }
+            # Attempts taken / backoff waited so far, per batch index
+            # (populated lazily: absent means one attempt in flight).
+            attempts_used: dict[int, int] = {}
+            waited_s: dict[int, float] = {}
+            # Failed jobs sitting out their backoff, as
+            # (resubmit_at_monotonic, index, job, circuit, key).  The
+            # dispatcher never sleeps while other futures are running:
+            # backoff deadlines become wait() timeouts, so unrelated
+            # completions keep streaming during a retry delay.
+            backoff_queue: list[tuple[float, int, CompileJob, Any, str]] = []
             not_done = set(future_info)
             try:
-                while not_done:
+                while not_done or backoff_queue:
+                    now = time.monotonic()
+                    for entry in [
+                        e for e in backoff_queue if e[0] <= now
+                    ]:
+                        backoff_queue.remove(entry)
+                        _, index, job, circuit, key = entry
+                        retry = pool.submit(
+                            execute_job_on_circuit, job, circuit
+                        )
+                        future_info[retry] = (index, job, circuit, key)
+                        not_done.add(retry)
+                    if not not_done:
+                        # Only backoffs pending: sleep to the nearest
+                        # resubmission deadline.
+                        time.sleep(
+                            max(
+                                0.0,
+                                min(e[0] for e in backoff_queue) - now,
+                            )
+                        )
+                        continue
+                    timeout = None
+                    if backoff_queue:
+                        timeout = max(
+                            0.0,
+                            min(e[0] for e in backoff_queue)
+                            - time.monotonic(),
+                        )
                     done, not_done = wait(
-                        not_done, return_when=FIRST_COMPLETED
+                        not_done,
+                        timeout=timeout,
+                        return_when=FIRST_COMPLETED,
                     )
                     # Process each completion batch in submission order
                     # so failure handling (and progress) is
@@ -340,10 +446,29 @@ class CompilationEngine:
                     for future in sorted(
                         done, key=lambda f: future_info[f][0]
                     ):
-                        index, job, key = future_info[future]
+                        index, job, circuit, key = future_info.pop(
+                            future
+                        )
+                        attempts = attempts_used.get(index, 0) + 1
                         try:
                             artifact = future.result()
                         except Exception as exc:
+                            if attempts <= self.retries:
+                                delay = self._retry_delay(attempts)
+                                attempts_used[index] = attempts
+                                waited_s[index] = (
+                                    waited_s.get(index, 0.0) + delay
+                                )
+                                backoff_queue.append(
+                                    (
+                                        time.monotonic() + delay,
+                                        index,
+                                        job,
+                                        circuit,
+                                        key,
+                                    )
+                                )
+                                continue
                             failure = _describe_failure(
                                 index, job, key, exc
                             )
@@ -359,11 +484,14 @@ class CompilationEngine:
                                 ) from exc
                             yield self._failure(
                                 index, total, job, key, exc,
-                                failure=failure,
+                                failure=failure, attempts=attempts,
+                                retry_wait_s=waited_s.get(index, 0.0),
                             )
                             continue
                         yield self._finish(
-                            index, total, job, key, artifact
+                            index, total, job, key, artifact,
+                            attempts=attempts,
+                            retry_wait_s=waited_s.get(index, 0.0),
                         )
             except GeneratorExit:
                 # Consumer abandoned the stream: do not block on (or
@@ -378,11 +506,14 @@ class CompilationEngine:
         job: CompileJob,
         key: str,
         artifact: dict[str, Any],
+        attempts: int = 1,
+        retry_wait_s: float = 0.0,
     ) -> JobResult:
         """Store a fresh artifact and materialise its result."""
         self.cache.put(key, artifact)
         result = self._result_from_artifact(
-            job, index, key, artifact, cache_hit=False
+            job, index, key, artifact, cache_hit=False,
+            attempts=attempts, retry_wait_s=retry_wait_s,
         )
         self._emit(index, total, job, False, artifact["compile_time"])
         return result
@@ -395,6 +526,8 @@ class CompilationEngine:
         key: str,
         exc: Exception,
         failure: JobFailure | None = None,
+        attempts: int = 1,
+        retry_wait_s: float = 0.0,
     ) -> JobResult:
         """Materialise a failed job as an error-carrying result."""
         if failure is None:
@@ -409,6 +542,8 @@ class CompilationEngine:
             fidelity=None,
             cache_hit=False,
             error=failure,
+            attempts=attempts,
+            retry_wait_s=retry_wait_s,
         )
 
     def _result_from_artifact(
@@ -419,6 +554,8 @@ class CompilationEngine:
         doc: dict[str, Any],
         cache_hit: bool,
         circuit=None,
+        attempts: int = 1,
+        retry_wait_s: float = 0.0,
     ) -> JobResult:
         program = program_from_dict(doc["program"])
         if cache_hit and job.validate and not doc.get("validated"):
@@ -443,6 +580,8 @@ class CompilationEngine:
             compile_time=doc["compile_time"],
             fidelity=fidelity,
             cache_hit=cache_hit,
+            attempts=attempts,
+            retry_wait_s=retry_wait_s,
         )
 
     def _emit(

@@ -20,7 +20,7 @@ resolved through the backend registry.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Any
 
 from ..baselines.atomique import AtomiqueConfig
@@ -183,6 +183,79 @@ def job_compiler(job: CompileJob) -> PipelineCompiler:
     )
 
 
+def job_to_doc(job: CompileJob) -> dict[str, Any]:
+    """Serialize a benchmark-keyed job to a JSON-safe document.
+
+    The exact inverse of :func:`job_from_doc`
+    (``job_from_doc(job_to_doc(j)) == j``); the compilation service
+    persists queued jobs through this pair so they survive daemon
+    restarts.  Jobs carrying an explicit :class:`Circuit` are rejected
+    -- queue records must stay small and content-addressed, and every
+    manifest-born job is benchmark-keyed.
+    """
+    if job.circuit is not None:
+        raise JobError(
+            "only benchmark-keyed jobs serialize to documents "
+            "(explicit circuits do not travel through the queue)"
+        )
+    doc: dict[str, Any] = {
+        "benchmark": job.benchmark,
+        "num_aods": job.num_aods,
+        "seed": job.seed,
+        "validate": job.validate,
+    }
+    if job.scenario is not None:
+        doc["scenario"] = job.scenario
+    if job.backend is not None:
+        doc["backend"] = job.backend
+    if job.enola_config is not None:
+        doc["enola"] = asdict(job.enola_config)
+    if job.powermove_config is not None:
+        doc["powermove"] = asdict(job.powermove_config)
+    if job.atomique_config is not None:
+        doc["atomique"] = asdict(job.atomique_config)
+    if job.params != DEFAULT_PARAMS:
+        doc["params"] = asdict(job.params)
+    return doc
+
+
+def job_from_doc(doc: dict[str, Any]) -> CompileJob:
+    """Rebuild a :class:`CompileJob` from a :func:`job_to_doc` document."""
+    if not isinstance(doc, dict):
+        raise JobError("job document must be an object")
+    try:
+        return CompileJob(
+            scenario=doc.get("scenario"),
+            benchmark=doc["benchmark"],
+            num_aods=doc.get("num_aods", 1),
+            seed=doc.get("seed", 0),
+            enola_config=(
+                EnolaConfig(**doc["enola"]) if "enola" in doc else None
+            ),
+            powermove_config=(
+                PowerMoveConfig(**doc["powermove"])
+                if "powermove" in doc
+                else None
+            ),
+            params=(
+                HardwareParams(**doc["params"])
+                if "params" in doc
+                else DEFAULT_PARAMS
+            ),
+            validate=doc.get("validate", True),
+            backend=doc.get("backend"),
+            atomique_config=(
+                AtomiqueConfig(**doc["atomique"])
+                if "atomique" in doc
+                else None
+            ),
+        )
+    except KeyError as exc:
+        raise JobError(f"job document missing field {exc}") from exc
+    except (TypeError, ValueError) as exc:
+        raise JobError(f"bad job document: {exc}") from exc
+
+
 def execute_job_on_circuit(
     job: CompileJob, circuit: Circuit
 ) -> dict[str, Any]:
@@ -228,4 +301,6 @@ __all__ = [
     "execute_job",
     "execute_job_on_circuit",
     "job_compiler",
+    "job_from_doc",
+    "job_to_doc",
 ]

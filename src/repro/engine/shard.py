@@ -38,8 +38,15 @@ BATCH_RESULTS_VERSION = 2
 #: Top-level document fields that depend on the run environment (wall
 #: clock, cache occupancy) rather than the manifest.
 _DOC_VOLATILE_FIELDS = ("wall_time_s", "cache_hits", "cache_misses")
-#: Per-record fields that depend on the run environment.
-_RECORD_VOLATILE_FIELDS = ("compile_time_s", "cache_hit")
+#: Per-record fields that depend on the run environment (retry
+#: bookkeeping is environmental too: transient failures happen on a
+#: machine, not in a manifest).
+_RECORD_VOLATILE_FIELDS = (
+    "compile_time_s",
+    "cache_hit",
+    "attempts",
+    "retry_wait_s",
+)
 
 _ItemT = TypeVar("_ItemT")
 
@@ -115,6 +122,11 @@ def job_record(result: JobResult, index: int) -> dict[str, Any]:
         "cache_hit": result.cache_hit,
         "compile_time_s": result.compile_time,
     }
+    if result.attempts > 1:
+        # Retry bookkeeping (schema v2 compatible: absent on the
+        # common single-attempt path, and strip_timing drops it).
+        record["attempts"] = result.attempts
+        record["retry_wait_s"] = result.retry_wait_s
     if result.ok:
         record.update(
             {
@@ -166,9 +178,36 @@ def results_doc(
             else global_indices[result.index]
         )
         records.append(job_record(result, index))
-    records.sort(key=lambda record: record["index"])
-    hits = sum(1 for record in records if record["cache_hit"])
-    failed = sum(1 for record in records if record["status"] == "error")
+    return results_doc_from_records(
+        records,
+        manifest_digest=manifest_digest,
+        total_jobs=total_jobs,
+        wall_time_s=wall_time_s,
+        on_error=on_error,
+        shard=shard,
+    )
+
+
+def results_doc_from_records(
+    records: Iterable[dict[str, Any]],
+    *,
+    manifest_digest: str,
+    total_jobs: int,
+    wall_time_s: float,
+    on_error: str,
+    shard: ShardPlan | None = None,
+) -> dict[str, Any]:
+    """Assemble a batch-results document from :func:`job_record` dicts.
+
+    The record-level twin of :func:`results_doc`, for callers that hold
+    already-serialized records rather than live :class:`JobResult`
+    objects -- the compilation service persists queue outcomes as
+    records and reassembles its results documents through here, so the
+    service and ``repro batch`` can never drift on schema.
+    """
+    ordered = sorted(records, key=lambda record: record["index"])
+    hits = sum(1 for record in ordered if record["cache_hit"])
+    failed = sum(1 for record in ordered if record["status"] == "error")
     return {
         "format": BATCH_RESULTS_FORMAT,
         "version": BATCH_RESULTS_VERSION,
@@ -180,12 +219,12 @@ def results_doc(
             else {"index": shard.index, "count": shard.count}
         ),
         "on_error": on_error,
-        "num_jobs": len(records),
+        "num_jobs": len(ordered),
         "num_failed": failed,
         "cache_hits": hits,
-        "cache_misses": len(records) - hits,
+        "cache_misses": len(ordered) - hits,
         "wall_time_s": wall_time_s,
-        "results": records,
+        "results": ordered,
     }
 
 
@@ -307,5 +346,6 @@ __all__ = [
     "job_record",
     "merge_result_docs",
     "results_doc",
+    "results_doc_from_records",
     "strip_timing",
 ]

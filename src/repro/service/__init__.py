@@ -1,0 +1,50 @@
+"""Long-running compilation service: daemon, queue, protocol, client.
+
+The resident counterpart of ``repro batch``: a ``repro serve`` daemon
+(:class:`ServiceServer`) keeps the engine, its process state and a
+shared program cache warm across many submissions, accepts job
+manifests over a local TCP or Unix socket (newline-delimited JSON,
+:mod:`repro.service.protocol`), persists them in a crash-safe on-disk
+queue (:class:`JobQueue` -- priorities, worker leases, dedup by cache
+key, restart recovery) and executes them on leased worker threads
+wrapping :class:`repro.engine.CompilationEngine` with per-job
+retry-with-backoff.  :class:`ServiceClient` (and the ``repro submit``
+/ ``repro status`` / ``repro results --follow`` commands) submit work
+and stream back completion-order result records schema-identical to
+``repro batch --stream``.  See ``docs/service.md``.
+"""
+
+from .client import ServiceClient, ServiceError
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    format_address,
+    parse_address,
+)
+from .queue import (
+    DEFAULT_MAX_REQUEUES,
+    JOB_RECORD_FORMAT,
+    JOB_STATES,
+    QUEUE_SCHEMA_VERSION,
+    SUBMISSION_FORMAT,
+    JobQueue,
+    QueueError,
+)
+from .server import ServiceServer
+
+__all__ = [
+    "DEFAULT_MAX_REQUEUES",
+    "JOB_RECORD_FORMAT",
+    "JOB_STATES",
+    "JobQueue",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QUEUE_SCHEMA_VERSION",
+    "QueueError",
+    "SUBMISSION_FORMAT",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "format_address",
+    "parse_address",
+]

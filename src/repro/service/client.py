@@ -1,0 +1,242 @@
+"""In-library client of the compilation service.
+
+:class:`ServiceClient` speaks the NDJSON protocol to a running
+``repro serve`` daemon.  Each operation opens its own connection, so
+a client object is cheap and safe to share across threads -- with one
+caveat: :meth:`ServiceClient.results` parks its stream-framing events
+on the client (``last_start`` / ``last_summary``), so concurrent
+*record streams* should use one client each.
+
+Example::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("127.0.0.1:7431")
+    submitted = client.submit({"jobs": [{"benchmark": "BV-14"}]})
+    for record in client.results(submitted["submission"], follow=True):
+        print(record["benchmark"], record["status"])
+    doc = client.results_document(submitted["submission"])
+
+The record dicts are schema-identical to ``repro batch --stream``
+NDJSON lines, and :meth:`ServiceClient.results_document` reassembles
+them into a batch-results document
+(:func:`repro.engine.shard.results_doc_from_records`) that
+``repro merge`` / the analysis layer accept unchanged.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Iterator
+
+from ..engine.shard import results_doc_from_records
+from .protocol import ProtocolError, parse_address, read_message, write_message
+
+
+class ServiceError(RuntimeError):
+    """The service refused an operation or the connection failed."""
+
+
+class ServiceClient:
+    """Client of one ``repro serve`` daemon.
+
+    Args:
+        address: The daemon's listen address (``host:port`` or Unix
+            socket path).
+        timeout: Socket timeout for connection setup and (non-follow)
+            replies.  A followed result stream clears it -- the server
+            is silent while a job compiles -- and relies on EOF to
+            detect a dead daemon.
+    """
+
+    def __init__(self, address: str, timeout: float = 10.0) -> None:
+        parse_address(address)  # validate eagerly
+        self.address = address
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        kind, value = parse_address(self.address)
+        try:
+            if kind == "unix":
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                sock.connect(value)
+            else:
+                sock = socket.create_connection(
+                    value, timeout=self.timeout
+                )
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach the service at {self.address}: {exc}"
+            ) from exc
+        return sock
+
+    def _request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """One request, one response."""
+        with self._connect() as sock:
+            stream = sock.makefile("rwb")
+            try:
+                write_message(stream, payload)
+                reply = read_message(stream)
+            except (OSError, ProtocolError) as exc:
+                raise ServiceError(
+                    f"service request failed: {exc}"
+                ) from exc
+            finally:
+                stream.close()
+        if reply is None:
+            raise ServiceError(
+                "the service closed the connection without replying"
+            )
+        if not reply.get("ok", False):
+            raise ServiceError(
+                reply.get("error", "service reported an unknown error")
+            )
+        return reply
+
+    # -- operations ----------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        """Liveness + queue occupancy of the daemon."""
+        return self._request({"op": "ping"})
+
+    def submit(
+        self, manifest_doc: Any, priority: int = 0
+    ) -> dict[str, Any]:
+        """Submit a manifest document; returns ids and digest."""
+        return self._request(
+            {"op": "submit", "manifest": manifest_doc, "priority": priority}
+        )
+
+    def status(self, submission: str | None = None) -> dict[str, Any]:
+        """Queue counts (whole daemon, or one submission)."""
+        payload: dict[str, Any] = {"op": "status"}
+        if submission is not None:
+            payload["submission"] = submission
+        return self._request(payload)
+
+    def shutdown(self, drain: bool = True) -> dict[str, Any]:
+        """Ask the daemon to shut down (draining by default)."""
+        return self._request({"op": "shutdown", "drain": drain})
+
+    def _stream(
+        self, submission: str, follow: bool
+    ) -> Iterator[dict[str, Any]]:
+        """Yield the raw ``start`` / ``record`` / ``end`` events of one
+        results request, on a connection of its own."""
+        with self._connect() as sock:
+            if follow:
+                # A compile emits nothing until it finishes; block
+                # rather than tearing a buffered read mid-line.  A dead
+                # daemon still surfaces as EOF.
+                sock.settimeout(None)
+            stream = sock.makefile("rwb")
+            try:
+                write_message(
+                    stream,
+                    {
+                        "op": "results",
+                        "submission": submission,
+                        "follow": follow,
+                    },
+                )
+                while True:
+                    event = read_message(stream)
+                    if event is None:
+                        raise ServiceError(
+                            "result stream ended without an 'end' event"
+                        )
+                    if not event.get("ok", False):
+                        raise ServiceError(
+                            event.get("error", "service error")
+                        )
+                    kind = event.get("event")
+                    if kind not in ("start", "record", "end"):
+                        raise ServiceError(
+                            f"unexpected stream event {kind!r}"
+                        )
+                    yield event
+                    if kind == "end":
+                        return
+            except (OSError, ProtocolError) as exc:
+                raise ServiceError(
+                    f"result stream failed: {exc}"
+                ) from exc
+            finally:
+                stream.close()
+
+    def results(
+        self, submission: str, follow: bool = False
+    ) -> Iterator[dict[str, Any]]:
+        """Yield a submission's result records in completion order.
+
+        With ``follow`` the iterator blocks until every job finished.
+        After exhaustion, :attr:`last_start` / :attr:`last_summary`
+        hold the stream's framing events (manifest digest, totals,
+        wall time).  Those two attributes are per-client convenience
+        state: concurrent ``results`` streams should use one client
+        each (every other operation, including
+        :meth:`results_document`, keeps no shared state).
+        """
+        self.last_start: dict[str, Any] | None = None
+        self.last_summary: dict[str, Any] | None = None
+        for event in self._stream(submission, follow):
+            kind = event["event"]
+            if kind == "start":
+                self.last_start = event
+            elif kind == "record":
+                yield event["record"]
+            else:
+                self.last_summary = event
+
+    def results_document(
+        self, submission: str, follow: bool = True
+    ) -> dict[str, Any]:
+        """The submission's batch-results document (schema v2).
+
+        Streams the records (following until completion by default)
+        and reassembles them with
+        :func:`~repro.engine.shard.results_doc_from_records` -- the
+        same document an equivalent ``repro batch --on-error collect``
+        run writes, modulo timing/cache fields.
+        """
+        records: list[dict[str, Any]] = []
+        start: dict[str, Any] = {}
+        summary: dict[str, Any] = {}
+        for event in self._stream(submission, follow):
+            kind = event["event"]
+            if kind == "start":
+                start = event
+            elif kind == "record":
+                records.append(event["record"])
+            else:
+                summary = event
+        if summary.get("remaining"):
+            raise ServiceError(
+                f"submission {submission} still has "
+                f"{summary['remaining']} unfinished job(s)"
+            )
+        return results_doc_from_records(
+            records,
+            manifest_digest=start.get("manifest_digest", ""),
+            total_jobs=start.get("total_jobs", len(records)),
+            wall_time_s=summary.get("wall_time_s", 0.0),
+            on_error="collect",
+        )
+
+    def wait_ready(self, timeout: float = 10.0) -> dict[str, Any]:
+        """Ping until the daemon answers (it may still be binding)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.ping()
+            except ServiceError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+
+__all__ = ["ServiceClient", "ServiceError"]

@@ -1,0 +1,148 @@
+"""Wire protocol of the compilation service: newline-delimited JSON.
+
+Every message -- request or response -- is one JSON object on one
+line, UTF-8, terminated by ``\\n``.  A client connection carries a
+sequence of requests; the server answers each with one response
+object, except ``results``, which streams several *event* objects and
+ends the exchange with an ``{"event": "end", ...}`` line.
+
+Requests (``op`` selects the operation)::
+
+    {"op": "ping"}
+    {"op": "submit", "manifest": <manifest doc>, "priority": 0}
+    {"op": "status"}                      # whole queue
+    {"op": "status", "submission": ID}    # one submission
+    {"op": "results", "submission": ID, "follow": true}
+    {"op": "shutdown", "drain": true}
+
+Responses always carry ``"ok"`` (``false`` plus an ``"error"`` string
+on failure).  ``results`` events look like::
+
+    {"ok": true, "event": "start", "submission": ID,
+     "manifest_digest": ..., "total_jobs": N}
+    {"ok": true, "event": "record", "record": {<job_record>}}
+    ...
+    {"ok": true, "event": "end", "num_done": N, "num_failed": F,
+     "remaining": R, "wall_time_s": T}
+
+The ``record`` payloads are byte-identical in schema to the NDJSON
+lines of ``repro batch --stream``
+(:func:`repro.engine.shard.job_record`), so everything downstream of
+either -- ``repro merge``, :func:`repro.engine.shard.results_doc_from_records`,
+the analysis layer -- consumes service output unchanged.
+
+Addresses: the service listens on either TCP (``"host:port"``, e.g.
+``127.0.0.1:7431``; port ``0`` binds an ephemeral port) or a Unix
+domain socket (any spec containing a path separator, e.g.
+``/tmp/repro.sock`` or ``./queue/service.sock``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, BinaryIO, Iterator
+
+#: Bump on incompatible wire changes; ping responses carry it.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one protocol line (a manifest embedding the full
+#: benchmark suite is ~10 kB; 32 MiB leaves orders of magnitude slack
+#: while still bounding a malformed peer).
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """Raised on malformed protocol traffic (bad JSON, oversize line)."""
+
+
+def parse_address(spec: str) -> tuple[str, Any]:
+    """Parse an address spec into ``("tcp", (host, port))`` or
+    ``("unix", path)``.
+
+    TCP specs are ``host:port``; anything containing a path separator
+    (or starting with ``.``) is a Unix socket path.
+    """
+    spec = spec.strip()
+    if not spec:
+        raise ProtocolError("empty service address")
+    if os.sep in spec or "/" in spec or spec.startswith("."):
+        return ("unix", spec)
+    host, colon, port_text = spec.rpartition(":")
+    if not colon or not host:
+        raise ProtocolError(
+            f"bad service address {spec!r}: expected host:port or a "
+            "socket path"
+        )
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise ProtocolError(
+            f"bad service address {spec!r}: port {port_text!r} is not "
+            "an integer"
+        ) from exc
+    if not 0 <= port <= 65535:
+        raise ProtocolError(
+            f"bad service address {spec!r}: port outside 0..65535"
+        )
+    return ("tcp", (host, port))
+
+
+def format_address(kind: str, value: Any) -> str:
+    """Render a parsed address back into its spec string."""
+    if kind == "unix":
+        return str(value)
+    host, port = value
+    return f"{host}:{port}"
+
+
+def write_message(stream: BinaryIO, payload: dict[str, Any]) -> None:
+    """Write one protocol message and flush it.
+
+    Flushing per message is load-bearing: ``results --follow``
+    consumers must see every record the moment it exists, not when a
+    buffer happens to fill.
+    """
+    line = json.dumps(payload, separators=(",", ":")) + "\n"
+    stream.write(line.encode("utf-8"))
+    stream.flush()
+
+
+def read_message(stream: BinaryIO) -> dict[str, Any] | None:
+    """Read one protocol message; ``None`` on clean EOF."""
+    line = stream.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError("protocol line exceeds the size bound")
+    text = line.decode("utf-8", errors="replace").strip()
+    if not text:
+        return None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"bad protocol line: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("protocol messages must be JSON objects")
+    return payload
+
+
+def read_messages(stream: BinaryIO) -> Iterator[dict[str, Any]]:
+    """Iterate protocol messages until EOF."""
+    while True:
+        payload = read_message(stream)
+        if payload is None:
+            return
+        yield payload
+
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "format_address",
+    "parse_address",
+    "read_message",
+    "read_messages",
+    "write_message",
+]

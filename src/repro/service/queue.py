@@ -1,0 +1,478 @@
+"""Persistent on-disk job queue of the compilation service.
+
+One :class:`JobQueue` owns a directory::
+
+    <dir>/submissions/<sub-id>.json   one document per accepted manifest
+    <dir>/jobs/<job-id>.json          one document per expanded job
+
+Every document is written atomically (temp file + rename), so the
+queue survives a daemon crash at any instant: on reopen,
+:meth:`JobQueue.recover` returns every job the dead process was
+running back to ``queued`` (its attempts so far are kept) and nothing
+already ``done`` re-runs.
+
+Job records carry the :func:`repro.engine.jobs.job_to_doc` form of the
+job plus its scheduling state::
+
+    {"format": "repro-service-job", "version": 1,
+     "id": "s000001-00003", "submission": "s000001", "index": 3,
+     "priority": 0, "seq": 17,
+     "status": "queued" | "running" | "done" | "error",
+     "cache_key": <64-hex job_cache_key>,
+     "job": {<job_to_doc>},
+     "lease": {"worker": ..., "expires_at": ...} | null,
+     "requeues": 0,
+     "completed_seq": 5 | null,
+     "record": {<job_record, schema v2>} | null}
+
+Scheduling is priority-then-FIFO: :meth:`lease` hands out the queued
+job with the highest ``priority`` (ties: lowest submission ``seq``,
+then manifest ``index``).  Work is **deduplicated by cache key**: two
+queued jobs with the same content-addressed key are never leased
+concurrently, so the first compiles while the second waits and is then
+served from the shared program cache in microseconds -- the queue
+plus cache together guarantee each distinct compilation runs once per
+cache lifetime, no matter how many submissions ask for it.
+
+Leases expire: the daemon heartbeats (:meth:`renew`) every job its
+live worker threads are executing, so only a worker that stops
+heartbeating (crashed thread, SIGKILLed daemon) loses its job to
+:meth:`requeue_expired` -- bounded by ``max_requeues`` so a job that
+kills its worker cannot cycle forever.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from typing import Any, Callable
+
+from ..engine.cache import job_cache_key
+from ..engine.jobs import CompileJob, job_from_doc, job_to_doc
+from ..engine.manifest import (
+    ManifestError,
+    manifest_digest,
+    parse_manifest,
+)
+
+#: Schema identity of queue documents.
+JOB_RECORD_FORMAT = "repro-service-job"
+SUBMISSION_FORMAT = "repro-service-submission"
+QUEUE_SCHEMA_VERSION = 1
+
+#: Job lifecycle states.
+JOB_STATES = ("queued", "running", "done", "error")
+
+#: Crash-requeue bound: a job whose worker dies mid-run re-enters the
+#: queue at most this many times before it is recorded as an error.
+DEFAULT_MAX_REQUEUES = 3
+
+
+class QueueError(RuntimeError):
+    """Raised on structurally invalid queue operations or documents."""
+
+
+def _atomic_write(path: str, doc: dict[str, Any]) -> None:
+    directory = os.path.dirname(path)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+class JobQueue:
+    """Crash-safe priority queue of compilation jobs (see module doc).
+
+    Thread-safe: every method may be called from any thread; state
+    changes broadcast on :attr:`changed`, so streamers can wait for
+    completions without polling the disk.
+
+    Args:
+        directory: Queue root (created on first use).
+        max_requeues: Crash-requeue bound per job.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        max_requeues: int = DEFAULT_MAX_REQUEUES,
+    ) -> None:
+        self.directory = directory
+        self.max_requeues = max_requeues
+        self._jobs_dir = os.path.join(directory, "jobs")
+        self._subs_dir = os.path.join(directory, "submissions")
+        os.makedirs(self._jobs_dir, exist_ok=True)
+        os.makedirs(self._subs_dir, exist_ok=True)
+        self._lock = threading.RLock()
+        #: Notified on every job state change (lease, completion,
+        #: requeue, submission).
+        self.changed = threading.Condition(self._lock)
+        self._records: dict[str, dict[str, Any]] = {}
+        self._submissions: dict[str, dict[str, Any]] = {}
+        self._load()
+
+    # -- persistence ---------------------------------------------------
+
+    def _load(self) -> None:
+        for name in sorted(os.listdir(self._subs_dir)):
+            if not name.endswith(".json"):
+                continue
+            doc = self._read_doc(os.path.join(self._subs_dir, name))
+            if doc is not None and doc.get("format") == SUBMISSION_FORMAT:
+                self._submissions[doc["id"]] = doc
+        for name in sorted(os.listdir(self._jobs_dir)):
+            if not name.endswith(".json"):
+                continue
+            doc = self._read_doc(os.path.join(self._jobs_dir, name))
+            if doc is not None and doc.get("format") == JOB_RECORD_FORMAT:
+                self._records[doc["id"]] = doc
+
+    @staticmethod
+    def _read_doc(path: str) -> dict[str, Any] | None:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            # A torn write can only be the .tmp file -- renamed files
+            # are whole -- but tolerate stray garbage rather than
+            # bricking the queue.
+            return None
+
+    def _persist_record(self, record: dict[str, Any]) -> None:
+        _atomic_write(
+            os.path.join(self._jobs_dir, f"{record['id']}.json"), record
+        )
+
+    def _persist_submission(self, doc: dict[str, Any]) -> None:
+        _atomic_write(
+            os.path.join(self._subs_dir, f"{doc['id']}.json"), doc
+        )
+
+    # -- submission ----------------------------------------------------
+
+    def _next_seq(self) -> int:
+        seqs = [doc.get("seq", 0) for doc in self._submissions.values()]
+        return (max(seqs) if seqs else 0) + 1
+
+    def submit(
+        self, manifest_doc: Any, priority: int = 0
+    ) -> dict[str, Any]:
+        """Expand a manifest into queued jobs; returns the submission.
+
+        The whole manifest is validated (:class:`ManifestError`
+        propagates) and every job's cache key computed *before*
+        anything is enqueued, so a malformed submission leaves the
+        queue untouched.
+        """
+        jobs = parse_manifest(manifest_doc)  # raises ManifestError
+        digest = manifest_digest(manifest_doc)
+        keys = [job_cache_key(job) for job in jobs]
+        with self.changed:
+            seq = self._next_seq()
+            sub_id = f"s{seq:06d}"
+            job_ids = [
+                f"{sub_id}-{index:05d}" for index in range(len(jobs))
+            ]
+            submission = {
+                "format": SUBMISSION_FORMAT,
+                "version": QUEUE_SCHEMA_VERSION,
+                "id": sub_id,
+                "seq": seq,
+                "manifest_digest": digest,
+                "total_jobs": len(jobs),
+                "priority": priority,
+                "submitted_at": time.time(),
+                "job_ids": job_ids,
+            }
+            self._persist_submission(submission)
+            self._submissions[sub_id] = submission
+            for index, (job, key, job_id) in enumerate(
+                zip(jobs, keys, job_ids)
+            ):
+                record = {
+                    "format": JOB_RECORD_FORMAT,
+                    "version": QUEUE_SCHEMA_VERSION,
+                    "id": job_id,
+                    "submission": sub_id,
+                    "index": index,
+                    "priority": priority,
+                    "seq": seq,
+                    "status": "queued",
+                    "cache_key": key,
+                    "job": job_to_doc(job),
+                    "lease": None,
+                    "requeues": 0,
+                    "completed_seq": None,
+                    "record": None,
+                }
+                self._persist_record(record)
+                self._records[job_id] = record
+            self.changed.notify_all()
+            return submission
+
+    # -- scheduling ----------------------------------------------------
+
+    def lease(
+        self, worker: str, lease_seconds: float = 300.0
+    ) -> dict[str, Any] | None:
+        """Claim the next runnable job for ``worker``; ``None`` if idle.
+
+        Highest ``priority`` first, then submission order, then
+        manifest index.  A job whose cache key is already running on
+        another worker is skipped (work dedup): it becomes runnable
+        again once the twin finishes and will then hit the shared
+        program cache.
+        """
+        with self.changed:
+            running_keys = {
+                record["cache_key"]
+                for record in self._records.values()
+                if record["status"] == "running"
+            }
+            candidates = [
+                record
+                for record in self._records.values()
+                if record["status"] == "queued"
+                and record["cache_key"] not in running_keys
+            ]
+            if not candidates:
+                return None
+            record = min(
+                candidates,
+                key=lambda r: (-r["priority"], r["seq"], r["index"]),
+            )
+            record["status"] = "running"
+            record["lease"] = {
+                "worker": worker,
+                "expires_at": time.time() + lease_seconds,
+            }
+            self._persist_record(record)
+            self.changed.notify_all()
+            return dict(record)
+
+    def compile_job(self, record: dict[str, Any]) -> CompileJob:
+        """Rebuild the :class:`CompileJob` a leased record describes."""
+        return job_from_doc(record["job"])
+
+    def complete(self, job_id: str, result_record: dict[str, Any]) -> None:
+        """Finish a leased job with its schema-v2 result record.
+
+        ``result_record`` is a :func:`repro.engine.shard.job_record`
+        dict; its ``status`` (``"ok"``/``"error"``) decides the queue
+        state.  Completing an already-completed job is a no-op (a
+        requeued twin may have finished first after a lease expiry);
+        the first completion wins.
+        """
+        with self.changed:
+            record = self._records.get(job_id)
+            if record is None:
+                raise QueueError(f"unknown job {job_id!r}")
+            if record["status"] in ("done", "error"):
+                return
+            record["status"] = (
+                "done" if result_record.get("status") == "ok" else "error"
+            )
+            record["lease"] = None
+            record["completed_seq"] = self._next_completed_seq()
+            record["record"] = result_record
+            self._persist_record(record)
+            self.changed.notify_all()
+
+    def _next_completed_seq(self) -> int:
+        seqs = [
+            record["completed_seq"]
+            for record in self._records.values()
+            if record.get("completed_seq") is not None
+        ]
+        return (max(seqs) if seqs else 0) + 1
+
+    def renew(self, job_id: str, lease_seconds: float = 300.0) -> bool:
+        """Extend a running job's lease (the worker heartbeat).
+
+        The daemon renews the lease of every job its worker threads
+        are actively executing, so a healthy compile can outlive the
+        lease duration arbitrarily; only a worker that stops
+        heartbeating -- dead thread, dead process -- lets the lease
+        expire.  Returns False when the job is not currently leased.
+        """
+        with self.changed:
+            record = self._records.get(job_id)
+            if (
+                record is None
+                or record["status"] != "running"
+                or record["lease"] is None
+            ):
+                return False
+            record["lease"]["expires_at"] = time.time() + lease_seconds
+            self._persist_record(record)
+            return True
+
+    def release(self, job_id: str) -> None:
+        """Return a leased job to the queue unfinished (worker shutdown)."""
+        with self.changed:
+            record = self._records.get(job_id)
+            if record is None or record["status"] != "running":
+                return
+            record["status"] = "queued"
+            record["lease"] = None
+            self._persist_record(record)
+            self.changed.notify_all()
+
+    def _fail_requeue_bound(self, record: dict[str, Any]) -> None:
+        """Record a job that exhausted its crash-requeue budget."""
+        job = job_from_doc(record["job"])
+        record["status"] = "error"
+        record["lease"] = None
+        record["completed_seq"] = self._next_completed_seq()
+        record["record"] = {
+            "index": record["index"],
+            "status": "error",
+            **job.identity(),
+            "cache_key": record["cache_key"],
+            "cache_hit": False,
+            "compile_time_s": 0.0,
+            "error": {
+                "type": "WorkerLostError",
+                "message": (
+                    f"worker lease expired {record['requeues']} times; "
+                    "giving up (the job may be crashing its worker)"
+                ),
+            },
+        }
+        self._persist_record(record)
+
+    def requeue_expired(self, now: float | None = None) -> list[str]:
+        """Return expired-lease jobs to the queue; list of affected ids.
+
+        Jobs past ``max_requeues`` are completed as errors instead of
+        cycling forever.
+        """
+        now = time.time() if now is None else now
+        touched = []
+        with self.changed:
+            for record in self._records.values():
+                if record["status"] != "running":
+                    continue
+                lease = record.get("lease")
+                if lease is not None and lease["expires_at"] > now:
+                    continue
+                record["requeues"] += 1
+                touched.append(record["id"])
+                if record["requeues"] > self.max_requeues:
+                    self._fail_requeue_bound(record)
+                    continue
+                record["status"] = "queued"
+                record["lease"] = None
+                self._persist_record(record)
+            if touched:
+                self.changed.notify_all()
+        return touched
+
+    def recover(self) -> list[str]:
+        """Startup pass: requeue every job a dead daemon left running.
+
+        The daemon that owned this queue is gone, so *any* lease --
+        expired or not -- is orphaned.
+        """
+        return self.requeue_expired(now=float("inf"))
+
+    # -- inspection ----------------------------------------------------
+
+    def get(self, job_id: str) -> dict[str, Any] | None:
+        """A copy of one job record."""
+        with self._lock:
+            record = self._records.get(job_id)
+            return None if record is None else dict(record)
+
+    def submission(self, sub_id: str) -> dict[str, Any] | None:
+        """A copy of one submission document."""
+        with self._lock:
+            doc = self._submissions.get(sub_id)
+            return None if doc is None else dict(doc)
+
+    def submission_ids(self) -> list[str]:
+        """All submission ids, oldest first."""
+        with self._lock:
+            return sorted(
+                self._submissions,
+                key=lambda sid: self._submissions[sid]["seq"],
+            )
+
+    def records_for(self, sub_id: str) -> list[dict[str, Any]]:
+        """Copies of a submission's job records, by manifest index."""
+        with self._lock:
+            records = [
+                dict(record)
+                for record in self._records.values()
+                if record["submission"] == sub_id
+            ]
+        records.sort(key=lambda record: record["index"])
+        return records
+
+    def completed_records(self, sub_id: str) -> list[dict[str, Any]]:
+        """A submission's finished records, in completion order."""
+        with self._lock:
+            records = [
+                dict(record)
+                for record in self._records.values()
+                if record["submission"] == sub_id
+                and record["status"] in ("done", "error")
+            ]
+        records.sort(key=lambda record: record["completed_seq"])
+        return records
+
+    def counts(self, sub_id: str | None = None) -> dict[str, int]:
+        """Job totals per state (optionally for one submission)."""
+        totals = dict.fromkeys(JOB_STATES, 0)
+        with self._lock:
+            for record in self._records.values():
+                if sub_id is not None and record["submission"] != sub_id:
+                    continue
+                totals[record["status"]] += 1
+        return totals
+
+    def unfinished(self, sub_id: str | None = None) -> int:
+        """Jobs not yet done or errored."""
+        totals = self.counts(sub_id)
+        return totals["queued"] + totals["running"]
+
+    def wait(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float | None = None,
+    ) -> bool:
+        """Block until ``predicate()`` holds or ``timeout`` elapses."""
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self.changed:
+            while not predicate():
+                remaining = (
+                    None
+                    if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self.changed.wait(remaining)
+            return True
+
+
+__all__ = [
+    "DEFAULT_MAX_REQUEUES",
+    "JOB_RECORD_FORMAT",
+    "JOB_STATES",
+    "JobQueue",
+    "ManifestError",
+    "QUEUE_SCHEMA_VERSION",
+    "QueueError",
+    "SUBMISSION_FORMAT",
+]

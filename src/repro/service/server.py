@@ -1,0 +1,514 @@
+"""The resident compilation daemon (``repro serve``).
+
+A :class:`ServiceServer` ties together the three service halves:
+
+* a listener -- a threaded socket server (TCP or Unix domain,
+  :func:`repro.service.protocol.parse_address`) speaking the NDJSON
+  protocol, one handler thread per client connection;
+* a persistent :class:`~repro.service.queue.JobQueue` -- submissions
+  survive restarts, crash recovery runs on startup;
+* a pool of **leased workers** -- threads that lease jobs from the
+  queue and execute them through the existing
+  :class:`~repro.engine.CompilationEngine` (one engine per worker,
+  sharing one program cache) with per-job retry-with-backoff and
+  ``on_error="collect"``, so a failing job becomes an error record
+  instead of a dead daemon.
+
+A maintenance thread requeues expired leases, so a job whose worker
+thread died (or whose previous daemon was SIGKILLed mid-compile)
+re-runs instead of hanging its submission forever.
+
+Lifecycle: :meth:`start` binds the socket and spawns the threads;
+:meth:`stop` (``drain=True``) stops accepting submissions, lets the
+workers finish every queued job, then shuts the daemon down.  The
+``shutdown`` protocol op triggers the same path remotely.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import socketserver
+import threading
+import time
+from typing import Any, BinaryIO
+
+from ..engine.cache import DiskCache, MemoryCache, ProgramCache
+from ..engine.engine import CompilationEngine
+from ..engine.shard import job_record
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    format_address,
+    parse_address,
+    read_message,
+    write_message,
+)
+from .queue import JobQueue, ManifestError
+
+
+class _Listener(socketserver.ThreadingMixIn, socketserver.TCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+if hasattr(socketserver, "UnixStreamServer"):  # POSIX
+
+    class _UnixListener(
+        socketserver.ThreadingMixIn, socketserver.UnixStreamServer
+    ):
+        daemon_threads = True
+
+else:  # pragma: no cover - non-POSIX
+    _UnixListener = None  # type: ignore[assignment,misc]
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One client connection: read requests, dispatch, answer."""
+
+    server: "_Listener"
+
+    def handle(self) -> None:
+        service: ServiceServer = self.server.service  # type: ignore[attr-defined]
+        while True:
+            try:
+                request = read_message(self.rfile)
+            except ProtocolError as exc:
+                write_message(
+                    self.wfile, {"ok": False, "error": str(exc)}
+                )
+                return
+            if request is None:
+                return
+            try:
+                if not service.dispatch(request, self.wfile):
+                    return
+            except (BrokenPipeError, ConnectionResetError):
+                return
+
+
+class ServiceServer:
+    """The resident compilation service (see module docstring).
+
+    Args:
+        queue_dir: Job-queue root; reusing a previous daemon's
+            directory resumes its unfinished work.
+        address: Listen address spec (``host:port`` or a Unix socket
+            path).  TCP port ``0`` binds an ephemeral port --
+            :attr:`address` carries the resolved spec after
+            :meth:`start`.
+        cache: Program cache shared by every worker; defaults to
+            ``DiskCache(cache_dir)`` when ``cache_dir`` is given, else
+            an in-process :class:`MemoryCache`.
+        cache_dir: Convenience for ``cache=DiskCache(cache_dir)``.
+        workers: Leased-worker thread count.
+        retries: Per-job extra compilation attempts
+            (:class:`CompilationEngine` retry-with-backoff).
+        backoff: Base backoff seconds between attempts.
+        lease_seconds: Worker lease duration; an expired lease returns
+            the job to the queue.
+    """
+
+    def __init__(
+        self,
+        queue_dir: str,
+        address: str = "127.0.0.1:0",
+        *,
+        cache: ProgramCache | None = None,
+        cache_dir: str | None = None,
+        workers: int = 2,
+        retries: int = 1,
+        backoff: float = 0.1,
+        lease_seconds: float = 300.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if cache is None:
+            cache = (
+                DiskCache(cache_dir)
+                if cache_dir is not None
+                else MemoryCache()
+            )
+        self.queue = JobQueue(queue_dir)
+        self.cache = cache
+        self.workers = workers
+        self.retries = retries
+        self.backoff = backoff
+        self.lease_seconds = lease_seconds
+        self._address_spec = address
+        self._listener: socketserver.BaseServer | None = None
+        self._threads: list[threading.Thread] = []
+        # Jobs currently executing on this daemon's worker threads
+        # (worker id -> job id); the maintenance thread heartbeats
+        # their leases so healthy long compiles never expire.
+        self._active_lock = threading.Lock()
+        self._active_jobs: dict[str, str] = {}
+        self._started = threading.Event()
+        self._stopping = threading.Event()
+        self._draining = threading.Event()
+        self._stopped = threading.Event()
+        self.started_at = time.time()
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        """The resolved listen address (after :meth:`start`)."""
+        if self._listener is None:
+            return self._address_spec
+        kind, value = parse_address(self._address_spec)
+        if kind == "tcp":
+            host, port = self._listener.server_address[:2]
+            return format_address("tcp", (host, port))
+        return self._address_spec
+
+    def start(self) -> "ServiceServer":
+        """Recover the queue, bind the socket, spawn the threads."""
+        recovered = self.queue.recover()
+        if recovered:
+            self._log(
+                f"recovered {len(recovered)} job(s) from a previous run"
+            )
+        kind, value = parse_address(self._address_spec)
+        if kind == "unix":
+            if not hasattr(socket, "AF_UNIX"):
+                raise ProtocolError(
+                    "unix socket addresses need AF_UNIX; use host:port"
+                )
+            if os.path.exists(value):
+                os.unlink(value)  # stale socket from a dead daemon
+            assert _UnixListener is not None
+            self._listener = _UnixListener(value, _Handler)
+        else:
+            self._listener = _Listener(value, _Handler)
+        self._listener.service = self  # type: ignore[attr-defined]
+        self._threads = [
+            threading.Thread(
+                target=self._listener.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                name="repro-service-listener",
+                daemon=True,
+            ),
+            threading.Thread(
+                target=self._maintenance_loop,
+                name="repro-service-maintenance",
+                daemon=True,
+            ),
+        ]
+        self._threads += [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(f"worker-{number}",),
+                name=f"repro-service-worker-{number}",
+                daemon=True,
+            )
+            for number in range(1, self.workers + 1)
+        ]
+        for thread in self._threads:
+            thread.start()
+        self._started.set()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Shut the daemon down.
+
+        Args:
+            drain: Refuse new submissions, finish every queued job,
+                then stop.  ``False`` stops after at most the
+                in-flight jobs (leased work completes; queued work
+                stays queued on disk for the next daemon).
+            timeout: Bound on the drain wait.
+        """
+        self._draining.set()
+        if drain:
+            self.queue.wait(
+                lambda: self.queue.unfinished() == 0, timeout=timeout
+            )
+        self._stopping.set()
+        with self.queue.changed:
+            self.queue.changed.notify_all()  # wake idle workers
+        if self._listener is not None:
+            self._listener.shutdown()
+            self._listener.server_close()
+            kind, value = parse_address(self._address_spec)
+            if kind == "unix" and os.path.exists(value):
+                try:
+                    os.unlink(value)
+                except OSError:
+                    pass
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=10.0)
+        self._stopped.set()
+
+    def wait_stopped(self, timeout: float | None = None) -> bool:
+        """Block until the daemon has fully stopped."""
+        return self._stopped.wait(timeout)
+
+    @property
+    def draining(self) -> bool:
+        """Whether the daemon has stopped accepting submissions."""
+        return self._draining.is_set()
+
+    def _log(self, message: str) -> None:
+        # Single seam for daemon logging; the CLI wires it to stderr.
+        print(f"repro-service: {message}", flush=True)
+
+    # -- workers -------------------------------------------------------
+
+    def _worker_loop(self, worker_id: str) -> None:
+        engine = CompilationEngine(
+            cache=self.cache,
+            workers=1,
+            on_error="collect",
+            retries=self.retries,
+            backoff=self.backoff,
+        )
+        while not self._stopping.is_set():
+            record = self.queue.lease(
+                worker_id, lease_seconds=self.lease_seconds
+            )
+            if record is None:
+                with self.queue.changed:
+                    if self._stopping.is_set():
+                        return
+                    self.queue.changed.wait(timeout=0.2)
+                continue
+            with self._active_lock:
+                self._active_jobs[worker_id] = record["id"]
+            try:
+                self._execute(engine, record)
+            finally:
+                with self._active_lock:
+                    self._active_jobs.pop(worker_id, None)
+
+    def _execute(
+        self, engine: CompilationEngine, record: dict[str, Any]
+    ) -> None:
+        try:
+            job = self.queue.compile_job(record)
+            [result] = engine.run([job])
+            result_record = job_record(result, record["index"])
+        except Exception as exc:  # defensive: keep the worker alive
+            result_record = {
+                "index": record["index"],
+                "status": "error",
+                "benchmark": record["job"].get("benchmark"),
+                "scenario": record["job"].get(
+                    "scenario", record["job"].get("backend")
+                ),
+                "seed": record["job"].get("seed", 0),
+                "num_aods": record["job"].get("num_aods", 1),
+                "cache_key": record["cache_key"],
+                "cache_hit": False,
+                "compile_time_s": 0.0,
+                "error": {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                },
+            }
+        self.queue.complete(record["id"], result_record)
+
+    def _maintenance_loop(self) -> None:
+        interval = min(max(self.lease_seconds / 4.0, 0.05), 15.0)
+        while not self._stopping.wait(timeout=interval):
+            # Heartbeat first: a job still executing on a live worker
+            # thread must never lose its lease, no matter how long the
+            # compile runs relative to --lease.
+            with self._active_lock:
+                active = list(self._active_jobs.values())
+            for job_id in active:
+                self.queue.renew(job_id, self.lease_seconds)
+            expired = self.queue.requeue_expired()
+            if expired:
+                self._log(
+                    f"requeued {len(expired)} expired lease(s): "
+                    + ", ".join(expired)
+                )
+
+    # -- protocol dispatch ---------------------------------------------
+
+    def dispatch(
+        self, request: dict[str, Any], stream: BinaryIO
+    ) -> bool:
+        """Answer one request; False ends the connection."""
+        op = request.get("op")
+        if op == "ping":
+            write_message(stream, self._ping())
+            return True
+        if op == "submit":
+            write_message(stream, self._submit(request))
+            return True
+        if op == "status":
+            write_message(stream, self._status(request))
+            return True
+        if op == "results":
+            self._results(request, stream)
+            return True
+        if op == "shutdown":
+            drain = bool(request.get("drain", True))
+            write_message(
+                stream, {"ok": True, "op": "shutdown", "drain": drain}
+            )
+            # Stop from a fresh thread: stop() joins the handler pool
+            # this very handler runs on.
+            threading.Thread(
+                target=self.stop,
+                kwargs={"drain": drain},
+                name="repro-service-shutdown",
+                daemon=True,
+            ).start()
+            return False
+        write_message(
+            stream,
+            {"ok": False, "error": f"unknown op {op!r}"},
+        )
+        return True
+
+    def _ping(self) -> dict[str, Any]:
+        return {
+            "ok": True,
+            "op": "ping",
+            "protocol": PROTOCOL_VERSION,
+            "workers": self.workers,
+            "draining": self.draining,
+            "uptime_s": time.time() - self.started_at,
+            "counts": self.queue.counts(),
+        }
+
+    def _submit(self, request: dict[str, Any]) -> dict[str, Any]:
+        if self.draining:
+            return {
+                "ok": False,
+                "error": "service is draining; not accepting submissions",
+            }
+        manifest_doc = request.get("manifest")
+        if manifest_doc is None:
+            return {"ok": False, "error": "submit needs a 'manifest'"}
+        priority = request.get("priority", 0)
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            return {"ok": False, "error": "'priority' must be an integer"}
+        try:
+            submission = self.queue.submit(
+                manifest_doc, priority=priority
+            )
+        except ManifestError as exc:
+            return {"ok": False, "error": f"bad manifest: {exc}"}
+        return {
+            "ok": True,
+            "op": "submit",
+            "submission": submission["id"],
+            "manifest_digest": submission["manifest_digest"],
+            "total_jobs": submission["total_jobs"],
+            "job_ids": submission["job_ids"],
+        }
+
+    def _status(self, request: dict[str, Any]) -> dict[str, Any]:
+        sub_id = request.get("submission")
+        if sub_id is None:
+            submissions = [
+                {
+                    "id": sid,
+                    "total_jobs": self.queue.submission(sid)["total_jobs"],
+                    "counts": self.queue.counts(sid),
+                }
+                for sid in self.queue.submission_ids()
+            ]
+            return {
+                "ok": True,
+                "op": "status",
+                "draining": self.draining,
+                "counts": self.queue.counts(),
+                "submissions": submissions,
+            }
+        submission = self.queue.submission(sub_id)
+        if submission is None:
+            return {
+                "ok": False,
+                "error": f"unknown submission {sub_id!r}",
+            }
+        return {
+            "ok": True,
+            "op": "status",
+            "submission": sub_id,
+            "manifest_digest": submission["manifest_digest"],
+            "total_jobs": submission["total_jobs"],
+            "counts": self.queue.counts(sub_id),
+        }
+
+    def _results(
+        self, request: dict[str, Any], stream: BinaryIO
+    ) -> None:
+        """Stream a submission's records in completion order.
+
+        With ``follow`` the stream stays open until every job has
+        finished; without, it ends after the records finished so far.
+        """
+        sub_id = request.get("submission")
+        submission = (
+            None if sub_id is None else self.queue.submission(sub_id)
+        )
+        if submission is None:
+            write_message(
+                stream,
+                {"ok": False, "error": f"unknown submission {sub_id!r}"},
+            )
+            return
+        follow = bool(request.get("follow", False))
+        total = submission["total_jobs"]
+        write_message(
+            stream,
+            {
+                "ok": True,
+                "event": "start",
+                "submission": sub_id,
+                "manifest_digest": submission["manifest_digest"],
+                "total_jobs": total,
+            },
+        )
+        sent = 0
+        failed = 0
+        while True:
+            # Flush everything completed so far *before* any exit
+            # check, so records finishing during the wait below are
+            # never dropped by a shutdown.
+            completed = self.queue.completed_records(sub_id)
+            for record in completed[sent:]:
+                if record["record"].get("status") == "error":
+                    failed += 1
+                write_message(
+                    stream,
+                    {
+                        "ok": True,
+                        "event": "record",
+                        "job_id": record["id"],
+                        "record": record["record"],
+                    },
+                )
+            sent = len(completed)
+            if sent >= total or not follow:
+                break
+            if self._stopping.is_set() and self.queue.unfinished(sub_id):
+                break  # daemon going down with work left: end honestly
+            # Wait for the next completion (or daemon stop; a draining
+            # daemon still finishes the queue, so keep streaming).
+            self.queue.wait(
+                lambda: len(self.queue.completed_records(sub_id)) > sent
+                or self._stopping.is_set(),
+                timeout=0.5,
+            )
+        write_message(
+            stream,
+            {
+                "ok": True,
+                "event": "end",
+                "submission": sub_id,
+                "num_done": sent,
+                "num_failed": failed,
+                "remaining": total - sent,
+                "wall_time_s": time.time() - submission["submitted_at"],
+            },
+        )
+
+
+__all__ = ["ServiceServer"]

@@ -156,3 +156,90 @@ class TestCacheCli:
             for name in os.listdir(directory)
             if name.endswith(".json")
         ]
+
+
+class TestDirectoryLock:
+    """Cross-process/thread locking of size accounting and eviction."""
+
+    def test_lock_file_created_and_not_counted(self, tmp_path):
+        cache = DiskCache(str(tmp_path), max_bytes=10_000)
+        cache.put("aa", _doc(100))
+        assert os.path.exists(os.path.join(str(tmp_path), ".lock"))
+        assert len(cache) == 1  # .lock is not a cache entry
+
+    def test_unbounded_store_takes_no_lock_file(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        cache.put("aa", _doc(100))
+        assert not os.path.exists(os.path.join(str(tmp_path), ".lock"))
+
+    def test_store_triggered_prune_reenters_lock(self, tmp_path):
+        # _store holds the directory lock when it calls prune(); the
+        # lock must be re-entrant or every budget overflow deadlocks.
+        cache = DiskCache(str(tmp_path), max_bytes=250)
+        for number in range(5):
+            cache.put(f"k{number}", _doc(120))
+        assert cache.total_bytes() <= 250
+
+    def test_concurrent_threads_share_one_bounded_directory(
+        self, tmp_path
+    ):
+        import threading
+
+        caches = [
+            DiskCache(str(tmp_path), max_bytes=2_000) for _ in range(4)
+        ]
+        errors = []
+
+        def writer(cache, lane):
+            try:
+                for number in range(25):
+                    cache.put(f"lane{lane}-{number}", _doc(100))
+                cache.prune(2_000)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(cache, lane))
+            for lane, cache in enumerate(caches)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # Post-conditions under contention: no torn entries, occupancy
+        # within budget after the final prunes.
+        survivors = caches[0]._entries()
+        assert sum(size for _, _, size in survivors) <= 2_000
+        for path, _, _ in survivors:
+            with open(path, encoding="utf-8") as handle:
+                json.load(handle)  # parses: no torn writes
+
+    def test_concurrent_processes_share_one_bounded_directory(
+        self, tmp_path
+    ):
+        import subprocess
+        import sys
+
+        script = (
+            "import sys\n"
+            "from repro.engine import DiskCache\n"
+            "cache = DiskCache(sys.argv[1], max_bytes=2000)\n"
+            "for number in range(30):\n"
+            "    cache.put(f'{sys.argv[2]}-{number}', "
+            "{'blob': 'x' * 100})\n"
+            "cache.prune(2000)\n"
+        )
+        processes = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(tmp_path), f"p{lane}"]
+            )
+            for lane in range(3)
+        ]
+        for process in processes:
+            assert process.wait(timeout=60) == 0
+        check = DiskCache(str(tmp_path))
+        assert check.total_bytes() <= 2_000
+        for key_path, _, _ in check._entries():
+            with open(key_path, encoding="utf-8") as handle:
+                json.load(handle)

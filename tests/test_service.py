@@ -1,0 +1,545 @@
+"""The long-running compilation service: queue, protocol, lifecycle.
+
+In-process servers (worker threads in this test process) cover the
+full lifecycle -- submit, stream, retries, drain, restart recovery --
+so failure injection can monkeypatch the engine's worker function.  A
+subprocess test exercises the real ``repro serve`` daemon end to end.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro.engine.engine as engine_module
+from repro.engine import (
+    CompilationEngine,
+    docs_equal_modulo_timing,
+    manifest_digest,
+    parse_manifest,
+    results_doc,
+)
+from repro.engine.jobs import execute_job_on_circuit, job_from_doc
+from repro.service import (
+    JobQueue,
+    ProtocolError,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+    parse_address,
+)
+
+#: Cheap two-benchmark manifest (enola knobs dialled down).
+MANIFEST = {
+    "defaults": {
+        "enola": {"mis_restarts": 1, "sa_iterations_per_qubit": 0}
+    },
+    "jobs": [
+        {"benchmark": "BV-14"},
+        {
+            "benchmark": "QSIM-rand-0.3-10",
+            "scenarios": ["pm_non_storage", "pm_with_storage"],
+        },
+    ],
+}
+
+SECOND_MANIFEST = {
+    "jobs": [
+        {"benchmark": "QSIM-rand-0.3-10", "backend": "powermove", "seed": 2}
+    ]
+}
+
+
+def batch_document(manifest):
+    """The reference `repro batch --on-error collect` document."""
+    jobs = parse_manifest(manifest)
+    results = CompilationEngine(on_error="collect").run(jobs)
+    return results_doc(
+        results,
+        manifest_digest=manifest_digest(manifest),
+        total_jobs=len(jobs),
+        wall_time_s=0.0,
+        on_error="collect",
+    )
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return JobQueue(str(tmp_path / "queue"))
+
+
+def start_server(tmp_path, **kwargs):
+    server = ServiceServer(
+        str(tmp_path / "queue"), "127.0.0.1:0", **kwargs
+    )
+    return server.start()
+
+
+class TestParseAddress:
+    def test_tcp(self):
+        assert parse_address("127.0.0.1:7431") == (
+            "tcp",
+            ("127.0.0.1", 7431),
+        )
+
+    def test_unix_paths(self):
+        assert parse_address("/tmp/s.sock") == ("unix", "/tmp/s.sock")
+        assert parse_address("./q/s.sock") == ("unix", "./q/s.sock")
+
+    @pytest.mark.parametrize(
+        "spec", ["", "localhost", "host:notaport", "host:70000"]
+    )
+    def test_rejects_bad_specs(self, spec):
+        with pytest.raises(ProtocolError):
+            parse_address(spec)
+
+
+class TestJobQueue:
+    def test_submit_expands_and_persists(self, queue):
+        submission = queue.submit(MANIFEST)
+        assert submission["total_jobs"] == 5
+        assert submission["manifest_digest"] == manifest_digest(MANIFEST)
+        assert queue.counts() == {
+            "queued": 5,
+            "running": 0,
+            "done": 0,
+            "error": 0,
+        }
+        reopened = JobQueue(queue.directory)
+        assert reopened.counts()["queued"] == 5
+        record = reopened.get(submission["job_ids"][0])
+        assert record["status"] == "queued"
+        assert job_from_doc(record["job"]).benchmark == "BV-14"
+
+    def test_bad_manifest_leaves_queue_untouched(self, queue):
+        from repro.engine import ManifestError
+
+        with pytest.raises(ManifestError):
+            queue.submit({"jobs": [{"benchmark": "NOPE-1"}]})
+        assert queue.counts()["queued"] == 0
+        assert queue.submission_ids() == []
+
+    def test_lease_priority_then_fifo(self, queue):
+        low = queue.submit(SECOND_MANIFEST, priority=0)
+        high = queue.submit(
+            {"jobs": [{"benchmark": "BV-14", "backend": "powermove"}]},
+            priority=5,
+        )
+        first = queue.lease("w1")
+        assert first["submission"] == high["id"]
+        second = queue.lease("w2")
+        assert second["submission"] == low["id"]
+
+    def test_lease_dedups_running_cache_keys(self, queue):
+        queue.submit(SECOND_MANIFEST)
+        queue.submit(SECOND_MANIFEST)  # identical job, twin cache key
+        first = queue.lease("w1")
+        assert first is not None
+        # The twin is queued but shares the running cache key: skipped.
+        assert queue.lease("w2") is None
+        job = job_from_doc(first["job"])
+        [result] = CompilationEngine().run([job])
+        from repro.engine import job_record
+
+        queue.complete(first["id"], job_record(result, first["index"]))
+        twin = queue.lease("w2")
+        assert twin is not None
+        assert twin["cache_key"] == first["cache_key"]
+
+    def test_complete_first_wins(self, queue):
+        queue.submit(SECOND_MANIFEST)
+        leased = queue.lease("w1")
+        record_ok = {"status": "ok", "index": 0, "cache_hit": False}
+        queue.complete(leased["id"], record_ok)
+        queue.complete(
+            leased["id"], {"status": "error", "index": 0}
+        )  # no-op
+        assert queue.get(leased["id"])["record"] == record_ok
+        assert queue.counts()["done"] == 1
+
+    def test_expired_lease_requeues_with_count(self, queue):
+        queue.submit(SECOND_MANIFEST)
+        leased = queue.lease("w1", lease_seconds=0.0)
+        assert queue.requeue_expired() == [leased["id"]]
+        record = queue.get(leased["id"])
+        assert record["status"] == "queued"
+        assert record["requeues"] == 1
+        assert record["lease"] is None
+
+    def test_requeue_bound_records_worker_lost_error(self, tmp_path):
+        queue = JobQueue(str(tmp_path / "q"), max_requeues=1)
+        queue.submit(SECOND_MANIFEST)
+        for _ in range(2):
+            leased = queue.lease("w1", lease_seconds=0.0)
+            assert leased is not None
+            queue.requeue_expired()
+        record = queue.get(leased["id"])
+        assert record["status"] == "error"
+        assert record["record"]["error"]["type"] == "WorkerLostError"
+
+    def test_renew_extends_a_running_lease(self, queue):
+        queue.submit(SECOND_MANIFEST)
+        leased = queue.lease("w1", lease_seconds=0.0)
+        # Heartbeat: the expired lease is pushed into the future, so
+        # the maintenance sweep leaves the job alone.
+        assert queue.renew(leased["id"], lease_seconds=3600.0)
+        assert queue.requeue_expired() == []
+        assert queue.get(leased["id"])["status"] == "running"
+        assert not queue.renew("s999999-00000")
+
+    def test_recover_requeues_even_fresh_leases(self, queue):
+        queue.submit(SECOND_MANIFEST)
+        leased = queue.lease("w1", lease_seconds=3600.0)
+        reopened = JobQueue(queue.directory)
+        assert reopened.recover() == [leased["id"]]
+        assert reopened.counts()["queued"] == 1
+
+
+class TestServiceLifecycle:
+    def test_submit_stream_drain_shutdown(self, tmp_path):
+        server = start_server(tmp_path, workers=2)
+        try:
+            client = ServiceClient(server.address)
+            ping = client.wait_ready()
+            assert ping["protocol"] >= 1
+
+            first = client.submit(MANIFEST)
+            second = client.submit(SECOND_MANIFEST)
+            assert first["total_jobs"] == 5
+            assert second["total_jobs"] == 1
+
+            records = list(
+                client.results(first["submission"], follow=True)
+            )
+            assert len(records) == 5
+            assert {r["status"] for r in records} == {"ok"}
+            # Completion order on the wire; manifest order recoverable.
+            assert sorted(r["index"] for r in records) == list(range(5))
+
+            doc = client.results_document(first["submission"])
+            assert docs_equal_modulo_timing(doc, batch_document(MANIFEST))
+            doc2 = client.results_document(second["submission"])
+            assert docs_equal_modulo_timing(
+                doc2, batch_document(SECOND_MANIFEST)
+            )
+
+            status = client.status(first["submission"])
+            assert status["counts"]["done"] == 5
+            overall = client.status()
+            assert [s["id"] for s in overall["submissions"]] == [
+                first["submission"],
+                second["submission"],
+            ]
+
+            client.shutdown(drain=True)
+            assert server.wait_stopped(timeout=30.0)
+            with pytest.raises(ServiceError):
+                client.ping()
+        finally:
+            if not server.wait_stopped(timeout=0.0):
+                server.stop(drain=False)
+
+    def test_poison_job_retried_then_collected(
+        self, tmp_path, monkeypatch
+    ):
+        calls: dict[str, int] = {}
+
+        def flaky(job, circuit):
+            count = calls.get(job.label, 0) + 1
+            calls[job.label] = count
+            if job.benchmark == "QSIM-rand-0.3-10" and count <= 1:
+                raise RuntimeError("transient worker hiccup")
+            if job.benchmark == "BV-14" and job.backend == "atomique":
+                raise RuntimeError("permanently poisoned")
+            return execute_job_on_circuit(job, circuit)
+
+        monkeypatch.setattr(
+            engine_module, "execute_job_on_circuit", flaky
+        )
+        server = start_server(
+            tmp_path, workers=2, retries=2, backoff=0.0
+        )
+        try:
+            client = ServiceClient(server.address)
+            client.wait_ready()
+            submitted = client.submit(
+                {
+                    "jobs": [
+                        {
+                            "benchmark": "QSIM-rand-0.3-10",
+                            "backend": "powermove",
+                        },
+                        {"benchmark": "BV-14", "backend": "atomique"},
+                    ]
+                }
+            )
+            records = {
+                r["benchmark"]: r
+                for r in client.results(
+                    submitted["submission"], follow=True
+                )
+            }
+            flaked = records["QSIM-rand-0.3-10"]
+            assert flaked["status"] == "ok"
+            assert flaked["attempts"] == 2  # retried then succeeded
+            poisoned = records["BV-14"]
+            assert poisoned["status"] == "error"
+            assert poisoned["attempts"] == 3  # all attempts exhausted
+            assert "poisoned" in poisoned["error"]["message"]
+        finally:
+            server.stop(drain=False)
+
+    def test_abrupt_restart_resumes_queued_jobs(
+        self, tmp_path, monkeypatch
+    ):
+        real = execute_job_on_circuit
+
+        def slow(job, circuit):
+            time.sleep(0.1)
+            return real(job, circuit)
+
+        monkeypatch.setattr(engine_module, "execute_job_on_circuit", slow)
+        server = start_server(tmp_path, workers=1)
+        client = ServiceClient(server.address)
+        try:
+            client.wait_ready()
+            submitted = client.submit(MANIFEST)
+            # Let some (not all) jobs finish, then stop without drain:
+            # in-flight work completes, the rest stays queued on disk.
+            server.queue.wait(
+                lambda: server.queue.counts()["done"] >= 1,
+                timeout=30.0,
+            )
+        finally:
+            server.stop(drain=False)
+        assert server.queue.unfinished() > 0
+
+        monkeypatch.setattr(engine_module, "execute_job_on_circuit", real)
+        revived = start_server(tmp_path, workers=2)
+        try:
+            client = ServiceClient(revived.address)
+            client.wait_ready()
+            doc = client.results_document(submitted["submission"])
+            assert doc["num_failed"] == 0
+            assert docs_equal_modulo_timing(doc, batch_document(MANIFEST))
+        finally:
+            revived.stop(drain=False)
+
+    def test_compile_outliving_lease_is_heartbeaten_not_requeued(
+        self, tmp_path, monkeypatch
+    ):
+        real = execute_job_on_circuit
+        calls = []
+
+        def slow(job, circuit):
+            calls.append(job.label)
+            time.sleep(0.4)  # several lease durations
+            return real(job, circuit)
+
+        monkeypatch.setattr(engine_module, "execute_job_on_circuit", slow)
+        server = start_server(
+            tmp_path, workers=2, lease_seconds=0.1, retries=0
+        )
+        try:
+            client = ServiceClient(server.address)
+            client.wait_ready()
+            submitted = client.submit(SECOND_MANIFEST)
+            records = list(
+                client.results(submitted["submission"], follow=True)
+            )
+            assert [r["status"] for r in records] == ["ok"]
+            # The slow compile ran exactly once: its lease was renewed
+            # by the heartbeat, never expired onto a second worker.
+            assert len(calls) == 1
+            job = server.queue.get(submitted["job_ids"][0])
+            assert job["requeues"] == 0
+        finally:
+            server.stop(drain=False)
+
+    def test_crashed_daemon_lease_recovered_on_start(self, tmp_path):
+        # Simulate a daemon killed mid-compile: a submitted queue with
+        # one job leased and never completed.
+        queue = JobQueue(str(tmp_path / "queue"))
+        submitted = queue.submit(MANIFEST)
+        assert queue.lease("dead-worker", lease_seconds=3600.0)
+
+        server = start_server(tmp_path, workers=2)
+        try:
+            client = ServiceClient(server.address)
+            client.wait_ready()
+            doc = client.results_document(submitted["id"])
+            assert doc["num_jobs"] == submitted["total_jobs"]
+            assert docs_equal_modulo_timing(doc, batch_document(MANIFEST))
+        finally:
+            server.stop(drain=False)
+
+    def test_submit_rejects_bad_manifest_and_unknown_ops(self, tmp_path):
+        server = start_server(tmp_path)
+        try:
+            client = ServiceClient(server.address)
+            client.wait_ready()
+            with pytest.raises(ServiceError, match="bad manifest"):
+                client.submit({"jobs": [{"benchmark": "NOPE-1"}]})
+            with pytest.raises(ServiceError, match="unknown submission"):
+                list(client.results("s999999"))
+            with pytest.raises(ServiceError, match="unknown op"):
+                client._request({"op": "frobnicate"})
+        finally:
+            server.stop(drain=False)
+
+
+class TestServiceCli:
+    def test_cli_round_trip_against_in_process_server(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        server = start_server(tmp_path)
+        try:
+            manifest_path = tmp_path / "manifest.json"
+            manifest_path.write_text(json.dumps(SECOND_MANIFEST))
+            assert (
+                main(
+                    [
+                        "submit",
+                        str(manifest_path),
+                        "--connect",
+                        server.address,
+                        "--json",
+                    ]
+                )
+                == 0
+            )
+            submitted = json.loads(capsys.readouterr().out)
+
+            out_path = tmp_path / "doc.json"
+            code = main(
+                [
+                    "results",
+                    submitted["submission"],
+                    "--connect",
+                    server.address,
+                    "--follow",
+                    "--output",
+                    str(out_path),
+                ]
+            )
+            assert code == 0
+            lines = [
+                json.loads(line)
+                for line in capsys.readouterr().out.splitlines()
+                if line
+            ]
+            assert len(lines) == 1 and lines[0]["status"] == "ok"
+            doc = json.loads(out_path.read_text())
+            assert docs_equal_modulo_timing(
+                doc, batch_document(SECOND_MANIFEST)
+            )
+
+            assert (
+                main(["status", "--connect", server.address]) == 0
+            )
+            assert "finished" in capsys.readouterr().out
+
+            # Exit 2 when the fetch is partial: an unfinished (here:
+            # unknown-free, already-done) submission fetched without
+            # --follow is complete, so exercise the partial path with a
+            # fresh submission raced before completion is unreliable --
+            # instead assert the complete fetch exits 0 without follow.
+            assert (
+                main(
+                    [
+                        "results",
+                        submitted["submission"],
+                        "--connect",
+                        server.address,
+                    ]
+                )
+                == 0
+            )
+            capsys.readouterr()
+
+            assert (
+                main(["shutdown", "--connect", server.address]) == 0
+            )
+            assert server.wait_stopped(timeout=30.0)
+        finally:
+            if not server.wait_stopped(timeout=0.0):
+                server.stop(drain=False)
+
+
+    def test_partial_fetch_without_follow_exits_nonzero(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.cli import main
+
+        real = execute_job_on_circuit
+
+        def slow(job, circuit):
+            time.sleep(0.5)
+            return real(job, circuit)
+
+        monkeypatch.setattr(engine_module, "execute_job_on_circuit", slow)
+        server = start_server(tmp_path, workers=1)
+        try:
+            client = ServiceClient(server.address)
+            client.wait_ready()
+            submitted = client.submit(SECOND_MANIFEST)
+            # No --follow while the job still compiles: the stream is
+            # honest about the gap and the exit code is non-zero, so
+            # `results ... && analyze` pipelines cannot treat a partial
+            # fetch as a finished sweep.
+            code = main(
+                [
+                    "results",
+                    submitted["submission"],
+                    "--connect",
+                    server.address,
+                ]
+            )
+            assert code == 2
+            assert "remaining" in capsys.readouterr().err
+        finally:
+            server.stop(drain=False)
+
+
+class TestServeSubprocess:
+    def test_daemon_round_trip_over_unix_socket(self, tmp_path):
+        queue_dir = tmp_path / "queue"
+        queue_dir.mkdir()
+        socket_path = str(queue_dir / "service.sock")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            os.path.join(os.path.dirname(__file__), "..", "src")
+            + os.pathsep
+            + env.get("PYTHONPATH", "")
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                str(queue_dir),
+                "--workers",
+                "2",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+        try:
+            client = ServiceClient(socket_path)
+            client.wait_ready(timeout=30.0)
+            submitted = client.submit(MANIFEST)
+            doc = client.results_document(submitted["submission"])
+            assert docs_equal_modulo_timing(doc, batch_document(MANIFEST))
+            client.shutdown(drain=True)
+            assert process.wait(timeout=30.0) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10.0)
