@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON export against a committed baseline.
+
+CI's ``bench-smoke`` job runs the benchmark harness with
+``--benchmark-json=bench.json`` and calls::
+
+    python benchmarks/compare_bench.py benchmarks/baseline.json \\
+        bench.json --max-ratio 2.0
+
+A benchmark *regresses* when its mean exceeds ``max-ratio`` times the
+baseline mean; any regression fails the job (exit 1).  The threshold is
+deliberately loose -- CI runners differ machine to machine -- so only
+step-function slowdowns (an accidental O(n^2), a dropped cache) trip
+it, not noise.
+
+Benchmarks present on only one side are reported but never fail the
+run: new benchmarks have no baseline yet, and removed ones have no
+measurement.  Regenerate the committed baseline after intentional
+performance changes::
+
+    PYTHONPATH=src python -m pytest benchmarks -q \\
+        --benchmark-json=bench.json
+    python benchmarks/compare_bench.py --write-baseline \\
+        benchmarks/baseline.json bench.json
+
+The baseline file is the slimmed ``{"benchmarks": {fullname: mean}}``
+form (stable across pytest-benchmark versions, reviewable in a diff);
+the comparison accepts both the slim form and a raw export.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_means(path: str) -> dict[str, float]:
+    """``fullname -> mean seconds`` from a slim baseline or raw export."""
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    benchmarks = doc.get("benchmarks")
+    if isinstance(benchmarks, dict):  # slim baseline form
+        return {name: float(mean) for name, mean in benchmarks.items()}
+    if isinstance(benchmarks, list):  # raw pytest-benchmark export
+        return {
+            bench["fullname"]: float(bench["stats"]["mean"])
+            for bench in benchmarks
+        }
+    raise SystemExit(f"error: {path} is not a benchmark document")
+
+
+def write_baseline(out_path: str, means: dict[str, float]) -> None:
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"benchmarks": dict(sorted(means.items()))},
+            handle,
+            indent=1,
+        )
+        handle.write("\n")
+
+
+def compare(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    max_ratio: float,
+) -> int:
+    regressions = []
+    shared = sorted(set(baseline) & set(current))
+    for name in shared:
+        ratio = (
+            current[name] / baseline[name]
+            if baseline[name] > 0
+            else float("inf")
+        )
+        flag = " <-- REGRESSION" if ratio > max_ratio else ""
+        print(
+            f"{ratio:7.2f}x  {current[name] * 1e3:10.3f} ms "
+            f"(baseline {baseline[name] * 1e3:10.3f} ms)  {name}{flag}"
+        )
+        if ratio > max_ratio:
+            regressions.append((name, ratio))
+    for name in sorted(set(current) - set(baseline)):
+        print(f"   new    {current[name] * 1e3:10.3f} ms  {name}")
+    for name in sorted(set(baseline) - set(current)):
+        print(f" gone     (baseline only)  {name}")
+    print(
+        f"\n{len(shared)} compared, {len(regressions)} regression(s) "
+        f"over {max_ratio:.1f}x"
+    )
+    if regressions:
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "current", help="fresh pytest-benchmark JSON export"
+    )
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=2.0,
+        help="fail when mean exceeds this multiple of the baseline "
+        "(default 2.0)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="slim CURRENT into a new baseline at BASELINE instead of "
+        "comparing",
+    )
+    args = parser.parse_args(argv)
+    if args.write_baseline:
+        means = load_means(args.current)
+        write_baseline(args.baseline, means)
+        print(
+            f"wrote {len(means)} benchmark means -> {args.baseline}"
+        )
+        return 0
+    return compare(
+        load_means(args.baseline),
+        load_means(args.current),
+        args.max_ratio,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

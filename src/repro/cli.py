@@ -11,7 +11,8 @@ Commands:
     results    Fetch / follow a submission's result records (NDJSON).
     shutdown   Stop a running service (draining by default).
     backends   List the registered compiler backends and their knobs.
-    cache      On-disk compiled-program cache maintenance (prune/info).
+    cache      Compiled-program cache maintenance and the cache server
+               (info / prune against any --cache spec, serve).
     table2     Print the Table 2 reproduction.
     table3     Print a Table 3 reproduction over selected rows.
     fig7       Print the Fig. 7 multi-AOD series.
@@ -21,10 +22,15 @@ Commands:
 
 The experiment commands (``bench``, ``table3``, ``fig7``, ``batch``)
 route every compilation through the batch engine: ``--workers N`` fans
-cache-missing jobs out over a process pool and ``--cache-dir DIR``
-persists compiled programs in a content-addressed on-disk cache.
-Compilers resolve through the backend registry: ``--backend`` selects
-variants by name (``repro backends`` lists them).
+cache-missing jobs out over a process pool and ``--cache SPEC``
+selects the compiled-program cache backend (``memory``,
+``disk:PATH[:MAX_BYTES]``, ``remote:URL``,
+``tiered:disk:PATH,remote:URL`` -- see ``docs/caching.md``;
+``--cache-dir DIR`` remains shorthand for ``disk:DIR``).
+``repro cache serve`` runs the shared HTTP cache server the
+``remote:`` tier talks to.  Compilers resolve through the backend
+registry: ``--backend`` selects variants by name (``repro backends``
+lists them).
 
 ``batch`` additionally supports fail-soft sweeps
 (``--on-error collect`` turns job failures into error records instead
@@ -50,6 +56,10 @@ Examples:
     python -m repro batch manifest.json --retries 2 --backoff 0.5
     python -m repro batch manifest.json --shard 1/2 --output s1.json
     python -m repro merge s1.json s2.json --output results.json
+    python -m repro cache serve .sharedcache --listen 127.0.0.1:8123
+    python -m repro batch manifest.json \
+        --cache tiered:disk:.cache,remote:http://127.0.0.1:8123
+    python -m repro cache info --cache tiered:disk:.cache,remote:http://127.0.0.1:8123
     python -m repro cache prune --cache-dir .cache --max-bytes 50000000
     python -m repro serve queue/ --listen 127.0.0.1:7431 --workers 4
     python -m repro submit manifest.json --connect 127.0.0.1:7431
@@ -79,14 +89,20 @@ from .core import PowerMoveCompiler, PowerMoveConfig
 from .engine import (
     BATCH_RESULTS_FORMAT,
     BATCH_RESULTS_VERSION,
+    CacheSpecError,
     CompilationEngine,
     DiskCache,
     EngineError,
     ManifestError,
     MemoryCache,
+    RemoteCacheError,
+    RemoteCacheServer,
     ShardError,
     ShardPlan,
+    describe_cache,
     job_record,
+    make_cache,
+    manifest_cache_spec,
     manifest_digest,
     merge_result_docs,
     parse_manifest,
@@ -101,13 +117,39 @@ from .schedule.serialize import dump_program
 __all__ = ["BATCH_RESULTS_FORMAT", "BATCH_RESULTS_VERSION", "main"]
 
 
+def _resolve_cache(
+    args: argparse.Namespace,
+    manifest_doc=None,
+    default=None,
+):
+    """Cache from ``--cache`` / ``--cache-dir`` / the manifest.
+
+    Precedence: the explicit ``--cache`` spec, then ``--cache-dir``
+    (shorthand for ``disk:DIR``), then the manifest's top-level
+    ``"cache"`` key, then ``default``.  A malformed spec exits 2 (the
+    same contract as argparse's own option errors).
+    """
+    try:
+        if getattr(args, "cache", None):
+            return make_cache(args.cache)
+        if getattr(args, "cache_dir", None):
+            return DiskCache(args.cache_dir)
+        if manifest_doc is not None:
+            spec = manifest_cache_spec(manifest_doc)
+            if spec:
+                return make_cache(spec)
+    except CacheSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+    return default
+
+
 def _make_engine(
     args: argparse.Namespace, progress=None
 ) -> CompilationEngine:
-    """Engine from the shared --workers / --cache-dir CLI options."""
-    cache = DiskCache(args.cache_dir) if args.cache_dir else None
+    """Engine from the shared --workers / --cache CLI options."""
     return CompilationEngine(
-        cache=cache,
+        cache=_resolve_cache(args),
         workers=args.workers,
         progress=progress,
         retries=getattr(args, "retries", 0),
@@ -142,6 +184,28 @@ def _cache_dir_path(text: str) -> str:
     return text
 
 
+def _add_cache_options(
+    parser: argparse.ArgumentParser, required: bool = False
+) -> None:
+    """The mutually-exclusive --cache / --cache-dir pair."""
+    group = parser.add_mutually_exclusive_group(required=required)
+    group.add_argument(
+        "--cache",
+        default=None,
+        metavar="SPEC",
+        help="compiled-program cache spec: memory, "
+        "disk:PATH[:MAX_BYTES], remote:URL, or "
+        "tiered:SPEC,SPEC,... (see docs/caching.md)",
+    )
+    group.add_argument(
+        "--cache-dir",
+        type=_cache_dir_path,
+        default=None,
+        help="directory for the on-disk compiled-program cache "
+        "(shorthand for --cache disk:DIR)",
+    )
+
+
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
@@ -149,12 +213,7 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="process-pool width for parallel compilation (default 1)",
     )
-    parser.add_argument(
-        "--cache-dir",
-        type=_cache_dir_path,
-        default=None,
-        help="directory for the on-disk compiled-program cache",
-    )
+    _add_cache_options(parser)
     parser.add_argument(
         "--retries",
         type=int,
@@ -287,14 +346,53 @@ def _cmd_backends(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_cache_prune(args: argparse.Namespace) -> int:
-    from .engine import DiskCache
+def _cache_target(args: argparse.Namespace):
+    """The cache named by ``--cache`` / ``--cache-dir`` (required)."""
+    cache = _resolve_cache(args)
+    if cache is None:  # argparse enforces the group; belt and braces
+        print("error: give --cache SPEC or --cache-dir DIR",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return cache
 
-    cache = DiskCache(args.cache_dir)
-    report = cache.prune(args.max_bytes)
+
+def _render_cache_info(info: dict, indent: str = "") -> None:
+    """Print one cache's (or tier's) occupancy line(s)."""
+    if info.get("kind") == "tiered":
+        print(
+            f"{indent}tiered cache "
+            f"(write-{info.get('write_policy', 'through')}):"
+        )
+        for tier in info.get("tiers", []):
+            _render_cache_info(tier, indent + "  ")
+        return
+    name = info.get("name", info.get("kind", "cache"))
+    where = info.get("directory") or info.get("url") or ""
+    parts = []
+    if info.get("entries") is not None:
+        parts.append(f"{info['entries']} entries")
+    if info.get("total_bytes") is not None:
+        parts.append(f"{info['total_bytes']} bytes")
+    if info.get("max_bytes"):
+        parts.append(f"budget {info['max_bytes']} bytes")
+    if info.get("reachable") is False:
+        parts.append("UNREACHABLE")
+    body = ", ".join(parts) if parts else "no occupancy data"
+    suffix = f" ({where})" if where else ""
+    print(f"{indent}{name}{suffix}: {body}")
+
+
+def _cmd_cache_prune(args: argparse.Namespace) -> int:
+    cache = _cache_target(args)
+    try:
+        report = cache.prune(args.max_bytes)
+    except RemoteCacheError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(
-        f"pruned {args.cache_dir}: removed {report.removed_entries} "
-        f"entries ({report.removed_bytes} bytes), "
+        f"pruned {describe_cache(cache)}: removed "
+        f"{report.removed_entries} entries "
+        f"({report.removed_bytes} bytes), "
         f"{report.remaining_entries} entries "
         f"({report.remaining_bytes} bytes) remain"
     )
@@ -302,13 +400,52 @@ def _cmd_cache_prune(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache_info(args: argparse.Namespace) -> int:
-    from .engine import DiskCache
+    cache = _cache_target(args)
+    if args.json:
+        print(json.dumps(cache.info(), indent=1))
+    else:
+        _render_cache_info(cache.info())
+    return 0
 
-    cache = DiskCache(args.cache_dir)
+
+def _cmd_cache_serve(args: argparse.Namespace) -> int:
+    from .service.protocol import ProtocolError, parse_address
+
+    try:
+        kind, value = parse_address(args.listen)
+    except ProtocolError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if kind != "tcp":
+        print(
+            "error: the cache server listens on TCP only "
+            "(host:port)",
+            file=sys.stderr,
+        )
+        return 2
+    host, port = value
+    store = DiskCache(args.directory, max_bytes=args.max_bytes)
+    server = RemoteCacheServer(store, host=host, port=port)
     print(
-        f"{args.cache_dir}: {len(cache)} entries, "
-        f"{cache.total_bytes()} bytes"
+        f"repro cache server listening on {server.url} "
+        f"(directory {args.directory}"
+        + (
+            f", budget {args.max_bytes} bytes)"
+            if args.max_bytes
+            else ")"
+        ),
+        flush=True,
     )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print(
+            "repro cache server: interrupt -- stopping "
+            "(entries stay on disk)",
+            file=sys.stderr,
+        )
+    finally:
+        server.stop()
     return 0
 
 
@@ -360,9 +497,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
 
-    cache = (
-        DiskCache(args.cache_dir) if args.cache_dir else MemoryCache()
+    cache = _resolve_cache(
+        args, manifest_doc=manifest_doc, default=None
     )
+    if cache is None:
+        cache = MemoryCache()
     engine = CompilationEngine(
         cache=cache,
         workers=args.workers,
@@ -386,6 +525,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     except EngineError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    # Push write-back-deferred entries to the backing tier before the
+    # run ends (no-op for every non-write-back cache).
+    cache.flush()
     wall_time = time.perf_counter() - start
 
     doc = results_doc(
@@ -396,6 +538,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         on_error=args.on_error,
         shard=shard,
         global_indices=global_indices,
+        cache_stats=cache.stats_doc(),
     )
     summary = (
         f"batch: {doc['num_jobs']} jobs, {doc['cache_hits']} cache "
@@ -463,20 +606,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             if hasattr(_socket, "AF_UNIX")
             else "127.0.0.1:0"
         )
-    server = ServiceServer(
-        args.queue_dir,
-        listen,
-        cache_dir=args.cache_dir,
-        workers=args.workers,
-        retries=args.retries,
-        backoff=args.backoff,
-        lease_seconds=args.lease,
-    )
+    try:
+        server = ServiceServer(
+            args.queue_dir,
+            listen,
+            cache=args.cache,
+            cache_dir=args.cache_dir,
+            workers=args.workers,
+            retries=args.retries,
+            backoff=args.backoff,
+            lease_seconds=args.lease,
+        )
+    except CacheSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     server.start()
     print(
         f"repro service listening on {server.address} "
         f"(queue {args.queue_dir}, {args.workers} workers, "
-        f"retries {args.retries})",
+        f"retries {args.retries}, "
+        f"cache {describe_cache(server.cache)})",
         flush=True,
     )
     try:
@@ -806,13 +955,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="listen address: host:port or a unix socket path "
         "(default: <queue-dir>/service.sock)",
     )
-    p_serve.add_argument(
-        "--cache-dir",
-        type=_cache_dir_path,
-        default=None,
-        help="shared on-disk compiled-program cache for the workers "
-        "(default: in-process memory cache)",
-    )
+    _add_cache_options(p_serve)
     p_serve.add_argument(
         "--workers",
         type=_positive_int,
@@ -943,15 +1086,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_backends.set_defaults(func=_cmd_backends)
 
     p_cache = sub.add_parser(
-        "cache", help="on-disk compiled-program cache maintenance"
+        "cache",
+        help="compiled-program cache maintenance and the cache server",
     )
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
     p_prune = cache_sub.add_parser(
         "prune", help="evict least-recently-used entries to a size budget"
     )
-    p_prune.add_argument(
-        "--cache-dir", type=_cache_dir_path, required=True
-    )
+    _add_cache_options(p_prune, required=True)
     p_prune.add_argument(
         "--max-bytes",
         type=int,
@@ -960,12 +1102,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_prune.set_defaults(func=_cmd_cache_prune)
     p_info = cache_sub.add_parser(
-        "info", help="print entry count and total size"
+        "info", help="print per-tier entry counts and sizes"
     )
+    _add_cache_options(p_info, required=True)
     p_info.add_argument(
-        "--cache-dir", type=_cache_dir_path, required=True
+        "--json",
+        action="store_true",
+        help="print the raw info document JSON",
     )
     p_info.set_defaults(func=_cmd_cache_info)
+    p_cache_serve = cache_sub.add_parser(
+        "serve",
+        help="run the shared HTTP cache server (the remote: tier)",
+    )
+    p_cache_serve.add_argument(
+        "directory",
+        type=_cache_dir_path,
+        help="disk-cache directory backing the server",
+    )
+    p_cache_serve.add_argument(
+        "--listen",
+        default="127.0.0.1:8123",
+        metavar="HOST:PORT",
+        help="TCP listen address (default 127.0.0.1:8123; port 0 "
+        "binds an ephemeral port)",
+    )
+    p_cache_serve.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="server-side LRU eviction budget in bytes "
+        "(default: unbounded)",
+    )
+    p_cache_serve.set_defaults(func=_cmd_cache_serve)
 
     p_verify = sub.add_parser(
         "verify", help="state-vector equivalence check (<= 12 qubits)"

@@ -20,6 +20,17 @@ from .cache import (
     PruneReport,
     job_cache_key,
 )
+from .cachestore import (
+    REMOTE_PROTOCOL_VERSION,
+    CacheSpecError,
+    RemoteCache,
+    RemoteCacheError,
+    RemoteCacheServer,
+    TieredCache,
+    describe_cache,
+    make_cache,
+    parse_cache_spec,
+)
 from .engine import (
     ERROR_POLICIES,
     CompilationEngine,
@@ -42,6 +53,7 @@ from .jobs import (
 from .manifest import (
     ManifestError,
     load_manifest,
+    manifest_cache_spec,
     manifest_digest,
     parse_manifest,
     read_manifest,
@@ -64,6 +76,8 @@ __all__ = [
     "BATCH_RESULTS_VERSION",
     "CACHE_SCHEMA_VERSION",
     "ERROR_POLICIES",
+    "REMOTE_PROTOCOL_VERSION",
+    "CacheSpecError",
     "CacheStats",
     "CompilationEngine",
     "CompileJob",
@@ -78,10 +92,15 @@ __all__ = [
     "ProgramCache",
     "ProgressEvent",
     "PruneReport",
+    "RemoteCache",
+    "RemoteCacheError",
+    "RemoteCacheServer",
     "SCENARIOS",
     "SCENARIO_BACKENDS",
     "ShardError",
     "ShardPlan",
+    "TieredCache",
+    "describe_cache",
     "docs_equal_modulo_timing",
     "effective_config",
     "execute_job",
@@ -91,8 +110,11 @@ __all__ = [
     "job_record",
     "job_to_doc",
     "load_manifest",
+    "make_cache",
+    "manifest_cache_spec",
     "manifest_digest",
     "merge_result_docs",
+    "parse_cache_spec",
     "parse_manifest",
     "read_manifest",
     "results_doc",

@@ -19,8 +19,14 @@ The cached value is the :func:`repro.engine.jobs.execute_job` artifact
   file mtime (reads refresh recency);
 * :class:`NullCache` -- caching disabled; every lookup misses.
 
-All backends count hits/misses/stores (and, for disk, evictions) in a
-:class:`CacheStats`.
+Remote (HTTP object store) and tiered (memory -> disk -> remote)
+backends live in :mod:`repro.engine.cachestore`, together with the
+``"disk:PATH"`` / ``"tiered:..."`` cache-spec factory -- see
+``docs/caching.md``.
+
+All backends count hits/misses/stores (plus read-through fills,
+hit-path revalidation write-backs, evictions and remote transport
+errors) in a :class:`CacheStats`.
 """
 
 from __future__ import annotations
@@ -78,38 +84,132 @@ def job_cache_key(job: CompileJob, circuit_digest: str | None = None) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store/eviction counters of one cache instance."""
+    """Hit/miss/store/eviction counters of one cache instance.
+
+    ``stores`` counts fresh artifact writes; ``fills`` counts
+    read-through copies a tiered cache pushed into this tier after a
+    lower tier hit; ``revalidations`` counts hit-path
+    ``validated: true`` write-backs (see ``docs/engine.md``) -- three
+    different write reasons, counted apart so occupancy questions
+    ("how much new work did this run produce?") have honest answers.
+    ``errors`` counts transport failures of a remote tier (each one
+    degraded to a miss or a dropped write, never a failed job).
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    fills: int = 0
+    revalidations: int = 0
+    errors: int = 0
 
     @property
     def lookups(self) -> int:
         """Total ``get`` calls observed."""
         return self.hits + self.misses
 
+    @property
+    def writes(self) -> int:
+        """Total ``put`` calls observed, of any kind."""
+        return self.stores + self.fills + self.revalidations
+
+
+#: Valid ``kind`` values of :meth:`ProgramCache.put`.
+PUT_KINDS = ("store", "fill", "revalidate")
+
 
 class ProgramCache:
-    """Base class: stats bookkeeping around backend get/put."""
+    """Base class: stats bookkeeping around backend get/put.
+
+    Subclasses implement ``_load`` / ``_store`` (and may override
+    ``contains`` / ``prune`` / ``info`` where they can do better than
+    the generic fallbacks).  :attr:`last_hit_tier` names the tier that
+    served the most recent hit (for plain backends, the backend's own
+    :attr:`kind`; tiered caches report the member tier) -- callers
+    that want per-job attribution read it immediately after ``get``.
+    """
+
+    #: Short backend identity used in specs, stats and tier names.
+    kind = "cache"
 
     def __init__(self) -> None:
         self.stats = CacheStats()
+        self.last_hit_tier: str | None = None
 
     def get(self, key: str) -> dict[str, Any] | None:
         """Look up an artifact; ``None`` on miss."""
         doc = self._load(key)
         if doc is None:
             self.stats.misses += 1
+            self.last_hit_tier = None
         else:
             self.stats.hits += 1
+            self.last_hit_tier = self.kind
         return doc
 
-    def put(self, key: str, doc: dict[str, Any]) -> None:
-        """Store an artifact under ``key``."""
+    def put(
+        self, key: str, doc: dict[str, Any], *, kind: str = "store"
+    ) -> None:
+        """Store an artifact under ``key``.
+
+        Args:
+            key: Content-addressed cache key.
+            doc: The artifact document.
+            kind: Why the write happened -- ``"store"`` (fresh
+                artifact), ``"fill"`` (tiered read-through copy) or
+                ``"revalidate"`` (hit-path ``validated: true``
+                write-back).  Selects the stats counter only; the
+                stored bytes are identical.
+        """
+        if kind not in PUT_KINDS:
+            raise ValueError(
+                f"put kind must be one of {PUT_KINDS}, got {kind!r}"
+            )
         self._store(key, doc)
-        self.stats.stores += 1
+        if kind == "fill":
+            self.stats.fills += 1
+        elif kind == "revalidate":
+            self.stats.revalidations += 1
+        else:
+            self.stats.stores += 1
+
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` is present (no stats, no recency refresh)."""
+        return self._contains(key)
+
+    def prune(self, max_bytes: int | None = None) -> "PruneReport":
+        """Evict entries down to ``max_bytes`` where supported.
+
+        The base implementation cannot enumerate entries and evicts
+        nothing; backends with real occupancy (disk, memory, remote,
+        tiered) override it.
+        """
+        return PruneReport(
+            removed_entries=0,
+            removed_bytes=0,
+            remaining_entries=0,
+            remaining_bytes=0,
+        )
+
+    def flush(self) -> int:
+        """Push deferred writes downstream (write-back tiering only).
+
+        Returns the number of entries flushed; plain backends have
+        nothing deferred and return 0.
+        """
+        return 0
+
+    def info(self) -> dict[str, Any]:
+        """Occupancy / configuration description (JSON-safe)."""
+        return {"kind": self.kind}
+
+    def stats_doc(self) -> dict[str, Any]:
+        """This cache's counters as a JSON-safe document.
+
+        Tiered caches extend it with one entry per member tier.
+        """
+        return {"kind": self.kind, "stats": asdict(self.stats)}
 
     def _load(self, key: str) -> dict[str, Any] | None:
         raise NotImplementedError
@@ -117,9 +217,14 @@ class ProgramCache:
     def _store(self, key: str, doc: dict[str, Any]) -> None:
         raise NotImplementedError
 
+    def _contains(self, key: str) -> bool:
+        return self._load(key) is not None
+
 
 class NullCache(ProgramCache):
     """Caching disabled: every lookup misses, stores are dropped."""
+
+    kind = "null"
 
     def _load(self, key: str) -> dict[str, Any] | None:
         return None
@@ -127,22 +232,72 @@ class NullCache(ProgramCache):
     def _store(self, key: str, doc: dict[str, Any]) -> None:
         pass
 
+    def _contains(self, key: str) -> bool:
+        return False
+
 
 class MemoryCache(ProgramCache):
-    """In-process dict backend."""
+    """In-process dict backend.
+
+    Tracks an approximate byte occupancy (canonical-JSON size of every
+    entry) so ``info`` / ``prune`` work uniformly across backends;
+    eviction order is insertion order (oldest entry first).
+    """
+
+    kind = "memory"
 
     def __init__(self) -> None:
         super().__init__()
         self._entries: dict[str, dict[str, Any]] = {}
+        self._sizes: dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def total_bytes(self) -> int:
+        """Approximate summed entry size (canonical JSON bytes)."""
+        return sum(self._sizes.values())
 
     def _load(self, key: str) -> dict[str, Any] | None:
         return self._entries.get(key)
 
     def _store(self, key: str, doc: dict[str, Any]) -> None:
         self._entries[key] = doc
+        self._sizes[key] = len(
+            json.dumps(doc, separators=(",", ":"), sort_keys=True)
+        )
+
+    def _contains(self, key: str) -> bool:
+        return key in self._entries
+
+    def prune(self, max_bytes: int | None = None) -> "PruneReport":
+        """Evict oldest-inserted entries down to ``max_bytes``."""
+        removed_entries = 0
+        removed_bytes = 0
+        remaining = self.total_bytes()
+        if max_bytes is not None:
+            for key in list(self._entries):
+                if remaining <= max_bytes:
+                    break
+                size = self._sizes.pop(key, 0)
+                remaining -= size
+                removed_bytes += size
+                del self._entries[key]
+                removed_entries += 1
+                self.stats.evictions += 1
+        return PruneReport(
+            removed_entries=removed_entries,
+            removed_bytes=removed_bytes,
+            remaining_entries=len(self._entries),
+            remaining_bytes=remaining,
+        )
+
+    def info(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "entries": len(self._entries),
+            "total_bytes": self.total_bytes(),
+        }
 
 
 class _DirectoryLock:
@@ -223,6 +378,8 @@ class DiskCache(ProgramCache):
             still keeps the just-written entry writable -- it is simply
             evicted by a later store.
     """
+
+    kind = "disk"
 
     def __init__(
         self, directory: str, max_bytes: int | None = None
@@ -336,6 +493,19 @@ class DiskCache(ProgramCache):
     def __len__(self) -> int:
         return len(self._entries())
 
+    def _contains(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def info(self) -> dict[str, Any]:
+        entries = self._entries()
+        return {
+            "kind": self.kind,
+            "directory": self.directory,
+            "max_bytes": self.max_bytes,
+            "entries": len(entries),
+            "total_bytes": sum(size for _, _, size in entries),
+        }
+
     def prune(self, max_bytes: int | None = None) -> PruneReport:
         """Evict least-recently-used entries down to ``max_bytes``.
 
@@ -377,6 +547,7 @@ class DiskCache(ProgramCache):
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "PUT_KINDS",
     "CacheStats",
     "DiskCache",
     "MemoryCache",

@@ -51,7 +51,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from ..circuits.transpile import transpile_to_native
@@ -59,7 +59,8 @@ from ..fidelity.model import FidelityModel, FidelityReport
 from ..schedule.program import NAProgram
 from ..schedule.serialize import program_from_dict
 from ..schedule.validator import validate_program
-from .cache import NullCache, ProgramCache, job_cache_key
+from .cache import ProgramCache, job_cache_key
+from .cachestore import make_cache
 from .jobs import CompileJob, execute_job_on_circuit
 
 #: Valid ``on_error`` policies.
@@ -149,6 +150,12 @@ class JobResult:
             (``1`` when the first attempt succeeded or retries are
             disabled; cache hits always count one).
         retry_wait_s: Total backoff seconds slept between attempts.
+        stats: Run-environment measurements of this result:
+            ``"pass_timings"`` (per-pass compile seconds from the
+            artifact) and, on cache hits, ``"cache_tier"`` -- the
+            tier that served the hit (``"memory"`` / ``"disk"`` /
+            ``"remote"``, or the backend kind for plain caches).
+            Volatile by definition: never part of result records.
     """
 
     job: CompileJob
@@ -161,6 +168,7 @@ class JobResult:
     error: JobFailure | None = None
     attempts: int = 1
     retry_wait_s: float = 0.0
+    stats: dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -180,8 +188,14 @@ class CompilationEngine:
     """Batch compiler with process-pool fan-out and artifact caching.
 
     Args:
-        cache: Artifact cache backend (:class:`NullCache` -- no caching
-            -- when omitted).
+        cache: Artifact cache backend -- a ready
+            :class:`~repro.engine.cache.ProgramCache`, or a cache-spec
+            string (``"memory"``, ``"disk:PATH[:MAX_BYTES]"``,
+            ``"remote:URL"``, ``"tiered:disk:PATH,remote:URL"``, see
+            ``docs/caching.md``) resolved through
+            :func:`~repro.engine.cachestore.make_cache`.
+            :class:`~repro.engine.cache.NullCache` -- no caching --
+            when omitted.
         workers: Process-pool width for cache-missing jobs; ``1``
             compiles serially in-process.
         progress: Per-finished-job callback.
@@ -211,7 +225,7 @@ class CompilationEngine:
 
     def __init__(
         self,
-        cache: ProgramCache | None = None,
+        cache: ProgramCache | str | None = None,
         workers: int = 1,
         progress: ProgressCallback | None = None,
         on_error: str = "raise",
@@ -229,7 +243,7 @@ class CompilationEngine:
             raise ValueError("retries must be non-negative")
         if backoff < 0:
             raise ValueError("backoff must be non-negative")
-        self.cache = cache if cache is not None else NullCache()
+        self.cache = make_cache(cache)
         self.workers = workers
         self.on_error = on_error
         self.retries = retries
@@ -298,10 +312,11 @@ class CompilationEngine:
             key = job_cache_key(job, circuit.digest())
             doc = self.cache.get(key)
             if doc is not None:
+                hit_tier = self.cache.last_hit_tier
                 try:
                     result = self._result_from_artifact(
                         job, index, key, doc, cache_hit=True,
-                        circuit=circuit,
+                        circuit=circuit, hit_tier=hit_tier,
                     )
                 except Exception as exc:
                     # Historical contract: hit-path validation errors
@@ -556,6 +571,7 @@ class CompilationEngine:
         circuit=None,
         attempts: int = 1,
         retry_wait_s: float = 0.0,
+        hit_tier: str | None = None,
     ) -> JobResult:
         program = program_from_dict(doc["program"])
         if cache_hit and job.validate and not doc.get("validated"):
@@ -569,9 +585,16 @@ class CompilationEngine:
             )
             validate_program(program, source_circuit=source)
             # Persist the successful validation so future hits on this
-            # key skip the (expensive) re-check.
-            self.cache.put(key, {**doc, "validated": True})
+            # key skip the (expensive) re-check.  Counted apart from
+            # fresh stores and tier fills (kind="revalidate").
+            self.cache.put(key, {**doc, "validated": True},
+                           kind="revalidate")
         fidelity = FidelityModel(job.params).evaluate(program)
+        stats: dict[str, Any] = {
+            "pass_timings": doc.get("pass_timings", {}),
+        }
+        if cache_hit and hit_tier is not None:
+            stats["cache_tier"] = hit_tier
         return JobResult(
             job=job,
             index=index,
@@ -582,6 +605,7 @@ class CompilationEngine:
             cache_hit=cache_hit,
             attempts=attempts,
             retry_wait_s=retry_wait_s,
+            stats=stats,
         )
 
     def _emit(

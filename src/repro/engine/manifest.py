@@ -3,6 +3,7 @@
 A manifest is a JSON document describing a batch of compilations::
 
     {
+      "cache": "tiered:disk:.pmcache,remote:http://cache:8123",
       "defaults": {"seed": 0, "num_aods": 1,
                    "scenarios": ["enola", "pm_with_storage"]},
       "jobs": [
@@ -23,6 +24,14 @@ compiler knobs (flat dicts of config fields).  Defaults apply to every
 entry that does not override them; the built-in default (no scenario or
 backend anywhere) remains all three legacy scenarios, and manifests
 written before the backend registry existed parse unchanged.
+
+A top-level ``"cache"`` key names a default cache spec for the run
+(``"disk:PATH"``, ``"tiered:disk:PATH,remote:URL"``, ... -- see
+``docs/caching.md``); the ``--cache`` / ``--cache-dir`` CLI options
+override it.  The cache spec describes the *run environment*, not the
+work, so :func:`manifest_digest` excludes it -- two runs of one
+manifest through different caches stay shard-mergeable and
+equivalence-comparable.
 
 Every structural problem raises :class:`ManifestError` with a message
 naming the offending entry.
@@ -172,6 +181,7 @@ def parse_manifest(doc: Any) -> list[CompileJob]:
         raise ManifestError(
             f"defaults: unknown keys {sorted(unknown_defaults)}"
         )
+    manifest_cache_spec(doc)  # validate the type eagerly
 
     jobs: list[CompileJob] = []
     for position, entry in enumerate(entries):
@@ -227,6 +237,25 @@ def parse_manifest(doc: Any) -> list[CompileJob]:
     return jobs
 
 
+def manifest_cache_spec(doc: Any) -> str | None:
+    """The manifest's top-level ``"cache"`` spec, or ``None``.
+
+    Raises :class:`ManifestError` when present but not a string; the
+    spec's own grammar is validated later by
+    :func:`repro.engine.cachestore.make_cache`, at cache-construction
+    time, so manifests stay parseable on machines that will override
+    the spec anyway.
+    """
+    if not isinstance(doc, dict):
+        return None
+    spec = doc.get("cache")
+    if spec is None:
+        return None
+    if not isinstance(spec, str) or not spec.strip():
+        raise ManifestError("'cache' must be a non-empty spec string")
+    return spec
+
+
 def manifest_digest(doc: Any) -> str:
     """Stable content hash of a manifest document (hex SHA-256).
 
@@ -235,7 +264,13 @@ def manifest_digest(doc: Any) -> str:
     semantic change (a job added, a default tweaked) rotates the digest.
     Shard result files carry it so ``repro merge`` can refuse to combine
     shards of different manifests.
+
+    The top-level ``"cache"`` key is excluded: it names the run
+    environment (which cache tier served a machine), not the work, and
+    must not stop two runs of the same jobs from comparing or merging.
     """
+    if isinstance(doc, dict) and "cache" in doc:
+        doc = {key: value for key, value in doc.items() if key != "cache"}
     payload = json.dumps(doc, separators=(",", ":"), sort_keys=True)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -259,6 +294,7 @@ def load_manifest(path: str) -> list[CompileJob]:
 __all__ = [
     "ManifestError",
     "load_manifest",
+    "manifest_cache_spec",
     "manifest_digest",
     "parse_manifest",
     "read_manifest",

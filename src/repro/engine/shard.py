@@ -36,8 +36,14 @@ BATCH_RESULTS_FORMAT = "repro-batch-results"
 BATCH_RESULTS_VERSION = 2
 
 #: Top-level document fields that depend on the run environment (wall
-#: clock, cache occupancy) rather than the manifest.
-_DOC_VOLATILE_FIELDS = ("wall_time_s", "cache_hits", "cache_misses")
+#: clock, cache occupancy, per-tier cache counters) rather than the
+#: manifest.
+_DOC_VOLATILE_FIELDS = (
+    "wall_time_s",
+    "cache_hits",
+    "cache_misses",
+    "cache_stats",
+)
 #: Per-record fields that depend on the run environment (retry
 #: bookkeeping is environmental too: transient failures happen on a
 #: machine, not in a manifest).
@@ -154,6 +160,7 @@ def results_doc(
     on_error: str,
     shard: ShardPlan | None = None,
     global_indices: Sequence[int] | None = None,
+    cache_stats: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble the canonical batch-results document.
 
@@ -169,6 +176,10 @@ def results_doc(
         shard: The shard this run covered, or ``None`` for a full run.
         global_indices: Engine-local index -> global manifest index
             (identity when omitted).
+        cache_stats: Per-tier cache counters of the run
+            (:meth:`repro.engine.cache.ProgramCache.stats_doc`);
+            attached as the volatile ``cache_stats`` document field
+            (dropped by :func:`strip_timing`).
     """
     records = []
     for result in results:
@@ -185,6 +196,7 @@ def results_doc(
         wall_time_s=wall_time_s,
         on_error=on_error,
         shard=shard,
+        cache_stats=cache_stats,
     )
 
 
@@ -196,6 +208,7 @@ def results_doc_from_records(
     wall_time_s: float,
     on_error: str,
     shard: ShardPlan | None = None,
+    cache_stats: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble a batch-results document from :func:`job_record` dicts.
 
@@ -208,7 +221,7 @@ def results_doc_from_records(
     ordered = sorted(records, key=lambda record: record["index"])
     hits = sum(1 for record in ordered if record["cache_hit"])
     failed = sum(1 for record in ordered if record["status"] == "error")
-    return {
+    doc = {
         "format": BATCH_RESULTS_FORMAT,
         "version": BATCH_RESULTS_VERSION,
         "manifest_digest": manifest_digest,
@@ -226,6 +239,9 @@ def results_doc_from_records(
         "wall_time_s": wall_time_s,
         "results": ordered,
     }
+    if cache_stats is not None:
+        doc["cache_stats"] = cache_stats
+    return doc
 
 
 def merge_result_docs(docs: Sequence[dict[str, Any]]) -> dict[str, Any]:

@@ -34,6 +34,7 @@ import time
 from typing import Any, BinaryIO
 
 from ..engine.cache import DiskCache, MemoryCache, ProgramCache
+from ..engine.cachestore import make_cache
 from ..engine.engine import CompilationEngine
 from ..engine.shard import job_record
 from .protocol import (
@@ -97,7 +98,11 @@ class ServiceServer:
             path).  TCP port ``0`` binds an ephemeral port --
             :attr:`address` carries the resolved spec after
             :meth:`start`.
-        cache: Program cache shared by every worker; defaults to
+        cache: Program cache shared by every worker -- a ready
+            :class:`ProgramCache`, or a cache-spec string
+            (``"disk:PATH"``, ``"remote:URL"``,
+            ``"tiered:disk:PATH,remote:URL"``, ...) resolved through
+            :func:`repro.engine.cachestore.make_cache`.  Defaults to
             ``DiskCache(cache_dir)`` when ``cache_dir`` is given, else
             an in-process :class:`MemoryCache`.
         cache_dir: Convenience for ``cache=DiskCache(cache_dir)``.
@@ -114,7 +119,7 @@ class ServiceServer:
         queue_dir: str,
         address: str = "127.0.0.1:0",
         *,
-        cache: ProgramCache | None = None,
+        cache: ProgramCache | str | None = None,
         cache_dir: str | None = None,
         workers: int = 2,
         retries: int = 1,
@@ -129,6 +134,8 @@ class ServiceServer:
                 if cache_dir is not None
                 else MemoryCache()
             )
+        elif isinstance(cache, str):
+            cache = make_cache(cache)
         self.queue = JobQueue(queue_dir)
         self.cache = cache
         self.workers = workers
@@ -239,6 +246,8 @@ class ServiceServer:
         for thread in self._threads:
             if thread is not threading.current_thread():
                 thread.join(timeout=10.0)
+        # Deferred write-back cache entries must survive the daemon.
+        self.cache.flush()
         self._stopped.set()
 
     def wait_stopped(self, timeout: float | None = None) -> bool:
@@ -325,6 +334,9 @@ class ServiceServer:
                     f"requeued {len(expired)} expired lease(s): "
                     + ", ".join(expired)
                 )
+            # Push write-back-deferred cache entries downstream (no-op
+            # for every non-write-back cache).
+            self.cache.flush()
 
     # -- protocol dispatch ---------------------------------------------
 
@@ -374,6 +386,7 @@ class ServiceServer:
             "draining": self.draining,
             "uptime_s": time.time() - self.started_at,
             "counts": self.queue.counts(),
+            "cache": self.cache.stats_doc(),
         }
 
     def _submit(self, request: dict[str, Any]) -> dict[str, Any]:
