@@ -55,6 +55,13 @@ class EnolaConfig:
             the aggressive grouping is precisely PowerMove's Sec. 5.3
             contribution.  Enable for a stronger-baseline sensitivity
             analysis.
+        use_window: Cap each MIS conflict graph to a sliding window of
+            ``window_size`` gates, the scaling device of Enola's own
+            10k-qubit harness (its ``--window`` flag).  Off by default so
+            reference digests stay bit-identical; blocks at or below the
+            window keep the exhaustive extraction even when enabled (the
+            exactness threshold).
+        window_size: Gates per MIS window when ``use_window`` is set.
         naive_storage: The Fig. 3(e)(f) strawman: Enola's revert scheme
             bolted onto a zoned machine.  The initial layout lives
             entirely in the storage zone; for every stage each
@@ -70,6 +77,8 @@ class EnolaConfig:
     sa_iterations_per_qubit: int = 150
     num_aods: int = 1
     merge_moves: bool = False
+    use_window: bool = False
+    window_size: int = 1000
     naive_storage: bool = False
 
     def __post_init__(self) -> None:
@@ -79,6 +88,8 @@ class EnolaConfig:
             raise ValueError("annealing budget must be non-negative")
         if self.num_aods < 1:
             raise ValueError("need at least one AOD array")
+        if self.window_size < 1:
+            raise ValueError("MIS window size must be positive")
 
 
 class EnolaCompiler:

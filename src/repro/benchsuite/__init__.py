@@ -1,5 +1,13 @@
-"""The paper's benchmark suite (Table 2)."""
+"""The paper's benchmark suite (Table 2) and the scaling ladder."""
 
+from .scaling import (
+    SCALING_BACKENDS,
+    SCALING_SIZES,
+    ScalingPoint,
+    run_scaling,
+    scaling_doc,
+    scaling_workload,
+)
 from .suite import (
     PAPER_ORDER,
     SUITE,
@@ -14,10 +22,16 @@ from .suite import (
 __all__ = [
     "BenchmarkSpec",
     "PAPER_ORDER",
+    "SCALING_BACKENDS",
+    "SCALING_SIZES",
     "SUITE",
+    "ScalingPoint",
     "benchmarks_in_family",
     "export_suite_qasm",
     "get_benchmark",
+    "run_scaling",
     "scaled_suite",
+    "scaling_doc",
+    "scaling_workload",
     "table2_rows",
 ]

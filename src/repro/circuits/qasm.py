@@ -196,10 +196,35 @@ class _Register:
     offset: int
 
 
+# One alternation, scanned left to right: whichever comment opener
+# appears first in the source claims the span.
+_COMMENT_RE = re.compile(r"/\*.*?\*/|//[^\n]*", flags=re.DOTALL)
+
+
 def _strip_comments(text: str) -> str:
-    text = re.sub(r"//[^\n]*", "", text)
-    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
-    return text
+    """Remove ``//`` line comments and ``/* ... */`` block comments.
+
+    The two forms are stripped in a single pass so neither can truncate
+    the other: ``//`` inside a block comment (a URL, say) does not eat
+    the block's terminator, and ``/*`` inside a line comment stays
+    commented out.  A block comment becomes a single space -- it may
+    separate two tokens -- while a line comment vanishes (its newline
+    survives as the separator).  An unterminated ``/*`` raises instead
+    of silently corrupting everything after it.
+    """
+
+    def replace(match: re.Match[str]) -> str:
+        return "" if match.group().startswith("//") else " "
+
+    stripped = _COMMENT_RE.sub(replace, text)
+    if "/*" in stripped:
+        raise QasmError("unterminated block comment")
+    return stripped
+
+
+_KEYWORD_RE = re.compile(
+    r"(openqasm|include|qreg|creg|gate|opaque|barrier|measure|reset|if)\b"
+)
 
 
 class QasmParser:
@@ -265,31 +290,29 @@ class QasmParser:
         stmt = stmt.strip()
         if not stmt:
             return
-        lowered = stmt.lower()
-        if lowered.startswith("openqasm"):
+        # Keywords match as whole words: any whitespace may follow
+        # ("gate\tfoo ..." is legal QASM), and identifiers that merely
+        # share a prefix with a keyword ("measurement", "ifoo") are
+        # gate applications, not statements.
+        match = _KEYWORD_RE.match(stmt.lower())
+        keyword = match.group(1) if match else None
+        if keyword in ("openqasm", "include", "opaque"):
             return
-        if lowered.startswith("include"):
+        if keyword in ("qreg", "creg"):
+            self._declare_register(stmt, quantum=keyword == "qreg")
             return
-        if lowered.startswith("qreg"):
-            self._declare_register(stmt, quantum=True)
-            return
-        if lowered.startswith("creg"):
-            self._declare_register(stmt, quantum=False)
-            return
-        if lowered.startswith("gate "):
+        if keyword == "gate":
             self._define_macro(stmt)
             return
-        if lowered.startswith("opaque"):
-            return
-        if lowered.startswith("barrier"):
+        if keyword == "barrier":
             self._apply_barrier(stmt)
             return
-        if lowered.startswith("measure"):
+        if keyword == "measure":
             self._apply_measure(stmt)
             return
-        if lowered.startswith("reset"):
+        if keyword == "reset":
             raise QasmError("reset is not supported by the NAQC model")
-        if lowered.startswith("if"):
+        if keyword == "if":
             raise QasmError("classical control flow is not supported")
         self._apply_gate_statement(stmt, env={})
 

@@ -259,7 +259,57 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_scaling(args: argparse.Namespace) -> int:
+    from .benchsuite.scaling import (
+        SCALING_BACKENDS,
+        SCALING_SIZES,
+        run_scaling,
+        scaling_doc,
+    )
+
+    sizes = (
+        tuple(int(s) for s in args.sizes.split(","))
+        if args.sizes
+        else SCALING_SIZES
+    )
+    backends = tuple(args.backend) if args.backend else SCALING_BACKENDS
+
+    def progress(point) -> None:
+        slowest = max(
+            point.pass_timings.items(),
+            key=lambda item: item[1],
+            default=("-", 0.0),
+        )
+        print(
+            f"  {point.backend:24s} N={point.num_qubits:<6d} "
+            f"T_comp={point.compile_s:8.3f}s  "
+            f"(slowest pass: {slowest[0]} {slowest[1]:.3f}s)",
+            flush=True,
+        )
+
+    print(
+        "scaling ladder: random 3-regular QAOA, "
+        f"sizes={list(sizes)}, backends={list(backends)}"
+    )
+    points = run_scaling(sizes=sizes, backends=backends,
+                         seed=args.seed, progress=progress)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(scaling_doc(points), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.scaling:
+        return _cmd_bench_scaling(args)
+    if args.key is None:
+        print(
+            "error: a benchmark key is required unless --scaling is given",
+            file=sys.stderr,
+        )
+        return 2
     spec = get_benchmark(args.key)
     enola_cfg = EnolaConfig(
         seed=args.seed,
@@ -869,7 +919,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench", help="run one Table 2 benchmark, all scenarios"
     )
-    p_bench.add_argument("key", help=f"one of: {', '.join(SUITE)}")
+    p_bench.add_argument(
+        "key",
+        nargs="?",
+        default=None,
+        help=f"one of: {', '.join(SUITE)} (omit with --scaling)",
+    )
+    p_bench.add_argument(
+        "--scaling",
+        action="store_true",
+        help="run the compile-time scaling ladder (random 3-regular "
+        "QAOA over --sizes) instead of one Table 2 benchmark",
+    )
+    p_bench.add_argument(
+        "--sizes",
+        default=None,
+        metavar="N,N,...",
+        help="comma-separated ladder sizes (default: 64,256,1024,4096,"
+        "10000; only with --scaling)",
+    )
+    p_bench.add_argument(
+        "--output",
+        default=None,
+        help="write the ladder timings as compare_bench-format JSON "
+        "(only with --scaling)",
+    )
     p_bench.add_argument("--aods", type=int, default=1)
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--mis-restarts", type=int, default=5)

@@ -36,10 +36,20 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..hardware.geometry import Site, Zone, ZonedArchitecture
 from ..hardware.layout import Layout
 from ..hardware.moves import CollMove, Move, group_moves
+
+try:  # optional: vectorised site search (CI's minimal env lacks numpy)
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the scalar fallback
+    _np = None
+
+#: Below this many zone sites the plain Python scan wins; above it the
+#: numpy pre-filter pays for itself.
+_VECTOR_MIN_SITES = 64
 
 
 class RoutingError(RuntimeError):
@@ -319,17 +329,27 @@ class _StagePlan:
         self._end_occ: dict[Site, set[int]] = {}
         for q in layout.qubits:
             self._end_occ.setdefault(layout.site_of(q), set()).add(q)
+        # Vectorised-search state, built lazily per zone on first use:
+        # a boolean planned-free mask aligned with sites_in(zone) and a
+        # site -> array-index map.  Kept in sync by depart()/arrive().
+        self._free_masks: dict[Zone, Any] = {}
+        self._site_pos: dict[Zone, dict[Site, int]] = {}
 
     # -- bookkeeping -----------------------------------------------------
 
     def depart(self, qubit: int) -> None:
         """Remove ``qubit`` from its current site in the planned end state."""
-        self._end_occ[self.layout.site_of(qubit)].discard(qubit)
+        site = self.layout.site_of(qubit)
+        occupants = self._end_occ[site]
+        occupants.discard(qubit)
+        if not occupants:
+            self._mark_free(site, True)
 
     def arrive(self, qubit: int, site: Site) -> None:
         """Fix ``site`` as ``qubit``'s destination."""
         self.targets[qubit] = site
         self._end_occ.setdefault(site, set()).add(qubit)
+        self._mark_free(site, False)
 
     def mark(self, qubit: int, label: str) -> None:
         """Assign a routing label; mobile/undecided qubits depart."""
@@ -363,19 +383,69 @@ class _StagePlan:
             return True
         return False
 
+    def _mark_free(self, site: Site, free: bool) -> None:
+        """Sync the zone's planned-free mask, if it has been built."""
+        mask = self._free_masks.get(site.zone)
+        if mask is not None:
+            index = self._site_pos[site.zone].get(site)
+            if index is not None:
+                mask[index] = free
+
+    def _free_mask(self, zone: Zone):
+        """Boolean planned-free mask aligned with ``sites_in(zone)``."""
+        mask = self._free_masks.get(zone)
+        if mask is None:
+            sites = self.arch.sites_in(zone)
+            positions = {site: i for i, site in enumerate(sites)}
+            mask = _np.ones(len(sites), dtype=bool)
+            for site, occupants in self._end_occ.items():
+                if occupants and site.zone is zone:
+                    index = positions.get(site)
+                    if index is not None:
+                        mask[index] = False
+            self._site_pos[zone] = positions
+            self._free_masks[zone] = mask
+        return mask
+
     def nearest_empty(
         self, position: tuple[float, float], zone: Zone
     ) -> Site | None:
         """Closest planned-empty site of ``zone`` to ``position``.
 
         Euclidean distance; ties prefer the same column, then low row/col.
+
+        Large zones take a vectorised path: squared distances over the
+        architecture's cached coordinate arrays shrink the field to the
+        near-tie candidates, and the historical ``math.hypot`` key picks
+        among those -- so the winning site is bit-identical to the scalar
+        scan's, numpy or not.
         """
         px, py = position
+        sites = self.arch.sites_in(zone)
+        arrays = (
+            self.arch.site_arrays(zone)
+            if _np is not None and len(sites) >= _VECTOR_MIN_SITES
+            else None
+        )
+        if arrays is not None:
+            xs, ys = arrays
+            dx = xs - px
+            dy = ys - py
+            dist_sq = dx * dx + dy * dy
+            dist_sq[~self._free_mask(zone)] = _np.inf
+            best_sq = dist_sq.min()
+            if not _np.isfinite(best_sq):
+                return None
+            # Keep every candidate whose squared distance could round to
+            # the same hypot as the minimum; exact keys decide below.
+            cutoff = best_sq * (1.0 + 1e-9)
+            candidates = _np.flatnonzero(dist_sq <= cutoff)
+            pool = [sites[int(i)] for i in candidates]
+        else:
+            pool = [s for s in sites if not self._end_occ.get(s)]
         best_key: tuple | None = None
         best_site: Site | None = None
-        for site in self.arch.sites_in(zone):
-            if self._end_occ.get(site):
-                continue
+        for site in pool:
             dist = math.hypot(site.x - px, site.y - py)
             key = (dist, abs(site.x - px), site.row, site.col)
             if best_key is None or key < best_key:

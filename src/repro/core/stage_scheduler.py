@@ -28,6 +28,7 @@ Two responsibilities:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 from ..circuits.blocks import CZBlock
@@ -96,23 +97,37 @@ def _greedy_color_saturation(
     then input order).  On the line graphs these blocks induce, this
     reliably reaches the Vizing-optimal stage count where a single static
     degree ordering can overshoot by one or two stages.
+
+    The selection runs on a lazy max-heap keyed ``(saturation, degree,
+    -vertex)`` with stale-entry skipping, so each round costs O(log V)
+    instead of rescanning every uncoloured vertex -- the selection
+    sequence (and therefore the colouring) is identical to the
+    historical linear-scan ``max``.
     """
     color = [-1] * n
     saturation: list[set[int]] = [set() for _ in range(n)]
     degrees = [len(adjacency[v]) for v in range(n)]
-    uncolored = set(range(n))
-    while uncolored:
-        vertex = max(
-            uncolored,
-            key=lambda v: (len(saturation[v]), degrees[v], -v),
-        )
+    # heapq is a min-heap; negate saturation/degree so popping the
+    # smallest tuple yields max-saturation, then max-degree, then the
+    # lowest vertex id -- the exact historical tie-break.
+    heap = [(0, -degrees[v], v) for v in range(n)]
+    heapq.heapify(heap)
+    colored = 0
+    while colored < n:
+        neg_sat, _neg_deg, vertex = heapq.heappop(heap)
+        if color[vertex] != -1 or -neg_sat != len(saturation[vertex]):
+            continue  # stale entry: superseded or already coloured
         c = 0
         while c in saturation[vertex]:
             c += 1
         color[vertex] = c
-        uncolored.discard(vertex)
+        colored += 1
         for u in adjacency[vertex]:
-            saturation[u].add(c)
+            if color[u] == -1 and c not in saturation[u]:
+                saturation[u].add(c)
+                heapq.heappush(
+                    heap, (-len(saturation[u]), -degrees[u], u)
+                )
     return color
 
 

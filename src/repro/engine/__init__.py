@@ -50,6 +50,11 @@ from .jobs import (
     job_from_doc,
     job_to_doc,
 )
+from .passmemo import (
+    PASS_MEMO_SCHEMA_VERSION,
+    PassMemo,
+    pass_chain_keys,
+)
 from .manifest import (
     ManifestError,
     load_manifest,
@@ -89,6 +94,8 @@ __all__ = [
     "ManifestError",
     "MemoryCache",
     "NullCache",
+    "PASS_MEMO_SCHEMA_VERSION",
+    "PassMemo",
     "ProgramCache",
     "ProgressEvent",
     "PruneReport",
@@ -114,6 +121,7 @@ __all__ = [
     "manifest_cache_spec",
     "manifest_digest",
     "merge_result_docs",
+    "pass_chain_keys",
     "parse_cache_spec",
     "parse_manifest",
     "read_manifest",

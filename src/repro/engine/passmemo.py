@@ -1,0 +1,207 @@
+"""Pass-level memoization: content-addressed snapshots per pipeline pass.
+
+The job cache (:mod:`repro.engine.cache`) reuses whole compilations; this
+module reuses *prefixes* of one.  After every pass the context's produced
+fields (plus the RNG state) are snapshotted under a chained key::
+
+    key_i = sha256(base inputs + pass name + pass version + key_{i-1})
+
+where the base inputs are the circuit digest, the effective configuration,
+the hardware constants and the pipeline name.  The chaining means editing
+one pass (bump its ``version`` class attribute, or change its name)
+invalidates that pass and everything downstream while every upstream
+snapshot stays valid -- a pipeline re-run restores the deepest intact
+snapshot and executes only the remaining passes.
+
+Snapshots travel through any :class:`~repro.engine.cache.ProgramCache`
+backend (memory, disk, tiered, remote), so they share eviction, stats and
+the cache-spec plumbing with job artifacts; the key payloads differ, so
+the two families can never collide.  The snapshot value is a pickle of
+the context's mutable fields (base64 inside the JSON artifact) -- exact
+by construction, because every pass keeps all of its state on the
+context and draws randomness only from ``ctx.rng``.
+
+Usage goes through
+:meth:`repro.pipeline.registry.PipelineCompiler.compile`::
+
+    compiler = create_compiler("powermove")
+    result = compiler.compile(circuit, pass_cache=MemoryCache())
+    result.stats["pass_cache"]  # {"hits": ..., "misses": ..., "stores": ...}
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import pickle
+from dataclasses import asdict
+from typing import Any
+
+from ..pipeline.base import Pipeline
+from ..pipeline.context import CompileContext
+
+#: Bump to invalidate every existing pass snapshot (key derivation or
+#: snapshot layout change).
+PASS_MEMO_SCHEMA_VERSION = 1
+
+#: Context fields a pass may produce; the snapshot payload.
+SNAPSHOT_FIELDS = (
+    "native",
+    "partition",
+    "architecture",
+    "initial_layout",
+    "block_stages",
+    "routed_stages",
+    "block_instructions",
+    "gap_layers",
+    "counters",
+    "program",
+)
+
+
+def pass_version(p: Any) -> int:
+    """A pass's snapshot version (``version`` class attribute, default 1).
+
+    Bumping the attribute is how a pass declares "my output changed for
+    the same inputs" -- it rotates the pass's chained key and therefore
+    every downstream key too.
+    """
+    return int(getattr(p, "version", 1))
+
+
+def pass_chain_keys(pipeline: Pipeline, ctx: CompileContext) -> list[str]:
+    """The chained snapshot keys of ``pipeline`` over ``ctx``'s inputs."""
+    base = {
+        "memo_schema": PASS_MEMO_SCHEMA_VERSION,
+        "pipeline": pipeline.name,
+        "compiler_name": ctx.compiler_name,
+        "circuit": ctx.circuit.digest(),
+        "config_kind": type(ctx.config).__name__,
+        "config": asdict(ctx.config),
+        "params": asdict(ctx.params),
+    }
+    keys: list[str] = []
+    parent = ""
+    for p in pipeline:
+        payload = json.dumps(
+            {
+                "base": base,
+                "parent": parent,
+                "pass": p.name,
+                "pass_version": pass_version(p),
+            },
+            separators=(",", ":"),
+            sort_keys=True,
+        )
+        parent = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        keys.append(parent)
+    return keys
+
+
+class PassMemo:
+    """One pipeline run's view of the pass-snapshot cache.
+
+    Implements the two hooks :meth:`~repro.pipeline.base.Pipeline.run`
+    consumes: :meth:`restore` (probe the deepest intact snapshot and
+    rebuild the context from it) and :meth:`record` (snapshot the
+    context after an executed pass).  Counters:
+
+    * ``hits`` -- passes skipped because a snapshot covered them;
+    * ``misses`` -- passes actually executed;
+    * ``stores`` -- fresh snapshots written this run.
+    """
+
+    def __init__(
+        self, cache: Any, pipeline: Pipeline, ctx: CompileContext
+    ) -> None:
+        self._cache = cache
+        self._passes = tuple(pipeline)
+        self._keys = pass_chain_keys(pipeline, ctx)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- Pipeline.run hooks --------------------------------------------
+
+    def restore(self, ctx: CompileContext) -> int:
+        """Rebuild ``ctx`` from the deepest intact snapshot.
+
+        Returns the index of the first pass that still must run (0 when
+        nothing usable was cached).  Skipped passes get a 0.0 timing
+        entry so ``pass_timings`` keeps its full, ordered key set.
+        """
+        for index in range(len(self._passes) - 1, -1, -1):
+            doc = self._cache.get(self._keys[index])
+            if doc is None:
+                continue
+            state = _decode_snapshot(doc)
+            if state is None:
+                continue  # corrupt or foreign entry: keep probing
+            for name, value in state["fields"].items():
+                setattr(ctx, name, value)
+            if ctx.rng is not None and state["rng_state"] is not None:
+                ctx.rng.setstate(state["rng_state"])
+            for p in self._passes[: index + 1]:
+                ctx.pass_timings[p.name] = 0.0
+            self.hits = index + 1
+            return index + 1
+        return 0
+
+    def record(self, ctx: CompileContext, index: int) -> None:
+        """Snapshot ``ctx`` after pass ``index`` executed."""
+        self.misses += 1
+        key = self._keys[index]
+        if self._cache.contains(key):
+            return
+        self._cache.put(key, _encode_snapshot(ctx, self._passes[index]))
+        self.stores += 1
+
+    def stats_doc(self) -> dict[str, int]:
+        """The counters, as surfaced in ``CompilationResult.stats``."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+
+def _encode_snapshot(ctx: CompileContext, p: Any) -> dict[str, Any]:
+    payload = {
+        "fields": {
+            name: getattr(ctx, name) for name in SNAPSHOT_FIELDS
+        },
+        "rng_state": ctx.rng.getstate() if ctx.rng is not None else None,
+    }
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return {
+        "memo_schema": PASS_MEMO_SCHEMA_VERSION,
+        "pass": p.name,
+        "pass_version": pass_version(p),
+        "state": base64.b64encode(blob).decode("ascii"),
+    }
+
+
+def _decode_snapshot(doc: dict[str, Any]) -> dict[str, Any] | None:
+    if (
+        not isinstance(doc, dict)
+        or doc.get("memo_schema") != PASS_MEMO_SCHEMA_VERSION
+        or "state" not in doc
+    ):
+        return None
+    try:
+        payload = pickle.loads(base64.b64decode(doc["state"]))
+    except Exception:  # corrupt entry: treat as a miss, never fail a run
+        return None
+    if not isinstance(payload, dict) or "fields" not in payload:
+        return None
+    return payload
+
+
+__all__ = [
+    "PASS_MEMO_SCHEMA_VERSION",
+    "PassMemo",
+    "SNAPSHOT_FIELDS",
+    "pass_chain_keys",
+    "pass_version",
+]

@@ -19,6 +19,11 @@ from enum import Enum
 
 from .params import DEFAULT_PARAMS, HardwareParams, UM
 
+try:  # optional: vectorised coordinate queries (CI's minimal env lacks it)
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the scalar fallback
+    _np = None
+
 
 class Zone(str, Enum):
     """The two functional zones of the architecture."""
@@ -115,6 +120,7 @@ class ZonedArchitecture:
             (s.zone, s.col, s.row): s
             for s in self._compute_sites + self._storage_sites
         }
+        self._site_arrays: dict[Zone, tuple] = {}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -207,6 +213,27 @@ class ZonedArchitecture:
     def contains(self, site: Site) -> bool:
         """True when ``site`` belongs to this machine."""
         return self._index.get((site.zone, site.col, site.row)) == site
+
+    def site_arrays(self, zone: Zone):
+        """Per-zone site coordinates as ``(xs, ys)`` numpy arrays.
+
+        Aligned with :meth:`sites_in` order and cached on the (immutable)
+        architecture, so batch geometry such as the router's
+        nearest-empty-site search can run as array math instead of a
+        per-site Python loop.  Returns ``None`` when numpy is not
+        installed -- callers must keep a scalar fallback.
+        """
+        if _np is None:
+            return None
+        cached = self._site_arrays.get(zone)
+        if cached is None:
+            sites = self.sites_in(zone)
+            cached = (
+                _np.array([s.x for s in sites], dtype=float),
+                _np.array([s.y for s in sites], dtype=float),
+            )
+            self._site_arrays[zone] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Extents (for the Table 2 reproduction)

@@ -15,7 +15,7 @@ shared across compilations, threads and backends.
 from __future__ import annotations
 
 import time
-from typing import Iterator, Protocol, Sequence, runtime_checkable
+from typing import Any, Iterator, Protocol, Sequence, runtime_checkable
 
 from .context import CompileContext
 
@@ -75,20 +75,37 @@ class Pipeline:
         """The pass names, in execution order."""
         return tuple(p.name for p in self._passes)
 
-    def run(self, ctx: CompileContext) -> CompileContext:
+    def run(
+        self, ctx: CompileContext, memo: Any | None = None
+    ) -> CompileContext:
         """Execute every pass in order, recording per-pass timings.
 
         Timings land in ``ctx.pass_timings`` (name -> seconds, in
         execution order).  Pass exceptions propagate unwrapped so the
         facades keep their historical error contracts (e.g. the
         ``ValueError`` on a missing storage zone).
+
+        ``memo`` (see :class:`repro.engine.passmemo.PassMemo`) enables
+        pass-level memoization: ``memo.restore(ctx)`` may rebuild the
+        context from a cached snapshot and return the index of the
+        first pass that still must run (restored passes keep a 0.0
+        timing entry so the key set stays complete), and
+        ``memo.record(ctx, i)`` snapshots the context after each
+        executed pass.
         """
-        for p in self._passes:
+        start_index = 0
+        if memo is not None:
+            start_index = memo.restore(ctx)
+        for index, p in enumerate(self._passes):
+            if index < start_index:
+                continue
             start = time.perf_counter()
             result = p.run(ctx)
             if result is not None:
                 ctx = result
             ctx.pass_timings[p.name] = time.perf_counter() - start
+            if memo is not None:
+                memo.record(ctx, index)
         return ctx
 
     def __repr__(self) -> str:

@@ -21,17 +21,35 @@ from .passes import row_major_layout
 
 
 class EnolaStageSchedulePass:
-    """Randomised-MIS stage extraction (best of ``mis_restarts``)."""
+    """Randomised-MIS stage extraction (best of ``mis_restarts``).
+
+    With ``use_window`` set on the config, blocks larger than
+    ``window_size`` gates are scheduled over a sliding window
+    (:func:`repro.baselines.mis.windowed_mis_stages`) so the conflict
+    graph never materialises O(gates^2) edges; smaller blocks keep the
+    exhaustive extraction and stay bit-identical to the default path.
+    """
 
     name = "mis_schedule"
 
     def run(self, ctx: CompileContext) -> None:
         ctx.require("partition", "rng")
         cfg = ctx.config
+        window_size = (
+            cfg.window_size if getattr(cfg, "use_window", False) else None
+        )
         ctx.block_stages = [
-            mis_stage_partition(block, ctx.rng, cfg.mis_restarts)
+            mis_stage_partition(
+                block, ctx.rng, cfg.mis_restarts, window_size=window_size
+            )
             for block in ctx.partition.blocks
         ]
+        if window_size is not None:
+            ctx.counters["mis_windowed_blocks"] = sum(
+                1
+                for block in ctx.partition.blocks
+                if len(block.gates) > window_size
+            )
 
 
 class EnolaRevertRoutePass:
@@ -114,9 +132,17 @@ class EnolaRevertRoutePass:
 
 
 def enola_metadata(ctx: CompileContext) -> dict:
-    """Historical Enola program metadata (key order preserved)."""
+    """Historical Enola program metadata (key order preserved).
+
+    Windowing keys are emitted only when the sliding window actually
+    fired on at least one block: program metadata feeds the program
+    digest, so the default path must keep the historical key set
+    byte-for-byte -- and a ``use_window`` run whose blocks all fit
+    under the exactness threshold is *bit-identical* to the
+    unwindowed run, metadata included.
+    """
     cfg = ctx.config
-    return {
+    doc = {
         "num_blocks": ctx.partition.num_blocks,
         "num_stages": ctx.counters["num_stages"],
         "num_single_moves": ctx.counters["num_single_moves"],
@@ -124,6 +150,12 @@ def enola_metadata(ctx: CompileContext) -> dict:
         "use_storage": cfg.naive_storage,
         "num_aods": cfg.num_aods,
     }
+    windowed_blocks = ctx.counters.get("mis_windowed_blocks", 0)
+    if getattr(cfg, "use_window", False) and windowed_blocks:
+        doc["use_window"] = True
+        doc["window_size"] = cfg.window_size
+        doc["windowed_blocks"] = windowed_blocks
+    return doc
 
 
 __all__ = [

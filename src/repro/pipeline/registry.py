@@ -156,6 +156,7 @@ class PipelineCompiler:
         circuit,
         architecture=None,
         initial_layout=None,
+        pass_cache=None,
     ):
         """Compile ``circuit`` through the backend's pipeline.
 
@@ -163,6 +164,15 @@ class PipelineCompiler:
         :class:`~repro.core.compiler.CompilationResult`; its ``stats``
         carry the program metadata plus per-pass wall-clock seconds
         under ``stats["pass_timings"]``.
+
+        ``pass_cache`` (any :class:`~repro.engine.cache.ProgramCache`)
+        enables pass-level memoization: each pass's output is
+        snapshotted under a chained content key, so a re-run -- or a run
+        differing only in a downstream pass -- restores the cached
+        prefix instead of recompiling it.  Hit/miss/store counters land
+        in ``stats["pass_cache"]``.  An explicit ``architecture`` or
+        ``initial_layout`` is not part of the content key, so
+        memoization is skipped for such calls.
         """
         from ..core.compiler import CompilationResult
 
@@ -176,10 +186,21 @@ class PipelineCompiler:
             architecture=architecture,
             initial_layout=initial_layout,
         )
-        ctx = self.spec.pipeline.run(ctx)
+        memo = None
+        if (
+            pass_cache is not None
+            and architecture is None
+            and initial_layout is None
+        ):
+            from ..engine.passmemo import PassMemo
+
+            memo = PassMemo(pass_cache, self.spec.pipeline, ctx)
+        ctx = self.spec.pipeline.run(ctx, memo=memo)
         compile_time = time.perf_counter() - start
         stats = dict(ctx.program.metadata)
         stats["pass_timings"] = dict(ctx.pass_timings)
+        if memo is not None:
+            stats["pass_cache"] = memo.stats_doc()
         return CompilationResult(
             program=ctx.program,
             compile_time=compile_time,
@@ -307,7 +328,13 @@ def _powermove_variant_name(config: PowerMoveConfig) -> str:
 
 
 def _enola_variant_name(config: EnolaConfig) -> str:
-    return "enola[naive-storage]" if config.naive_storage else "enola"
+    # No "[windowed]" variant label: the compiler name feeds the
+    # program digest, and a use_window run whose blocks all fit under
+    # the window is bit-identical to the unwindowed run by contract.
+    # Windowing that actually fired is recorded in program metadata.
+    if config.naive_storage:
+        return "enola[naive-storage]"
+    return "enola"
 
 
 def _powermove_effective(
@@ -342,6 +369,13 @@ def _enola_naive_effective(
 ) -> EnolaConfig:
     base = _enola_effective(override, seed, num_aods)
     return replace(base, naive_storage=True)
+
+
+def _enola_windowed_effective(
+    override: EnolaConfig | None, seed: int, num_aods: int
+) -> EnolaConfig:
+    base = _enola_effective(override, seed, num_aods)
+    return replace(base, use_window=True)
 
 
 def _atomique_effective(
@@ -428,6 +462,19 @@ def _register_defaults(registry: BackendRegistry) -> None:
             pipeline=ENOLA_PIPELINE,
             variant_name=_enola_variant_name,
             effective_config=_enola_naive_effective,
+        )
+    )
+    registry.register(
+        BackendSpec(
+            name="enola-windowed",
+            description=(
+                "Enola with sliding-window MIS (its 10k-qubit harness "
+                "mode); exact below the window size"
+            ),
+            config_cls=EnolaConfig,
+            pipeline=ENOLA_PIPELINE,
+            variant_name=_enola_variant_name,
+            effective_config=_enola_windowed_effective,
         )
     )
     registry.register(

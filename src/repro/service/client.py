@@ -228,15 +228,24 @@ class ServiceClient:
         )
 
     def wait_ready(self, timeout: float = 10.0) -> dict[str, Any]:
-        """Ping until the daemon answers (it may still be binding)."""
+        """Ping until the daemon answers (it may still be binding).
+
+        Retries with bounded exponential backoff (50 ms doubling up to
+        1 s, clamped to the remaining budget) so a slow-starting daemon
+        is not hammered with connection attempts; the last
+        :class:`ServiceError` is re-raised once ``timeout`` elapses.
+        """
         deadline = time.monotonic() + timeout
+        delay = 0.05
         while True:
             try:
                 return self.ping()
             except ServiceError:
-                if time.monotonic() >= deadline:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
                     raise
-                time.sleep(0.05)
+                time.sleep(min(delay, remaining))
+                delay = min(delay * 2.0, 1.0)
 
 
 __all__ = ["ServiceClient", "ServiceError"]

@@ -429,6 +429,20 @@ class JobQueue:
         records.sort(key=lambda record: record["completed_seq"])
         return records
 
+    def completed_count(self, sub_id: str) -> int:
+        """How many of a submission's jobs have finished.
+
+        Cheap (no record copies, no sort) -- meant for tight wait
+        predicates such as the result-stream idle poll.
+        """
+        with self._lock:
+            return sum(
+                1
+                for record in self._records.values()
+                if record["submission"] == sub_id
+                and record["status"] in ("done", "error")
+            )
+
     def counts(self, sub_id: str | None = None) -> dict[str, int]:
         """Job totals per state (optionally for one submission)."""
         totals = dict.fromkeys(JOB_STATES, 0)

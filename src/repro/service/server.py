@@ -47,6 +47,12 @@ from .protocol import (
 )
 from .queue import JobQueue, ManifestError
 
+#: Idle-poll bounds for a followed result stream: the fallback timeout
+#: starts snappy, doubles while nothing completes, and is capped so a
+#: missed notification never stalls the stream for long.
+RESULTS_POLL_MIN_S = 0.05
+RESULTS_POLL_MAX_S = 2.0
+
 
 class _Listener(socketserver.ThreadingMixIn, socketserver.TCPServer):
     allow_reuse_address = True
@@ -246,9 +252,14 @@ class ServiceServer:
         for thread in self._threads:
             if thread is not threading.current_thread():
                 thread.join(timeout=10.0)
-        # Deferred write-back cache entries must survive the daemon.
-        self.cache.flush()
-        self._stopped.set()
+        try:
+            # Deferred write-back cache entries must survive the
+            # daemon.  Workers flush on their own way out too (a slow
+            # compile can outlive the bounded join above), so this is
+            # the last flush, not the only one.
+            self.cache.flush()
+        finally:
+            self._stopped.set()
 
     def wait_stopped(self, timeout: float | None = None) -> bool:
         """Block until the daemon has fully stopped."""
@@ -273,23 +284,32 @@ class ServiceServer:
             retries=self.retries,
             backoff=self.backoff,
         )
-        while not self._stopping.is_set():
-            record = self.queue.lease(
-                worker_id, lease_seconds=self.lease_seconds
-            )
-            if record is None:
-                with self.queue.changed:
-                    if self._stopping.is_set():
-                        return
-                    self.queue.changed.wait(timeout=0.2)
-                continue
-            with self._active_lock:
-                self._active_jobs[worker_id] = record["id"]
-            try:
-                self._execute(engine, record)
-            finally:
+        try:
+            while not self._stopping.is_set():
+                record = self.queue.lease(
+                    worker_id, lease_seconds=self.lease_seconds
+                )
+                if record is None:
+                    with self.queue.changed:
+                        if self._stopping.is_set():
+                            return
+                        self.queue.changed.wait(timeout=0.2)
+                    continue
                 with self._active_lock:
-                    self._active_jobs.pop(worker_id, None)
+                    self._active_jobs[worker_id] = record["id"]
+                try:
+                    self._execute(engine, record)
+                finally:
+                    with self._active_lock:
+                        self._active_jobs.pop(worker_id, None)
+        finally:
+            # A compile outliving stop()'s bounded join would finish
+            # *after* the shutdown flush; pushing this worker's own
+            # deferred write-backs on the way out closes that window.
+            try:
+                self.cache.flush()
+            except Exception as exc:  # never kill the thread teardown
+                self._log(f"{worker_id}: exit cache flush failed: {exc}")
 
     def _execute(
         self, engine: CompilationEngine, record: dict[str, Any]
@@ -481,11 +501,14 @@ class ServiceServer:
         )
         sent = 0
         failed = 0
+        idle_timeout = RESULTS_POLL_MIN_S
         while True:
             # Flush everything completed so far *before* any exit
             # check, so records finishing during the wait below are
             # never dropped by a shutdown.
             completed = self.queue.completed_records(sub_id)
+            if len(completed) > sent:
+                idle_timeout = RESULTS_POLL_MIN_S  # progress: reset
             for record in completed[sent:]:
                 if record["record"].get("status") == "error":
                     failed += 1
@@ -504,12 +527,17 @@ class ServiceServer:
             if self._stopping.is_set() and self.queue.unfinished(sub_id):
                 break  # daemon going down with work left: end honestly
             # Wait for the next completion (or daemon stop; a draining
-            # daemon still finishes the queue, so keep streaming).
+            # daemon still finishes the queue, so keep streaming).  The
+            # condition variable wakes this immediately on every queue
+            # change; the timeout only bounds *missed* notifications,
+            # so it backs off while the stream sits idle instead of
+            # rescanning the records twice a second forever.
             self.queue.wait(
-                lambda: len(self.queue.completed_records(sub_id)) > sent
+                lambda: self.queue.completed_count(sub_id) > sent
                 or self._stopping.is_set(),
-                timeout=0.5,
+                timeout=idle_timeout,
             )
+            idle_timeout = min(idle_timeout * 2.0, RESULTS_POLL_MAX_S)
         write_message(
             stream,
             {

@@ -20,6 +20,11 @@ WORKLOAD = qaoa_regular(8, degree=3, seed=1)
 FAST_OVERRIDES = {
     "enola": {"mis_restarts": 1, "sa_iterations_per_qubit": 5},
     "enola-naive-storage": {"mis_restarts": 1, "sa_iterations_per_qubit": 5},
+    "enola-windowed": {
+        "mis_restarts": 1,
+        "sa_iterations_per_qubit": 5,
+        "window_size": 4,
+    },
     "atomique": {"sa_iterations_per_qubit": 5},
 }
 

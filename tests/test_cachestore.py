@@ -592,6 +592,55 @@ class TestEngineIntegration:
             _doc_of(baseline), _doc_of(again)
         )
 
+    def test_daemon_shutdown_drops_no_write_backs(self, tmp_path):
+        # A daemon on a write-back tiered cache defers every store to
+        # the backing tier.  The shutdown path (workers flush on exit,
+        # stop() flushes last) must push them all: after a drained
+        # stop, nothing stays pending and every compiled artifact is
+        # in the backing tier.
+        from repro.service import ServiceClient, ServiceServer
+
+        local = DiskCache(str(tmp_path / "local"))
+        backing = DiskCache(str(tmp_path / "backing"))
+        tiered = TieredCache([local, backing], write_policy="back")
+        server = ServiceServer(
+            str(tmp_path / "queue"),
+            "127.0.0.1:0",
+            cache=tiered,
+            workers=2,
+        ).start()
+        try:
+            client = ServiceClient(server.address)
+            client.wait_ready()
+            submitted = client.submit(
+                {
+                    "defaults": {
+                        "enola": {
+                            "mis_restarts": 1,
+                            "sa_iterations_per_qubit": 0,
+                        }
+                    },
+                    "jobs": [
+                        {"benchmark": "BV-14", "backend": "powermove"},
+                        {"benchmark": "BV-14", "backend": "enola"},
+                    ],
+                }
+            )
+            records = list(
+                client.results(submitted["submission"], follow=True)
+            )
+            assert [r["status"] for r in records] == ["ok", "ok"]
+        finally:
+            server.stop(drain=True)
+        assert server.wait_stopped(timeout=30.0)
+        with tiered._pending_lock:
+            assert tiered._pending == set()  # no dropped write-backs
+        keys = {r["cache_key"] for r in records}
+        assert len(keys) == 2
+        for key in keys:
+            assert backing.contains(key)
+        assert local.stats.stores == backing.stats.stores
+
     def test_revalidation_writes_counted_apart(self, tmp_path):
         cache = DiskCache(str(tmp_path))
         engine = CompilationEngine(cache=cache)

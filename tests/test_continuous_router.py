@@ -234,6 +234,41 @@ class TestDeterminismAndSeeding:
         assert layout.as_dict() == snapshot
 
 
+class TestScalarVectorEquivalence:
+    """The numpy fast path must be bit-identical to the scalar loops.
+
+    When numpy is absent both runs take the scalar path and the test
+    degenerates to determinism -- still a valid (weaker) check, and
+    exactly what tier-1 CI without numpy exercises.
+    """
+
+    def test_program_digest_identical_without_numpy(self, monkeypatch):
+        import repro.core.continuous_router as cr
+        import repro.hardware.geometry as geo
+        import repro.hardware.kinematics as kin
+        from repro.circuits.generators import qaoa_regular
+        from repro.pipeline.registry import create_compiler, get_backend
+        from repro.schedule.serialize import program_digest
+
+        # Large enough that compute-zone site counts clear the
+        # router's vectorization threshold when numpy is present.
+        circuit = qaoa_regular(150, degree=3, seed=0)
+        digests = {}
+        for mode in ("default", "scalar"):
+            if mode == "scalar":
+                monkeypatch.setattr(cr, "_np", None)
+                monkeypatch.setattr(geo, "_np", None)
+                monkeypatch.setattr(kin, "_np", None)
+            spec = get_backend("powermove")
+            compiler = create_compiler(
+                "powermove", spec.effective_config(None, 0, 1)
+            )
+            digests[mode] = program_digest(
+                compiler.compile(circuit).program
+            )
+        assert digests["default"] == digests["scalar"]
+
+
 class TestMultiStageProgression:
     def test_consecutive_stages_consistent(self, arch):
         """Drive several stages and check invariants after each."""

@@ -59,6 +59,44 @@ class TestBangBang:
             BangBangProfile(1.0, 0.0)
 
 
+class TestBatchSampling:
+    """The batch entry points agree with the scalar ones exactly.
+
+    positions_at/velocities_at are the vectorized contract: same
+    floating-point results as position_at/velocity_at at every sample
+    time, numpy present or not.
+    """
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: BangBangProfile(40 * UM, 2750.0),
+            lambda: PaperProfile(27.5 * UM, 2750.0),
+            lambda: PaperProfile(0.0, 2750.0),
+        ],
+        ids=["bangbang", "paper", "zero-distance"],
+    )
+    def test_batch_matches_scalar(self, make):
+        profile = make()
+        total = profile.duration
+        times = [total * i / 16.0 for i in range(17)] or [0.0]
+        positions = list(profile.positions_at(times))
+        velocities = list(profile.velocities_at(times))
+        for t, p, v in zip(times, positions, velocities):
+            assert float(p) == profile.position_at(t)
+            assert float(v) == profile.velocity_at(t)
+
+    def test_batch_matches_scalar_without_numpy(self, monkeypatch):
+        import repro.hardware.kinematics as kin
+
+        profile = PaperProfile(27.5 * UM, 2750.0)
+        times = [profile.duration * i / 8.0 for i in range(9)]
+        with_np = [float(p) for p in profile.positions_at(times)]
+        monkeypatch.setattr(kin, "_np", None)
+        without_np = [float(p) for p in profile.positions_at(times)]
+        assert with_np == without_np
+
+
 class TestPaperProfile:
     def test_duration_matches_table1(self):
         profile = PaperProfile(27.5 * UM, 2750.0)

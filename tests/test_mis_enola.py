@@ -77,6 +77,76 @@ class TestMisStagePartition:
         assert mis_stage_partition(CZBlock(index=0), random.Random(0)) == []
 
 
+class TestWindowedMis:
+    def test_windowed_covers_all_gates_and_validates(self):
+        qc = vqe_full_entanglement(8, seed=0)
+        block = block_of(qc)
+        stages = mis_stage_partition(
+            block, random.Random(0), restarts=2, window_size=4
+        )
+        assert sum(s.num_gates for s in stages) == block.num_gates
+        for stage in stages:
+            stage.validate()
+
+    def test_small_block_ignores_window(self):
+        # At or below the window size the exact path runs unchanged
+        # (same stages, same RNG consumption).
+        block = block_of(vqe_full_entanglement(6, seed=0))
+        exact = mis_stage_partition(block, random.Random(0), 3)
+        windowed = mis_stage_partition(
+            block, random.Random(0), 3, window_size=1000
+        )
+        assert [s.gates for s in exact] == [s.gates for s in windowed]
+
+    def test_window_size_validated(self):
+        with pytest.raises(ValueError):
+            EnolaConfig(seed=0, use_window=True, window_size=0)
+
+    def test_digest_identical_below_threshold(self):
+        # Property: turning use_window on changes *nothing* -- program
+        # digest included -- while every block fits under the window.
+        from repro.schedule.serialize import program_digest
+
+        for seed in range(3):
+            qc = qaoa_regular(12, degree=3, seed=seed)
+            base_cfg = EnolaConfig(
+                seed=seed, mis_restarts=2, sa_iterations_per_qubit=5
+            )
+            windowed_cfg = EnolaConfig(
+                seed=seed,
+                mis_restarts=2,
+                sa_iterations_per_qubit=5,
+                use_window=True,
+                window_size=10_000,
+            )
+            base = EnolaCompiler(base_cfg).compile(qc)
+            windowed = EnolaCompiler(windowed_cfg).compile(qc)
+            assert program_digest(windowed.program) == program_digest(
+                base.program
+            )
+            assert "use_window" not in windowed.program.metadata
+
+    def test_validator_clean_above_threshold(self):
+        # A block bigger than the window takes the sliding-window
+        # path: the schedule differs but must stay valid and record
+        # the windowing in the program metadata.
+        qc = vqe_full_entanglement(10, seed=1)
+        cfg = EnolaConfig(
+            seed=1,
+            mis_restarts=1,
+            sa_iterations_per_qubit=5,
+            use_window=True,
+            window_size=6,
+        )
+        result = EnolaCompiler(cfg).compile(qc)
+        validate_program(
+            result.program, source_circuit=result.native_circuit
+        )
+        assert result.program.metadata["use_window"] is True
+        assert result.program.metadata["window_size"] == 6
+        assert result.program.metadata["windowed_blocks"] >= 1
+
+
 class TestEnolaCompiler:
     def test_compiles_and_validates(self):
         qc = qaoa_regular(10, degree=3, seed=1)

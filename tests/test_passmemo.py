@@ -1,0 +1,144 @@
+"""Pass-level memoization (engine/passmemo.py).
+
+Covers the chained-key contract (prefix reuse under a version bump,
+per-circuit/config separation), bit-identical restored compiles across
+memory and disk cache backends, the stats surfaced in
+``CompilationResult.stats["pass_cache"]``, and fail-soft behaviour on
+corrupt snapshot entries.
+"""
+
+import pytest
+
+from repro.circuits.generators import qaoa_regular
+from repro.engine import DiskCache, MemoryCache
+from repro.engine.passmemo import _decode_snapshot
+from repro.pipeline.registry import create_compiler, get_backend
+from repro.schedule.serialize import program_digest
+
+
+def compile_with(backend, cache, seed=0, num_qubits=10):
+    circuit = qaoa_regular(num_qubits, degree=3, seed=seed)
+    spec = get_backend(backend)
+    config = spec.effective_config(None, seed, 1)
+    compiler = create_compiler(backend, config)
+    return compiler.compile(circuit, pass_cache=cache)
+
+
+def num_passes(backend):
+    return len(get_backend(backend).pipeline.pass_names)
+
+
+@pytest.mark.parametrize("backend", ["powermove", "enola"])
+class TestMemoRoundTrip:
+    def test_cold_run_stores_every_pass(self, backend):
+        cache = MemoryCache()
+        uncached = compile_with(backend, None)
+        cold = compile_with(backend, cache)
+        total = num_passes(backend)
+        assert cold.stats["pass_cache"] == {
+            "hits": 0,
+            "misses": total,
+            "stores": total,
+        }
+        assert program_digest(cold.program) == program_digest(
+            uncached.program
+        )
+        assert len(cache) == total
+
+    def test_warm_run_hits_every_pass(self, backend):
+        cache = MemoryCache()
+        cold = compile_with(backend, cache)
+        warm = compile_with(backend, cache)
+        total = num_passes(backend)
+        assert warm.stats["pass_cache"] == {
+            "hits": total,
+            "misses": 0,
+            "stores": 0,
+        }
+        assert program_digest(warm.program) == program_digest(
+            cold.program
+        )
+        # Skipped passes still report (zero) timings, in order.
+        names = get_backend(backend).pipeline.pass_names
+        assert tuple(warm.stats["pass_timings"]) == names
+        assert all(
+            t == 0.0 for t in warm.stats["pass_timings"].values()
+        )
+
+    def test_different_circuit_shares_nothing(self, backend):
+        cache = MemoryCache()
+        compile_with(backend, cache, seed=0)
+        other = compile_with(backend, cache, seed=1)
+        assert other.stats["pass_cache"]["hits"] == 0
+        assert len(cache) == 2 * num_passes(backend)
+
+
+class TestPrefixReuse:
+    def test_version_bump_invalidates_suffix_only(self, monkeypatch):
+        backend = "powermove"
+        cache = MemoryCache()
+        cold = compile_with(backend, cache)
+        pipeline = get_backend(backend).pipeline
+        total = len(pipeline.pass_names)
+        # "Edit" the last pass: bump its snapshot version.  Every
+        # upstream snapshot stays valid; only the tail re-runs.
+        last = list(pipeline)[-1]
+        monkeypatch.setattr(type(last), "version", 2, raising=False)
+        bumped = compile_with(backend, cache)
+        assert bumped.stats["pass_cache"] == {
+            "hits": total - 1,
+            "misses": 1,
+            "stores": 1,
+        }
+        assert program_digest(bumped.program) == program_digest(
+            cold.program
+        )
+
+    def test_disk_cache_survives_reopen(self, tmp_path):
+        backend = "enola"
+        cold = compile_with(backend, DiskCache(str(tmp_path)))
+        warm = compile_with(backend, DiskCache(str(tmp_path)))
+        total = num_passes(backend)
+        assert warm.stats["pass_cache"]["hits"] == total
+        assert warm.stats["pass_cache"]["stores"] == 0
+        assert program_digest(warm.program) == program_digest(
+            cold.program
+        )
+
+
+class TestMemoGuards:
+    def test_explicit_architecture_disables_memo(self):
+        backend = "powermove"
+        cache = MemoryCache()
+        base = compile_with(backend, cache)
+        circuit = qaoa_regular(10, degree=3, seed=0)
+        spec = get_backend(backend)
+        compiler = create_compiler(
+            backend, spec.effective_config(None, 0, 1)
+        )
+        pinned = compiler.compile(
+            circuit,
+            architecture=base.program.architecture,
+            pass_cache=cache,
+        )
+        assert "pass_cache" not in pinned.stats
+
+    def test_corrupt_snapshots_read_as_miss(self):
+        assert _decode_snapshot("nonsense") is None
+        assert _decode_snapshot({"memo_schema": 999, "state": ""}) is None
+        assert (
+            _decode_snapshot({"memo_schema": 1, "state": "!!bad"}) is None
+        )
+        assert _decode_snapshot({"memo_schema": 1}) is None
+
+    def test_poisoned_cache_entries_fall_back_to_execution(self):
+        backend = "enola"
+        cache = MemoryCache()
+        cold = compile_with(backend, cache)
+        for key in list(cache._entries):
+            cache.put(key, {"memo_schema": 999, "state": "junk"})
+        recovered = compile_with(backend, cache)
+        assert recovered.stats["pass_cache"]["hits"] == 0
+        assert program_digest(recovered.program) == program_digest(
+            cold.program
+        )

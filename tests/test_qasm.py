@@ -115,6 +115,93 @@ class TestBasicParsing:
             parse_qasm(HEADER + "qreg q[1];\nreset q[0];")
 
 
+class TestLexerEdgeCases:
+    """Comment stripping and keyword dispatch on adversarial input."""
+
+    def test_comment_on_qreg_line(self):
+        qc = parse_qasm(
+            HEADER
+            + "qreg q[2]; // main register\n"
+            + "h q[0]; /* mid-line */ cz q[0],q[1];"
+        )
+        assert qc.num_qubits == 2
+        assert [g.name for g in qc.gates] == ["h", "cz"]
+
+    def test_url_inside_block_comment(self):
+        # The '//' of the URL must not eat the block terminator.
+        qc = parse_qasm(
+            HEADER
+            + "qreg q[1];\n"
+            + "/* see https://example.com/spec */\n"
+            + "h q[0];"
+        )
+        assert qc.num_gates == 1
+
+    def test_block_comment_opener_inside_line_comment(self):
+        qc = parse_qasm(
+            HEADER + "qreg q[1];\n// dead code: /*\nh q[0];"
+        )
+        assert qc.num_gates == 1
+
+    def test_block_comment_separates_tokens(self):
+        qc = parse_qasm(HEADER + "qreg/*sep*/q[1];\nh q[0];")
+        assert qc.num_qubits == 1
+
+    def test_multiline_block_comment(self):
+        qc = parse_qasm(
+            HEADER
+            + "qreg q[1];\n/* a comment\nspanning // lines\n*/\nh q[0];"
+        )
+        assert qc.num_gates == 1
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(QasmError, match="unterminated"):
+            parse_qasm(HEADER + "qreg q[1];\n/* oops\nh q[0];")
+
+    def test_tab_after_gate_keyword(self):
+        qc = parse_qasm(
+            HEADER
+            + "qreg q[2];\n"
+            + "gate\tbell a,b { h a; cz a,b; }\n"
+            + "bell q[0],q[1];"
+        )
+        assert [g.name for g in qc.gates] == ["h", "cz"]
+
+    def test_gate_named_like_keyword_prefix(self):
+        # "measurement" / "ifoo" / "resetish" share a prefix with a
+        # keyword; they must dispatch as (unknown) gates, not as
+        # keyword statements.
+        for name in ("measurement", "ifoo", "resetish", "barriers"):
+            with pytest.raises(QasmError, match="unknown gate"):
+                parse_qasm(HEADER + f"qreg q[1];\n{name} q[0];")
+
+    def test_macro_named_like_keyword_prefix(self):
+        src = (
+            HEADER
+            + "qreg q[1];\n"
+            + "gate measurement a { h a; }\n"
+            + "measurement q[0];"
+        )
+        assert [g.name for g in parse_qasm(src).gates] == ["h"]
+
+    def test_keyword_statements_still_dispatch(self):
+        with pytest.raises(QasmError, match="classical control"):
+            parse_qasm(
+                HEADER
+                + "qreg q[1];\ncreg c[1];\nif (c == 1) h q[0];"
+            )
+
+    def test_malformed_measure_raises(self):
+        with pytest.raises(QasmError, match="malformed measure"):
+            parse_qasm(
+                HEADER + "qreg q[1];\ncreg c[1];\nmeasure q[0];"
+            )
+
+    def test_malformed_register_raises(self):
+        with pytest.raises(QasmError, match="malformed register"):
+            parse_qasm(HEADER + "qreg q[];\nh q[0];")
+
+
 class TestGateMacros:
     def test_simple_macro_expansion(self):
         src = (

@@ -149,6 +149,27 @@ class TestJobQueue:
         assert twin is not None
         assert twin["cache_key"] == first["cache_key"]
 
+    def test_completed_count_matches_completed_records(self, queue):
+        submission = queue.submit(MANIFEST)
+        sub_id = submission["id"]
+        assert queue.completed_count(sub_id) == 0
+        done = 0
+        while True:
+            leased = queue.lease("w1")
+            if leased is None:
+                break
+            queue.complete(
+                leased["id"],
+                {"status": "ok", "index": leased["index"]},
+            )
+            done += 1
+            assert queue.completed_count(sub_id) == done
+            assert queue.completed_count(sub_id) == len(
+                queue.completed_records(sub_id)
+            )
+        assert done == submission["total_jobs"]
+        assert queue.completed_count("no-such-submission") == 0
+
     def test_complete_first_wins(self, queue):
         queue.submit(SECOND_MANIFEST)
         leased = queue.lease("w1")
@@ -389,6 +410,93 @@ class TestServiceLifecycle:
                 client._request({"op": "frobnicate"})
         finally:
             server.stop(drain=False)
+
+
+class TestIdlePolling:
+    """Bounded backoff on the service's two idle-poll loops.
+
+    Both tests assert properties of the backoff *ladder* (first value,
+    doubling, cap, reset) rather than measuring wall-clock time, so
+    they stay stable on slow or noisy CI machines.
+    """
+
+    def test_wait_ready_backoff_doubles_to_a_bound(self, monkeypatch):
+        class FakeTime:
+            def __init__(self):
+                self.now = 0.0
+                self.sleeps = []
+
+            def monotonic(self):
+                return self.now
+
+            def sleep(self, seconds):
+                self.sleeps.append(seconds)
+                self.now += seconds
+
+        import repro.service.client as client_module
+
+        fake = FakeTime()
+        monkeypatch.setattr(client_module, "time", fake)
+        # Nothing listens on port 1, so every ping fails fast and the
+        # retry loop runs against the fake clock alone.
+        client = ServiceClient("127.0.0.1:1", timeout=0.05)
+        with pytest.raises(ServiceError):
+            client.wait_ready(timeout=5.0)
+        sleeps = fake.sleeps
+        assert sleeps[0] == pytest.approx(0.05)
+        assert max(sleeps) <= 1.0 + 1e-9
+        # Doubling up to the 1 s bound; only the final sleep may be
+        # shorter (clamped to the remaining budget).
+        for previous, current in zip(sleeps[:-1], sleeps[1:-1]):
+            assert current == pytest.approx(min(previous * 2.0, 1.0))
+        assert sum(sleeps) == pytest.approx(5.0)
+
+    def test_followed_stream_idle_poll_backs_off(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.service.server import (
+            RESULTS_POLL_MAX_S,
+            RESULTS_POLL_MIN_S,
+        )
+
+        real = execute_job_on_circuit
+
+        def slow(job, circuit):
+            time.sleep(0.6)
+            return real(job, circuit)
+
+        monkeypatch.setattr(engine_module, "execute_job_on_circuit", slow)
+        server = start_server(tmp_path, workers=1)
+        try:
+            recorded = []
+            real_wait = server.queue.wait
+
+            def recording_wait(predicate, timeout=None):
+                if timeout is not None:
+                    recorded.append(timeout)
+                return real_wait(predicate, timeout=timeout)
+
+            monkeypatch.setattr(server.queue, "wait", recording_wait)
+            client = ServiceClient(server.address)
+            client.wait_ready()
+            submitted = client.submit(SECOND_MANIFEST)
+            records = list(
+                client.results(submitted["submission"], follow=True)
+            )
+            assert [r["status"] for r in records] == ["ok"]
+        finally:
+            server.stop(drain=False)
+        # The slow compile forces the stream through its idle loop at
+        # least once; the fallback timeout starts at the minimum and
+        # either doubles toward the cap or resets after progress.
+        assert recorded
+        assert recorded[0] == pytest.approx(RESULTS_POLL_MIN_S)
+        assert max(recorded) <= RESULTS_POLL_MAX_S
+        for previous, current in zip(recorded, recorded[1:]):
+            doubled = min(previous * 2.0, RESULTS_POLL_MAX_S)
+            assert current == pytest.approx(
+                doubled
+            ) or current == pytest.approx(RESULTS_POLL_MIN_S)
 
 
 class TestServiceCli:

@@ -91,6 +91,49 @@ class TestShardPlan:
             enumerate(items)
         )
 
+    def test_shard_counts_sum_to_expanded_manifest_total(self):
+        # Property: for any shard count, sharding happens on the
+        # *expanded* job list, so the per-shard counts always sum to
+        # the unsharded total -- including manifests whose entries
+        # multiply out through 'backends' lists, wildcard benchmarks
+        # and defaults.  A round-robin over raw manifest entries would
+        # drop the remainder of the expansion.
+        import random
+
+        from repro.engine import parse_manifest
+
+        rng = random.Random(7)
+        backends = ["powermove", "powermove-noreorder", "enola", "atomique"]
+        for trial in range(25):
+            entries = []
+            for _ in range(rng.randrange(1, 6)):
+                entry = {"benchmark": rng.choice(["BV-14", "*", "QFT-18"])}
+                style = rng.randrange(3)
+                if style == 0:
+                    entry["backends"] = rng.sample(
+                        backends, rng.randrange(1, len(backends) + 1)
+                    )
+                elif style == 1:
+                    entry["scenarios"] = ["enola", "pm_with_storage"]
+                entries.append(entry)
+            doc = {"jobs": entries}
+            if rng.random() < 0.5:
+                doc["defaults"] = {"backends": ["powermove", "enola"]}
+            jobs = parse_manifest(doc)
+            for count in (1, 2, 3, 5, 7, len(jobs) + 1):
+                selected = [
+                    ShardPlan(index=i, count=count).select(jobs)
+                    for i in range(1, count + 1)
+                ]
+                assert sum(len(pairs) for pairs in selected) == len(jobs), (
+                    trial,
+                    count,
+                )
+                covered = sorted(
+                    position for pairs in selected for position, _ in pairs
+                )
+                assert covered == list(range(len(jobs)))
+
 
 class TestManifestDigest:
     def test_formatting_insensitive(self):
