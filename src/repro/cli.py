@@ -6,10 +6,15 @@ Commands:
     batch      Compile a JSON job manifest (parallel, cached, shardable).
     merge      Reassemble per-shard batch result files into one document.
     serve      Run the resident compilation service (persistent queue).
+    coordinate Run the fleet coordinator: one front door over N
+               daemons (cache-affinity routing, work stealing).
+    loadgen    Drive a daemon or coordinator with synthetic traffic
+               and report p50/p95/p99 submit-to-result latency.
     submit     Send a job manifest to a running service.
     status     Queue occupancy of a running service.
     results    Fetch / follow a submission's result records (NDJSON).
-    shutdown   Stop a running service (draining by default).
+    shutdown   Stop a running service (draining by default;
+               --fleet tears down a coordinator's daemons too).
     backends   List the registered compiler backends and their knobs.
     cache      Compiled-program cache maintenance and the cache server
                (info / prune against any --cache spec, serve).
@@ -44,6 +49,11 @@ The service commands (``serve``, ``submit``, ``status``, ``results``,
 ``shutdown``) run the same workloads through a resident daemon with a
 persistent job queue -- see ``docs/service.md``.  ``results --follow``
 streams records identical in schema to ``batch --stream``.
+``coordinate`` scales the service out: it fronts N daemons behind the
+same protocol, routing each job to the daemon that rendezvous-hashing
+its cache key picks (warm-cache affinity), spilling on load and
+stealing work from stragglers; ``loadgen`` measures the
+submit-to-result latency distribution of either topology.
 
 Examples:
     python -m repro compile circuit.qasm --no-storage --trace
@@ -64,6 +74,13 @@ Examples:
     python -m repro serve queue/ --listen 127.0.0.1:7431 --workers 4
     python -m repro submit manifest.json --connect 127.0.0.1:7431
     python -m repro results s000001 --connect 127.0.0.1:7431 --follow
+    python -m repro coordinate --listen 127.0.0.1:7500 \
+        --daemon 127.0.0.1:7431 --daemon 127.0.0.1:7432
+    python -m repro serve q2/ --listen 127.0.0.1:7432 \
+        --announce 127.0.0.1:7500 --completed-ttl 3600
+    python -m repro loadgen --connect 127.0.0.1:7500 \
+        --clients 8 --rate 10 --duration 30 --output latency.json
+    python -m repro shutdown --connect 127.0.0.1:7500 --fleet
 """
 
 from __future__ import annotations
@@ -666,16 +683,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             retries=args.retries,
             backoff=args.backoff,
             lease_seconds=args.lease,
+            completed_ttl=args.completed_ttl,
+            announce=args.announce,
         )
     except CacheSpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     server.start()
+    announce_note = (
+        f", announcing to {args.announce}" if args.announce else ""
+    )
     print(
         f"repro service listening on {server.address} "
         f"(queue {args.queue_dir}, {args.workers} workers, "
         f"retries {args.retries}, "
-        f"cache {describe_cache(server.cache)})",
+        f"cache {describe_cache(server.cache)}"
+        f"{announce_note})",
         flush=True,
     )
     try:
@@ -817,15 +840,101 @@ def _cmd_shutdown(args: argparse.Namespace) -> int:
 
     client = _service_client(args)
     try:
-        client.shutdown(drain=not args.now)
+        client.shutdown(drain=not args.now, fleet=args.fleet)
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(
         "shutdown requested"
         + (" (immediate)" if args.now else " (draining the queue first)")
+        + (" (whole fleet)" if args.fleet else "")
     )
     return 0
+
+
+def _cmd_coordinate(args: argparse.Namespace) -> int:
+    from .service import Coordinator
+
+    coordinator = Coordinator(
+        args.listen,
+        daemons=tuple(args.daemon or ()),
+        spill_depth=args.spill_depth,
+        poll_interval=args.poll,
+        steal_batch=args.steal_batch,
+    )
+    coordinator.start()
+    print(
+        f"repro coordinator listening on {coordinator.address} "
+        f"({len(args.daemon or ())} static daemon(s), "
+        f"spill depth {args.spill_depth}, "
+        f"steal batch {args.steal_batch})",
+        flush=True,
+    )
+    try:
+        while not coordinator.wait_stopped(timeout=0.5):
+            pass
+    except KeyboardInterrupt:
+        print(
+            "repro coordinator: interrupt -- stopping (daemon queues "
+            "keep their work)",
+            file=sys.stderr,
+        )
+        coordinator.stop(drain=False)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .service import ServiceError
+    from .service.loadgen import run_loadgen
+
+    progress = None
+    if args.progress:
+
+        def progress(count: int, latency: float) -> None:
+            print(
+                f"  [{count}] {latency * 1e3:.0f} ms",
+                file=sys.stderr,
+                flush=True,
+            )
+
+    try:
+        report = run_loadgen(
+            args.connect,
+            clients=args.clients,
+            rate_hz=args.rate,
+            duration_s=args.duration,
+            benchmarks=tuple(args.benchmark or ["BV-14"]),
+            backend=args.backend,
+            distinct_seeds=args.distinct,
+            seed=args.seed,
+            progress=progress,
+        )
+    except (ServiceError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=1)
+        print(f"wrote loadgen report -> {args.output}", file=sys.stderr)
+    else:
+        print(json.dumps(report, indent=1))
+    latency = report["latency_s"]
+    print(
+        f"loadgen: {report['completed']}/{report['submitted']} "
+        f"completed, {report['failed']} failed, "
+        f"{report['num_errors']} errors | latency "
+        f"p50 {latency['p50'] * 1e3:.0f} ms, "
+        f"p95 {latency['p95'] * 1e3:.0f} ms, "
+        f"p99 {latency['p99'] * 1e3:.0f} ms "
+        f"({report['throughput_jobs_per_s']:.1f} jobs/s)",
+        file=sys.stderr,
+    )
+    ok = (
+        report["completed"] > 0
+        and report["failed"] == 0
+        and report["num_errors"] == 0
+    )
+    return 0 if ok else 1
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -1058,9 +1167,140 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker lease duration; expired leases requeue the job "
         "(default 300)",
     )
+    p_serve.add_argument(
+        "--completed-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="garbage-collect submissions whose every job finished "
+        "more than this many seconds ago (default: keep forever; "
+        "live or leased jobs are never collected)",
+    )
+    p_serve.add_argument(
+        "--announce",
+        default=None,
+        metavar="ADDR",
+        help="self-register with a fleet coordinator at this address "
+        "(re-announced periodically, so a restarted coordinator "
+        "re-learns this daemon)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
+    p_coordinate = sub.add_parser(
+        "coordinate",
+        help="run the fleet coordinator (front door over N daemons)",
+    )
+    p_coordinate.add_argument(
+        "--listen",
+        default="127.0.0.1:7500",
+        metavar="ADDR",
+        help="listen address: host:port or a unix socket path "
+        "(default 127.0.0.1:7500)",
+    )
+    p_coordinate.add_argument(
+        "--daemon",
+        action="append",
+        default=None,
+        metavar="ADDR",
+        help="address of a compilation daemon (repeatable); daemons "
+        "can also self-register via 'repro serve --announce'",
+    )
+    p_coordinate.add_argument(
+        "--spill-depth",
+        type=_positive_int,
+        default=16,
+        metavar="N",
+        help="queue depth at which affinity placement spills to the "
+        "next rendezvous choice (default 16)",
+    )
+    p_coordinate.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="fleet poll interval: liveness checks and the "
+        "work-steal scan (default 0.5)",
+    )
+    p_coordinate.add_argument(
+        "--steal-batch",
+        type=int,
+        default=2,
+        metavar="N",
+        help="jobs moved per steal from a straggling daemon to an "
+        "idle one (0 disables stealing; default 2)",
+    )
+    p_coordinate.set_defaults(func=_cmd_coordinate)
+
     connect_help = "address of the running service (host:port or socket path)"
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a daemon or coordinator with synthetic traffic "
+        "and report p50/p95/p99 latency",
+    )
+    p_loadgen.add_argument(
+        "--connect", required=True, metavar="ADDR", help=connect_help
+    )
+    p_loadgen.add_argument(
+        "--clients",
+        type=_positive_int,
+        default=4,
+        help="concurrent client threads (default 4)",
+    )
+    p_loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=2.0,
+        metavar="HZ",
+        help="aggregate Poisson submission rate in jobs/s (default 2)",
+    )
+    p_loadgen.add_argument(
+        "--duration",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="how long to generate new submissions; in-flight work "
+        "is followed to completion (default 5)",
+    )
+    p_loadgen.add_argument(
+        "--benchmark",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="benchmark drawn per submission (repeatable; default "
+        "BV-14)",
+    )
+    p_loadgen.add_argument(
+        "--backend",
+        default="powermove",
+        metavar="NAME",
+        help="backend every submission compiles with "
+        "(default powermove)",
+    )
+    p_loadgen.add_argument(
+        "--distinct",
+        type=_positive_int,
+        default=4,
+        metavar="N",
+        help="job seeds cycle over this many values -- the cache-hit "
+        "mix knob (default 4)",
+    )
+    p_loadgen.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="RNG seed of the generator itself (default 0)",
+    )
+    p_loadgen.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a line per completed submission to stderr",
+    )
+    p_loadgen.add_argument(
+        "--output",
+        help="write the latency report JSON here (default: stdout)",
+    )
+    p_loadgen.set_defaults(func=_cmd_loadgen)
 
     p_submit = sub.add_parser(
         "submit", help="send a job manifest to a running service"
@@ -1133,6 +1373,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="stop without draining (queued jobs stay on disk for the "
         "next daemon)",
+    )
+    p_shutdown.add_argument(
+        "--fleet",
+        action="store_true",
+        help="when --connect points at a coordinator: also shut down "
+        "every live daemon it knows about",
     )
     p_shutdown.set_defaults(func=_cmd_shutdown)
 

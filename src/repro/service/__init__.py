@@ -11,11 +11,25 @@ wrapping :class:`repro.engine.CompilationEngine` with per-job
 retry-with-backoff.  :class:`ServiceClient` (and the ``repro submit``
 / ``repro status`` / ``repro results --follow`` commands) submit work
 and stream back completion-order result records schema-identical to
-``repro batch --stream``.  See ``docs/service.md``.
+``repro batch --stream``.
+
+The front end is asyncio (:mod:`repro.service.aio`): one event-loop
+thread holds every client connection as a coroutine, so thousands of
+idle clients cost file descriptors, not threads.  On top of single
+daemons sits the fleet layer: ``repro coordinate`` runs a
+:class:`Coordinator` that routes submissions across N daemons by
+rendezvous-hashing their cache keys (warm-cache affinity), spills on
+load, steals work from stragglers and survives daemon loss;
+``repro loadgen`` (:func:`run_loadgen`) measures the p50/p95/p99
+submit-to-result latency of either topology.  See ``docs/service.md``.
 """
 
+from .aio import AsyncServerCore
 from .client import ServiceClient, ServiceError
+from .coordinator import Coordinator, plan_placement, rendezvous_rank
+from .loadgen import run_loadgen
 from .protocol import (
+    MAX_LINE_BYTES,
     PROTOCOL_VERSION,
     ProtocolError,
     format_address,
@@ -33,10 +47,13 @@ from .queue import (
 from .server import ServiceServer
 
 __all__ = [
+    "AsyncServerCore",
+    "Coordinator",
     "DEFAULT_MAX_REQUEUES",
     "JOB_RECORD_FORMAT",
     "JOB_STATES",
     "JobQueue",
+    "MAX_LINE_BYTES",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "QUEUE_SCHEMA_VERSION",
@@ -47,4 +64,7 @@ __all__ = [
     "ServiceServer",
     "format_address",
     "parse_address",
+    "plan_placement",
+    "rendezvous_rank",
+    "run_loadgen",
 ]

@@ -1,0 +1,270 @@
+"""Shared asyncio front end of the service daemons.
+
+:class:`AsyncServerCore` is the accept/readline/dispatch loop behind
+both the compilation daemon (:class:`~repro.service.server.ServiceServer`)
+and the fleet front door
+(:class:`~repro.service.coordinator.Coordinator`).  One event-loop
+thread owns the socket; every client connection is a coroutine on that
+loop, so a daemon holds thousands of *idle* connections at the cost of
+a file descriptor each -- not a thread each, which is what the
+previous ``socketserver.ThreadingMixIn`` listener paid.
+
+The split of responsibilities:
+
+* this core accepts connections, frames NDJSON messages (with the
+  line-length bound of :mod:`repro.service.protocol`), counts open
+  connections, and tears everything down on shutdown;
+* subclasses implement :meth:`AsyncServerCore.dispatch_async`.
+  Cheap ops (``ping``/``status``) answer inline on the loop; blocking
+  ops (``submit`` -- manifest expansion and cache-key hashing) hop to
+  a thread via :func:`asyncio.to_thread`; result streams are
+  coroutines woken through ``loop.call_soon_threadsafe`` bridges, so
+  the loop never blocks on compilation.
+
+Compilation itself still runs on plain worker threads
+(:class:`~repro.engine.CompilationEngine` is synchronous); asyncio is
+confined to the I/O front end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+from typing import Any
+
+from .protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    format_address,
+    parse_address,
+    read_message_async,
+    write_message_async,
+)
+
+#: How long shutdown waits for in-flight dispatches (e.g. a result
+#: stream writing its final ``end`` event) after the listener closes.
+SHUTDOWN_GRACE_S = 10.0
+
+
+class AsyncServerCore:
+    """Asyncio accept loop + NDJSON framing, lifecycle-managed from
+    synchronous code (see module docstring).
+
+    Args:
+        address: Listen spec (``host:port`` or a Unix socket path;
+            TCP port ``0`` binds an ephemeral port -- :attr:`address`
+            carries the resolved spec once the listener is up).
+        max_line_bytes: Per-line protocol bound; an oversized frame is
+            answered with a clean error object and the connection is
+            closed, instead of buffering without limit.
+        name: Thread-name prefix for logs and debuggers.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        *,
+        max_line_bytes: int = MAX_LINE_BYTES,
+        name: str = "repro-service",
+    ) -> None:
+        parse_address(address)  # validate eagerly
+        self._address_spec = address
+        self.max_line_bytes = max_line_bytes
+        self._core_name = name
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._bound = threading.Event()
+        self._bind_error: BaseException | None = None
+        self._resolved_address: str | None = None
+        self._shutdown_async: asyncio.Event | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        # Connection gauges, mutated only on the loop thread; reads
+        # from other threads (ping) see a consistent-enough snapshot.
+        self._open_connections = 0
+        self._peak_connections = 0
+        self._total_connections = 0
+        self._busy_dispatches = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        """The resolved listen address (once the listener is up)."""
+        if self._resolved_address is not None:
+            return self._resolved_address
+        return self._address_spec
+
+    def start_listener(self) -> None:
+        """Spawn the event-loop thread and block until bound."""
+        self._loop = asyncio.new_event_loop()
+        self._loop_thread = threading.Thread(
+            target=self._run_loop,
+            name=f"{self._core_name}-listener",
+            daemon=True,
+        )
+        self._loop_thread.start()
+        if not self._bound.wait(timeout=30.0):
+            raise ProtocolError(
+                f"listener failed to bind {self._address_spec} in time"
+            )
+        if self._bind_error is not None:
+            self._loop_thread.join(timeout=5.0)
+            raise self._bind_error
+
+    def stop_listener(self) -> None:
+        """Close the listener and join the loop thread.
+
+        In-flight dispatches get :data:`SHUTDOWN_GRACE_S` to write
+        their final events before remaining connections are dropped.
+        """
+        loop = self._loop
+        if loop is None:
+            return
+        if self._shutdown_async is not None and loop.is_running():
+            try:
+                loop.call_soon_threadsafe(self._shutdown_async.set)
+            except RuntimeError:
+                pass  # loop already closed
+        if (
+            self._loop_thread is not None
+            and self._loop_thread is not threading.current_thread()
+        ):
+            self._loop_thread.join(timeout=SHUTDOWN_GRACE_S + 10.0)
+        kind, value = parse_address(self._address_spec)
+        if kind == "unix" and os.path.exists(value):
+            try:
+                os.unlink(value)
+            except OSError:
+                pass
+
+    def connection_stats(self) -> dict[str, int]:
+        """Open/peak/total connection counts (for ``ping``)."""
+        return {
+            "open": self._open_connections,
+            "peak": self._peak_connections,
+            "total": self._total_connections,
+        }
+
+    # -- event loop ----------------------------------------------------
+
+    def _run_loop(self) -> None:
+        assert self._loop is not None
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._serve())
+        finally:
+            self._loop.close()
+
+    async def _serve(self) -> None:
+        assert self._loop is not None
+        self._shutdown_async = asyncio.Event()
+        kind, value = parse_address(self._address_spec)
+        # Headroom over the protocol bound so the reader surfaces the
+        # oversize condition as LimitOverrunError instead of stalling.
+        limit = self.max_line_bytes + 1024
+        try:
+            if kind == "unix":
+                if os.path.exists(value):
+                    os.unlink(value)  # stale socket from a dead daemon
+                server = await asyncio.start_unix_server(
+                    self._handle_connection, path=value, limit=limit
+                )
+                self._resolved_address = value
+            else:
+                host, port = value
+                server = await asyncio.start_server(
+                    self._handle_connection,
+                    host=host,
+                    port=port,
+                    limit=limit,
+                    backlog=1024,
+                )
+                bound = server.sockets[0].getsockname()
+                self._resolved_address = format_address(
+                    "tcp", (bound[0], bound[1])
+                )
+        except OSError as exc:
+            self._bind_error = exc
+            self._bound.set()
+            return
+        self._bound.set()
+        async with server:
+            await self._shutdown_async.wait()
+            server.close()
+            await server.wait_closed()
+        # Grace period: let dispatches already past the accept gate
+        # (a result stream flushing its "end" line, a shutdown reply)
+        # finish before their connections are torn down.
+        deadline = self._loop.time() + SHUTDOWN_GRACE_S
+        while self._busy_dispatches and self._loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        pending = [
+            task
+            for task in asyncio.all_tasks()
+            if task is not asyncio.current_task()
+        ]
+        for task in pending:
+            task.cancel()
+        await asyncio.gather(*pending, return_exceptions=True)
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._writers.add(writer)
+        self._open_connections += 1
+        self._total_connections += 1
+        self._peak_connections = max(
+            self._peak_connections, self._open_connections
+        )
+        try:
+            while True:
+                try:
+                    request = await read_message_async(
+                        reader, self.max_line_bytes
+                    )
+                except ProtocolError as exc:
+                    await write_message_async(
+                        writer, {"ok": False, "error": str(exc)}
+                    )
+                    return
+                if request is None:
+                    return  # clean EOF
+                self._busy_dispatches += 1
+                try:
+                    keep_open = await self.dispatch_async(
+                        request, writer
+                    )
+                finally:
+                    self._busy_dispatches -= 1
+                if not keep_open:
+                    return
+        except (
+            BrokenPipeError,
+            ConnectionResetError,
+            asyncio.CancelledError,
+        ):
+            return  # peer went away, or the server is shutting down
+        finally:
+            self._writers.discard(writer)
+            self._open_connections -= 1
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def dispatch_async(
+        self, request: dict[str, Any], writer: asyncio.StreamWriter
+    ) -> bool:
+        """Answer one request; ``False`` ends the connection."""
+        raise NotImplementedError
+
+
+__all__ = ["AsyncServerCore", "SHUTDOWN_GRACE_S"]

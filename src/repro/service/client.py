@@ -26,6 +26,7 @@ them into a batch-results document
 
 from __future__ import annotations
 
+import errno
 import socket
 import time
 from typing import Any, Iterator
@@ -48,16 +49,32 @@ class ServiceClient:
             replies.  A followed result stream clears it -- the server
             is silent while a job compiles -- and relies on EOF to
             detect a dead daemon.
+        connect_retry_s: Budget for retrying a *refused* connection
+            (``ECONNREFUSED`` on TCP, ``ENOENT`` for a not-yet-bound
+            Unix socket) with a bounded backoff ladder, so a client
+            started alongside a daemon does not race its bind.  Any
+            other connection error -- and a refusal outliving the
+            budget -- raises immediately.  ``0`` disables retrying.
     """
 
-    def __init__(self, address: str, timeout: float = 10.0) -> None:
+    #: Connection errors worth retrying: the daemon is not *yet*
+    #: listening (starting up) -- as opposed to unreachable.
+    _RETRY_ERRNOS = frozenset({errno.ECONNREFUSED, errno.ENOENT})
+
+    def __init__(
+        self,
+        address: str,
+        timeout: float = 10.0,
+        connect_retry_s: float = 5.0,
+    ) -> None:
         parse_address(address)  # validate eagerly
         self.address = address
         self.timeout = timeout
+        self.connect_retry_s = connect_retry_s
 
     # -- plumbing ------------------------------------------------------
 
-    def _connect(self) -> socket.socket:
+    def _connect_once(self) -> socket.socket:
         kind, value = parse_address(self.address)
         try:
             if kind == "unix":
@@ -73,6 +90,24 @@ class ServiceClient:
                 f"cannot reach the service at {self.address}: {exc}"
             ) from exc
         return sock
+
+    def _connect(self) -> socket.socket:
+        deadline = time.monotonic() + self.connect_retry_s
+        delay = 0.05
+        while True:
+            try:
+                return self._connect_once()
+            except ServiceError as exc:
+                cause = exc.__cause__
+                refused = (
+                    isinstance(cause, OSError)
+                    and cause.errno in self._RETRY_ERRNOS
+                )
+                remaining = deadline - time.monotonic()
+                if not refused or remaining <= 0:
+                    raise
+                time.sleep(min(delay, remaining))
+                delay = min(delay * 2.0, 0.5)
 
     def _request(self, payload: dict[str, Any]) -> dict[str, Any]:
         """One request, one response."""
@@ -118,9 +153,23 @@ class ServiceClient:
             payload["submission"] = submission
         return self._request(payload)
 
-    def shutdown(self, drain: bool = True) -> dict[str, Any]:
-        """Ask the daemon to shut down (draining by default)."""
-        return self._request({"op": "shutdown", "drain": drain})
+    def register(self, daemon_address: str) -> dict[str, Any]:
+        """Register a daemon with a coordinator (self-registration)."""
+        return self._request(
+            {"op": "register", "address": daemon_address}
+        )
+
+    def shutdown(
+        self, drain: bool = True, fleet: bool = False
+    ) -> dict[str, Any]:
+        """Ask the daemon to shut down (draining by default).
+
+        ``fleet=True`` asks a coordinator to also shut down every live
+        daemon it knows about; plain daemons ignore the flag.
+        """
+        return self._request(
+            {"op": "shutdown", "drain": drain, "fleet": fleet}
+        )
 
     def _stream(
         self, submission: str, follow: bool
@@ -167,6 +216,14 @@ class ServiceClient:
                 ) from exc
             finally:
                 stream.close()
+
+    def raw_events(
+        self, submission: str, follow: bool = False
+    ) -> Iterator[dict[str, Any]]:
+        """The raw ``start``/``record``/``end`` events of one results
+        request (the coordinator's collector consumes these to see the
+        ``end`` summary alongside the records)."""
+        return self._stream(submission, follow)
 
     def results(
         self, submission: str, follow: bool = False

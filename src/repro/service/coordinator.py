@@ -1,0 +1,1020 @@
+"""Fleet coordinator: one front door over N compilation daemons.
+
+``repro coordinate`` runs a :class:`Coordinator` -- an asyncio NDJSON
+front end (:class:`~repro.service.aio.AsyncServerCore`) speaking the
+*same* wire protocol as ``repro serve`` (``submit`` / ``status`` /
+``results`` / ``ping`` / ``shutdown``), so every existing client --
+``repro submit``, ``repro results --follow``, :class:`ServiceClient`,
+the load generator -- talks to a fleet exactly as it talks to one
+daemon.  Daemons are listed statically (``--daemon``) or register
+themselves (``repro serve --announce``, the ``register`` op).
+
+**Cache-affinity placement.**  Every expanded job routes to a daemon
+by rendezvous (highest-random-weight) hashing of its content-addressed
+cache key: the daemon with the highest ``sha256(daemon|key)`` score
+wins (:func:`rendezvous_rank`).  Resubmissions of identical work
+therefore land on the daemon whose program cache / tiered store is
+already warm, and adding or removing a daemon only remaps the keys
+that daemon owned -- no global reshuffle.  Placement is load-aware:
+when the winner's queue depth is at or past ``spill_depth``, the job
+spills to the next-ranked daemon (:func:`plan_placement`).
+
+**Work stealing.**  A monitor thread polls the fleet; when a daemon
+sits idle while another still has queued work, the tail of the
+straggler's outstanding jobs is duplicate-dispatched to the idle
+daemon.  Jobs are deterministic and the coordinator keeps the *first*
+completion per job, so duplicate dispatch is safe and costs at most
+one redundant compile per stolen job; the straggler's own copy is
+deduplicated by the daemons' cache-key work dedup whenever both land
+on the same queue.
+
+**Daemon loss.**  Each dispatched leg is followed by a collector
+thread streaming its records back.  When a leg's stream dies and the
+daemon stops answering pings, every job it still owed is re-dispatched
+to the survivors (records it delivered before dying are kept); if no
+survivor exists yet, the jobs park until a daemon registers.  The
+coordinator itself is a stateless front door over the daemons'
+persistent queues: restarting it forgets coordinator submission ids
+but loses no daemon-side work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import threading
+import time
+from typing import Any, Callable, Iterable
+
+from ..engine.cache import job_cache_key
+from ..engine.jobs import job_to_doc
+from ..engine.manifest import (
+    ManifestError,
+    manifest_digest,
+    parse_manifest,
+)
+from .aio import AsyncServerCore
+from .client import ServiceClient, ServiceError
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    parse_address,
+    write_message_async,
+)
+from .server import RESULTS_POLL_MIN_S, _next_idle_timeout
+
+#: Queue depth (queued + running) at which affinity placement spills
+#: to the next rendezvous choice.
+DEFAULT_SPILL_DEPTH = 16
+
+#: Fleet poll cadence of the monitor thread (liveness + steal scan).
+DEFAULT_POLL_INTERVAL_S = 0.5
+
+#: Jobs moved per steal; small so a recovering straggler is not
+#: stripped bare in one tick.
+DEFAULT_STEAL_BATCH = 2
+
+
+def rendezvous_rank(
+    daemons: Iterable[str], cache_key: str
+) -> list[str]:
+    """Daemon addresses ranked by highest-random-weight score.
+
+    Stable: a daemon leaving only re-ranks the keys it owned; every
+    other key keeps its winner.
+    """
+
+    def score(address: str) -> bytes:
+        return hashlib.sha256(
+            f"{address}|{cache_key}".encode("utf-8")
+        ).digest()
+
+    return sorted(daemons, key=score, reverse=True)
+
+
+def plan_placement(
+    cache_keys: list[str],
+    depths: dict[str, int],
+    spill_depth: int,
+) -> list[str]:
+    """Assign each cache key a daemon: affinity first, spill on load.
+
+    Args:
+        cache_keys: Job cache keys, in manifest order.
+        depths: Mutable ``{address: queued+running}`` map; planned
+            assignments are counted into it as they are made, so one
+            submission cannot pile onto a single daemon.
+        spill_depth: A daemon at or past this depth spills to the next
+            rendezvous choice; when every choice is past it, the
+            least-loaded ranked daemon takes the job.
+
+    Returns one address per key.
+    """
+    daemons = sorted(depths)
+    if not daemons:
+        raise ServiceError("placement needs at least one daemon")
+    assignment = []
+    for key in cache_keys:
+        ranked = rendezvous_rank(daemons, key)
+        chosen = next(
+            (
+                address
+                for address in ranked
+                if depths[address] < spill_depth
+            ),
+            None,
+        )
+        if chosen is None:
+            chosen = min(ranked, key=lambda address: depths[address])
+        depths[chosen] += 1
+        assignment.append(chosen)
+    return assignment
+
+
+class _Daemon:
+    """Coordinator-side view of one registered daemon."""
+
+    __slots__ = (
+        "address",
+        "alive",
+        "counts",
+        "placements",
+        "steals",
+        "last_error",
+    )
+
+    def __init__(self, address: str) -> None:
+        self.address = address
+        self.alive = True
+        self.counts: dict[str, int] = {}
+        self.placements = 0  # jobs placed here by affinity/spill
+        self.steals = 0  # jobs stolen *onto* this daemon
+        self.last_error: str | None = None
+
+
+class _Leg:
+    """One sub-submission dispatched to one daemon.
+
+    ``global_indices[i]`` is the coordinator-side index of the leg's
+    ``i``-th job -- the mapping that rewrites daemon-local record
+    indices back into the client's manifest order.
+    """
+
+    __slots__ = ("daemon", "sub_id", "global_indices", "stolen")
+
+    def __init__(
+        self,
+        daemon: str,
+        sub_id: str,
+        global_indices: list[int],
+        stolen: bool = False,
+    ) -> None:
+        self.daemon = daemon
+        self.sub_id = sub_id
+        self.global_indices = list(global_indices)
+        self.stolen = stolen
+
+
+class _FleetSubmission:
+    """Coordinator-side state of one client submission."""
+
+    def __init__(
+        self,
+        sub_id: str,
+        digest: str,
+        job_docs: list[dict[str, Any]],
+        cache_keys: list[str],
+        priority: int,
+    ) -> None:
+        self.id = sub_id
+        self.manifest_digest = digest
+        self.jobs = job_docs
+        self.cache_keys = cache_keys
+        self.priority = priority
+        self.submitted_at = time.time()
+        self.total_jobs = len(job_docs)
+        #: global index -> first-wins record (index already rewritten).
+        self.records: dict[int, dict[str, Any]] = {}
+        #: Global indices in completion order (stream order).
+        self.completion: list[int] = []
+        self.legs: list[_Leg] = []
+        #: Indices already duplicate-dispatched by the stealer.
+        self.stolen: set[int] = set()
+        #: Indices whose re-dispatch is parked until a daemon lives.
+        self.pending: set[int] = set()
+
+    def done(self) -> bool:
+        return len(self.records) >= self.total_jobs
+
+
+class Coordinator(AsyncServerCore):
+    """The fleet front door (see module docstring).
+
+    Args:
+        address: Listen spec (``host:port`` or Unix socket path).
+        daemons: Static daemon addresses; more can join at runtime via
+            the ``register`` op / ``repro serve --announce``.
+        spill_depth: Queue depth at which affinity placement spills.
+        poll_interval: Monitor cadence (liveness + steal scan).
+        steal_batch: Jobs moved per steal (``0`` disables stealing).
+        max_line_bytes: Protocol line bound.
+    """
+
+    def __init__(
+        self,
+        address: str = "127.0.0.1:0",
+        *,
+        daemons: Iterable[str] = (),
+        spill_depth: int = DEFAULT_SPILL_DEPTH,
+        poll_interval: float = DEFAULT_POLL_INTERVAL_S,
+        steal_batch: int = DEFAULT_STEAL_BATCH,
+        max_line_bytes: int = MAX_LINE_BYTES,
+    ) -> None:
+        super().__init__(
+            address,
+            max_line_bytes=max_line_bytes,
+            name="repro-coordinator",
+        )
+        self.spill_depth = spill_depth
+        self.poll_interval = poll_interval
+        self.steal_batch = steal_batch
+        self._lock = threading.RLock()
+        #: Notified on every record arrival / fleet change; followed
+        #: result streams bridge it into their event loop.
+        self.changed = threading.Condition(self._lock)
+        self._listeners: list[Callable[[], None]] = []
+        self._daemons: dict[str, _Daemon] = {}
+        for daemon_address in daemons:
+            parse_address(daemon_address)  # validate eagerly
+            self._daemons[daemon_address] = _Daemon(daemon_address)
+        self._submissions: dict[str, _FleetSubmission] = {}
+        self._seq = 0
+        self._threads: list[threading.Thread] = []
+        self._stopping = threading.Event()
+        self._draining = threading.Event()
+        self._stopped = threading.Event()
+        self.started_at = time.time()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "Coordinator":
+        """Bind the front door and spawn the fleet monitor."""
+        self.start_listener()
+        monitor = threading.Thread(
+            target=self._monitor_loop,
+            name="repro-coordinator-monitor",
+            daemon=True,
+        )
+        self._threads.append(monitor)
+        monitor.start()
+        return self
+
+    def stop(
+        self,
+        drain: bool = True,
+        timeout: float | None = None,
+        fleet: bool = False,
+    ) -> None:
+        """Shut the coordinator down.
+
+        Args:
+            drain: Wait until every known submission has all its
+                records before stopping.
+            timeout: Bound on the drain wait.
+            fleet: Also shut down (draining per ``drain``) every live
+                daemon -- the whole-fleet teardown behind
+                ``repro shutdown --fleet``.
+        """
+        self._draining.set()
+        if drain:
+            self.wait(
+                lambda: all(
+                    submission.done()
+                    for submission in self._submissions.values()
+                ),
+                timeout=timeout,
+            )
+        self._stopping.set()
+        self._poke()
+        if fleet:
+            for daemon in self._alive_daemons():
+                try:
+                    self._client(daemon.address).shutdown(drain=drain)
+                except ServiceError as exc:
+                    self._log(
+                        f"fleet shutdown of {daemon.address} failed: "
+                        f"{exc}"
+                    )
+        self.stop_listener()
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=10.0)
+        self._stopped.set()
+
+    def wait_stopped(self, timeout: float | None = None) -> bool:
+        """Block until the coordinator has fully stopped."""
+        return self._stopped.wait(timeout)
+
+    @property
+    def draining(self) -> bool:
+        """Whether the coordinator still accepts submissions."""
+        return self._draining.is_set()
+
+    def wait(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float | None = None,
+    ) -> bool:
+        """Block until ``predicate()`` holds or ``timeout`` elapses."""
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self.changed:
+            while not predicate():
+                remaining = (
+                    None
+                    if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self.changed.wait(remaining)
+            return True
+
+    def _log(self, message: str) -> None:
+        print(f"repro-coordinator: {message}", flush=True)
+
+    # -- change notification (mirrors JobQueue's bridge) ---------------
+
+    def add_listener(self, callback: Callable[[], None]) -> None:
+        with self._lock:
+            self._listeners.append(callback)
+
+    def remove_listener(self, callback: Callable[[], None]) -> None:
+        with self._lock:
+            try:
+                self._listeners.remove(callback)
+            except ValueError:
+                pass
+
+    def _notify_all(self) -> None:
+        # Caller holds the lock.
+        self.changed.notify_all()
+        for callback in list(self._listeners):
+            try:
+                callback()
+            except Exception:
+                pass
+
+    def _poke(self) -> None:
+        with self.changed:
+            self._notify_all()
+
+    # -- fleet bookkeeping ---------------------------------------------
+
+    def _client(self, address: str) -> ServiceClient:
+        return ServiceClient(address, timeout=10.0, connect_retry_s=1.0)
+
+    def _alive_daemons(self) -> list[_Daemon]:
+        with self._lock:
+            return [
+                daemon
+                for daemon in self._daemons.values()
+                if daemon.alive
+            ]
+
+    def _mark_dead(self, address: str, exc: Exception) -> None:
+        with self.changed:
+            daemon = self._daemons.get(address)
+            if daemon is None or not daemon.alive:
+                return
+            daemon.alive = False
+            daemon.last_error = str(exc)
+            self._notify_all()
+        self._log(f"daemon {address} is down: {exc}")
+
+    # -- submission + placement ----------------------------------------
+
+    def _submit(self, request: dict[str, Any]) -> dict[str, Any]:
+        if self.draining:
+            return {
+                "ok": False,
+                "error": (
+                    "coordinator is draining; not accepting submissions"
+                ),
+            }
+        manifest_doc = request.get("manifest")
+        if manifest_doc is None:
+            return {"ok": False, "error": "submit needs a 'manifest'"}
+        priority = request.get("priority", 0)
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            return {"ok": False, "error": "'priority' must be an integer"}
+        try:
+            jobs = parse_manifest(manifest_doc)
+            cache_keys = [job_cache_key(job) for job in jobs]
+            job_docs = [job_to_doc(job) for job in jobs]
+        except ManifestError as exc:
+            return {"ok": False, "error": f"bad manifest: {exc}"}
+        digest = manifest_digest(manifest_doc)
+        with self.changed:
+            self._seq += 1
+            sub_id = f"c{self._seq:06d}"
+            submission = _FleetSubmission(
+                sub_id, digest, job_docs, cache_keys, priority
+            )
+            self._submissions[sub_id] = submission
+        try:
+            self._dispatch_jobs(
+                submission, list(range(submission.total_jobs))
+            )
+        except ServiceError as exc:
+            # Nothing accepted the work: refuse honestly rather than
+            # park a submission no daemon has ever seen.
+            with self.changed:
+                del self._submissions[sub_id]
+                self._notify_all()
+            return {"ok": False, "error": f"fleet dispatch failed: {exc}"}
+        return {
+            "ok": True,
+            "op": "submit",
+            "submission": sub_id,
+            "manifest_digest": digest,
+            "total_jobs": submission.total_jobs,
+            "job_ids": [
+                f"{sub_id}-{index:05d}"
+                for index in range(submission.total_jobs)
+            ],
+        }
+
+    def _dispatch_jobs(
+        self,
+        submission: _FleetSubmission,
+        indices: list[int],
+        *,
+        stolen: bool = False,
+    ) -> None:
+        """Place ``indices`` on live daemons and start collectors.
+
+        Raises :class:`ServiceError` when no live daemon accepted any
+        of the work.
+        """
+        depths: dict[str, int] = {}
+        for daemon in self._alive_daemons():
+            try:
+                ping = self._client(daemon.address).ping()
+            except ServiceError as exc:
+                self._mark_dead(daemon.address, exc)
+                continue
+            counts = ping.get("counts", {})
+            with self._lock:
+                daemon.counts = counts
+            depths[daemon.address] = counts.get(
+                "queued", 0
+            ) + counts.get("running", 0)
+        if not depths:
+            raise ServiceError(
+                "no live daemon is registered with the coordinator"
+            )
+        cache_keys = [submission.cache_keys[i] for i in indices]
+        assignment = plan_placement(
+            cache_keys, depths, self.spill_depth
+        )
+        groups: dict[str, list[int]] = {}
+        for index, address in zip(indices, assignment):
+            groups.setdefault(address, []).append(index)
+        failed: list[int] = []
+        dispatched = 0
+        for address, group in groups.items():
+            if self._dispatch_leg(submission, address, group, stolen):
+                dispatched += len(group)
+            else:
+                failed.extend(group)
+        if failed:
+            if dispatched == 0 and not self._alive_daemons():
+                raise ServiceError(
+                    "every registered daemon died during dispatch"
+                )
+            # Daemons died between the depth probe and the submit:
+            # replan the leftovers over the survivors.
+            self._dispatch_jobs(submission, failed, stolen=stolen)
+
+    def _dispatch_leg(
+        self,
+        submission: _FleetSubmission,
+        address: str,
+        indices: list[int],
+        stolen: bool,
+    ) -> bool:
+        """Submit one sub-manifest to one daemon; False if it died."""
+        manifest = {"jobs": [submission.jobs[i] for i in indices]}
+        try:
+            reply = self._client(address).submit(
+                manifest, priority=submission.priority
+            )
+        except ServiceError as exc:
+            self._mark_dead(address, exc)
+            return False
+        leg = _Leg(address, reply["submission"], indices, stolen)
+        with self.changed:
+            submission.legs.append(leg)
+            daemon = self._daemons.get(address)
+            if daemon is not None:
+                if stolen:
+                    daemon.steals += len(indices)
+                else:
+                    daemon.placements += len(indices)
+            self._notify_all()
+        collector = threading.Thread(
+            target=self._collect,
+            args=(submission, leg),
+            name=(
+                f"repro-coordinator-collect-{submission.id}-{address}"
+            ),
+            daemon=True,
+        )
+        collector.start()
+        return True
+
+    def _redispatch(
+        self, submission: _FleetSubmission, indices: list[int]
+    ) -> None:
+        """Re-place lost jobs; park them if no daemon is alive."""
+        still_missing = [
+            index
+            for index in indices
+            if index not in submission.records
+        ]
+        if not still_missing:
+            return
+        try:
+            self._dispatch_jobs(submission, still_missing)
+        except ServiceError as exc:
+            self._log(
+                f"{submission.id}: re-dispatch of "
+                f"{len(still_missing)} job(s) stalled ({exc}); "
+                "waiting for a daemon to register"
+            )
+            with self.changed:
+                submission.pending.update(still_missing)
+                self._notify_all()
+
+    # -- collectors ----------------------------------------------------
+
+    def _collect(
+        self, submission: _FleetSubmission, leg: _Leg
+    ) -> None:
+        """Stream one leg's records back; survive the daemon dying.
+
+        Runs until the leg has delivered everything it owes (directly
+        or via records that arrived from a duplicate dispatch), the
+        daemon is declared dead and the leftovers re-dispatched, or
+        the coordinator stops.
+        """
+        client = ServiceClient(
+            leg.daemon, timeout=10.0, connect_retry_s=1.0
+        )
+        while not self._stopping.is_set():
+            try:
+                summary: dict[str, Any] | None = None
+                for event in client.raw_events(leg.sub_id, follow=True):
+                    if event["event"] == "record":
+                        self._store_record(
+                            submission, leg, event["record"]
+                        )
+                    elif event["event"] == "end":
+                        summary = event
+                if summary is not None and not summary.get("remaining"):
+                    return  # leg fully delivered
+            except ServiceError:
+                pass  # stream died mid-flight; probe the daemon below
+            with self._lock:
+                missing = [
+                    index
+                    for index in leg.global_indices
+                    if index not in submission.records
+                ]
+            if not missing:
+                return  # duplicates elsewhere covered the leftovers
+            try:
+                client.ping()
+            except ServiceError as exc:
+                self._mark_dead(leg.daemon, exc)
+                self._log(
+                    f"{submission.id}: re-dispatching {len(missing)} "
+                    f"job(s) from lost daemon {leg.daemon}"
+                )
+                self._redispatch(submission, missing)
+                return
+            # Daemon alive but the stream ended early (drain-stop with
+            # work left, restart): its queue is persistent and the
+            # daemon-local submission id survives, so just re-follow.
+            if self._stopping.wait(timeout=0.2):
+                return
+
+    def _store_record(
+        self,
+        submission: _FleetSubmission,
+        leg: _Leg,
+        record: dict[str, Any],
+    ) -> None:
+        local_index = record.get("index")
+        if (
+            not isinstance(local_index, int)
+            or not 0 <= local_index < len(leg.global_indices)
+        ):
+            self._log(
+                f"{leg.daemon}: record with unknown index "
+                f"{local_index!r} ignored"
+            )
+            return
+        global_index = leg.global_indices[local_index]
+        rewritten = dict(record, index=global_index)
+        with self.changed:
+            if global_index in submission.records:
+                return  # first completion wins (duplicate dispatch)
+            submission.records[global_index] = rewritten
+            submission.completion.append(global_index)
+            submission.pending.discard(global_index)
+            self._notify_all()
+
+    # -- monitor: liveness, parked re-dispatch, stealing ---------------
+
+    def _monitor_loop(self) -> None:
+        while not self._stopping.wait(timeout=self.poll_interval):
+            self._refresh_daemons()
+            self._retry_pending()
+            if self.steal_batch > 0:
+                self._steal_round()
+
+    def _refresh_daemons(self) -> None:
+        for daemon in list(self._daemons.values()):
+            try:
+                ping = ServiceClient(
+                    daemon.address, timeout=5.0, connect_retry_s=0.0
+                ).ping()
+            except ServiceError as exc:
+                self._mark_dead(daemon.address, exc)
+                continue
+            with self.changed:
+                revived = not daemon.alive
+                daemon.alive = True
+                daemon.counts = ping.get("counts", {})
+                daemon.last_error = None
+                if revived:
+                    self._notify_all()
+            if revived:
+                self._log(f"daemon {daemon.address} is back")
+
+    def _retry_pending(self) -> None:
+        if not self._alive_daemons():
+            return
+        with self._lock:
+            parked = [
+                (submission, sorted(submission.pending))
+                for submission in self._submissions.values()
+                if submission.pending
+            ]
+            for submission, _ in parked:
+                submission.pending.clear()
+        for submission, indices in parked:
+            self._redispatch(submission, indices)
+
+    def _steal_round(self) -> None:
+        """Duplicate-dispatch a straggler's tail onto an idle daemon."""
+        with self._lock:
+            idle = [
+                daemon.address
+                for daemon in self._daemons.values()
+                if daemon.alive
+                and daemon.counts.get("queued", 0)
+                + daemon.counts.get("running", 0)
+                == 0
+            ]
+        if not idle:
+            return
+        for thief in idle:
+            plan = self._plan_steal(thief)
+            if plan is None:
+                return
+            submission, victim, indices = plan
+            self._log(
+                f"{submission.id}: stealing {len(indices)} job(s) "
+                f"{victim} -> {thief}"
+            )
+            if not self._dispatch_leg(
+                submission, thief, indices, stolen=True
+            ):
+                with self.changed:
+                    submission.stolen.difference_update(indices)
+
+    def _plan_steal(
+        self, thief: str
+    ) -> tuple[_FleetSubmission, str, list[int]] | None:
+        """Pick the jobs to move onto ``thief`` (marks them stolen)."""
+        with self.changed:
+            for submission in self._submissions.values():
+                for leg in submission.legs:
+                    if leg.daemon == thief:
+                        continue
+                    victim = self._daemons.get(leg.daemon)
+                    if victim is None or not victim.alive:
+                        continue
+                    if victim.counts.get("queued", 0) <= 0:
+                        continue  # nothing waiting: not a straggler
+                    outstanding = [
+                        index
+                        for index in leg.global_indices
+                        if index not in submission.records
+                        and index not in submission.stolen
+                    ]
+                    # Leave the head alone -- it is (about to be)
+                    # running on the victim; steal from the tail,
+                    # which a FIFO queue would reach last.
+                    if len(outstanding) <= 1:
+                        continue
+                    take = outstanding[-self.steal_batch:]
+                    submission.stolen.update(take)
+                    return (submission, leg.daemon, take)
+        return None
+
+    # -- protocol dispatch ---------------------------------------------
+
+    async def dispatch_async(
+        self, request: dict[str, Any], writer: asyncio.StreamWriter
+    ) -> bool:
+        """Answer one request; ``False`` ends the connection."""
+        op = request.get("op")
+        if op == "ping":
+            await write_message_async(writer, self._ping())
+            return True
+        if op == "register":
+            await write_message_async(
+                writer, self._register(request)
+            )
+            return True
+        if op == "submit":
+            # Manifest expansion, cache-key hashing and the daemon
+            # round-trips all block: keep them off the event loop.
+            reply = await asyncio.to_thread(self._submit, request)
+            await write_message_async(writer, reply)
+            return True
+        if op == "status":
+            await write_message_async(writer, self._status(request))
+            return True
+        if op == "results":
+            await self._results(request, writer)
+            return True
+        if op == "shutdown":
+            drain = bool(request.get("drain", True))
+            fleet = bool(request.get("fleet", False))
+            await write_message_async(
+                writer,
+                {
+                    "ok": True,
+                    "op": "shutdown",
+                    "drain": drain,
+                    "fleet": fleet,
+                },
+            )
+            threading.Thread(
+                target=self.stop,
+                kwargs={"drain": drain, "fleet": fleet},
+                name="repro-coordinator-shutdown",
+                daemon=True,
+            ).start()
+            return False
+        await write_message_async(
+            writer,
+            {"ok": False, "error": f"unknown op {op!r}"},
+        )
+        return True
+
+    def _register(self, request: dict[str, Any]) -> dict[str, Any]:
+        address = request.get("address")
+        if not isinstance(address, str) or not address.strip():
+            return {"ok": False, "error": "register needs an 'address'"}
+        try:
+            parse_address(address)
+        except ProtocolError as exc:
+            return {"ok": False, "error": str(exc)}
+        with self.changed:
+            daemon = self._daemons.get(address)
+            if daemon is None:
+                self._daemons[address] = daemon = _Daemon(address)
+                known = len(self._daemons)
+                self._notify_all()
+            else:
+                # Re-registration revives a daemon marked dead (e.g.
+                # it was restarted on the same address).
+                daemon.alive = True
+                daemon.last_error = None
+                known = len(self._daemons)
+                self._notify_all()
+        return {
+            "ok": True,
+            "op": "register",
+            "address": address,
+            "daemons": known,
+        }
+
+    def _counts(
+        self, submission: _FleetSubmission | None = None
+    ) -> dict[str, int]:
+        """Queue-style counts; outstanding fleet work reads as queued."""
+        with self._lock:
+            submissions = (
+                [submission]
+                if submission is not None
+                else list(self._submissions.values())
+            )
+            done = 0
+            error = 0
+            total = 0
+            for entry in submissions:
+                total += entry.total_jobs
+                for record in entry.records.values():
+                    if record.get("status") == "error":
+                        error += 1
+                    else:
+                        done += 1
+        return {
+            "queued": total - done - error,
+            "running": 0,
+            "done": done,
+            "error": error,
+        }
+
+    def _ping(self) -> dict[str, Any]:
+        with self._lock:
+            daemons = [
+                {
+                    "address": daemon.address,
+                    "alive": daemon.alive,
+                    "counts": dict(daemon.counts),
+                    "placements": daemon.placements,
+                    "steals": daemon.steals,
+                    "error": daemon.last_error,
+                }
+                for daemon in self._daemons.values()
+            ]
+            num_submissions = len(self._submissions)
+        return {
+            "ok": True,
+            "op": "ping",
+            "protocol": PROTOCOL_VERSION,
+            "role": "coordinator",
+            "address": self.address,
+            "draining": self.draining,
+            "uptime_s": time.time() - self.started_at,
+            "counts": self._counts(),
+            "connections": self.connection_stats(),
+            "daemons": daemons,
+            "submissions": num_submissions,
+            "spill_depth": self.spill_depth,
+            "steal_batch": self.steal_batch,
+        }
+
+    def _status(self, request: dict[str, Any]) -> dict[str, Any]:
+        sub_id = request.get("submission")
+        if sub_id is None:
+            with self._lock:
+                submissions = list(self._submissions.values())
+            return {
+                "ok": True,
+                "op": "status",
+                "draining": self.draining,
+                "counts": self._counts(),
+                "submissions": [
+                    {
+                        "id": entry.id,
+                        "total_jobs": entry.total_jobs,
+                        "counts": self._counts(entry),
+                    }
+                    for entry in submissions
+                ],
+            }
+        with self._lock:
+            submission = self._submissions.get(sub_id)
+        if submission is None:
+            return {
+                "ok": False,
+                "error": f"unknown submission {sub_id!r}",
+            }
+        return {
+            "ok": True,
+            "op": "status",
+            "submission": sub_id,
+            "manifest_digest": submission.manifest_digest,
+            "total_jobs": submission.total_jobs,
+            "counts": self._counts(submission),
+        }
+
+    async def _results(
+        self, request: dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        """Stream a fleet submission's records in completion order.
+
+        Event-for-event identical to the daemon's results stream, so
+        :class:`ServiceClient` consumes a fleet unchanged.
+        """
+        sub_id = request.get("submission")
+        with self._lock:
+            submission = (
+                None
+                if sub_id is None
+                else self._submissions.get(sub_id)
+            )
+        if submission is None:
+            await write_message_async(
+                writer,
+                {"ok": False, "error": f"unknown submission {sub_id!r}"},
+            )
+            return
+        follow = bool(request.get("follow", False))
+        total = submission.total_jobs
+        await write_message_async(
+            writer,
+            {
+                "ok": True,
+                "event": "start",
+                "submission": sub_id,
+                "manifest_digest": submission.manifest_digest,
+                "total_jobs": total,
+            },
+        )
+        sent = 0
+        failed = 0
+        idle_timeout = RESULTS_POLL_MIN_S
+        loop = asyncio.get_running_loop()
+        changed = asyncio.Event()
+
+        def wake() -> None:
+            loop.call_soon_threadsafe(changed.set)
+
+        self.add_listener(wake)
+        try:
+            while True:
+                with self._lock:
+                    order = list(submission.completion)
+                    batch = [
+                        submission.records[index]
+                        for index in order[sent:]
+                    ]
+                if batch:
+                    idle_timeout = RESULTS_POLL_MIN_S  # progress
+                for record in batch:
+                    if record.get("status") == "error":
+                        failed += 1
+                    await write_message_async(
+                        writer,
+                        {
+                            "ok": True,
+                            "event": "record",
+                            "job_id": (
+                                f"{submission.id}-"
+                                f"{record['index']:05d}"
+                            ),
+                            "record": record,
+                        },
+                    )
+                sent = len(order)
+                if sent >= total or not follow:
+                    break
+                if self._stopping.is_set():
+                    break  # going down with work left: end honestly
+                changed.clear()
+                with self._lock:
+                    progressed = len(submission.completion) > sent
+                if progressed or self._stopping.is_set():
+                    continue
+                try:
+                    await asyncio.wait_for(
+                        changed.wait(), timeout=idle_timeout
+                    )
+                except asyncio.TimeoutError:
+                    idle_timeout = _next_idle_timeout(idle_timeout)
+        finally:
+            self.remove_listener(wake)
+        await write_message_async(
+            writer,
+            {
+                "ok": True,
+                "event": "end",
+                "submission": sub_id,
+                "num_done": sent,
+                "num_failed": failed,
+                "remaining": total - sent,
+                "wall_time_s": time.time() - submission.submitted_at,
+            },
+        )
+
+
+__all__ = [
+    "Coordinator",
+    "DEFAULT_POLL_INTERVAL_S",
+    "DEFAULT_SPILL_DEPTH",
+    "DEFAULT_STEAL_BATCH",
+    "plan_placement",
+    "rendezvous_rank",
+]

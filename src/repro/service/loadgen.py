@@ -1,0 +1,196 @@
+"""Synthetic many-client traffic generator (``repro loadgen``).
+
+Drives a running daemon or coordinator with Poisson-arrival
+submissions from N concurrent clients and reports the submit->result
+latency distribution -- the perf evidence for the asyncio front end
+and the fleet layer.  Each client thread draws exponential
+inter-arrival gaps with mean ``clients / rate_hz`` seconds, so the
+service sees ``rate_hz`` submissions per second overall; every
+submission is a one-job manifest whose seed cycles through
+``distinct_seeds`` values, which controls the cache-hit mix (fewer
+distinct seeds -> more warm-cache submissions -> the latency tail
+shows queueing, not compilation).
+
+The report document (``repro-loadgen-report`` v1) carries
+``submitted`` / ``completed`` / ``failed`` counts and the
+p50/p95/p99/mean/max of the end-to-end latency, where *end-to-end*
+means submit -> followed result stream delivering the final record.
+Submissions stop after ``duration_s``; in-flight submissions are
+followed to completion, so ``wall_time_s`` can exceed the configured
+duration but no job is abandoned.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Any, Callable, Sequence
+
+from .client import ServiceClient, ServiceError
+
+LOADGEN_FORMAT = "repro-loadgen-report"
+LOADGEN_VERSION = 1
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    rank = fraction * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    weight = rank - low
+    return float(
+        sorted_values[low] * (1.0 - weight)
+        + sorted_values[high] * weight
+    )
+
+
+def run_loadgen(
+    address: str,
+    *,
+    clients: int = 4,
+    rate_hz: float = 2.0,
+    duration_s: float = 5.0,
+    benchmarks: Sequence[str] = ("BV-14",),
+    backend: str = "powermove",
+    distinct_seeds: int = 4,
+    seed: int = 0,
+    priority: int = 0,
+    progress: Callable[[int, float], None] | None = None,
+) -> dict[str, Any]:
+    """Run the traffic generator; returns the latency report document.
+
+    Args:
+        address: Daemon or coordinator to drive.
+        clients: Concurrent client threads.
+        rate_hz: Aggregate submission rate (Poisson arrivals).
+        duration_s: How long new submissions are generated; in-flight
+            work is followed to completion afterwards.
+        benchmarks: Benchmark names drawn uniformly per submission.
+        backend: Backend every submission compiles with.
+        distinct_seeds: Job seeds cycle over ``range(distinct_seeds)``
+            -- the knob for the cache-hit mix.
+        seed: RNG seed of the generator itself (arrivals + choices).
+        priority: Queue priority of every submission.
+        progress: Optional ``(completed_count, latency_s)`` callback,
+            invoked after each finished submission.
+    """
+    if clients < 1:
+        raise ValueError("need at least one client")
+    if not benchmarks:
+        raise ValueError("need at least one benchmark")
+    results: list[dict[str, Any]] = []
+    errors: list[str] = []
+    lock = threading.Lock()
+    started_at = time.monotonic()
+    stop_at = started_at + duration_s
+
+    def client_loop(client_index: int) -> None:
+        rng = random.Random(seed * 1000003 + client_index)
+        client = ServiceClient(address)
+        while True:
+            now = time.monotonic()
+            if now >= stop_at:
+                return
+            gap = (
+                rng.expovariate(rate_hz / clients)
+                if rate_hz > 0
+                else 0.0
+            )
+            time.sleep(max(0.0, min(now + gap, stop_at) - now))
+            if time.monotonic() >= stop_at:
+                return
+            benchmark = rng.choice(list(benchmarks))
+            job_seed = rng.randrange(max(1, distinct_seeds))
+            manifest = {
+                "jobs": [
+                    {
+                        "benchmark": benchmark,
+                        "backend": backend,
+                        "seed": job_seed,
+                    }
+                ]
+            }
+            submit_started = time.monotonic()
+            try:
+                submitted = client.submit(manifest, priority=priority)
+                doc = client.results_document(
+                    submitted["submission"], follow=True
+                )
+            except ServiceError as exc:
+                with lock:
+                    errors.append(str(exc))
+                continue
+            latency = time.monotonic() - submit_started
+            with lock:
+                results.append(
+                    {
+                        "latency_s": latency,
+                        "ok": doc.get("num_failed", 1) == 0,
+                        "benchmark": benchmark,
+                        "seed": job_seed,
+                    }
+                )
+                count = len(results)
+            if progress is not None:
+                progress(count, latency)
+
+    threads = [
+        threading.Thread(
+            target=client_loop,
+            args=(index,),
+            name=f"repro-loadgen-{index}",
+            daemon=True,
+        )
+        for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_time_s = time.monotonic() - started_at
+    latencies = sorted(entry["latency_s"] for entry in results)
+    completed = sum(1 for entry in results if entry["ok"])
+    failed = len(results) - completed
+    return {
+        "format": LOADGEN_FORMAT,
+        "version": LOADGEN_VERSION,
+        "address": address,
+        "clients": clients,
+        "rate_hz": rate_hz,
+        "duration_s": duration_s,
+        "wall_time_s": wall_time_s,
+        "backend": backend,
+        "benchmarks": list(benchmarks),
+        "distinct_seeds": distinct_seeds,
+        "seed": seed,
+        "submitted": len(results) + len(errors),
+        "completed": completed,
+        "failed": failed,
+        "num_errors": len(errors),
+        "errors": errors[:10],
+        "throughput_jobs_per_s": (
+            len(results) / wall_time_s if wall_time_s > 0 else 0.0
+        ),
+        "latency_s": {
+            "mean": (
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+            "p50": percentile(latencies, 0.50),
+            "p95": percentile(latencies, 0.95),
+            "p99": percentile(latencies, 0.99),
+            "max": latencies[-1] if latencies else 0.0,
+        },
+    }
+
+
+__all__ = [
+    "LOADGEN_FORMAT",
+    "LOADGEN_VERSION",
+    "percentile",
+    "run_loadgen",
+]

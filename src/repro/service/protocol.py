@@ -13,7 +13,9 @@ Requests (``op`` selects the operation)::
     {"op": "status"}                      # whole queue
     {"op": "status", "submission": ID}    # one submission
     {"op": "results", "submission": ID, "follow": true}
-    {"op": "shutdown", "drain": true}
+    {"op": "register", "address": "host:port"}   # coordinator only
+    {"op": "shutdown", "drain": true}            # +"fleet" on a
+                                                 #  coordinator
 
 Responses always carry ``"ok"`` (``false`` plus an ``"error"`` string
 on failure).  ``results`` events look like::
@@ -39,6 +41,7 @@ domain socket (any spec containing a path separator, e.g.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
 from typing import Any, BinaryIO, Iterator
@@ -108,13 +111,14 @@ def write_message(stream: BinaryIO, payload: dict[str, Any]) -> None:
     stream.flush()
 
 
-def read_message(stream: BinaryIO) -> dict[str, Any] | None:
-    """Read one protocol message; ``None`` on clean EOF."""
-    line = stream.readline(MAX_LINE_BYTES + 1)
-    if not line:
-        return None
-    if len(line) > MAX_LINE_BYTES:
-        raise ProtocolError("protocol line exceeds the size bound")
+def _parse_line(
+    line: bytes, max_line_bytes: int
+) -> dict[str, Any] | None:
+    """Decode one raw protocol line; ``None`` for a blank line."""
+    if len(line) > max_line_bytes:
+        raise ProtocolError(
+            f"protocol line exceeds the {max_line_bytes}-byte size bound"
+        )
     text = line.decode("utf-8", errors="replace").strip()
     if not text:
         return None
@@ -125,6 +129,51 @@ def read_message(stream: BinaryIO) -> dict[str, Any] | None:
     if not isinstance(payload, dict):
         raise ProtocolError("protocol messages must be JSON objects")
     return payload
+
+
+def read_message(
+    stream: BinaryIO, max_line_bytes: int = MAX_LINE_BYTES
+) -> dict[str, Any] | None:
+    """Read one protocol message; ``None`` on clean EOF.
+
+    A line longer than ``max_line_bytes`` raises
+    :class:`ProtocolError` instead of buffering without bound.
+    """
+    line = stream.readline(max_line_bytes + 1)
+    if not line:
+        return None
+    return _parse_line(line, max_line_bytes)
+
+
+async def read_message_async(
+    reader: asyncio.StreamReader,
+    max_line_bytes: int = MAX_LINE_BYTES,
+) -> dict[str, Any] | None:
+    """Async twin of :func:`read_message` for the daemon front end.
+
+    The stream's own ``limit`` (set at ``asyncio.start_server`` time)
+    bounds buffering; the ``ValueError``/``LimitOverrunError`` it
+    raises for an over-long line is mapped to :class:`ProtocolError`
+    so the connection handler can answer with a clean error object.
+    """
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError) as exc:
+        raise ProtocolError(
+            f"protocol line exceeds the {max_line_bytes}-byte size bound"
+        ) from exc
+    if not line:
+        return None
+    return _parse_line(line, max_line_bytes)
+
+
+async def write_message_async(
+    writer: asyncio.StreamWriter, payload: dict[str, Any]
+) -> None:
+    """Async twin of :func:`write_message` (drain per message)."""
+    line = json.dumps(payload, separators=(",", ":")) + "\n"
+    writer.write(line.encode("utf-8"))
+    await writer.drain()
 
 
 def read_messages(stream: BinaryIO) -> Iterator[dict[str, Any]]:
@@ -143,6 +192,8 @@ __all__ = [
     "format_address",
     "parse_address",
     "read_message",
+    "read_message_async",
     "read_messages",
     "write_message",
+    "write_message_async",
 ]

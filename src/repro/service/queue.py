@@ -115,9 +115,58 @@ class JobQueue:
         #: Notified on every job state change (lease, completion,
         #: requeue, submission).
         self.changed = threading.Condition(self._lock)
+        # Callbacks invoked (with the lock held) on every change
+        # broadcast -- the bridge that lets the asyncio front end wake
+        # a followed result stream from a worker thread via
+        # ``loop.call_soon_threadsafe`` without polling.
+        self._listeners: list[Callable[[], None]] = []
         self._records: dict[str, dict[str, Any]] = {}
         self._submissions: dict[str, dict[str, Any]] = {}
+        # Highest submission seq ever seen, GC'd ones included: a
+        # collected submission's id must not be handed to a later
+        # submit() while this process lives.
+        self._seq_floor = 0
         self._load()
+
+    # -- change notification -------------------------------------------
+
+    def add_listener(self, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` on every queue change (any thread).
+
+        Callbacks run under the queue lock and must be cheap and
+        non-blocking (e.g. ``loop.call_soon_threadsafe(event.set)``);
+        exceptions are swallowed so one broken listener cannot wedge
+        the queue.
+        """
+        with self._lock:
+            self._listeners.append(callback)
+
+    def remove_listener(self, callback: Callable[[], None]) -> None:
+        """Detach a listener registered with :meth:`add_listener`."""
+        with self._lock:
+            try:
+                self._listeners.remove(callback)
+            except ValueError:
+                pass
+
+    def _notify_all(self) -> None:
+        # Caller holds the lock.
+        self.changed.notify_all()
+        for callback in list(self._listeners):
+            try:
+                callback()
+            except Exception:
+                pass
+
+    def poke(self) -> None:
+        """Wake every waiter and listener without a state change.
+
+        Used by daemon shutdown: idle workers and followed result
+        streams block on :attr:`changed` / their listeners and must
+        re-check the stop flag even though no job changed.
+        """
+        with self.changed:
+            self._notify_all()
 
     # -- persistence ---------------------------------------------------
 
@@ -160,7 +209,7 @@ class JobQueue:
 
     def _next_seq(self) -> int:
         seqs = [doc.get("seq", 0) for doc in self._submissions.values()]
-        return (max(seqs) if seqs else 0) + 1
+        return max(seqs + [self._seq_floor]) + 1
 
     def submit(
         self, manifest_doc: Any, priority: int = 0
@@ -215,7 +264,7 @@ class JobQueue:
                 }
                 self._persist_record(record)
                 self._records[job_id] = record
-            self.changed.notify_all()
+            self._notify_all()
             return submission
 
     # -- scheduling ----------------------------------------------------
@@ -255,7 +304,7 @@ class JobQueue:
                 "expires_at": time.time() + lease_seconds,
             }
             self._persist_record(record)
-            self.changed.notify_all()
+            self._notify_all()
             return dict(record)
 
     def compile_job(self, record: dict[str, Any]) -> CompileJob:
@@ -282,9 +331,10 @@ class JobQueue:
             )
             record["lease"] = None
             record["completed_seq"] = self._next_completed_seq()
+            record["completed_at"] = time.time()
             record["record"] = result_record
             self._persist_record(record)
-            self.changed.notify_all()
+            self._notify_all()
 
     def _next_completed_seq(self) -> int:
         seqs = [
@@ -324,7 +374,7 @@ class JobQueue:
             record["status"] = "queued"
             record["lease"] = None
             self._persist_record(record)
-            self.changed.notify_all()
+            self._notify_all()
 
     def _fail_requeue_bound(self, record: dict[str, Any]) -> None:
         """Record a job that exhausted its crash-requeue budget."""
@@ -332,6 +382,7 @@ class JobQueue:
         record["status"] = "error"
         record["lease"] = None
         record["completed_seq"] = self._next_completed_seq()
+        record["completed_at"] = time.time()
         record["record"] = {
             "index": record["index"],
             "status": "error",
@@ -373,7 +424,7 @@ class JobQueue:
                 record["lease"] = None
                 self._persist_record(record)
             if touched:
-                self.changed.notify_all()
+                self._notify_all()
         return touched
 
     def recover(self) -> list[str]:
@@ -457,6 +508,71 @@ class JobQueue:
         """Jobs not yet done or errored."""
         totals = self.counts(sub_id)
         return totals["queued"] + totals["running"]
+
+    # -- garbage collection --------------------------------------------
+
+    def gc_completed(
+        self, ttl_seconds: float, now: float | None = None
+    ) -> list[str]:
+        """Drop submissions whose work finished over ``ttl_seconds`` ago.
+
+        Collection is **submission-granular**: a submission is removed
+        only once every one of its jobs is ``done``/``error`` and its
+        newest completion is older than the TTL.  Pruning individual
+        records would leave a submission whose result stream can never
+        cover all its indices, so a submission with *any* live
+        (queued/running) job -- and therefore any leased job -- is
+        never touched.  Returns the removed submission ids.
+        """
+        now = time.time() if now is None else now
+        removed: list[str] = []
+        with self.changed:
+            by_submission: dict[str, list[dict[str, Any]]] = {}
+            for record in self._records.values():
+                by_submission.setdefault(
+                    record["submission"], []
+                ).append(record)
+            for sub_id, submission in list(self._submissions.items()):
+                records = by_submission.get(sub_id, [])
+                if len(records) < submission["total_jobs"]:
+                    continue  # missing records never imply "finished"
+                if any(
+                    record["status"] not in ("done", "error")
+                    for record in records
+                ):
+                    continue
+                newest = max(
+                    record.get("completed_at")
+                    or submission.get("submitted_at", now)
+                    for record in records
+                )
+                if newest > now - ttl_seconds:
+                    continue
+                for record in records:
+                    self._remove_file(
+                        os.path.join(
+                            self._jobs_dir, f"{record['id']}.json"
+                        )
+                    )
+                    del self._records[record["id"]]
+                self._remove_file(
+                    os.path.join(self._subs_dir, f"{sub_id}.json")
+                )
+                self._seq_floor = max(
+                    self._seq_floor, submission.get("seq", 0)
+                )
+                del self._submissions[sub_id]
+                removed.append(sub_id)
+            if removed:
+                self._notify_all()
+        return removed
+
+    @staticmethod
+    def _remove_file(path: str) -> None:
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
 
     def wait(
         self,

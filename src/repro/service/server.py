@@ -2,11 +2,17 @@
 
 A :class:`ServiceServer` ties together the three service halves:
 
-* a listener -- a threaded socket server (TCP or Unix domain,
-  :func:`repro.service.protocol.parse_address`) speaking the NDJSON
-  protocol, one handler thread per client connection;
+* an **asyncio listener** (:class:`~repro.service.aio.AsyncServerCore`)
+  -- TCP or Unix domain (:func:`repro.service.protocol.parse_address`)
+  speaking the NDJSON protocol.  Every client connection is a
+  coroutine on one event-loop thread, so a single daemon holds
+  thousands of idle connections without a thread each; followed
+  result streams are woken through a queue-listener bridge instead of
+  polling;
 * a persistent :class:`~repro.service.queue.JobQueue` -- submissions
-  survive restarts, crash recovery runs on startup;
+  survive restarts, crash recovery runs on startup, and (with
+  ``completed_ttl``) finished submissions are garbage-collected by
+  the maintenance loop;
 * a pool of **leased workers** -- threads that lease jobs from the
   queue and execute them through the existing
   :class:`~repro.engine.CompilationEngine` (one engine per worker,
@@ -18,6 +24,10 @@ A maintenance thread requeues expired leases, so a job whose worker
 thread died (or whose previous daemon was SIGKILLed mid-compile)
 re-runs instead of hanging its submission forever.
 
+With ``announce`` the daemon periodically registers itself with a
+fleet coordinator (:mod:`repro.service.coordinator`), so a fleet can
+be grown by just starting more ``repro serve --announce`` processes.
+
 Lifecycle: :meth:`start` binds the socket and spawns the threads;
 :meth:`stop` (``drain=True``) stops accepting submissions, lets the
 workers finish every queued job, then shuts the daemon down.  The
@@ -26,24 +36,20 @@ workers finish every queued job, then shuts the daemon down.  The
 
 from __future__ import annotations
 
-import os
-import socket
-import socketserver
+import asyncio
 import threading
 import time
-from typing import Any, BinaryIO
+from typing import Any
 
 from ..engine.cache import DiskCache, MemoryCache, ProgramCache
 from ..engine.cachestore import make_cache
 from ..engine.engine import CompilationEngine
 from ..engine.shard import job_record
+from .aio import AsyncServerCore
 from .protocol import (
+    MAX_LINE_BYTES,
     PROTOCOL_VERSION,
-    ProtocolError,
-    format_address,
-    parse_address,
-    read_message,
-    write_message,
+    write_message_async,
 )
 from .queue import JobQueue, ManifestError
 
@@ -53,48 +59,23 @@ from .queue import JobQueue, ManifestError
 RESULTS_POLL_MIN_S = 0.05
 RESULTS_POLL_MAX_S = 2.0
 
-
-class _Listener(socketserver.ThreadingMixIn, socketserver.TCPServer):
-    allow_reuse_address = True
-    daemon_threads = True
-
-
-if hasattr(socketserver, "UnixStreamServer"):  # POSIX
-
-    class _UnixListener(
-        socketserver.ThreadingMixIn, socketserver.UnixStreamServer
-    ):
-        daemon_threads = True
-
-else:  # pragma: no cover - non-POSIX
-    _UnixListener = None  # type: ignore[assignment,misc]
+#: Re-announce period of ``--announce`` self-registration; frequent
+#: enough that a restarted coordinator re-learns its fleet quickly.
+ANNOUNCE_INTERVAL_S = 5.0
 
 
-class _Handler(socketserver.StreamRequestHandler):
-    """One client connection: read requests, dispatch, answer."""
+def _next_idle_timeout(current: float) -> float:
+    """The idle-poll back-off ladder of a followed result stream.
 
-    server: "_Listener"
-
-    def handle(self) -> None:
-        service: ServiceServer = self.server.service  # type: ignore[attr-defined]
-        while True:
-            try:
-                request = read_message(self.rfile)
-            except ProtocolError as exc:
-                write_message(
-                    self.wfile, {"ok": False, "error": str(exc)}
-                )
-                return
-            if request is None:
-                return
-            try:
-                if not service.dispatch(request, self.wfile):
-                    return
-            except (BrokenPipeError, ConnectionResetError):
-                return
+    Queue changes wake the stream immediately through a listener; this
+    timeout only bounds *missed* notifications, so it doubles from
+    :data:`RESULTS_POLL_MIN_S` up to :data:`RESULTS_POLL_MAX_S` while
+    the stream sits idle (progress resets it to the minimum).
+    """
+    return min(current * 2.0, RESULTS_POLL_MAX_S)
 
 
-class ServiceServer:
+class ServiceServer(AsyncServerCore):
     """The resident compilation service (see module docstring).
 
     Args:
@@ -118,6 +99,16 @@ class ServiceServer:
         backoff: Base backoff seconds between attempts.
         lease_seconds: Worker lease duration; an expired lease returns
             the job to the queue.
+        completed_ttl: When set, the maintenance loop drops finished
+            submissions older than this many seconds
+            (:meth:`JobQueue.gc_completed`); live or leased jobs are
+            never collected.
+        announce: Coordinator address to self-register with
+            (``repro serve --announce``); re-announced every
+            :data:`ANNOUNCE_INTERVAL_S` so a coordinator restart
+            re-learns this daemon.
+        max_line_bytes: Protocol line bound (oversized frames get a
+            clean error instead of unbounded buffering).
     """
 
     def __init__(
@@ -131,7 +122,15 @@ class ServiceServer:
         retries: int = 1,
         backoff: float = 0.1,
         lease_seconds: float = 300.0,
+        completed_ttl: float | None = None,
+        announce: str | None = None,
+        max_line_bytes: int = MAX_LINE_BYTES,
     ) -> None:
+        super().__init__(
+            address,
+            max_line_bytes=max_line_bytes,
+            name="repro-service",
+        )
         if workers < 1:
             raise ValueError("need at least one worker")
         if cache is None:
@@ -148,8 +147,8 @@ class ServiceServer:
         self.retries = retries
         self.backoff = backoff
         self.lease_seconds = lease_seconds
-        self._address_spec = address
-        self._listener: socketserver.BaseServer | None = None
+        self.completed_ttl = completed_ttl
+        self.announce = announce
         self._threads: list[threading.Thread] = []
         # Jobs currently executing on this daemon's worker threads
         # (worker id -> job id); the maintenance thread heartbeats
@@ -164,17 +163,6 @@ class ServiceServer:
 
     # -- lifecycle -----------------------------------------------------
 
-    @property
-    def address(self) -> str:
-        """The resolved listen address (after :meth:`start`)."""
-        if self._listener is None:
-            return self._address_spec
-        kind, value = parse_address(self._address_spec)
-        if kind == "tcp":
-            host, port = self._listener.server_address[:2]
-            return format_address("tcp", (host, port))
-        return self._address_spec
-
     def start(self) -> "ServiceServer":
         """Recover the queue, bind the socket, spawn the threads."""
         recovered = self.queue.recover()
@@ -182,26 +170,8 @@ class ServiceServer:
             self._log(
                 f"recovered {len(recovered)} job(s) from a previous run"
             )
-        kind, value = parse_address(self._address_spec)
-        if kind == "unix":
-            if not hasattr(socket, "AF_UNIX"):
-                raise ProtocolError(
-                    "unix socket addresses need AF_UNIX; use host:port"
-                )
-            if os.path.exists(value):
-                os.unlink(value)  # stale socket from a dead daemon
-            assert _UnixListener is not None
-            self._listener = _UnixListener(value, _Handler)
-        else:
-            self._listener = _Listener(value, _Handler)
-        self._listener.service = self  # type: ignore[attr-defined]
+        self.start_listener()
         self._threads = [
-            threading.Thread(
-                target=self._listener.serve_forever,
-                kwargs={"poll_interval": 0.05},
-                name="repro-service-listener",
-                daemon=True,
-            ),
             threading.Thread(
                 target=self._maintenance_loop,
                 name="repro-service-maintenance",
@@ -217,6 +187,14 @@ class ServiceServer:
             )
             for number in range(1, self.workers + 1)
         ]
+        if self.announce is not None:
+            self._threads.append(
+                threading.Thread(
+                    target=self._announce_loop,
+                    name="repro-service-announce",
+                    daemon=True,
+                )
+            )
         for thread in self._threads:
             thread.start()
         self._started.set()
@@ -238,17 +216,10 @@ class ServiceServer:
                 lambda: self.queue.unfinished() == 0, timeout=timeout
             )
         self._stopping.set()
-        with self.queue.changed:
-            self.queue.changed.notify_all()  # wake idle workers
-        if self._listener is not None:
-            self._listener.shutdown()
-            self._listener.server_close()
-            kind, value = parse_address(self._address_spec)
-            if kind == "unix" and os.path.exists(value):
-                try:
-                    os.unlink(value)
-                except OSError:
-                    pass
+        # Wake idle workers and followed result streams so they see
+        # the stop flag.
+        self.queue.poke()
+        self.stop_listener()
         for thread in self._threads:
             if thread is not threading.current_thread():
                 thread.join(timeout=10.0)
@@ -340,6 +311,12 @@ class ServiceServer:
 
     def _maintenance_loop(self) -> None:
         interval = min(max(self.lease_seconds / 4.0, 0.05), 15.0)
+        if self.completed_ttl is not None:
+            # The sweep cadence bounds the TTL's resolution: a short
+            # TTL must not wait out a long lease-derived interval.
+            interval = min(
+                interval, max(self.completed_ttl / 2.0, 0.05)
+            )
         while not self._stopping.wait(timeout=interval):
             # Heartbeat first: a job still executing on a live worker
             # thread must never lose its lease, no matter how long the
@@ -354,36 +331,71 @@ class ServiceServer:
                     f"requeued {len(expired)} expired lease(s): "
                     + ", ".join(expired)
                 )
+            if self.completed_ttl is not None:
+                removed = self.queue.gc_completed(self.completed_ttl)
+                if removed:
+                    self._log(
+                        f"gc: dropped {len(removed)} expired "
+                        "submission(s): " + ", ".join(removed)
+                    )
             # Push write-back-deferred cache entries downstream (no-op
             # for every non-write-back cache).
             self.cache.flush()
 
+    def _announce_loop(self) -> None:
+        # Imported here: client.py has no dependency on the server
+        # module, keep it one-directional.
+        from .client import ServiceClient, ServiceError
+
+        assert self.announce is not None
+        client = ServiceClient(
+            self.announce, timeout=5.0, connect_retry_s=1.0
+        )
+        registered = False
+        while not self._stopping.is_set():
+            try:
+                client.register(self.address)
+                if not registered:
+                    self._log(f"registered with {self.announce}")
+                registered = True
+            except ServiceError as exc:
+                if registered:
+                    self._log(
+                        f"re-announce to {self.announce} failed: {exc}"
+                    )
+                registered = False
+            if self._stopping.wait(timeout=ANNOUNCE_INTERVAL_S):
+                return
+
     # -- protocol dispatch ---------------------------------------------
 
-    def dispatch(
-        self, request: dict[str, Any], stream: BinaryIO
+    async def dispatch_async(
+        self, request: dict[str, Any], writer: asyncio.StreamWriter
     ) -> bool:
-        """Answer one request; False ends the connection."""
+        """Answer one request; ``False`` ends the connection."""
         op = request.get("op")
         if op == "ping":
-            write_message(stream, self._ping())
+            await write_message_async(writer, self._ping())
             return True
         if op == "submit":
-            write_message(stream, self._submit(request))
+            # Manifest expansion + cache-key hashing can be slow for
+            # big manifests: keep it off the event loop.
+            reply = await asyncio.to_thread(self._submit, request)
+            await write_message_async(writer, reply)
             return True
         if op == "status":
-            write_message(stream, self._status(request))
+            await write_message_async(writer, self._status(request))
             return True
         if op == "results":
-            self._results(request, stream)
+            await self._results(request, writer)
             return True
         if op == "shutdown":
             drain = bool(request.get("drain", True))
-            write_message(
-                stream, {"ok": True, "op": "shutdown", "drain": drain}
+            await write_message_async(
+                writer, {"ok": True, "op": "shutdown", "drain": drain}
             )
-            # Stop from a fresh thread: stop() joins the handler pool
-            # this very handler runs on.
+            # Stop from a fresh thread: stop() joins the listener loop
+            # this very coroutine runs on.
             threading.Thread(
                 target=self.stop,
                 kwargs={"drain": drain},
@@ -391,8 +403,8 @@ class ServiceServer:
                 daemon=True,
             ).start()
             return False
-        write_message(
-            stream,
+        await write_message_async(
+            writer,
             {"ok": False, "error": f"unknown op {op!r}"},
         )
         return True
@@ -402,10 +414,13 @@ class ServiceServer:
             "ok": True,
             "op": "ping",
             "protocol": PROTOCOL_VERSION,
+            "role": "daemon",
+            "address": self.address,
             "workers": self.workers,
             "draining": self.draining,
             "uptime_s": time.time() - self.started_at,
             "counts": self.queue.counts(),
+            "connections": self.connection_stats(),
             "cache": self.cache.stats_doc(),
         }
 
@@ -469,28 +484,32 @@ class ServiceServer:
             "counts": self.queue.counts(sub_id),
         }
 
-    def _results(
-        self, request: dict[str, Any], stream: BinaryIO
+    async def _results(
+        self, request: dict[str, Any], writer: asyncio.StreamWriter
     ) -> None:
         """Stream a submission's records in completion order.
 
         With ``follow`` the stream stays open until every job has
         finished; without, it ends after the records finished so far.
+        While following, a queue listener wakes this coroutine through
+        ``call_soon_threadsafe`` on every completion, so records flow
+        the moment they exist; the idle timeout only bounds missed
+        notifications (:func:`_next_idle_timeout`).
         """
         sub_id = request.get("submission")
         submission = (
             None if sub_id is None else self.queue.submission(sub_id)
         )
         if submission is None:
-            write_message(
-                stream,
+            await write_message_async(
+                writer,
                 {"ok": False, "error": f"unknown submission {sub_id!r}"},
             )
             return
         follow = bool(request.get("follow", False))
         total = submission["total_jobs"]
-        write_message(
-            stream,
+        await write_message_async(
+            writer,
             {
                 "ok": True,
                 "event": "start",
@@ -502,44 +521,60 @@ class ServiceServer:
         sent = 0
         failed = 0
         idle_timeout = RESULTS_POLL_MIN_S
-        while True:
-            # Flush everything completed so far *before* any exit
-            # check, so records finishing during the wait below are
-            # never dropped by a shutdown.
-            completed = self.queue.completed_records(sub_id)
-            if len(completed) > sent:
-                idle_timeout = RESULTS_POLL_MIN_S  # progress: reset
-            for record in completed[sent:]:
-                if record["record"].get("status") == "error":
-                    failed += 1
-                write_message(
-                    stream,
-                    {
-                        "ok": True,
-                        "event": "record",
-                        "job_id": record["id"],
-                        "record": record["record"],
-                    },
-                )
-            sent = len(completed)
-            if sent >= total or not follow:
-                break
-            if self._stopping.is_set() and self.queue.unfinished(sub_id):
-                break  # daemon going down with work left: end honestly
-            # Wait for the next completion (or daemon stop; a draining
-            # daemon still finishes the queue, so keep streaming).  The
-            # condition variable wakes this immediately on every queue
-            # change; the timeout only bounds *missed* notifications,
-            # so it backs off while the stream sits idle instead of
-            # rescanning the records twice a second forever.
-            self.queue.wait(
-                lambda: self.queue.completed_count(sub_id) > sent
-                or self._stopping.is_set(),
-                timeout=idle_timeout,
-            )
-            idle_timeout = min(idle_timeout * 2.0, RESULTS_POLL_MAX_S)
-        write_message(
-            stream,
+        loop = asyncio.get_running_loop()
+        changed = asyncio.Event()
+
+        def wake() -> None:
+            loop.call_soon_threadsafe(changed.set)
+
+        self.queue.add_listener(wake)
+        try:
+            while True:
+                # Flush everything completed so far *before* any exit
+                # check, so records finishing during the wait below
+                # are never dropped by a shutdown.
+                completed = self.queue.completed_records(sub_id)
+                if len(completed) > sent:
+                    idle_timeout = RESULTS_POLL_MIN_S  # progress
+                for record in completed[sent:]:
+                    if record["record"].get("status") == "error":
+                        failed += 1
+                    await write_message_async(
+                        writer,
+                        {
+                            "ok": True,
+                            "event": "record",
+                            "job_id": record["id"],
+                            "record": record["record"],
+                        },
+                    )
+                sent = len(completed)
+                if sent >= total or not follow:
+                    break
+                if (
+                    self._stopping.is_set()
+                    and self.queue.unfinished(sub_id)
+                ):
+                    break  # going down with work left: end honestly
+                changed.clear()
+                # Re-check after clearing: a completion between the
+                # scan above and the clear would otherwise be missed
+                # until the idle timeout.
+                if (
+                    self.queue.completed_count(sub_id) > sent
+                    or self._stopping.is_set()
+                ):
+                    continue
+                try:
+                    await asyncio.wait_for(
+                        changed.wait(), timeout=idle_timeout
+                    )
+                except asyncio.TimeoutError:
+                    idle_timeout = _next_idle_timeout(idle_timeout)
+        finally:
+            self.queue.remove_listener(wake)
+        await write_message_async(
+            writer,
             {
                 "ok": True,
                 "event": "end",

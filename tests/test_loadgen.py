@@ -1,0 +1,121 @@
+"""The traffic generator: percentile math and end-to-end runs."""
+
+import json
+
+import pytest
+
+from repro.service import ServiceServer, run_loadgen
+from repro.service.loadgen import (
+    LOADGEN_FORMAT,
+    LOADGEN_VERSION,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_empty_and_singleton(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([3.0], 0.99) == 3.0
+
+    def test_interpolates_linearly(self):
+        values = [0.0, 1.0, 2.0, 3.0]
+        assert percentile(values, 0.0) == 0.0
+        assert percentile(values, 1.0) == 3.0
+        assert percentile(values, 0.5) == pytest.approx(1.5)
+        assert percentile(values, 0.25) == pytest.approx(0.75)
+
+    def test_is_monotone_in_the_fraction(self):
+        values = sorted([0.4, 0.1, 2.5, 0.9, 1.7, 0.2])
+        fractions = [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0]
+        results = [percentile(values, f) for f in fractions]
+        assert results == sorted(results)
+        assert results[-1] == max(values)
+
+
+@pytest.fixture
+def server(tmp_path):
+    server = ServiceServer(
+        str(tmp_path / "queue"), "127.0.0.1:0", workers=2
+    ).start()
+    yield server
+    server.stop(drain=False)
+
+
+class TestRunLoadgen:
+    def test_report_shape_and_latency_ordering(self, server):
+        progress_calls = []
+        report = run_loadgen(
+            server.address,
+            clients=3,
+            rate_hz=30.0,
+            duration_s=1.0,
+            benchmarks=("BV-14",),
+            backend="powermove",
+            distinct_seeds=2,
+            seed=7,
+            progress=lambda count, latency: progress_calls.append(
+                (count, latency)
+            ),
+        )
+        assert report["format"] == LOADGEN_FORMAT
+        assert report["version"] == LOADGEN_VERSION
+        assert report["address"] == server.address
+        assert report["submitted"] >= 1
+        assert report["completed"] == report["submitted"]
+        assert report["failed"] == 0
+        assert report["num_errors"] == 0
+        assert report["throughput_jobs_per_s"] > 0
+        latency = report["latency_s"]
+        assert 0 < latency["p50"] <= latency["p95"]
+        assert latency["p95"] <= latency["p99"] <= latency["max"]
+        assert latency["mean"] <= latency["max"]
+        assert len(progress_calls) == report["submitted"]
+
+    def test_validates_its_arguments(self):
+        with pytest.raises(ValueError, match="at least one client"):
+            run_loadgen("127.0.0.1:1", clients=0)
+        with pytest.raises(ValueError, match="at least one benchmark"):
+            run_loadgen("127.0.0.1:1", benchmarks=())
+
+    def test_unreachable_service_counts_errors_not_crashes(self):
+        report = run_loadgen(
+            "127.0.0.1:1",
+            clients=1,
+            rate_hz=50.0,
+            duration_s=0.2,
+        )
+        assert report["completed"] == 0
+        assert report["num_errors"] >= 1
+        assert report["errors"]
+
+    def test_cli_writes_report_and_exits_zero(
+        self, server, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        out_path = tmp_path / "latency.json"
+        code = main(
+            [
+                "loadgen",
+                "--connect",
+                server.address,
+                "--clients",
+                "2",
+                "--rate",
+                "20",
+                "--duration",
+                "1.0",
+                "--benchmark",
+                "BV-14",
+                "--seed",
+                "3",
+                "--output",
+                str(out_path),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        report = json.loads(out_path.read_text())
+        assert report["format"] == LOADGEN_FORMAT
+        assert report["completed"] == report["submitted"] >= 1
+        assert "p95" in captured.err

@@ -257,8 +257,9 @@ class TestServiceLifecycle:
 
             client.shutdown(drain=True)
             assert server.wait_stopped(timeout=30.0)
+            dead = ServiceClient(server.address, connect_retry_s=0.0)
             with pytest.raises(ServiceError):
-                client.ping()
+                dead.ping()
         finally:
             if not server.wait_stopped(timeout=0.0):
                 server.stop(drain=False)
@@ -438,8 +439,11 @@ class TestIdlePolling:
         fake = FakeTime()
         monkeypatch.setattr(client_module, "time", fake)
         # Nothing listens on port 1, so every ping fails fast and the
-        # retry loop runs against the fake clock alone.
-        client = ServiceClient("127.0.0.1:1", timeout=0.05)
+        # retry loop runs against the fake clock alone.  Connect
+        # retries are off so only wait_ready's ladder sleeps.
+        client = ServiceClient(
+            "127.0.0.1:1", timeout=0.05, connect_retry_s=0.0
+        )
         with pytest.raises(ServiceError):
             client.wait_ready(timeout=5.0)
         sleeps = fake.sleeps
@@ -451,52 +455,250 @@ class TestIdlePolling:
             assert current == pytest.approx(min(previous * 2.0, 1.0))
         assert sum(sleeps) == pytest.approx(5.0)
 
-    def test_followed_stream_idle_poll_backs_off(
-        self, tmp_path, monkeypatch
-    ):
+    def test_followed_stream_idle_ladder_doubles_to_a_bound(self):
+        # The asyncio result stream is primarily event-driven (a queue
+        # listener wakes it on every state change); the poll timeout is
+        # only the safety net.  Its ladder starts at the minimum,
+        # doubles, and saturates at the cap.
         from repro.service.server import (
             RESULTS_POLL_MAX_S,
             RESULTS_POLL_MIN_S,
+            _next_idle_timeout,
         )
 
-        real = execute_job_on_circuit
+        timeout = RESULTS_POLL_MIN_S
+        seen = [timeout]
+        for _ in range(12):
+            timeout = _next_idle_timeout(timeout)
+            seen.append(timeout)
+        assert seen[0] == pytest.approx(RESULTS_POLL_MIN_S)
+        for previous, current in zip(seen, seen[1:]):
+            assert current == pytest.approx(
+                min(previous * 2.0, RESULTS_POLL_MAX_S)
+            )
+        assert seen[-1] == pytest.approx(RESULTS_POLL_MAX_S)
+        assert _next_idle_timeout(RESULTS_POLL_MAX_S) == pytest.approx(
+            RESULTS_POLL_MAX_S
+        )
 
-        def slow(job, circuit):
-            time.sleep(0.6)
-            return real(job, circuit)
+    def test_connect_retry_waits_for_late_listener(self, tmp_path):
+        import socket as socket_module
+        import threading
 
-        monkeypatch.setattr(engine_module, "execute_job_on_circuit", slow)
-        server = start_server(tmp_path, workers=1)
+        # Reserve a port, then bind a listener on it only after the
+        # client has started connecting: the bounded connect-retry
+        # ladder bridges the gap (a client started alongside a daemon
+        # must not lose the bind race).
+        probe = socket_module.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        def serve_one_ping():
+            time.sleep(0.3)
+            listener = socket_module.socket()
+            listener.setsockopt(
+                socket_module.SOL_SOCKET, socket_module.SO_REUSEADDR, 1
+            )
+            listener.bind(("127.0.0.1", port))
+            listener.listen(1)
+            conn, _ = listener.accept()
+            stream = conn.makefile("rwb")
+            stream.readline()
+            stream.write(b'{"ok": true, "op": "ping", "protocol": 1}\n')
+            stream.flush()
+            stream.close()
+            conn.close()
+            listener.close()
+
+        thread = threading.Thread(target=serve_one_ping, daemon=True)
+        thread.start()
+        client = ServiceClient(
+            f"127.0.0.1:{port}", timeout=5.0, connect_retry_s=5.0
+        )
+        assert client.ping()["ok"] is True
+        thread.join(timeout=5.0)
+
+        # With retrying disabled the same refusal surfaces at once.
+        eager = ServiceClient(
+            f"127.0.0.1:{port}", timeout=0.5, connect_retry_s=0.0
+        )
+        started = time.monotonic()
+        with pytest.raises(ServiceError, match="cannot reach"):
+            eager.ping()
+        assert time.monotonic() - started < 2.0
+
+
+class TestProtocolBounds:
+    def test_oversized_frame_is_refused_cleanly(self, tmp_path):
+        import socket as socket_module
+
+        server = start_server(tmp_path, max_line_bytes=4096)
         try:
-            recorded = []
-            real_wait = server.queue.wait
+            client = ServiceClient(server.address)
+            client.wait_ready()
+            host, port = parse_address(server.address)[1]
+            with socket_module.create_connection(
+                (host, port), timeout=10.0
+            ) as sock:
+                stream = sock.makefile("rwb")
+                huge = (
+                    b'{"op": "submit", "manifest": "'
+                    + b"x" * 8192
+                    + b'"}\n'
+                )
+                stream.write(huge)
+                stream.flush()
+                reply = json.loads(stream.readline())
+                assert reply["ok"] is False
+                assert "size bound" in reply["error"]
+                # The server closes the connection after the error.
+                # The unread remainder of the oversized line may turn
+                # the close into a TCP reset; either way no further
+                # reply arrives.
+                try:
+                    assert stream.readline() == b""
+                except ConnectionResetError:
+                    pass
+                stream.close()
+            # The daemon itself is unharmed and still serves work.
+            submitted = client.submit(SECOND_MANIFEST)
+            doc = client.results_document(submitted["submission"])
+            assert doc["num_failed"] == 0
+        finally:
+            server.stop(drain=False)
 
-            def recording_wait(predicate, timeout=None):
-                if timeout is not None:
-                    recorded.append(timeout)
-                return real_wait(predicate, timeout=timeout)
+    def test_client_rejects_oversized_manifest_against_bound(
+        self, tmp_path
+    ):
+        server = start_server(tmp_path, max_line_bytes=4096)
+        try:
+            client = ServiceClient(server.address)
+            client.wait_ready()
+            big = {"jobs": [{"benchmark": "BV-14", "note": "y" * 8192}]}
+            with pytest.raises(ServiceError, match="size bound"):
+                client.submit(big)
+        finally:
+            server.stop(drain=False)
 
-            monkeypatch.setattr(server.queue, "wait", recording_wait)
+
+class TestManyConnections:
+    def test_hundreds_of_idle_connections_without_threads(
+        self, tmp_path
+    ):
+        import socket as socket_module
+        import threading
+
+        try:
+            import resource
+
+            soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+            if soft < 1200:
+                resource.setrlimit(
+                    resource.RLIMIT_NOFILE, (min(1200, hard), hard)
+                )
+        except (ImportError, ValueError, OSError):
+            pytest.skip("cannot raise RLIMIT_NOFILE high enough")
+
+        server = start_server(tmp_path, workers=1)
+        sockets = []
+        try:
+            client = ServiceClient(server.address)
+            client.wait_ready()
+            threads_before = threading.active_count()
+            host, port = parse_address(server.address)[1]
+            for _ in range(500):
+                sock = socket_module.create_connection(
+                    (host, port), timeout=10.0
+                )
+                sockets.append(sock)
+            ping = client.ping()
+            assert ping["connections"]["open"] >= 500
+            # The asyncio front end holds every connection as a
+            # coroutine on one event loop: no thread per connection.
+            assert threading.active_count() <= threads_before + 2
+            # Compilation still proceeds underneath the idle load.
+            submitted = client.submit(SECOND_MANIFEST)
+            doc = client.results_document(submitted["submission"])
+            assert doc["num_failed"] == 0
+        finally:
+            for sock in sockets:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            server.stop(drain=False)
+
+
+class TestCompletedTtl:
+    def test_gc_collects_only_fully_finished_old_submissions(
+        self, queue
+    ):
+        from repro.engine import job_record
+
+        submitted = queue.submit(SECOND_MANIFEST)
+        sub_id = submitted["id"]
+        # Live submission: never collected, however old.
+        assert queue.gc_completed(0.0) == []
+
+        leased = queue.lease("w1")
+        # Leased (running) job: still never collected.
+        assert queue.gc_completed(0.0) == []
+
+        job = job_from_doc(leased["job"])
+        [result] = CompilationEngine().run([job])
+        queue.complete(leased["id"], job_record(result, leased["index"]))
+        # Finished but fresh: survives a generous TTL.
+        assert queue.gc_completed(3600.0) == []
+        assert queue.submission_ids() == [sub_id]
+        # Finished and older than a zero TTL: collected.
+        assert queue.gc_completed(0.0) == [sub_id]
+        assert queue.submission_ids() == []
+        assert queue.counts() == {
+            "queued": 0,
+            "running": 0,
+            "done": 0,
+            "error": 0,
+        }
+
+    def test_gc_does_not_recycle_submission_ids(self, queue):
+        from repro.engine import job_record
+
+        first = queue.submit(SECOND_MANIFEST)
+        leased = queue.lease("w1")
+        job = job_from_doc(leased["job"])
+        [result] = CompilationEngine().run([job])
+        queue.complete(leased["id"], job_record(result, leased["index"]))
+        assert queue.gc_completed(0.0) == [first["id"]]
+        second = queue.submit(SECOND_MANIFEST)
+        # A recycled id would alias the collected submission for any
+        # client still holding the old handle.
+        assert second["id"] != first["id"]
+
+    def test_server_ttl_sweep_prunes_finished_submissions(
+        self, tmp_path
+    ):
+        # lease_seconds=0.4 makes the maintenance sweep run every
+        # ~0.1 s, so a zero TTL collects promptly after completion.
+        server = start_server(
+            tmp_path, workers=1, lease_seconds=0.4, completed_ttl=0.0
+        )
+        try:
             client = ServiceClient(server.address)
             client.wait_ready()
             submitted = client.submit(SECOND_MANIFEST)
-            records = list(
-                client.results(submitted["submission"], follow=True)
-            )
-            assert [r["status"] for r in records] == ["ok"]
+            doc = client.results_document(submitted["submission"])
+            assert doc["num_failed"] == 0
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if not server.queue.submission_ids():
+                    break
+                time.sleep(0.05)
+            assert server.queue.submission_ids() == []
+            with pytest.raises(ServiceError, match="unknown submission"):
+                list(client.results(submitted["submission"]))
         finally:
             server.stop(drain=False)
-        # The slow compile forces the stream through its idle loop at
-        # least once; the fallback timeout starts at the minimum and
-        # either doubles toward the cap or resets after progress.
-        assert recorded
-        assert recorded[0] == pytest.approx(RESULTS_POLL_MIN_S)
-        assert max(recorded) <= RESULTS_POLL_MAX_S
-        for previous, current in zip(recorded, recorded[1:]):
-            doubled = min(previous * 2.0, RESULTS_POLL_MAX_S)
-            assert current == pytest.approx(
-                doubled
-            ) or current == pytest.approx(RESULTS_POLL_MIN_S)
 
 
 class TestServiceCli:
