@@ -135,6 +135,7 @@ def _scenario_jobs(
     powermove_config: PowerMoveConfig | None,
     params: HardwareParams,
     validate: bool,
+    arch: str | None = None,
 ) -> list[CompileJob]:
     """One job per key; legacy scenario keys or registry backend names."""
     return [
@@ -148,6 +149,7 @@ def _scenario_jobs(
             params=params,
             validate=validate,
             backend=None if key in SCENARIOS else key,
+            arch=arch,
         )
         for key in scenarios
     ]
@@ -174,6 +176,7 @@ def run_scenarios(
     validate: bool = True,
     scenarios: tuple[str, ...] = SCENARIOS,
     engine: CompilationEngine | None = None,
+    arch: str | None = None,
 ) -> BenchmarkResult:
     """Compile ``circuit`` under every requested scenario and analyse it.
 
@@ -192,6 +195,8 @@ def run_scenarios(
             (``"atomique"``, ``"powermove-noreorder"``, ...).
         engine: Compilation engine to route through (a fresh serial,
             cache-less engine when omitted).
+        arch: Optional architecture-catalog entry name every scenario
+            compiles onto (see ``repro architectures``).
 
     Returns:
         The populated :class:`BenchmarkResult`.
@@ -205,6 +210,7 @@ def run_scenarios(
         powermove_config,
         params,
         validate,
+        arch,
     )
     effective_engine = engine or CompilationEngine()
     return _assemble(circuit, effective_engine.run(jobs))
@@ -220,6 +226,7 @@ def run_scenarios_batch(
     validate: bool = True,
     scenarios: tuple[str, ...] = SCENARIOS,
     engine: CompilationEngine | None = None,
+    arch: str | None = None,
 ) -> list[BenchmarkResult]:
     """Run many benchmarks' scenarios as one engine batch.
 
@@ -252,6 +259,7 @@ def run_scenarios_batch(
                 powermove_config,
                 params,
                 validate,
+                arch,
             )
         )
     effective_engine = engine or CompilationEngine()

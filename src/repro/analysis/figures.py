@@ -157,6 +157,7 @@ def figure7_series(
     validate: bool = True,
     engine: CompilationEngine | None = None,
     backend: str = "powermove",
+    arch: str | None = None,
 ) -> Figure7Series:
     """Reproduce Fig. 7: PowerMove with-storage under 1..4 AOD arrays.
 
@@ -165,7 +166,8 @@ def figure7_series(
     Pass ``backend`` to sweep a different registry backend (an ablation
     variant, ``"enola"``, ...) over the same AOD grid; backends whose
     config has no AOD knob are rejected -- the sweep would recompile
-    one identical program per grid point.
+    one identical program per grid point.  ``arch`` names an
+    architecture-catalog entry every point compiles onto.
     """
     if backend != "powermove":
         from dataclasses import fields as dataclass_fields
@@ -194,6 +196,7 @@ def figure7_series(
             params=params,
             validate=validate,
             backend=None if backend == "powermove" else backend,
+            arch=arch,
         )
         for key in keys
         for num_aods in aod_counts

@@ -134,6 +134,7 @@ def reproduce_table3(
     validate: bool = True,
     engine: CompilationEngine | None = None,
     backend: str = "powermove",
+    arch: str | None = None,
 ) -> Table3:
     """Run the Table 3 experiment over ``keys`` (all 23 rows by default).
 
@@ -147,6 +148,8 @@ def reproduce_table3(
         backend: Registry backend filling the "Ours (ws)" columns --
             swap in an ablation variant (``"powermove-noreorder"``, ...)
             to produce its Table 3 without touching compiler code.
+        arch: Optional architecture-catalog entry every scenario
+            compiles onto (see ``repro architectures``).
     """
     ws_key = "pm_with_storage" if backend == "powermove" else backend
     circuits = [SUITE[key].build(seed) for key in keys or PAPER_ORDER]
@@ -159,6 +162,7 @@ def reproduce_table3(
         validate=validate,
         engine=engine,
         scenarios=("enola", "pm_non_storage", ws_key),
+        arch=arch,
     )
     table = Table3()
     for result in results:

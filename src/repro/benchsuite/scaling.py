@@ -55,17 +55,24 @@ def run_scaling(
     backends: Sequence[str] = SCALING_BACKENDS,
     seed: int = 0,
     progress: Callable[[ScalingPoint], None] | None = None,
+    arch: str | None = None,
 ) -> list[ScalingPoint]:
     """Compile every (backend, size) rung and time it.
 
     Backends are resolved through the registry with their default
     configuration at the given seed; unknown names raise the registry's
     usual :class:`~repro.pipeline.registry.BackendError` before any
-    work starts.  ``progress`` is called after each rung (the big rungs
-    take a while; callers stream a line per rung).
+    work starts.  ``arch`` names an architecture-catalog entry every
+    rung targets instead of the backend default floor plan.
+    ``progress`` is called after each rung (the big rungs take a while;
+    callers stream a line per rung).
     """
     for backend in backends:
         get_backend(backend)  # validate eagerly
+    if arch is not None:
+        from ..hardware.catalog import ARCHITECTURES
+
+        ARCHITECTURES.get(arch)  # validate eagerly
     points: list[ScalingPoint] = []
     for num_qubits in sizes:
         circuit = scaling_workload(num_qubits, seed)
@@ -74,7 +81,7 @@ def run_scaling(
             config = spec.effective_config(None, seed, 1)
             compiler = create_compiler(backend, config)
             start = time.perf_counter()
-            result = compiler.compile(circuit)
+            result = compiler.compile(circuit, arch=arch)
             elapsed = time.perf_counter() - start
             point = ScalingPoint(
                 backend=backend,

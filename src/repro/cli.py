@@ -309,7 +309,8 @@ def _cmd_bench_scaling(args: argparse.Namespace) -> int:
         f"sizes={list(sizes)}, backends={list(backends)}"
     )
     points = run_scaling(sizes=sizes, backends=backends,
-                         seed=args.seed, progress=progress)
+                         seed=args.seed, progress=progress,
+                         arch=args.arch)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(scaling_doc(points), handle, indent=2, sort_keys=True)
@@ -343,6 +344,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         enola_config=enola_cfg,
         engine=_make_engine(args),
         scenarios=tuple(args.backend) if args.backend else SCENARIOS,
+        arch=args.arch,
     )
     if args.backend:
         print(f"benchmark {args.key} ({spec.num_qubits} qubits)")
@@ -394,14 +396,34 @@ def _cmd_table3(args: argparse.Namespace) -> int:
         enola_config=enola_cfg,
         engine=_make_engine(args),
         backend=args.backend,
+        arch=args.arch,
     )
     print(table.render())
     return 0
 
 
-def _cmd_backends(_args: argparse.Namespace) -> int:
+def _cmd_backends(args: argparse.Namespace) -> int:
     from .pipeline import REGISTRY
 
+    if args.json:
+        doc = [
+            {
+                "name": spec.name,
+                "description": spec.description,
+                "config": spec.config_cls.__name__,
+                "config_knobs": {
+                    name: repr(value)
+                    for name, value in spec.config_knobs.items()
+                },
+                "passes": list(spec.pipeline.pass_names),
+                "preserves_gate_stream": spec.preserves_gate_stream,
+                "strategies": dict(spec.strategies or {}),
+                "strategy_axes": dict(spec.strategy_axes or {}),
+            }
+            for spec in REGISTRY
+        ]
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
     for spec in REGISTRY:
         print(f"{spec.name}")
         print(f"  {spec.description}")
@@ -410,6 +432,52 @@ def _cmd_backends(_args: argparse.Namespace) -> int:
         )
         print(f"  config {spec.config_cls.__name__}: {knobs}")
         print(f"  passes: {' -> '.join(spec.pipeline.pass_names)}")
+        if spec.strategy_axes:
+            axes = ", ".join(
+                f"{axis}={name}"
+                for axis, name in sorted(spec.strategy_axes.items())
+            )
+            print(f"  strategies: {axes}")
+    return 0
+
+
+def _cmd_architectures(args: argparse.Namespace) -> int:
+    from .hardware.catalog import ARCHITECTURES
+    from .hardware.params import DEFAULT_PARAMS
+
+    # Catalog entries are factories; size each at a reference workload so
+    # the listing shows a concrete floor plan.
+    example_qubits = args.qubits
+    if args.json:
+        doc = []
+        for spec in ARCHITECTURES:
+            machine = spec.build(example_qubits, 1, DEFAULT_PARAMS)
+            doc.append(
+                {
+                    "name": spec.name,
+                    "description": spec.description,
+                    "example_qubits": example_qubits,
+                    "compute_shape": list(machine.compute_shape),
+                    "storage_shape": list(machine.storage_shape),
+                    "has_storage": machine.has_storage,
+                    "num_aods": machine.num_aods,
+                    "num_sites": machine.num_sites,
+                }
+            )
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    for spec in ARCHITECTURES:
+        machine = spec.build(example_qubits, 1, DEFAULT_PARAMS)
+        ccols, crows = machine.compute_shape
+        scols, srows = machine.storage_shape
+        storage = f"{scols}x{srows}" if machine.has_storage else "none"
+        print(f"{spec.name}")
+        print(f"  {spec.description}")
+        print(
+            f"  at {example_qubits} qubits: compute {ccols}x{crows}, "
+            f"storage {storage}, AODs {machine.num_aods}, "
+            f"{machine.num_sites} sites"
+        )
     return 0
 
 
@@ -519,6 +587,11 @@ def _cmd_cache_serve(args: argparse.Namespace) -> int:
 def _cmd_batch(args: argparse.Namespace) -> int:
     try:
         manifest_doc = read_manifest(args.manifest)
+        if args.arch is not None:
+            # Fold the override into the manifest document itself (not
+            # just the parsed jobs) so manifest_digest -- and therefore
+            # shard-merge compatibility checks -- see the same work.
+            manifest_doc.setdefault("defaults", {})["arch"] = args.arch
         jobs = parse_manifest(manifest_doc)
     except ManifestError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -987,6 +1060,7 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=_make_engine(args),
         backend=args.backend,
+        arch=args.arch,
     )
     print(series.render())
     return 0
@@ -1055,6 +1129,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--aods", type=int, default=1)
     p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument(
+        "--arch",
+        default=None,
+        metavar="NAME",
+        help="architecture-catalog entry to compile onto (see "
+        "'repro architectures'; applies to --scaling rungs too)",
+    )
     p_bench.add_argument("--mis-restarts", type=int, default=5)
     p_bench.add_argument("--sa-iterations", type=int, default=150)
     p_bench.add_argument(
@@ -1103,6 +1184,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="compile only the I-th of N deterministic round-robin "
         "manifest slices (1-based); combine the outputs with "
         "'repro merge'",
+    )
+    p_batch.add_argument(
+        "--arch",
+        default=None,
+        metavar="NAME",
+        help="architecture-catalog default folded into the manifest's "
+        "defaults block (per-job 'arch' entries still win); affects "
+        "the manifest digest, so give every shard the same value",
     )
     _add_engine_options(p_batch)
     p_batch.set_defaults(func=_cmd_batch)
@@ -1397,13 +1486,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="registry backend for the 'Ours (ws)' columns "
         "(default: powermove)",
     )
+    p_table3.add_argument(
+        "--arch",
+        default=None,
+        metavar="NAME",
+        help="architecture-catalog entry every scenario compiles onto "
+        "(see 'repro architectures')",
+    )
     _add_engine_options(p_table3)
     p_table3.set_defaults(func=_cmd_table3)
 
     p_backends = sub.add_parser(
         "backends", help="list registered compiler backends"
     )
+    p_backends.add_argument(
+        "--json",
+        action="store_true",
+        help="print the registry as a JSON document (name, knobs, "
+        "passes, strategy axes)",
+    )
     p_backends.set_defaults(func=_cmd_backends)
+
+    p_arch = sub.add_parser(
+        "architectures", help="list the named architecture catalog"
+    )
+    p_arch.add_argument(
+        "--json",
+        action="store_true",
+        help="print the catalog as a JSON document",
+    )
+    p_arch.add_argument(
+        "--qubits",
+        type=int,
+        default=64,
+        metavar="N",
+        help="reference workload size the example floor plans are "
+        "built at (default 64)",
+    )
+    p_arch.set_defaults(func=_cmd_architectures)
 
     p_cache = sub.add_parser(
         "cache",
@@ -1500,6 +1620,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="registry backend swept over the AOD grid "
         "(default: powermove)",
+    )
+    p_fig7.add_argument(
+        "--arch",
+        default=None,
+        metavar="NAME",
+        help="architecture-catalog entry every grid point compiles "
+        "onto (see 'repro architectures')",
     )
     _add_engine_options(p_fig7)
     p_fig7.set_defaults(func=_cmd_fig7)

@@ -221,6 +221,39 @@ def order_stages(stages: list[Stage], alpha: float = 0.5) -> list[Stage]:
     return ordered
 
 
+def order_stages_reuse(stages: list[Stage]) -> list[Stage]:
+    """Reuse-aware ordering: maximise qubit overlap between neighbours.
+
+    The mirror image of :func:`order_stages`: instead of minimising the
+    number of qubits *changing* between consecutive stages, greedily
+    maximise the number *shared* -- qubits already parked in the
+    computation zone get reused by the next stage, in the spirit of the
+    atom-reuse schedulers of Lin/Tan/Cong (arXiv:2411.11784).  The first
+    stage is the one touching the most qubits (ties: lowest colour);
+    each next stage has the largest interacting-qubit overlap with the
+    current one (ties: lowest colour).  Deterministic, no randomness.
+    """
+    if len(stages) <= 1:
+        return list(stages)
+    remaining = list(stages)
+    qubit_sets = {id(s): s.interacting_qubits() for s in remaining}
+    first = max(
+        remaining, key=lambda s: (len(qubit_sets[id(s)]), -s.color)
+    )
+    ordered = [first]
+    remaining.remove(first)
+    current = qubit_sets[id(first)]
+    while remaining:
+        nxt = max(
+            remaining,
+            key=lambda s: (len(current & qubit_sets[id(s)]), -s.color),
+        )
+        ordered.append(nxt)
+        remaining.remove(nxt)
+        current = qubit_sets[id(nxt)]
+    return ordered
+
+
 def schedule_block(
     block: CZBlock,
     alpha: float = 0.5,
@@ -237,6 +270,7 @@ def schedule_block(
 __all__ = [
     "Stage",
     "order_stages",
+    "order_stages_reuse",
     "partition_stages",
     "schedule_block",
     "transition_cost",

@@ -40,6 +40,7 @@ from .engine import (
     ProgressEvent,
 )
 from .jobs import (
+    AUTO_BACKEND,
     SCENARIO_BACKENDS,
     SCENARIOS,
     CompileJob,
@@ -49,6 +50,7 @@ from .jobs import (
     job_compiler,
     job_from_doc,
     job_to_doc,
+    resolve_backend,
 )
 from .passmemo import (
     PASS_MEMO_SCHEMA_VERSION,
@@ -77,6 +79,7 @@ from .shard import (
 )
 
 __all__ = [
+    "AUTO_BACKEND",
     "BATCH_RESULTS_FORMAT",
     "BATCH_RESULTS_VERSION",
     "CACHE_SCHEMA_VERSION",
@@ -125,6 +128,7 @@ __all__ = [
     "parse_cache_spec",
     "parse_manifest",
     "read_manifest",
+    "resolve_backend",
     "results_doc",
     "results_doc_from_records",
     "strip_timing",

@@ -45,24 +45,35 @@ except ImportError:  # pragma: no cover - non-POSIX
     fcntl = None  # type: ignore[assignment]
 
 from ..schedule.serialize import FORMAT_VERSION
-from .jobs import CompileJob, effective_config
+from .jobs import AUTO_BACKEND, CompileJob, effective_config, resolve_backend
 
 #: Bump to invalidate every existing cache entry (key derivation or
 #: artifact layout change).  v2: the backend registry name joined the
-#: key payload and artifacts carry per-pass timings.
-CACHE_SCHEMA_VERSION = 2
+#: key payload and artifacts carry per-pass timings.  v3: the
+#: architecture-catalog name and strategy-axis selections joined the
+#: key payload.
+CACHE_SCHEMA_VERSION = 3
 
 
 def job_cache_key(job: CompileJob, circuit_digest: str | None = None) -> str:
     """Stable hex cache key of a job.
+
+    An ``auto`` job is resolved to its concrete backend first (a pure
+    function of the circuit and architecture), so it shares its key --
+    and therefore its cache entry -- with the equivalent
+    explicitly-named job.
 
     Args:
         job: The compilation request.
         circuit_digest: Pre-computed :meth:`Circuit.digest` of the job's
             resolved circuit (resolved here when omitted).
     """
+    circuit = None
     if circuit_digest is None:
-        circuit_digest = job.resolve_circuit().digest()
+        circuit = job.resolve_circuit()
+        circuit_digest = circuit.digest()
+    if job.backend == AUTO_BACKEND:
+        job = resolve_backend(job, circuit)
     config = effective_config(job)
     payload = json.dumps(
         {
@@ -75,6 +86,8 @@ def job_cache_key(job: CompileJob, circuit_digest: str | None = None) -> str:
             "params": asdict(job.params),
             "num_aods": job.num_aods,
             "seed": job.seed,
+            "arch": job.arch,
+            "strategies": job.strategies_map,
         },
         separators=(",", ":"),
         sort_keys=True,

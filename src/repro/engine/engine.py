@@ -61,7 +61,12 @@ from ..schedule.serialize import program_from_dict
 from ..schedule.validator import validate_program
 from .cache import ProgramCache, job_cache_key
 from .cachestore import make_cache
-from .jobs import CompileJob, execute_job_on_circuit
+from .jobs import (
+    AUTO_BACKEND,
+    CompileJob,
+    execute_job_on_circuit,
+    resolve_backend,
+)
 
 #: Valid ``on_error`` policies.
 ERROR_POLICIES = ("raise", "collect")
@@ -154,7 +159,9 @@ class JobResult:
             ``"pass_timings"`` (per-pass compile seconds from the
             artifact) and, on cache hits, ``"cache_tier"`` -- the
             tier that served the hit (``"memory"`` / ``"disk"`` /
-            ``"remote"``, or the backend kind for plain caches).
+            ``"remote"``, or the backend kind for plain caches); on
+            ``backend="auto"`` jobs, ``"auto_backend"`` -- the concrete
+            backend the cost model chose (``job`` is the resolved job).
             Volatile by definition: never part of result records.
     """
 
@@ -300,6 +307,7 @@ class CompilationEngine:
         pending: list[tuple[int, CompileJob, Any, str]] = []
 
         resolved: dict[tuple[str, int], Any] = {}
+        auto_choices: dict[int, str] = {}
         for index, job in enumerate(batch):
             if job.circuit is not None:
                 circuit = job.circuit
@@ -309,6 +317,12 @@ class CompilationEngine:
                 if circuit is None:
                     circuit = job.resolve_circuit()
                     resolved[workload] = circuit
+            if job.backend == AUTO_BACKEND:
+                # Resolve the cost-model choice once, here: downstream
+                # (cache key, worker, records) sees the concrete
+                # backend, and the choice is surfaced in result stats.
+                job = resolve_backend(job, circuit)
+                auto_choices[index] = job.backend_name
             key = job_cache_key(job, circuit.digest())
             doc = self.cache.get(key)
             if doc is not None:
@@ -328,12 +342,17 @@ class CompilationEngine:
                         index, total, job, key, exc
                     )
                     continue
+                if index in auto_choices:
+                    result.stats["auto_backend"] = auto_choices[index]
                 self._emit(index, total, job, True, doc["compile_time"])
                 yield result
             else:
                 pending.append((index, job, circuit, key))
 
-        yield from self._compile_pending(pending, total, policy)
+        for result in self._compile_pending(pending, total, policy):
+            if result.index in auto_choices and result.ok:
+                result.stats["auto_backend"] = auto_choices[result.index]
+            yield result
 
     # ------------------------------------------------------------------
 

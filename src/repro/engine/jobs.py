@@ -20,16 +20,19 @@ resolved through the backend registry.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
-from typing import Any
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Mapping
 
 from ..baselines.atomique import AtomiqueConfig
 from ..baselines.enola import EnolaConfig
 from ..benchsuite.suite import get_benchmark
 from ..circuits.circuit import Circuit
 from ..core.config import PowerMoveConfig
+from ..hardware.catalog import ARCHITECTURES
 from ..hardware.params import DEFAULT_PARAMS, HardwareParams
+from ..pipeline.costmodel import AUTO_BACKEND, choose_backend
 from ..pipeline.registry import REGISTRY, PipelineCompiler
+from ..pipeline.strategies import validate_strategies
 from ..schedule.serialize import program_to_dict
 from ..schedule.validator import validate_program
 
@@ -73,8 +76,21 @@ class CompileJob:
         params: Hardware constants.
         validate: Run the structural validator on the compiled program.
         backend: A :mod:`repro.pipeline` registry name; the modern
-            alternative to ``scenario``.
+            alternative to ``scenario``.  The pseudo-name ``"auto"``
+            defers the choice to the pre-compile cost model
+            (:func:`repro.pipeline.costmodel.choose_backend`); such a
+            job is resolved to a concrete backend -- deterministically,
+            from the circuit and architecture alone -- before any
+            compilation or cache lookup (see :func:`resolve_backend`).
         atomique_config: Override the Atomique backend's knobs.
+        arch: Optional architecture-catalog entry name
+            (:data:`repro.hardware.catalog.ARCHITECTURES`) the backend
+            compiles onto instead of its default floor plan.
+        strategies: Optional axis -> entry strategy overrides
+            (:data:`repro.pipeline.strategies.STRATEGY_AXES`), given as
+            a mapping or pair iterable; normalised to a sorted tuple of
+            pairs so jobs stay hashable.  Both ``arch`` and
+            ``strategies`` enter the compilation cache key.
     """
 
     scenario: str | None = None
@@ -88,6 +104,8 @@ class CompileJob:
     validate: bool = True
     backend: str | None = None
     atomique_config: AtomiqueConfig | None = None
+    arch: str | None = None
+    strategies: Any = None
 
     def __post_init__(self) -> None:
         if (self.scenario is None) == (self.backend is None):
@@ -96,10 +114,14 @@ class CompileJob:
             )
         if self.scenario is not None and self.scenario not in SCENARIOS:
             raise ValueError(f"unknown scenario {self.scenario!r}")
-        if self.backend is not None and self.backend not in REGISTRY:
+        if (
+            self.backend is not None
+            and self.backend != AUTO_BACKEND
+            and self.backend not in REGISTRY
+        ):
             raise ValueError(
                 f"unknown backend {self.backend!r}; "
-                f"known: {', '.join(REGISTRY.names())}"
+                f"known: {AUTO_BACKEND}, {', '.join(REGISTRY.names())}"
             )
         if (self.benchmark is None) == (self.circuit is None):
             raise JobError(
@@ -107,6 +129,24 @@ class CompileJob:
             )
         if self.num_aods < 1:
             raise JobError("need at least one AOD array")
+        if self.arch is not None and self.arch not in ARCHITECTURES:
+            raise JobError(
+                f"unknown architecture {self.arch!r}; "
+                f"known: {', '.join(ARCHITECTURES.names())}"
+            )
+        if self.strategies is not None:
+            items = (
+                self.strategies.items()
+                if isinstance(self.strategies, Mapping)
+                else self.strategies
+            )
+            normalised = tuple(
+                sorted((str(axis), str(name)) for axis, name in items)
+            )
+            validate_strategies(dict(normalised))
+            object.__setattr__(
+                self, "strategies", normalised if normalised else None
+            )
 
     @property
     def backend_name(self) -> str:
@@ -128,12 +168,20 @@ class CompileJob:
         return self.circuit.name
 
     @property
+    def strategies_map(self) -> dict[str, str]:
+        """The strategy overrides as a plain axis -> entry dict."""
+        return dict(self.strategies or ())
+
+    @property
     def label(self) -> str:
         """Human-readable job identity for progress lines and errors."""
-        return (
+        label = (
             f"{self.workload_name}:{self.scenario_key}"
             f":aods{self.num_aods}:seed{self.seed}"
         )
+        if self.arch is not None:
+            label += f":arch-{self.arch}"
+        return label
 
     def identity(self) -> dict[str, Any]:
         """The job's identity fields, as reported in result records.
@@ -141,19 +189,52 @@ class CompileJob:
         This is the stable (workload, compiler, seed, AODs) quadruple
         used by batch result documents, streaming NDJSON lines and
         failure payloads -- one definition so they never drift apart.
+        ``arch`` and ``strategies`` appear only when set, keeping
+        historical records byte-identical.
         """
-        return {
+        doc: dict[str, Any] = {
             "benchmark": self.workload_name,
             "scenario": self.scenario_key,
             "seed": self.seed,
             "num_aods": self.num_aods,
         }
+        if self.arch is not None:
+            doc["arch"] = self.arch
+        if self.strategies:
+            doc["strategies"] = self.strategies_map
+        return doc
 
     def resolve_circuit(self) -> Circuit:
         """The workload circuit (built from the suite when keyed)."""
         if self.circuit is not None:
             return self.circuit
         return get_benchmark(self.benchmark).build(self.seed)
+
+
+def resolve_backend(
+    job: CompileJob, circuit: Circuit | None = None
+) -> CompileJob:
+    """Resolve an ``auto`` job to a concrete backend; others pass through.
+
+    The choice is the cost model's
+    (:func:`repro.pipeline.costmodel.choose_backend`): a pure function
+    of the circuit, the job's architecture, AOD count and hardware
+    constants -- so the same ``auto`` job resolves identically in every
+    process, and its cache key equals the explicitly-named job's.
+
+    Args:
+        job: Any job; returned unchanged unless ``backend == "auto"``.
+        circuit: The job's resolved circuit, when the caller already
+            has it (resolved here otherwise).
+    """
+    if job.backend != AUTO_BACKEND:
+        return job
+    if circuit is None:
+        circuit = job.resolve_circuit()
+    chosen = choose_backend(
+        circuit, arch=job.arch, num_aods=job.num_aods, params=job.params
+    )
+    return replace(job, backend=chosen)
 
 
 def effective_config(
@@ -164,8 +245,10 @@ def effective_config(
     Resolved through the backend registry, preserving the historical
     ``run_scenarios`` rules: a given Enola config is used verbatim,
     while PowerMove overrides always have ``use_storage``, ``num_aods``
-    and ``seed`` (plus any ablation field) forced per backend.
+    and ``seed`` (plus any ablation field) forced per backend.  An
+    ``auto`` job is resolved to its concrete backend first.
     """
+    job = resolve_backend(job)
     spec = REGISTRY.get(job.backend_name)
     overrides = {
         EnolaConfig: job.enola_config,
@@ -178,6 +261,7 @@ def effective_config(
 
 def job_compiler(job: CompileJob) -> PipelineCompiler:
     """The registry compiler a job resolves to (with effective config)."""
+    job = resolve_backend(job)
     return REGISTRY.create(
         job.backend_name, effective_config(job), job.params
     )
@@ -208,6 +292,10 @@ def job_to_doc(job: CompileJob) -> dict[str, Any]:
         doc["scenario"] = job.scenario
     if job.backend is not None:
         doc["backend"] = job.backend
+    if job.arch is not None:
+        doc["arch"] = job.arch
+    if job.strategies:
+        doc["strategies"] = job.strategies_map
     if job.enola_config is not None:
         doc["enola"] = asdict(job.enola_config)
     if job.powermove_config is not None:
@@ -249,6 +337,8 @@ def job_from_doc(doc: dict[str, Any]) -> CompileJob:
                 if "atomique" in doc
                 else None
             ),
+            arch=doc.get("arch"),
+            strategies=doc.get("strategies"),
         )
     except KeyError as exc:
         raise JobError(f"job document missing field {exc}") from exc
@@ -268,7 +358,10 @@ def execute_job_on_circuit(
          "validated": <bool>,
          "pass_timings": <pass name -> seconds>}
     """
-    compilation = job_compiler(job).compile(circuit)
+    job = resolve_backend(job, circuit)
+    compilation = job_compiler(job).compile(
+        circuit, arch=job.arch, strategies=job.strategies_map
+    )
     if job.validate:
         spec = REGISTRY.get(job.backend_name)
         validate_program(
@@ -293,6 +386,7 @@ def execute_job(job: CompileJob) -> dict[str, Any]:
 
 
 __all__ = [
+    "AUTO_BACKEND",
     "CompileJob",
     "JobError",
     "SCENARIOS",
@@ -303,4 +397,5 @@ __all__ = [
     "job_compiler",
     "job_from_doc",
     "job_to_doc",
+    "resolve_backend",
 ]

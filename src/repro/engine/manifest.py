@@ -19,8 +19,13 @@ entry names a Table 2 benchmark (``"*"`` expands to the whole suite) and
 selects its compilers either through the legacy ``scenario``/
 ``scenarios`` keys or through ``backend``/``backends`` registry names
 (see ``repro backends``); entries may also override ``seed``,
-``num_aods``, ``validate`` and the ``enola``/``powermove``/``atomique``
-compiler knobs (flat dicts of config fields).  Defaults apply to every
+``num_aods``, ``validate``, the ``enola``/``powermove``/``atomique``
+compiler knobs (flat dicts of config fields), an architecture-catalog
+``arch`` name (see ``repro architectures``) and a ``strategies``
+axis -> entry object selecting placement / stage-selection / routing
+strategies (see ``docs/strategies.md``).  The pseudo-backend
+``"auto"`` is accepted in ``backend``/``backends`` and defers the
+choice to the pre-compile cost model.  Defaults apply to every
 entry that does not override them; the built-in default (no scenario or
 backend anywhere) remains all three legacy scenarios, and manifests
 written before the backend registry existed parse unchanged.
@@ -47,8 +52,10 @@ from ..baselines.atomique import AtomiqueConfig
 from ..baselines.enola import EnolaConfig
 from ..benchsuite.suite import PAPER_ORDER, SUITE
 from ..core.config import PowerMoveConfig
+from ..hardware.catalog import ARCHITECTURES
 from ..pipeline.registry import REGISTRY
-from .jobs import SCENARIOS, CompileJob
+from ..pipeline.strategies import STRATEGY_AXES
+from .jobs import AUTO_BACKEND, SCENARIOS, CompileJob
 
 _ENTRY_KEYS = frozenset(
     {
@@ -63,6 +70,8 @@ _ENTRY_KEYS = frozenset(
         "enola",
         "powermove",
         "atomique",
+        "arch",
+        "strategies",
     }
 )
 
@@ -112,10 +121,11 @@ def _entry_compilers(
         if isinstance(backends, str) or not isinstance(backends, list):
             raise ManifestError(f"{where}: 'backends' must be a list")
         for backend in backends:
-            if backend not in REGISTRY:
+            if backend != AUTO_BACKEND and backend not in REGISTRY:
                 raise ManifestError(
                     f"{where}: unknown backend {backend!r}; "
-                    f"known: {', '.join(REGISTRY.names())}"
+                    f"known: {AUTO_BACKEND}, "
+                    f"{', '.join(REGISTRY.names())}"
                 )
         return [(None, backend) for backend in backends]
 
@@ -136,6 +146,45 @@ def _entry_int(entry: dict, defaults: dict, field: str, fallback: int,
     if isinstance(value, bool) or not isinstance(value, int):
         raise ManifestError(f"{where}: {field!r} must be an integer")
     return value
+
+
+def _entry_arch(entry: dict, defaults: dict, where: str) -> str | None:
+    arch = entry.get("arch", defaults.get("arch"))
+    if arch is None:
+        return None
+    if not isinstance(arch, str):
+        raise ManifestError(f"{where}: 'arch' must be a string")
+    if arch not in ARCHITECTURES:
+        raise ManifestError(
+            f"{where}: unknown architecture {arch!r}; "
+            f"known: {', '.join(ARCHITECTURES.names())}"
+        )
+    return arch
+
+
+def _entry_strategies(
+    entry: dict, defaults: dict, where: str
+) -> dict[str, str] | None:
+    doc = entry.get("strategies", defaults.get("strategies"))
+    if doc is None:
+        return None
+    if not isinstance(doc, dict):
+        raise ManifestError(
+            f"{where}: 'strategies' must be an axis -> entry object"
+        )
+    for axis, name in doc.items():
+        registry = STRATEGY_AXES.get(axis)
+        if registry is None:
+            raise ManifestError(
+                f"{where}: unknown strategy axis {axis!r}; "
+                f"known: {', '.join(STRATEGY_AXES)}"
+            )
+        if not isinstance(name, str) or name not in registry:
+            raise ManifestError(
+                f"{where}: unknown {axis} strategy {name!r}; "
+                f"known: {', '.join(registry.names())}"
+            )
+    return dict(doc)
 
 
 def _entry_config(entry: dict, defaults: dict, field: str, cls, where: str):
@@ -219,6 +268,8 @@ def parse_manifest(doc: Any) -> list[CompileJob]:
         atomique_config = _entry_config(
             entry, defaults, "atomique", AtomiqueConfig, where
         )
+        arch = _entry_arch(entry, defaults, where)
+        strategies = _entry_strategies(entry, defaults, where)
         for key in keys:
             for scenario, backend in compilers:
                 jobs.append(
@@ -232,6 +283,8 @@ def parse_manifest(doc: Any) -> list[CompileJob]:
                         validate=validate,
                         backend=backend,
                         atomique_config=atomique_config,
+                        arch=arch,
+                        strategies=strategies,
                     )
                 )
     return jobs

@@ -43,7 +43,9 @@ from ..pipeline.context import CompileContext
 
 #: Bump to invalidate every existing pass snapshot (key derivation or
 #: snapshot layout change).
-PASS_MEMO_SCHEMA_VERSION = 1
+#: v2: base payload gained the architecture-catalog name and the
+#: strategy-axis selections (both change every pass's output).
+PASS_MEMO_SCHEMA_VERSION = 2
 
 #: Context fields a pass may produce; the snapshot payload.
 SNAPSHOT_FIELDS = (
@@ -80,6 +82,8 @@ def pass_chain_keys(pipeline: Pipeline, ctx: CompileContext) -> list[str]:
         "config_kind": type(ctx.config).__name__,
         "config": asdict(ctx.config),
         "params": asdict(ctx.params),
+        "arch": ctx.arch_name,
+        "strategies": dict(ctx.strategies),
     }
     keys: list[str] = []
     parent = ""

@@ -128,6 +128,8 @@ def job_record(result: JobResult, index: int) -> dict[str, Any]:
         "cache_hit": result.cache_hit,
         "compile_time_s": result.compile_time,
     }
+    if result.stats.get("auto_backend"):
+        record["auto_backend"] = result.stats["auto_backend"]
     if result.attempts > 1:
         # Retry bookkeeping (schema v2 compatible: absent on the
         # common single-attempt path, and strip_timing drops it).

@@ -1,5 +1,14 @@
 """Neutral-atom hardware model: parameters, geometry, layouts, movements."""
 
+from .catalog import (
+    ARCHITECTURES,
+    ArchitectureCatalog,
+    ArchitectureError,
+    ArchitectureSpec,
+    available_architectures,
+    build_architecture,
+    get_architecture,
+)
 from .geometry import Site, Zone, ZonedArchitecture
 from .kinematics import (
     BangBangProfile,
@@ -14,6 +23,10 @@ from .moves import CollMove, Move, group_moves, moves_conflict
 from .params import DEFAULT_PARAMS, UM, US, HardwareParams
 
 __all__ = [
+    "ARCHITECTURES",
+    "ArchitectureCatalog",
+    "ArchitectureError",
+    "ArchitectureSpec",
     "BangBangProfile",
     "CollMove",
     "DEFAULT_PARAMS",
@@ -28,8 +41,10 @@ __all__ = [
     "US",
     "Zone",
     "ZonedArchitecture",
+    "available_architectures",
+    "build_architecture",
     "coll_move_waveforms",
-    "group_moves",
+    "get_architecture",
     "move_waveform",
     "moves_conflict",
     "sample_profile",

@@ -1,0 +1,215 @@
+"""Named architecture catalog: floor-plan factories resolvable by name.
+
+Everywhere a backend name is accepted -- :class:`~repro.engine.jobs.CompileJob`,
+batch manifests, the ``--arch`` CLI option -- an *architecture* name can
+now be given too.  Each catalog entry is an :class:`ArchitectureSpec`: a
+name, a one-line description and a ``build(num_qubits, num_aods, params)``
+factory returning the :class:`~repro.hardware.geometry.ZonedArchitecture`
+sized for the workload.
+
+The default entry, ``paper``, is exactly
+:meth:`ZonedArchitecture.for_qubits` with storage -- the paper's Sec. 7.1
+floor plan -- so a job without an ``arch`` field compiles bit-identically
+to the historical path (the architecture pass only consults the catalog
+when a name is set).
+
+Listing and lookup mirror :class:`~repro.pipeline.registry.BackendRegistry`
+(``repro architectures`` renders the catalog the way ``repro backends``
+renders the registry).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from .geometry import ZonedArchitecture
+from .params import DEFAULT_PARAMS, HardwareParams
+
+
+class ArchitectureError(ValueError):
+    """Raised on unknown architecture names or bad catalog usage."""
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """One named floor-plan family.
+
+    Attributes:
+        name: Catalog key (``paper``, ``no-storage``, ...).
+        description: One-line summary for ``repro architectures``.
+        build: ``(num_qubits, num_aods, params) -> ZonedArchitecture``
+            factory sizing the machine for a workload.
+    """
+
+    name: str
+    description: str
+    build: Callable[[int, int, HardwareParams], ZonedArchitecture]
+
+
+class ArchitectureCatalog:
+    """Name -> :class:`ArchitectureSpec` mapping with registration order."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, ArchitectureSpec] = {}
+
+    def register(
+        self, spec: ArchitectureSpec, replace: bool = False
+    ) -> None:
+        """Add an entry; re-registration requires ``replace=True``."""
+        if spec.name in self._specs and not replace:
+            raise ArchitectureError(
+                f"architecture {spec.name!r} already registered"
+            )
+        self._specs[spec.name] = spec
+
+    def get(self, name: str) -> ArchitectureSpec:
+        """Look up an entry; unknown names raise :class:`ArchitectureError`."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            known = ", ".join(self._specs)
+            raise ArchitectureError(
+                f"unknown architecture {name!r}; known: {known}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        """Registered names, in registration order."""
+        return tuple(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[ArchitectureSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+def _side(num_qubits: int) -> int:
+    """``ceil(sqrt(n))`` -- the paper's computation-zone edge length."""
+    if num_qubits <= 0:
+        raise ArchitectureError("need at least one qubit")
+    side = math.isqrt(num_qubits)
+    if side * side < num_qubits:
+        side += 1
+    return side
+
+
+def _paper(
+    num_qubits: int, num_aods: int, params: HardwareParams
+) -> ZonedArchitecture:
+    return ZonedArchitecture.for_qubits(
+        num_qubits, with_storage=True, num_aods=num_aods, params=params
+    )
+
+
+def _no_storage(
+    num_qubits: int, num_aods: int, params: HardwareParams
+) -> ZonedArchitecture:
+    return ZonedArchitecture.for_qubits(
+        num_qubits, with_storage=False, num_aods=num_aods, params=params
+    )
+
+
+def _wide_storage(
+    num_qubits: int, num_aods: int, params: HardwareParams
+) -> ZonedArchitecture:
+    side = _side(num_qubits)
+    return ZonedArchitecture(
+        side, side, 2 * side, 2 * side, num_aods, params
+    )
+
+
+def _multi_aod(
+    num_qubits: int, num_aods: int, params: HardwareParams
+) -> ZonedArchitecture:
+    return ZonedArchitecture.for_qubits(
+        num_qubits,
+        with_storage=True,
+        num_aods=max(num_aods, 4),
+        params=params,
+    )
+
+
+#: The process-wide default catalog.
+ARCHITECTURES = ArchitectureCatalog()
+
+
+def _register_defaults(catalog: ArchitectureCatalog) -> None:
+    catalog.register(
+        ArchitectureSpec(
+            name="paper",
+            description=(
+                "Paper Sec. 7.1 default: ceil(sqrt(n))-square compute "
+                "zone plus a same-width, double-height storage zone"
+            ),
+            build=_paper,
+        )
+    )
+    catalog.register(
+        ArchitectureSpec(
+            name="no-storage",
+            description=(
+                "Computation zone only (the machines Enola/Atomique "
+                "target); storage-requiring backends are infeasible"
+            ),
+            build=_no_storage,
+        )
+    )
+    catalog.register(
+        ArchitectureSpec(
+            name="wide-storage",
+            description=(
+                "Storage zone twice as wide as the compute zone (4x the "
+                "paper's storage capacity)"
+            ),
+            build=_wide_storage,
+        )
+    )
+    catalog.register(
+        ArchitectureSpec(
+            name="multi-aod",
+            description=(
+                "Paper floor plan with at least four independently "
+                "steerable AOD arrays"
+            ),
+            build=_multi_aod,
+        )
+    )
+
+
+_register_defaults(ARCHITECTURES)
+
+
+def get_architecture(name: str) -> ArchitectureSpec:
+    """Look up ``name`` in the default catalog."""
+    return ARCHITECTURES.get(name)
+
+
+def available_architectures() -> tuple[str, ...]:
+    """Names registered in the default catalog, in registration order."""
+    return ARCHITECTURES.names()
+
+
+def build_architecture(
+    name: str,
+    num_qubits: int,
+    num_aods: int = 1,
+    params: HardwareParams = DEFAULT_PARAMS,
+) -> ZonedArchitecture:
+    """Build the named floor plan sized for ``num_qubits``."""
+    return ARCHITECTURES.get(name).build(num_qubits, num_aods, params)
+
+
+__all__ = [
+    "ARCHITECTURES",
+    "ArchitectureCatalog",
+    "ArchitectureError",
+    "ArchitectureSpec",
+    "available_architectures",
+    "build_architecture",
+    "get_architecture",
+]

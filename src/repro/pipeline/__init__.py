@@ -25,6 +25,14 @@ from .powermove_passes import (
     ContinuousRoutePass,
     StageSchedulePass,
 )
+from .costmodel import (
+    AUTO_BACKEND,
+    AUTO_CANDIDATES,
+    CostEstimate,
+    choose_backend,
+    estimate_cost,
+    rank_backends,
+)
 from .registry import (
     REGISTRY,
     BackendError,
@@ -35,10 +43,24 @@ from .registry import (
     create_compiler,
     get_backend,
 )
+from .strategies import (
+    PLACEMENT_STRATEGIES,
+    ROUTING_STRATEGIES,
+    STAGE_SELECTION_STRATEGIES,
+    STRATEGY_AXES,
+    PlacementStrategy,
+    RoutingStrategy,
+    StageSelectionStrategy,
+    StrategyError,
+    StrategyRegistry,
+    validate_strategies,
+)
 
 __all__ = [
     "ArchitecturePass",
     "AtomiqueSwapRoutePass",
+    "AUTO_BACKEND",
+    "AUTO_CANDIDATES",
     "BackendError",
     "BackendRegistry",
     "BackendSpec",
@@ -46,6 +68,7 @@ __all__ = [
     "CollMoveBatchPass",
     "CompileContext",
     "ContinuousRoutePass",
+    "CostEstimate",
     "EmitProgramPass",
     "EnolaRevertRoutePass",
     "EnolaStageSchedulePass",
@@ -53,10 +76,23 @@ __all__ = [
     "Pass",
     "Pipeline",
     "PipelineCompiler",
+    "PLACEMENT_STRATEGIES",
+    "PlacementStrategy",
     "REGISTRY",
+    "ROUTING_STRATEGIES",
+    "RoutingStrategy",
+    "STAGE_SELECTION_STRATEGIES",
+    "STRATEGY_AXES",
     "StageSchedulePass",
+    "StageSelectionStrategy",
+    "StrategyError",
+    "StrategyRegistry",
     "TranspilePass",
     "available_backends",
+    "choose_backend",
     "create_compiler",
+    "estimate_cost",
     "get_backend",
+    "rank_backends",
+    "validate_strategies",
 ]

@@ -22,6 +22,7 @@ from ..hardware.layout import Layout
 from ..hardware.moves import CollMove, Move
 from ..schedule.instructions import MoveBatch, OneQubitLayer, RydbergStage
 from .context import CompileContext
+from .strategies import resolve_routing
 
 
 class _RoutingState:
@@ -175,6 +176,9 @@ class AtomiqueSwapRoutePass:
 
     def run(self, ctx: CompileContext) -> None:
         ctx.require("partition", "architecture", "initial_layout")
+        # Family check only: the swap family has no per-stage hooks, but
+        # resolving rejects e.g. a continuous-family override up front.
+        resolve_routing(ctx, "swap")
         state = _RoutingState(ctx.architecture, ctx.initial_layout)
         block_instructions: list[list] = []
         gap_layers: list = []

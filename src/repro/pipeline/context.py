@@ -14,6 +14,11 @@ The field groups, in the order they are normally produced:
 ``circuit``         The source circuit (input).
 ``config``          The backend's config dataclass (input).
 ``params``          Hardware constants (input).
+``arch_name``       Optional architecture-catalog entry name (input;
+                    resolved by ArchitecturePass).
+``strategies``      Axis -> entry strategy overrides (input; resolved
+                    by the placement/schedule/route passes through
+                    :mod:`repro.pipeline.strategies`).
 ``rng``             Backend-wide RNG stream seeded from ``config.seed``
                     (Enola's annealing and MIS share it; PowerMove's
                     passes derive their own streams for historical
@@ -60,6 +65,15 @@ class CompileContext:
     params: HardwareParams = DEFAULT_PARAMS
     compiler_name: str = ""
     rng: random.Random | None = None
+
+    # Per-job selection inputs: a named architecture-catalog entry
+    # (resolved by ArchitecturePass when no explicit architecture was
+    # supplied) and the axis -> entry strategy overrides the passes
+    # resolve through repro.pipeline.strategies.  Both are compilation
+    # *inputs*: they join the pass-memo base payload and (via the job
+    # schema) the engine cache key.
+    arch_name: str | None = None
+    strategies: dict[str, str] = field(default_factory=dict)
 
     # Populated by the shared front-end passes.
     native: Circuit | None = None

@@ -1,0 +1,166 @@
+"""Pre-compile cost model: pick the cheapest backend for a circuit.
+
+The ``auto`` pseudo-backend resolves to a concrete registry backend
+*before* compilation by estimating, in abstract work units, what each
+candidate's compile effort would be: circuit statistics (width, gate
+counts) crossed with the target architecture's geometry and the
+candidate's configured strategy traits (annealing budget, MIS restarts,
+window size, SWAP-chain length).  The estimate is deliberately crude --
+a few arithmetic operations per candidate, never a trial compilation --
+because its only job is *ranking*: PowerMove's single-pass colouring
+always beats Enola's restart loop by orders of magnitude (Table 3's
+``T_comp`` columns), and the interesting decisions are feasibility ones
+(a storage-requiring backend on a storage-less architecture is
+infeasible, so ``auto`` on ``arch="no-storage"`` falls over to the
+non-storage variant).
+
+The choice is a pure function of (circuit, architecture name, AOD
+count, hardware params): the same ``auto`` job resolves to the same
+backend in every process, so cache keys stay content-addressed
+(:func:`repro.engine.cache.job_cache_key` resolves ``auto`` through
+:func:`choose_backend` before hashing) and an ``auto`` job shares its
+cache entry with the equivalent explicitly-named job.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..hardware.catalog import ARCHITECTURES
+from ..hardware.geometry import ZonedArchitecture
+from ..hardware.params import DEFAULT_PARAMS, HardwareParams
+from .registry import REGISTRY
+
+#: The registry name resolved through this module (not itself a
+#: registered backend: it has no pipeline, only a choice rule).
+AUTO_BACKEND = "auto"
+
+#: Candidate backends ``auto`` ranks, in tie-break preference order.
+AUTO_CANDIDATES = (
+    "powermove",
+    "powermove-nonstorage",
+    "enola",
+    "enola-windowed",
+    "atomique",
+)
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """One candidate's estimated compile effort.
+
+    Attributes:
+        backend: Registry backend name.
+        cost: Abstract work units (comparable across candidates only).
+        feasible: Whether the backend can target the architecture at
+            all (storage-requiring backends need a storage zone).
+    """
+
+    backend: str
+    cost: float
+    feasible: bool
+
+
+def _requires_storage(config) -> bool:
+    """Whether a backend's effective default config needs a storage zone."""
+    return bool(
+        getattr(config, "use_storage", False)
+        or getattr(config, "naive_storage", False)
+    )
+
+
+def estimate_cost(
+    backend: str,
+    circuit,
+    architecture: ZonedArchitecture,
+    num_aods: int = 1,
+) -> CostEstimate:
+    """Estimate one backend's compile effort on ``circuit``.
+
+    The per-family formulas mirror where each compiler actually spends
+    its time (n = qubits, G = gates, T = two-qubit gates, S = sites):
+
+    * PowerMove family: annealing budget (zero by default) plus one
+      nearest-empty-site search per routed qubit, ``T * sqrt(S)``,
+      plus the linear colouring sweep ``G``.
+    * Enola family: the annealing budget ``sa_iterations_per_qubit * n``
+      plus the restart loop over conflict-graph extractions,
+      ``mis_restarts * T * min(window, T)`` (the window bounds the
+      per-extraction graph; unwindowed runs pay the full ``T``).
+    * Atomique: its (smaller) annealing budget plus SWAP chains of
+      expected length ``sqrt(n)`` at three physical CZs each.
+    """
+    spec = REGISTRY.get(backend)
+    config = spec.effective_config(None, 0, num_aods)
+    if _requires_storage(config) and not architecture.has_storage:
+        return CostEstimate(backend=backend, cost=math.inf, feasible=False)
+    n = circuit.num_qubits
+    gates = circuit.num_gates
+    twoq = circuit.num_two_qubit_gates
+    sites = architecture.num_sites
+    anneal = getattr(config, "sa_iterations_per_qubit", 0) * n
+    restarts = getattr(config, "mis_restarts", None)
+    if restarts is not None:
+        window = twoq
+        if getattr(config, "use_window", False):
+            window = min(twoq, getattr(config, "window_size", twoq))
+        cost = anneal + restarts * twoq * max(window, 1) + gates
+    elif hasattr(config, "alpha"):
+        cost = anneal + twoq * math.sqrt(sites) + gates
+    else:
+        chain = math.sqrt(max(n, 1))
+        cost = anneal + 3.0 * twoq * chain + gates
+    return CostEstimate(backend=backend, cost=cost, feasible=True)
+
+
+def rank_backends(
+    circuit,
+    arch: str | None = None,
+    num_aods: int = 1,
+    params: HardwareParams = DEFAULT_PARAMS,
+    candidates: tuple[str, ...] = AUTO_CANDIDATES,
+) -> list[CostEstimate]:
+    """All candidates' estimates, cheapest first (infeasible last).
+
+    Ties break on candidate order, so the ranking -- and therefore
+    :func:`choose_backend` -- is deterministic.
+    """
+    spec = ARCHITECTURES.get(arch if arch is not None else "paper")
+    architecture = spec.build(circuit.num_qubits, num_aods, params)
+    order = {name: index for index, name in enumerate(candidates)}
+    estimates = [
+        estimate_cost(name, circuit, architecture, num_aods)
+        for name in candidates
+    ]
+    return sorted(
+        estimates, key=lambda e: (not e.feasible, e.cost, order[e.backend])
+    )
+
+
+def choose_backend(
+    circuit,
+    arch: str | None = None,
+    num_aods: int = 1,
+    params: HardwareParams = DEFAULT_PARAMS,
+    candidates: tuple[str, ...] = AUTO_CANDIDATES,
+) -> str:
+    """The cheapest feasible candidate for ``circuit`` on ``arch``."""
+    ranking = rank_backends(circuit, arch, num_aods, params, candidates)
+    best = ranking[0]
+    if not best.feasible:
+        raise ValueError(
+            f"no feasible backend among {', '.join(candidates)} for "
+            f"architecture {arch or 'paper'!r}"
+        )
+    return best.backend
+
+
+__all__ = [
+    "AUTO_BACKEND",
+    "AUTO_CANDIDATES",
+    "CostEstimate",
+    "choose_backend",
+    "estimate_cost",
+    "rank_backends",
+]

@@ -11,23 +11,26 @@ the historical monolith.
 
 from __future__ import annotations
 
-from ..baselines.mis import mis_stage_partition
+from ..baselines.placement import row_major_layout
 from ..core.collmove_scheduler import schedule_coll_moves
 from ..hardware.geometry import Zone
 from ..hardware.moves import CollMove, Move, group_moves
 from ..schedule.instructions import RydbergStage
 from .context import CompileContext
-from .passes import row_major_layout
+from .strategies import resolve_routing, resolve_stage_selection
 
 
 class EnolaStageSchedulePass:
     """Randomised-MIS stage extraction (best of ``mis_restarts``).
 
-    With ``use_window`` set on the config, blocks larger than
-    ``window_size`` gates are scheduled over a sliding window
-    (:func:`repro.baselines.mis.windowed_mis_stages`) so the conflict
-    graph never materialises O(gates^2) edges; smaller blocks keep the
-    exhaustive extraction and stay bit-identical to the default path.
+    Resolved through the stage-selection registry: the config's
+    ``use_window`` flag picks between the ``mis`` and ``mis-windowed``
+    defaults (a job's ``strategies`` override wins).  With windowing,
+    blocks larger than ``window_size`` gates are scheduled over a
+    sliding window (:func:`repro.baselines.mis.windowed_mis_stages`) so
+    the conflict graph never materialises O(gates^2) edges; smaller
+    blocks keep the exhaustive extraction and stay bit-identical to the
+    default path.
     """
 
     name = "mis_schedule"
@@ -35,16 +38,16 @@ class EnolaStageSchedulePass:
     def run(self, ctx: CompileContext) -> None:
         ctx.require("partition", "rng")
         cfg = ctx.config
-        window_size = (
-            cfg.window_size if getattr(cfg, "use_window", False) else None
+        default = (
+            "mis-windowed" if getattr(cfg, "use_window", False) else "mis"
         )
+        strategy = resolve_stage_selection(ctx, default)
         ctx.block_stages = [
-            mis_stage_partition(
-                block, ctx.rng, cfg.mis_restarts, window_size=window_size
-            )
+            strategy.stages(block, ctx)
             for block in ctx.partition.blocks
         ]
-        if window_size is not None:
+        if strategy.name == "mis-windowed":
+            window_size = getattr(cfg, "window_size", 1000)
             ctx.counters["mis_windowed_blocks"] = sum(
                 1
                 for block in ctx.partition.blocks
@@ -69,6 +72,7 @@ class EnolaRevertRoutePass:
             "native", "architecture", "initial_layout", "block_stages"
         )
         cfg = ctx.config
+        strategy = resolve_routing(ctx, "revert")
         initial_layout = ctx.initial_layout
         compute_home = (
             row_major_layout(
@@ -86,7 +90,7 @@ class EnolaRevertRoutePass:
             for stage in stages:
                 moves_out: list[Move] = []
                 for gate in stage.gates:
-                    mover, anchor = sorted(gate.qubits)
+                    mover, anchor = strategy.mover_anchor(gate.qubits)
                     if compute_home is not None:
                         target = compute_home.site_of(mover)
                         for q in (mover, anchor):
@@ -151,9 +155,9 @@ def enola_metadata(ctx: CompileContext) -> dict:
         "num_aods": cfg.num_aods,
     }
     windowed_blocks = ctx.counters.get("mis_windowed_blocks", 0)
-    if getattr(cfg, "use_window", False) and windowed_blocks:
+    if windowed_blocks:
         doc["use_window"] = True
-        doc["window_size"] = cfg.window_size
+        doc["window_size"] = getattr(cfg, "window_size", 1000)
         doc["windowed_blocks"] = windowed_blocks
     return doc
 

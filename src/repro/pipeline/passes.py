@@ -11,14 +11,15 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from ..baselines.placement import annealed_layout, row_major_layout
 from ..circuits.blocks import partition_into_blocks
 from ..circuits.transpile import transpile_to_native
+from ..hardware.catalog import ARCHITECTURES
 from ..hardware.geometry import Zone, ZonedArchitecture
 from ..schedule.instructions import OneQubitLayer
 from ..schedule.program import NAProgram
 from ..utils.rng import make_rng
 from .context import CompileContext
+from .strategies import resolve_placement
 
 
 class TranspilePass:
@@ -43,8 +44,12 @@ class BlockPartitionPass:
 class ArchitecturePass:
     """Default the target machine from the circuit width.
 
-    A caller-supplied architecture is honoured verbatim; the
-    storage-zone requirement is checked either way.
+    A caller-supplied architecture is honoured verbatim; a named
+    catalog entry (``ctx.arch_name``, from ``CompileJob.arch`` or a
+    manifest) is built through
+    :data:`~repro.hardware.catalog.ARCHITECTURES`; otherwise the
+    historical :meth:`ZonedArchitecture.for_qubits` default applies.
+    The storage-zone requirement is checked in every case.
 
     Args:
         with_storage: ``config -> bool``, whether the default floor plan
@@ -70,30 +75,43 @@ class ArchitecturePass:
         ctx.require("native")
         needs_storage = self._with_storage(ctx.config)
         if ctx.architecture is None:
-            ctx.architecture = ZonedArchitecture.for_qubits(
-                ctx.native.num_qubits,
-                with_storage=needs_storage,
-                num_aods=self._num_aods(ctx.config),
-                params=ctx.params,
-            )
+            if ctx.arch_name is not None:
+                ctx.architecture = ARCHITECTURES.get(ctx.arch_name).build(
+                    ctx.native.num_qubits,
+                    self._num_aods(ctx.config),
+                    ctx.params,
+                )
+            else:
+                ctx.architecture = ZonedArchitecture.for_qubits(
+                    ctx.native.num_qubits,
+                    with_storage=needs_storage,
+                    num_aods=self._num_aods(ctx.config),
+                    params=ctx.params,
+                )
         if needs_storage and not ctx.architecture.has_storage:
             raise ValueError(self._storage_error)
 
 
 class InitialLayoutPass:
-    """Default starting placement: row-major or simulated-annealed.
+    """Default starting placement, resolved through the placement registry.
 
-    A caller-supplied layout is honoured verbatim.
+    A caller-supplied layout is honoured verbatim.  The placement
+    *strategy* comes from ``ctx.strategies["placement"]`` when a job
+    selected one; otherwise the backend's config picks the historical
+    default (``annealed`` when the ``annealed`` predicate holds,
+    ``row-major`` otherwise) -- so default compilations stay
+    bit-identical to the pre-registry code.
 
     Args:
         home_zone: ``config -> Zone`` the initial placement lives in.
-        annealed: ``config -> bool``, use the annealing placement.
+        annealed: ``config -> bool``, default to the annealing entry.
         iterations: ``config -> int | None`` annealing budget per qubit
-            (``None`` keeps :func:`annealed_layout`'s default).
+            (``None`` keeps the entry's own default).
         fresh_rng: Seed a private RNG from ``config.seed`` instead of
             consuming the context stream (PowerMove's historical
             behaviour; Enola's annealing shares ``ctx.rng`` with its MIS
-            scheduler).
+            scheduler).  The stream discipline is the pass's, whichever
+            strategy runs; deterministic strategies consume nothing.
     """
 
     name = "initial_layout"
@@ -115,20 +133,16 @@ class InitialLayoutPass:
             return
         ctx.require("native", "architecture")
         cfg = ctx.config
-        zone = self._home_zone(cfg)
-        if self._annealed(cfg):
-            rng = make_rng(cfg.seed) if self._fresh_rng else ctx.rng
-            kwargs: dict[str, Any] = {}
-            budget = self._iterations(cfg)
-            if budget is not None:
-                kwargs["iterations_per_qubit"] = budget
-            ctx.initial_layout = annealed_layout(
-                ctx.architecture, ctx.native, zone=zone, rng=rng, **kwargs
-            )
-        else:
-            ctx.initial_layout = row_major_layout(
-                ctx.architecture, ctx.native.num_qubits, zone
-            )
+        default = "annealed" if self._annealed(cfg) else "row-major"
+        strategy = resolve_placement(ctx, default)
+        rng = make_rng(cfg.seed) if self._fresh_rng else ctx.rng
+        ctx.initial_layout = strategy.place(
+            ctx.architecture,
+            ctx.native,
+            self._home_zone(cfg),
+            rng,
+            self._iterations(cfg),
+        )
 
 
 class EmitProgramPass:

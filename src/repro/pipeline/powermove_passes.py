@@ -20,28 +20,29 @@ from __future__ import annotations
 
 from ..core.collmove_scheduler import schedule_coll_moves
 from ..core.continuous_router import ContinuousRouter
-from ..core.stage_scheduler import schedule_block
 from ..hardware.moves import group_moves
 from ..schedule.instructions import RydbergStage
 from ..utils.rng import make_rng
 from .context import CompileContext
+from .strategies import resolve_routing, resolve_stage_selection
 
 
 class StageSchedulePass:
-    """Stage Scheduler (Sec. 4): blocks -> ordered Rydberg stages."""
+    """Stage Scheduler (Sec. 4): blocks -> ordered Rydberg stages.
+
+    Resolved through the stage-selection registry; the default
+    ``greedy-color`` entry reads ``alpha`` / ``use_storage`` /
+    ``reorder_stages`` / ``stage_ordering`` off the config exactly as
+    the historical inline call did.
+    """
 
     name = "stage_schedule"
 
     def run(self, ctx: CompileContext) -> None:
         ctx.require("partition")
-        cfg = ctx.config
+        strategy = resolve_stage_selection(ctx, "greedy-color")
         ctx.block_stages = [
-            schedule_block(
-                block,
-                alpha=cfg.alpha,
-                reorder=cfg.use_storage and cfg.reorder_stages,
-                ordering=cfg.stage_ordering,
-            )
+            strategy.stages(block, ctx)
             for block in ctx.partition.blocks
         ]
 
@@ -53,6 +54,8 @@ class ContinuousRoutePass:
     stage's moves are applied, mirroring execution order.  Draws its
     randomness from a private ``make_rng(config.seed)`` stream (the
     historical router stream, independent of the placement stream).
+    The order each stage's pairs reach the router comes from the
+    selected continuous-family routing strategy (default: gate order).
     """
 
     name = "continuous_route"
@@ -60,6 +63,7 @@ class ContinuousRoutePass:
     def run(self, ctx: CompileContext) -> None:
         ctx.require("architecture", "initial_layout", "block_stages")
         cfg = ctx.config
+        strategy = resolve_routing(ctx, "continuous")
         router = ContinuousRouter(
             ctx.architecture, cfg.use_storage, make_rng(cfg.seed)
         )
@@ -69,7 +73,7 @@ class ContinuousRoutePass:
         for stages in ctx.block_stages:
             per_block = []
             for stage in stages:
-                pairs = [(g.qubits[0], g.qubits[1]) for g in stage.gates]
+                pairs = strategy.stage_pairs(stage, layout)
                 routed = router.route_stage(layout, pairs)
                 layout.apply_moves(routed.moves)
                 per_block.append(routed)

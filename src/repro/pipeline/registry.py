@@ -29,6 +29,7 @@ from typing import Any, Callable, Iterator
 from ..baselines.atomique import AtomiqueConfig
 from ..baselines.enola import EnolaConfig
 from ..core.config import PowerMoveConfig
+from ..hardware.catalog import ARCHITECTURES
 from ..hardware.geometry import Zone
 from ..hardware.params import DEFAULT_PARAMS, HardwareParams
 from ..utils.rng import make_rng
@@ -53,6 +54,7 @@ from .powermove_passes import (
     StageSchedulePass,
     powermove_metadata,
 )
+from .strategies import validate_strategies
 
 
 class BackendError(ValueError):
@@ -75,6 +77,11 @@ class BackendSpec:
         preserves_gate_stream: Whether the executed gate multiset equals
             the native circuit's (False for SWAP-inserting backends,
             whose programs are validated structurally only).
+        strategies: Axis -> entry overrides this backend *forces*
+            (``powermove-spiral`` forces ``placement=spiral``); job
+            overrides are merged on top.  ``None`` forces nothing.
+        strategy_axes: Axis -> entry map the backend resolves by default
+            (forcing included) -- display-only, for ``repro backends``.
     """
 
     name: str
@@ -84,6 +91,8 @@ class BackendSpec:
     variant_name: Callable[[Any], str]
     effective_config: Callable[[Any | None, int, int], Any]
     preserves_gate_stream: bool = True
+    strategies: Any = None
+    strategy_axes: Any = None
 
     @property
     def config_knobs(self) -> dict[str, Any]:
@@ -157,6 +166,8 @@ class PipelineCompiler:
         architecture=None,
         initial_layout=None,
         pass_cache=None,
+        arch=None,
+        strategies=None,
     ):
         """Compile ``circuit`` through the backend's pipeline.
 
@@ -164,6 +175,12 @@ class PipelineCompiler:
         :class:`~repro.core.compiler.CompilationResult`; its ``stats``
         carry the program metadata plus per-pass wall-clock seconds
         under ``stats["pass_timings"]``.
+
+        ``arch`` names an architecture-catalog entry to build the
+        machine from (ignored when an explicit ``architecture`` is
+        supplied); ``strategies`` maps strategy axes to registry entry
+        names, merged over the backend's own forced entries.  Both are
+        validated up front and enter the pass-memo content keys.
 
         ``pass_cache`` (any :class:`~repro.engine.cache.ProgramCache`)
         enables pass-level memoization: each pass's output is
@@ -177,12 +194,18 @@ class PipelineCompiler:
         from ..core.compiler import CompilationResult
 
         start = time.perf_counter()
+        merged = {**(self.spec.strategies or {}), **(strategies or {})}
+        validate_strategies(merged)
+        if arch is not None:
+            ARCHITECTURES.get(arch)
         ctx = CompileContext(
             circuit=circuit,
             config=self._config,
             params=self._params,
             compiler_name=self.variant_name,
             rng=make_rng(self._config.seed),
+            arch_name=arch,
+            strategies=merged,
             architecture=architecture,
             initial_layout=initial_layout,
         )
@@ -390,9 +413,31 @@ def _atomique_effective(
 REGISTRY = BackendRegistry()
 
 
+#: Default axis -> entry maps per pipeline family (display-only; the
+#: passes resolve the same defaults from each backend's config).
+_POWERMOVE_AXES = {
+    "placement": "row-major",
+    "stage-selection": "greedy-color",
+    "routing": "continuous",
+}
+_ENOLA_AXES = {
+    "placement": "annealed",
+    "stage-selection": "mis",
+    "routing": "revert",
+}
+_ATOMIQUE_AXES = {
+    "placement": "annealed",
+    "routing": "swap",
+}
+
+
 def _register_defaults(registry: BackendRegistry) -> None:
     def powermove_spec(
-        name: str, description: str, use_storage: bool, **forced: Any
+        name: str,
+        description: str,
+        use_storage: bool,
+        strategies: dict[str, str] | None = None,
+        **forced: Any,
     ) -> BackendSpec:
         return BackendSpec(
             name=name,
@@ -401,6 +446,8 @@ def _register_defaults(registry: BackendRegistry) -> None:
             pipeline=POWERMOVE_PIPELINE,
             variant_name=_powermove_variant_name,
             effective_config=_powermove_effective(use_storage, **forced),
+            strategies=strategies,
+            strategy_axes={**_POWERMOVE_AXES, **(strategies or {})},
         )
 
     registry.register(
@@ -442,6 +489,30 @@ def _register_defaults(registry: BackendRegistry) -> None:
         )
     )
     registry.register(
+        powermove_spec(
+            "powermove-spiral",
+            "PowerMove with interaction-weighted spiral placement",
+            use_storage=True,
+            strategies={"placement": "spiral"},
+        )
+    )
+    registry.register(
+        powermove_spec(
+            "powermove-reuse",
+            "PowerMove with reuse-maximising stage ordering",
+            use_storage=True,
+            strategies={"stage-selection": "reuse-aware"},
+        )
+    )
+    registry.register(
+        powermove_spec(
+            "powermove-sorted-route",
+            "PowerMove routing each stage's closest pairs first",
+            use_storage=True,
+            strategies={"routing": "continuous-sorted"},
+        )
+    )
+    registry.register(
         BackendSpec(
             name="enola",
             description="Enola baseline: MIS stages, revert routing",
@@ -449,6 +520,7 @@ def _register_defaults(registry: BackendRegistry) -> None:
             pipeline=ENOLA_PIPELINE,
             variant_name=_enola_variant_name,
             effective_config=_enola_effective,
+            strategy_axes=dict(_ENOLA_AXES),
         )
     )
     registry.register(
@@ -462,6 +534,7 @@ def _register_defaults(registry: BackendRegistry) -> None:
             pipeline=ENOLA_PIPELINE,
             variant_name=_enola_variant_name,
             effective_config=_enola_naive_effective,
+            strategy_axes=dict(_ENOLA_AXES),
         )
     )
     registry.register(
@@ -475,6 +548,7 @@ def _register_defaults(registry: BackendRegistry) -> None:
             pipeline=ENOLA_PIPELINE,
             variant_name=_enola_variant_name,
             effective_config=_enola_windowed_effective,
+            strategy_axes={**_ENOLA_AXES, "stage-selection": "mis-windowed"},
         )
     )
     registry.register(
@@ -488,6 +562,7 @@ def _register_defaults(registry: BackendRegistry) -> None:
             variant_name=lambda cfg: "atomique-like",
             effective_config=_atomique_effective,
             preserves_gate_stream=False,
+            strategy_axes=dict(_ATOMIQUE_AXES),
         )
     )
 

@@ -1,0 +1,443 @@
+"""Strategy registries: pluggable placement / stage-selection / routing.
+
+The compilation pipeline varies along three axes the follow-on
+literature keeps swapping independently: how qubits are initially
+*placed*, how a commuting block's gates are grouped into Rydberg
+*stages*, and how each stage's connectivity is *routed*.  This module
+names each axis as a protocol-shaped dataclass with a registry mirroring
+:class:`~repro.pipeline.registry.BackendRegistry`, and registers today's
+behaviours as the default entries -- the passes resolve strategies by
+name, so the historical backends compile **bit-identically** through
+this layer (the golden-digest pin in ``tests/test_golden_digests.py``
+proves it).
+
+Axes and their built-in entries:
+
+==================  ===================================================
+``placement``       ``row-major`` (PowerMove's default), ``annealed``
+                    (Enola/Atomique's simulated annealing), ``spiral``
+                    (new: interaction-weighted centre-out, no RNG).
+``stage-selection`` ``greedy-color`` (PowerMove Sec. 4), ``mis`` /
+                    ``mis-windowed`` (Enola's best-of-R randomised MIS,
+                    exhaustive or sliding-window), ``reuse-aware``
+                    (new: greedy colouring + overlap-maximising stage
+                    order, after Lin/Tan/Cong arXiv:2411.11784).
+``routing``         ``continuous`` (PowerMove), ``continuous-sorted``
+                    (new: route each stage's closest pairs first),
+                    ``revert`` (Enola's out-excite-back), ``swap``
+                    (Atomique's SWAP chains).  Routing entries carry a
+                    ``family`` tag; a pipeline only accepts strategies
+                    of its own family (a revert-family entry cannot
+                    drive the continuous router).
+==================  ===================================================
+
+Selection is per job: a backend may force entries
+(:attr:`~repro.pipeline.registry.BackendSpec.strategies`, e.g. the
+``powermove-reuse`` variant) and a job/manifest may override axes via
+``CompileJob.strategies`` -- both enter the compilation cache key.
+
+Strategy callables read optional config knobs with ``getattr`` defaults
+(``alpha``, ``mis_restarts``, ``window_size``, ...), so an entry applied
+to a backend whose config lacks the knob falls back to the entry's
+documented default instead of crashing.
+
+See ``docs/strategies.md`` for the add-an-entry recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping
+
+from ..baselines.mis import mis_stage_partition
+from ..baselines.placement import (
+    annealed_layout,
+    row_major_layout,
+    spiral_layout,
+)
+from ..core.stage_scheduler import (
+    order_stages_reuse,
+    partition_stages,
+    schedule_block,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import CompileContext
+
+
+class StrategyError(ValueError):
+    """Raised on unknown strategy names, axes or family mismatches."""
+
+
+class StrategyRegistry:
+    """Name -> strategy entry mapping for one axis, registration order."""
+
+    def __init__(self, axis: str) -> None:
+        self.axis = axis
+        self._entries: dict[str, Any] = {}
+
+    def register(self, entry: Any, replace: bool = False) -> None:
+        """Add an entry; re-registration requires ``replace=True``."""
+        if entry.name in self._entries and not replace:
+            raise StrategyError(
+                f"{self.axis} strategy {entry.name!r} already registered"
+            )
+        self._entries[entry.name] = entry
+
+    def get(self, name: str) -> Any:
+        """Look up an entry; unknown names raise :class:`StrategyError`."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(self._entries)
+            raise StrategyError(
+                f"unknown {self.axis} strategy {name!r}; known: {known}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        """Registered names, in registration order."""
+        return tuple(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass(frozen=True)
+class PlacementStrategy:
+    """One initial-placement algorithm.
+
+    ``place(architecture, circuit, zone, rng, iterations)`` returns the
+    starting :class:`~repro.hardware.layout.Layout`.  ``rng`` is the
+    stream the calling pass selected (private per-pass for PowerMove,
+    the shared context stream for Enola -- the stream discipline lives
+    in the pass, not here); deterministic entries must ignore it
+    without consuming any values.  ``iterations`` is the backend's
+    per-qubit budget, or ``None`` for the entry's own default.
+    """
+
+    name: str
+    description: str
+    place: Callable[..., Any]
+    uses_rng: bool = False
+
+
+@dataclass(frozen=True)
+class StageSelectionStrategy:
+    """One block-to-stages scheduler.
+
+    ``stages(block, ctx)`` partitions (and possibly orders) one
+    commuting CZ block into Rydberg stages, reading knobs from
+    ``ctx.config`` (with ``getattr`` defaults) and randomness from
+    ``ctx.rng`` only.
+    """
+
+    name: str
+    description: str
+    stages: Callable[..., Any]
+    uses_rng: bool = False
+
+
+@dataclass(frozen=True)
+class RoutingStrategy:
+    """One routing behaviour, tagged with its pipeline family.
+
+    Only entries of a pipeline's own family are accepted by its route
+    pass (``continuous`` for PowerMove, ``revert`` for Enola, ``swap``
+    for Atomique).  Family hooks:
+
+    * ``stage_pairs(stage, layout)`` -- continuous family: the qubit
+      pairs handed to the continuous router, in routing order;
+    * ``mover_anchor(qubits)`` -- revert family: which qubit of a gate
+      shuttles (mover) and which stays (anchor).
+    """
+
+    name: str
+    description: str
+    family: str
+    stage_pairs: Callable[..., Any] | None = None
+    mover_anchor: Callable[..., Any] | None = None
+
+
+# ----------------------------------------------------------------------
+# Default entries
+# ----------------------------------------------------------------------
+
+
+def _place_row_major(architecture, circuit, zone, rng, iterations):
+    return row_major_layout(architecture, circuit.num_qubits, zone)
+
+
+def _place_annealed(architecture, circuit, zone, rng, iterations):
+    # Bit-compat: the historical pass passed iterations_per_qubit only
+    # when the backend configured a budget, keeping annealed_layout's
+    # own default otherwise.
+    kwargs: dict[str, Any] = {}
+    if iterations is not None:
+        kwargs["iterations_per_qubit"] = iterations
+    return annealed_layout(
+        architecture, circuit, zone=zone, rng=rng, **kwargs
+    )
+
+
+def _place_spiral(architecture, circuit, zone, rng, iterations):
+    return spiral_layout(architecture, circuit, zone)
+
+
+def _stages_greedy_color(block, ctx: "CompileContext"):
+    cfg = ctx.config
+    return schedule_block(
+        block,
+        alpha=getattr(cfg, "alpha", 0.5),
+        reorder=(
+            getattr(cfg, "use_storage", False)
+            and getattr(cfg, "reorder_stages", True)
+        ),
+        ordering=getattr(cfg, "stage_ordering", "saturation"),
+    )
+
+
+def _stages_mis(block, ctx: "CompileContext"):
+    return mis_stage_partition(
+        block, ctx.rng, getattr(ctx.config, "mis_restarts", 5)
+    )
+
+
+def _stages_mis_windowed(block, ctx: "CompileContext"):
+    return mis_stage_partition(
+        block,
+        ctx.rng,
+        getattr(ctx.config, "mis_restarts", 5),
+        window_size=getattr(ctx.config, "window_size", 1000),
+    )
+
+
+def _stages_reuse_aware(block, ctx: "CompileContext"):
+    stages = partition_stages(
+        block, ordering=getattr(ctx.config, "stage_ordering", "saturation")
+    )
+    return order_stages_reuse(stages)
+
+
+def _pairs_in_gate_order(stage, layout):
+    return [(g.qubits[0], g.qubits[1]) for g in stage.gates]
+
+
+def _pairs_closest_first(stage, layout):
+    pairs = _pairs_in_gate_order(stage, layout)
+
+    def squared_distance(pair):
+        xa, ya = layout.position_of(pair[0])
+        xb, yb = layout.position_of(pair[1])
+        return (xa - xb) ** 2 + (ya - yb) ** 2
+
+    # Stable sort: equally distant pairs keep gate order.
+    return sorted(pairs, key=squared_distance)
+
+
+#: The process-wide default registries, one per axis.
+PLACEMENT_STRATEGIES = StrategyRegistry("placement")
+STAGE_SELECTION_STRATEGIES = StrategyRegistry("stage-selection")
+ROUTING_STRATEGIES = StrategyRegistry("routing")
+
+#: Axis name -> its registry (the valid ``strategies`` mapping keys).
+STRATEGY_AXES: Mapping[str, StrategyRegistry] = {
+    "placement": PLACEMENT_STRATEGIES,
+    "stage-selection": STAGE_SELECTION_STRATEGIES,
+    "routing": ROUTING_STRATEGIES,
+}
+
+
+def _register_defaults() -> None:
+    PLACEMENT_STRATEGIES.register(
+        PlacementStrategy(
+            name="row-major",
+            description="Qubit i on the i-th site of the home zone",
+            place=_place_row_major,
+        )
+    )
+    PLACEMENT_STRATEGIES.register(
+        PlacementStrategy(
+            name="annealed",
+            description=(
+                "Simulated annealing minimising weighted pair distance "
+                "(Enola's placement)"
+            ),
+            place=_place_annealed,
+            uses_rng=True,
+        )
+    )
+    PLACEMENT_STRATEGIES.register(
+        PlacementStrategy(
+            name="spiral",
+            description=(
+                "Interaction-weighted centre-out placement: hottest "
+                "qubits nearest the zone centre (deterministic)"
+            ),
+            place=_place_spiral,
+        )
+    )
+    STAGE_SELECTION_STRATEGIES.register(
+        StageSelectionStrategy(
+            name="greedy-color",
+            description=(
+                "Greedy conflict-graph colouring plus zone-aware stage "
+                "ordering (paper Sec. 4)"
+            ),
+            stages=_stages_greedy_color,
+        )
+    )
+    STAGE_SELECTION_STRATEGIES.register(
+        StageSelectionStrategy(
+            name="mis",
+            description=(
+                "Best-of-R randomised maximal-independent-set "
+                "extraction (Enola's scheduler)"
+            ),
+            stages=_stages_mis,
+            uses_rng=True,
+        )
+    )
+    STAGE_SELECTION_STRATEGIES.register(
+        StageSelectionStrategy(
+            name="mis-windowed",
+            description=(
+                "MIS extraction over a sliding gate window; exact below "
+                "the window size"
+            ),
+            stages=_stages_mis_windowed,
+            uses_rng=True,
+        )
+    )
+    STAGE_SELECTION_STRATEGIES.register(
+        StageSelectionStrategy(
+            name="reuse-aware",
+            description=(
+                "Greedy colouring ordered to maximise qubit reuse "
+                "between consecutive stages (arXiv:2411.11784)"
+            ),
+            stages=_stages_reuse_aware,
+        )
+    )
+    ROUTING_STRATEGIES.register(
+        RoutingStrategy(
+            name="continuous",
+            description=(
+                "Direct layout-to-layout transitions, pairs in gate "
+                "order (paper Sec. 5)"
+            ),
+            family="continuous",
+            stage_pairs=_pairs_in_gate_order,
+        )
+    )
+    ROUTING_STRATEGIES.register(
+        RoutingStrategy(
+            name="continuous-sorted",
+            description=(
+                "Continuous routing with each stage's closest pairs "
+                "routed first"
+            ),
+            family="continuous",
+            stage_pairs=_pairs_closest_first,
+        )
+    )
+    ROUTING_STRATEGIES.register(
+        RoutingStrategy(
+            name="revert",
+            description=(
+                "Enola's out-excite-back scheme; the lower-id qubit "
+                "shuttles to its partner"
+            ),
+            family="revert",
+            mover_anchor=lambda qubits: tuple(sorted(qubits)),
+        )
+    )
+    ROUTING_STRATEGIES.register(
+        RoutingStrategy(
+            name="swap",
+            description=(
+                "Atomique's fixed-array SWAP-chain routing (no "
+                "movement between sites)"
+            ),
+            family="swap",
+        )
+    )
+
+
+_register_defaults()
+
+
+def validate_strategies(strategies: Mapping[str, str]) -> None:
+    """Check a ``{axis: entry}`` mapping against the registries.
+
+    Raises :class:`StrategyError` naming the first unknown axis or
+    entry; an empty mapping is valid.
+    """
+    for axis, name in strategies.items():
+        registry = STRATEGY_AXES.get(axis)
+        if registry is None:
+            raise StrategyError(
+                f"unknown strategy axis {axis!r}; "
+                f"known: {', '.join(STRATEGY_AXES)}"
+            )
+        registry.get(name)
+
+
+def resolve_placement(
+    ctx: "CompileContext", default: str
+) -> PlacementStrategy:
+    """The placement entry a compilation selected (or the default)."""
+    return PLACEMENT_STRATEGIES.get(
+        ctx.strategies.get("placement", default)
+    )
+
+
+def resolve_stage_selection(
+    ctx: "CompileContext", default: str
+) -> StageSelectionStrategy:
+    """The stage-selection entry a compilation selected (or default)."""
+    return STAGE_SELECTION_STRATEGIES.get(
+        ctx.strategies.get("stage-selection", default)
+    )
+
+
+def resolve_routing(ctx: "CompileContext", default: str) -> RoutingStrategy:
+    """The routing entry a compilation selected, family-checked.
+
+    The pipeline's default entry defines the required family; selecting
+    an entry of another family (e.g. ``revert`` on the continuous
+    router) raises :class:`StrategyError` instead of mis-routing.
+    """
+    required = ROUTING_STRATEGIES.get(default).family
+    strategy = ROUTING_STRATEGIES.get(
+        ctx.strategies.get("routing", default)
+    )
+    if strategy.family != required:
+        raise StrategyError(
+            f"routing strategy {strategy.name!r} is of family "
+            f"{strategy.family!r}; this pipeline needs family "
+            f"{required!r}"
+        )
+    return strategy
+
+
+__all__ = [
+    "PLACEMENT_STRATEGIES",
+    "ROUTING_STRATEGIES",
+    "STAGE_SELECTION_STRATEGIES",
+    "STRATEGY_AXES",
+    "PlacementStrategy",
+    "RoutingStrategy",
+    "StageSelectionStrategy",
+    "StrategyError",
+    "StrategyRegistry",
+    "resolve_placement",
+    "resolve_routing",
+    "resolve_stage_selection",
+    "validate_strategies",
+]

@@ -4,12 +4,23 @@ For each backend in the default registry, compiling a small circuit
 must produce (1) a validator-clean program, (2) a bit-identical digest
 across two independent runs, and (3) populated per-pass timing stats.
 New backends get all three checks for free by registering.
+
+The architecture/strategy matrix class crosses the architecture
+catalog with the strategy-variant backends (the CI ``strategy-matrix``
+job runs this module): every feasible (architecture, backend) cell
+compiles validator-clean and digest-deterministically, and every
+infeasible cell (a storage-requiring backend on a storage-less floor
+plan) is rejected loudly, matching the cost model's feasibility
+verdict.
 """
 
 import pytest
 
 from repro.circuits.generators import qaoa_regular
+from repro.hardware.catalog import ARCHITECTURES
+from repro.hardware.params import DEFAULT_PARAMS
 from repro.pipeline import REGISTRY, create_compiler, get_backend
+from repro.pipeline.costmodel import estimate_cost
 from repro.schedule import validate_program
 from repro.schedule.serialize import program_digest
 
@@ -74,3 +85,57 @@ class TestBackendConformance:
         result = compiler.compile(WORKLOAD)
         assert result.program.compiler_name == compiler.variant_name
         assert result.compile_time > 0.0
+
+
+#: One backend per pipeline family plus every strategy-variant backend.
+MATRIX_BACKENDS = (
+    "powermove",
+    "powermove-spiral",
+    "powermove-reuse",
+    "powermove-sorted-route",
+    "enola",
+    "enola-windowed",
+    "atomique",
+)
+
+ARCH_MATRIX = [
+    (arch, name)
+    for arch in ARCHITECTURES.names()
+    for name in MATRIX_BACKENDS
+]
+
+
+def _cell_feasible(arch: str, name: str) -> bool:
+    machine = ARCHITECTURES.get(arch).build(
+        WORKLOAD.num_qubits, 1, DEFAULT_PARAMS
+    )
+    return estimate_cost(name, WORKLOAD, machine).feasible
+
+
+@pytest.mark.parametrize(("arch", "name"), ARCH_MATRIX)
+class TestArchitectureStrategyMatrix:
+    def test_feasible_cells_validator_clean(self, arch, name):
+        if not _cell_feasible(arch, name):
+            pytest.skip(f"{name} infeasible on {arch} (covered below)")
+        spec = get_backend(name)
+        result = _compiler(name).compile(WORKLOAD, arch=arch)
+        source = (
+            result.native_circuit if spec.preserves_gate_stream else None
+        )
+        report = validate_program(result.program, source_circuit=source)
+        assert report.ok
+
+    def test_feasible_cells_digest_deterministic(self, arch, name):
+        if not _cell_feasible(arch, name):
+            pytest.skip(f"{name} infeasible on {arch} (covered below)")
+        first = _compiler(name).compile(WORKLOAD, arch=arch)
+        second = _compiler(name).compile(WORKLOAD, arch=arch)
+        assert program_digest(first.program) == program_digest(
+            second.program
+        )
+
+    def test_infeasible_cells_rejected(self, arch, name):
+        if _cell_feasible(arch, name):
+            pytest.skip(f"{name} feasible on {arch} (covered above)")
+        with pytest.raises(ValueError, match="storage"):
+            _compiler(name).compile(WORKLOAD, arch=arch)

@@ -1,0 +1,47 @@
+"""Golden-digest pin: the default compile path is bit-identical.
+
+``tests/golden/backend_digests_v1.json`` freezes 37 program digests --
+every pre-strategy-registry backend over four workload families plus a
+seed variant -- produced by the historical code.  Any refactor of the
+pipeline internals (strategy registries, architecture catalog, pass
+plumbing) must keep every cell byte-identical; a digest change here
+means compiled output changed for identical inputs, which requires an
+intentional algorithm change *and* a ``CACHE_SCHEMA_VERSION`` bump
+*and* a deliberate fixture regeneration
+(``tests/golden/gen_backend_digests.py``).
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+sys.path.insert(0, GOLDEN_DIR)
+
+from gen_backend_digests import digest_for  # noqa: E402
+
+with open(os.path.join(GOLDEN_DIR, "backend_digests_v1.json")) as _handle:
+    _FIXTURE = json.load(_handle)
+
+CELLS = [
+    (entry["backend"], entry["workload"], entry["seed"], entry["digest"])
+    for entry in _FIXTURE["digests"]
+]
+
+
+def test_fixture_has_37_reference_digests():
+    assert _FIXTURE["version"] == 1
+    assert len(CELLS) == 37
+    # Every cell is a distinct (backend, workload, seed) triple.
+    assert len({cell[:3] for cell in CELLS}) == 37
+
+
+@pytest.mark.parametrize(
+    "backend,workload,seed,expected",
+    CELLS,
+    ids=[f"{b}-{w}-s{s}" for b, w, s, _ in CELLS],
+)
+def test_backend_digest_pinned(backend, workload, seed, expected):
+    assert digest_for(backend, workload, seed) == expected

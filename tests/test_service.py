@@ -114,6 +114,36 @@ class TestJobQueue:
         assert record["status"] == "queued"
         assert job_from_doc(record["job"]).benchmark == "BV-14"
 
+    def test_arch_and_strategies_survive_queue_round_trip(self, queue):
+        manifest = {
+            "jobs": [
+                {
+                    "benchmark": "BV-14",
+                    "backend": "powermove",
+                    "arch": "wide-storage",
+                    "strategies": {"placement": "spiral"},
+                },
+                {"benchmark": "BV-14", "backend": "auto"},
+            ]
+        }
+        submission = queue.submit(manifest)
+        # Reopen from disk: the persisted job documents must rebuild
+        # equal jobs, arch and strategies included.
+        reopened = JobQueue(queue.directory)
+        first = job_from_doc(
+            reopened.get(submission["job_ids"][0])["job"]
+        )
+        assert first.arch == "wide-storage"
+        assert first.strategies_map == {"placement": "spiral"}
+        second = job_from_doc(
+            reopened.get(submission["job_ids"][1])["job"]
+        )
+        assert second.backend == "auto"
+        # The exact-inverse contract, on a strategy-carrying job.
+        from repro.engine.jobs import job_to_doc
+
+        assert job_from_doc(job_to_doc(first)) == first
+
     def test_bad_manifest_leaves_queue_untouched(self, queue):
         from repro.engine import ManifestError
 

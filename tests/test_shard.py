@@ -228,6 +228,27 @@ class TestRecords:
         assert "out of range" in record["error"]["message"]
         assert "fidelity" not in record
 
+    def test_record_carries_arch_strategies_and_auto_choice(self):
+        jobs = [
+            CompileJob(
+                benchmark="BV-14",
+                backend="powermove",
+                arch="wide-storage",
+                strategies={"placement": "spiral"},
+            ),
+            CompileJob(
+                benchmark="BV-14", backend="auto", arch="no-storage"
+            ),
+        ]
+        results = CompilationEngine(cache=MemoryCache()).run(jobs)
+        first = job_record(results[0], 0)
+        assert first["arch"] == "wide-storage"
+        assert first["strategies"] == {"placement": "spiral"}
+        assert "auto_backend" not in first
+        second = job_record(results[1], 1)
+        assert second["arch"] == "no-storage"
+        assert second["auto_backend"] == "powermove-nonstorage"
+
     def test_strip_timing_ignores_only_volatile_fields(self):
         jobs = suite_jobs()[:1]
         digest = manifest_digest({"jobs": "timing"})

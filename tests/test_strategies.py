@@ -1,0 +1,306 @@
+"""Strategy registries, the architecture catalog and the auto backend.
+
+Covers the registry mechanics (lookup, registration, validation, the
+routing family check), the new strategy entries' determinism and
+actual effect on compiled programs, the cost model's ranking and
+feasibility rules, and the ``auto`` pseudo-backend end to end: on a
+mixed batch it must choose at least two distinct backends, surface the
+choice in result stats, and share cache keys with the equivalent
+explicitly-named jobs.
+"""
+
+import pytest
+
+from repro.circuits.generators import qaoa_regular, qft
+from repro.engine import CompilationEngine, CompileJob, MemoryCache
+from repro.engine.cache import job_cache_key
+from repro.engine.jobs import resolve_backend
+from repro.engine.manifest import ManifestError, parse_manifest
+from repro.hardware.catalog import (
+    ARCHITECTURES,
+    ArchitectureError,
+    build_architecture,
+)
+from repro.pipeline import create_compiler
+from repro.pipeline.costmodel import (
+    AUTO_CANDIDATES,
+    choose_backend,
+    estimate_cost,
+    rank_backends,
+)
+from repro.pipeline.strategies import (
+    PLACEMENT_STRATEGIES,
+    ROUTING_STRATEGIES,
+    STAGE_SELECTION_STRATEGIES,
+    STRATEGY_AXES,
+    PlacementStrategy,
+    StrategyError,
+    validate_strategies,
+)
+from repro.schedule.serialize import program_digest
+
+WORKLOAD = qaoa_regular(8, degree=3, seed=1)
+
+
+class TestStrategyRegistries:
+    def test_axes_expose_default_entries(self):
+        assert set(STRATEGY_AXES) == {
+            "placement",
+            "stage-selection",
+            "routing",
+        }
+        assert "row-major" in PLACEMENT_STRATEGIES
+        assert "spiral" in PLACEMENT_STRATEGIES
+        assert "greedy-color" in STAGE_SELECTION_STRATEGIES
+        assert "reuse-aware" in STAGE_SELECTION_STRATEGIES
+        assert "continuous-sorted" in ROUTING_STRATEGIES
+
+    def test_unknown_entry_names_known_ones(self):
+        with pytest.raises(StrategyError, match="row-major"):
+            PLACEMENT_STRATEGIES.get("nope")
+
+    def test_duplicate_registration_rejected(self):
+        entry = PLACEMENT_STRATEGIES.get("row-major")
+        with pytest.raises(StrategyError, match="already registered"):
+            PLACEMENT_STRATEGIES.register(entry)
+        # replace=True is the explicit override path.
+        PLACEMENT_STRATEGIES.register(entry, replace=True)
+
+    def test_validate_strategies(self):
+        validate_strategies({})
+        validate_strategies({"placement": "spiral"})
+        with pytest.raises(StrategyError, match="axis"):
+            validate_strategies({"teleportation": "yes"})
+        with pytest.raises(StrategyError, match="unknown placement"):
+            validate_strategies({"placement": "nope"})
+
+    def test_registration_requires_protocol_name(self):
+        custom = PlacementStrategy(
+            name="test-only", description="x", place=lambda *a: None
+        )
+        PLACEMENT_STRATEGIES.register(custom)
+        try:
+            assert PLACEMENT_STRATEGIES.get("test-only") is custom
+        finally:
+            PLACEMENT_STRATEGIES._entries.pop("test-only")
+
+
+class TestStrategySelection:
+    def test_override_changes_program(self):
+        base = create_compiler("powermove").compile(WORKLOAD)
+        spiral = create_compiler("powermove").compile(
+            WORKLOAD, strategies={"placement": "spiral"}
+        )
+        assert program_digest(base.program) != program_digest(
+            spiral.program
+        )
+
+    def test_variant_backend_equals_override(self):
+        variant = create_compiler("powermove-spiral").compile(WORKLOAD)
+        override = create_compiler("powermove").compile(
+            WORKLOAD, strategies={"placement": "spiral"}
+        )
+        assert program_digest(variant.program) == program_digest(
+            override.program
+        )
+
+    def test_routing_family_mismatch_rejected(self):
+        with pytest.raises(StrategyError, match="family"):
+            create_compiler("powermove").compile(
+                WORKLOAD, strategies={"routing": "revert"}
+            )
+
+    def test_unknown_strategy_rejected_before_compiling(self):
+        with pytest.raises(StrategyError):
+            create_compiler("powermove").compile(
+                WORKLOAD, strategies={"placement": "nope"}
+            )
+
+    def test_new_entries_deterministic(self):
+        for backend in (
+            "powermove-spiral",
+            "powermove-reuse",
+            "powermove-sorted-route",
+        ):
+            first = create_compiler(backend).compile(WORKLOAD)
+            second = create_compiler(backend).compile(WORKLOAD)
+            assert program_digest(first.program) == program_digest(
+                second.program
+            ), backend
+
+
+class TestArchitectureCatalog:
+    def test_catalog_entries(self):
+        assert set(ARCHITECTURES.names()) >= {
+            "paper",
+            "no-storage",
+            "wide-storage",
+            "multi-aod",
+        }
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ArchitectureError, match="paper"):
+            ARCHITECTURES.get("nope")
+
+    def test_build_shapes(self):
+        paper = build_architecture("paper", 16)
+        assert paper.compute_shape == (4, 4)
+        assert paper.storage_shape == (4, 8)
+        assert not build_architecture("no-storage", 16).has_storage
+        wide = build_architecture("wide-storage", 16)
+        assert wide.storage_shape == (8, 8)
+        assert build_architecture("multi-aod", 16).num_aods == 4
+
+    def test_paper_arch_matches_default_floor_plan(self):
+        # The catalog's default entry is the historical path: same
+        # program digest with and without naming it.
+        default = create_compiler("powermove").compile(WORKLOAD)
+        named = create_compiler("powermove").compile(WORKLOAD, arch="paper")
+        assert program_digest(default.program) == program_digest(
+            named.program
+        )
+
+    def test_arch_changes_program(self):
+        paper = create_compiler("powermove").compile(WORKLOAD, arch="paper")
+        wide = create_compiler("powermove").compile(
+            WORKLOAD, arch="wide-storage"
+        )
+        assert program_digest(paper.program) != program_digest(
+            wide.program
+        )
+
+    def test_unknown_arch_rejected_eagerly(self):
+        with pytest.raises(ArchitectureError):
+            create_compiler("powermove").compile(WORKLOAD, arch="nope")
+
+
+class TestCostModel:
+    def test_powermove_ranks_cheapest_on_paper_arch(self):
+        ranking = rank_backends(WORKLOAD)
+        assert ranking[0].backend == "powermove"
+        assert all(e.feasible for e in ranking)
+
+    def test_storage_backends_infeasible_without_storage(self):
+        machine = build_architecture("no-storage", WORKLOAD.num_qubits)
+        estimate = estimate_cost("powermove", WORKLOAD, machine)
+        assert not estimate.feasible
+        assert estimate.cost == float("inf")
+
+    def test_choose_backend_diverges_by_arch(self):
+        assert choose_backend(WORKLOAD) == "powermove"
+        assert (
+            choose_backend(WORKLOAD, arch="no-storage")
+            == "powermove-nonstorage"
+        )
+
+    def test_no_feasible_candidate_raises(self):
+        with pytest.raises(ValueError, match="no feasible backend"):
+            choose_backend(
+                WORKLOAD, arch="no-storage", candidates=("powermove",)
+            )
+
+    def test_ranking_is_deterministic(self):
+        first = [e.backend for e in rank_backends(WORKLOAD)]
+        second = [e.backend for e in rank_backends(WORKLOAD)]
+        assert first == second
+        assert set(first) == set(AUTO_CANDIDATES)
+
+
+class TestAutoBackend:
+    def test_resolve_backend_is_identity_for_named_jobs(self):
+        job = CompileJob(circuit=WORKLOAD, backend="powermove")
+        assert resolve_backend(job) is job
+
+    def test_auto_job_resolves_and_shares_cache_key(self):
+        auto = CompileJob(circuit=WORKLOAD, backend="auto")
+        explicit = CompileJob(circuit=WORKLOAD, backend="powermove")
+        assert resolve_backend(auto).backend == "powermove"
+        assert job_cache_key(auto) == job_cache_key(explicit)
+
+    def test_mixed_batch_chooses_two_distinct_backends(self):
+        # The acceptance scenario: one manifest, two architectures,
+        # auto everywhere -- the engine must pick >= 2 distinct
+        # backends and surface each choice in result stats.
+        jobs = [
+            CompileJob(circuit=WORKLOAD, backend="auto"),
+            CompileJob(
+                circuit=WORKLOAD, backend="auto", arch="no-storage"
+            ),
+        ]
+        results = CompilationEngine().run(jobs)
+        choices = [r.stats["auto_backend"] for r in results]
+        assert choices == ["powermove", "powermove-nonstorage"]
+        assert all(r.ok for r in results)
+
+    def test_auto_choice_survives_cache_hits(self):
+        engine = CompilationEngine(cache=MemoryCache())
+        jobs = [CompileJob(circuit=WORKLOAD, backend="auto")]
+        cold = engine.run(jobs)[0]
+        warm = engine.run(jobs)[0]
+        assert not cold.cache_hit and warm.cache_hit
+        assert warm.stats["auto_backend"] == cold.stats["auto_backend"]
+
+    def test_auto_on_qft(self):
+        # A second workload shape through the same path; the model must
+        # return some feasible candidate and the compile must succeed.
+        circuit = qft(6)
+        job = CompileJob(circuit=circuit, backend="auto")
+        result = CompilationEngine().run([job])[0]
+        assert result.ok
+        assert result.stats["auto_backend"] in AUTO_CANDIDATES
+
+
+class TestManifestStrategies:
+    def test_manifest_arch_and_strategies_parse(self):
+        doc = {
+            "defaults": {"arch": "wide-storage"},
+            "jobs": [
+                {"benchmark": "BV-14", "backend": "powermove"},
+                {
+                    "benchmark": "BV-14",
+                    "backend": "powermove",
+                    "arch": "paper",
+                    "strategies": {"placement": "spiral"},
+                },
+                {"benchmark": "BV-14", "backend": "auto"},
+            ],
+        }
+        jobs = parse_manifest(doc)
+        assert jobs[0].arch == "wide-storage"
+        assert jobs[1].arch == "paper"
+        assert jobs[1].strategies_map == {"placement": "spiral"}
+        assert jobs[2].backend == "auto"
+
+    def test_manifest_rejects_unknown_arch(self):
+        doc = {"jobs": [{"benchmark": "BV-14", "arch": "nope"}]}
+        with pytest.raises(ManifestError, match="arch"):
+            parse_manifest(doc)
+
+    def test_manifest_rejects_unknown_strategy(self):
+        doc = {
+            "jobs": [
+                {
+                    "benchmark": "BV-14",
+                    "strategies": {"placement": "nope"},
+                }
+            ]
+        }
+        with pytest.raises(ManifestError, match="placement strategy"):
+            parse_manifest(doc)
+
+    def test_strategies_enter_cache_key(self):
+        plain = CompileJob(benchmark="BV-14", backend="powermove")
+        spiral = CompileJob(
+            benchmark="BV-14",
+            backend="powermove",
+            strategies={"placement": "spiral"},
+        )
+        arched = CompileJob(
+            benchmark="BV-14", backend="powermove", arch="wide-storage"
+        )
+        keys = {
+            job_cache_key(plain),
+            job_cache_key(spiral),
+            job_cache_key(arched),
+        }
+        assert len(keys) == 3
