@@ -11,7 +11,9 @@ Commands:
     loadgen    Drive a daemon or coordinator with synthetic traffic
                and report p50/p95/p99 submit-to-result latency.
     submit     Send a job manifest to a running service.
-    status     Queue occupancy of a running service.
+    status     Queue occupancy of a running service (per-job attempts,
+               queue wait and span time for one submission).
+    trace      Render one finished job's span timeline as a tree.
     results    Fetch / follow a submission's result records (NDJSON).
     shutdown   Stop a running service (draining by default;
                --fleet tears down a coordinator's daemons too).
@@ -54,6 +56,12 @@ same protocol, routing each job to the daemon that rendezvous-hashing
 its cache key picks (warm-cache affinity), spilling on load and
 stealing work from stragglers; ``loadgen`` measures the
 submit-to-result latency distribution of either topology.
+Observability rides on the same protocol: ``serve --metrics
+HOST:PORT`` adds a Prometheus ``GET /metrics`` listener, ``trace``
+renders a finished job's recorded spans (queue wait, attempts,
+per-pass compile times, cache-tier lookups) and ``loadgen --scrape
+URL`` embeds ``/metrics`` samples in its report -- see
+``docs/observability.md``.
 
 Examples:
     python -m repro compile circuit.qasm --no-storage --trace
@@ -758,20 +766,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             lease_seconds=args.lease,
             completed_ttl=args.completed_ttl,
             announce=args.announce,
+            metrics_address=args.metrics,
         )
-    except CacheSpecError as exc:
+    except (CacheSpecError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     server.start()
     announce_note = (
         f", announcing to {args.announce}" if args.announce else ""
     )
+    metrics_note = (
+        f", metrics at {server.metrics_url}" if server.metrics_url else ""
+    )
     print(
         f"repro service listening on {server.address} "
         f"(queue {args.queue_dir}, {args.workers} workers, "
         f"retries {args.retries}, "
         f"cache {describe_cache(server.cache)}"
-        f"{announce_note})",
+        f"{announce_note}{metrics_note})",
         flush=True,
     )
     try:
@@ -841,6 +853,23 @@ def _cmd_status(args: argparse.Namespace) -> int:
             f"{args.submission}: {line} "
             f"(of {reply['total_jobs']} jobs)"
         )
+        for job in reply.get("jobs", []):
+            attempts = job.get("attempts")
+            wait_s = job.get("queue_wait_s")
+            span_s = job.get("span_time_s")
+            detail = ", ".join(
+                part
+                for part in (
+                    f"attempts {attempts}" if attempts else None,
+                    f"waited {wait_s:.3f}s" if wait_s is not None else None,
+                    f"spans {span_s:.3f}s" if span_s is not None else None,
+                )
+                if part
+            )
+            print(
+                f"  {job['id']}: {job['status']}"
+                + (f" ({detail})" if detail else "")
+            )
     else:
         print(f"queue: {line}")
         for sub in reply["submissions"]:
@@ -850,6 +879,23 @@ def _cmd_status(args: argparse.Namespace) -> int:
                 f"  {sub['id']}: {done}/{sub['total_jobs']} finished "
                 f"({sub_counts['error']} failed)"
             )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.trace import render_trace_tree
+    from .service import ServiceError
+
+    client = _service_client(args)
+    try:
+        reply = client.trace(args.job)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(reply["trace"], indent=1))
+    else:
+        print(render_trace_tree(reply["trace"]))
     return 0
 
 
@@ -981,6 +1027,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             distinct_seeds=args.distinct,
             seed=args.seed,
             progress=progress,
+            scrape_url=args.scrape,
         )
     except (ServiceError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -1273,6 +1320,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(re-announced periodically, so a restarted coordinator "
         "re-learns this daemon)",
     )
+    p_serve.add_argument(
+        "--metrics",
+        default=None,
+        metavar="LISTEN",
+        help="serve the Prometheus exposition on an HTTP listener at "
+        "GET /metrics (HOST:PORT, :PORT or a bare port; default: off)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_coordinate = sub.add_parser(
@@ -1386,6 +1440,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a line per completed submission to stderr",
     )
     p_loadgen.add_argument(
+        "--scrape",
+        default=None,
+        metavar="URL",
+        help="sample this GET /metrics URL ('serve --metrics') once "
+        "per second while the burst runs and embed the series in the "
+        "report's 'scrape' block",
+    )
+    p_loadgen.add_argument(
         "--output",
         help="write the latency report JSON here (default: stdout)",
     )
@@ -1429,6 +1491,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the raw status response JSON",
     )
     p_status.set_defaults(func=_cmd_status)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="render one finished job's span timeline as a tree",
+    )
+    p_trace.add_argument(
+        "job",
+        help="job id from 'repro status SUBMISSION' "
+        "(daemon: s000001-00003; coordinator: c000001-00003)",
+    )
+    p_trace.add_argument(
+        "--connect", required=True, metavar="ADDR", help=connect_help
+    )
+    p_trace.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw trace-v1 document instead of the tree",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_results = sub.add_parser(
         "results",

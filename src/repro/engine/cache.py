@@ -36,6 +36,7 @@ import json
 import os
 import tempfile
 import threading
+import time
 from dataclasses import asdict, dataclass
 from typing import Any
 
@@ -141,6 +142,15 @@ class ProgramCache:
     served the most recent hit (for plain backends, the backend's own
     :attr:`kind`; tiered caches report the member tier) -- callers
     that want per-job attribution read it immediately after ``get``.
+    Both :attr:`last_hit_tier` and :attr:`last_lookup_profile` are
+    **per-thread** state: service worker threads share one cache, and
+    a neighbour's lookup must not clobber the attribution this thread
+    is about to read.
+
+    Counter mutation and :meth:`stats_doc` snapshots share one
+    ``_stats_lock``, so a ``ping`` reading the stats mid-flush sees a
+    consistent document (tiered caches additionally hold the lock for
+    the whole write-back flush batch).
     """
 
     #: Short backend identity used in specs, stats and tier names.
@@ -148,17 +158,44 @@ class ProgramCache:
 
     def __init__(self) -> None:
         self.stats = CacheStats()
-        self.last_hit_tier: str | None = None
+        # Serialises counter updates against stats_doc() snapshots.
+        self._stats_lock = threading.RLock()
+        self._tls = threading.local()
+
+    @property
+    def last_hit_tier(self) -> str | None:
+        """Tier that served this thread's most recent hit (or None)."""
+        return getattr(self._tls, "hit_tier", None)
+
+    @last_hit_tier.setter
+    def last_hit_tier(self, value: str | None) -> None:
+        self._tls.hit_tier = value
+
+    @property
+    def last_lookup_profile(self) -> list[dict[str, Any]]:
+        """Per-tier timing of this thread's most recent ``get``.
+
+        One ``{"tier", "duration_s", "hit"}`` entry per tier consulted,
+        in consultation order -- the source of the per-tier cache
+        lookup spans in job traces.
+        """
+        return list(getattr(self._tls, "lookup_profile", ()))
 
     def get(self, key: str) -> dict[str, Any] | None:
         """Look up an artifact; ``None`` on miss."""
+        start = time.perf_counter()
         doc = self._load(key)
-        if doc is None:
-            self.stats.misses += 1
-            self.last_hit_tier = None
-        else:
-            self.stats.hits += 1
-            self.last_hit_tier = self.kind
+        duration = time.perf_counter() - start
+        hit = doc is not None
+        with self._stats_lock:
+            if hit:
+                self.stats.hits += 1
+            else:
+                self.stats.misses += 1
+        self.last_hit_tier = self.kind if hit else None
+        self._tls.lookup_profile = [
+            {"tier": self.kind, "duration_s": duration, "hit": hit}
+        ]
         return doc
 
     def put(
@@ -180,12 +217,13 @@ class ProgramCache:
                 f"put kind must be one of {PUT_KINDS}, got {kind!r}"
             )
         self._store(key, doc)
-        if kind == "fill":
-            self.stats.fills += 1
-        elif kind == "revalidate":
-            self.stats.revalidations += 1
-        else:
-            self.stats.stores += 1
+        with self._stats_lock:
+            if kind == "fill":
+                self.stats.fills += 1
+            elif kind == "revalidate":
+                self.stats.revalidations += 1
+            else:
+                self.stats.stores += 1
 
     def contains(self, key: str) -> bool:
         """Whether ``key`` is present (no stats, no recency refresh)."""
@@ -220,9 +258,12 @@ class ProgramCache:
     def stats_doc(self) -> dict[str, Any]:
         """This cache's counters as a JSON-safe document.
 
+        Snapshot under ``_stats_lock``, so concurrent mutators (worker
+        threads, a write-back flush) can never produce a torn read.
         Tiered caches extend it with one entry per member tier.
         """
-        return {"kind": self.kind, "stats": asdict(self.stats)}
+        with self._stats_lock:
+            return {"kind": self.kind, "stats": asdict(self.stats)}
 
     def _load(self, key: str) -> dict[str, Any] | None:
         raise NotImplementedError
@@ -297,7 +338,8 @@ class MemoryCache(ProgramCache):
                 removed_bytes += size
                 del self._entries[key]
                 removed_entries += 1
-                self.stats.evictions += 1
+                with self._stats_lock:
+                    self.stats.evictions += 1
         return PruneReport(
             removed_entries=removed_entries,
             removed_bytes=removed_bytes,
@@ -548,7 +590,8 @@ class DiskCache(ProgramCache):
                     total -= size
                     removed_entries += 1
                     removed_bytes += size
-                    self.stats.evictions += 1
+                    with self._stats_lock:
+                        self.stats.evictions += 1
             self._size_estimate = total
         return PruneReport(
             removed_entries=removed_entries,

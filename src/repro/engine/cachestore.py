@@ -34,6 +34,9 @@ Protocol (version 1, all payloads canonical JSON)::
     GET  /v1/stats         200 {"protocol", "entries", "total_bytes",
                            "stats": {hits, misses, ...}}
     POST /v1/prune         200 PruneReport doc; body {"max_bytes": N}
+    GET  /metrics          200 Prometheus text exposition of the
+                           backing store's counters (see
+                           docs/observability.md)
 
 ``<key>`` is the 64-hex :func:`repro.engine.cache.job_cache_key`;
 anything else is 400.  The digest is SHA-256 over the canonical
@@ -166,8 +169,12 @@ class RemoteCache(ProgramCache):
     def _down(self) -> bool:
         return time.monotonic() < self._down_until
 
+    def _count_error(self) -> None:
+        with self._stats_lock:
+            self.stats.errors += 1
+
     def _transport_error(self) -> None:
-        self.stats.errors += 1
+        self._count_error()
         self._down_until = time.monotonic() + self.cooldown
 
     def _request(
@@ -207,19 +214,19 @@ class RemoteCache(ProgramCache):
             self._transport_error()
             return None
         if len(payload) > MAX_BODY_BYTES:
-            self.stats.errors += 1
+            self._count_error()
             return None
         if claimed is not None and claimed != artifact_digest(payload):
             # Corrupted / truncated transfer: reject, recompile.
-            self.stats.errors += 1
+            self._count_error()
             return None
         try:
             doc = json.loads(payload.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
-            self.stats.errors += 1
+            self._count_error()
             return None
         if not isinstance(doc, dict):
-            self.stats.errors += 1
+            self._count_error()
             return None
         return doc
 
@@ -236,7 +243,7 @@ class RemoteCache(ProgramCache):
                 "PUT", self._entry_url(key), body=payload, headers=headers
             ) as response:
                 if response.status not in (200, 201, 204):
-                    self.stats.errors += 1
+                    self._count_error()
         except (OSError, urllib.error.URLError, http.client.HTTPException):
             self._transport_error()
 
@@ -313,6 +320,76 @@ class RemoteCache(ProgramCache):
 
 
 # ----------------------------------------------------------------------
+# Metrics exposition
+# ----------------------------------------------------------------------
+
+
+def cache_stats_registry(store: ProgramCache) -> Any:
+    """A :class:`repro.obs.MetricsRegistry` view of a cache's counters.
+
+    One sample per tier (plain caches count as a single tier named
+    after their kind): ``repro_cache_requests_total{tier,result}``,
+    ``repro_cache_writes_total{tier,kind}``,
+    ``repro_cache_evictions_total{tier}`` and
+    ``repro_cache_errors_total{tier}``, plus occupancy gauges where the
+    backend can report them.  Backs ``GET /metrics`` on the cache
+    server and the cache section of the service daemon's exposition.
+    """
+    from ..obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    doc = store.stats_doc()
+    tiers = doc.get("tiers") or [
+        {"name": doc["kind"], "kind": doc["kind"], "stats": doc["stats"]}
+    ]
+    requests = registry.counter(
+        "repro_cache_requests_total",
+        "Cache lookups by tier and result.",
+        ("tier", "result"),
+    )
+    writes = registry.counter(
+        "repro_cache_writes_total",
+        "Cache writes by tier and kind (store/fill/revalidate).",
+        ("tier", "kind"),
+    )
+    evictions = registry.counter(
+        "repro_cache_evictions_total",
+        "Cache entries evicted, by tier.",
+        ("tier",),
+    )
+    errors = registry.counter(
+        "repro_cache_errors_total",
+        "Remote-transport failures degraded fail-soft, by tier.",
+        ("tier",),
+    )
+    for tier in tiers:
+        name = tier["name"]
+        stats = tier["stats"]
+        requests.set(stats.get("hits", 0), tier=name, result="hit")
+        requests.set(stats.get("misses", 0), tier=name, result="miss")
+        writes.set(stats.get("stores", 0), tier=name, kind="store")
+        writes.set(stats.get("fills", 0), tier=name, kind="fill")
+        writes.set(
+            stats.get("revalidations", 0), tier=name, kind="revalidate"
+        )
+        evictions.set(stats.get("evictions", 0), tier=name)
+        errors.set(stats.get("errors", 0), tier=name)
+    try:
+        info = store.info()
+    except Exception:
+        info = {}
+    if info.get("entries") is not None:
+        registry.gauge(
+            "repro_cache_entries", "Entries in the backing store."
+        ).set(info["entries"])
+    if info.get("total_bytes") is not None:
+        registry.gauge(
+            "repro_cache_size_bytes", "Bytes in the backing store."
+        ).set(info["total_bytes"])
+    return registry
+
+
+# ----------------------------------------------------------------------
 # Reference server
 # ----------------------------------------------------------------------
 
@@ -359,6 +436,20 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         path = urllib.parse.urlparse(self.path).path
+        if path == "/metrics":
+            from ..obs.metrics import PROMETHEUS_CONTENT_TYPE
+
+            payload = (
+                cache_stats_registry(self._store())
+                .render_prometheus()
+                .encode("utf-8")
+            )
+            self.send_response(200)
+            self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+            return
         if path == "/v1/stats":
             store = self._store()
             info = store.info()
@@ -603,18 +694,35 @@ class TieredCache(ProgramCache):
     # -- lookups -------------------------------------------------------
 
     def get(self, key: str) -> dict[str, Any] | None:
+        profile: list[dict[str, Any]] = []
+        found: dict[str, Any] | None = None
+        hit_position = -1
         for position, tier in enumerate(self.tiers):
+            start = time.perf_counter()
             doc = tier.get(key)
-            if doc is None:
-                continue
-            for upper in self.tiers[:position]:
-                upper.put(key, doc, kind="fill")
-            self.stats.hits += 1
-            self.last_hit_tier = self.tier_names[position]
-            return doc
-        self.stats.misses += 1
-        self.last_hit_tier = None
-        return None
+            profile.append(
+                {
+                    "tier": self.tier_names[position],
+                    "duration_s": time.perf_counter() - start,
+                    "hit": doc is not None,
+                }
+            )
+            if doc is not None:
+                found = doc
+                hit_position = position
+                break
+        if found is not None:
+            for upper in self.tiers[:hit_position]:
+                upper.put(key, found, kind="fill")
+            with self._stats_lock:
+                self.stats.hits += 1
+            self.last_hit_tier = self.tier_names[hit_position]
+        else:
+            with self._stats_lock:
+                self.stats.misses += 1
+            self.last_hit_tier = None
+        self._tls.lookup_profile = profile
+        return found
 
     def put(
         self, key: str, doc: dict[str, Any], *, kind: str = "store"
@@ -626,12 +734,13 @@ class TieredCache(ProgramCache):
                 self._pending.add(key)
         for tier in targets:
             tier.put(key, doc, kind=kind)
-        if kind == "fill":
-            self.stats.fills += 1
-        elif kind == "revalidate":
-            self.stats.revalidations += 1
-        else:
-            self.stats.stores += 1
+        with self._stats_lock:
+            if kind == "fill":
+                self.stats.fills += 1
+            elif kind == "revalidate":
+                self.stats.revalidations += 1
+            else:
+                self.stats.stores += 1
 
     def contains(self, key: str) -> bool:
         return any(tier.contains(key) for tier in self.tiers)
@@ -649,6 +758,11 @@ class TieredCache(ProgramCache):
         retried by the next flush, so an uplink outage delays the
         upload instead of silently losing it.  Returns the number of
         entries actually pushed.
+
+        The whole push batch runs under the stats lock shared with
+        :meth:`stats_doc`, so a concurrent stats snapshot (the service
+        ``ping`` / ``metrics`` path) observes a flush either entirely
+        or not at all -- never a torn half-applied batch.
         """
         if self.write_policy != "back" or len(self.tiers) < 2:
             return 0
@@ -658,25 +772,26 @@ class TieredCache(ProgramCache):
         last = self.tiers[-1]
         flushed = 0
         unflushed: list[str] = []
-        for position, key in enumerate(pending):
-            if isinstance(last, RemoteCache) and last._down():
-                # Inside the failure cooldown every store would be
-                # dropped silently; keep the rest for the next flush.
-                unflushed.extend(pending[position:])
-                break
-            doc = None
-            for tier in self.tiers[:-1]:
-                doc = tier._load(key)
-                if doc is not None:
+        with self._stats_lock:
+            for position, key in enumerate(pending):
+                if isinstance(last, RemoteCache) and last._down():
+                    # Inside the failure cooldown every store would be
+                    # dropped silently; keep the rest for the next flush.
+                    unflushed.extend(pending[position:])
                     break
-            if doc is None:
-                continue
-            errors_before = last.stats.errors
-            last.put(key, doc, kind="store")
-            if last.stats.errors > errors_before:
-                unflushed.append(key)  # transport failure: retry later
-                continue
-            flushed += 1
+                doc = None
+                for tier in self.tiers[:-1]:
+                    doc = tier._load(key)
+                    if doc is not None:
+                        break
+                if doc is None:
+                    continue
+                errors_before = last.stats.errors
+                last.put(key, doc, kind="store")
+                if last.stats.errors > errors_before:
+                    unflushed.append(key)  # transport failure: retry later
+                    continue
+                flushed += 1
         if unflushed:
             with self._pending_lock:
                 self._pending.update(unflushed)
@@ -717,18 +832,22 @@ class TieredCache(ProgramCache):
         }
 
     def stats_doc(self) -> dict[str, Any]:
-        return {
-            "kind": self.kind,
-            "stats": asdict(self.stats),
-            "tiers": [
-                {
-                    "name": name,
-                    "kind": tier.kind,
-                    "stats": asdict(tier.stats),
-                }
-                for name, tier in zip(self.tier_names, self.tiers)
-            ],
-        }
+        # Snapshot under the stats lock flush() holds for its whole
+        # batch: a reader (service ping / metrics) never sees some
+        # tiers before a flush and some after.
+        with self._stats_lock:
+            return {
+                "kind": self.kind,
+                "stats": asdict(self.stats),
+                "tiers": [
+                    {
+                        "name": name,
+                        "kind": tier.kind,
+                        "stats": tier.stats_doc()["stats"],
+                    }
+                    for name, tier in zip(self.tier_names, self.tiers)
+                ],
+            }
 
 
 def _tier_names(tiers: Sequence[ProgramCache]) -> list[str]:
@@ -884,6 +1003,7 @@ __all__ = [
     "TieredCache",
     "artifact_digest",
     "artifact_payload",
+    "cache_stats_registry",
     "describe_cache",
     "make_cache",
     "parse_cache_spec",

@@ -162,6 +162,15 @@ class JobResult:
             ``"remote"``, or the backend kind for plain caches); on
             ``backend="auto"`` jobs, ``"auto_backend"`` -- the concrete
             backend the cost model chose (``job`` is the resolved job).
+            When the engine compiled in-process (``workers == 1``, the
+            service configuration) it also records ``"spans"`` -- raw
+            span dicts (``name``/``start``/``end``/``attrs``/
+            ``children``, timestamps in ``time.perf_counter`` units)
+            covering the cache lookup (per-tier children) and every
+            compilation attempt (per-pass children on the successful
+            one); see :func:`repro.obs.trace.rebase_spans`.  Pool
+            compilations stay span-free: their perf counters are not
+            comparable across processes.
             Volatile by definition: never part of result records.
     """
 
@@ -305,6 +314,7 @@ class CompilationEngine:
     ) -> Iterator[JobResult]:
         total = len(batch)
         pending: list[tuple[int, CompileJob, Any, str]] = []
+        lookup_spans: dict[int, dict[str, Any]] = {}
 
         resolved: dict[tuple[str, int], Any] = {}
         auto_choices: dict[int, str] = {}
@@ -324,9 +334,19 @@ class CompilationEngine:
                 job = resolve_backend(job, circuit)
                 auto_choices[index] = job.backend_name
             key = job_cache_key(job, circuit.digest())
+            lookup_start = time.perf_counter()
             doc = self.cache.get(key)
+            lookup_end = time.perf_counter()
+            lookup_spans[index] = _lookup_span(
+                lookup_start,
+                lookup_end,
+                self.cache.last_lookup_profile,
+                hit=doc is not None,
+            )
             if doc is not None:
                 hit_tier = self.cache.last_hit_tier
+                if hit_tier is not None:
+                    lookup_spans[index]["attrs"]["tier"] = hit_tier
                 try:
                     result = self._result_from_artifact(
                         job, index, key, doc, cache_hit=True,
@@ -344,12 +364,15 @@ class CompilationEngine:
                     continue
                 if index in auto_choices:
                     result.stats["auto_backend"] = auto_choices[index]
+                result.stats["spans"] = [lookup_spans[index]]
                 self._emit(index, total, job, True, doc["compile_time"])
                 yield result
             else:
                 pending.append((index, job, circuit, key))
 
-        for result in self._compile_pending(pending, total, policy):
+        for result in self._compile_pending(
+            pending, total, policy, lookup_spans=lookup_spans
+        ):
             if result.index in auto_choices and result.ok:
                 result.stats["auto_backend"] = auto_choices[result.index]
             yield result
@@ -361,24 +384,52 @@ class CompilationEngine:
         return self.backoff * 2 ** (attempt - 1)
 
     def _execute_with_retries(
-        self, job: CompileJob, circuit: Any
+        self,
+        job: CompileJob,
+        circuit: Any,
+        spans: list[dict[str, Any]] | None = None,
     ) -> tuple[dict[str, Any] | None, Exception | None, int, float]:
         """Run one job in-process, retrying per the engine policy.
 
         Returns ``(artifact, final_exception, attempts, waited_s)``;
-        exactly one of artifact / exception is set.
+        exactly one of artifact / exception is set.  When ``spans`` is
+        given, every attempt appends one raw ``"compile"`` span to it
+        (``attrs`` carry the attempt number, and the exception type on
+        failed attempts -- the retry cause).
         """
         waited = 0.0
         for attempt in range(1, self.retries + 2):
+            start = time.perf_counter()
             try:
-                return execute_job_on_circuit(job, circuit), None, attempt, waited
+                artifact = execute_job_on_circuit(job, circuit)
             except Exception as exc:
+                if spans is not None:
+                    spans.append({
+                        "name": "compile",
+                        "start": start,
+                        "end": time.perf_counter(),
+                        "attrs": {
+                            "attempt": attempt,
+                            "error": type(exc).__name__,
+                        },
+                        "children": [],
+                    })
                 if attempt > self.retries:
                     return None, exc, attempt, waited
                 delay = self._retry_delay(attempt)
                 if delay:
                     time.sleep(delay)
                 waited += delay
+                continue
+            if spans is not None:
+                spans.append({
+                    "name": "compile",
+                    "start": start,
+                    "end": time.perf_counter(),
+                    "attrs": {"attempt": attempt},
+                    "children": [],
+                })
+            return artifact, None, attempt, waited
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _compile_pending(
@@ -386,19 +437,28 @@ class CompilationEngine:
         pending: Sequence[tuple[int, CompileJob, Any, str]],
         total: int,
         policy: str,
+        lookup_spans: dict[int, dict[str, Any]] | None = None,
     ) -> Iterator[JobResult]:
         """Yield a :class:`JobResult` for every cache miss.
 
         Failures are surfaced -- raised or collected -- only after the
         job's final attempt; earlier attempts retry after exponential
         backoff (``backoff * 2**(attempt-1)`` seconds).
+
+        The in-process path threads ``lookup_spans`` (per-index cache
+        lookup spans from the dispatch loop) into each result's span
+        list; the pool path drops them -- a partial trace whose compile
+        phase is missing would misreport where the time went.
         """
         if not pending:
             return
         if self.workers == 1 or len(pending) == 1:
             for index, job, circuit, key in pending:
+                spans: list[dict[str, Any]] = []
+                if lookup_spans and index in lookup_spans:
+                    spans.append(lookup_spans[index])
                 artifact, exc, attempts, waited = (
-                    self._execute_with_retries(job, circuit)
+                    self._execute_with_retries(job, circuit, spans=spans)
                 )
                 if exc is not None:
                     failure = _describe_failure(index, job, key, exc)
@@ -409,11 +469,13 @@ class CompilationEngine:
                     yield self._failure(
                         index, total, job, key, exc, failure=failure,
                         attempts=attempts, retry_wait_s=waited,
+                        spans=spans,
                     )
                     continue
                 yield self._finish(
                     index, total, job, key, artifact,
                     attempts=attempts, retry_wait_s=waited,
+                    spans=spans,
                 )
             return
         max_workers = min(self.workers, len(pending))
@@ -542,13 +604,30 @@ class CompilationEngine:
         artifact: dict[str, Any],
         attempts: int = 1,
         retry_wait_s: float = 0.0,
+        spans: list[dict[str, Any]] | None = None,
     ) -> JobResult:
-        """Store a fresh artifact and materialise its result."""
+        """Store a fresh artifact and materialise its result.
+
+        ``pass_spans`` is popped off the artifact *before* the cache
+        write: the cached document keeps its historical schema and a
+        later hit never replays the timeline of the machine that
+        happened to compile it first.  When this compilation recorded
+        spans, the popped offsets become the per-pass children of the
+        final (successful) compile span.
+        """
+        pass_spans = artifact.pop("pass_spans", None)
         self.cache.put(key, artifact)
         result = self._result_from_artifact(
             job, index, key, artifact, cache_hit=False,
             attempts=attempts, retry_wait_s=retry_wait_s,
         )
+        if spans is not None:
+            if pass_spans and spans:
+                spans[-1]["children"] = [
+                    (name, start_s, end_s)
+                    for name, start_s, end_s in pass_spans
+                ]
+            result.stats["spans"] = spans
         self._emit(index, total, job, False, artifact["compile_time"])
         return result
 
@@ -562,6 +641,7 @@ class CompilationEngine:
         failure: JobFailure | None = None,
         attempts: int = 1,
         retry_wait_s: float = 0.0,
+        spans: list[dict[str, Any]] | None = None,
     ) -> JobResult:
         """Materialise a failed job as an error-carrying result."""
         if failure is None:
@@ -578,6 +658,7 @@ class CompilationEngine:
             error=failure,
             attempts=attempts,
             retry_wait_s=retry_wait_s,
+            stats={"spans": spans} if spans else {},
         )
 
     def _result_from_artifact(
@@ -647,6 +728,36 @@ class CompilationEngine:
                     failed=failed,
                 )
             )
+
+
+def _lookup_span(
+    start: float,
+    end: float,
+    profile: list[dict[str, Any]],
+    hit: bool,
+) -> dict[str, Any]:
+    """Build a raw ``cache.lookup`` span from a per-tier profile.
+
+    ``profile`` is :attr:`ProgramCache.last_lookup_profile` -- the
+    tiers consulted by the lookup, in order, each with its duration.
+    The tiers become child spans laid end-to-end from the lookup start
+    (they ran sequentially, so that is also how they ran).
+    """
+    children: list[tuple[str, float, float]] = []
+    offset = 0.0
+    for entry in profile:
+        duration = float(entry.get("duration_s", 0.0))
+        children.append(
+            (f"cache.{entry.get('tier', '?')}", offset, offset + duration)
+        )
+        offset += duration
+    return {
+        "name": "cache.lookup",
+        "start": start,
+        "end": end,
+        "attrs": {"hit": hit},
+        "children": children,
+    }
 
 
 def _describe_failure(

@@ -356,7 +356,13 @@ def execute_job_on_circuit(
         {"program": <serialize.program_to_dict doc>,
          "compile_time": <T_comp seconds>,
          "validated": <bool>,
-         "pass_timings": <pass name -> seconds>}
+         "pass_timings": <pass name -> seconds>,
+         "pass_spans": [[name, start_s, end_s], ...]}
+
+    ``pass_spans`` are this compile's real per-pass offsets (relative
+    to compile start) -- measurement of *this* run, not content; the
+    engine pops them off before the artifact is cached, so cache hits
+    never replay a previous machine's timeline.
     """
     job = resolve_backend(job, circuit)
     compilation = job_compiler(job).compile(
@@ -377,6 +383,7 @@ def execute_job_on_circuit(
         "compile_time": compilation.compile_time,
         "validated": job.validate,
         "pass_timings": compilation.stats.get("pass_timings", {}),
+        "pass_spans": compilation.stats.get("pass_spans", []),
     }
 
 

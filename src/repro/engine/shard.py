@@ -46,12 +46,15 @@ _DOC_VOLATILE_FIELDS = (
 )
 #: Per-record fields that depend on the run environment (retry
 #: bookkeeping is environmental too: transient failures happen on a
-#: machine, not in a manifest).
+#: machine, not in a manifest).  ``trace`` is the per-job span document
+#: the compilation service attaches (queue wait, attempts, per-pass
+#: offsets) -- pure wall-clock measurement, never manifest content.
 _RECORD_VOLATILE_FIELDS = (
     "compile_time_s",
     "cache_hit",
     "attempts",
     "retry_wait_s",
+    "trace",
 )
 
 _ItemT = TypeVar("_ItemT")

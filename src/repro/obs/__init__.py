@@ -1,0 +1,56 @@
+"""Observability: metrics registry + exposition, per-job tracing.
+
+See :mod:`repro.obs.metrics` for the counter/gauge/histogram registry
+(Prometheus text exposition v0.0.4 + mergeable JSON docs, stdlib HTTP
+``/metrics`` listener) and :mod:`repro.obs.trace` for the ``trace-v1``
+span recorder the service threads through every job's lifecycle.
+Catalog and deployment recipes: ``docs/observability.md``.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    METRICS_DOC_FORMAT,
+    METRICS_DOC_VERSION,
+    PROMETHEUS_CONTENT_TYPE,
+    MetricError,
+    MetricsRegistry,
+    MetricsServer,
+    global_registry,
+    render_prometheus_doc,
+)
+from .trace import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    Span,
+    Trace,
+    TraceError,
+    pass_spans_from_timings,
+    rebase_spans,
+    render_trace_tree,
+    span_seconds,
+    trace_duration_s,
+    validate_trace_doc,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "METRICS_DOC_FORMAT",
+    "METRICS_DOC_VERSION",
+    "PROMETHEUS_CONTENT_TYPE",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "MetricError",
+    "MetricsRegistry",
+    "MetricsServer",
+    "Span",
+    "Trace",
+    "TraceError",
+    "global_registry",
+    "pass_spans_from_timings",
+    "rebase_spans",
+    "render_prometheus_doc",
+    "render_trace_tree",
+    "span_seconds",
+    "trace_duration_s",
+    "validate_trace_doc",
+]

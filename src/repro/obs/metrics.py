@@ -1,0 +1,517 @@
+"""Process-wide metrics: counters, gauges, histograms, exposition.
+
+A :class:`MetricsRegistry` owns a set of named metric *families*
+(counter, gauge, or fixed-bucket histogram), each fanning out into
+labeled series.  Everything is thread-safe behind one registry lock --
+instrument points are worker threads, the asyncio loop thread, and the
+maintenance sweep, all mutating concurrently with scrapes.
+
+Two expositions of the same state:
+
+* :meth:`MetricsRegistry.render_prometheus` -- Prometheus text
+  exposition format v0.0.4 (``# HELP`` / ``# TYPE`` lines, cumulative
+  ``_bucket{le=...}`` histogram series), what ``GET /metrics`` serves.
+* :meth:`MetricsRegistry.to_doc` -- a JSON document for the ``metrics``
+  service op, mergeable across a fleet with
+  :meth:`MetricsRegistry.from_docs` (counters, gauges and histograms
+  sum element-wise, so the coordinator's fleet view is the arithmetic
+  total of its daemons' registries).
+
+:class:`MetricsServer` is a stdlib ``ThreadingHTTPServer`` wrapper (the
+``RemoteCacheServer`` pattern) mounting any render callable at
+``GET /metrics``; ``repro serve --metrics`` and ``repro cache serve``
+both use it/its handler.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+#: Schema identity of the JSON exposition (``metrics`` op payload).
+METRICS_DOC_FORMAT = "repro-metrics"
+METRICS_DOC_VERSION = 1
+
+#: Content type of the Prometheus text exposition.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Default histogram edges, tuned for compile/queue durations in
+#: seconds (sub-millisecond cache hits up to minute-long compiles).
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class MetricError(ValueError):
+    """Raised on malformed metric declarations or unmergeable docs."""
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample rendering: integral floats without ``.0``."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _render_labels(
+    names: Sequence[str], values: Sequence[str], extra: str = ""
+) -> str:
+    parts = [
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class _Family:
+    """One named metric family: kind + label schema + series states.
+
+    Series state is ``float`` for counters/gauges and
+    ``[bucket_counts..., +Inf_count, sum, count]``-shaped dicts for
+    histograms.  All mutation happens under the owning registry's lock.
+    """
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        kind: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] | None = None,
+    ) -> None:
+        self._registry = registry
+        self.name = name
+        self.kind = kind
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        self.buckets = None if buckets is None else tuple(buckets)
+        self._series: dict[tuple[str, ...], Any] = {}
+
+    # -- series addressing -------------------------------------------
+
+    def _key(self, labels: Mapping[str, Any]) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise MetricError(
+                f"{self.name}: labels {sorted(labels)} != declared "
+                f"{sorted(self.labelnames)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _blank(self) -> Any:
+        if self.kind == "histogram":
+            return {
+                "counts": [0] * (len(self.buckets) + 1),
+                "sum": 0.0,
+                "count": 0,
+            }
+        return 0.0
+
+    def _state(self, labels: Mapping[str, Any]) -> Any:
+        key = self._key(labels)
+        if key not in self._series:
+            self._series[key] = self._blank()
+        return key
+
+    # -- instrumentation ---------------------------------------------
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Add ``amount`` (counters must move forward)."""
+        if self.kind == "counter" and amount < 0:
+            raise MetricError(f"{self.name}: counter increment < 0")
+        with self._registry._lock:
+            key = self._state(labels)
+            self._series[key] += amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        """Gauges only: subtract ``amount``."""
+        if self.kind != "gauge":
+            raise MetricError(f"{self.name}: dec() on a {self.kind}")
+        self.set(self.value(**labels) - amount, **labels)
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Overwrite a series.
+
+        Gauges use this for sampled values; counters use it to mirror
+        an external monotonic total (queue counts, cache stats docs)
+        maintained elsewhere -- callers own the monotonicity there.
+        """
+        if self.kind == "histogram":
+            raise MetricError(f"{self.name}: set() on a histogram")
+        with self._registry._lock:
+            key = self._state(labels)
+            self._series[key] = float(value)
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Histograms only: record one sample."""
+        if self.kind != "histogram":
+            raise MetricError(f"{self.name}: observe() on a {self.kind}")
+        with self._registry._lock:
+            key = self._state(labels)
+            state = self._series[key]
+            position = len(self.buckets)
+            for index, edge in enumerate(self.buckets):
+                if value <= edge:
+                    position = index
+                    break
+            state["counts"][position] += 1
+            state["sum"] += value
+            state["count"] += 1
+
+    # -- reads --------------------------------------------------------
+
+    def value(self, **labels: Any) -> float:
+        """Current value of one counter/gauge series (0 if unseen)."""
+        if self.kind == "histogram":
+            raise MetricError(f"{self.name}: value() on a histogram")
+        key = self._key(labels)
+        with self._registry._lock:
+            return float(self._series.get(key, 0.0))
+
+    def sample_doc(self) -> list[dict[str, Any]]:
+        with self._registry._lock:
+            samples = []
+            for key in sorted(self._series):
+                state = self._series[key]
+                doc: dict[str, Any] = {
+                    "labels": dict(zip(self.labelnames, key))
+                }
+                if self.kind == "histogram":
+                    doc["counts"] = list(state["counts"])
+                    doc["sum"] = state["sum"]
+                    doc["count"] = state["count"]
+                else:
+                    doc["value"] = state
+                samples.append(doc)
+            return samples
+
+
+class MetricsRegistry:
+    """A set of metric families with JSON + Prometheus expositions.
+
+    Declarations are idempotent: re-declaring a family with the same
+    kind/labels/buckets returns the existing one (so independent
+    components can share ``global_registry()`` without coordination);
+    a conflicting re-declaration raises :class:`MetricError`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._families: dict[str, _Family] = {}
+
+    # -- declaration --------------------------------------------------
+
+    def _declare(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] | None = None,
+    ) -> _Family:
+        if buckets is not None:
+            buckets = tuple(sorted(float(edge) for edge in buckets))
+            if not buckets:
+                raise MetricError(f"{name}: histogram needs buckets")
+            if len(set(buckets)) != len(buckets):
+                raise MetricError(f"{name}: duplicate bucket edges")
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if (
+                    existing.kind != kind
+                    or existing.labelnames != tuple(labelnames)
+                    or existing.buckets != buckets
+                ):
+                    raise MetricError(
+                        f"metric {name!r} re-declared with a different "
+                        f"kind/labels/buckets"
+                    )
+                return existing
+            family = _Family(
+                self, name, kind, help_text, labelnames, buckets
+            )
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> _Family:
+        """Declare (or fetch) a monotonically-increasing counter."""
+        return self._declare(name, "counter", help_text, labelnames)
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> _Family:
+        """Declare (or fetch) a set-anytime gauge."""
+        return self._declare(name, "gauge", help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> _Family:
+        """Declare (or fetch) a fixed-bucket histogram."""
+        return self._declare(
+            name, "histogram", help_text, labelnames, buckets
+        )
+
+    # -- exposition ---------------------------------------------------
+
+    def to_doc(self) -> dict[str, Any]:
+        """JSON exposition (the ``metrics`` service-op payload)."""
+        with self._lock:
+            families = []
+            for name in sorted(self._families):
+                family = self._families[name]
+                doc: dict[str, Any] = {
+                    "name": family.name,
+                    "kind": family.kind,
+                    "help": family.help_text,
+                    "labels": list(family.labelnames),
+                    "samples": family.sample_doc(),
+                }
+                if family.buckets is not None:
+                    doc["buckets"] = list(family.buckets)
+                families.append(doc)
+            return {
+                "format": METRICS_DOC_FORMAT,
+                "version": METRICS_DOC_VERSION,
+                "families": families,
+            }
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format v0.0.4."""
+        return render_prometheus_doc(self.to_doc())
+
+    # -- fleet merge --------------------------------------------------
+
+    @classmethod
+    def from_docs(cls, docs: Iterable[dict[str, Any]]) -> "MetricsRegistry":
+        """Rebuild one registry from :meth:`to_doc` payloads, summing.
+
+        The coordinator's fleet view: counters, gauges and histogram
+        buckets add element-wise across daemons (queue depths and
+        connection gauges therefore read as fleet totals).  Families
+        present on only some daemons merge fine; one family declared
+        with different kinds/labels/buckets raises
+        :class:`MetricError`.
+        """
+        merged = cls()
+        for doc in docs:
+            if doc.get("format") != METRICS_DOC_FORMAT:
+                raise MetricError("not a repro-metrics document")
+            for family_doc in doc.get("families", []):
+                family = merged._declare(
+                    family_doc["name"],
+                    family_doc["kind"],
+                    family_doc.get("help", ""),
+                    tuple(family_doc.get("labels", ())),
+                    family_doc.get("buckets"),
+                )
+                for sample in family_doc.get("samples", []):
+                    labels = sample.get("labels", {})
+                    with merged._lock:
+                        key = family._state(labels)
+                        state = family._series[key]
+                        if family.kind == "histogram":
+                            counts = sample.get("counts", [])
+                            if len(counts) != len(state["counts"]):
+                                raise MetricError(
+                                    f"{family.name}: bucket count mismatch"
+                                )
+                            for index, count in enumerate(counts):
+                                state["counts"][index] += count
+                            state["sum"] += sample.get("sum", 0.0)
+                            state["count"] += sample.get("count", 0)
+                        else:
+                            family._series[key] = state + sample.get(
+                                "value", 0.0
+                            )
+        return merged
+
+
+def render_prometheus_doc(doc: dict[str, Any]) -> str:
+    """Render a :meth:`MetricsRegistry.to_doc` payload as v0.0.4 text."""
+    lines: list[str] = []
+    for family in doc.get("families", []):
+        name = family["name"]
+        labelnames = tuple(family.get("labels", ()))
+        if family.get("help"):
+            help_text = str(family["help"]).replace("\n", " ")
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {family['kind']}")
+        for sample in family.get("samples", []):
+            values = tuple(
+                str(sample.get("labels", {}).get(label, ""))
+                for label in labelnames
+            )
+            if family["kind"] == "histogram":
+                edges = [*family.get("buckets", []), math.inf]
+                cumulative = 0
+                for edge, count in zip(edges, sample.get("counts", [])):
+                    cumulative += count
+                    le = _render_labels(
+                        labelnames,
+                        values,
+                        f'le="{_format_value(edge)}"',
+                    )
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                label_str = _render_labels(labelnames, values)
+                lines.append(
+                    f"{name}_sum{label_str} "
+                    f"{_format_value(sample.get('sum', 0.0))}"
+                )
+                lines.append(
+                    f"{name}_count{label_str} {sample.get('count', 0)}"
+                )
+            else:
+                label_str = _render_labels(labelnames, values)
+                lines.append(
+                    f"{name}{label_str} "
+                    f"{_format_value(sample.get('value', 0.0))}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+#: The process-wide default registry, for instrumentation points that
+#: are not handed a registry explicitly.
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return _GLOBAL_REGISTRY
+
+
+# ----------------------------------------------------------------------
+# HTTP exposition (the RemoteCacheServer pattern)
+# ----------------------------------------------------------------------
+
+
+class _MetricsRequestHandler(BaseHTTPRequestHandler):
+    """``GET /metrics`` -> the server's render callable, as text."""
+
+    server_version = "repro-metrics/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not getattr(self.server, "quiet", True):
+            super().log_message(format, *args)
+
+    def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
+        if self.path.split("?", 1)[0] != "/metrics":
+            body = b"not found\n"
+            self.send_response(404)
+            self.send_header("Content-Type", "text/plain")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        try:
+            body = self.server.render_metrics().encode("utf-8")
+        except Exception as exc:  # render must never kill the scrape
+            body = f"# metrics render failed: {exc}\n".encode("utf-8")
+            self.send_response(500)
+            self.send_header("Content-Type", "text/plain")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class MetricsServer:
+    """A threaded stdlib HTTP listener serving ``GET /metrics``.
+
+    Args:
+        render: Zero-argument callable returning the exposition text
+            (typically a bound ``registry.render_prometheus`` -- but a
+            server can snapshot gauges first in a wrapper).
+        host: Bind host.
+        port: Bind port (0 picks a free one).
+        quiet: Suppress per-request logging.
+    """
+
+    def __init__(
+        self,
+        render: Callable[[], str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quiet: bool = True,
+    ) -> None:
+        self._httpd = ThreadingHTTPServer(
+            (host, port), _MetricsRequestHandler
+        )
+        self._httpd.daemon_threads = True
+        self._httpd.render_metrics = render
+        self._httpd.quiet = quiet
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        """``http://host:port/metrics``."""
+        host, port = self.address
+        return f"http://{host}:{port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the socket."""
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "METRICS_DOC_FORMAT",
+    "METRICS_DOC_VERSION",
+    "PROMETHEUS_CONTENT_TYPE",
+    "MetricError",
+    "MetricsRegistry",
+    "MetricsServer",
+    "global_registry",
+    "render_prometheus_doc",
+]

@@ -1,0 +1,389 @@
+"""Per-job traces: span recording, ``trace-v1`` documents, rendering.
+
+A :class:`Trace` is a tree of :class:`Span` objects over one monotonic
+timeline; offsets are seconds relative to the trace origin (for a
+service job, the moment the job was enqueued, so span ``0.0`` is the
+start of queue wait).  Spans come from three sources:
+
+* live recording (``with trace.span("attempt"):``) on the worker
+  thread,
+* rebased external measurements (:meth:`Trace.add_span` with explicit
+  offsets -- the engine records ``time.perf_counter()`` pairs which the
+  server shifts onto the job timeline),
+* the pass-timing bridge (:func:`pass_spans_from_timings` lays the
+  pipeline's per-pass durations end-to-end when real per-pass offsets
+  were not recorded, e.g. results compiled in a process pool).
+
+The serialized form (:meth:`Trace.to_doc`) is the ``trace-v1`` document
+that rides on service result records (volatile: ``strip_timing`` drops
+it) and is returned by the ``trace`` service op:
+
+.. code-block:: json
+
+    {"format": "repro-trace", "version": 1, "job": "s000001-00003",
+     "duration_s": 1.25,
+     "spans": [{"id": 1, "parent": null, "name": "job",
+                "start_s": 0.0, "end_s": 1.25,
+                "attrs": {"benchmark": "BV-14"}}, ...]}
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterable, Mapping
+
+#: Schema identity of a trace document.
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+#: Tolerance when checking child-within-parent containment: spans are
+#: measured by separate clock reads, so boundaries can disagree by a
+#: few microseconds without being wrong.
+_EPSILON_S = 1e-4
+
+
+class TraceError(ValueError):
+    """Raised on malformed trace documents."""
+
+
+class Span:
+    """One timed operation inside a :class:`Trace`.
+
+    Usable as a context manager (enter is a no-op -- the span started
+    when it was created; exit closes it).  Offsets are seconds from the
+    trace origin.
+    """
+
+    __slots__ = ("trace", "id", "parent_id", "name", "start_s",
+                 "end_s", "attrs")
+
+    def __init__(
+        self,
+        trace: "Trace",
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        start_s: float,
+        attrs: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.trace = trace
+        self.id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start_s = start_s
+        self.end_s: float | None = None
+        self.attrs: dict[str, Any] = dict(attrs or {})
+
+    @property
+    def duration_s(self) -> float:
+        """Span length (0.0 while still open)."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def end(self, at_s: float | None = None) -> "Span":
+        """Close the span (now, or at an explicit offset)."""
+        self.end_s = self.trace.now_s() if at_s is None else at_s
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.end_s is None:
+            self.end()
+        if exc_type is not None and "error" not in self.attrs:
+            self.attrs["error"] = exc_type.__name__
+
+
+class Trace:
+    """A span recorder over one monotonic timeline.
+
+    Args:
+        name: Root span name.
+        attrs: Root span attributes.
+        origin: The ``time.perf_counter()`` instant that maps to offset
+            ``0.0``.  Defaults to "now"; the service worker back-dates
+            it to the enqueue wall-clock instant so queue wait is on
+            the timeline.
+        clock: Monotonic clock (injected by tests).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        attrs: Mapping[str, Any] | None = None,
+        origin: float | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self._clock = clock
+        self._origin = clock() if origin is None else origin
+        self._next_id = 1
+        self.spans: list[Span] = []
+        self.root = self._new_span(None, name, 0.0, attrs)
+
+    def _new_span(
+        self,
+        parent_id: int | None,
+        name: str,
+        start_s: float,
+        attrs: Mapping[str, Any] | None,
+    ) -> Span:
+        span = Span(self, self._next_id, parent_id, name, start_s, attrs)
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def now_s(self) -> float:
+        """Current offset from the trace origin, in seconds."""
+        return self._clock() - self._origin
+
+    def offset_of(self, perf_counter_value: float) -> float:
+        """Rebase an external ``time.perf_counter()`` reading."""
+        return perf_counter_value - self._origin
+
+    def span(
+        self,
+        name: str,
+        parent: Span | None = None,
+        attrs: Mapping[str, Any] | None = None,
+    ) -> Span:
+        """Open a live span starting now (close via ``with`` / ``end``)."""
+        parent = parent or self.root
+        return self._new_span(parent.id, name, self.now_s(), attrs)
+
+    def add_span(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        parent: Span | None = None,
+        attrs: Mapping[str, Any] | None = None,
+    ) -> Span:
+        """Record an already-measured span at explicit offsets."""
+        parent = parent or self.root
+        span = self._new_span(parent.id, name, start_s, attrs)
+        span.end_s = end_s
+        return span
+
+    def finish(self) -> None:
+        """Close the root (and any span left open) at "now"."""
+        now = self.now_s()
+        for span in self.spans:
+            if span.end_s is None:
+                span.end_s = now
+
+    def to_doc(self, job: str | None = None) -> dict[str, Any]:
+        """The ``trace-v1`` document (closes open spans first)."""
+        self.finish()
+        spans = []
+        for span in sorted(
+            self.spans, key=lambda s: (s.start_s, s.id)
+        ):
+            doc: dict[str, Any] = {
+                "id": span.id,
+                "parent": span.parent_id,
+                "name": span.name,
+                "start_s": round(span.start_s, 6),
+                "end_s": round(span.end_s, 6),
+            }
+            if span.attrs:
+                doc["attrs"] = span.attrs
+            spans.append(doc)
+        out: dict[str, Any] = {
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION,
+            "duration_s": round(self.root.duration_s, 6),
+            "spans": spans,
+        }
+        if job is not None:
+            out["job"] = job
+        return out
+
+
+# ----------------------------------------------------------------------
+# The pass-timing -> span bridge
+# ----------------------------------------------------------------------
+
+
+def pass_spans_from_timings(
+    pass_timings: Mapping[str, float], start_s: float = 0.0
+) -> list[tuple[str, float, float]]:
+    """Synthesize ``(name, start_s, end_s)`` spans from durations.
+
+    Pipeline passes run strictly sequentially, so laying the recorded
+    per-pass durations end-to-end from ``start_s`` reconstructs their
+    real offsets modulo inter-pass overhead.  Used when only
+    ``pass_timings`` survived (pool workers, cached artifacts recorded
+    before per-pass offsets existed); live serial compiles carry exact
+    ``pass_spans`` instead.
+    """
+    spans = []
+    cursor = start_s
+    for name, duration in pass_timings.items():
+        duration = max(0.0, float(duration))
+        spans.append((name, cursor, cursor + duration))
+        cursor += duration
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Document-side helpers (validation, totals, rendering)
+# ----------------------------------------------------------------------
+
+
+def validate_trace_doc(doc: Mapping[str, Any]) -> None:
+    """Raise :class:`TraceError` unless ``doc`` is a well-formed tree.
+
+    Checks: schema identity, exactly one root, every parent exists and
+    precedes its children in the span list, offsets monotonic
+    (``start <= end``), and children contained in their parent's bounds
+    (within a small measurement epsilon).
+    """
+    if doc.get("format") != TRACE_FORMAT:
+        raise TraceError("not a repro-trace document")
+    if doc.get("version") != TRACE_VERSION:
+        raise TraceError(f"unsupported trace version {doc.get('version')!r}")
+    spans = doc.get("spans", [])
+    if not spans:
+        raise TraceError("trace has no spans")
+    by_id: dict[int, Mapping[str, Any]] = {}
+    roots = 0
+    for span in spans:
+        if span["id"] in by_id:
+            raise TraceError(f"duplicate span id {span['id']}")
+        if span["end_s"] < span["start_s"]:
+            raise TraceError(
+                f"span {span['name']!r}: end {span['end_s']} before "
+                f"start {span['start_s']}"
+            )
+        if span["parent"] is None:
+            roots += 1
+        else:
+            parent = by_id.get(span["parent"])
+            if parent is None:
+                raise TraceError(
+                    f"span {span['name']!r}: parent {span['parent']} "
+                    "missing or out of order"
+                )
+            if (
+                span["start_s"] < parent["start_s"] - _EPSILON_S
+                or span["end_s"] > parent["end_s"] + _EPSILON_S
+            ):
+                raise TraceError(
+                    f"span {span['name']!r} "
+                    f"[{span['start_s']}, {span['end_s']}] outside "
+                    f"parent {parent['name']!r} "
+                    f"[{parent['start_s']}, {parent['end_s']}]"
+                )
+        by_id[span["id"]] = span
+    if roots != 1:
+        raise TraceError(f"expected exactly one root span, found {roots}")
+
+
+def trace_duration_s(doc: Mapping[str, Any]) -> float:
+    """Total traced time: the root span's duration."""
+    for span in doc.get("spans", []):
+        if span.get("parent") is None:
+            return span["end_s"] - span["start_s"]
+    return float(doc.get("duration_s", 0.0))
+
+
+def span_seconds(
+    doc: Mapping[str, Any], name: str
+) -> float:
+    """Summed duration of every span called ``name`` (0.0 if absent)."""
+    return sum(
+        span["end_s"] - span["start_s"]
+        for span in doc.get("spans", [])
+        if span.get("name") == name
+    )
+
+
+def render_trace_tree(doc: Mapping[str, Any]) -> str:
+    """ASCII tree of a trace document (the ``repro trace`` rendering).
+
+    One line per span: name, ``[start - end]`` window, duration, and
+    attributes; children indented under their parent in start order.
+    """
+    spans = list(doc.get("spans", []))
+    children: dict[int | None, list[Mapping[str, Any]]] = {}
+    for span in spans:
+        children.setdefault(span.get("parent"), []).append(span)
+    for bucket in children.values():
+        bucket.sort(key=lambda s: (s["start_s"], s["id"]))
+
+    lines: list[str] = []
+    if doc.get("job"):
+        lines.append(f"trace {doc['job']}  ({doc.get('duration_s', 0.0):.3f}s)")
+
+    def walk(span: Mapping[str, Any], prefix: str, is_last: bool) -> None:
+        connector = "" if span.get("parent") is None else (
+            "└─ " if is_last else "├─ "
+        )
+        attrs = span.get("attrs") or {}
+        attr_str = (
+            "  " + " ".join(f"{k}={v}" for k, v in attrs.items())
+            if attrs
+            else ""
+        )
+        duration = span["end_s"] - span["start_s"]
+        lines.append(
+            f"{prefix}{connector}{span['name']}  "
+            f"[{span['start_s']:.3f}s - {span['end_s']:.3f}s]  "
+            f"{duration * 1e3:.1f}ms{attr_str}"
+        )
+        child_prefix = prefix
+        if span.get("parent") is not None:
+            child_prefix += "   " if is_last else "│  "
+        kids = children.get(span["id"], [])
+        for index, kid in enumerate(kids):
+            walk(kid, child_prefix, index == len(kids) - 1)
+
+    for root in children.get(None, []):
+        walk(root, "", True)
+    return "\n".join(lines)
+
+
+def rebase_spans(
+    spans: Iterable[Mapping[str, Any]],
+    trace: Trace,
+    parent: Span,
+    shift_s: float,
+) -> None:
+    """Attach engine-recorded spans (perf-counter pairs) to a trace.
+
+    The engine stores spans as ``{"name", "start", "end", "attrs"}``
+    with raw ``time.perf_counter()`` values plus a ``children`` list of
+    already-relative pass spans; ``shift_s`` maps that clock onto the
+    trace timeline (``trace_offset = perf_value + shift_s``).
+    """
+    for span in spans:
+        start = span["start"] + shift_s
+        end = span["end"] + shift_s
+        recorded = trace.add_span(
+            span["name"], start, end,
+            parent=parent, attrs=span.get("attrs"),
+        )
+        for name, child_start, child_end in span.get("children", ()):
+            trace.add_span(
+                name,
+                min(max(start + child_start, start), end),
+                min(start + child_end, end),
+                parent=recorded,
+            )
+
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "Span",
+    "Trace",
+    "TraceError",
+    "pass_spans_from_timings",
+    "rebase_spans",
+    "render_trace_tree",
+    "span_seconds",
+    "trace_duration_s",
+    "validate_trace_doc",
+]

@@ -92,10 +92,20 @@ class Pipeline:
         timing entry so the key set stays complete), and
         ``memo.record(ctx, i)`` snapshots the context after each
         executed pass.
+
+        Alongside the duration map, each *executed* pass records a
+        ``(name, start_s, end_s)`` offset pair (relative to this call)
+        in ``ctx.pass_spans`` -- the bridge that turns pass timings
+        into the per-pass child spans of a job trace.
         """
+        run_start = time.perf_counter()
         start_index = 0
         if memo is not None:
             start_index = memo.restore(ctx)
+        # A restored snapshot carries the *recording* run's span list
+        # (or, for snapshots written before spans existed, none at
+        # all): only this run's own measurements belong on the trace.
+        ctx.pass_spans = []
         for index, p in enumerate(self._passes):
             if index < start_index:
                 continue
@@ -103,7 +113,11 @@ class Pipeline:
             result = p.run(ctx)
             if result is not None:
                 ctx = result
-            ctx.pass_timings[p.name] = time.perf_counter() - start
+            end = time.perf_counter()
+            ctx.pass_timings[p.name] = end - start
+            ctx.pass_spans.append(
+                (p.name, start - run_start, end - run_start)
+            )
             if memo is not None:
                 memo.record(ctx, index)
         return ctx

@@ -222,6 +222,10 @@ class PipelineCompiler:
         compile_time = time.perf_counter() - start
         stats = dict(ctx.program.metadata)
         stats["pass_timings"] = dict(ctx.pass_timings)
+        stats["pass_spans"] = [
+            (name, start_s, end_s)
+            for name, start_s, end_s in ctx.pass_spans
+        ]
         if memo is not None:
             stats["pass_cache"] = memo.stats_doc()
         return CompilationResult(

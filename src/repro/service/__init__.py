@@ -27,7 +27,7 @@ submit-to-result latency of either topology.  See ``docs/service.md``.
 from .aio import AsyncServerCore
 from .client import ServiceClient, ServiceError
 from .coordinator import Coordinator, plan_placement, rendezvous_rank
-from .loadgen import run_loadgen
+from .loadgen import parse_prometheus_text, run_loadgen
 from .protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
@@ -43,6 +43,7 @@ from .queue import (
     SUBMISSION_FORMAT,
     JobQueue,
     QueueError,
+    queue_wait_s,
 )
 from .server import ServiceServer
 
@@ -64,7 +65,9 @@ __all__ = [
     "ServiceServer",
     "format_address",
     "parse_address",
+    "parse_prometheus_text",
     "plan_placement",
+    "queue_wait_s",
     "rendezvous_rank",
     "run_loadgen",
 ]

@@ -153,6 +153,24 @@ class ServiceClient:
             payload["submission"] = submission
         return self._request(payload)
 
+    def metrics(self) -> dict[str, Any]:
+        """The daemon's (or fleet's) metrics exposition.
+
+        The reply carries both forms: ``"metrics"`` -- the mergeable
+        JSON document -- and ``"text"`` -- the Prometheus v0.0.4
+        rendering a ``GET /metrics`` scrape would return.
+        """
+        return self._request({"op": "metrics"})
+
+    def trace(self, job_id: str) -> dict[str, Any]:
+        """One finished job's ``trace-v1`` document.
+
+        ``job_id`` is a queue job id (``s000001-00003``) against a
+        daemon, or a fleet job id (``c000001-00003``) against a
+        coordinator.
+        """
+        return self._request({"op": "trace", "job": job_id})
+
     def register(self, daemon_address: str) -> dict[str, Any]:
         """Register a daemon with a coordinator (self-registration)."""
         return self._request(

@@ -3,7 +3,8 @@
 ``repro coordinate`` runs a :class:`Coordinator` -- an asyncio NDJSON
 front end (:class:`~repro.service.aio.AsyncServerCore`) speaking the
 *same* wire protocol as ``repro serve`` (``submit`` / ``status`` /
-``results`` / ``ping`` / ``shutdown``), so every existing client --
+``results`` / ``ping`` / ``metrics`` / ``trace`` / ``shutdown``), so
+every existing client --
 ``repro submit``, ``repro results --follow``, :class:`ServiceClient`,
 the load generator -- talks to a fleet exactly as it talks to one
 daemon.  Daemons are listed statically (``--daemon``) or register
@@ -53,6 +54,7 @@ from ..engine.manifest import (
     manifest_digest,
     parse_manifest,
 )
+from ..obs.metrics import MetricsRegistry, render_prometheus_doc
 from .aio import AsyncServerCore
 from .client import ServiceClient, ServiceError
 from .protocol import (
@@ -97,6 +99,7 @@ def plan_placement(
     cache_keys: list[str],
     depths: dict[str, int],
     spill_depth: int,
+    stats: dict[str, int] | None = None,
 ) -> list[str]:
     """Assign each cache key a daemon: affinity first, spill on load.
 
@@ -108,6 +111,8 @@ def plan_placement(
         spill_depth: A daemon at or past this depth spills to the next
             rendezvous choice; when every choice is past it, the
             least-loaded ranked daemon takes the job.
+        stats: Optional tally dict; every placement that landed off its
+            first rendezvous choice adds one to ``stats["spills"]``.
 
     Returns one address per key.
     """
@@ -127,9 +132,19 @@ def plan_placement(
         )
         if chosen is None:
             chosen = min(ranked, key=lambda address: depths[address])
+        if stats is not None and chosen != ranked[0]:
+            stats["spills"] = stats.get("spills", 0) + 1
         depths[chosen] += 1
         assignment.append(chosen)
     return assignment
+
+
+def _trace_queue_wait(trace_doc: dict[str, Any]) -> float | None:
+    """The ``queue.wait`` span's duration from a trace document."""
+    for span in trace_doc.get("spans", ()):
+        if span.get("name") == "queue.wait":
+            return span["end_s"] - span["start_s"]
+    return None
 
 
 class _Daemon:
@@ -249,6 +264,28 @@ class Coordinator(AsyncServerCore):
             parse_address(daemon_address)  # validate eagerly
             self._daemons[daemon_address] = _Daemon(daemon_address)
         self._submissions: dict[str, _FleetSubmission] = {}
+        # Coordinator-level registry: placement decisions only (the
+        # per-daemon compile/queue/cache series come from the daemons'
+        # own registries; the ``metrics`` op merges everything).
+        self.metrics = MetricsRegistry()
+        self._m_placements = self.metrics.counter(
+            "repro_placements_total",
+            "Jobs placed on each daemon by affinity placement.",
+            ("daemon",),
+        )
+        self._m_steals = self.metrics.counter(
+            "repro_steals_total",
+            "Jobs duplicate-dispatched onto an idle daemon.",
+            ("daemon",),
+        )
+        self._m_spills = self.metrics.counter(
+            "repro_placement_spills_total",
+            "Placements that landed off their first rendezvous choice.",
+        )
+        self._m_redispatches = self.metrics.counter(
+            "repro_redispatches_total",
+            "Jobs re-placed after a daemon loss.",
+        )
         self._seq = 0
         self._threads: list[threading.Thread] = []
         self._stopping = threading.Event()
@@ -477,9 +514,12 @@ class Coordinator(AsyncServerCore):
                 "no live daemon is registered with the coordinator"
             )
         cache_keys = [submission.cache_keys[i] for i in indices]
+        placement_stats: dict[str, int] = {}
         assignment = plan_placement(
-            cache_keys, depths, self.spill_depth
+            cache_keys, depths, self.spill_depth, stats=placement_stats
         )
+        if placement_stats.get("spills"):
+            self._m_spills.inc(placement_stats["spills"])
         groups: dict[str, list[int]] = {}
         for index, address in zip(indices, assignment):
             groups.setdefault(address, []).append(index)
@@ -525,6 +565,10 @@ class Coordinator(AsyncServerCore):
                 else:
                     daemon.placements += len(indices)
             self._notify_all()
+        if stolen:
+            self._m_steals.inc(len(indices), daemon=address)
+        else:
+            self._m_placements.inc(len(indices), daemon=address)
         collector = threading.Thread(
             target=self._collect,
             args=(submission, leg),
@@ -547,6 +591,7 @@ class Coordinator(AsyncServerCore):
         ]
         if not still_missing:
             return
+        self._m_redispatches.inc(len(still_missing))
         try:
             self._dispatch_jobs(submission, still_missing)
         except ServiceError as exc:
@@ -753,6 +798,14 @@ class Coordinator(AsyncServerCore):
                 writer, self._register(request)
             )
             return True
+        if op == "metrics":
+            # Polls every live daemon: keep it off the event loop.
+            reply = await asyncio.to_thread(self._metrics)
+            await write_message_async(writer, reply)
+            return True
+        if op == "trace":
+            await write_message_async(writer, self._trace(request))
+            return True
         if op == "submit":
             # Manifest expansion, cache-key hashing and the daemon
             # round-trips all block: keep them off the event loop.
@@ -816,6 +869,85 @@ class Coordinator(AsyncServerCore):
             "op": "register",
             "address": address,
             "daemons": known,
+        }
+
+    def _metrics(self) -> dict[str, Any]:
+        """The fleet-wide metrics document.
+
+        The coordinator's own placement counters merged with every
+        live daemon's ``metrics`` payload
+        (:meth:`MetricsRegistry.from_docs` sums counters, gauges and
+        histogram buckets element-wise), so the fleet view is the
+        arithmetic total of the fleet.
+        """
+        docs = [self.metrics.to_doc()]
+        polled: list[str] = []
+        for daemon in self._alive_daemons():
+            try:
+                reply = self._client(daemon.address).metrics()
+            except ServiceError as exc:
+                self._mark_dead(daemon.address, exc)
+                continue
+            doc = reply.get("metrics")
+            if doc:
+                docs.append(doc)
+                polled.append(daemon.address)
+        merged = MetricsRegistry.from_docs(docs).to_doc()
+        return {
+            "ok": True,
+            "op": "metrics",
+            "role": "coordinator",
+            "address": self.address,
+            "daemons": polled,
+            "metrics": merged,
+            "text": render_prometheus_doc(merged),
+        }
+
+    def _trace(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Look one job's trace up by its coordinator job id.
+
+        Fleet job ids are ``SUBMISSION-INDEX`` (``c000001-00007``); the
+        trace document arrived with the job's record from whichever
+        daemon compiled it.
+        """
+        job_id = request.get("job")
+        if not isinstance(job_id, str) or "-" not in job_id:
+            return {
+                "ok": False,
+                "error": "trace needs a 'job' id (SUBMISSION-INDEX)",
+            }
+        sub_id, _, index_str = job_id.rpartition("-")
+        try:
+            index = int(index_str)
+        except ValueError:
+            return {
+                "ok": False,
+                "error": f"bad job id {job_id!r}: index is not a number",
+            }
+        with self._lock:
+            submission = self._submissions.get(sub_id)
+            record = (
+                None
+                if submission is None
+                else submission.records.get(index)
+            )
+        if submission is None:
+            return {
+                "ok": False,
+                "error": f"unknown submission {sub_id!r}",
+            }
+        trace_doc = None if record is None else record.get("trace")
+        if trace_doc is None:
+            return {
+                "ok": False,
+                "error": f"job {job_id} has no trace yet",
+            }
+        return {
+            "ok": True,
+            "op": "trace",
+            "job": job_id,
+            "status": record.get("status"),
+            "trace": trace_doc,
         }
 
     def _counts(
@@ -901,6 +1033,21 @@ class Coordinator(AsyncServerCore):
                 "ok": False,
                 "error": f"unknown submission {sub_id!r}",
             }
+        with self._lock:
+            jobs = []
+            for index in sorted(submission.records):
+                record = submission.records[index]
+                trace_doc = record.get("trace") or {}
+                jobs.append(
+                    {
+                        "id": f"{sub_id}-{index:05d}",
+                        "index": index,
+                        "status": record.get("status"),
+                        "attempts": record.get("attempts", 1),
+                        "queue_wait_s": _trace_queue_wait(trace_doc),
+                        "span_time_s": trace_doc.get("duration_s"),
+                    }
+                )
         return {
             "ok": True,
             "op": "status",
@@ -908,6 +1055,7 @@ class Coordinator(AsyncServerCore):
             "manifest_digest": submission.manifest_digest,
             "total_jobs": submission.total_jobs,
             "counts": self._counts(submission),
+            "jobs": jobs,
         }
 
     async def _results(

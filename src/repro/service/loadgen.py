@@ -25,12 +25,90 @@ from __future__ import annotations
 import random
 import threading
 import time
+import urllib.error
+import urllib.request
 from typing import Any, Callable, Sequence
 
 from .client import ServiceClient, ServiceError
 
 LOADGEN_FORMAT = "repro-loadgen-report"
 LOADGEN_VERSION = 1
+
+#: Default cadence of ``--scrape`` sampling.
+DEFAULT_SCRAPE_INTERVAL_S = 1.0
+
+
+def parse_prometheus_text(text: str) -> dict[str, float]:
+    """Flatten a Prometheus text exposition into ``{series: value}``.
+
+    Keys keep their label sets verbatim (``repro_queue_depth{state="queued"}``);
+    comment lines and malformed lines are skipped.  Good enough for
+    embedding scrape samples in a report -- not a full parser.
+    """
+    series: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        if not name:
+            continue
+        try:
+            series[name] = float(value)
+        except ValueError:
+            continue
+    return series
+
+
+class _MetricsScraper:
+    """Samples a ``/metrics`` URL on a thread while the loadgen runs."""
+
+    def __init__(self, url: str, interval_s: float) -> None:
+        self.url = url
+        self.interval_s = max(0.05, interval_s)
+        self.samples: list[dict[str, Any]] = []
+        self.errors: list[str] = []
+        self._stop = threading.Event()
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-loadgen-scrape", daemon=True
+        )
+
+    def _sample_once(self) -> None:
+        try:
+            with urllib.request.urlopen(self.url, timeout=5.0) as reply:
+                text = reply.read().decode("utf-8", "replace")
+        except (OSError, urllib.error.URLError) as exc:
+            if len(self.errors) < 10:
+                self.errors.append(str(exc))
+            return
+        self.samples.append(
+            {
+                "t_s": round(time.monotonic() - self._started_at, 3),
+                "series": parse_prometheus_text(text),
+            }
+        )
+
+    def _loop(self) -> None:
+        while not self._stop.wait(timeout=self.interval_s):
+            self._sample_once()
+
+    def start(self) -> "_MetricsScraper":
+        self._thread.start()
+        return self
+
+    def finish(self) -> dict[str, Any]:
+        """Stop sampling, take one final sample, return the report block."""
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._sample_once()  # final state after the burst settled
+        return {
+            "url": self.url,
+            "interval_s": self.interval_s,
+            "num_samples": len(self.samples),
+            "samples": self.samples,
+            "errors": self.errors,
+        }
 
 
 def percentile(sorted_values: Sequence[float], fraction: float) -> float:
@@ -61,6 +139,8 @@ def run_loadgen(
     seed: int = 0,
     priority: int = 0,
     progress: Callable[[int, float], None] | None = None,
+    scrape_url: str | None = None,
+    scrape_interval_s: float = DEFAULT_SCRAPE_INTERVAL_S,
 ) -> dict[str, Any]:
     """Run the traffic generator; returns the latency report document.
 
@@ -78,6 +158,12 @@ def run_loadgen(
         priority: Queue priority of every submission.
         progress: Optional ``(completed_count, latency_s)`` callback,
             invoked after each finished submission.
+        scrape_url: Optional ``GET /metrics`` URL (``repro serve
+            --metrics``) sampled every ``scrape_interval_s`` while the
+            burst runs; the flattened series land in the report's
+            ``"scrape"`` block, so a loadgen run doubles as scrape
+            evidence without a Prometheus server.
+        scrape_interval_s: Sampling cadence of ``scrape_url``.
     """
     if clients < 1:
         raise ValueError("need at least one client")
@@ -148,15 +234,21 @@ def run_loadgen(
         )
         for index in range(clients)
     ]
+    scraper = (
+        None
+        if scrape_url is None
+        else _MetricsScraper(scrape_url, scrape_interval_s).start()
+    )
     for thread in threads:
         thread.start()
     for thread in threads:
         thread.join()
+    scrape_block = None if scraper is None else scraper.finish()
     wall_time_s = time.monotonic() - started_at
     latencies = sorted(entry["latency_s"] for entry in results)
     completed = sum(1 for entry in results if entry["ok"])
     failed = len(results) - completed
-    return {
+    report: dict[str, Any] = {
         "format": LOADGEN_FORMAT,
         "version": LOADGEN_VERSION,
         "address": address,
@@ -186,11 +278,16 @@ def run_loadgen(
             "max": latencies[-1] if latencies else 0.0,
         },
     }
+    if scrape_block is not None:
+        report["scrape"] = scrape_block
+    return report
 
 
 __all__ = [
+    "DEFAULT_SCRAPE_INTERVAL_S",
     "LOADGEN_FORMAT",
     "LOADGEN_VERSION",
+    "parse_prometheus_text",
     "percentile",
     "run_loadgen",
 ]

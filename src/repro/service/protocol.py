@@ -13,9 +13,17 @@ Requests (``op`` selects the operation)::
     {"op": "status"}                      # whole queue
     {"op": "status", "submission": ID}    # one submission
     {"op": "results", "submission": ID, "follow": true}
+    {"op": "metrics"}                     # repro-metrics doc + text
+    {"op": "trace", "job": JOB_ID}        # one job's trace-v1 doc
     {"op": "register", "address": "host:port"}   # coordinator only
     {"op": "shutdown", "drain": true}            # +"fleet" on a
                                                  #  coordinator
+
+``metrics`` answers with the daemon's ``repro-metrics`` JSON document
+(``"metrics"``, fleet-summed on a coordinator) plus its Prometheus
+v0.0.4 text rendering (``"text"``); ``trace`` answers with the job's
+``repro-trace`` document (recorded queue wait, attempts, per-pass
+spans -- see :mod:`repro.obs.trace`).
 
 Responses always carry ``"ok"`` (``false`` plus an ``"error"`` string
 on failure).  ``results`` events look like::

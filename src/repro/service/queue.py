@@ -22,8 +22,16 @@ job plus its scheduling state::
      "job": {<job_to_doc>},
      "lease": {"worker": ..., "expires_at": ...} | null,
      "requeues": 0,
+     "enqueued_at": <unix seconds>, "first_leased_at": <...> | null,
      "completed_seq": 5 | null,
      "record": {<job_record, schema v2>} | null}
+
+The two wall-clock stamps feed observability: ``first_leased_at -
+enqueued_at`` is the job's queue wait (:func:`queue_wait_s`), surfaced
+as the ``queue-wait`` trace span, the ``repro_queue_wait_seconds``
+histogram and the ``repro status`` detail; ``first_leased_at`` survives
+requeues (first value wins) so the wait reflects the original
+admission, not the latest crash recovery.
 
 Scheduling is priority-then-FIFO: :meth:`lease` hands out the queued
 job with the highest ``priority`` (ties: lowest submission ``seq``,
@@ -86,6 +94,19 @@ def _atomic_write(path: str, doc: dict[str, Any]) -> None:
         if os.path.exists(tmp_path):
             os.unlink(tmp_path)
         raise
+
+
+def queue_wait_s(record: dict[str, Any]) -> float | None:
+    """Seconds a job record spent queued before its first lease.
+
+    ``None`` while the job is still waiting (or for records from
+    queues written before the timestamps existed).
+    """
+    enqueued = record.get("enqueued_at")
+    leased = record.get("first_leased_at")
+    if enqueued is None or leased is None:
+        return None
+    return max(0.0, leased - enqueued)
 
 
 class JobQueue:
@@ -259,6 +280,8 @@ class JobQueue:
                     "job": job_to_doc(job),
                     "lease": None,
                     "requeues": 0,
+                    "enqueued_at": submission["submitted_at"],
+                    "first_leased_at": None,
                     "completed_seq": None,
                     "record": None,
                 }
@@ -303,6 +326,8 @@ class JobQueue:
                 "worker": worker,
                 "expires_at": time.time() + lease_seconds,
             }
+            if record.get("first_leased_at") is None:
+                record["first_leased_at"] = time.time()
             self._persist_record(record)
             self._notify_all()
             return dict(record)
@@ -509,6 +534,22 @@ class JobQueue:
         totals = self.counts(sub_id)
         return totals["queued"] + totals["running"]
 
+    def oldest_queued_age(self, now: float | None = None) -> float:
+        """Age in seconds of the oldest still-queued job (0.0 if none).
+
+        The saturation gauge: a growing value means admissions outpace
+        the worker pool.
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            stamps = [
+                record.get("enqueued_at")
+                for record in self._records.values()
+                if record["status"] == "queued"
+                and record.get("enqueued_at") is not None
+            ]
+        return max(0.0, now - min(stamps)) if stamps else 0.0
+
     # -- garbage collection --------------------------------------------
 
     def gc_completed(
@@ -605,4 +646,5 @@ __all__ = [
     "QUEUE_SCHEMA_VERSION",
     "QueueError",
     "SUBMISSION_FORMAT",
+    "queue_wait_s",
 ]

@@ -42,16 +42,22 @@ import time
 from typing import Any
 
 from ..engine.cache import DiskCache, MemoryCache, ProgramCache
-from ..engine.cachestore import make_cache
+from ..engine.cachestore import cache_stats_registry, make_cache
 from ..engine.engine import CompilationEngine
 from ..engine.shard import job_record
+from ..obs.metrics import (
+    MetricsRegistry,
+    MetricsServer,
+    render_prometheus_doc,
+)
+from ..obs.trace import Trace, rebase_spans
 from .aio import AsyncServerCore
 from .protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
     write_message_async,
 )
-from .queue import JobQueue, ManifestError
+from .queue import JobQueue, ManifestError, queue_wait_s
 
 #: Idle-poll bounds for a followed result stream: the fallback timeout
 #: starts snappy, doubles while nothing completes, and is capped so a
@@ -62,6 +68,21 @@ RESULTS_POLL_MAX_S = 2.0
 #: Re-announce period of ``--announce`` self-registration; frequent
 #: enough that a restarted coordinator re-learns its fleet quickly.
 ANNOUNCE_INTERVAL_S = 5.0
+
+
+def _parse_metrics_listen(spec: str) -> tuple[str, int]:
+    """Parse a ``--metrics`` listen spec: ``HOST:PORT``, ``:PORT`` or
+    a bare port (host defaults to loopback)."""
+    spec = spec.strip()
+    host, sep, port = spec.rpartition(":")
+    if not sep:
+        host, port = "", spec
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise ValueError(
+            f"bad metrics listen spec {spec!r}: expected HOST:PORT or PORT"
+        ) from None
 
 
 def _next_idle_timeout(current: float) -> float:
@@ -107,6 +128,11 @@ class ServiceServer(AsyncServerCore):
             (``repro serve --announce``); re-announced every
             :data:`ANNOUNCE_INTERVAL_S` so a coordinator restart
             re-learns this daemon.
+        metrics_address: When set (``HOST:PORT``, ``:PORT`` or a bare
+            port), serve the daemon's Prometheus exposition on a
+            stdlib HTTP listener at ``GET /metrics``
+            (:class:`repro.obs.metrics.MetricsServer`); the same state
+            the ``metrics`` protocol op returns.
         max_line_bytes: Protocol line bound (oversized frames get a
             clean error instead of unbounded buffering).
     """
@@ -124,6 +150,7 @@ class ServiceServer(AsyncServerCore):
         lease_seconds: float = 300.0,
         completed_ttl: float | None = None,
         announce: str | None = None,
+        metrics_address: str | None = None,
         max_line_bytes: int = MAX_LINE_BYTES,
     ) -> None:
         super().__init__(
@@ -149,6 +176,57 @@ class ServiceServer(AsyncServerCore):
         self.lease_seconds = lease_seconds
         self.completed_ttl = completed_ttl
         self.announce = announce
+        self.metrics_address = metrics_address
+        if metrics_address is not None:
+            _parse_metrics_listen(metrics_address)  # validate eagerly
+        self._metrics_http: MetricsServer | None = None
+        # Per-daemon registry.  Event counters are incremented at the
+        # instrument points (workers, submit); snapshot-style series
+        # (queue depth, connections, cache counters) are synced in at
+        # collection time, so a scrape always reads current state.
+        self.metrics = MetricsRegistry()
+        self._m_submissions = self.metrics.counter(
+            "repro_submissions_total",
+            "Manifest submissions accepted by this daemon.",
+        )
+        self._m_jobs_submitted = self.metrics.counter(
+            "repro_jobs_submitted_total",
+            "Jobs accepted into the queue.",
+        )
+        self._m_jobs_completed = self.metrics.counter(
+            "repro_jobs_completed_total",
+            "Job outcome records written, by backend and status.",
+            ("backend", "status"),
+        )
+        self._m_job_retries = self.metrics.counter(
+            "repro_job_retries_total",
+            "Compilation attempts beyond each job's first.",
+            ("backend",),
+        )
+        self._m_queue_depth = self.metrics.gauge(
+            "repro_queue_depth",
+            "Jobs currently in each queue state.",
+            ("state",),
+        )
+        self._m_queue_oldest = self.metrics.gauge(
+            "repro_queue_oldest_age_seconds",
+            "Age of the oldest still-queued job (admission backlog).",
+        )
+        self._m_connections = self.metrics.gauge(
+            "repro_connections",
+            "Protocol connections: open and peak gauges, total ever "
+            "accepted.",
+            ("kind",),
+        )
+        self._m_queue_wait = self.metrics.histogram(
+            "repro_queue_wait_seconds",
+            "Seconds between enqueue and a worker lease.",
+        )
+        self._m_pass_duration = self.metrics.histogram(
+            "repro_pass_duration_seconds",
+            "Per-pass compile seconds (fresh compilations only).",
+            ("pass",),
+        )
         self._threads: list[threading.Thread] = []
         # Jobs currently executing on this daemon's worker threads
         # (worker id -> job id); the maintenance thread heartbeats
@@ -197,6 +275,12 @@ class ServiceServer(AsyncServerCore):
             )
         for thread in self._threads:
             thread.start()
+        if self.metrics_address is not None:
+            host, port = _parse_metrics_listen(self.metrics_address)
+            self._metrics_http = MetricsServer(
+                self._render_metrics, host=host, port=port
+            ).start()
+            self._log(f"metrics at {self._metrics_http.url}")
         self._started.set()
         return self
 
@@ -220,6 +304,9 @@ class ServiceServer(AsyncServerCore):
         # the stop flag.
         self.queue.poke()
         self.stop_listener()
+        if self._metrics_http is not None:
+            self._metrics_http.stop()
+            self._metrics_http = None
         for thread in self._threads:
             if thread is not threading.current_thread():
                 thread.join(timeout=10.0)
@@ -240,6 +327,12 @@ class ServiceServer(AsyncServerCore):
     def draining(self) -> bool:
         """Whether the daemon has stopped accepting submissions."""
         return self._draining.is_set()
+
+    @property
+    def metrics_url(self) -> str | None:
+        """The ``GET /metrics`` URL, when the listener is running."""
+        http = self._metrics_http
+        return None if http is None else http.url
 
     def _log(self, message: str) -> None:
         # Single seam for daemon logging; the CLI wires it to stderr.
@@ -269,7 +362,7 @@ class ServiceServer(AsyncServerCore):
                 with self._active_lock:
                     self._active_jobs[worker_id] = record["id"]
                 try:
-                    self._execute(engine, record)
+                    self._execute(engine, record, worker_id)
                 finally:
                     with self._active_lock:
                         self._active_jobs.pop(worker_id, None)
@@ -283,8 +376,43 @@ class ServiceServer(AsyncServerCore):
                 self._log(f"{worker_id}: exit cache flush failed: {exc}")
 
     def _execute(
-        self, engine: CompilationEngine, record: dict[str, Any]
+        self,
+        engine: CompilationEngine,
+        record: dict[str, Any],
+        worker_id: str = "",
     ) -> None:
+        """Run one leased job: trace it, meter it, complete it.
+
+        The job's :class:`~repro.obs.trace.Trace` origin is back-dated
+        to the enqueue instant (the lease's wall/monotonic clock pair
+        anchors the rebasing), so offset ``0.0`` starts the queue-wait
+        span and the engine's perf-counter spans land after it on one
+        timeline.  The finished ``trace-v1`` document rides on the
+        result record (volatile: ``strip_timing`` removes it).
+        """
+        lease_wall = time.time()
+        lease_mono = time.perf_counter()
+        job_doc = record.get("job", {})
+        backend = (
+            job_doc.get("backend") or job_doc.get("scenario") or "unknown"
+        )
+        enqueued = record.get("enqueued_at")
+        queue_wait = (
+            max(0.0, lease_wall - enqueued)
+            if enqueued is not None
+            else 0.0
+        )
+        trace = Trace(
+            "job",
+            attrs={
+                "benchmark": job_doc.get("benchmark"),
+                "backend": backend,
+                "worker": worker_id,
+            },
+            origin=lease_mono - queue_wait,
+        )
+        trace.add_span("queue.wait", 0.0, queue_wait)
+        result = None
         try:
             job = self.queue.compile_job(record)
             [result] = engine.run([job])
@@ -307,6 +435,30 @@ class ServiceServer(AsyncServerCore):
                     "message": str(exc),
                 },
             }
+        if result is not None:
+            # Service engines are always serial (workers=1), so the
+            # engine recorded raw perf-counter spans; shift them onto
+            # the job timeline.
+            rebase_spans(
+                result.stats.get("spans") or (),
+                trace,
+                trace.root,
+                trace.offset_of(0.0),
+            )
+        status = result_record.get("status", "error")
+        self._m_jobs_completed.inc(backend=backend, status=status)
+        attempts = result_record.get("attempts", 1)
+        if attempts > 1:
+            self._m_job_retries.inc(attempts - 1, backend=backend)
+        self._m_queue_wait.observe(queue_wait)
+        if result is not None and result.ok and not result.cache_hit:
+            for name, duration in result.stats.get(
+                "pass_timings", {}
+            ).items():
+                self._m_pass_duration.observe(
+                    float(duration), **{"pass": name}
+                )
+        result_record["trace"] = trace.to_doc(job=record["id"])
         self.queue.complete(record["id"], result_record)
 
     def _maintenance_loop(self) -> None:
@@ -375,7 +527,17 @@ class ServiceServer(AsyncServerCore):
         """Answer one request; ``False`` ends the connection."""
         op = request.get("op")
         if op == "ping":
-            await write_message_async(writer, self._ping())
+            # Off the loop thread: the cache stats snapshot can briefly
+            # block behind a write-back flush holding the stats lock.
+            reply = await asyncio.to_thread(self._ping)
+            await write_message_async(writer, reply)
+            return True
+        if op == "metrics":
+            reply = await asyncio.to_thread(self._metrics)
+            await write_message_async(writer, reply)
+            return True
+        if op == "trace":
+            await write_message_async(writer, self._trace(request))
             return True
         if op == "submit":
             # Manifest expansion + cache-key hashing can be slow for
@@ -422,6 +584,65 @@ class ServiceServer(AsyncServerCore):
             "counts": self.queue.counts(),
             "connections": self.connection_stats(),
             "cache": self.cache.stats_doc(),
+            "metrics_url": self.metrics_url,
+        }
+
+    def _metrics_doc(self) -> dict[str, Any]:
+        """The daemon's full metrics document (scrape-time snapshot).
+
+        Syncs the snapshot-style gauges (queue depth, backlog age,
+        connection stats) into the registry, then merges in the cache
+        counters (:func:`cache_stats_registry`) so one document covers
+        the whole daemon.
+        """
+        for state, value in self.queue.counts().items():
+            self._m_queue_depth.set(value, state=state)
+        self._m_queue_oldest.set(self.queue.oldest_queued_age())
+        for kind, value in self.connection_stats().items():
+            self._m_connections.set(value, kind=kind)
+        return MetricsRegistry.from_docs(
+            [
+                self.metrics.to_doc(),
+                cache_stats_registry(self.cache).to_doc(),
+            ]
+        ).to_doc()
+
+    def _render_metrics(self) -> str:
+        return render_prometheus_doc(self._metrics_doc())
+
+    def _metrics(self) -> dict[str, Any]:
+        doc = self._metrics_doc()
+        return {
+            "ok": True,
+            "op": "metrics",
+            "role": "daemon",
+            "address": self.address,
+            "metrics": doc,
+            "text": render_prometheus_doc(doc),
+        }
+
+    def _trace(self, request: dict[str, Any]) -> dict[str, Any]:
+        job_id = request.get("job")
+        if not job_id:
+            return {"ok": False, "error": "trace needs a 'job' id"}
+        record = self.queue.get(job_id)
+        if record is None:
+            return {"ok": False, "error": f"unknown job {job_id!r}"}
+        trace_doc = (record.get("record") or {}).get("trace")
+        if trace_doc is None:
+            return {
+                "ok": False,
+                "error": (
+                    f"job {job_id} has no trace yet "
+                    f"(status {record['status']!r})"
+                ),
+            }
+        return {
+            "ok": True,
+            "op": "trace",
+            "job": job_id,
+            "status": record["status"],
+            "trace": trace_doc,
         }
 
     def _submit(self, request: dict[str, Any]) -> dict[str, Any]:
@@ -442,6 +663,8 @@ class ServiceServer(AsyncServerCore):
             )
         except ManifestError as exc:
             return {"ok": False, "error": f"bad manifest: {exc}"}
+        self._m_submissions.inc()
+        self._m_jobs_submitted.inc(submission["total_jobs"])
         return {
             "ok": True,
             "op": "submit",
@@ -475,6 +698,28 @@ class ServiceServer(AsyncServerCore):
                 "ok": False,
                 "error": f"unknown submission {sub_id!r}",
             }
+        jobs = []
+        for record in self.queue.records_for(sub_id):
+            outcome = record.get("record") or {}
+            trace_doc = outcome.get("trace")
+            jobs.append(
+                {
+                    "id": record["id"],
+                    "index": record["index"],
+                    "status": record["status"],
+                    # Attempts are known once an outcome exists (absent
+                    # on the record means a single attempt sufficed).
+                    "attempts": (
+                        outcome.get("attempts", 1) if outcome else None
+                    ),
+                    "queue_wait_s": queue_wait_s(record),
+                    "span_time_s": (
+                        trace_doc.get("duration_s")
+                        if isinstance(trace_doc, dict)
+                        else None
+                    ),
+                }
+            )
         return {
             "ok": True,
             "op": "status",
@@ -482,6 +727,7 @@ class ServiceServer(AsyncServerCore):
             "manifest_digest": submission["manifest_digest"],
             "total_jobs": submission["total_jobs"],
             "counts": self.queue.counts(sub_id),
+            "jobs": jobs,
         }
 
     async def _results(

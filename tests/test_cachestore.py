@@ -741,3 +741,124 @@ class TestCacheCliSpecs:
             ["batch", str(manifest), "--output", str(out_path)]
         ) == 0
         assert json.loads(out_path.read_text())["cache_hits"] == 1
+
+
+class TestCacheObservability:
+    def test_lookup_profile_per_tier_hit(self, tmp_path):
+        memory = MemoryCache()
+        disk = DiskCache(str(tmp_path))
+        tiered = TieredCache([memory, disk])
+        key = _key("prof")
+        disk.put(key, _doc("prof"))
+        assert tiered.get(key) is not None
+        profile = tiered.last_lookup_profile
+        assert [entry["tier"] for entry in profile] == ["memory", "disk"]
+        assert [entry["hit"] for entry in profile] == [False, True]
+        assert all(entry["duration_s"] >= 0.0 for entry in profile)
+        # A miss probes every tier without a hit.
+        assert tiered.get(_key("profmiss")) is None
+        profile = tiered.last_lookup_profile
+        assert [entry["hit"] for entry in profile] == [False, False]
+
+    def test_lookup_profile_is_per_thread(self):
+        cache = MemoryCache()
+        hit_key, miss_key = _key("tls-hit"), _key("tls-miss")
+        cache.put(hit_key, _doc())
+        cache.get(hit_key)
+        seen = {}
+
+        def other_thread():
+            cache.get(miss_key)
+            seen["profile"] = cache.last_lookup_profile
+
+        thread = threading.Thread(target=other_thread)
+        thread.start()
+        thread.join()
+        # The other thread's miss did not clobber this thread's hit.
+        assert cache.last_lookup_profile[-1]["hit"] is True
+        assert seen["profile"][-1]["hit"] is False
+
+    def test_null_cache_still_profiles(self):
+        cache = NullCache()
+        assert cache.get(_key("null")) is None
+        assert cache.last_lookup_profile[-1]["hit"] is False
+
+    def test_stats_doc_is_consistent_under_concurrent_flush(
+        self, tmp_path
+    ):
+        """Regression: the daemon's ping snapshots cache stats while a
+        write-back flush mutates the tiers.  The snapshot must be
+        internally consistent (taken under the stats lock), never a
+        torn read or an exception."""
+        disk = DiskCache(str(tmp_path / "local"))
+        backing = DiskCache(str(tmp_path / "backing"))
+        tiered = TieredCache([disk, backing], write_policy="back")
+        stop = threading.Event()
+        failures = []
+
+        def hammer_stats():
+            while not stop.is_set():
+                try:
+                    doc = tiered.stats_doc()
+                    by_name = {
+                        tier["name"]: tier["stats"]
+                        for tier in doc["tiers"]
+                    }
+                    # Flush pushes batches under the stats lock, so a
+                    # snapshot sees the backing tier's stores either
+                    # before or after a whole batch -- monotonic, and
+                    # never more than the local tier has accepted.
+                    assert (
+                        by_name["disk2"]["stores"]
+                        <= by_name["disk"]["stores"]
+                    )
+                except Exception as exc:  # noqa: BLE001 - re-raised below
+                    failures.append(exc)
+                    return
+
+        reader = threading.Thread(target=hammer_stats)
+        reader.start()
+        try:
+            for round_index in range(30):
+                for entry in range(5):
+                    tiered.put(
+                        _key(f"race-{round_index}-{entry}"), _doc()
+                    )
+                assert tiered.flush() == 5
+        finally:
+            stop.set()
+            reader.join(timeout=10.0)
+        assert not failures
+
+    def test_cache_stats_registry_mirrors_stats_doc(self, tmp_path):
+        from repro.engine.cachestore import cache_stats_registry
+
+        tiered = TieredCache([MemoryCache(), DiskCache(str(tmp_path))])
+        key = _key("reg")
+        tiered.put(key, _doc())
+        assert tiered.get(key) is not None
+        assert tiered.get(_key("reg-miss")) is None
+        registry = cache_stats_registry(tiered)
+        text = registry.render_prometheus()
+        assert (
+            'repro_cache_requests_total{tier="memory",result="hit"} 1'
+            in text
+        )
+        assert (
+            'repro_cache_writes_total{tier="disk",kind="store"} 1'
+            in text
+        )
+
+    def test_cache_server_serves_metrics(self, tmp_path):
+        store = DiskCache(str(tmp_path))
+        store.put(_key("srvmetrics"), _doc())
+        server = RemoteCacheServer(store).start()
+        try:
+            url = server.url.rstrip("/") + "/metrics"
+            with urllib.request.urlopen(url, timeout=5.0) as reply:
+                assert reply.status == 200
+                text = reply.read().decode("utf-8")
+            assert "repro_cache_writes_total" in text
+            assert "repro_cache_entries 1" in text
+        finally:
+            server.stop()

@@ -319,3 +319,75 @@ class TestFleet:
             assert daemon_b.wait_stopped(timeout=30.0)
         finally:
             stop_all(coordinator, daemon_a, daemon_b)
+
+
+class TestFleetObservability:
+    def test_fleet_metrics_merge_and_trace_lookup(self, tmp_path):
+        from repro.obs.trace import validate_trace_doc
+
+        first = start_daemon(tmp_path, "d1")
+        second = start_daemon(tmp_path, "d2")
+        coordinator = start_coordinator(
+            [first.address, second.address]
+        )
+        try:
+            client = ServiceClient(coordinator.address)
+            client.wait_ready()
+            submitted = client.submit(FLEET_MANIFEST)
+            doc = client.results_document(submitted["submission"])
+            assert doc["num_failed"] == 0
+
+            # Fleet metrics are the arithmetic total of the daemons
+            # plus the coordinator's own placement counters.
+            reply = client.metrics()
+            assert reply["role"] == "coordinator"
+            assert sorted(reply["daemons"]) == sorted(
+                [first.address, second.address]
+            )
+            families = {
+                family["name"]: family
+                for family in reply["metrics"]["families"]
+            }
+            completed = sum(
+                sample["value"]
+                for sample in families["repro_jobs_completed_total"][
+                    "samples"
+                ]
+            )
+            assert completed == 6
+            placements = sum(
+                sample["value"]
+                for sample in families["repro_placements_total"][
+                    "samples"
+                ]
+            )
+            assert placements == 6
+            daemon_totals = sum(
+                ServiceClient(address)
+                .metrics()["metrics"]["families"][0]["samples"][0][
+                    "value"
+                ]
+                is not None  # touch both daemons: they answer too
+                for address in (first.address, second.address)
+            )
+            assert daemon_totals == 2
+
+            # Per-job status detail + trace lookup through the fleet
+            # front door, by coordinator job id.
+            status = client.status(submitted["submission"])
+            assert len(status["jobs"]) == 6
+            for job in status["jobs"]:
+                assert job["status"] == "ok"
+                assert job["span_time_s"] > 0.0
+            job_id = submitted["job_ids"][0]
+            trace_reply = client.trace(job_id)
+            validate_trace_doc(trace_reply["trace"])
+            names = {
+                span["name"]
+                for span in trace_reply["trace"]["spans"]
+            }
+            assert "queue.wait" in names
+            with pytest.raises(ServiceError, match="unknown"):
+                client.trace("c999999-00000")
+        finally:
+            stop_all(coordinator, first, second)

@@ -119,3 +119,78 @@ class TestRunLoadgen:
         assert report["format"] == LOADGEN_FORMAT
         assert report["completed"] == report["submitted"] >= 1
         assert "p95" in captured.err
+
+
+class TestPrometheusParsing:
+    def test_flattens_series_and_skips_noise(self):
+        from repro.service.loadgen import parse_prometheus_text
+
+        text = "\n".join(
+            [
+                "# HELP repro_jobs_total Completed jobs.",
+                "# TYPE repro_jobs_total counter",
+                'repro_jobs_total{backend="powermove"} 7',
+                "repro_queue_depth 2",
+                "malformed-line-without-value nope",
+                "",
+                "repro_wait_seconds_sum 1.25",
+            ]
+        )
+        series = parse_prometheus_text(text)
+        assert series == {
+            'repro_jobs_total{backend="powermove"}': 7.0,
+            "repro_queue_depth": 2.0,
+            "repro_wait_seconds_sum": 1.25,
+        }
+
+
+class TestScrape:
+    def test_report_embeds_metrics_samples(self, tmp_path):
+        server = ServiceServer(
+            str(tmp_path / "queue"),
+            "127.0.0.1:0",
+            workers=2,
+            metrics_address="127.0.0.1:0",
+        ).start()
+        try:
+            report = run_loadgen(
+                server.address,
+                clients=2,
+                rate_hz=30.0,
+                duration_s=0.5,
+                benchmarks=("BV-14",),
+                distinct_seeds=1,
+                scrape_url=server.metrics_url,
+                scrape_interval_s=0.1,
+            )
+            scrape = report["scrape"]
+            assert scrape["url"] == server.metrics_url
+            assert not scrape["errors"]
+            assert scrape["num_samples"] == len(scrape["samples"]) >= 1
+            # The final sample (taken after the burst drained) agrees
+            # with the report's own completion count.
+            final = scrape["samples"][-1]["series"]
+            completed = sum(
+                value
+                for name, value in final.items()
+                if name.startswith("repro_jobs_completed_total")
+            )
+            assert completed == report["completed"]
+            assert final["repro_submissions_total"] == (
+                report["submitted"]
+            )
+        finally:
+            server.stop(drain=False)
+
+    def test_scrape_errors_are_capped_not_fatal(self):
+        from repro.service.loadgen import _MetricsScraper
+
+        scraper = _MetricsScraper(
+            "http://127.0.0.1:1/metrics", interval_s=0.05
+        ).start()
+        import time as _time
+
+        _time.sleep(0.3)
+        block = scraper.finish()
+        assert block["num_samples"] == 0
+        assert 1 <= len(block["errors"]) <= 10

@@ -1,0 +1,428 @@
+"""The observability layer: metrics registry, exposition, traces.
+
+Pure-unit coverage of :mod:`repro.obs` -- the service tests exercise
+the same machinery end to end through a live daemon.
+"""
+
+import json
+import math
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    METRICS_DOC_FORMAT,
+    PROMETHEUS_CONTENT_TYPE,
+    MetricError,
+    MetricsRegistry,
+    MetricsServer,
+    render_prometheus_doc,
+)
+from repro.obs.trace import (
+    TRACE_FORMAT,
+    Trace,
+    TraceError,
+    pass_spans_from_timings,
+    rebase_spans,
+    render_trace_tree,
+    span_seconds,
+    trace_duration_s,
+    validate_trace_doc,
+)
+
+
+class TestMetricsRegistry:
+    def test_counter_inc_and_labels(self):
+        registry = MetricsRegistry()
+        jobs = registry.counter("jobs_total", "jobs", ("backend",))
+        jobs.inc(backend="powermove")
+        jobs.inc(2, backend="powermove")
+        jobs.inc(backend="enola")
+        assert jobs.value(backend="powermove") == 3
+        assert jobs.value(backend="enola") == 1
+        assert jobs.value(backend="unseen") == 0
+
+    def test_counter_rejects_negative_and_wrong_labels(self):
+        registry = MetricsRegistry()
+        jobs = registry.counter("jobs_total", labelnames=("backend",))
+        with pytest.raises(MetricError):
+            jobs.inc(-1, backend="x")
+        with pytest.raises(MetricError):
+            jobs.inc(1, wrong="x")
+        with pytest.raises(MetricError):
+            jobs.inc(1)
+
+    def test_gauge_set_dec(self):
+        registry = MetricsRegistry()
+        depth = registry.gauge("depth")
+        depth.set(7)
+        depth.dec(2)
+        assert depth.value() == 5
+
+    def test_redeclaration_idempotent_but_conflicts_raise(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits_total", labelnames=("tier",))
+        again = registry.counter("hits_total", labelnames=("tier",))
+        assert first is again
+        with pytest.raises(MetricError):
+            registry.gauge("hits_total", labelnames=("tier",))
+        with pytest.raises(MetricError):
+            registry.counter("hits_total", labelnames=("other",))
+
+    def test_histogram_rejects_set_and_counter_observe(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency_seconds")
+        with pytest.raises(MetricError):
+            hist.set(1.0)
+        with pytest.raises(MetricError):
+            hist.value()
+        with pytest.raises(MetricError):
+            registry.counter("c_total").observe(1.0)
+
+    @given(
+        st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=120.0,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_histogram_bucket_math(self, values):
+        """Bucket invariants over arbitrary samples.
+
+        Each sample lands in exactly the first bucket whose edge is
+        >= the value (or the +Inf overflow bucket); the rendered
+        ``_bucket`` series are cumulative and end at ``count``; the
+        sum tracks the arithmetic sum.
+        """
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", buckets=DEFAULT_BUCKETS)
+        for value in values:
+            hist.observe(value)
+        (sample,) = hist.sample_doc() if values else [
+            {"counts": [0] * (len(DEFAULT_BUCKETS) + 1),
+             "sum": 0.0, "count": 0}
+        ]
+        counts = sample["counts"]
+        assert len(counts) == len(DEFAULT_BUCKETS) + 1
+        assert sum(counts) == sample["count"] == len(values)
+        assert sample["sum"] == pytest.approx(sum(values))
+        # Per-bucket occupancy computed independently.
+        edges = list(DEFAULT_BUCKETS)
+        expected = [0] * (len(edges) + 1)
+        for value in values:
+            for index, edge in enumerate(edges):
+                if value <= edge:
+                    expected[index] += 1
+                    break
+            else:
+                expected[-1] += 1
+        assert counts == expected
+        # Rendered cumulative series are non-decreasing and end at count.
+        text = registry.render_prometheus()
+        cumulative = [
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("h_seconds_bucket")
+        ]
+        assert cumulative == sorted(cumulative)
+        if values:
+            assert cumulative[-1] == len(values)
+
+    def test_prometheus_rendering_shape(self):
+        registry = MetricsRegistry()
+        jobs = registry.counter(
+            "repro_jobs_total", "Completed jobs.", ("backend", "status")
+        )
+        jobs.inc(3, backend="powermove", status="ok")
+        depth = registry.gauge("repro_depth", "Queue depth.")
+        depth.set(2)
+        text = registry.render_prometheus()
+        assert "# HELP repro_jobs_total Completed jobs." in text
+        assert "# TYPE repro_jobs_total counter" in text
+        assert (
+            'repro_jobs_total{backend="powermove",status="ok"} 3' in text
+        )
+        assert "repro_depth 2" in text
+        assert text.endswith("\n")
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c_total", labelnames=("path",))
+        family.inc(**{"path": 'a"b\\c\nd'})
+        text = registry.render_prometheus()
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_doc_round_trips_through_render(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(5)
+        doc = registry.to_doc()
+        assert doc["format"] == METRICS_DOC_FORMAT
+        assert json.loads(json.dumps(doc)) == doc
+        assert render_prometheus_doc(doc) == registry.render_prometheus()
+
+    def test_from_docs_sums_fleet_wide(self):
+        docs = []
+        for daemon in range(3):
+            registry = MetricsRegistry()
+            jobs = registry.counter("jobs_total", labelnames=("backend",))
+            jobs.inc(daemon + 1, backend="powermove")
+            registry.gauge("depth").set(daemon)
+            hist = registry.histogram("wait_seconds", buckets=(1.0, 5.0))
+            hist.observe(0.5)
+            hist.observe(daemon * 2.0)
+            docs.append(registry.to_doc())
+        merged = MetricsRegistry.from_docs(docs)
+        assert merged.counter(
+            "jobs_total", labelnames=("backend",)
+        ).value(backend="powermove") == 6
+        assert merged.gauge("depth").value() == 3
+        (sample,) = merged.histogram(
+            "wait_seconds", buckets=(1.0, 5.0)
+        ).sample_doc()
+        assert sample["count"] == 6
+        assert sample["sum"] == pytest.approx(0.5 * 3 + 2.0 + 4.0)
+
+    def test_from_docs_rejects_foreign_and_mismatched(self):
+        registry = MetricsRegistry()
+        registry.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        doc = registry.to_doc()
+        with pytest.raises(MetricError):
+            MetricsRegistry.from_docs([{"format": "nope"}])
+        other = MetricsRegistry()
+        other.histogram("h_seconds", buckets=(1.0, 2.0)).observe(0.5)
+        with pytest.raises(MetricError):
+            MetricsRegistry.from_docs([doc, other.to_doc()])
+
+
+class TestMetricsServer:
+    def test_serves_metrics_and_404s_elsewhere(self):
+        registry = MetricsRegistry()
+        registry.counter("up_total").inc()
+        server = MetricsServer(registry.render_prometheus).start()
+        try:
+            with urllib.request.urlopen(server.url, timeout=5.0) as reply:
+                assert reply.status == 200
+                assert reply.headers["Content-Type"] == (
+                    PROMETHEUS_CONTENT_TYPE
+                )
+                assert b"up_total 1" in reply.read()
+            bad = server.url.replace("/metrics", "/other")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(bad, timeout=5.0)
+            assert excinfo.value.code == 404
+        finally:
+            server.stop()
+
+    def test_render_failure_is_a_500_not_a_crash(self):
+        def explode() -> str:
+            raise RuntimeError("boom")
+
+        server = MetricsServer(explode).start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(server.url, timeout=5.0)
+            assert excinfo.value.code == 500
+        finally:
+            server.stop()
+
+    def test_concurrent_scrapes(self):
+        registry = MetricsRegistry()
+        registry.counter("up_total").inc()
+        server = MetricsServer(registry.render_prometheus).start()
+        failures = []
+
+        def scrape() -> None:
+            try:
+                with urllib.request.urlopen(
+                    server.url, timeout=5.0
+                ) as reply:
+                    assert b"up_total" in reply.read()
+            except Exception as exc:  # noqa: BLE001 - collected below
+                failures.append(exc)
+
+        try:
+            threads = [
+                threading.Thread(target=scrape) for _ in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            assert not failures
+        finally:
+            server.stop()
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.t = start
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestTrace:
+    def test_live_spans_form_a_valid_tree(self):
+        clock = FakeClock()
+        trace = Trace("job", attrs={"benchmark": "BV-14"}, clock=clock)
+        with trace.span("attempt", attrs={"attempt": 1}) as attempt:
+            clock.advance(0.5)
+            with trace.span("pass", parent=attempt):
+                clock.advance(0.25)
+        clock.advance(0.1)
+        doc = trace.to_doc(job="s000001-00000")
+        validate_trace_doc(doc)
+        assert doc["format"] == TRACE_FORMAT
+        assert doc["job"] == "s000001-00000"
+        assert doc["duration_s"] == pytest.approx(0.85)
+        names = [span["name"] for span in doc["spans"]]
+        assert names == ["job", "attempt", "pass"]
+        assert span_seconds(doc, "attempt") == pytest.approx(0.75)
+        assert trace_duration_s(doc) == pytest.approx(0.85)
+
+    def test_span_context_manager_records_error_type(self):
+        clock = FakeClock()
+        trace = Trace("job", clock=clock)
+        with pytest.raises(RuntimeError):
+            with trace.span("attempt"):
+                clock.advance(0.1)
+                raise RuntimeError("boom")
+        doc = trace.to_doc()
+        (attempt,) = [
+            s for s in doc["spans"] if s["name"] == "attempt"
+        ]
+        assert attempt["attrs"]["error"] == "RuntimeError"
+
+    def test_backdated_origin_puts_queue_wait_on_the_timeline(self):
+        clock = FakeClock(start=50.0)
+        # Job enqueued 2 s before the worker leased it.
+        trace = Trace("job", origin=clock() - 2.0, clock=clock)
+        trace.add_span("queue.wait", 0.0, trace.now_s())
+        clock.advance(1.0)
+        doc = trace.to_doc()
+        validate_trace_doc(doc)
+        assert span_seconds(doc, "queue.wait") == pytest.approx(2.0)
+        assert doc["duration_s"] == pytest.approx(3.0)
+
+    def test_rebase_spans_maps_engine_clock_and_clamps_children(self):
+        clock = FakeClock(start=10.0)
+        trace = Trace("job", origin=clock() - 1.0, clock=clock)
+        engine_spans = [
+            {
+                "name": "compile",
+                "start": 10.0,
+                "end": 10.6,
+                "attrs": {"attempt": 1},
+                # Last child overruns the parent: must be clamped.
+                "children": [
+                    ("layout", 0.0, 0.2),
+                    ("route", 0.2, 0.9),
+                ],
+            }
+        ]
+        clock.advance(0.6)
+        rebase_spans(
+            engine_spans, trace, trace.root, trace.offset_of(0.0)
+        )
+        doc = trace.to_doc()
+        validate_trace_doc(doc)
+        (compile_span,) = [
+            s for s in doc["spans"] if s["name"] == "compile"
+        ]
+        assert compile_span["start_s"] == pytest.approx(1.0)
+        assert compile_span["end_s"] == pytest.approx(1.6)
+        (route,) = [s for s in doc["spans"] if s["name"] == "route"]
+        assert route["end_s"] <= compile_span["end_s"]
+
+    def test_validate_rejects_malformed_documents(self):
+        with pytest.raises(TraceError):
+            validate_trace_doc({"format": "nope"})
+        base = {"format": TRACE_FORMAT, "version": 1}
+        with pytest.raises(TraceError):
+            validate_trace_doc({**base, "spans": []})
+        with pytest.raises(TraceError):  # end before start
+            validate_trace_doc(
+                {
+                    **base,
+                    "spans": [
+                        {"id": 1, "parent": None, "name": "job",
+                         "start_s": 1.0, "end_s": 0.5},
+                    ],
+                }
+            )
+        with pytest.raises(TraceError):  # child escapes parent
+            validate_trace_doc(
+                {
+                    **base,
+                    "spans": [
+                        {"id": 1, "parent": None, "name": "job",
+                         "start_s": 0.0, "end_s": 1.0},
+                        {"id": 2, "parent": 1, "name": "late",
+                         "start_s": 0.5, "end_s": 2.0},
+                    ],
+                }
+            )
+        with pytest.raises(TraceError):  # two roots
+            validate_trace_doc(
+                {
+                    **base,
+                    "spans": [
+                        {"id": 1, "parent": None, "name": "a",
+                         "start_s": 0.0, "end_s": 1.0},
+                        {"id": 2, "parent": None, "name": "b",
+                         "start_s": 0.0, "end_s": 1.0},
+                    ],
+                }
+            )
+
+    def test_pass_spans_from_timings_lays_durations_end_to_end(self):
+        spans = pass_spans_from_timings(
+            {"layout": 0.5, "route": 0.25, "emit": 0.0}, start_s=1.0
+        )
+        assert spans == [
+            ("layout", 1.0, 1.5),
+            ("route", 1.5, 1.75),
+            ("emit", 1.75, 1.75),
+        ]
+
+    def test_render_trace_tree(self):
+        clock = FakeClock()
+        trace = Trace("job", clock=clock)
+        with trace.span("attempt") as attempt:
+            clock.advance(0.5)
+            trace.add_span(
+                "cache.disk", 0.1, 0.2, parent=attempt
+            )
+        doc = trace.to_doc(job="s000001-00002")
+        text = render_trace_tree(doc)
+        lines = text.splitlines()
+        assert lines[0].startswith("trace s000001-00002")
+        assert any("job" in line for line in lines[1:])
+        assert any(
+            "cache.disk" in line and "└─" in line for line in lines
+        )
+        # Tree depth shows as indentation: the grandchild line is
+        # indented past the child line.
+        (attempt_line,) = [l for l in lines if "attempt" in l]
+        (disk_line,) = [l for l in lines if "cache.disk" in l]
+        indent = lambda s: len(s) - len(s.lstrip(" │"))  # noqa: E731
+        assert indent(disk_line) > indent(attempt_line)
+
+
+def test_default_buckets_are_sorted_and_positive():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+    assert all(edge > 0 for edge in DEFAULT_BUCKETS)
+    assert math.inf not in DEFAULT_BUCKETS

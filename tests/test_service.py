@@ -883,3 +883,264 @@ class TestServeSubprocess:
             if process.poll() is None:
                 process.kill()
                 process.wait(timeout=10.0)
+
+
+class TestObservability:
+    """End-to-end traces + metrics through a live daemon."""
+
+    def test_traces_and_metrics_across_a_submission(self, tmp_path):
+        import urllib.request
+
+        from repro.obs.trace import (
+            span_seconds,
+            validate_trace_doc,
+        )
+        from repro.service.loadgen import parse_prometheus_text
+
+        server = start_server(
+            tmp_path, workers=2, metrics_address="127.0.0.1:0"
+        )
+        try:
+            client = ServiceClient(server.address)
+            ping = client.wait_ready()
+            assert ping["metrics_url"] == server.metrics_url
+
+            submitted = client.submit(MANIFEST)
+            records = list(
+                client.results(submitted["submission"], follow=True)
+            )
+            assert len(records) == 5
+
+            # Every result record carries a valid trace whose root
+            # starts at the enqueue instant (offset 0.0) and covers
+            # queue wait plus at least one compile attempt.
+            for record in records:
+                doc = record["trace"]
+                validate_trace_doc(doc)
+                root = [
+                    s for s in doc["spans"] if s["parent"] is None
+                ][0]
+                assert root["start_s"] == 0.0
+                names = {s["name"] for s in doc["spans"]}
+                assert "queue.wait" in names
+                assert "compile" in names
+                assert "cache.lookup" in names
+                # Span time is bounded by the traced wall time.
+                assert span_seconds(doc, "compile") <= (
+                    doc["duration_s"] + 1e-6
+                )
+
+            # A compiled (non-hit) job records per-pass child spans
+            # under its compile attempt.
+            compiled = [
+                r for r in records if not r.get("cache_hit")
+            ]
+            assert compiled
+            compile_children = set()
+            for record in compiled:
+                doc = record["trace"]
+                (attempt,) = [
+                    s for s in doc["spans"] if s["name"] == "compile"
+                ]
+                compile_children |= {
+                    s["name"]
+                    for s in doc["spans"]
+                    if s["parent"] == attempt["id"]
+                }
+            assert compile_children  # the pipeline's pass names
+
+            # The trace op returns the same document by job id.
+            job_id = submitted["job_ids"][0]
+            reply = client.trace(job_id)
+            validate_trace_doc(reply["trace"])
+            assert reply["trace"]["job"] == job_id
+            with pytest.raises(ServiceError, match="unknown job"):
+                client.trace("s999999-00000")
+
+            # Status drills into per-job attempts / waits / span time.
+            status = client.status(submitted["submission"])
+            assert len(status["jobs"]) == 5
+            for job in status["jobs"]:
+                assert job["status"] == "done"
+                assert job["attempts"] == 1
+                assert job["queue_wait_s"] >= 0.0
+                assert job["span_time_s"] > 0.0
+
+            # The metrics op and GET /metrics agree with the workload.
+            metrics = client.metrics()
+            assert metrics["role"] == "daemon"
+            with urllib.request.urlopen(
+                server.metrics_url, timeout=5.0
+            ) as scrape:
+                series = parse_prometheus_text(
+                    scrape.read().decode("utf-8")
+                )
+            completed = sum(
+                value
+                for name, value in series.items()
+                if name.startswith("repro_jobs_completed_total")
+            )
+            assert completed == 5
+            assert series["repro_submissions_total"] == 1
+            assert series["repro_jobs_submitted_total"] == 5
+            assert series["repro_queue_wait_seconds_count"] == 5
+            pass_samples = sum(
+                value
+                for name, value in series.items()
+                if name.startswith("repro_pass_duration_seconds_count")
+            )
+            assert pass_samples > 0
+            assert any(
+                name.startswith("repro_cache_requests_total")
+                for name in series
+            )
+            # The op's JSON document renders to the same exposition.
+            assert (
+                sum(
+                    sample["value"]
+                    for family in metrics["metrics"]["families"]
+                    if family["name"] == "repro_jobs_completed_total"
+                    for sample in family["samples"]
+                )
+                == 5
+            )
+        finally:
+            server.stop(drain=False)
+
+    def test_warm_resubmission_traces_the_cache_hit_tier(
+        self, tmp_path
+    ):
+        server = start_server(tmp_path, workers=1)
+        try:
+            client = ServiceClient(server.address)
+            client.wait_ready()
+            first = client.submit(SECOND_MANIFEST)
+            client.results_document(first["submission"])
+            second = client.submit(SECOND_MANIFEST)
+            [record] = list(
+                client.results(second["submission"], follow=True)
+            )
+            assert record["cache_hit"] is True
+            doc = record["trace"]
+            (lookup,) = [
+                s for s in doc["spans"] if s["name"] == "cache.lookup"
+            ]
+            assert lookup["attrs"]["hit"] is True
+            assert lookup["attrs"]["tier"] == "memory"
+            tier_probes = [
+                s
+                for s in doc["spans"]
+                if s["parent"] == lookup["id"]
+            ]
+            assert [s["name"] for s in tier_probes] == ["cache.memory"]
+            # A cache hit never replays a stale compile timeline.
+            assert "compile" not in {
+                s["name"] for s in doc["spans"]
+            }
+        finally:
+            server.stop(drain=False)
+
+    def test_retried_job_traces_every_attempt(
+        self, tmp_path, monkeypatch
+    ):
+        calls = {}
+        real = execute_job_on_circuit
+
+        def flaky(job, circuit):
+            count = calls.get(job.label, 0) + 1
+            calls[job.label] = count
+            if count == 1:
+                raise RuntimeError("transient")
+            return real(job, circuit)
+
+        monkeypatch.setattr(
+            engine_module, "execute_job_on_circuit", flaky
+        )
+        server = start_server(
+            tmp_path, workers=1, retries=2, backoff=0.0
+        )
+        try:
+            client = ServiceClient(server.address)
+            client.wait_ready()
+            submitted = client.submit(SECOND_MANIFEST)
+            [record] = list(
+                client.results(submitted["submission"], follow=True)
+            )
+            assert record["status"] == "ok"
+            assert record["attempts"] == 2
+            doc = record["trace"]
+            attempts = [
+                s for s in doc["spans"] if s["name"] == "compile"
+            ]
+            assert [s["attrs"]["attempt"] for s in attempts] == [1, 2]
+            assert attempts[0]["attrs"]["error"] == "RuntimeError"
+            assert "error" not in attempts[1]["attrs"]
+            status = client.status(submitted["submission"])
+            assert status["jobs"][0]["attempts"] == 2
+            metrics = client.metrics()
+            retry_total = sum(
+                sample["value"]
+                for family in metrics["metrics"]["families"]
+                if family["name"] == "repro_job_retries_total"
+                for sample in family["samples"]
+            )
+            assert retry_total == 1
+        finally:
+            server.stop(drain=False)
+
+    def test_trace_cli_renders_a_tree(self, tmp_path, capsys):
+        from repro.cli import main
+
+        server = start_server(tmp_path, workers=1)
+        try:
+            client = ServiceClient(server.address)
+            client.wait_ready()
+            submitted = client.submit(SECOND_MANIFEST)
+            client.results_document(submitted["submission"])
+            job_id = submitted["job_ids"][0]
+            assert (
+                main(["trace", job_id, "--connect", server.address])
+                == 0
+            )
+            out = capsys.readouterr().out
+            assert out.startswith(f"trace {job_id}")
+            assert "queue.wait" in out
+            assert "compile" in out
+            assert (
+                main(
+                    [
+                        "trace",
+                        job_id,
+                        "--connect",
+                        server.address,
+                        "--json",
+                    ]
+                )
+                == 0
+            )
+            doc = json.loads(capsys.readouterr().out)
+            assert doc["job"] == job_id
+            assert (
+                main(
+                    [
+                        "status",
+                        submitted["submission"],
+                        "--connect",
+                        server.address,
+                    ]
+                )
+                == 0
+            )
+            status_out = capsys.readouterr().out
+            assert job_id in status_out
+            assert "attempts 1" in status_out
+        finally:
+            server.stop(drain=False)
+
+    def test_bad_metrics_listen_spec_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="metrics listen"):
+            ServiceServer(
+                str(tmp_path / "queue"),
+                "127.0.0.1:0",
+                metrics_address="not-a-port",
+            )

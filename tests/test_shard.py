@@ -266,3 +266,29 @@ class TestRecords:
             {**record, "fidelity": 0.0} for record in a["results"]
         ]}
         assert not docs_equal_modulo_timing(a, c)
+
+
+class TestTraceVolatility:
+    def test_strip_timing_drops_the_service_trace(self):
+        """Service records carry a per-job span document; it is pure
+        wall-clock measurement, so batch-vs-service doc equivalence
+        must hold with and without it."""
+        record = {
+            "index": 0,
+            "status": "ok",
+            "benchmark": "BV-14",
+            "compile_time_s": 0.5,
+            "cache_hit": False,
+            "trace": {
+                "format": "repro-trace",
+                "version": 1,
+                "duration_s": 0.5,
+                "spans": [],
+            },
+        }
+        bare = {"index": 0, "status": "ok", "benchmark": "BV-14"}
+        with_trace = {"results": [record]}
+        without = {"results": [bare]}
+        assert strip_timing(with_trace) == strip_timing(without)
+        assert "trace" not in strip_timing(with_trace)["results"][0]
+        assert docs_equal_modulo_timing(with_trace, without)
