@@ -96,6 +96,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
 import time
 
@@ -767,10 +768,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             completed_ttl=args.completed_ttl,
             announce=args.announce,
             metrics_address=args.metrics,
+            tenants=args.tenants,
         )
-    except (CacheSpecError, ValueError) as exc:
+    except (CacheSpecError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if server.tenants is not None and hasattr(signal, "SIGHUP"):
+        # kill -HUP <daemon> reloads the tenants file immediately
+        # (token rotation without a restart); the maintenance sweep
+        # also picks up mtime changes on its own.
+        def _reload_tenants(signum, frame):  # noqa: ARG001
+            if server.tenants.reload():
+                print(
+                    f"repro service: tenants file "
+                    f"{server.tenants.path} reloaded (SIGHUP)",
+                    flush=True,
+                )
+            else:
+                print(
+                    "repro service: SIGHUP tenants reload failed; "
+                    "keeping the previous table",
+                    file=sys.stderr,
+                    flush=True,
+                )
+
+        signal.signal(signal.SIGHUP, _reload_tenants)
     server.start()
     announce_note = (
         f", announcing to {args.announce}" if args.announce else ""
@@ -778,12 +800,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     metrics_note = (
         f", metrics at {server.metrics_url}" if server.metrics_url else ""
     )
+    tenants_note = (
+        f", tenants {args.tenants} "
+        f"({len(server.tenants.tenants())} tenant(s))"
+        if server.tenants is not None
+        else ""
+    )
     print(
         f"repro service listening on {server.address} "
         f"(queue {args.queue_dir}, {args.workers} workers, "
         f"retries {args.retries}, "
         f"cache {describe_cache(server.cache)}"
-        f"{announce_note}{metrics_note})",
+        f"{announce_note}{metrics_note}{tenants_note})",
         flush=True,
     )
     try:
@@ -799,10 +827,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_token(args: argparse.Namespace) -> str | None:
+    """``--token`` wins; the ``REPRO_TOKEN`` env var is the fallback
+    on every service-facing command."""
+    token = getattr(args, "token", None)
+    if token:
+        return token
+    return os.environ.get("REPRO_TOKEN") or None
+
+
 def _service_client(args: argparse.Namespace):
     from .service import ServiceClient
 
-    return ServiceClient(args.connect)
+    return ServiceClient(args.connect, token=_resolve_token(args))
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -820,7 +857,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     if args.json:
-        print(json.dumps(reply, indent=1))
+        print(json.dumps(reply.raw, indent=1))
     else:
         print(
             f"submitted {reply['submission']}: "
@@ -844,7 +881,7 @@ def _cmd_status(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     if args.json:
-        print(json.dumps(reply, indent=1))
+        print(json.dumps(reply.raw, indent=1))
         return 0
     counts = reply["counts"]
     line = ", ".join(f"{counts[state]} {state}" for state in counts)
@@ -974,19 +1011,46 @@ def _cmd_shutdown(args: argparse.Namespace) -> int:
 def _cmd_coordinate(args: argparse.Namespace) -> int:
     from .service import Coordinator
 
-    coordinator = Coordinator(
-        args.listen,
-        daemons=tuple(args.daemon or ()),
-        spill_depth=args.spill_depth,
-        poll_interval=args.poll,
-        steal_batch=args.steal_batch,
-    )
+    try:
+        coordinator = Coordinator(
+            args.listen,
+            daemons=tuple(args.daemon or ()),
+            spill_depth=args.spill_depth,
+            poll_interval=args.poll,
+            steal_batch=args.steal_batch,
+            tenants=args.tenants,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if coordinator.tenants is not None and hasattr(signal, "SIGHUP"):
+        # Same token-rotation path as ``repro serve``: kill -HUP
+        # reloads the tenants file without dropping the fleet.
+        def _reload_tenants(signum, frame):  # noqa: ARG001
+            if coordinator.tenants.reload():
+                print(
+                    f"repro coordinator: tenants file "
+                    f"{coordinator.tenants.path} reloaded (SIGHUP)",
+                    flush=True,
+                )
+            else:
+                print(
+                    "repro coordinator: SIGHUP tenants reload failed; "
+                    "keeping the previous table",
+                    file=sys.stderr,
+                    flush=True,
+                )
+
+        signal.signal(signal.SIGHUP, _reload_tenants)
     coordinator.start()
+    tenants_note = (
+        f", tenants {args.tenants}" if args.tenants else ""
+    )
     print(
         f"repro coordinator listening on {coordinator.address} "
         f"({len(args.daemon or ())} static daemon(s), "
         f"spill depth {args.spill_depth}, "
-        f"steal batch {args.steal_batch})",
+        f"steal batch {args.steal_batch}{tenants_note})",
         flush=True,
     )
     try:
@@ -1028,6 +1092,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             seed=args.seed,
             progress=progress,
             scrape_url=args.scrape,
+            token=_resolve_token(args),
         )
     except (ServiceError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -1055,6 +1120,31 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         and report["num_errors"] == 0
     )
     return 0 if ok else 1
+
+
+def _cmd_tenants(args: argparse.Namespace) -> int:
+    from .service.tenancy import (
+        TenancyError,
+        TenantRegistry,
+        quota_table,
+    )
+
+    try:
+        registry = TenantRegistry.load(args.file)
+    except (OSError, TenancyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    tenants = registry.tenants()
+    fleet_note = (
+        "fleet token configured"
+        if registry.has_fleet_token()
+        else "no fleet token (single-daemon use only)"
+    )
+    print(
+        f"{args.file}: ok -- {len(tenants)} tenant(s), {fleet_note}"
+    )
+    print(quota_table(tenants.values()))
+    return 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -1327,6 +1417,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve the Prometheus exposition on an HTTP listener at "
         "GET /metrics (HOST:PORT, :PORT or a bare port; default: off)",
     )
+    p_serve.add_argument(
+        "--tenants",
+        default=None,
+        metavar="FILE",
+        help="tenants file (JSON/TOML) enabling token auth, "
+        "per-tenant namespaces, quotas and submit rate limits; hot "
+        "reloaded on SIGHUP or when the file's mtime changes "
+        "(default: open v1-compatible daemon)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_coordinate = sub.add_parser(
@@ -1372,9 +1471,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="jobs moved per steal from a straggling daemon to an "
         "idle one (0 disables stealing; default 2)",
     )
+    p_coordinate.add_argument(
+        "--tenants",
+        default=None,
+        metavar="FILE",
+        help="tenants file (JSON/TOML); the coordinator enforces "
+        "auth/quotas/rate limits at the front door and passes work to "
+        "its daemons with the file's fleet_token",
+    )
     p_coordinate.set_defaults(func=_cmd_coordinate)
 
+    p_tenants = sub.add_parser(
+        "tenants",
+        help="validate a tenants file offline and print its quota table",
+    )
+    p_tenants.add_argument(
+        "file", help="path to the tenants file (JSON or TOML)"
+    )
+    p_tenants.add_argument(
+        "--check",
+        action="store_true",
+        help="validate and print the quota table (the default action; "
+        "the flag exists for scripting clarity)",
+    )
+    p_tenants.set_defaults(func=_cmd_tenants)
+
     connect_help = "address of the running service (host:port or socket path)"
+
+    token_help = (
+        "bearer token for a tenanted service (defaults to the "
+        "REPRO_TOKEN environment variable)"
+    )
 
     p_loadgen = sub.add_parser(
         "loadgen",
@@ -1451,6 +1578,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         help="write the latency report JSON here (default: stdout)",
     )
+    p_loadgen.add_argument(
+        "--token", default=None, metavar="TOKEN", help=token_help
+    )
     p_loadgen.set_defaults(func=_cmd_loadgen)
 
     p_submit = sub.add_parser(
@@ -1471,6 +1601,9 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the raw submit response JSON",
     )
+    p_submit.add_argument(
+        "--token", default=None, metavar="TOKEN", help=token_help
+    )
     p_submit.set_defaults(func=_cmd_submit)
 
     p_status = sub.add_parser(
@@ -1490,6 +1623,9 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the raw status response JSON",
     )
+    p_status.add_argument(
+        "--token", default=None, metavar="TOKEN", help=token_help
+    )
     p_status.set_defaults(func=_cmd_status)
 
     p_trace = sub.add_parser(
@@ -1508,6 +1644,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="print the raw trace-v1 document instead of the tree",
+    )
+    p_trace.add_argument(
+        "--token", default=None, metavar="TOKEN", help=token_help
     )
     p_trace.set_defaults(func=_cmd_trace)
 
@@ -1530,6 +1669,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the assembled batch-results document here "
         "(the submission must be complete)",
     )
+    p_results.add_argument(
+        "--token", default=None, metavar="TOKEN", help=token_help
+    )
     p_results.set_defaults(func=_cmd_results)
 
     p_shutdown = sub.add_parser(
@@ -1549,6 +1691,9 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="when --connect points at a coordinator: also shut down "
         "every live daemon it knows about",
+    )
+    p_shutdown.add_argument(
+        "--token", default=None, metavar="TOKEN", help=token_help
     )
     p_shutdown.set_defaults(func=_cmd_shutdown)
 

@@ -22,16 +22,38 @@ rendezvous-hashing their cache keys (warm-cache affinity), spills on
 load, steals work from stragglers and survives daemon loss;
 ``repro loadgen`` (:func:`run_loadgen`) measures the p50/p95/p99
 submit-to-result latency of either topology.  See ``docs/service.md``.
+
+Multi-tenancy (:mod:`repro.service.tenancy`) layers token auth,
+per-tenant namespaces, quotas and submit rate limits over both
+topologies behind the versioned protocol-v2 envelope: a daemon or
+coordinator started with ``--tenants FILE`` holds a
+:class:`TenantRegistry` and answers v2 requests carrying bearer
+tokens; :class:`ServiceClient` raises the typed
+:class:`AuthError` / :class:`QuotaExceeded` / :class:`RateLimited`
+hierarchy and returns frozen :class:`PingInfo` /
+:class:`SubmitReceipt` / :class:`StatusReport` reply objects.
 """
 
 from .aio import AsyncServerCore
-from .client import ServiceClient, ServiceError
+from .client import (
+    AuthError,
+    EndSummary,
+    PingInfo,
+    QuotaExceeded,
+    RateLimited,
+    ServiceClient,
+    ServiceError,
+    StatusReport,
+    SubmitReceipt,
+)
 from .coordinator import Coordinator, plan_placement, rendezvous_rank
 from .loadgen import parse_prometheus_text, run_loadgen
 from .protocol import (
+    ERROR_CODES,
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
     ProtocolError,
+    error_reply,
     format_address,
     parse_address,
 )
@@ -46,28 +68,51 @@ from .queue import (
     queue_wait_s,
 )
 from .server import ServiceServer
+from .tenancy import (
+    Tenant,
+    TenancyError,
+    TenantRegistry,
+    TokenBucket,
+    hash_token,
+    quota_table,
+)
 
 __all__ = [
     "AsyncServerCore",
+    "AuthError",
     "Coordinator",
     "DEFAULT_MAX_REQUEUES",
+    "ERROR_CODES",
+    "EndSummary",
     "JOB_RECORD_FORMAT",
     "JOB_STATES",
     "JobQueue",
     "MAX_LINE_BYTES",
     "PROTOCOL_VERSION",
+    "PingInfo",
     "ProtocolError",
     "QUEUE_SCHEMA_VERSION",
     "QueueError",
+    "QuotaExceeded",
+    "RateLimited",
     "SUBMISSION_FORMAT",
     "ServiceClient",
     "ServiceError",
     "ServiceServer",
+    "StatusReport",
+    "SubmitReceipt",
+    "Tenant",
+    "TenancyError",
+    "TenantRegistry",
+    "TokenBucket",
+    "error_reply",
     "format_address",
+    "hash_token",
     "parse_address",
     "parse_prometheus_text",
     "plan_placement",
     "queue_wait_s",
+    "quota_table",
     "rendezvous_rank",
     "run_loadgen",
 ]

@@ -1,21 +1,35 @@
 """In-library client of the compilation service.
 
-:class:`ServiceClient` speaks the NDJSON protocol to a running
-``repro serve`` daemon.  Each operation opens its own connection, so
-a client object is cheap and safe to share across threads -- with one
-caveat: :meth:`ServiceClient.results` parks its stream-framing events
-on the client (``last_start`` / ``last_summary``), so concurrent
-*record streams* should use one client each.
+:class:`ServiceClient` speaks the NDJSON protocol (v2 envelope) to a
+running ``repro serve`` daemon.  Each operation opens its own
+connection, so a client object is cheap and safe to share across
+threads -- with one caveat: :meth:`ServiceClient.results` parks its
+stream-framing events on the client (``last_start`` /
+``last_summary``), so concurrent *record streams* should use one
+client each.
 
 Example::
 
     from repro.service import ServiceClient
 
-    client = ServiceClient("127.0.0.1:7431")
-    submitted = client.submit({"jobs": [{"benchmark": "BV-14"}]})
-    for record in client.results(submitted["submission"], follow=True):
+    client = ServiceClient("127.0.0.1:7431", token="acme-secret")
+    receipt = client.submit({"jobs": [{"benchmark": "BV-14"}]})
+    for record in client.results(receipt.submission, follow=True):
         print(record["benchmark"], record["status"])
-    doc = client.results_document(submitted["submission"])
+    doc = client.results_document(receipt.submission)
+
+Replies are small frozen reply objects (:class:`PingInfo`,
+:class:`SubmitReceipt`, :class:`StatusReport`, :class:`EndSummary`)
+with typed accessors over the raw reply dict; they still answer
+``reply["key"]`` / ``reply.get("key")`` so code written against the
+v1 raw-dict surface keeps working, and ``.raw`` is the whole reply.
+:meth:`ServiceClient.raw_events` remains the raw-dict escape hatch
+for result streams.
+
+Failures raise a :class:`ServiceError` carrying the server's stable
+machine-readable ``code``; the common ones have dedicated subclasses
+(:class:`AuthError`, :class:`QuotaExceeded`, :class:`RateLimited`
+with ``retry_after_s``) so callers can catch precisely.
 
 The record dicts are schema-identical to ``repro batch --stream``
 NDJSON lines, and :meth:`ServiceClient.results_document` reassembles
@@ -29,14 +43,208 @@ from __future__ import annotations
 import errno
 import socket
 import time
-from typing import Any, Iterator
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
 
 from ..engine.shard import results_doc_from_records
-from .protocol import ProtocolError, parse_address, read_message, write_message
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    parse_address,
+    read_message,
+    write_message,
+)
 
 
 class ServiceError(RuntimeError):
-    """The service refused an operation or the connection failed."""
+    """The service refused an operation or the connection failed.
+
+    ``code`` is the server's machine-readable error code (see
+    :data:`repro.service.protocol.ERROR_CODES`), or ``None`` for
+    transport-level failures and pre-v2 servers.
+    """
+
+    def __init__(self, message: str, code: str | None = None) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class AuthError(ServiceError):
+    """Missing, invalid, or insufficient credentials
+    (``auth_required`` / ``auth_failed`` / ``forbidden``)."""
+
+
+class QuotaExceeded(ServiceError):
+    """A per-tenant quota rejected the operation (``quota_exceeded``)."""
+
+
+class RateLimited(ServiceError):
+    """The submit rate limiter rejected the operation
+    (``rate_limited``); ``retry_after_s`` says when to try again."""
+
+    def __init__(
+        self,
+        message: str,
+        code: str | None = "rate_limited",
+        retry_after_s: float = 0.0,
+    ) -> None:
+        super().__init__(message, code)
+        self.retry_after_s = retry_after_s
+
+
+def error_from_reply(reply: Mapping[str, Any]) -> ServiceError:
+    """Map a failure reply onto the exception hierarchy."""
+    message = reply.get("error", "service reported an unknown error")
+    code = reply.get("code")
+    if code in ("auth_required", "auth_failed", "forbidden"):
+        return AuthError(message, code)
+    if code == "quota_exceeded":
+        return QuotaExceeded(message, code)
+    if code == "rate_limited":
+        retry_after = reply.get("retry_after_s")
+        return RateLimited(
+            message,
+            code,
+            retry_after_s=(
+                float(retry_after)
+                if isinstance(retry_after, (int, float))
+                else 0.0
+            ),
+        )
+    return ServiceError(message, code)
+
+
+@dataclass(frozen=True)
+class _Reply:
+    """A typed view over one reply dict.
+
+    Implements the read-only mapping surface (``reply["key"]``,
+    ``.get``, ``in``) as a documented compatibility shim for code
+    written against the v1 raw-dict returns.
+    """
+
+    raw: Mapping[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.raw[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.raw.get(key, default)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self.raw
+
+
+@dataclass(frozen=True)
+class PingInfo(_Reply):
+    """Reply of ``ping``: liveness, occupancy, capabilities."""
+
+    @property
+    def protocol(self) -> int:
+        return int(self.raw.get("protocol", 1))
+
+    @property
+    def role(self) -> str:
+        return str(self.raw.get("role", "daemon"))
+
+    @property
+    def draining(self) -> bool:
+        return bool(self.raw.get("draining", False))
+
+    @property
+    def counts(self) -> Mapping[str, int]:
+        return self.raw.get("counts", {})
+
+    @property
+    def connections(self) -> Mapping[str, int]:
+        return self.raw.get("connections", {})
+
+    @property
+    def metrics_url(self) -> str | None:
+        return self.raw.get("metrics_url")
+
+    @property
+    def auth_required(self) -> bool:
+        return bool(self.raw.get("auth_required", False))
+
+    @property
+    def daemons(self) -> list[dict[str, Any]]:
+        """Coordinator only: the per-daemon ledger."""
+        return self.raw.get("daemons", [])
+
+
+@dataclass(frozen=True)
+class SubmitReceipt(_Reply):
+    """Reply of ``submit``: the accepted submission's identity."""
+
+    @property
+    def submission(self) -> str:
+        return self.raw["submission"]
+
+    @property
+    def manifest_digest(self) -> str:
+        return self.raw.get("manifest_digest", "")
+
+    @property
+    def total_jobs(self) -> int:
+        return int(self.raw.get("total_jobs", 0))
+
+    @property
+    def job_ids(self) -> list[str]:
+        return list(self.raw.get("job_ids", []))
+
+
+@dataclass(frozen=True)
+class StatusReport(_Reply):
+    """Reply of ``status`` (whole queue or one submission)."""
+
+    @property
+    def counts(self) -> Mapping[str, int]:
+        return self.raw.get("counts", {})
+
+    @property
+    def submission(self) -> str | None:
+        """The submission id (single-submission form only)."""
+        return self.raw.get("submission")
+
+    @property
+    def submissions(self) -> list[dict[str, Any]]:
+        """Per-submission summaries (whole-queue form only)."""
+        return self.raw.get("submissions", [])
+
+    @property
+    def jobs(self) -> list[dict[str, Any]]:
+        """Per-job detail (single-submission form only)."""
+        return self.raw.get("jobs", [])
+
+    @property
+    def total_jobs(self) -> int:
+        return int(self.raw.get("total_jobs", 0))
+
+
+@dataclass(frozen=True)
+class EndSummary(_Reply):
+    """The ``end`` event closing a result stream."""
+
+    @property
+    def submission(self) -> str:
+        return self.raw.get("submission", "")
+
+    @property
+    def num_done(self) -> int:
+        return int(self.raw.get("num_done", 0))
+
+    @property
+    def num_failed(self) -> int:
+        return int(self.raw.get("num_failed", 0))
+
+    @property
+    def remaining(self) -> int:
+        return int(self.raw.get("remaining", 0))
+
+    @property
+    def wall_time_s(self) -> float:
+        return float(self.raw.get("wall_time_s", 0.0))
 
 
 class ServiceClient:
@@ -55,6 +263,9 @@ class ServiceClient:
             started alongside a daemon does not race its bind.  Any
             other connection error -- and a refusal outliving the
             budget -- raises immediately.  ``0`` disables retrying.
+        token: Bearer token sent as the v2 envelope's ``auth`` field
+            on every request.  Required against a daemon running with
+            a tenants file; ignored by open daemons.
     """
 
     #: Connection errors worth retrying: the daemon is not *yet*
@@ -66,13 +277,26 @@ class ServiceClient:
         address: str,
         timeout: float = 10.0,
         connect_retry_s: float = 5.0,
+        token: str | None = None,
     ) -> None:
         parse_address(address)  # validate eagerly
         self.address = address
         self.timeout = timeout
         self.connect_retry_s = connect_retry_s
+        self.token = token
 
     # -- plumbing ------------------------------------------------------
+
+    def _envelope(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Wrap an op payload in the v2 envelope (``v`` + ``auth``).
+
+        v1 servers ignore unknown request keys, so always sending the
+        envelope costs nothing against older daemons.
+        """
+        message = {"v": PROTOCOL_VERSION, **payload}
+        if self.token is not None:
+            message["auth"] = self.token
+        return message
 
     def _connect_once(self) -> socket.socket:
         kind, value = parse_address(self.address)
@@ -114,7 +338,7 @@ class ServiceClient:
         with self._connect() as sock:
             stream = sock.makefile("rwb")
             try:
-                write_message(stream, payload)
+                write_message(stream, self._envelope(payload))
                 reply = read_message(stream)
             except (OSError, ProtocolError) as exc:
                 raise ServiceError(
@@ -127,31 +351,59 @@ class ServiceClient:
                 "the service closed the connection without replying"
             )
         if not reply.get("ok", False):
-            raise ServiceError(
-                reply.get("error", "service reported an unknown error")
-            )
+            raise error_from_reply(reply)
         return reply
 
     # -- operations ----------------------------------------------------
 
-    def ping(self) -> dict[str, Any]:
+    def ping(self) -> PingInfo:
         """Liveness + queue occupancy of the daemon."""
-        return self._request({"op": "ping"})
+        return PingInfo(self._request({"op": "ping"}))
 
     def submit(
-        self, manifest_doc: Any, priority: int = 0
-    ) -> dict[str, Any]:
-        """Submit a manifest document; returns ids and digest."""
-        return self._request(
-            {"op": "submit", "manifest": manifest_doc, "priority": priority}
-        )
+        self,
+        manifest_doc: Any,
+        priority: int = 0,
+        rate_limit_retry_s: float = 0.0,
+        tenant: str | None = None,
+    ) -> SubmitReceipt:
+        """Submit a manifest document; returns a :class:`SubmitReceipt`.
 
-    def status(self, submission: str | None = None) -> dict[str, Any]:
+        ``rate_limit_retry_s`` is an optional budget for riding out
+        :class:`RateLimited` rejections: the client sleeps the
+        server-suggested ``retry_after_s`` (clamped to the remaining
+        budget) and retries, raising only once the budget is spent.
+        ``0`` (the default) surfaces the first rejection immediately.
+
+        ``tenant`` is fleet-internal: a coordinator dispatching a leg
+        with the fleet token names the tenant the work belongs to, so
+        the daemon records carry the right tenant attribution.
+        Ordinary tenant tokens cannot act for another tenant -- the
+        server ignores the field unless the token is the fleet token.
+        """
+        payload = {
+            "op": "submit",
+            "manifest": manifest_doc,
+            "priority": priority,
+        }
+        if tenant is not None:
+            payload["tenant"] = tenant
+        deadline = time.monotonic() + rate_limit_retry_s
+        while True:
+            try:
+                return SubmitReceipt(self._request(payload))
+            except RateLimited as exc:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise
+                time.sleep(min(max(exc.retry_after_s, 0.01), remaining))
+
+    def status(self, submission: str | None = None) -> StatusReport:
         """Queue counts (whole daemon, or one submission)."""
         payload: dict[str, Any] = {"op": "status"}
         if submission is not None:
             payload["submission"] = submission
-        return self._request(payload)
+        return StatusReport(self._request(payload))
 
     def metrics(self) -> dict[str, Any]:
         """The daemon's (or fleet's) metrics exposition.
@@ -204,11 +456,13 @@ class ServiceClient:
             try:
                 write_message(
                     stream,
-                    {
-                        "op": "results",
-                        "submission": submission,
-                        "follow": follow,
-                    },
+                    self._envelope(
+                        {
+                            "op": "results",
+                            "submission": submission,
+                            "follow": follow,
+                        }
+                    ),
                 )
                 while True:
                     event = read_message(stream)
@@ -217,9 +471,7 @@ class ServiceClient:
                             "result stream ended without an 'end' event"
                         )
                     if not event.get("ok", False):
-                        raise ServiceError(
-                            event.get("error", "service error")
-                        )
+                        raise error_from_reply(event)
                     kind = event.get("event")
                     if kind not in ("start", "record", "end"):
                         raise ServiceError(
@@ -240,7 +492,8 @@ class ServiceClient:
     ) -> Iterator[dict[str, Any]]:
         """The raw ``start``/``record``/``end`` events of one results
         request (the coordinator's collector consumes these to see the
-        ``end`` summary alongside the records)."""
+        ``end`` summary alongside the records).  This is the raw-dict
+        escape hatch of the typed surface."""
         return self._stream(submission, follow)
 
     def results(
@@ -250,14 +503,14 @@ class ServiceClient:
 
         With ``follow`` the iterator blocks until every job finished.
         After exhaustion, :attr:`last_start` / :attr:`last_summary`
-        hold the stream's framing events (manifest digest, totals,
-        wall time).  Those two attributes are per-client convenience
-        state: concurrent ``results`` streams should use one client
-        each (every other operation, including
+        hold the stream's framing events (``last_summary`` is an
+        :class:`EndSummary`).  Those two attributes are per-client
+        convenience state: concurrent ``results`` streams should use
+        one client each (every other operation, including
         :meth:`results_document`, keeps no shared state).
         """
         self.last_start: dict[str, Any] | None = None
-        self.last_summary: dict[str, Any] | None = None
+        self.last_summary: EndSummary | None = None
         for event in self._stream(submission, follow):
             kind = event["event"]
             if kind == "start":
@@ -265,7 +518,7 @@ class ServiceClient:
             elif kind == "record":
                 yield event["record"]
             else:
-                self.last_summary = event
+                self.last_summary = EndSummary(event)
 
     def results_document(
         self, submission: str, follow: bool = True
@@ -302,19 +555,23 @@ class ServiceClient:
             on_error="collect",
         )
 
-    def wait_ready(self, timeout: float = 10.0) -> dict[str, Any]:
+    def wait_ready(self, timeout: float = 10.0) -> PingInfo:
         """Ping until the daemon answers (it may still be binding).
 
         Retries with bounded exponential backoff (50 ms doubling up to
         1 s, clamped to the remaining budget) so a slow-starting daemon
         is not hammered with connection attempts; the last
         :class:`ServiceError` is re-raised once ``timeout`` elapses.
+        Auth failures are *not* retried -- a bad token will not get
+        better with time.
         """
         deadline = time.monotonic() + timeout
         delay = 0.05
         while True:
             try:
                 return self.ping()
+            except AuthError:
+                raise
             except ServiceError:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
@@ -323,4 +580,15 @@ class ServiceClient:
                 delay = min(delay * 2.0, 1.0)
 
 
-__all__ = ["ServiceClient", "ServiceError"]
+__all__ = [
+    "AuthError",
+    "EndSummary",
+    "PingInfo",
+    "QuotaExceeded",
+    "RateLimited",
+    "ServiceClient",
+    "ServiceError",
+    "StatusReport",
+    "SubmitReceipt",
+    "error_from_reply",
+]

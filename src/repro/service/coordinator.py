@@ -37,6 +37,17 @@ survivor exists yet, the jobs park until a daemon registers.  The
 coordinator itself is a stateless front door over the daemons'
 persistent queues: restarting it forgets coordinator submission ids
 but loses no daemon-side work.
+
+**Tenancy.**  Started with ``--tenants FILE`` the coordinator is the
+fleet's policy front door: it authenticates every request
+(:func:`~repro.service.tenancy.authorize_request`), enforces the
+per-tenant submit rate limit, per-submission size quota and
+outstanding-jobs quota *globally* (the per-daemon slices of a
+tenant's work cannot see each other, so daemons skip admission for
+fleet-token legs), and namespaces fleet submission ids per tenant.
+Outbound legs carry the shared fleet token plus a ``tenant`` field,
+so daemon-side records, queues and metrics keep per-tenant
+attribution end to end.
 """
 
 from __future__ import annotations
@@ -61,10 +72,18 @@ from .protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
     ProtocolError,
+    error_reply,
     parse_address,
     write_message_async,
 )
 from .server import RESULTS_POLL_MIN_S, _next_idle_timeout
+from .tenancy import (
+    OPEN_CONTEXT,
+    AuthContext,
+    TenantRegistry,
+    authorize_request,
+    resolve_registry,
+)
 
 #: Queue depth (queued + running) at which affinity placement spills
 #: to the next rendezvous choice.
@@ -201,12 +220,14 @@ class _FleetSubmission:
         job_docs: list[dict[str, Any]],
         cache_keys: list[str],
         priority: int,
+        tenant: str | None = None,
     ) -> None:
         self.id = sub_id
         self.manifest_digest = digest
         self.jobs = job_docs
         self.cache_keys = cache_keys
         self.priority = priority
+        self.tenant = tenant
         self.submitted_at = time.time()
         self.total_jobs = len(job_docs)
         #: global index -> first-wins record (index already rewritten).
@@ -234,6 +255,11 @@ class Coordinator(AsyncServerCore):
         poll_interval: Monitor cadence (liveness + steal scan).
         steal_batch: Jobs moved per steal (``0`` disables stealing).
         max_line_bytes: Protocol line bound.
+        tenants: Tenants file path or a
+            :class:`~repro.service.tenancy.TenantRegistry`; enables
+            token auth and global per-tenant quota / rate-limit
+            enforcement at the fleet front door.  ``None`` keeps the
+            open v1-compatible behaviour.
     """
 
     def __init__(
@@ -245,6 +271,7 @@ class Coordinator(AsyncServerCore):
         poll_interval: float = DEFAULT_POLL_INTERVAL_S,
         steal_batch: int = DEFAULT_STEAL_BATCH,
         max_line_bytes: int = MAX_LINE_BYTES,
+        tenants: TenantRegistry | str | None = None,
     ) -> None:
         super().__init__(
             address,
@@ -254,6 +281,7 @@ class Coordinator(AsyncServerCore):
         self.spill_depth = spill_depth
         self.poll_interval = poll_interval
         self.steal_batch = steal_batch
+        self.tenants = resolve_registry(tenants)
         self._lock = threading.RLock()
         #: Notified on every record arrival / fleet change; followed
         #: result streams bridge it into their event loop.
@@ -285,6 +313,25 @@ class Coordinator(AsyncServerCore):
         self._m_redispatches = self.metrics.counter(
             "repro_redispatches_total",
             "Jobs re-placed after a daemon loss.",
+        )
+        # Per-tenant families (all zero unless a tenants file is in
+        # force).  Submissions and throttles are counted here -- the
+        # fleet front door -- and NOT again by the daemons for fleet
+        # legs, so the merged fleet view stays double-count-free.
+        self._m_tenant_submissions = self.metrics.counter(
+            "repro_tenant_submissions_total",
+            "Client submissions accepted, per tenant.",
+            ("tenant",),
+        )
+        self._m_tenant_throttles = self.metrics.counter(
+            "repro_tenant_throttles_total",
+            "Submissions rejected by tenancy admission control.",
+            ("tenant", "reason"),
+        )
+        self._m_tenant_placements = self.metrics.counter(
+            "repro_tenant_placements_total",
+            "Jobs placed on daemons, per owning tenant.",
+            ("tenant",),
         )
         self._seq = 0
         self._threads: list[threading.Thread] = []
@@ -411,7 +458,16 @@ class Coordinator(AsyncServerCore):
     # -- fleet bookkeeping ---------------------------------------------
 
     def _client(self, address: str) -> ServiceClient:
-        return ServiceClient(address, timeout=10.0, connect_retry_s=1.0)
+        return ServiceClient(
+            address,
+            timeout=10.0,
+            connect_retry_s=1.0,
+            token=self._fleet_token(),
+        )
+
+    def _fleet_token(self) -> str | None:
+        """The clear fleet token every daemon-bound request presents."""
+        return None if self.tenants is None else self.tenants.fleet_token
 
     def _alive_daemons(self) -> list[_Daemon]:
         with self._lock:
@@ -433,32 +489,103 @@ class Coordinator(AsyncServerCore):
 
     # -- submission + placement ----------------------------------------
 
-    def _submit(self, request: dict[str, Any]) -> dict[str, Any]:
+    def _check_tenant_submit(
+        self, ctx: AuthContext, num_jobs: int
+    ) -> dict[str, Any] | None:
+        """Global tenancy admission control: rate limit, then
+        per-submission size quota, then fleet-wide outstanding-jobs
+        quota (the coordinator is the only place that can see a
+        tenant's work across every daemon).  Returns an error reply,
+        or ``None`` to admit."""
+        tenant = ctx.tenant
+        if tenant is None or self.tenants is None:
+            return None
+        retry_after = self.tenants.acquire_submit(tenant)
+        if retry_after > 0.0:
+            self._m_tenant_throttles.inc(
+                tenant=tenant.name, reason="rate_limit"
+            )
+            return error_reply(
+                "rate_limited",
+                f"tenant {tenant.name!r} exceeded its submit rate; "
+                f"retry in {retry_after:.3f}s",
+                retry_after_s=round(retry_after, 3),
+            )
+        cap = tenant.max_jobs_per_submission
+        if cap is not None and num_jobs > cap:
+            self._m_tenant_throttles.inc(
+                tenant=tenant.name, reason="submission_quota"
+            )
+            return error_reply(
+                "quota_exceeded",
+                f"submission has {num_jobs} jobs; tenant "
+                f"{tenant.name!r} is limited to {cap} per submission",
+            )
+        cap = tenant.max_queued_jobs
+        if cap is not None:
+            outstanding = self._tenant_outstanding(tenant.name)
+            if outstanding + num_jobs > cap:
+                self._m_tenant_throttles.inc(
+                    tenant=tenant.name, reason="queued_quota"
+                )
+                return error_reply(
+                    "quota_exceeded",
+                    f"tenant {tenant.name!r} has {outstanding} "
+                    f"outstanding job(s) across the fleet; {num_jobs} "
+                    f"more would exceed its quota of {cap}",
+                )
+        return None
+
+    def _tenant_outstanding(self, tenant_name: str) -> int:
+        """Jobs submitted by ``tenant_name`` still without a record."""
+        with self._lock:
+            return sum(
+                entry.total_jobs - len(entry.records)
+                for entry in self._submissions.values()
+                if entry.tenant == tenant_name
+            )
+
+    def _submit(
+        self, request: dict[str, Any], ctx: AuthContext = OPEN_CONTEXT
+    ) -> dict[str, Any]:
         if self.draining:
-            return {
-                "ok": False,
-                "error": (
-                    "coordinator is draining; not accepting submissions"
-                ),
-            }
+            return error_reply(
+                "draining",
+                "coordinator is draining; not accepting submissions",
+            )
         manifest_doc = request.get("manifest")
         if manifest_doc is None:
-            return {"ok": False, "error": "submit needs a 'manifest'"}
+            return error_reply("bad_request", "submit needs a 'manifest'")
         priority = request.get("priority", 0)
         if isinstance(priority, bool) or not isinstance(priority, int):
-            return {"ok": False, "error": "'priority' must be an integer"}
+            return error_reply(
+                "bad_request", "'priority' must be an integer"
+            )
         try:
             jobs = parse_manifest(manifest_doc)
             cache_keys = [job_cache_key(job) for job in jobs]
             job_docs = [job_to_doc(job) for job in jobs]
         except ManifestError as exc:
-            return {"ok": False, "error": f"bad manifest: {exc}"}
+            return error_reply("bad_request", f"bad manifest: {exc}")
+        rejection = self._check_tenant_submit(ctx, len(jobs))
+        if rejection is not None:
+            return rejection
         digest = manifest_digest(manifest_doc)
+        tenant_name = ctx.name
         with self.changed:
             self._seq += 1
-            sub_id = f"c{self._seq:06d}"
+            sub_id = (
+                f"{tenant_name}-c{self._seq:06d}"
+                if tenant_name
+                else f"c{self._seq:06d}"
+            )
             submission = _FleetSubmission(
-                sub_id, digest, job_docs, cache_keys, priority
+                sub_id,
+                digest,
+                job_docs,
+                cache_keys,
+                priority,
+                tenant=tenant_name,
             )
             self._submissions[sub_id] = submission
         try:
@@ -471,11 +598,16 @@ class Coordinator(AsyncServerCore):
             with self.changed:
                 del self._submissions[sub_id]
                 self._notify_all()
-            return {"ok": False, "error": f"fleet dispatch failed: {exc}"}
+            return error_reply(
+                "unavailable", f"fleet dispatch failed: {exc}"
+            )
+        if tenant_name is not None:
+            self._m_tenant_submissions.inc(tenant=tenant_name)
         return {
             "ok": True,
             "op": "submit",
             "submission": sub_id,
+            "tenant": tenant_name,
             "manifest_digest": digest,
             "total_jobs": submission.total_jobs,
             "job_ids": [
@@ -550,7 +682,9 @@ class Coordinator(AsyncServerCore):
         manifest = {"jobs": [submission.jobs[i] for i in indices]}
         try:
             reply = self._client(address).submit(
-                manifest, priority=submission.priority
+                manifest,
+                priority=submission.priority,
+                tenant=submission.tenant,
             )
         except ServiceError as exc:
             self._mark_dead(address, exc)
@@ -569,6 +703,10 @@ class Coordinator(AsyncServerCore):
             self._m_steals.inc(len(indices), daemon=address)
         else:
             self._m_placements.inc(len(indices), daemon=address)
+        if submission.tenant is not None:
+            self._m_tenant_placements.inc(
+                len(indices), tenant=submission.tenant
+            )
         collector = threading.Thread(
             target=self._collect,
             args=(submission, leg),
@@ -617,7 +755,10 @@ class Coordinator(AsyncServerCore):
         the coordinator stops.
         """
         client = ServiceClient(
-            leg.daemon, timeout=10.0, connect_retry_s=1.0
+            leg.daemon,
+            timeout=10.0,
+            connect_retry_s=1.0,
+            token=self._fleet_token(),
         )
         while not self._stopping.is_set():
             try:
@@ -691,6 +832,11 @@ class Coordinator(AsyncServerCore):
             self._retry_pending()
             if self.steal_batch > 0:
                 self._steal_round()
+            if self.tenants is not None and self.tenants.maybe_reload():
+                self._log(
+                    f"tenants file reloaded: "
+                    f"{len(self.tenants.tenants())} tenant(s)"
+                )
 
     def _refresh_daemons(self) -> None:
         for daemon in list(self._daemons.values()):
@@ -791,11 +937,17 @@ class Coordinator(AsyncServerCore):
         """Answer one request; ``False`` ends the connection."""
         op = request.get("op")
         if op == "ping":
+            # Liveness stays unauthenticated: wait_ready and the fleet
+            # monitor must work before anyone holds a token.
             await write_message_async(writer, self._ping())
+            return True
+        ctx, rejection = authorize_request(self.tenants, request)
+        if rejection is not None:
+            await write_message_async(writer, rejection)
             return True
         if op == "register":
             await write_message_async(
-                writer, self._register(request)
+                writer, self._register(request, ctx)
             )
             return True
         if op == "metrics":
@@ -804,21 +956,32 @@ class Coordinator(AsyncServerCore):
             await write_message_async(writer, reply)
             return True
         if op == "trace":
-            await write_message_async(writer, self._trace(request))
+            await write_message_async(writer, self._trace(request, ctx))
             return True
         if op == "submit":
             # Manifest expansion, cache-key hashing and the daemon
             # round-trips all block: keep them off the event loop.
-            reply = await asyncio.to_thread(self._submit, request)
+            reply = await asyncio.to_thread(self._submit, request, ctx)
             await write_message_async(writer, reply)
             return True
         if op == "status":
-            await write_message_async(writer, self._status(request))
+            await write_message_async(
+                writer, self._status(request, ctx)
+            )
             return True
         if op == "results":
-            await self._results(request, writer)
+            await self._results(request, writer, ctx)
             return True
         if op == "shutdown":
+            if not ctx.admin:
+                await write_message_async(
+                    writer,
+                    error_reply(
+                        "forbidden",
+                        "shutdown requires the admin capability",
+                    ),
+                )
+                return True
             drain = bool(request.get("drain", True))
             fleet = bool(request.get("fleet", False))
             await write_message_async(
@@ -839,18 +1002,33 @@ class Coordinator(AsyncServerCore):
             return False
         await write_message_async(
             writer,
-            {"ok": False, "error": f"unknown op {op!r}"},
+            error_reply("unknown_op", f"unknown op {op!r}"),
         )
         return True
 
-    def _register(self, request: dict[str, Any]) -> dict[str, Any]:
+    def _register(
+        self,
+        request: dict[str, Any],
+        ctx: AuthContext = OPEN_CONTEXT,
+    ) -> dict[str, Any]:
+        if not ctx.admin:
+            # Fleet members register with the fleet token; a plain
+            # tenant must not be able to splice a daemon into the
+            # fleet and receive other tenants' jobs.
+            return error_reply(
+                "forbidden",
+                "register requires the fleet token or the admin "
+                "capability",
+            )
         address = request.get("address")
         if not isinstance(address, str) or not address.strip():
-            return {"ok": False, "error": "register needs an 'address'"}
+            return error_reply(
+                "bad_request", "register needs an 'address'"
+            )
         try:
             parse_address(address)
         except ProtocolError as exc:
-            return {"ok": False, "error": str(exc)}
+            return error_reply("bad_request", str(exc))
         with self.changed:
             daemon = self._daemons.get(address)
             if daemon is None:
@@ -903,27 +1081,31 @@ class Coordinator(AsyncServerCore):
             "text": render_prometheus_doc(merged),
         }
 
-    def _trace(self, request: dict[str, Any]) -> dict[str, Any]:
+    def _trace(
+        self,
+        request: dict[str, Any],
+        ctx: AuthContext = OPEN_CONTEXT,
+    ) -> dict[str, Any]:
         """Look one job's trace up by its coordinator job id.
 
-        Fleet job ids are ``SUBMISSION-INDEX`` (``c000001-00007``); the
-        trace document arrived with the job's record from whichever
-        daemon compiled it.
+        Fleet job ids are ``SUBMISSION-INDEX`` (``c000001-00007``,
+        tenant-prefixed under tenancy); the trace document arrived
+        with the job's record from whichever daemon compiled it.
         """
         job_id = request.get("job")
         if not isinstance(job_id, str) or "-" not in job_id:
-            return {
-                "ok": False,
-                "error": "trace needs a 'job' id (SUBMISSION-INDEX)",
-            }
+            return error_reply(
+                "bad_request",
+                "trace needs a 'job' id (SUBMISSION-INDEX)",
+            )
         sub_id, _, index_str = job_id.rpartition("-")
         try:
             index = int(index_str)
         except ValueError:
-            return {
-                "ok": False,
-                "error": f"bad job id {job_id!r}: index is not a number",
-            }
+            return error_reply(
+                "bad_request",
+                f"bad job id {job_id!r}: index is not a number",
+            )
         with self._lock:
             submission = self._submissions.get(sub_id)
             record = (
@@ -931,17 +1113,17 @@ class Coordinator(AsyncServerCore):
                 if submission is None
                 else submission.records.get(index)
             )
-        if submission is None:
-            return {
-                "ok": False,
-                "error": f"unknown submission {sub_id!r}",
-            }
+        if submission is None or not ctx.can_see(submission.tenant):
+            # Foreign tenants' submissions answer exactly like
+            # nonexistent ones: ids must not leak across namespaces.
+            return error_reply(
+                "not_found", f"unknown submission {sub_id!r}"
+            )
         trace_doc = None if record is None else record.get("trace")
         if trace_doc is None:
-            return {
-                "ok": False,
-                "error": f"job {job_id} has no trace yet",
-            }
+            return error_reply(
+                "not_found", f"job {job_id} has no trace yet"
+            )
         return {
             "ok": True,
             "op": "trace",
@@ -951,14 +1133,24 @@ class Coordinator(AsyncServerCore):
         }
 
     def _counts(
-        self, submission: _FleetSubmission | None = None
+        self,
+        submission: _FleetSubmission | None = None,
+        ctx: AuthContext = OPEN_CONTEXT,
     ) -> dict[str, int]:
-        """Queue-style counts; outstanding fleet work reads as queued."""
+        """Queue-style counts; outstanding fleet work reads as queued.
+
+        Whole-fleet counts only aggregate the submissions ``ctx`` may
+        see, so a tenant's status never reflects other tenants' load.
+        """
         with self._lock:
             submissions = (
                 [submission]
                 if submission is not None
-                else list(self._submissions.values())
+                else [
+                    entry
+                    for entry in self._submissions.values()
+                    if ctx.can_see(entry.tenant)
+                ]
             )
             done = 0
             error = 0
@@ -997,6 +1189,7 @@ class Coordinator(AsyncServerCore):
             "protocol": PROTOCOL_VERSION,
             "role": "coordinator",
             "address": self.address,
+            "auth_required": self.tenants is not None,
             "draining": self.draining,
             "uptime_s": time.time() - self.started_at,
             "counts": self._counts(),
@@ -1007,19 +1200,28 @@ class Coordinator(AsyncServerCore):
             "steal_batch": self.steal_batch,
         }
 
-    def _status(self, request: dict[str, Any]) -> dict[str, Any]:
+    def _status(
+        self,
+        request: dict[str, Any],
+        ctx: AuthContext = OPEN_CONTEXT,
+    ) -> dict[str, Any]:
         sub_id = request.get("submission")
         if sub_id is None:
             with self._lock:
-                submissions = list(self._submissions.values())
+                submissions = [
+                    entry
+                    for entry in self._submissions.values()
+                    if ctx.can_see(entry.tenant)
+                ]
             return {
                 "ok": True,
                 "op": "status",
                 "draining": self.draining,
-                "counts": self._counts(),
+                "counts": self._counts(ctx=ctx),
                 "submissions": [
                     {
                         "id": entry.id,
+                        "tenant": entry.tenant,
                         "total_jobs": entry.total_jobs,
                         "counts": self._counts(entry),
                     }
@@ -1028,11 +1230,11 @@ class Coordinator(AsyncServerCore):
             }
         with self._lock:
             submission = self._submissions.get(sub_id)
-        if submission is None:
-            return {
-                "ok": False,
-                "error": f"unknown submission {sub_id!r}",
-            }
+        if submission is None or not ctx.can_see(submission.tenant):
+            # Invisible reads as nonexistent: no cross-tenant id probe.
+            return error_reply(
+                "not_found", f"unknown submission {sub_id!r}"
+            )
         with self._lock:
             jobs = []
             for index in sorted(submission.records):
@@ -1052,6 +1254,7 @@ class Coordinator(AsyncServerCore):
             "ok": True,
             "op": "status",
             "submission": sub_id,
+            "tenant": submission.tenant,
             "manifest_digest": submission.manifest_digest,
             "total_jobs": submission.total_jobs,
             "counts": self._counts(submission),
@@ -1059,7 +1262,10 @@ class Coordinator(AsyncServerCore):
         }
 
     async def _results(
-        self, request: dict[str, Any], writer: asyncio.StreamWriter
+        self,
+        request: dict[str, Any],
+        writer: asyncio.StreamWriter,
+        ctx: AuthContext = OPEN_CONTEXT,
     ) -> None:
         """Stream a fleet submission's records in completion order.
 
@@ -1073,10 +1279,12 @@ class Coordinator(AsyncServerCore):
                 if sub_id is None
                 else self._submissions.get(sub_id)
             )
-        if submission is None:
+        if submission is None or not ctx.can_see(submission.tenant):
             await write_message_async(
                 writer,
-                {"ok": False, "error": f"unknown submission {sub_id!r}"},
+                error_reply(
+                    "not_found", f"unknown submission {sub_id!r}"
+                ),
             )
             return
         follow = bool(request.get("follow", False))

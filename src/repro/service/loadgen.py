@@ -141,6 +141,7 @@ def run_loadgen(
     progress: Callable[[int, float], None] | None = None,
     scrape_url: str | None = None,
     scrape_interval_s: float = DEFAULT_SCRAPE_INTERVAL_S,
+    token: str | None = None,
 ) -> dict[str, Any]:
     """Run the traffic generator; returns the latency report document.
 
@@ -164,6 +165,10 @@ def run_loadgen(
             ``"scrape"`` block, so a loadgen run doubles as scrape
             evidence without a Prometheus server.
         scrape_interval_s: Sampling cadence of ``scrape_url``.
+        token: Bearer token sent with every request (tenanted
+            services); rate-limited submissions are counted as errors
+            rather than retried, so a loadgen run against a throttled
+            tenant measures the throttle.
     """
     if clients < 1:
         raise ValueError("need at least one client")
@@ -177,7 +182,7 @@ def run_loadgen(
 
     def client_loop(client_index: int) -> None:
         rng = random.Random(seed * 1000003 + client_index)
-        client = ServiceClient(address)
+        client = ServiceClient(address, token=token)
         while True:
             now = time.monotonic()
             if now >= stop_at:
@@ -205,7 +210,7 @@ def run_loadgen(
             try:
                 submitted = client.submit(manifest, priority=priority)
                 doc = client.results_document(
-                    submitted["submission"], follow=True
+                    submitted.submission, follow=True
                 )
             except ServiceError as exc:
                 with lock:

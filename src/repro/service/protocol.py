@@ -6,18 +6,50 @@ sequence of requests; the server answers each with one response
 object, except ``results``, which streams several *event* objects and
 ends the exchange with an ``{"event": "end", ...}`` line.
 
-Requests (``op`` selects the operation)::
+Requests (``op`` selects the operation; the v2 envelope adds ``v``
+and, against a tenanted daemon, ``auth``)::
 
-    {"op": "ping"}
-    {"op": "submit", "manifest": <manifest doc>, "priority": 0}
-    {"op": "status"}                      # whole queue
-    {"op": "status", "submission": ID}    # one submission
-    {"op": "results", "submission": ID, "follow": true}
-    {"op": "metrics"}                     # repro-metrics doc + text
-    {"op": "trace", "job": JOB_ID}        # one job's trace-v1 doc
-    {"op": "register", "address": "host:port"}   # coordinator only
-    {"op": "shutdown", "drain": true}            # +"fleet" on a
+    {"v": 2, "op": "ping"}
+    {"v": 2, "op": "submit", "auth": TOKEN,
+     "manifest": <manifest doc>, "priority": 0}
+    {"v": 2, "op": "status", "auth": TOKEN}            # whole queue
+    {"v": 2, "op": "status", "auth": TOKEN, "submission": ID}
+    {"v": 2, "op": "results", "auth": TOKEN, "submission": ID,
+     "follow": true}
+    {"v": 2, "op": "metrics"}             # repro-metrics doc + text
+    {"v": 2, "op": "trace", "auth": TOKEN, "job": JOB_ID}
+    {"v": 2, "op": "register", "auth": TOKEN,
+     "address": "host:port"}                     # coordinator only
+    {"v": 2, "op": "shutdown", "auth": TOKEN, "drain": true}
+                                                 # +"fleet" on a
                                                  #  coordinator
+
+Version compatibility matrix (``v`` is the envelope version; a
+request with no ``v`` key is a v1 request):
+
+    ==========  =====================  ============================
+    request     daemon w/o --tenants   daemon with --tenants
+    ==========  =====================  ============================
+    v1 (no v)   accepted (as today)    rejected, code
+                                       ``upgrade_required``
+                                       (``ping`` always answered)
+    v: 2        accepted               accepted; ``auth`` required
+                                       for every op except ``ping``
+    v: other    rejected,              rejected, code
+                ``bad_request``        ``bad_request``
+    ==========  =====================  ============================
+
+A v2 server therefore serves legacy v1 clients byte-compatibly so
+long as it runs without a tenants file; turning tenancy on is the
+moment the fleet must speak v2.  ``ping`` is always answered
+unauthenticated (liveness probes and ``wait_ready`` must work before
+a client knows its token is valid); a tenanted daemon's ping reply
+additionally carries ``"auth_required": true``.
+
+Coordinators authenticate to their daemons with the tenants file's
+``fleet_token`` and name the acting tenant in a ``tenant`` field;
+daemons trust that field only on fleet-token requests (see
+:mod:`repro.service.tenancy`).
 
 ``metrics`` answers with the daemon's ``repro-metrics`` JSON document
 (``"metrics"``, fleet-summed on a coordinator) plus its Prometheus
@@ -25,8 +57,26 @@ v0.0.4 text rendering (``"text"``); ``trace`` answers with the job's
 ``repro-trace`` document (recorded queue wait, attempts, per-pass
 spans -- see :mod:`repro.obs.trace`).
 
-Responses always carry ``"ok"`` (``false`` plus an ``"error"`` string
-on failure).  ``results`` events look like::
+Responses always carry ``"ok"``.  Failures are
+``{"ok": false, "error": "<human string>", "code": "<machine code>"}``
+— the ``code`` vocabulary is stable API (:data:`ERROR_CODES`):
+
+* ``auth_required`` — tenanted daemon, no/empty ``auth`` given
+* ``auth_failed`` — token matched no tenant
+* ``forbidden`` — authenticated but lacking the ``admin`` capability
+* ``quota_exceeded`` — a per-tenant quota would be exceeded
+* ``rate_limited`` — submit token bucket empty; the reply carries
+  ``retry_after_s``
+* ``upgrade_required`` — v1 request against a tenanted daemon
+* ``bad_request`` — malformed request (unknown ``v``, bad manifest…)
+* ``unknown_op`` — unrecognized ``op``
+* ``not_found`` — unknown submission/job (or one outside the
+  caller's tenant namespace — indistinguishable by design)
+* ``draining`` — daemon is shutting down, not accepting submits
+* ``unavailable`` — fleet has no live daemon for the work
+* ``internal`` — unexpected server-side failure
+
+``results`` events look like::
 
     {"ok": true, "event": "start", "submission": ID,
      "manifest_digest": ..., "total_jobs": N}
@@ -55,7 +105,26 @@ import os
 from typing import Any, BinaryIO, Iterator
 
 #: Bump on incompatible wire changes; ping responses carry it.
-PROTOCOL_VERSION = 1
+#: v2 (this version) added the request envelope (``v``/``auth``) and
+#: machine-readable error codes; see the compat matrix above.
+PROTOCOL_VERSION = 2
+
+#: The stable machine-readable error-code vocabulary (`code` field of
+#: failure replies).  Grows compatibly; codes are never repurposed.
+ERROR_CODES = frozenset({
+    "auth_required",
+    "auth_failed",
+    "forbidden",
+    "quota_exceeded",
+    "rate_limited",
+    "upgrade_required",
+    "bad_request",
+    "unknown_op",
+    "not_found",
+    "draining",
+    "unavailable",
+    "internal",
+})
 
 #: Upper bound on one protocol line (a manifest embedding the full
 #: benchmark suite is ~10 kB; 32 MiB leaves orders of magnitude slack
@@ -65,6 +134,18 @@ MAX_LINE_BYTES = 32 * 1024 * 1024
 
 class ProtocolError(ValueError):
     """Raised on malformed protocol traffic (bad JSON, oversize line)."""
+
+
+def error_reply(code: str, message: str, **extra: Any) -> dict[str, Any]:
+    """Build a failure reply with its stable machine-readable code.
+
+    ``extra`` lands on the reply verbatim (e.g. ``retry_after_s`` for
+    ``rate_limited``).
+    """
+    assert code in ERROR_CODES, f"unknown error code {code!r}"
+    reply = {"ok": False, "error": message, "code": code}
+    reply.update(extra)
+    return reply
 
 
 def parse_address(spec: str) -> tuple[str, Any]:
@@ -194,9 +275,11 @@ def read_messages(stream: BinaryIO) -> Iterator[dict[str, Any]]:
 
 
 __all__ = [
+    "ERROR_CODES",
     "MAX_LINE_BYTES",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "error_reply",
     "format_address",
     "parse_address",
     "read_message",

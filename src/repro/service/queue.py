@@ -4,6 +4,8 @@ One :class:`JobQueue` owns a directory::
 
     <dir>/submissions/<sub-id>.json   one document per accepted manifest
     <dir>/jobs/<job-id>.json          one document per expanded job
+    <dir>/submissions/<tenant>/...    tenant-namespaced submissions
+    <dir>/jobs/<tenant>/...           tenant-namespaced jobs
 
 Every document is written atomically (temp file + rename), so the
 queue survives a daemon crash at any instant: on reopen,
@@ -16,6 +18,7 @@ job plus its scheduling state::
 
     {"format": "repro-service-job", "version": 1,
      "id": "s000001-00003", "submission": "s000001", "index": 3,
+     "tenant": "acme" | null,
      "priority": 0, "seq": 17,
      "status": "queued" | "running" | "done" | "error",
      "cache_key": <64-hex job_cache_key>,
@@ -33,9 +36,21 @@ histogram and the ``repro status`` detail; ``first_leased_at`` survives
 requeues (first value wins) so the wait reflects the original
 admission, not the latest crash recovery.
 
-Scheduling is priority-then-FIFO: :meth:`lease` hands out the queued
-job with the highest ``priority`` (ties: lowest submission ``seq``,
-then manifest ``index``).  Work is **deduplicated by cache key**: two
+**Tenancy.**  A submission made on behalf of a tenant carries the
+tenant's name on its submission document and every job record
+(``"tenant"``; ``None``/absent means the default, un-tenanted
+namespace — records written by older daemons read back exactly so).
+Tenanted documents live under per-tenant subdirectories and their ids
+are prefixed (``acme-s000001``), so two tenants' ids can never
+collide and an operator can ``ls`` one tenant's work.
+
+Scheduling is priority-then-FIFO with **fair-share interleaving**
+across tenants: :meth:`lease` hands out the queued job with the
+highest ``priority``; among equal priorities, the tenant that has
+been granted the fewest leases since this process started goes first
+(ties: lowest submission ``seq``, then manifest ``index``).  A tenant
+that floods the queue therefore shares the worker pool round-robin
+with everyone else instead of starving them.  Work is **deduplicated by cache key**: two
 queued jobs with the same content-addressed key are never leased
 concurrently, so the first compiles while the second waits and is then
 served from the shared program cache in microseconds -- the queue
@@ -81,6 +96,11 @@ DEFAULT_MAX_REQUEUES = 3
 
 class QueueError(RuntimeError):
     """Raised on structurally invalid queue operations or documents."""
+
+
+#: Sentinel distinguishing "no tenant filter" from "the default
+#: (None) tenant namespace" in :meth:`JobQueue.counts`.
+_UNFILTERED = object()
 
 
 def _atomic_write(path: str, doc: dict[str, Any]) -> None:
@@ -143,6 +163,10 @@ class JobQueue:
         self._listeners: list[Callable[[], None]] = []
         self._records: dict[str, dict[str, Any]] = {}
         self._submissions: dict[str, dict[str, Any]] = {}
+        # Leases granted per tenant since startup -- the fair-share
+        # interleaving key.  In-memory by design: fairness is a
+        # scheduling concern of the live process, not queue state.
+        self._lease_grants: dict[str | None, int] = {}
         # Highest submission seq ever seen, GC'd ones included: a
         # collected submission's id must not be handed to a later
         # submit() while this process lives.
@@ -191,19 +215,30 @@ class JobQueue:
 
     # -- persistence ---------------------------------------------------
 
+    @classmethod
+    def _scan_docs(cls, root: str, fmt: str) -> list[dict[str, Any]]:
+        """Read every queue document under ``root``: the flat default
+        namespace plus one subdirectory per tenant."""
+        docs = []
+        for name in sorted(os.listdir(root)):
+            path = os.path.join(root, name)
+            if os.path.isdir(path):
+                for sub in sorted(os.listdir(path)):
+                    if sub.endswith(".json"):
+                        doc = cls._read_doc(os.path.join(path, sub))
+                        if doc is not None and doc.get("format") == fmt:
+                            docs.append(doc)
+            elif name.endswith(".json"):
+                doc = cls._read_doc(path)
+                if doc is not None and doc.get("format") == fmt:
+                    docs.append(doc)
+        return docs
+
     def _load(self) -> None:
-        for name in sorted(os.listdir(self._subs_dir)):
-            if not name.endswith(".json"):
-                continue
-            doc = self._read_doc(os.path.join(self._subs_dir, name))
-            if doc is not None and doc.get("format") == SUBMISSION_FORMAT:
-                self._submissions[doc["id"]] = doc
-        for name in sorted(os.listdir(self._jobs_dir)):
-            if not name.endswith(".json"):
-                continue
-            doc = self._read_doc(os.path.join(self._jobs_dir, name))
-            if doc is not None and doc.get("format") == JOB_RECORD_FORMAT:
-                self._records[doc["id"]] = doc
+        for doc in self._scan_docs(self._subs_dir, SUBMISSION_FORMAT):
+            self._submissions[doc["id"]] = doc
+        for doc in self._scan_docs(self._jobs_dir, JOB_RECORD_FORMAT):
+            self._records[doc["id"]] = doc
 
     @staticmethod
     def _read_doc(path: str) -> dict[str, Any] | None:
@@ -216,15 +251,21 @@ class JobQueue:
             # bricking the queue.
             return None
 
+    def _doc_path(self, root: str, doc: dict[str, Any]) -> str:
+        tenant = doc.get("tenant")
+        if tenant:
+            root = os.path.join(root, tenant)
+        return os.path.join(root, f"{doc['id']}.json")
+
     def _persist_record(self, record: dict[str, Any]) -> None:
-        _atomic_write(
-            os.path.join(self._jobs_dir, f"{record['id']}.json"), record
-        )
+        path = self._doc_path(self._jobs_dir, record)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        _atomic_write(path, record)
 
     def _persist_submission(self, doc: dict[str, Any]) -> None:
-        _atomic_write(
-            os.path.join(self._subs_dir, f"{doc['id']}.json"), doc
-        )
+        path = self._doc_path(self._subs_dir, doc)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        _atomic_write(path, doc)
 
     # -- submission ----------------------------------------------------
 
@@ -233,21 +274,27 @@ class JobQueue:
         return max(seqs + [self._seq_floor]) + 1
 
     def submit(
-        self, manifest_doc: Any, priority: int = 0
+        self,
+        manifest_doc: Any,
+        priority: int = 0,
+        tenant: str | None = None,
     ) -> dict[str, Any]:
         """Expand a manifest into queued jobs; returns the submission.
 
         The whole manifest is validated (:class:`ManifestError`
         propagates) and every job's cache key computed *before*
         anything is enqueued, so a malformed submission leaves the
-        queue untouched.
+        queue untouched.  ``tenant`` prefixes the submission id and
+        namespaces the on-disk documents (see module doc).
         """
         jobs = parse_manifest(manifest_doc)  # raises ManifestError
         digest = manifest_digest(manifest_doc)
         keys = [job_cache_key(job) for job in jobs]
         with self.changed:
             seq = self._next_seq()
-            sub_id = f"s{seq:06d}"
+            sub_id = (
+                f"{tenant}-s{seq:06d}" if tenant else f"s{seq:06d}"
+            )
             job_ids = [
                 f"{sub_id}-{index:05d}" for index in range(len(jobs))
             ]
@@ -256,6 +303,7 @@ class JobQueue:
                 "version": QUEUE_SCHEMA_VERSION,
                 "id": sub_id,
                 "seq": seq,
+                "tenant": tenant,
                 "manifest_digest": digest,
                 "total_jobs": len(jobs),
                 "priority": priority,
@@ -273,6 +321,7 @@ class JobQueue:
                     "id": job_id,
                     "submission": sub_id,
                     "index": index,
+                    "tenant": tenant,
                     "priority": priority,
                     "seq": seq,
                     "status": "queued",
@@ -293,34 +342,61 @@ class JobQueue:
     # -- scheduling ----------------------------------------------------
 
     def lease(
-        self, worker: str, lease_seconds: float = 300.0
+        self,
+        worker: str,
+        lease_seconds: float = 300.0,
+        running_caps: dict[str, int] | None = None,
     ) -> dict[str, Any] | None:
         """Claim the next runnable job for ``worker``; ``None`` if idle.
 
-        Highest ``priority`` first, then submission order, then
-        manifest index.  A job whose cache key is already running on
-        another worker is skipped (work dedup): it becomes runnable
-        again once the twin finishes and will then hit the shared
-        program cache.
+        Highest ``priority`` first; among equal priorities the tenant
+        with the fewest leases granted so far goes first (fair-share
+        interleaving), then submission order, then manifest index.  A
+        job whose cache key is already running on another worker is
+        skipped (work dedup): it becomes runnable again once the twin
+        finishes and will then hit the shared program cache.
+
+        ``running_caps`` maps tenant names to their ``max_running_jobs``
+        quota: a tenant at its cap is skipped this round (its jobs stay
+        queued), so in-flight concurrency is enforced at the moment a
+        worker would start the job.
         """
         with self.changed:
-            running_keys = {
-                record["cache_key"]
-                for record in self._records.values()
-                if record["status"] == "running"
-            }
+            running_keys = set()
+            running_by_tenant: dict[str | None, int] = {}
+            for record in self._records.values():
+                if record["status"] == "running":
+                    running_keys.add(record["cache_key"])
+                    tenant = record.get("tenant")
+                    running_by_tenant[tenant] = (
+                        running_by_tenant.get(tenant, 0) + 1
+                    )
             candidates = [
                 record
                 for record in self._records.values()
                 if record["status"] == "queued"
                 and record["cache_key"] not in running_keys
+                and not (
+                    running_caps is not None
+                    and record.get("tenant") in running_caps
+                    and running_by_tenant.get(record.get("tenant"), 0)
+                    >= running_caps[record.get("tenant")]
+                )
             ]
             if not candidates:
                 return None
+            grants = self._lease_grants
             record = min(
                 candidates,
-                key=lambda r: (-r["priority"], r["seq"], r["index"]),
+                key=lambda r: (
+                    -r["priority"],
+                    grants.get(r.get("tenant"), 0),
+                    r["seq"],
+                    r["index"],
+                ),
             )
+            tenant = record.get("tenant")
+            grants[tenant] = grants.get(tenant, 0) + 1
             record["status"] = "running"
             record["lease"] = {
                 "worker": worker,
@@ -519,15 +595,33 @@ class JobQueue:
                 and record["status"] in ("done", "error")
             )
 
-    def counts(self, sub_id: str | None = None) -> dict[str, int]:
-        """Job totals per state (optionally for one submission)."""
+    def counts(
+        self,
+        sub_id: str | None = None,
+        tenant: str | None | Any = _UNFILTERED,
+    ) -> dict[str, int]:
+        """Job totals per state (optionally for one submission and/or
+        one tenant namespace — pass ``tenant=None`` for the default
+        namespace; omit the argument for all tenants)."""
         totals = dict.fromkeys(JOB_STATES, 0)
         with self._lock:
             for record in self._records.values():
                 if sub_id is not None and record["submission"] != sub_id:
                     continue
+                if (tenant is not _UNFILTERED
+                        and record.get("tenant") != tenant):
+                    continue
                 totals[record["status"]] += 1
         return totals
+
+    def tenants_seen(self) -> set[str]:
+        """Tenant names present on any record (live quota gauges)."""
+        with self._lock:
+            return {
+                record["tenant"]
+                for record in self._records.values()
+                if record.get("tenant")
+            }
 
     def unfinished(self, sub_id: str | None = None) -> int:
         """Jobs not yet done or errored."""
@@ -591,13 +685,11 @@ class JobQueue:
                     continue
                 for record in records:
                     self._remove_file(
-                        os.path.join(
-                            self._jobs_dir, f"{record['id']}.json"
-                        )
+                        self._doc_path(self._jobs_dir, record)
                     )
                     del self._records[record["id"]]
                 self._remove_file(
-                    os.path.join(self._subs_dir, f"{sub_id}.json")
+                    self._doc_path(self._subs_dir, submission)
                 )
                 self._seq_floor = max(
                     self._seq_floor, submission.get("seq", 0)

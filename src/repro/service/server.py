@@ -51,13 +51,22 @@ from ..obs.metrics import (
     render_prometheus_doc,
 )
 from ..obs.trace import Trace, rebase_spans
+from ..engine.manifest import parse_manifest
 from .aio import AsyncServerCore
 from .protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
+    error_reply,
     write_message_async,
 )
 from .queue import JobQueue, ManifestError, queue_wait_s
+from .tenancy import (
+    AuthContext,
+    OPEN_CONTEXT,
+    TenantRegistry,
+    authorize_request,
+    resolve_registry,
+)
 
 #: Idle-poll bounds for a followed result stream: the fallback timeout
 #: starts snappy, doubles while nothing completes, and is capped so a
@@ -135,6 +144,13 @@ class ServiceServer(AsyncServerCore):
             the ``metrics`` protocol op returns.
         max_line_bytes: Protocol line bound (oversized frames get a
             clean error instead of unbounded buffering).
+        tenants: Tenants-file path or a ready
+            :class:`~repro.service.tenancy.TenantRegistry`.  When set,
+            the daemon enforces token auth, per-tenant namespaces,
+            quotas and submit rate limits (protocol v2 required; see
+            :mod:`repro.service.tenancy`); the maintenance loop hot
+            reloads the file when its mtime changes.  ``None`` keeps
+            today's open v1-compatible behaviour.
     """
 
     def __init__(
@@ -152,6 +168,7 @@ class ServiceServer(AsyncServerCore):
         announce: str | None = None,
         metrics_address: str | None = None,
         max_line_bytes: int = MAX_LINE_BYTES,
+        tenants: TenantRegistry | str | None = None,
     ) -> None:
         super().__init__(
             address,
@@ -176,6 +193,7 @@ class ServiceServer(AsyncServerCore):
         self.lease_seconds = lease_seconds
         self.completed_ttl = completed_ttl
         self.announce = announce
+        self.tenants = resolve_registry(tenants)
         self.metrics_address = metrics_address
         if metrics_address is not None:
             _parse_metrics_listen(metrics_address)  # validate eagerly
@@ -226,6 +244,30 @@ class ServiceServer(AsyncServerCore):
             "repro_pass_duration_seconds",
             "Per-pass compile seconds (fresh compilations only).",
             ("pass",),
+        )
+        # Per-tenant families (only ever labelled when a tenants file
+        # is in force; fleet-summed like every other family).
+        self._m_tenant_submissions = self.metrics.counter(
+            "repro_tenant_submissions_total",
+            "Manifest submissions accepted, by tenant.",
+            ("tenant",),
+        )
+        self._m_tenant_jobs_completed = self.metrics.counter(
+            "repro_tenant_jobs_completed_total",
+            "Job outcome records written, by tenant and status.",
+            ("tenant", "status"),
+        )
+        self._m_tenant_throttles = self.metrics.counter(
+            "repro_tenant_throttles_total",
+            "Submissions rejected by tenancy enforcement, by tenant "
+            "and reason (rate_limit/queued_quota/submission_quota).",
+            ("tenant", "reason"),
+        )
+        self._m_tenant_quota_util = self.metrics.gauge(
+            "repro_tenant_quota_utilization",
+            "Fraction of a tenant's quota in use (queued/running), "
+            "synced at scrape time.",
+            ("tenant", "quota"),
         )
         self._threads: list[threading.Thread] = []
         # Jobs currently executing on this daemon's worker threads
@@ -351,7 +393,9 @@ class ServiceServer(AsyncServerCore):
         try:
             while not self._stopping.is_set():
                 record = self.queue.lease(
-                    worker_id, lease_seconds=self.lease_seconds
+                    worker_id,
+                    lease_seconds=self.lease_seconds,
+                    running_caps=self._running_caps(),
                 )
                 if record is None:
                     with self.queue.changed:
@@ -374,6 +418,16 @@ class ServiceServer(AsyncServerCore):
                 self.cache.flush()
             except Exception as exc:  # never kill the thread teardown
                 self._log(f"{worker_id}: exit cache flush failed: {exc}")
+
+    def _running_caps(self) -> dict[str, int] | None:
+        """Per-tenant ``max_running_jobs`` caps for the lease call."""
+        if self.tenants is None:
+            return None
+        return {
+            tenant.name: tenant.max_running_jobs
+            for tenant in self.tenants.tenants().values()
+            if tenant.max_running_jobs is not None
+        }
 
     def _execute(
         self,
@@ -447,6 +501,10 @@ class ServiceServer(AsyncServerCore):
             )
         status = result_record.get("status", "error")
         self._m_jobs_completed.inc(backend=backend, status=status)
+        if record.get("tenant"):
+            self._m_tenant_jobs_completed.inc(
+                tenant=record["tenant"], status=status
+            )
         attempts = result_record.get("attempts", 1)
         if attempts > 1:
             self._m_job_retries.inc(attempts - 1, backend=backend)
@@ -493,6 +551,13 @@ class ServiceServer(AsyncServerCore):
             # Push write-back-deferred cache entries downstream (no-op
             # for every non-write-back cache).
             self.cache.flush()
+            # Hot reload: a touched tenants file takes effect within
+            # one sweep (SIGHUP, handled in the CLI, is immediate).
+            if self.tenants is not None and self.tenants.maybe_reload():
+                self._log(
+                    f"tenants file {self.tenants.path} reloaded "
+                    f"({len(self.tenants.tenants())} tenant(s))"
+                )
 
     def _announce_loop(self) -> None:
         # Imported here: client.py has no dependency on the server
@@ -501,7 +566,16 @@ class ServiceServer(AsyncServerCore):
 
         assert self.announce is not None
         client = ServiceClient(
-            self.announce, timeout=5.0, connect_retry_s=1.0
+            self.announce,
+            timeout=5.0,
+            connect_retry_s=1.0,
+            # A tenanted coordinator only accepts registrations from
+            # fleet members; present the shared fleet token.
+            token=(
+                self.tenants.fleet_token
+                if self.tenants is not None
+                else None
+            ),
         )
         registered = False
         while not self._stopping.is_set():
@@ -524,7 +598,13 @@ class ServiceServer(AsyncServerCore):
     async def dispatch_async(
         self, request: dict[str, Any], writer: asyncio.StreamWriter
     ) -> bool:
-        """Answer one request; ``False`` ends the connection."""
+        """Answer one request; ``False`` ends the connection.
+
+        ``ping`` is always answered (liveness must precede auth);
+        every other op first passes the tenancy front door
+        (:func:`~repro.service.tenancy.authorize_request`), which is a
+        no-op yielding an all-seeing context on an open daemon.
+        """
         op = request.get("op")
         if op == "ping":
             # Off the loop thread: the cache stats snapshot can briefly
@@ -532,26 +612,39 @@ class ServiceServer(AsyncServerCore):
             reply = await asyncio.to_thread(self._ping)
             await write_message_async(writer, reply)
             return True
+        ctx, err = authorize_request(self.tenants, request)
+        if err is not None:
+            await write_message_async(writer, err)
+            return True
         if op == "metrics":
             reply = await asyncio.to_thread(self._metrics)
             await write_message_async(writer, reply)
             return True
         if op == "trace":
-            await write_message_async(writer, self._trace(request))
+            await write_message_async(writer, self._trace(request, ctx))
             return True
         if op == "submit":
             # Manifest expansion + cache-key hashing can be slow for
             # big manifests: keep it off the event loop.
-            reply = await asyncio.to_thread(self._submit, request)
+            reply = await asyncio.to_thread(self._submit, request, ctx)
             await write_message_async(writer, reply)
             return True
         if op == "status":
-            await write_message_async(writer, self._status(request))
+            await write_message_async(writer, self._status(request, ctx))
             return True
         if op == "results":
-            await self._results(request, writer)
+            await self._results(request, writer, ctx)
             return True
         if op == "shutdown":
+            if not ctx.admin:
+                await write_message_async(
+                    writer,
+                    error_reply(
+                        "forbidden",
+                        "shutdown requires the admin capability",
+                    ),
+                )
+                return True
             drain = bool(request.get("drain", True))
             await write_message_async(
                 writer, {"ok": True, "op": "shutdown", "drain": drain}
@@ -567,7 +660,7 @@ class ServiceServer(AsyncServerCore):
             return False
         await write_message_async(
             writer,
-            {"ok": False, "error": f"unknown op {op!r}"},
+            error_reply("unknown_op", f"unknown op {op!r}"),
         )
         return True
 
@@ -585,6 +678,7 @@ class ServiceServer(AsyncServerCore):
             "connections": self.connection_stats(),
             "cache": self.cache.stats_doc(),
             "metrics_url": self.metrics_url,
+            "auth_required": self.tenants is not None,
         }
 
     def _metrics_doc(self) -> dict[str, Any]:
@@ -600,6 +694,22 @@ class ServiceServer(AsyncServerCore):
         self._m_queue_oldest.set(self.queue.oldest_queued_age())
         for kind, value in self.connection_stats().items():
             self._m_connections.set(value, kind=kind)
+        if self.tenants is not None:
+            for tenant in self.tenants.tenants().values():
+                counts = self.queue.counts(tenant=tenant.name)
+                if tenant.max_queued_jobs is not None:
+                    self._m_tenant_quota_util.set(
+                        (counts["queued"] + counts["running"])
+                        / tenant.max_queued_jobs,
+                        tenant=tenant.name,
+                        quota="queued",
+                    )
+                if tenant.max_running_jobs is not None:
+                    self._m_tenant_quota_util.set(
+                        counts["running"] / tenant.max_running_jobs,
+                        tenant=tenant.name,
+                        quota="running",
+                    )
         return MetricsRegistry.from_docs(
             [
                 self.metrics.to_doc(),
@@ -621,22 +731,22 @@ class ServiceServer(AsyncServerCore):
             "text": render_prometheus_doc(doc),
         }
 
-    def _trace(self, request: dict[str, Any]) -> dict[str, Any]:
+    def _trace(
+        self, request: dict[str, Any], ctx: AuthContext = OPEN_CONTEXT
+    ) -> dict[str, Any]:
         job_id = request.get("job")
         if not job_id:
-            return {"ok": False, "error": "trace needs a 'job' id"}
+            return error_reply("bad_request", "trace needs a 'job' id")
         record = self.queue.get(job_id)
-        if record is None:
-            return {"ok": False, "error": f"unknown job {job_id!r}"}
+        if record is None or not ctx.can_see(record.get("tenant")):
+            return error_reply("not_found", f"unknown job {job_id!r}")
         trace_doc = (record.get("record") or {}).get("trace")
         if trace_doc is None:
-            return {
-                "ok": False,
-                "error": (
-                    f"job {job_id} has no trace yet "
-                    f"(status {record['status']!r})"
-                ),
-            }
+            return error_reply(
+                "not_found",
+                f"job {job_id} has no trace yet "
+                f"(status {record['status']!r})",
+            )
         return {
             "ok": True,
             "op": "trace",
@@ -645,59 +755,141 @@ class ServiceServer(AsyncServerCore):
             "trace": trace_doc,
         }
 
-    def _submit(self, request: dict[str, Any]) -> dict[str, Any]:
+    def _check_tenant_submit(
+        self, ctx: AuthContext, num_jobs: int
+    ) -> dict[str, Any] | None:
+        """Tenancy admission control for one submit: rate limit, then
+        per-submission size quota, then outstanding-jobs quota.
+        Returns an error reply, or ``None`` to admit.
+
+        Fleet contexts bypass admission: a coordinator leg arriving
+        with the fleet token was already admitted at the fleet front
+        door, and re-charging the tenant's rate bucket (or re-checking
+        a per-daemon slice of its global quota) for internal dispatch,
+        stealing or loss re-dispatch would throttle work the client
+        was told was accepted."""
+        tenant = ctx.tenant
+        if tenant is None or ctx.fleet or self.tenants is None:
+            return None
+        retry_after = self.tenants.acquire_submit(tenant)
+        if retry_after > 0.0:
+            self._m_tenant_throttles.inc(
+                tenant=tenant.name, reason="rate_limit"
+            )
+            return error_reply(
+                "rate_limited",
+                f"tenant {tenant.name!r} exceeded its submit rate; "
+                f"retry in {retry_after:.3f}s",
+                retry_after_s=round(retry_after, 3),
+            )
+        cap = tenant.max_jobs_per_submission
+        if cap is not None and num_jobs > cap:
+            self._m_tenant_throttles.inc(
+                tenant=tenant.name, reason="submission_quota"
+            )
+            return error_reply(
+                "quota_exceeded",
+                f"submission has {num_jobs} jobs; tenant "
+                f"{tenant.name!r} is limited to {cap} per submission",
+            )
+        cap = tenant.max_queued_jobs
+        if cap is not None:
+            counts = self.queue.counts(tenant=tenant.name)
+            outstanding = counts["queued"] + counts["running"]
+            if outstanding + num_jobs > cap:
+                self._m_tenant_throttles.inc(
+                    tenant=tenant.name, reason="queued_quota"
+                )
+                return error_reply(
+                    "quota_exceeded",
+                    f"tenant {tenant.name!r} has {outstanding} "
+                    f"outstanding job(s); {num_jobs} more would exceed "
+                    f"its quota of {cap}",
+                )
+        return None
+
+    def _submit(
+        self, request: dict[str, Any], ctx: AuthContext = OPEN_CONTEXT
+    ) -> dict[str, Any]:
         if self.draining:
-            return {
-                "ok": False,
-                "error": "service is draining; not accepting submissions",
-            }
+            return error_reply(
+                "draining",
+                "service is draining; not accepting submissions",
+            )
         manifest_doc = request.get("manifest")
         if manifest_doc is None:
-            return {"ok": False, "error": "submit needs a 'manifest'"}
+            return error_reply("bad_request", "submit needs a 'manifest'")
         priority = request.get("priority", 0)
         if isinstance(priority, bool) or not isinstance(priority, int):
-            return {"ok": False, "error": "'priority' must be an integer"}
+            return error_reply(
+                "bad_request", "'priority' must be an integer"
+            )
+        try:
+            num_jobs = len(parse_manifest(manifest_doc))
+        except ManifestError as exc:
+            return error_reply("bad_request", f"bad manifest: {exc}")
+        rejection = self._check_tenant_submit(ctx, num_jobs)
+        if rejection is not None:
+            return rejection
         try:
             submission = self.queue.submit(
-                manifest_doc, priority=priority
+                manifest_doc, priority=priority, tenant=ctx.name
             )
         except ManifestError as exc:
-            return {"ok": False, "error": f"bad manifest: {exc}"}
+            return error_reply("bad_request", f"bad manifest: {exc}")
         self._m_submissions.inc()
         self._m_jobs_submitted.inc(submission["total_jobs"])
+        if ctx.name is not None and not ctx.fleet:
+            # Fleet legs are not client submissions: the coordinator
+            # counted the submission once at its own front door, and
+            # the fleet metrics view sums both registries.
+            self._m_tenant_submissions.inc(tenant=ctx.name)
         return {
             "ok": True,
             "op": "submit",
             "submission": submission["id"],
+            "tenant": ctx.name,
             "manifest_digest": submission["manifest_digest"],
             "total_jobs": submission["total_jobs"],
             "job_ids": submission["job_ids"],
         }
 
-    def _status(self, request: dict[str, Any]) -> dict[str, Any]:
+    def _status(
+        self, request: dict[str, Any], ctx: AuthContext = OPEN_CONTEXT
+    ) -> dict[str, Any]:
         sub_id = request.get("submission")
         if sub_id is None:
+            visible = [
+                sid
+                for sid in self.queue.submission_ids()
+                if ctx.can_see(self.queue.submission(sid).get("tenant"))
+            ]
             submissions = [
                 {
                     "id": sid,
                     "total_jobs": self.queue.submission(sid)["total_jobs"],
                     "counts": self.queue.counts(sid),
                 }
-                for sid in self.queue.submission_ids()
+                for sid in visible
             ]
             return {
                 "ok": True,
                 "op": "status",
                 "draining": self.draining,
-                "counts": self.queue.counts(),
+                "counts": (
+                    self.queue.counts()
+                    if ctx.fleet
+                    else self.queue.counts(tenant=ctx.name)
+                ),
                 "submissions": submissions,
             }
         submission = self.queue.submission(sub_id)
-        if submission is None:
-            return {
-                "ok": False,
-                "error": f"unknown submission {sub_id!r}",
-            }
+        if submission is None or not ctx.can_see(submission.get("tenant")):
+            # A foreign tenant's submission answers exactly like a
+            # nonexistent one: the namespace must not leak ids.
+            return error_reply(
+                "not_found", f"unknown submission {sub_id!r}"
+            )
         jobs = []
         for record in self.queue.records_for(sub_id):
             outcome = record.get("record") or {}
@@ -731,7 +923,10 @@ class ServiceServer(AsyncServerCore):
         }
 
     async def _results(
-        self, request: dict[str, Any], writer: asyncio.StreamWriter
+        self,
+        request: dict[str, Any],
+        writer: asyncio.StreamWriter,
+        ctx: AuthContext = OPEN_CONTEXT,
     ) -> None:
         """Stream a submission's records in completion order.
 
@@ -746,10 +941,12 @@ class ServiceServer(AsyncServerCore):
         submission = (
             None if sub_id is None else self.queue.submission(sub_id)
         )
-        if submission is None:
+        if submission is None or not ctx.can_see(submission.get("tenant")):
             await write_message_async(
                 writer,
-                {"ok": False, "error": f"unknown submission {sub_id!r}"},
+                error_reply(
+                    "not_found", f"unknown submission {sub_id!r}"
+                ),
             )
             return
         follow = bool(request.get("follow", False))

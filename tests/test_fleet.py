@@ -6,6 +6,7 @@ coordinator so failure injection (slow compiles, daemon kills) can
 monkeypatch the engine and stop servers at will.
 """
 
+import json
 import time
 
 import pytest
@@ -20,7 +21,9 @@ from repro.engine import (
 )
 from repro.engine.jobs import execute_job_on_circuit
 from repro.service import (
+    AuthError,
     Coordinator,
+    RateLimited,
     ServiceClient,
     ServiceError,
     ServiceServer,
@@ -391,3 +394,112 @@ class TestFleetObservability:
                 client.trace("c999999-00000")
         finally:
             stop_all(coordinator, first, second)
+
+
+class TestTenantedFleet:
+    """The coordinator as the fleet's tenancy front door."""
+
+    @staticmethod
+    def write_tenants(tmp_path):
+        doc = {
+            "format": "repro-tenants",
+            "version": 1,
+            "fleet_token": "fleet-secret",
+            "tenants": {
+                "alice": {
+                    "token": "alice-secret",
+                    # Refill so slow the test never sees one: the
+                    # burst alone decides which submit is throttled.
+                    "rate": {"burst": 2, "per_second": 0.001},
+                },
+                "bob": {"token": "bob-secret"},
+            },
+        }
+        path = tmp_path / "tenants.json"
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_auth_isolation_and_metrics_across_the_fleet(
+        self, tmp_path
+    ):
+        tenants = self.write_tenants(tmp_path)
+        daemon_a = start_daemon(tmp_path, "a", tenants=tenants)
+        daemon_b = start_daemon(tmp_path, "b", tenants=tenants)
+        coordinator = start_coordinator(
+            [daemon_a.address, daemon_b.address],
+            steal_batch=0,
+            tenants=tenants,
+        )
+        try:
+            anon = ServiceClient(coordinator.address)
+            ping = anon.wait_ready()
+            assert ping["auth_required"] is True
+            with pytest.raises(AuthError) as rejected:
+                anon.submit(FLEET_MANIFEST)
+            assert rejected.value.code == "auth_required"
+
+            # alice's work flows through the whole fleet: the legs
+            # carry the fleet token plus her tenant attribution, and
+            # the merged document equals the batch reference.
+            alice = ServiceClient(
+                coordinator.address, token="alice-secret"
+            )
+            receipt = alice.submit(FLEET_MANIFEST)
+            assert receipt.submission.startswith("alice-c")
+            doc = alice.results_document(receipt.submission)
+            assert docs_equal_modulo_timing(
+                doc, batch_document(FLEET_MANIFEST)
+            )
+
+            # Cross-tenant isolation holds at the coordinator...
+            bob = ServiceClient(coordinator.address, token="bob-secret")
+            with pytest.raises(ServiceError) as missing:
+                bob.status(receipt.submission)
+            assert missing.value.code == "not_found"
+            with pytest.raises(ServiceError):
+                bob.trace(receipt.job_ids[0])
+            assert bob.status().submissions == []
+            # ...and at the daemons alice's legs landed on.
+            for address in (daemon_a.address, daemon_b.address):
+                direct = ServiceClient(address, token="bob-secret")
+                assert direct.status().counts["done"] == 0
+
+            # Rate limit enforced once, globally, at the front door
+            # (burst 2: the first submit spent one token).
+            second = alice.submit(FLEET_MANIFEST)
+            with pytest.raises(RateLimited) as throttled:
+                alice.submit(FLEET_MANIFEST)
+            assert throttled.value.retry_after_s > 0.0
+            alice.results_document(second.submission)
+
+            # Fleet-summed per-tenant metrics: exactly one client
+            # submission counted (daemon legs must not double-count),
+            # six placements, one rate-limit throttle.
+            ops = ServiceClient(
+                coordinator.address, token="fleet-secret"
+            )
+            families = {
+                family["name"]: family
+                for family in ops.metrics()["metrics"]["families"]
+            }
+
+            def series(name):
+                return {
+                    tuple(sorted(s["labels"].items())): s["value"]
+                    for s in families[name]["samples"]
+                }
+
+            submissions = series("repro_tenant_submissions_total")
+            assert submissions[(("tenant", "alice"),)] == 2
+            placements = series("repro_tenant_placements_total")
+            assert placements[(("tenant", "alice"),)] == 12
+            throttles = series("repro_tenant_throttles_total")
+            assert throttles[
+                (("reason", "rate_limit"), ("tenant", "alice"))
+            ] == 1
+            completed = series("repro_tenant_jobs_completed_total")
+            assert completed[
+                (("status", "ok"), ("tenant", "alice"))
+            ] == 12
+        finally:
+            stop_all(coordinator, daemon_a, daemon_b)

@@ -1,0 +1,614 @@
+"""Multi-tenancy: token auth, namespaces, quotas, rate limits, v2.
+
+Registry parsing, the token bucket and hot reload are unit-tested
+directly; enforcement runs real in-process daemons (and a coordinator
+in test_fleet.py) so the auth front door, namespace isolation and
+throttle metrics are exercised over the real wire protocol.  Raw
+sockets cover the v1-compat matrix, which :class:`ServiceClient`
+(always v2) cannot express.
+"""
+
+import json
+import socket
+import time
+
+import pytest
+
+import repro.engine.engine as engine_module
+from repro.engine.jobs import execute_job_on_circuit
+from repro.service import (
+    AuthError,
+    JobQueue,
+    QuotaExceeded,
+    RateLimited,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+    TenancyError,
+    TenantRegistry,
+    TokenBucket,
+    hash_token,
+    quota_table,
+)
+from repro.service.protocol import read_message, write_message
+from repro.service.tenancy import (
+    OPEN_CONTEXT,
+    AuthContext,
+    authorize_request,
+    parse_tenants_doc,
+)
+
+ONE_JOB = {"jobs": [{"benchmark": "BV-14", "backend": "powermove"}]}
+TWO_JOBS = {
+    "jobs": [
+        {"benchmark": "BV-14", "backend": "powermove", "seed": 0},
+        {"benchmark": "BV-14", "backend": "powermove", "seed": 1},
+    ]
+}
+
+
+def tenants_doc(**overrides):
+    doc = {
+        "format": "repro-tenants",
+        "version": 1,
+        "fleet_token": "fleet-secret",
+        "tenants": {
+            "alice": {"token": "alice-secret"},
+            "bob": {"token": "bob-secret"},
+            "ops": {"token": "ops-secret", "admin": True},
+        },
+    }
+    doc.update(overrides)
+    return doc
+
+
+def write_tenants(tmp_path, doc, name="tenants.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def start_server(tmp_path, **kwargs):
+    kwargs.setdefault("workers", 1)
+    server = ServiceServer(
+        str(tmp_path / "queue"), "127.0.0.1:0", **kwargs
+    )
+    return server.start()
+
+
+def raw_request(address, payload):
+    """One request/response round trip without the v2 client."""
+    host, port = address.rsplit(":", 1)
+    with socket.create_connection((host, int(port)), timeout=10.0) as sock:
+        stream = sock.makefile("rwb")
+        try:
+            write_message(stream, payload)
+            return read_message(stream)
+        finally:
+            stream.close()
+
+
+class TestTenantsFile:
+    def test_parse_clear_and_hashed_tokens(self):
+        doc = tenants_doc()
+        doc["tenants"]["carol"] = {
+            "token_sha256": hash_token("carol-secret"),
+            "max_queued_jobs": 4,
+            "max_running_jobs": 2,
+            "max_jobs_per_submission": 3,
+            "rate": {"burst": 2, "per_second": 1.5},
+        }
+        tenants, fleet_sha, fleet_clear = parse_tenants_doc(doc)
+        assert set(tenants) == {"alice", "bob", "carol", "ops"}
+        assert tenants["alice"].token_sha256 == hash_token("alice-secret")
+        assert fleet_sha == hash_token("fleet-secret")
+        assert fleet_clear == "fleet-secret"
+        carol = tenants["carol"]
+        assert carol.max_queued_jobs == 4
+        assert carol.max_running_jobs == 2
+        assert carol.max_jobs_per_submission == 3
+        assert carol.rate_burst == 2
+        assert carol.rate_per_second == 1.5
+        assert tenants["ops"].admin and not carol.admin
+        # Clear tokens are hashed on load, never stored.
+        assert "alice-secret" not in repr(tenants["alice"])
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d["tenants"].__setitem__(
+                "eve", {"token": "alice-secret"}
+            ),  # duplicate token
+            lambda d: d["tenants"].__setitem__(
+                "eve", {"token": "fleet-secret"}
+            ),  # fleet-token reuse
+            lambda d: d["tenants"].__setitem__("eve", {}),  # no token
+            lambda d: d["tenants"].__setitem__(
+                "eve",
+                {"token": "x", "token_sha256": hash_token("x")},
+            ),  # both token forms
+            lambda d: d["tenants"].__setitem__(
+                "-bad-name", {"token": "x"}
+            ),
+            lambda d: d["tenants"].__setitem__(
+                "eve", {"token": "x", "surprise": 1}
+            ),  # unknown key
+            lambda d: d["tenants"].__setitem__(
+                "eve", {"token": "x", "max_queued_jobs": 0}
+            ),
+            lambda d: d["tenants"].__setitem__(
+                "eve",
+                {"token": "x", "rate": {"burst": 1, "per_second": 0}},
+            ),
+            lambda d: d.__setitem__("format", "something-else"),
+            lambda d: d.__setitem__("version", 99),
+            lambda d: d.__setitem__("tenants", {}),
+        ],
+    )
+    def test_invalid_documents_rejected(self, mutate):
+        doc = tenants_doc()
+        mutate(doc)
+        with pytest.raises(TenancyError):
+            parse_tenants_doc(doc)
+
+    def test_registry_loads_json_file(self, tmp_path):
+        registry = TenantRegistry.load(
+            write_tenants(tmp_path, tenants_doc())
+        )
+        assert set(registry.tenants()) == {"alice", "bob", "ops"}
+        assert registry.has_fleet_token()
+        assert registry.fleet_token == "fleet-secret"
+
+    def test_registry_loads_toml_file(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "tenants.toml"
+        path.write_text(
+            'format = "repro-tenants"\n'
+            "version = 1\n"
+            '[tenants.alice]\ntoken = "alice-secret"\n'
+            '[tenants.bob]\ntoken = "bob-secret"\n'
+            "max_queued_jobs = 8\n"
+        )
+        registry = TenantRegistry.load(str(path))
+        assert registry.get("bob").max_queued_jobs == 8
+        assert not registry.has_fleet_token()
+
+    def test_quota_table_lists_every_tenant(self):
+        tenants, _, _ = parse_tenants_doc(tenants_doc())
+        table = quota_table(tenants.values())
+        lines = table.splitlines()
+        assert lines[0].split() == [
+            "tenant", "queued", "running", "per-sub", "rate", "admin",
+        ]
+        assert [line.split()[0] for line in lines[2:]] == [
+            "alice", "bob", "ops",
+        ]
+
+
+class TestTokenBucket:
+    def test_burst_then_precise_retry_after(self):
+        bucket = TokenBucket(burst=2, per_second=4.0)
+        now = 100.0
+        assert bucket.acquire(now) == 0.0
+        assert bucket.acquire(now) == 0.0
+        # Empty: one token is 1/4 s away.
+        assert bucket.acquire(now) == pytest.approx(0.25)
+        # Refill at 4 tokens/s restores service.
+        assert bucket.acquire(now + 0.25) == 0.0
+        # Capacity never exceeds the burst.
+        assert bucket.acquire(now + 100.0) == 0.0
+        assert bucket.acquire(now + 100.0) == 0.0
+        assert bucket.acquire(now + 100.0) > 0.0
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(TenancyError):
+            TokenBucket(burst=0, per_second=1.0)
+        with pytest.raises(TenancyError):
+            TokenBucket(burst=1, per_second=0.0)
+
+
+class TestAuthentication:
+    def test_token_maps_to_tenant_and_fleet(self, tmp_path):
+        registry = TenantRegistry.load(
+            write_tenants(tmp_path, tenants_doc())
+        )
+        ctx = registry.authenticate("alice-secret")
+        assert ctx.name == "alice" and not ctx.fleet and not ctx.admin
+        assert registry.authenticate("ops-secret").admin
+        fleet = registry.authenticate("fleet-secret")
+        assert fleet.fleet and fleet.admin and fleet.name is None
+        assert registry.authenticate("wrong") is None
+        assert registry.authenticate("") is None
+        assert registry.authenticate(None) is None
+
+    def test_namespace_visibility(self):
+        alice = AuthContext(
+            tenant=parse_tenants_doc(tenants_doc())[0]["alice"]
+        )
+        assert alice.can_see("alice")
+        assert not alice.can_see("bob")
+        assert not alice.can_see(None)
+        assert OPEN_CONTEXT.can_see("alice")
+        assert OPEN_CONTEXT.can_see(None)
+
+    def test_authorize_request_matrix(self, tmp_path):
+        registry = TenantRegistry.load(
+            write_tenants(tmp_path, tenants_doc())
+        )
+        # Open service: v1 and v2 both pass with the open context.
+        assert authorize_request(None, {"op": "status"})[0] is OPEN_CONTEXT
+        assert (
+            authorize_request(None, {"v": 2, "op": "status"})[0]
+            is OPEN_CONTEXT
+        )
+        # Tenanted service: v1 is told to upgrade, v2 needs a token.
+        _, err = authorize_request(registry, {"op": "status"})
+        assert err["code"] == "upgrade_required"
+        _, err = authorize_request(registry, {"v": 2, "op": "status"})
+        assert err["code"] == "auth_required"
+        _, err = authorize_request(
+            registry, {"v": 2, "op": "status", "auth": "wrong"}
+        )
+        assert err["code"] == "auth_failed"
+        _, err = authorize_request(
+            registry, {"v": 3, "op": "status", "auth": "alice-secret"}
+        )
+        assert err["code"] == "bad_request"
+        ctx, err = authorize_request(
+            registry, {"v": 2, "op": "status", "auth": "alice-secret"}
+        )
+        assert err is None and ctx.name == "alice"
+        # The fleet token may act for a tenant; plain tenants may not.
+        ctx, _ = authorize_request(
+            registry,
+            {"v": 2, "op": "submit", "auth": "fleet-secret",
+             "tenant": "bob"},
+        )
+        assert ctx.name == "bob" and ctx.fleet
+        _, err = authorize_request(
+            registry,
+            {"v": 2, "op": "submit", "auth": "fleet-secret",
+             "tenant": "nobody"},
+        )
+        assert err["code"] == "bad_request"
+        ctx, _ = authorize_request(
+            registry,
+            {"v": 2, "op": "submit", "auth": "alice-secret",
+             "tenant": "bob"},
+        )
+        assert ctx.name == "alice" and not ctx.fleet
+
+
+class TestHotReload:
+    def test_reload_swaps_table_and_rotates_tokens(self, tmp_path):
+        path = write_tenants(tmp_path, tenants_doc())
+        registry = TenantRegistry.load(path)
+        doc = tenants_doc()
+        doc["tenants"]["alice"]["token"] = "alice-rotated"
+        write_tenants(tmp_path, doc)
+        assert registry.reload()
+        assert registry.authenticate("alice-secret") is None
+        assert registry.authenticate("alice-rotated").name == "alice"
+        assert registry.reloads == 1
+
+    def test_broken_file_keeps_previous_table(self, tmp_path):
+        path = write_tenants(tmp_path, tenants_doc())
+        registry = TenantRegistry.load(path)
+        (tmp_path / "tenants.json").write_text("{not json")
+        assert not registry.reload()
+        assert registry.authenticate("alice-secret").name == "alice"
+        assert registry.reload_errors == 1
+
+    def test_token_rotation_preserves_bucket_state(self, tmp_path):
+        doc = tenants_doc()
+        doc["tenants"]["alice"]["rate"] = {
+            "burst": 1, "per_second": 0.001,
+        }
+        path = write_tenants(tmp_path, doc)
+        registry = TenantRegistry.load(path)
+        alice = registry.get("alice")
+        assert registry.acquire_submit(alice) == 0.0
+        assert registry.acquire_submit(alice) > 0.0  # bucket drained
+        # Rotating the token must not refill the bucket...
+        doc["tenants"]["alice"]["token"] = "alice-rotated"
+        write_tenants(tmp_path, doc)
+        assert registry.reload()
+        assert registry.acquire_submit(registry.get("alice")) > 0.0
+        # ...but changing the rate config starts a fresh bucket.
+        doc["tenants"]["alice"]["rate"] = {
+            "burst": 2, "per_second": 0.001,
+        }
+        write_tenants(tmp_path, doc)
+        assert registry.reload()
+        assert registry.acquire_submit(registry.get("alice")) == 0.0
+
+    def test_maybe_reload_tracks_mtime(self, tmp_path):
+        import os
+
+        path = write_tenants(tmp_path, tenants_doc())
+        registry = TenantRegistry.load(path)
+        assert not registry.maybe_reload()  # unchanged
+        doc = tenants_doc()
+        doc["tenants"]["dora"] = {"token": "dora-secret"}
+        write_tenants(tmp_path, doc)
+        os.utime(path, (time.time() + 5, time.time() + 5))
+        assert registry.maybe_reload()
+        assert registry.get("dora") is not None
+
+
+class TestQueueTenancy:
+    def test_tenant_namespaced_ids_and_counts(self, tmp_path):
+        queue = JobQueue(str(tmp_path / "queue"))
+        a = queue.submit(ONE_JOB, tenant="alice")
+        b = queue.submit(TWO_JOBS, tenant="bob")
+        free = queue.submit(ONE_JOB)
+        assert a["id"].startswith("alice-s")
+        assert b["id"].startswith("bob-s")
+        assert not free["id"].startswith(("alice", "bob"))
+        assert queue.counts(tenant="alice")["queued"] == 1
+        assert queue.counts(tenant="bob")["queued"] == 2
+        assert queue.counts(tenant=None)["queued"] == 1
+        assert queue.counts()["queued"] == 4
+        assert queue.tenants_seen() == {"alice", "bob"}
+
+    def test_restart_recovery_preserves_tenant_fields(self, tmp_path):
+        queue = JobQueue(str(tmp_path / "queue"))
+        sub = queue.submit(TWO_JOBS, tenant="alice")
+        leased = queue.lease("w1")
+        queue.complete(
+            leased["id"],
+            {"index": leased["index"], "status": "ok"},
+        )
+        del queue
+        revived = JobQueue(str(tmp_path / "queue"))
+        assert revived.submission(sub["id"])["tenant"] == "alice"
+        counts = revived.counts(tenant="alice")
+        assert counts["done"] == 1 and counts["queued"] == 1
+        assert all(
+            record["tenant"] == "alice"
+            for record in revived.records_for(sub["id"])
+        )
+
+    def test_fair_share_lease_ordering_under_flood(self, tmp_path):
+        queue = JobQueue(str(tmp_path / "queue"))
+        # alice floods first; bob arrives later with the same priority.
+        for seed in range(4):
+            queue.submit(
+                {"jobs": [{"benchmark": "BV-14", "seed": seed}]},
+                tenant="alice",
+            )
+        for seed in range(4):
+            queue.submit(
+                {"jobs": [{"benchmark": "BV-14", "seed": 10 + seed}]},
+                tenant="bob",
+            )
+        order = []
+        for worker in range(8):
+            leased = queue.lease(f"w{worker}")
+            order.append(leased["tenant"])
+        # Grant counters alternate the tenants instead of draining
+        # alice's backlog before bob gets a single slot.
+        assert order[:2] == ["alice", "bob"] or order[:2] == [
+            "bob", "alice",
+        ]
+        assert order.count("alice") == order.count("bob") == 4
+        assert all(
+            order[i] != order[i + 1] for i in range(0, 8, 2)
+        )
+
+    def test_running_caps_hold_back_capped_tenant(self, tmp_path):
+        queue = JobQueue(str(tmp_path / "queue"))
+        for seed in range(3):
+            queue.submit(
+                {"jobs": [{"benchmark": "BV-14", "seed": seed}]},
+                tenant="alice",
+            )
+        queue.submit(ONE_JOB, tenant="bob")
+        caps = {"alice": 1}
+        first = queue.lease("w1", running_caps=caps)
+        assert first["tenant"] == "alice"
+        second = queue.lease("w2", running_caps=caps)
+        assert second["tenant"] == "bob"  # alice is at her cap
+        assert queue.lease("w3", running_caps=caps) is None
+        queue.complete(
+            first["id"], {"index": first["index"], "status": "ok"}
+        )
+        third = queue.lease("w3", running_caps=caps)
+        assert third["tenant"] == "alice"
+
+
+class TestTenantedService:
+    def test_auth_isolation_and_admin_gate(self, tmp_path):
+        server = start_server(
+            tmp_path, tenants=write_tenants(tmp_path, tenants_doc())
+        )
+        try:
+            anon = ServiceClient(server.address)
+            ping = anon.wait_ready()
+            assert ping.auth_required
+            with pytest.raises(AuthError) as rejected:
+                anon.submit(ONE_JOB)
+            assert rejected.value.code == "auth_required"
+            with pytest.raises(AuthError) as rejected:
+                ServiceClient(server.address, token="wrong").status()
+            assert rejected.value.code == "auth_failed"
+
+            alice = ServiceClient(server.address, token="alice-secret")
+            bob = ServiceClient(server.address, token="bob-secret")
+            receipt = alice.submit(ONE_JOB)
+            assert receipt.submission.startswith("alice-")
+            assert receipt.raw["tenant"] == "alice"
+
+            # Foreign submissions answer exactly like missing ones.
+            with pytest.raises(ServiceError) as missing:
+                bob.status(receipt.submission)
+            assert missing.value.code == "not_found"
+            with pytest.raises(ServiceError) as missing:
+                bob.status("alice-s999999")
+            assert missing.value.code == "not_found"
+            with pytest.raises(ServiceError):
+                bob.results_document(receipt.submission)
+            with pytest.raises(ServiceError) as missing:
+                bob.trace(receipt.job_ids[0])
+            assert missing.value.code == "not_found"
+            assert bob.status().submissions == []
+
+            doc = alice.results_document(receipt.submission)
+            assert doc["num_failed"] == 0
+            assert alice.status(receipt.submission).counts["done"] == 1
+            trace = alice.trace(receipt.job_ids[0])
+            assert trace["trace"]["spans"]
+
+            # The fleet token reads every namespace.
+            fleet = ServiceClient(server.address, token="fleet-secret")
+            assert [
+                s["id"] for s in fleet.status().submissions
+            ] == [receipt.submission]
+
+            # shutdown is an admin capability.
+            with pytest.raises(AuthError) as denied:
+                alice.shutdown()
+            assert denied.value.code == "forbidden"
+            ops = ServiceClient(server.address, token="ops-secret")
+            ops.shutdown(drain=True)
+            assert server.wait_stopped(timeout=30.0)
+        finally:
+            if not server.wait_stopped(timeout=0.0):
+                server.stop(drain=False)
+
+    def test_quota_boundaries_and_metrics(self, tmp_path, monkeypatch):
+        real = execute_job_on_circuit
+
+        def slow(job, circuit):
+            time.sleep(0.3)
+            return real(job, circuit)
+
+        monkeypatch.setattr(
+            engine_module, "execute_job_on_circuit", slow
+        )
+        doc = tenants_doc()
+        doc["tenants"]["alice"].update(
+            {"max_queued_jobs": 2, "max_jobs_per_submission": 2}
+        )
+        server = start_server(
+            tmp_path, tenants=write_tenants(tmp_path, doc)
+        )
+        try:
+            alice = ServiceClient(server.address, token="alice-secret")
+            alice.wait_ready()
+            with pytest.raises(QuotaExceeded) as oversized:
+                alice.submit(
+                    {
+                        "jobs": [
+                            {"benchmark": "BV-14", "seed": s}
+                            for s in range(3)
+                        ]
+                    }
+                )
+            assert oversized.value.code == "quota_exceeded"
+            first = alice.submit(TWO_JOBS)  # exactly at the cap
+            with pytest.raises(QuotaExceeded):
+                alice.submit(ONE_JOB)  # 2 outstanding + 1 > 2
+            # bob has no quotas and is untouched by alice's limits.
+            bob = ServiceClient(server.address, token="bob-secret")
+            bob.submit(ONE_JOB)
+            alice.results_document(first.submission)
+            alice.submit(ONE_JOB)  # quota freed by completion
+
+            metrics = ServiceClient(
+                server.address, token="ops-secret"
+            ).metrics()["metrics"]
+            throttles = {
+                tuple(sorted(sample["labels"].items())): sample["value"]
+                for family in metrics["families"]
+                if family["name"] == "repro_tenant_throttles_total"
+                for sample in family["samples"]
+            }
+            assert throttles[
+                (("reason", "submission_quota"), ("tenant", "alice"))
+            ] == 1
+            assert throttles[
+                (("reason", "queued_quota"), ("tenant", "alice"))
+            ] == 1
+        finally:
+            server.stop(drain=False)
+
+    def test_rate_limit_retry_after_honored(self, tmp_path):
+        doc = tenants_doc()
+        doc["tenants"]["alice"]["rate"] = {
+            "burst": 1, "per_second": 20.0,
+        }
+        server = start_server(
+            tmp_path, tenants=write_tenants(tmp_path, doc)
+        )
+        try:
+            alice = ServiceClient(server.address, token="alice-secret")
+            alice.wait_ready()
+            alice.submit(ONE_JOB)
+            with pytest.raises(RateLimited) as throttled:
+                alice.submit(ONE_JOB)
+            assert 0.0 < throttled.value.retry_after_s <= 0.1
+            # The client-side retry budget rides the throttle out.
+            receipt = alice.submit(ONE_JOB, rate_limit_retry_s=5.0)
+            assert receipt.total_jobs == 1
+        finally:
+            server.stop(drain=False)
+
+    def test_v1_compat_matrix_on_the_wire(self, tmp_path):
+        open_server = start_server(tmp_path)
+        try:
+            # v1 requests (no "v" key) stay byte-compatible against an
+            # open daemon, and replies carry no tenancy artifacts.
+            pong = raw_request(open_server.address, {"op": "ping"})
+            assert pong["ok"] and pong["auth_required"] is False
+            reply = raw_request(
+                open_server.address,
+                {"op": "submit", "manifest": ONE_JOB},
+            )
+            assert reply["ok"] and reply["submission"].startswith("s")
+            status = raw_request(open_server.address, {"op": "status"})
+            assert status["ok"]
+        finally:
+            open_server.stop(drain=False)
+
+        tenanted = ServiceServer(
+            str(tmp_path / "queue2"),
+            "127.0.0.1:0",
+            workers=1,
+            tenants=write_tenants(tmp_path, tenants_doc()),
+        ).start()
+        try:
+            # ping answers (liveness must precede token handout)...
+            pong = raw_request(tenanted.address, {"op": "ping"})
+            assert pong["ok"] and pong["auth_required"] is True
+            # ...every other v1 op is told to upgrade.
+            for op in ("submit", "status", "results", "shutdown"):
+                reply = raw_request(tenanted.address, {"op": op})
+                assert reply["ok"] is False
+                assert reply["code"] == "upgrade_required"
+            # Explicit v:1 is the same as no v key.
+            reply = raw_request(
+                tenanted.address, {"v": 1, "op": "status"}
+            )
+            assert reply["code"] == "upgrade_required"
+        finally:
+            tenanted.stop(drain=False)
+
+
+class TestTenantsCli:
+    def test_check_prints_quota_table(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = write_tenants(tmp_path, tenants_doc())
+        assert main(["tenants", path, "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "3 tenant(s)" in out
+        assert "alice" in out and "bob" in out and "ops" in out
+
+    def test_broken_file_exits_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "tenants.json"
+        bad.write_text('{"format": "repro-tenants", "tenants": {}}')
+        assert main(["tenants", str(bad), "--check"]) == 2
+        assert "error" in capsys.readouterr().err
